@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the numeric and circuit substrates: dense
+//! LU vs. Cholesky, sparse CG scaling, and full power-grid MNA solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpd_circuit::PowerGrid;
+use vpd_numeric::{
+    conjugate_gradient, CgSettings, CholeskyFactor, CooMatrix, DenseMatrix, LuFactor,
+};
+use vpd_units::{Amps, Ohms, Volts};
+
+/// A well-conditioned SPD test matrix (grounded chain Laplacian).
+fn spd_dense(n: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(n, n, |i, j| {
+        if i == j {
+            2.2
+        } else if i.abs_diff(j) == 1 {
+            -1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn spd_sparse(n: usize) -> vpd_numeric::CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.2);
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+            coo.push(i + 1, i, -1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+fn bench_dense_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_factor_and_solve");
+    for n in [16usize, 64, 128] {
+        let a = spd_dense(n);
+        let b = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("lu", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = LuFactor::new(&a).unwrap();
+                lu.solve(&b).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &n, |bench, _| {
+            bench.iter(|| {
+                let ch = CholeskyFactor::new(&a).unwrap();
+                ch.solve(&b).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_cg_chain");
+    for n in [400usize, 1600, 6400] {
+        let a = spd_sparse(n);
+        let b = vec![1.0; n];
+        let settings = CgSettings::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| conjugate_gradient(&a, &b, &settings).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_grid_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_grid_mna_solve");
+    for side in [15usize, 25, 35] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bench, &side| {
+            bench.iter(|| {
+                let mut grid =
+                    PowerGrid::new(side, side, Ohms::from_milliohms(0.3)).unwrap();
+                grid.attach_uniform_load(Amps::from_kiloamps(1.0)).unwrap();
+                for k in 0..8 {
+                    let x = (k % 4) * (side - 1) / 3;
+                    let y = (k / 4) * (side - 1);
+                    grid.attach_regulator(x, y, Volts::new(1.0), Ohms::from_milliohms(1.0))
+                        .unwrap();
+                }
+                grid.solve().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_factorizations,
+    bench_sparse_cg,
+    bench_power_grid_solve
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Ablation studies from the paper's discussion:
+//!
+//! * **B1** — GaN versus Si power devices across switching frequency
+//!   (§III's case for GaN), using the bottom-up physics loss model.
+//! * **B2** — intermediate-bus-voltage sweep for the two-stage
+//!   architecture (the 12 V vs. 6 V question, §II/§IV).
+//! * **B3** — hotspot sensitivity: how the A2 module spread depends on
+//!   the die power map.
+
+use vpd_converters::{PhysicsDesign, VrTopologyKind};
+use vpd_core::{solve_sharing, sweep_bus_voltage, PowerMap, VrPlacement};
+use vpd_devices::Semiconductor;
+use vpd_report::{Align, Table};
+use vpd_units::{Amps, Hertz, Volts};
+
+fn main() {
+    let (spec, calib, opts) = vpd_bench::paper_env();
+
+    // --- B1: GaN vs Si over frequency --------------------------------------
+    vpd_bench::banner("Ablation B1 — GaN vs. Si efficiency across switching frequency");
+    let mut t = Table::new(vec![
+        "Topology",
+        "f_sw",
+        "Si efficiency",
+        "GaN efficiency",
+        "GaN advantage",
+    ]);
+    for c in 2..5 {
+        t.align(c, Align::Right);
+    }
+    let i = Amps::new(20.0);
+    for kind in [VrTopologyKind::Dpmih, VrTopologyKind::Dsch] {
+        for f_mhz in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let f = Hertz::from_megahertz(f_mhz);
+            let eta = |m: Semiconductor| -> Option<f64> {
+                PhysicsDesign::new(kind, m, f, Volts::new(48.0), Volts::new(1.0), Amps::new(30.0))
+                    .ok()
+                    .and_then(|d| d.efficiency(i).ok())
+                    .map(|e| e.percent())
+            };
+            let si = eta(Semiconductor::Si);
+            let gan = eta(Semiconductor::GaN);
+            t.row(vec![
+                kind.to_string(),
+                format!("{f_mhz} MHz"),
+                si.map_or("infeasible (on-time)".into(), |v| format!("{v:.1}%")),
+                gan.map_or("infeasible (on-time)".into(), |v| format!("{v:.1}%")),
+                match (si, gan) {
+                    (Some(s), Some(g)) => format!("{:+.1} pt", g - s),
+                    _ => "-".into(),
+                },
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    let f_max = |kind, m| {
+        PhysicsDesign::max_feasible_frequency(kind, m, Volts::new(48.0), Volts::new(1.0)).value()
+            / 1e6
+    };
+    println!(
+        "on-time wall: DPMIH/Si {:.1} MHz, DPMIH/GaN {:.1} MHz, 3LHD/GaN {:.1} MHz\n\
+         (the Dickson front's 10x internal step-down is what §III highlights)\n",
+        f_max(VrTopologyKind::Dpmih, Semiconductor::Si),
+        f_max(VrTopologyKind::Dpmih, Semiconductor::GaN),
+        f_max(VrTopologyKind::ThreeLevelHybridDickson, Semiconductor::GaN),
+    );
+
+    // --- B2: bus-voltage sweep ---------------------------------------------
+    vpd_bench::banner("Ablation B2 — two-stage intermediate bus voltage");
+    let buses: Vec<Volts> = [3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0]
+        .iter()
+        .map(|&v| Volts::new(v))
+        .collect();
+    let mut b2 = Table::new(vec![
+        "Bus",
+        "Total loss (%)",
+        "Conversion (%)",
+        "Horizontal (%)",
+    ]);
+    for c in 1..4 {
+        b2.align(c, Align::Right);
+    }
+    for (bus, outcome) in sweep_bus_voltage(&buses, &spec, &calib, &opts) {
+        match outcome {
+            Ok(r) => {
+                let b = &r.breakdown;
+                b2.row(vec![
+                    format!("{:.0} V", bus.value()),
+                    format!("{:.1}", r.loss_percent()),
+                    format!("{:.1}", b.percent_of_pol_power(b.conversion_loss())),
+                    format!("{:.1}", b.percent_of_pol_power(b.horizontal_loss())),
+                ]);
+            }
+            Err(e) => {
+                b2.row(vec![
+                    format!("{:.0} V", bus.value()),
+                    "-".into(),
+                    "-".into(),
+                    format!("{e}"),
+                ]);
+            }
+        }
+    }
+    print!("{}", b2.render());
+
+    // --- B3: power-map sensitivity ------------------------------------------
+    vpd_bench::banner("Ablation B3 — A2 module-current spread vs. die power map");
+    let maps = [
+        ("uniform", PowerMap::Uniform),
+        ("paper hotspot", PowerMap::paper_hotspot()),
+        (
+            "off-center hotspot",
+            PowerMap::GaussianHotspot {
+                cx: 0.3,
+                cy: 0.7,
+                sigma: 0.09,
+                floor: 0.32,
+            },
+        ),
+        ("split 70/30", PowerMap::SplitHalves { left_share: 0.7 }),
+    ];
+    let mut b3 = Table::new(vec!["Power map", "Min (A)", "Max (A)", "Max/mean"]);
+    for c in 1..4 {
+        b3.align(c, Align::Right);
+    }
+    for (name, map) in maps {
+        let mut c = calib;
+        c.power_map = map;
+        let rep = solve_sharing(&spec, &c, VrPlacement::BelowDie, 48).unwrap();
+        b3.row(vec![
+            name.to_owned(),
+            format!("{:.1}", rep.min().value()),
+            format!("{:.1}", rep.max().value()),
+            format!("{:.1}x", rep.max().value() / rep.mean().value()),
+        ]);
+    }
+    print!("{}", b3.render());
+}

@@ -1,0 +1,129 @@
+//! Reproduces the §IV text claims:
+//!
+//! * **C1** — interconnect utilization: the reference architecture
+//!   needs a ~1,200 mm² die (0.8 A/mm²) under the 60%/85% BGA/C4 caps,
+//!   while vertical delivery uses 1% of BGAs, 2% of C4s, 10% of TSVs,
+//!   and <20% of Cu pads on a 500 mm² die.
+//! * **C2** — per-VR current spread: 16–27 A (A1) and 10–93 A (A2).
+//! * **C3** — horizontal loss reduced up to 19× (A3@12V) and 7×
+//!   (A3@6V).
+
+use vpd_converters::VrTopologyKind;
+use vpd_core::{analyze, solve_sharing, Architecture, VrPlacement};
+use vpd_package::{required_platform_area, InterconnectTech, ViaAllocation};
+use vpd_report::{Align, Table};
+use vpd_units::{Amps, Volts};
+
+fn main() {
+    let (spec, calib, opts) = vpd_bench::paper_env();
+
+    // --- C1: utilization -------------------------------------------------
+    vpd_bench::banner("Claim C1 — vertical-interconnect utilization (paper / measured)");
+    let i_hv = Amps::new(spec.pol_power().value() / spec.pcb_voltage().value());
+    let i_pol = spec.pol_current();
+
+    let mut t = Table::new(vec!["Level", "Current", "Paper", "Measured"]);
+    t.align(3, Align::Right);
+    let cases = [
+        (InterconnectTech::BGA, i_hv, "1%"),
+        (InterconnectTech::C4, i_hv, "2%"),
+        (InterconnectTech::TSV, i_pol, "10%"),
+        (InterconnectTech::CU_PAD, i_pol, "<20%"),
+    ];
+    for (tech, current, paper) in cases {
+        let alloc =
+            ViaAllocation::for_current(tech, current, tech.default_platform_area).unwrap();
+        t.row(vec![
+            tech.name.to_owned(),
+            format!("{:.1} A", current.value()),
+            paper.to_owned(),
+            format!("{:.1}%", alloc.utilization() * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let a0_die = required_platform_area(InterconnectTech::C4, i_pol).unwrap();
+    let a0_density = i_pol.value() / a0_die.as_square_millimeters();
+    println!(
+        "reference die size:       paper 1,200 mm² / measured {:.0} mm²\n\
+         reference power density:  paper 0.8 A/mm² / measured {a0_density:.2} A/mm²\n",
+        a0_die.as_square_millimeters()
+    );
+
+    // --- C2: per-VR current spread ---------------------------------------
+    vpd_bench::banner("Claim C2 — per-VR current load (paper / measured)");
+    let peri = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
+    let below = solve_sharing(&spec, &calib, VrPlacement::BelowDie, 48).unwrap();
+    let mut c2 = Table::new(vec!["Architecture", "Paper range", "Measured range", "Mean"]);
+    c2.row(vec![
+        "A1 (periphery)".into(),
+        "16 – 27 A".into(),
+        format!("{:.1} – {:.1} A", peri.min().value(), peri.max().value()),
+        format!("{:.1} A", peri.mean().value()),
+    ]);
+    c2.row(vec![
+        "A2 (below die)".into(),
+        "10 – 93 A".into(),
+        format!("{:.1} – {:.1} A", below.min().value(), below.max().value()),
+        format!("{:.1} A", below.mean().value()),
+    ]);
+    print!("{}", c2.render());
+
+    // --- C3: horizontal-loss reduction ------------------------------------
+    vpd_bench::banner("Claim C3 — horizontal loss reduction vs. A0 (paper / measured)");
+    let a0 = analyze(Architecture::Reference, VrTopologyKind::Dsch, &spec, &calib, &opts).unwrap();
+    let h0 = a0.breakdown.horizontal_loss();
+    let mut c3 = Table::new(vec!["Architecture", "Horizontal loss", "Paper", "Measured"]);
+    c3.align(1, Align::Right);
+    c3.row(vec![
+        "A0".into(),
+        format!("{:.0} W", h0.value()),
+        "baseline".into(),
+        "baseline".into(),
+    ]);
+    for (bus, paper) in [(12.0, "19x"), (6.0, "7x")] {
+        let a3 = analyze(
+            Architecture::TwoStage {
+                bus: Volts::new(bus),
+            },
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &opts,
+        )
+        .unwrap();
+        let h3 = a3.breakdown.horizontal_loss();
+        c3.row(vec![
+            format!("A3@{bus:.0}V"),
+            format!("{:.1} W", h3.value()),
+            paper.to_owned(),
+            format!("{:.1}x", h0.value() / h3.value()),
+        ]);
+    }
+    print!("{}", c3.render());
+
+    // --- C4: headline aggregates ------------------------------------------
+    vpd_bench::banner("Claim C4 — headline aggregates (paper / measured)");
+    println!(
+        "A0 total loss:   paper 'over 40%' / measured {:.1}%",
+        a0.loss_percent()
+    );
+    let a1 = analyze(
+        Architecture::InterposerPeriphery,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+        &opts,
+    )
+    .unwrap();
+    println!(
+        "A1/DSCH:         paper '~80% efficiency' / measured {}",
+        a1.breakdown.end_to_end_efficiency()
+    );
+    let b = &a1.breakdown;
+    println!(
+        "A1/DSCH split:   paper '<10% PPDN, >10% converters' / measured {:.1}% PPDN, {:.1}% converters",
+        b.percent_of_pol_power(b.ppdn_loss()),
+        b.percent_of_pol_power(b.conversion_loss())
+    );
+}

@@ -1,0 +1,72 @@
+//! Reproduces Figure 1: power and current-density demand in
+//! state-of-the-art HPC systems, with delivery efficiency as the point
+//! weight.
+
+use vpd_core::survey::{figure1_dataset, HpcKind};
+use vpd_report::{Align, Csv, Table};
+
+fn main() {
+    vpd_bench::banner("Figure 1 — HPC power & current-density demand survey");
+
+    for (kind, label) in [
+        (HpcKind::Chip, "Individual chips (left panel)"),
+        (HpcKind::Server, "Server systems (right panel)"),
+    ] {
+        println!("{label}:");
+        let mut t = Table::new(vec![
+            "Product",
+            "Year",
+            "Power",
+            "Silicon (mm²)",
+            "J (A/mm²)",
+            "Delivery eff.",
+        ]);
+        for c in 1..6 {
+            t.align(c, Align::Right);
+        }
+        for p in figure1_dataset().iter().filter(|p| p.kind == kind) {
+            t.row(vec![
+                p.name.to_owned(),
+                p.year.to_string(),
+                format!("{:.1}", p.power),
+                format!("{:.0}", p.silicon_area.as_square_millimeters()),
+                format!(
+                    "{:.2}",
+                    p.current_density().as_amps_per_square_millimeter()
+                ),
+                format!("{:.0}%", p.delivery_efficiency * 100.0),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+
+    // CSV series for replotting.
+    let mut csv = Csv::new(vec![
+        "name", "year", "kind", "power_w", "silicon_mm2", "density_a_mm2", "efficiency",
+    ]);
+    for p in figure1_dataset() {
+        csv.row(vec![
+            p.name.to_owned(),
+            p.year.to_string(),
+            format!("{:?}", p.kind),
+            format!("{:.0}", p.power.value()),
+            format!("{:.0}", p.silicon_area.as_square_millimeters()),
+            format!(
+                "{:.3}",
+                p.current_density().as_amps_per_square_millimeter()
+            ),
+            format!("{:.2}", p.delivery_efficiency),
+        ]);
+    }
+    println!("CSV:\n{}", csv.render());
+
+    let max_chip_w = figure1_dataset()
+        .iter()
+        .filter(|p| p.kind == HpcKind::Chip)
+        .map(|p| p.power.value())
+        .fold(0.0, f64::max);
+    println!(
+        "observation (paper §I): chips are rapidly approaching 1 kW (max here {max_chip_w:.0} W)\n\
+         and server systems ~20 kW; chip current density approaches 1 A/mm²."
+    );
+}

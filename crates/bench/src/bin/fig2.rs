@@ -1,0 +1,46 @@
+//! Reproduces Figure 2: current demand and PPDN-resistance trend —
+//! current demand has grown by orders of magnitude while the packaging
+//! feature improved only ~4×.
+
+use vpd_core::survey::figure2_trend;
+use vpd_report::{Align, Table};
+
+fn main() {
+    vpd_bench::banner("Figure 2 — current demand vs. packaging-feature trend");
+
+    let trend = figure2_trend();
+    let baseline = trend[0];
+    let mut t = Table::new(vec![
+        "Year",
+        "Power density (W/cm²)",
+        "Current demand, 200 mm² die (A)",
+        "Packaging pitch (µm)",
+        "Relative R_PPDN",
+        "Relative I²R loss",
+    ]);
+    for c in 1..6 {
+        t.align(c, Align::Right);
+    }
+    for p in &trend {
+        let i_rel = p.current_demand() / baseline.current_demand();
+        let r_rel = p.relative_ppdn_resistance(&baseline);
+        t.row(vec![
+            p.year.to_string(),
+            format!("{:.1}", p.power_density_w_per_cm2),
+            format!("{:.1}", p.current_demand().value()),
+            format!("{:.0}", p.packaging_pitch_um),
+            format!("{:.2}x", r_rel),
+            format!("{:.0}x", i_rel * i_rel * r_rel),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let last = trend.last().unwrap();
+    println!(
+        "observation (paper §I): current demand grew {:.0}x while the packaging\n\
+         feature shrank only {:.1}x — denser vertical interconnect cannot offset the\n\
+         I² growth; the PPDN loss trend grows by >10^4.",
+        last.current_demand() / baseline.current_demand(),
+        baseline.packaging_pitch_um / last.packaging_pitch_um,
+    );
+}

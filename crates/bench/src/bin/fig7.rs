@@ -1,0 +1,115 @@
+//! Reproduces Figure 7: PCB-to-POL power loss with the proposed power
+//! delivery architectures, as per cent of the 1 kW available at the
+//! PCB, decomposed into converter, horizontal, vertical, and
+//! grid-spreading components.
+
+use vpd_converters::VrTopologyKind;
+use vpd_core::{explore_matrix, Architecture};
+use vpd_report::{Align, Bar, BarChart, Table};
+
+fn main() {
+    let (spec, calib, opts) = vpd_bench::paper_env();
+    vpd_bench::banner("Figure 7 — PCB-to-POL power loss breakdown (% of 1 kW)");
+
+    let entries = explore_matrix(
+        &[VrTopologyKind::Dpmih, VrTopologyKind::Dsch, VrTopologyKind::ThreeLevelHybridDickson],
+        &spec,
+        &calib,
+        &opts,
+    );
+
+    let mut chart = BarChart::new("total loss (% of 1 kW), stacked by component", 50);
+    let mut t = Table::new(vec![
+        "Configuration",
+        "VR (%)",
+        "Horizontal (%)",
+        "Grid spread (%)",
+        "Vertical (%)",
+        "Total (%)",
+        "Efficiency",
+        "Notes",
+    ]);
+    for c in 1..7 {
+        t.align(c, Align::Right);
+    }
+
+    for e in &entries {
+        let label = if matches!(e.architecture, Architecture::Reference) {
+            "A0".to_owned()
+        } else {
+            format!("{} {}", e.architecture.name(), e.topology.name())
+        };
+        match &e.outcome {
+            Ok(report) => {
+                let b = &report.breakdown;
+                let pct = |w: vpd_units::Watts| b.percent_of_pol_power(w);
+                chart.bar(Bar::new(
+                    label.clone(),
+                    vec![
+                        ("VR".to_owned(), pct(b.conversion_loss())),
+                        ("horizontal".to_owned(), pct(b.horizontal_loss())),
+                        ("grid".to_owned(), pct(b.grid_loss())),
+                        ("vertical".to_owned(), pct(b.vertical_loss())),
+                    ],
+                ));
+                t.row(vec![
+                    label,
+                    format!("{:.1}", pct(b.conversion_loss())),
+                    format!("{:.1}", pct(b.horizontal_loss())),
+                    format!("{:.1}", pct(b.grid_loss())),
+                    format!("{:.2}", pct(b.vertical_loss())),
+                    format!("{:.1}", report.loss_percent()),
+                    format!("{}", b.end_to_end_efficiency()),
+                    if report.overloaded {
+                        "extrapolated beyond module rating".to_owned()
+                    } else {
+                        String::new()
+                    },
+                ]);
+            }
+            Err(err) => {
+                t.row(vec![
+                    label,
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("excluded (as in paper): {err}"),
+                ]);
+            }
+        }
+    }
+
+    print!("{}", chart.render());
+    println!();
+    print!("{}", t.render());
+
+    println!(
+        "\npaper targets: A0 over 40% loss; proposed architectures ≈80% efficiency;\n\
+         every proposed architecture <10% PPDN loss and >10% converter loss; 3LHD\n\
+         excluded because its efficiency at the required ~20 A per VR is unpublished."
+    );
+
+    // Detailed per-segment table for one representative configuration.
+    vpd_bench::banner("Segment detail — A1 with DSCH");
+    if let Some(report) = entries.iter().find_map(|e| {
+        (matches!(e.architecture, Architecture::InterposerPeriphery)
+            && e.topology == VrTopologyKind::Dsch)
+            .then(|| e.outcome.as_ref().ok())
+            .flatten()
+    }) {
+        let mut d = Table::new(vec!["Segment", "Power (W)", "% of 1 kW"]);
+        d.align(1, Align::Right);
+        d.align(2, Align::Right);
+        for s in report.breakdown.segments() {
+            d.row(vec![
+                s.name.clone(),
+                format!("{:.2}", s.power.value()),
+                format!("{:.2}", report.breakdown.percent_of_pol_power(s.power)),
+            ]);
+        }
+        print!("{}", d.render());
+    }
+}

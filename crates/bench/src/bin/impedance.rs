@@ -1,0 +1,103 @@
+//! Extension experiment E1: PDN output-impedance profiles per
+//! architecture — the AC argument for vertical power delivery.
+
+use vpd_circuit::log_sweep;
+use vpd_core::{simulate_droop, target_impedance, Architecture, LoadStep, PdnModel, SystemSpec};
+use vpd_report::{Align, Table};
+use vpd_units::{Hertz, Seconds};
+
+fn main() {
+    let spec = SystemSpec::paper_default();
+    vpd_bench::banner("Extension E1 — PDN impedance at the die (1 kHz – 1 GHz)");
+
+    // 5% ripple budget against a 25% load step of 1 kA.
+    let zt = target_impedance(&spec, 0.05, 0.25);
+    println!("target impedance Z_t = 50 mV / 250 A = {zt}\n");
+
+    let freqs = log_sweep(Hertz::from_kilohertz(1.0), Hertz::new(1e9), 13);
+    let archs = [
+        Architecture::Reference,
+        Architecture::InterposerPeriphery,
+        Architecture::InterposerEmbedded,
+    ];
+
+    let mut t = Table::new(vec![
+        "f",
+        "A0 |Z| (µΩ)",
+        "A1 |Z| (µΩ)",
+        "A2 |Z| (µΩ)",
+    ]);
+    for c in 1..4 {
+        t.align(c, Align::Right);
+    }
+    let profiles: Vec<Vec<f64>> = archs
+        .iter()
+        .map(|&a| {
+            PdnModel::for_architecture(a)
+                .impedance_profile(&freqs)
+                .unwrap()
+                .iter()
+                .map(|p| p.magnitude() * 1e6)
+                .collect()
+        })
+        .collect();
+    for (k, f) in freqs.iter().enumerate() {
+        t.row(vec![
+            format!("{f:.0}"),
+            format!("{:.0}", profiles[0][k]),
+            format!("{:.0}", profiles[1][k]),
+            format!("{:.0}", profiles[2][k]),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let mut s = Table::new(vec!["Architecture", "Peak |Z|", "vs. Z_t", "Verdict"]);
+    s.align(1, Align::Right);
+    for &a in &archs {
+        let peak = PdnModel::for_architecture(a).peak_impedance().unwrap();
+        let ratio = peak.value() / zt.value();
+        s.row(vec![
+            a.name(),
+            format!("{peak}"),
+            format!("{ratio:.1}x"),
+            if ratio <= 1.0 {
+                "meets target".into()
+            } else {
+                "violates target".into()
+            },
+        ]);
+    }
+    print!("{}", s.render());
+
+    vpd_bench::banner("Time domain — 250 A → 1 kA load step (transient solve)");
+    let mut d = Table::new(vec!["Architecture", "Droop", "ΔI·|Z|max bound", "5% budget"]);
+    d.align(1, Align::Right);
+    d.align(2, Align::Right);
+    let step = LoadStep::paper_default(&spec);
+    for &a in &archs {
+        let r = simulate_droop(
+            &PdnModel::for_architecture(a),
+            &step,
+            Seconds::from_microseconds(60.0),
+            Seconds::from_nanoseconds(10.0),
+        )
+        .unwrap();
+        d.row(vec![
+            a.name(),
+            format!("{}", r.droop),
+            format!("{}", r.impedance_bound),
+            if r.droop.value() <= 0.05 {
+                "ok".into()
+            } else {
+                "VIOLATED".into()
+            },
+        ]);
+    }
+    print!("{}", d.render());
+
+    println!(
+        "\nthe vertical architectures shrink the regulator-to-die loop from ~15 nH of\n\
+         board routing to tens of pH of vertical attach, flattening the profile by\n\
+         two orders of magnitude — the AC counterpart of the paper's DC argument."
+    );
+}

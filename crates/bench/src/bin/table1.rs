@@ -1,0 +1,63 @@
+//! Reproduces Table I: typical characteristics of vertical
+//! interconnect, plus the derived per-via quantities the paper's
+//! analysis rests on.
+
+use vpd_package::InterconnectTech;
+use vpd_report::{Align, Table};
+
+fn main() {
+    vpd_bench::banner("Table I — typical characteristics of vertical interconnect");
+
+    let mut t = Table::new(vec![
+        "Packaging level",
+        "Type",
+        "Material",
+        "Diameter (µm)",
+        "Cross-area (µm²)",
+        "Height (µm)",
+        "Pitch (µm)",
+        "Platform (mm²)",
+    ]);
+    for c in 3..8 {
+        t.align(c, Align::Right);
+    }
+    for tech in InterconnectTech::table_i() {
+        t.row(vec![
+            tech.packaging_level.to_owned(),
+            tech.name.to_owned(),
+            tech.material.to_string(),
+            tech.diameter
+                .map_or("-".to_owned(), |d| format!("{:.0}", d.as_micrometers())),
+            format!("{:.0}", tech.cross_section.as_square_micrometers()),
+            format!("{:.0}", tech.height.as_micrometers()),
+            format!("{:.0}", tech.pitch.as_micrometers()),
+            format!(
+                "{:.0}",
+                tech.default_platform_area.as_square_millimeters()
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+
+    vpd_bench::banner("Derived per-via quantities (model outputs)");
+    let mut d = Table::new(vec![
+        "Type",
+        "R_via = ρ·h/A (mΩ)",
+        "Array sites (platform/pitch²)",
+        "EM-limited I_max per via (mA)",
+        "Power-site cap",
+    ]);
+    for c in 1..5 {
+        d.align(c, Align::Right);
+    }
+    for tech in InterconnectTech::table_i() {
+        d.row(vec![
+            tech.name.to_owned(),
+            format!("{:.3}", tech.via_resistance().as_milliohms()),
+            format!("{}", tech.default_sites()),
+            format!("{:.2}", tech.max_current_per_via().value() * 1e3),
+            format!("{:.0}%", tech.power_site_cap * 100.0),
+        ]);
+    }
+    print!("{}", d.render());
+}

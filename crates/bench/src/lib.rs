@@ -1,0 +1,61 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Each paper table/figure has a binary in `src/bin/` that regenerates
+//! it:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table I — vertical-interconnect characteristics |
+//! | `table2` | Table II — converter characteristics |
+//! | `fig1` | Figure 1 — HPC power/current-density demand survey |
+//! | `fig2` | Figure 2 — current demand vs. packaging-feature trend |
+//! | `fig3` | Figure 3 — savings vs. conversion point |
+//! | `fig7` | Figure 7 — PCB-to-POL loss breakdown |
+//! | `claims` | §IV text claims C1–C3 (utilization, sharing, 19×/7×) |
+//! | `ablation` | B1 GaN-vs-Si / frequency, B2 bus-voltage sweep |
+//! | `impedance` | extension E1 — PDN impedance vs. target impedance |
+//! | `thermal` | extensions E2/E3 — electro-thermal co-analysis, placement annealing |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vpd_core::{AnalysisOptions, Calibration, SystemSpec};
+
+/// The paper's evaluation environment: spec, calibration, and default
+/// analysis options.
+#[must_use]
+pub fn paper_env() -> (SystemSpec, Calibration, AnalysisOptions) {
+    (
+        SystemSpec::paper_default(),
+        Calibration::paper_default(),
+        AnalysisOptions::default(),
+    )
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Formats a paper-vs-measured comparison cell.
+#[must_use]
+pub fn versus(paper: &str, measured: &str) -> String {
+    format!("{paper} / {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_is_paper_default() {
+        let (spec, _, opts) = paper_env();
+        assert_eq!(spec, SystemSpec::paper_default());
+        assert!(opts.allow_overload);
+    }
+
+    #[test]
+    fn versus_formats() {
+        assert_eq!(versus("42%", "43.3%"), "42% / 43.3%");
+    }
+}

@@ -1,0 +1,375 @@
+//! Small-signal AC (phasor) analysis.
+//!
+//! Builds the complex MNA system at each frequency: resistors stamp
+//! `1/R`, capacitors `jωC`, inductors `1/(jωL)`, switches their `t = 0`
+//! resistance. DC voltage sources are AC shorts (their constraint rows
+//! stay with a zero phasor); DC current sources are AC opens. The two
+//! entry points are the PDN designer's staples: driving-point
+//! **impedance** at a node and a **transfer function** from a chosen
+//! source.
+
+use crate::netlist::{ElementKind, SwitchState};
+use crate::{CircuitError, ElementId, Netlist, NodeId};
+use vpd_numeric::{Complex, ComplexLu, ComplexMatrix};
+use vpd_units::Hertz;
+
+/// One point of an AC sweep.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AcPoint {
+    /// Sweep frequency.
+    pub frequency: Hertz,
+    /// Complex response (impedance in ohms, or dimensionless gain).
+    pub response: Complex,
+}
+
+impl AcPoint {
+    /// Magnitude of the response.
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        self.response.abs()
+    }
+
+    /// Phase in degrees.
+    #[must_use]
+    pub fn phase_degrees(&self) -> f64 {
+        self.response.arg().to_degrees()
+    }
+}
+
+/// Small-signal analysis over a netlist.
+#[derive(Clone, Debug)]
+pub struct AcAnalysis<'a> {
+    net: &'a Netlist,
+}
+
+impl<'a> AcAnalysis<'a> {
+    /// Wraps a netlist for AC analysis.
+    #[must_use]
+    pub fn new(net: &'a Netlist) -> Self {
+        Self { net }
+    }
+
+    /// Driving-point impedance at `node` (vs. ground) across `freqs`:
+    /// a 1 A phasor is injected and the node voltage is the impedance.
+    ///
+    /// ```
+    /// use vpd_circuit::{AcAnalysis, Netlist};
+    /// use vpd_units::{Farads, Hertz, Ohms, Volts};
+    ///
+    /// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+    /// // 1 µF decap: |Z| = 1/(ωC) ≈ 159 Ω at 1 kHz.
+    /// let mut net = Netlist::new();
+    /// let n = net.node("pdn");
+    /// net.capacitor(n, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)?;
+    /// net.resistor(n, net.ground(), Ohms::new(1e6))?; // dc path
+    /// let sweep = AcAnalysis::new(&net)
+    ///     .impedance(n, &[Hertz::from_kilohertz(1.0)])?;
+    /// assert!((sweep[0].magnitude() - 159.15).abs() < 0.5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] for a foreign node or ground.
+    /// * [`CircuitError::InvalidValue`] for a non-positive frequency.
+    /// * [`CircuitError::Numeric`] when the complex solve fails.
+    pub fn impedance(&self, node: NodeId, freqs: &[Hertz]) -> Result<Vec<AcPoint>, CircuitError> {
+        if node.index() == 0 || node.index() >= self.net.node_count() {
+            return Err(CircuitError::UnknownNode { index: node.index() });
+        }
+        freqs
+            .iter()
+            .map(|&f| {
+                let x = self.solve(f, Stimulus::CurrentInto(node))?;
+                Ok(AcPoint {
+                    frequency: f,
+                    response: x[node.index() - 1],
+                })
+            })
+            .collect()
+    }
+
+    /// Voltage transfer function from a (DC-defined) voltage source to
+    /// `output`: the source is driven with a unit phasor, every other
+    /// source is shorted.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] when `source` is not a voltage
+    ///   source of this netlist.
+    /// * As for [`AcAnalysis::impedance`] otherwise.
+    pub fn transfer(
+        &self,
+        source: ElementId,
+        output: NodeId,
+        freqs: &[Hertz],
+    ) -> Result<Vec<AcPoint>, CircuitError> {
+        let e = self.net.element(source)?;
+        if !matches!(e.kind, ElementKind::VoltageSource { .. }) {
+            return Err(CircuitError::UnknownElement {
+                index: source.index(),
+            });
+        }
+        if output.index() >= self.net.node_count() {
+            return Err(CircuitError::UnknownNode {
+                index: output.index(),
+            });
+        }
+        freqs
+            .iter()
+            .map(|&f| {
+                let x = self.solve(f, Stimulus::UnitVoltage(source))?;
+                let v = if output.index() == 0 {
+                    Complex::ZERO
+                } else {
+                    x[output.index() - 1]
+                };
+                Ok(AcPoint {
+                    frequency: f,
+                    response: v,
+                })
+            })
+            .collect()
+    }
+
+    /// Assembles and solves the complex MNA system at one frequency.
+    /// Returns the unknown vector: node voltages (ground dropped) then
+    /// voltage-source currents.
+    fn solve(&self, f: Hertz, stimulus: Stimulus) -> Result<Vec<Complex>, CircuitError> {
+        if !(f.value() > 0.0 && f.value().is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: "ac frequency",
+                value: f.value(),
+            });
+        }
+        let omega = 2.0 * std::f64::consts::PI * f.value();
+        let net = self.net;
+        let nv = net.node_count() - 1;
+        let source_ids: Vec<usize> = net
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, ElementKind::VoltageSource { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let dim = nv + source_ids.len();
+        let mut a = ComplexMatrix::zeros(dim, dim);
+        let mut rhs = vec![Complex::ZERO; dim];
+        let idx = |n: NodeId| -> Option<usize> {
+            let i = n.index();
+            (i > 0).then(|| i - 1)
+        };
+        let stamp_y = |a: &mut ComplexMatrix, na: Option<usize>, nb: Option<usize>, y: Complex| {
+            if let Some(i) = na {
+                a.add_at(i, i, y);
+            }
+            if let Some(j) = nb {
+                a.add_at(j, j, y);
+            }
+            if let (Some(i), Some(j)) = (na, nb) {
+                a.add_at(i, j, -y);
+                a.add_at(j, i, -y);
+            }
+        };
+
+        let mut src_k = 0;
+        for (i, e) in net.elements().iter().enumerate() {
+            match &e.kind {
+                ElementKind::Resistor { r } => {
+                    stamp_y(&mut a, idx(e.a), idx(e.b), Complex::from_real(1.0 / r.value()));
+                }
+                ElementKind::Switch {
+                    r_on,
+                    r_off,
+                    schedule,
+                    initial,
+                } => {
+                    let state = schedule.map_or(*initial, |s| s.state_at(0.0));
+                    let r = match state {
+                        SwitchState::On => r_on.value(),
+                        SwitchState::Off => r_off.value(),
+                    };
+                    stamp_y(&mut a, idx(e.a), idx(e.b), Complex::from_real(1.0 / r));
+                }
+                ElementKind::Capacitor { c, .. } => {
+                    stamp_y(&mut a, idx(e.a), idx(e.b), Complex::new(0.0, omega * c.value()));
+                }
+                ElementKind::Inductor { l, .. } => {
+                    stamp_y(
+                        &mut a,
+                        idx(e.a),
+                        idx(e.b),
+                        Complex::new(0.0, -1.0 / (omega * l.value())),
+                    );
+                }
+                ElementKind::VoltageSource { .. } => {
+                    let row = nv + src_k;
+                    if let Some(ia) = idx(e.a) {
+                        a.add_at(ia, row, Complex::ONE);
+                        a.add_at(row, ia, Complex::ONE);
+                    }
+                    if let Some(ib) = idx(e.b) {
+                        a.add_at(ib, row, -Complex::ONE);
+                        a.add_at(row, ib, -Complex::ONE);
+                    }
+                    // AC value: unit for the driven source, short (0)
+                    // otherwise.
+                    rhs[row] = match stimulus {
+                        Stimulus::UnitVoltage(id) if id.index() == i => Complex::ONE,
+                        _ => Complex::ZERO,
+                    };
+                    src_k += 1;
+                }
+                ElementKind::CurrentSource { .. } | ElementKind::StepCurrentSource { .. } => {
+                    // DC bias sources are AC opens.
+                }
+            }
+        }
+
+        if let Stimulus::CurrentInto(node) = stimulus {
+            if let Some(i) = idx(node) {
+                rhs[i] += Complex::ONE;
+            }
+        }
+
+        let lu = ComplexLu::new(&a).map_err(CircuitError::from)?;
+        lu.solve(&rhs).map_err(CircuitError::from)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Stimulus {
+    /// 1 A phasor injected into the node.
+    CurrentInto(NodeId),
+    /// Unit phasor on the given voltage source.
+    UnitVoltage(ElementId),
+}
+
+/// Logarithmically spaced frequency grid (decade sweep).
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the bounds are not positive and ordered.
+#[must_use]
+pub fn log_sweep(start: Hertz, stop: Hertz, points: usize) -> Vec<Hertz> {
+    assert!(points >= 2, "need at least two sweep points");
+    assert!(
+        start.value() > 0.0 && stop.value() > start.value(),
+        "need 0 < start < stop"
+    );
+    let l0 = start.value().log10();
+    let l1 = stop.value().log10();
+    (0..points)
+        .map(|k| {
+            let t = k as f64 / (points - 1) as f64;
+            Hertz::new(10f64.powf(l0 + t * (l1 - l0)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpd_units::{Amps, Farads, Henries, Ohms, Volts};
+
+    #[test]
+    fn resistor_impedance_is_flat() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.resistor(n, net.ground(), Ohms::new(42.0)).unwrap();
+        let sweep = AcAnalysis::new(&net)
+            .impedance(n, &log_sweep(Hertz::new(1.0), Hertz::from_megahertz(1.0), 5))
+            .unwrap();
+        for p in sweep {
+            assert!((p.magnitude() - 42.0).abs() < 1e-9);
+            assert!(p.phase_degrees().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capacitor_impedance_falls_at_20db_per_decade() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.capacitor(n, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
+            .unwrap();
+        net.resistor(n, net.ground(), Ohms::new(1e9)).unwrap();
+        let ana = AcAnalysis::new(&net);
+        let z1 = ana.impedance(n, &[Hertz::from_kilohertz(1.0)]).unwrap()[0].magnitude();
+        let z10 = ana.impedance(n, &[Hertz::from_kilohertz(10.0)]).unwrap()[0].magnitude();
+        assert!((z1 / z10 - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn series_rlc_resonates() {
+        // L-C in series to ground through R: |Z| at the node dips to R at
+        // f0 = 1/(2π√LC).
+        let mut net = Netlist::new();
+        let n = net.node("pdn");
+        let mid = net.node("mid");
+        net.resistor(n, mid, Ohms::from_milliohms(10.0)).unwrap();
+        net.inductor(mid, net.ground(), Henries::from_nanohenries(100.0), Amps::ZERO)
+            .unwrap();
+        net.capacitor(n, net.ground(), Farads::from_microfarads(100.0), Volts::ZERO)
+            .unwrap();
+        net.resistor(n, net.ground(), Ohms::new(1e6)).unwrap();
+        let ana = AcAnalysis::new(&net);
+        // Antiresonance: parallel L (through R) and C peak between the
+        // two corners; check the L-branch dominates low f and C high f.
+        let lo = ana.impedance(n, &[Hertz::new(100.0)]).unwrap()[0].magnitude();
+        let hi = ana.impedance(n, &[Hertz::from_megahertz(100.0)]).unwrap()[0].magnitude();
+        let peak_band = ana
+            .impedance(n, &log_sweep(Hertz::from_kilohertz(10.0), Hertz::from_megahertz(10.0), 40))
+            .unwrap();
+        let peak = peak_band.iter().map(AcPoint::magnitude).fold(0.0, f64::max);
+        assert!(peak > lo && peak > hi, "antiresonant peak {peak}");
+    }
+
+    #[test]
+    fn rc_lowpass_transfer() {
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let out = net.node("out");
+        let src = net
+            .voltage_source(vin, net.ground(), Volts::new(1.0))
+            .unwrap();
+        net.resistor(vin, out, Ohms::new(1000.0)).unwrap();
+        net.capacitor(out, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
+            .unwrap();
+        let ana = AcAnalysis::new(&net);
+        // Corner at 1/(2πRC) ≈ 159 Hz: gain 1/√2, phase −45°.
+        let corner = Hertz::new(1.0 / (2.0 * std::f64::consts::PI * 1e-3));
+        let p = ana.transfer(src, out, &[corner]).unwrap()[0];
+        assert!((p.magnitude() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((p.phase_degrees() + 45.0).abs() < 1e-6);
+        // Well below the corner, gain ≈ 1.
+        let dc_ish = ana.transfer(src, out, &[Hertz::new(0.1)]).unwrap()[0];
+        assert!((dc_ish.magnitude() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validation_paths() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.resistor(n, net.ground(), Ohms::new(1.0)).unwrap();
+        let ana = AcAnalysis::new(&net);
+        assert!(ana.impedance(net.ground(), &[Hertz::new(1.0)]).is_err());
+        assert!(ana.impedance(n, &[Hertz::new(0.0)]).is_err());
+        // `transfer` on a non-voltage-source element.
+        assert!(ana.transfer(ElementId(0), n, &[Hertz::new(1.0)]).is_err());
+    }
+
+    #[test]
+    fn log_sweep_shape() {
+        let grid = log_sweep(Hertz::new(1.0), Hertz::new(1000.0), 4);
+        assert_eq!(grid.len(), 4);
+        assert!((grid[1].value() - 10.0).abs() < 1e-9);
+        assert!((grid[2].value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn log_sweep_rejects_single_point() {
+        let _ = log_sweep(Hertz::new(1.0), Hertz::new(10.0), 1);
+    }
+}

@@ -1,0 +1,858 @@
+//! DC operating-point analysis via modified nodal analysis (MNA).
+//!
+//! Two solve paths are provided behind one API:
+//!
+//! * **Dense LU** — general MNA with voltage-source current unknowns;
+//!   right for converter-sized circuits and anything with floating
+//!   sources.
+//! * **Sparse CG** — when every voltage source (and inductor, which is a
+//!   0 V source in DC) has a grounded terminal, the fixed nodes are
+//!   eliminated and the remaining conductance Laplacian is symmetric
+//!   positive definite; large power-grid meshes solve in milliseconds.
+//!
+//! [`DcStrategy::Auto`] picks between them by problem size and
+//! reducibility.
+
+use crate::netlist::{ElementKind, SwitchState};
+use crate::{CircuitError, ElementId, Netlist, NodeId};
+use vpd_numeric::{conjugate_gradient, CgSettings, CooMatrix, DenseMatrix, LuFactor};
+use vpd_units::{Amps, Ohms, Volts, Watts};
+
+/// Above this many unknowns, `Auto` prefers the sparse path when the
+/// netlist is reducible.
+const AUTO_SPARSE_THRESHOLD: usize = 400;
+
+/// Solve-path selection for [`DcSolver`].
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[non_exhaustive]
+pub enum DcStrategy {
+    /// Choose automatically by size and structure.
+    #[default]
+    Auto,
+    /// Force the dense LU MNA path.
+    DenseLu,
+    /// Force the sparse eliminated-Laplacian CG path (errors if the
+    /// netlist has floating voltage sources or inductors).
+    SparseCg(CgSettings),
+}
+
+/// DC operating-point solver.
+///
+/// ```
+/// use vpd_circuit::{DcSolver, Netlist};
+/// use vpd_units::{Amps, Ohms};
+///
+/// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+/// // 1 A pushed into a 2 Ω grounded resistor → 2 V.
+/// let mut net = Netlist::new();
+/// let n = net.node("n");
+/// net.current_source(net.ground(), n, Amps::new(1.0))?;
+/// net.resistor(n, net.ground(), Ohms::new(2.0))?;
+/// let sol = DcSolver::new().solve(&net)?;
+/// assert!((sol.voltage(n).value() - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct DcSolver {
+    strategy: DcStrategy,
+}
+
+impl DcSolver {
+    /// A solver with the [`DcStrategy::Auto`] path selection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A solver with an explicit strategy.
+    #[must_use]
+    pub fn with_strategy(strategy: DcStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// Solves the DC operating point.
+    ///
+    /// Capacitors are open circuits, inductors are 0 V sources (exact
+    /// shorts), and switches take their `t = 0` state.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::EmptyNetlist`] — nothing to solve.
+    /// * [`CircuitError::FloatingNode`] — some node has no resistive or
+    ///   source path to ground.
+    /// * [`CircuitError::Numeric`] — the factorization or iteration
+    ///   failed (e.g. a loop of ideal voltage sources).
+    pub fn solve(&self, net: &Netlist) -> Result<DcSolution, CircuitError> {
+        if net.element_count() == 0 {
+            return Err(CircuitError::EmptyNetlist);
+        }
+        check_connectivity(net)?;
+        let branches = lower(net);
+        let reducible = branches.iter().all(|b| match b.kind {
+            BranchKind::Source { .. } => b.a == net.ground() || b.b == net.ground(),
+            _ => true,
+        }) && fixed_nodes_unique(net, &branches);
+
+        let unknowns = net.node_count() - 1
+            + branches
+                .iter()
+                .filter(|b| matches!(b.kind, BranchKind::Source { .. }))
+                .count();
+
+        let use_sparse = match self.strategy {
+            DcStrategy::Auto => reducible && unknowns > AUTO_SPARSE_THRESHOLD,
+            DcStrategy::DenseLu => false,
+            DcStrategy::SparseCg(_) => {
+                if !reducible {
+                    return Err(CircuitError::FloatingNode {
+                        label: "sparse path requires grounded voltage sources".to_owned(),
+                    });
+                }
+                true
+            }
+        };
+
+        let node_voltages = if use_sparse {
+            let settings = match self.strategy {
+                DcStrategy::SparseCg(s) => s,
+                _ => CgSettings::default(),
+            };
+            solve_sparse(net, &branches, &settings)?
+        } else {
+            solve_dense(net, &branches)?
+        };
+
+        let element_currents = recover_currents(net, &branches, &node_voltages);
+        Ok(DcSolution {
+            node_voltages,
+            element_currents,
+        })
+    }
+}
+
+/// Result of a DC solve: node voltages and per-element branch currents.
+///
+/// Branch current convention: positive current flows from terminal `a`
+/// to terminal `b` *through the element*.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DcSolution {
+    node_voltages: Vec<f64>,
+    element_currents: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage at a node (ground is exactly 0 V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` belongs to a different netlist (index out of
+    /// range).
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Volts {
+        Volts::new(self.node_voltages[node.index()])
+    }
+
+    /// Branch current through an element, flowing `a → b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` belongs to a different netlist.
+    #[must_use]
+    pub fn current(&self, element: ElementId) -> Amps {
+        Amps::new(self.element_currents[element.index()])
+    }
+
+    /// Power dissipated in an element: `(V(a) − V(b)) · I_{a→b}`.
+    ///
+    /// Positive for passive elements; negative for sources delivering
+    /// power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownElement`] for a foreign id.
+    pub fn dissipated_power(
+        &self,
+        net: &Netlist,
+        element: ElementId,
+    ) -> Result<Watts, CircuitError> {
+        let e = net.element(element)?;
+        let v = self.node_voltages[e.a.index()] - self.node_voltages[e.b.index()];
+        Ok(Watts::new(v * self.element_currents[element.index()]))
+    }
+
+    /// Total power dissipated in resistive elements (resistors and
+    /// switches).
+    #[must_use]
+    pub fn resistive_loss(&self, net: &Netlist) -> Watts {
+        net.elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(
+                    e.kind,
+                    ElementKind::Resistor { .. } | ElementKind::Switch { .. }
+                )
+            })
+            .map(|(i, e)| {
+                let v = self.node_voltages[e.a.index()] - self.node_voltages[e.b.index()];
+                Watts::new(v * self.element_currents[i])
+            })
+            .sum()
+    }
+
+    /// KCL residual at a node: net current leaving the node through all
+    /// elements. Should be ~0 everywhere in a correct solution.
+    #[must_use]
+    pub fn kcl_residual(&self, net: &Netlist, node: NodeId) -> Amps {
+        let mut sum = 0.0;
+        for (i, e) in net.elements().iter().enumerate() {
+            if e.a == node {
+                sum += self.element_currents[i];
+            }
+            if e.b == node {
+                sum -= self.element_currents[i];
+            }
+        }
+        Amps::new(sum)
+    }
+
+    /// The worst KCL residual over all nodes — the solver's self-check.
+    #[must_use]
+    pub fn max_kcl_residual(&self, net: &Netlist) -> Amps {
+        (0..self.node_voltages.len())
+            .map(|n| self.kcl_residual(net, NodeId(n)).abs())
+            .fold(Amps::ZERO, Amps::max)
+    }
+
+    /// All node voltages, indexed by [`NodeId::index`].
+    #[must_use]
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.node_voltages
+    }
+}
+
+/// A lowered branch: every element reduced to its DC equivalent.
+struct Branch {
+    a: NodeId,
+    b: NodeId,
+    kind: BranchKind,
+    element: usize,
+}
+
+enum BranchKind {
+    /// Conductance (resistor, switch).
+    Conductance(f64),
+    /// Current injection `a → b` through the element.
+    Current(f64),
+    /// Voltage constraint `V(a) − V(b) = v` (voltage source, inductor).
+    Source { v: f64, source_index: usize },
+    /// Open circuit (capacitor): carries no DC current.
+    Open,
+}
+
+fn dc_switch_resistance(
+    r_on: Ohms,
+    r_off: Ohms,
+    schedule: Option<crate::PwmSchedule>,
+    initial: SwitchState,
+) -> f64 {
+    let state = schedule.map_or(initial, |s| s.state_at(0.0));
+    match state {
+        SwitchState::On => r_on.value(),
+        SwitchState::Off => r_off.value(),
+    }
+}
+
+fn lower(net: &Netlist) -> Vec<Branch> {
+    let mut source_index = 0;
+    net.elements()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let kind = match &e.kind {
+                ElementKind::Resistor { r } => BranchKind::Conductance(1.0 / r.value()),
+                ElementKind::Switch {
+                    r_on,
+                    r_off,
+                    schedule,
+                    initial,
+                } => BranchKind::Conductance(
+                    1.0 / dc_switch_resistance(*r_on, *r_off, *schedule, *initial),
+                ),
+                ElementKind::CurrentSource { i } => BranchKind::Current(i.value()),
+                // DC operating point precedes the step.
+                ElementKind::StepCurrentSource { before, .. } => {
+                    BranchKind::Current(before.value())
+                }
+                ElementKind::VoltageSource { v } => {
+                    let k = BranchKind::Source {
+                        v: v.value(),
+                        source_index,
+                    };
+                    source_index += 1;
+                    k
+                }
+                ElementKind::Inductor { .. } => {
+                    let k = BranchKind::Source {
+                        v: 0.0,
+                        source_index,
+                    };
+                    source_index += 1;
+                    k
+                }
+                ElementKind::Capacitor { .. } => BranchKind::Open,
+            };
+            Branch {
+                a: e.a,
+                b: e.b,
+                kind,
+                element: i,
+            }
+        })
+        .collect()
+}
+
+/// Union-find connectivity check: every node must reach ground through
+/// conductive or source branches.
+fn check_connectivity(net: &Netlist) -> Result<(), CircuitError> {
+    let n = net.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in net.elements() {
+        let conductive = matches!(
+            e.kind,
+            ElementKind::Resistor { .. }
+                | ElementKind::Switch { .. }
+                | ElementKind::VoltageSource { .. }
+                | ElementKind::Inductor { .. }
+        );
+        if conductive {
+            let ra = find(&mut parent, e.a.index());
+            let rb = find(&mut parent, e.b.index());
+            parent[ra] = rb;
+        }
+    }
+    let ground_root = find(&mut parent, 0);
+    for idx in 1..n {
+        if find(&mut parent, idx) != ground_root {
+            return Err(CircuitError::FloatingNode {
+                label: net
+                    .node_label(NodeId(idx))
+                    .unwrap_or("<unknown>")
+                    .to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `true` when no node is constrained by two different grounded sources
+/// (that would make the fast elimination ambiguous; dense MNA reports it
+/// as singular instead).
+fn fixed_nodes_unique(net: &Netlist, branches: &[Branch]) -> bool {
+    let mut fixed = vec![false; net.node_count()];
+    for b in branches {
+        if let BranchKind::Source { .. } = b.kind {
+            let node = if b.a == net.ground() { b.b } else { b.a };
+            if node == net.ground() || fixed[node.index()] {
+                return false;
+            }
+            fixed[node.index()] = true;
+        }
+    }
+    true
+}
+
+fn solve_dense(net: &Netlist, branches: &[Branch]) -> Result<Vec<f64>, CircuitError> {
+    let nv = net.node_count() - 1; // ground eliminated
+    let ns = branches
+        .iter()
+        .filter(|b| matches!(b.kind, BranchKind::Source { .. }))
+        .count();
+    let dim = nv + ns;
+    let mut a = DenseMatrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+
+    // Node n (>0) maps to row/col n-1.
+    let idx = |n: NodeId| -> Option<usize> {
+        let i = n.index();
+        (i > 0).then(|| i - 1)
+    };
+
+    for b in branches {
+        match b.kind {
+            BranchKind::Conductance(g) => {
+                if let Some(i) = idx(b.a) {
+                    a.add_at(i, i, g)?;
+                }
+                if let Some(j) = idx(b.b) {
+                    a.add_at(j, j, g)?;
+                }
+                if let (Some(i), Some(j)) = (idx(b.a), idx(b.b)) {
+                    a.add_at(i, j, -g)?;
+                    a.add_at(j, i, -g)?;
+                }
+            }
+            BranchKind::Current(i_src) => {
+                if let Some(i) = idx(b.a) {
+                    rhs[i] -= i_src;
+                }
+                if let Some(j) = idx(b.b) {
+                    rhs[j] += i_src;
+                }
+            }
+            BranchKind::Source { v, source_index } => {
+                let row = nv + source_index;
+                if let Some(i) = idx(b.a) {
+                    a.add_at(i, row, 1.0)?;
+                    a.add_at(row, i, 1.0)?;
+                }
+                if let Some(j) = idx(b.b) {
+                    a.add_at(j, row, -1.0)?;
+                    a.add_at(row, j, -1.0)?;
+                }
+                rhs[row] = v;
+            }
+            BranchKind::Open => {}
+        }
+    }
+
+    let lu = LuFactor::new(&a).map_err(CircuitError::from)?;
+    let x = lu.solve(&rhs).map_err(CircuitError::from)?;
+
+    let mut voltages = vec![0.0; net.node_count()];
+    for n in 1..net.node_count() {
+        voltages[n] = x[n - 1];
+    }
+    Ok(voltages)
+}
+
+fn solve_sparse(
+    net: &Netlist,
+    branches: &[Branch],
+    settings: &CgSettings,
+) -> Result<Vec<f64>, CircuitError> {
+    let n = net.node_count();
+    // Fixed potentials: ground plus grounded-source nodes.
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    fixed[0] = Some(0.0);
+    for b in branches {
+        if let BranchKind::Source { v, .. } = b.kind {
+            if b.b == net.ground() {
+                fixed[b.a.index()] = Some(v);
+            } else {
+                fixed[b.b.index()] = Some(-v);
+            }
+        }
+    }
+    // Map unknown nodes to compact indices.
+    let mut unknown_index: Vec<Option<usize>> = vec![None; n];
+    let mut unknown_nodes = Vec::new();
+    for node in 0..n {
+        if fixed[node].is_none() {
+            unknown_index[node] = Some(unknown_nodes.len());
+            unknown_nodes.push(node);
+        }
+    }
+    let m = unknown_nodes.len();
+    let mut coo = CooMatrix::new(m, m);
+    let mut rhs = vec![0.0; m];
+
+    for b in branches {
+        match b.kind {
+            BranchKind::Conductance(g) => {
+                let (na, nb) = (b.a.index(), b.b.index());
+                match (unknown_index[na], unknown_index[nb]) {
+                    (Some(i), Some(j)) => {
+                        coo.push(i, i, g);
+                        coo.push(j, j, g);
+                        coo.push(i, j, -g);
+                        coo.push(j, i, -g);
+                    }
+                    (Some(i), None) => {
+                        coo.push(i, i, g);
+                        rhs[i] += g * fixed[nb].unwrap_or(0.0);
+                    }
+                    (None, Some(j)) => {
+                        coo.push(j, j, g);
+                        rhs[j] += g * fixed[na].unwrap_or(0.0);
+                    }
+                    (None, None) => {}
+                }
+            }
+            BranchKind::Current(i_src) => {
+                if let Some(i) = unknown_index[b.a.index()] {
+                    rhs[i] -= i_src;
+                }
+                if let Some(j) = unknown_index[b.b.index()] {
+                    rhs[j] += i_src;
+                }
+            }
+            BranchKind::Source { .. } | BranchKind::Open => {}
+        }
+    }
+
+    let csr = coo.to_csr();
+    let (x, _report) = conjugate_gradient(&csr, &rhs, settings).map_err(CircuitError::from)?;
+
+    let mut voltages = vec![0.0; n];
+    for node in 0..n {
+        voltages[node] = match fixed[node] {
+            Some(v) => v,
+            None => x[unknown_index[node].expect("unknown node missing index")],
+        };
+    }
+    Ok(voltages)
+}
+
+/// Recovers per-element branch currents (`a → b` through the element).
+fn recover_currents(net: &Netlist, branches: &[Branch], voltages: &[f64]) -> Vec<f64> {
+    let mut currents = vec![0.0; net.element_count()];
+    // First pass: everything except voltage-constraint branches.
+    for b in branches {
+        let v = voltages[b.a.index()] - voltages[b.b.index()];
+        currents[b.element] = match b.kind {
+            BranchKind::Conductance(g) => v * g,
+            BranchKind::Current(i) => i,
+            BranchKind::Open => 0.0,
+            BranchKind::Source { .. } => f64::NAN, // filled below
+        };
+    }
+    // Second pass: source currents by KCL. Process sources one at a time;
+    // a source incident to a node whose every *other* incident element is
+    // known gets its current from that node's balance. Iterate until all
+    // are resolved (source chains resolve from the ends inward).
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for b in branches {
+            if !matches!(b.kind, BranchKind::Source { .. }) {
+                continue;
+            }
+            if !currents[b.element].is_nan() {
+                continue;
+            }
+            all_done = false;
+            for (node, sign) in [(b.a, 1.0), (b.b, -1.0)] {
+                // Sum of known currents leaving `node` through other elements.
+                let mut sum = 0.0;
+                let mut ok = true;
+                for (i, e) in net.elements().iter().enumerate() {
+                    if i == b.element {
+                        continue;
+                    }
+                    if e.a == node || e.b == node {
+                        if currents[i].is_nan() {
+                            ok = false;
+                            break;
+                        }
+                        if e.a == node {
+                            sum += currents[i];
+                        } else {
+                            sum -= currents[i];
+                        }
+                    }
+                }
+                if ok {
+                    // KCL: current leaving `node` through this source
+                    // balances the rest: sign * I_e = -sum.
+                    currents[b.element] = -sum * sign;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            // Degenerate source cluster (e.g. a loop of sources); leave
+            // the remaining currents as 0 rather than NaN.
+            for b in branches {
+                if matches!(b.kind, BranchKind::Source { .. }) && currents[b.element].is_nan() {
+                    currents[b.element] = 0.0;
+                }
+            }
+            break;
+        }
+    }
+    currents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn divider() -> (Netlist, NodeId, NodeId) {
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let out = net.node("out");
+        net.voltage_source(vin, net.ground(), Volts::new(12.0))
+            .unwrap();
+        net.resistor(vin, out, Ohms::new(2.0)).unwrap();
+        net.resistor(out, net.ground(), Ohms::new(1.0)).unwrap();
+        (net, vin, out)
+    }
+
+    #[test]
+    fn voltage_divider_dense() {
+        let (net, vin, out) = divider();
+        let sol = DcSolver::with_strategy(DcStrategy::DenseLu)
+            .solve(&net)
+            .unwrap();
+        assert!((sol.voltage(vin).value() - 12.0).abs() < 1e-12);
+        assert!((sol.voltage(out).value() - 4.0).abs() < 1e-12);
+        assert!(sol.max_kcl_residual(&net).value() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_divider_sparse_matches_dense() {
+        let (net, vin, out) = divider();
+        let sol = DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+            .solve(&net)
+            .unwrap();
+        assert!((sol.voltage(vin).value() - 12.0).abs() < 1e-9);
+        assert!((sol.voltage(out).value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_current_is_recovered() {
+        let (net, _, _) = divider();
+        // Total series resistance 3 Ω across 12 V → 4 A. Source current
+        // a→b (vin→gnd through the source) should be −4 A: current flows
+        // out of + terminal into the circuit.
+        let sol = DcSolver::new().solve(&net).unwrap();
+        let source_id = ElementId(0);
+        assert!((sol.current(source_id).value() + 4.0).abs() < 1e-9);
+        // Delivered power = −dissipated = 48 W.
+        let p = sol.dissipated_power(&net, source_id).unwrap();
+        assert!((p.value() + 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.current_source(net.ground(), n, Amps::new(3.0)).unwrap();
+        net.resistor(n, net.ground(), Ohms::new(4.0)).unwrap();
+        let sol = DcSolver::new().solve(&net).unwrap();
+        assert!((sol.voltage(n).value() - 12.0).abs() < 1e-12);
+        assert!((sol.resistive_loss(&net).value() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.voltage_source(a, net.ground(), Volts::new(5.0)).unwrap();
+        net.inductor(a, b, vpd_units::Henries::from_microhenries(1.0), Amps::ZERO)
+            .unwrap();
+        net.resistor(b, net.ground(), Ohms::new(5.0)).unwrap();
+        let sol = DcSolver::new().solve(&net).unwrap();
+        assert!((sol.voltage(b).value() - 5.0).abs() < 1e-9);
+        // 1 A flows through the inductor.
+        assert!((sol.current(ElementId(1)).value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.voltage_source(a, net.ground(), Volts::new(5.0)).unwrap();
+        net.resistor(a, b, Ohms::new(1.0)).unwrap();
+        net.capacitor(b, net.ground(), vpd_units::Farads::from_microfarads(1.0), Volts::ZERO)
+            .unwrap();
+        // b floats at 5 V through the resistor: no current flows.
+        let sol = DcSolver::new().solve(&net).unwrap();
+        assert!((sol.voltage(b).value() - 5.0).abs() < 1e-9);
+        assert_eq!(sol.current(ElementId(2)).value(), 0.0);
+    }
+
+    #[test]
+    fn switch_states_in_dc() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.voltage_source(a, net.ground(), Volts::new(1.0)).unwrap();
+        net.switch(
+            a,
+            b,
+            Ohms::from_milliohms(1.0),
+            Ohms::new(1e6),
+            None,
+            SwitchState::On,
+        )
+        .unwrap();
+        net.resistor(b, net.ground(), Ohms::new(1.0)).unwrap();
+        let sol = DcSolver::new().solve(&net).unwrap();
+        assert!(sol.voltage(b).value() > 0.99);
+    }
+
+    #[test]
+    fn floating_node_is_reported_with_label() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let lonely = net.node("lonely");
+        let other = net.node("other");
+        net.resistor(a, net.ground(), Ohms::new(1.0)).unwrap();
+        net.resistor(lonely, other, Ohms::new(1.0)).unwrap();
+        match DcSolver::new().solve(&net) {
+            Err(CircuitError::FloatingNode { label }) => {
+                assert!(label == "lonely" || label == "other");
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_fed_only_by_current_source_is_floating() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.current_source(net.ground(), n, Amps::new(1.0)).unwrap();
+        assert!(matches!(
+            DcSolver::new().solve(&net),
+            Err(CircuitError::FloatingNode { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        assert!(matches!(
+            DcSolver::new().solve(&Netlist::new()),
+            Err(CircuitError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn floating_voltage_source_works_dense() {
+        // vin --R-- mid --(floating V)-- out --R-- gnd
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let mid = net.node("mid");
+        let out = net.node("out");
+        net.voltage_source(vin, net.ground(), Volts::new(10.0))
+            .unwrap();
+        net.resistor(vin, mid, Ohms::new(1.0)).unwrap();
+        net.voltage_source(mid, out, Volts::new(2.0)).unwrap();
+        net.resistor(out, net.ground(), Ohms::new(1.0)).unwrap();
+        let sol = DcSolver::new().solve(&net).unwrap();
+        // KVL: 10 = i·1 + 2 + i·1 → i = 4; out = 4 V, mid = 6 V.
+        assert!((sol.voltage(mid).value() - 6.0).abs() < 1e-9);
+        assert!((sol.voltage(out).value() - 4.0).abs() < 1e-9);
+        assert!(sol.max_kcl_residual(&net).value() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_rejects_floating_source() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, net.ground(), Ohms::new(1.0)).unwrap();
+        net.voltage_source(a, b, Volts::new(1.0)).unwrap();
+        net.resistor(b, net.ground(), Ohms::new(1.0)).unwrap();
+        assert!(DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+            .solve(&net)
+            .is_err());
+    }
+
+    #[test]
+    fn auto_uses_sparse_for_large_reducible_grids() {
+        // A 25x25 resistor mesh (625 nodes) with a grounded source: the
+        // Auto strategy must still produce a correct solution.
+        let mut net = Netlist::new();
+        let side = 25;
+        let mut ids = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(net.node(&format!("n{x}_{y}")));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let here = ids[y * side + x];
+                if x + 1 < side {
+                    net.resistor(here, ids[y * side + x + 1], Ohms::new(1.0))
+                        .unwrap();
+                }
+                if y + 1 < side {
+                    net.resistor(here, ids[(y + 1) * side + x], Ohms::new(1.0))
+                        .unwrap();
+                }
+            }
+        }
+        net.voltage_source(ids[0], net.ground(), Volts::new(1.0))
+            .unwrap();
+        net.current_source(ids[side * side - 1], net.ground(), Amps::new(0.5))
+            .unwrap();
+        let sol = DcSolver::new().solve(&net).unwrap();
+        assert!((sol.voltage(ids[0]).value() - 1.0).abs() < 1e-9);
+        // Pulling 0.5 A out of the far corner drops its voltage below 1 V.
+        assert!(sol.voltage(ids[side * side - 1]).value() < 1.0);
+        assert!(sol.max_kcl_residual(&net).value() < 1e-6);
+    }
+
+    proptest! {
+        /// KCL holds at every node of a random ladder network.
+        #[test]
+        fn prop_kcl_on_random_ladders(
+            rs in proptest::collection::vec(0.1_f64..10.0, 2..12),
+            v in 0.5_f64..48.0,
+        ) {
+            let mut net = Netlist::new();
+            let top = net.node("top");
+            net.voltage_source(top, net.ground(), Volts::new(v)).unwrap();
+            let mut prev = top;
+            for (k, r) in rs.iter().enumerate() {
+                let nxt = net.node(&format!("l{k}"));
+                net.resistor(prev, nxt, Ohms::new(*r)).unwrap();
+                net.resistor(nxt, net.ground(), Ohms::new(*r * 2.0)).unwrap();
+                prev = nxt;
+            }
+            let sol = DcSolver::new().solve(&net).unwrap();
+            prop_assert!(sol.max_kcl_residual(&net).value() < 1e-8);
+            // Voltages decrease monotonically along the ladder.
+            let mut last = v + 1e-9;
+            for k in 0..rs.len() {
+                let node = net.clone().node(&format!("l{k}"));
+                let vn = sol.voltage(node).value();
+                prop_assert!(vn <= last + 1e-9);
+                last = vn;
+            }
+        }
+
+        /// Dense and sparse paths agree on grounded-source networks.
+        #[test]
+        fn prop_dense_sparse_agree(
+            rs in proptest::collection::vec(0.5_f64..5.0, 4..10),
+            i_load in 0.1_f64..10.0,
+        ) {
+            let mut net = Netlist::new();
+            let top = net.node("top");
+            net.voltage_source(top, net.ground(), Volts::new(1.0)).unwrap();
+            let mut prev = top;
+            for (k, r) in rs.iter().enumerate() {
+                let nxt = net.node(&format!("c{k}"));
+                net.resistor(prev, nxt, Ohms::new(*r)).unwrap();
+                prev = nxt;
+            }
+            net.current_source(prev, net.ground(), Amps::new(i_load)).unwrap();
+            net.resistor(prev, net.ground(), Ohms::new(10.0)).unwrap();
+            let dense = DcSolver::with_strategy(DcStrategy::DenseLu).solve(&net).unwrap();
+            let sparse = DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+                .solve(&net).unwrap();
+            for n in 0..net.node_count() {
+                prop_assert!((dense.node_voltages()[n] - sparse.node_voltages()[n]).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Circuit-level error type.
+
+use std::fmt;
+use vpd_numeric::NumericError;
+
+/// Errors produced while building or solving a circuit.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An element referenced a node that does not exist in the netlist.
+    UnknownNode {
+        /// The raw node index that was out of range.
+        index: usize,
+    },
+    /// An element referenced an element id that does not exist.
+    UnknownElement {
+        /// The raw element index that was out of range.
+        index: usize,
+    },
+    /// An element value was non-positive or non-finite
+    /// (e.g. a −3 Ω resistor).
+    InvalidValue {
+        /// Which element kind was being added.
+        element: &'static str,
+        /// The offending value, in SI units.
+        value: f64,
+    },
+    /// Both terminals of an element were the same node.
+    DegenerateElement {
+        /// Label of the offending element.
+        label: String,
+    },
+    /// The netlist has no elements to solve.
+    EmptyNetlist,
+    /// A node has no resistive path to ground, so its voltage is
+    /// undefined (the MNA matrix is singular).
+    FloatingNode {
+        /// Label of a node in the floating component.
+        label: String,
+    },
+    /// The underlying linear solve failed.
+    Numeric(NumericError),
+    /// Transient settings were invalid (non-positive step or stop time,
+    /// or a step larger than the stop time).
+    InvalidTimeStep {
+        /// Requested step (seconds).
+        dt: f64,
+        /// Requested stop time (seconds).
+        t_stop: f64,
+    },
+    /// A duty cycle lay outside `[0, 1]`.
+    InvalidDuty {
+        /// The rejected duty value.
+        duty: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            Self::UnknownElement { index } => write!(f, "unknown element index {index}"),
+            Self::InvalidValue { element, value } => {
+                write!(f, "invalid {element} value {value}; must be positive and finite")
+            }
+            Self::DegenerateElement { label } => {
+                write!(f, "element {label} connects a node to itself")
+            }
+            Self::EmptyNetlist => write!(f, "netlist has no elements"),
+            Self::FloatingNode { label } => {
+                write!(f, "node {label} has no resistive path to ground")
+            }
+            Self::Numeric(e) => write!(f, "linear solve failed: {e}"),
+            Self::InvalidTimeStep { dt, t_stop } => {
+                write!(f, "invalid transient window: dt = {dt}, t_stop = {t_stop}")
+            }
+            Self::InvalidDuty { duty } => write!(f, "duty cycle {duty} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for CircuitError {
+    fn from(e: NumericError) -> Self {
+        Self::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase() {
+        let errs: Vec<CircuitError> = vec![
+            CircuitError::UnknownNode { index: 7 },
+            CircuitError::EmptyNetlist,
+            CircuitError::InvalidValue {
+                element: "resistor",
+                value: -1.0,
+            },
+            CircuitError::FloatingNode {
+                label: "n12".into(),
+            },
+            CircuitError::InvalidDuty { duty: 1.5 },
+        ];
+        for e in errs {
+            assert!(e.to_string().chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn numeric_error_is_source() {
+        use std::error::Error;
+        let e = CircuitError::from(NumericError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+    }
+}

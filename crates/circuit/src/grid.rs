@@ -1,0 +1,379 @@
+//! Power-grid mesh builders.
+//!
+//! The die (or interposer) power distribution network is modeled as a 2-D
+//! resistive mesh: `nx × ny` nodes, horizontal/vertical edge resistances
+//! derived from a sheet resistance, a per-node load current, and voltage
+//! regulators attached as grounded sources behind a droop resistance.
+
+use crate::{CircuitError, DcSolver, ElementId, Netlist, NodeId};
+use vpd_units::{Amps, Meters, Ohms, Volts};
+
+/// A rectangular resistive mesh plus bookkeeping for loads and regulators.
+///
+/// ```
+/// use vpd_circuit::PowerGrid;
+/// use vpd_units::{Amps, Meters, Ohms, Volts};
+///
+/// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+/// let mut grid = PowerGrid::new(8, 8, Ohms::from_milliohms(2.0))?;
+/// grid.attach_uniform_load(Amps::new(64.0))?; // 1 A per node
+/// grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))?;
+/// grid.attach_regulator(7, 7, Volts::new(1.0), Ohms::from_milliohms(1.0))?;
+/// let sol = grid.solve()?;
+/// let currents = grid.regulator_currents(&sol);
+/// let total: f64 = currents.iter().map(|c| c.value()).sum();
+/// assert!((total - 64.0).abs() < 1e-6); // KCL: VRs supply the whole load
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PowerGrid {
+    net: Netlist,
+    nx: usize,
+    ny: usize,
+    nodes: Vec<NodeId>,
+    regulators: Vec<Regulator>,
+    loads: Vec<ElementId>,
+}
+
+/// One attached voltage regulator: a grounded ideal source behind a droop
+/// resistance, feeding grid node `(x, y)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Regulator {
+    /// Grid x position.
+    pub x: usize,
+    /// Grid y position.
+    pub y: usize,
+    /// The droop-resistor element (its current is the VR output current).
+    pub droop_element: ElementId,
+    /// The internal source node held at the setpoint.
+    pub source_node: NodeId,
+}
+
+impl PowerGrid {
+    /// Builds an `nx × ny` mesh with edge resistance `r_edge` between
+    /// 4-connected neighbors.
+    ///
+    /// `r_edge` is the sheet resistance per square when nodes are laid on
+    /// a uniform pitch (lateral squares between adjacent nodes ≈ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a non-positive edge
+    /// resistance or a dimension of zero.
+    pub fn new(nx: usize, ny: usize, r_edge: Ohms) -> Result<Self, CircuitError> {
+        if nx == 0 || ny == 0 {
+            return Err(CircuitError::InvalidValue {
+                element: "grid dimension",
+                value: 0.0,
+            });
+        }
+        let mut net = Netlist::new();
+        let mut nodes = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                nodes.push(net.node(&format!("g{x}_{y}")));
+            }
+        }
+        for y in 0..ny {
+            for x in 0..nx {
+                let here = nodes[y * nx + x];
+                if x + 1 < nx {
+                    net.resistor(here, nodes[y * nx + x + 1], r_edge)?;
+                }
+                if y + 1 < ny {
+                    net.resistor(here, nodes[(y + 1) * nx + x], r_edge)?;
+                }
+            }
+        }
+        Ok(Self {
+            net,
+            nx,
+            ny,
+            nodes,
+            regulators: Vec::new(),
+            loads: Vec::new(),
+        })
+    }
+
+    /// Grid width in nodes.
+    #[must_use]
+    pub const fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in nodes.
+    #[must_use]
+    pub const fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The node at `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] when the coordinate is
+    /// outside the mesh.
+    pub fn node_at(&self, x: usize, y: usize) -> Result<NodeId, CircuitError> {
+        if x >= self.nx || y >= self.ny {
+            return Err(CircuitError::UnknownNode {
+                index: y * self.nx + x,
+            });
+        }
+        Ok(self.nodes[y * self.nx + x])
+    }
+
+    /// Attaches equal load current sinks at every node, totaling
+    /// `total`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors.
+    pub fn attach_uniform_load(&mut self, total: Amps) -> Result<(), CircuitError> {
+        let per_node = total / (self.nx * self.ny) as f64;
+        let ground = self.net.ground();
+        for idx in 0..self.nodes.len() {
+            let node = self.nodes[idx];
+            let id = self.net.current_source(node, ground, per_node)?;
+            self.loads.push(id);
+        }
+        Ok(())
+    }
+
+    /// Attaches a per-node load given by `profile(x, y)` (amperes drawn
+    /// at that node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors.
+    pub fn attach_load_profile(
+        &mut self,
+        mut profile: impl FnMut(usize, usize) -> Amps,
+    ) -> Result<(), CircuitError> {
+        let ground = self.net.ground();
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let node = self.nodes[y * self.nx + x];
+                let i = profile(x, y);
+                if !i.is_zero() {
+                    let id = self.net.current_source(node, ground, i)?;
+                    self.loads.push(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches a regulator at `(x, y)`: an ideal `setpoint` source to
+    /// ground, behind `droop` resistance into the grid node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinate and netlist validation errors.
+    pub fn attach_regulator(
+        &mut self,
+        x: usize,
+        y: usize,
+        setpoint: Volts,
+        droop: Ohms,
+    ) -> Result<(), CircuitError> {
+        let grid_node = self.node_at(x, y)?;
+        let k = self.regulators.len();
+        let source_node = self.net.node(&format!("vr{k}"));
+        self.net
+            .voltage_source(source_node, self.net.ground(), setpoint)?;
+        let droop_element = self.net.resistor(source_node, grid_node, droop)?;
+        self.regulators.push(Regulator {
+            x,
+            y,
+            droop_element,
+            source_node,
+        });
+        Ok(())
+    }
+
+    /// The regulators attached so far.
+    #[must_use]
+    pub fn regulators(&self) -> &[Regulator] {
+        &self.regulators
+    }
+
+    /// Solves the DC operating point of the loaded grid.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::FloatingNode`] when no regulator has been
+    ///   attached (the mesh then has no path to ground).
+    /// * Any solver error from [`DcSolver::solve`].
+    pub fn solve(&self) -> Result<crate::DcSolution, CircuitError> {
+        DcSolver::new().solve(&self.net)
+    }
+
+    /// Output current of each regulator (in attachment order), positive
+    /// when sourcing current into the grid.
+    #[must_use]
+    pub fn regulator_currents(&self, sol: &crate::DcSolution) -> Vec<Amps> {
+        self.regulators
+            .iter()
+            .map(|r| sol.current(r.droop_element))
+            .collect()
+    }
+
+    /// Worst-case IR drop: setpoint minus the minimum node voltage.
+    #[must_use]
+    pub fn worst_ir_drop(&self, sol: &crate::DcSolution, setpoint: Volts) -> Volts {
+        let vmin = self
+            .nodes
+            .iter()
+            .map(|n| sol.voltage(*n).value())
+            .fold(f64::INFINITY, f64::min);
+        setpoint - Volts::new(vmin)
+    }
+
+    /// Total power dissipated in the mesh resistors *excluding* the
+    /// regulator droop resistors (grid loss only).
+    #[must_use]
+    pub fn grid_loss(&self, sol: &crate::DcSolution) -> vpd_units::Watts {
+        let droop_ids: Vec<usize> = self
+            .regulators
+            .iter()
+            .map(|r| r.droop_element.index())
+            .collect();
+        self.net
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                matches!(e.kind, crate::ElementKind::Resistor { .. }) && !droop_ids.contains(i)
+            })
+            .map(|(i, _)| {
+                sol.dissipated_power(&self.net, ElementId(i))
+                    .unwrap_or(vpd_units::Watts::ZERO)
+            })
+            .sum()
+    }
+
+    /// Borrow of the underlying netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
+    /// Physical helper: edge resistance for a mesh discretizing a square
+    /// sheet of side `side` with `n` nodes per side and the given sheet
+    /// resistance — each edge spans one inter-node pitch, which is one
+    /// square of sheet.
+    #[must_use]
+    pub fn edge_resistance_for_sheet(sheet: Ohms, _side: Meters, _nodes_per_side: usize) -> Ohms {
+        // One inter-node segment is (pitch long × pitch wide) = 1 square.
+        sheet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_grid_shares_current_equally() {
+        let mut grid = PowerGrid::new(5, 5, Ohms::from_milliohms(1.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(25.0)).unwrap();
+        // Four corner regulators: symmetry → equal share.
+        for (x, y) in [(0, 0), (4, 0), (0, 4), (4, 4)] {
+            grid.attach_regulator(x, y, Volts::new(1.0), Ohms::from_milliohms(0.5))
+                .unwrap();
+        }
+        let sol = grid.solve().unwrap();
+        let currents = grid.regulator_currents(&sol);
+        let avg = 25.0 / 4.0;
+        for c in &currents {
+            assert!((c.value() - avg).abs() < 1e-6, "corner share {c:?}");
+        }
+    }
+
+    #[test]
+    fn center_regulator_carries_more_than_corner() {
+        let mut grid = PowerGrid::new(9, 9, Ohms::from_milliohms(2.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(81.0)).unwrap();
+        grid.attach_regulator(4, 4, Volts::new(1.0), Ohms::from_milliohms(0.5))
+            .unwrap();
+        grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(0.5))
+            .unwrap();
+        let sol = grid.solve().unwrap();
+        let currents = grid.regulator_currents(&sol);
+        assert!(currents[0].value() > currents[1].value());
+        let total: f64 = currents.iter().map(|c| c.value()).sum();
+        assert!((total - 81.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unregulated_grid_is_floating() {
+        let mut grid = PowerGrid::new(3, 3, Ohms::new(1.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(9.0)).unwrap();
+        assert!(matches!(
+            grid.solve(),
+            Err(CircuitError::FloatingNode { .. })
+        ));
+    }
+
+    #[test]
+    fn hotspot_profile_shifts_current_toward_hotspot() {
+        let mut grid = PowerGrid::new(7, 7, Ohms::from_milliohms(20.0)).unwrap();
+        grid.attach_load_profile(|x, y| {
+            // All the load sits in the left column.
+            if x == 0 {
+                Amps::new(7.0)
+            } else {
+                let _ = y;
+                Amps::ZERO
+            }
+        })
+        .unwrap();
+        grid.attach_regulator(0, 3, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        grid.attach_regulator(6, 3, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        let sol = grid.solve().unwrap();
+        let currents = grid.regulator_currents(&sol);
+        assert!(currents[0].value() > currents[1].value() * 2.0);
+    }
+
+    #[test]
+    fn ir_drop_grows_with_load() {
+        let mk = |load: f64| {
+            let mut grid = PowerGrid::new(6, 6, Ohms::from_milliohms(2.0)).unwrap();
+            grid.attach_uniform_load(Amps::new(load)).unwrap();
+            grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))
+                .unwrap();
+            let sol = grid.solve().unwrap();
+            grid.worst_ir_drop(&sol, Volts::new(1.0)).value()
+        };
+        assert!(mk(36.0) > mk(3.6));
+    }
+
+    #[test]
+    fn grid_loss_excludes_droop() {
+        let mut grid = PowerGrid::new(2, 1, Ohms::new(1.0)).unwrap();
+        grid.attach_load_profile(|x, _| if x == 1 { Amps::new(1.0) } else { Amps::ZERO })
+            .unwrap();
+        grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::new(1.0))
+            .unwrap();
+        let sol = grid.solve().unwrap();
+        // 1 A through one 1 Ω mesh edge → 1 W grid loss; droop loses
+        // another 1 W but must not be counted here.
+        assert!((grid.grid_loss(&sol).value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_empty_dims() {
+        assert!(PowerGrid::new(0, 3, Ohms::new(1.0)).is_err());
+        assert!(PowerGrid::new(3, 0, Ohms::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn node_at_bounds() {
+        let grid = PowerGrid::new(2, 2, Ohms::new(1.0)).unwrap();
+        assert!(grid.node_at(1, 1).is_ok());
+        assert!(grid.node_at(2, 0).is_err());
+    }
+}

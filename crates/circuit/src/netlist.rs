@@ -1,0 +1,559 @@
+//! Netlist construction: nodes, elements, and validation.
+
+use crate::CircuitError;
+use vpd_units::{Amps, Farads, Henries, Hertz, Ohms, Seconds, Volts};
+
+/// A node handle within one [`Netlist`].
+///
+/// Node 0 is always ground; use [`Netlist::ground`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index (stable within one netlist).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An element handle within one [`Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// The raw index (stable within one netlist).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// On/off state of an ideal switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum SwitchState {
+    /// Conducting (`r_on`).
+    On,
+    /// Blocking (`r_off`).
+    #[default]
+    Off,
+}
+
+/// A periodic gate-drive schedule for a switch.
+///
+/// The switch is on for the first `duty` fraction of each period, with an
+/// optional phase offset in `[0, 1)` of a period.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PwmSchedule {
+    frequency: Hertz,
+    duty: f64,
+    phase: f64,
+    complement: bool,
+}
+
+impl PwmSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidDuty`] when `duty` lies outside
+    /// `[0, 1]`.
+    pub fn new(frequency: Hertz, duty: f64, phase: f64) -> Result<Self, CircuitError> {
+        if !(0.0..=1.0).contains(&duty) || !duty.is_finite() {
+            return Err(CircuitError::InvalidDuty { duty });
+        }
+        Ok(Self {
+            frequency,
+            duty,
+            phase: phase.rem_euclid(1.0),
+            complement: false,
+        })
+    }
+
+    /// The complementary (inverted) schedule — for the synchronous switch
+    /// of a buck half-bridge.
+    #[must_use]
+    pub fn complementary(mut self) -> Self {
+        self.complement = !self.complement;
+        self
+    }
+
+    /// Switch state at time `t` (seconds).
+    #[must_use]
+    pub fn state_at(&self, t: f64) -> SwitchState {
+        let cycle = (t * self.frequency.value() + self.phase).rem_euclid(1.0);
+        let on = cycle < self.duty;
+        match on ^ self.complement {
+            true => SwitchState::On,
+            false => SwitchState::Off,
+        }
+    }
+
+    /// The schedule's switching frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// The on-time fraction.
+    #[must_use]
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+}
+
+/// What an element is, with its value(s).
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum ElementKind {
+    /// Linear resistor.
+    Resistor {
+        /// Resistance.
+        r: Ohms,
+    },
+    /// Ideal current source driving `i` from terminal `a` to terminal `b`
+    /// through the external circuit (injects into `b`).
+    CurrentSource {
+        /// Source current.
+        i: Amps,
+    },
+    /// A stepping current source: `before` until `at`, `after` from then
+    /// on. DC analysis uses `before`; AC treats it as an open (like any
+    /// bias current source).
+    StepCurrentSource {
+        /// Current before the step.
+        before: Amps,
+        /// Current after the step.
+        after: Amps,
+        /// Step time.
+        at: Seconds,
+    },
+    /// Ideal voltage source: `V(a) − V(b) = v`.
+    VoltageSource {
+        /// Source voltage.
+        v: Volts,
+    },
+    /// Linear capacitor (open in DC).
+    Capacitor {
+        /// Capacitance.
+        c: Farads,
+        /// Initial voltage `V(a) − V(b)` for transient runs.
+        v0: Volts,
+    },
+    /// Linear inductor (short in DC).
+    Inductor {
+        /// Inductance.
+        l: Henries,
+        /// Initial current (a→b) for transient runs.
+        i0: Amps,
+    },
+    /// Ideal switch modeled as a two-state resistor.
+    Switch {
+        /// On resistance.
+        r_on: Ohms,
+        /// Off resistance.
+        r_off: Ohms,
+        /// Optional periodic drive; `None` means the switch holds
+        /// `initial` forever.
+        schedule: Option<PwmSchedule>,
+        /// State used for DC and at `t = 0` when no schedule applies.
+        initial: SwitchState,
+    },
+}
+
+/// One placed element: kind + terminals + label.
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Element {
+    /// What the element is.
+    pub kind: ElementKind,
+    /// First terminal (`+` for sources).
+    pub a: NodeId,
+    /// Second terminal (`−` for sources).
+    pub b: NodeId,
+    /// Human-readable label for diagnostics.
+    pub label: String,
+}
+
+/// A circuit under construction.
+///
+/// Nodes are created by label via [`Netlist::node`]; elements are added by
+/// the typed builder methods, each of which validates its value
+/// ([C-VALIDATE]) and returns an [`ElementId`] usable to query branch
+/// results after a solve. A full build-and-solve round trip is shown on
+/// [`Netlist::voltage_source`].
+#[derive(Clone, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Netlist {
+    node_labels: Vec<String>,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// Creates a netlist containing only the ground node.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            node_labels: vec!["gnd".to_owned()],
+            elements: Vec::new(),
+        }
+    }
+
+    /// The ground node (reference, 0 V).
+    #[must_use]
+    pub fn ground(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Returns the node with this label, creating it if needed.
+    ///
+    /// The labels `"gnd"` and `"0"` always map to ground.
+    pub fn node(&mut self, label: &str) -> NodeId {
+        if label == "gnd" || label == "0" {
+            return NodeId(0);
+        }
+        if let Some(idx) = self.node_labels.iter().position(|l| l == label) {
+            return NodeId(idx);
+        }
+        self.node_labels.push(label.to_owned());
+        NodeId(self.node_labels.len() - 1)
+    }
+
+    /// Creates `n` anonymous nodes.
+    pub fn nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        (0..n).map(|i| self.node(&format!("{prefix}{i}"))).collect()
+    }
+
+    /// Number of nodes, including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The label of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for a foreign id.
+    pub fn node_label(&self, node: NodeId) -> Result<&str, CircuitError> {
+        self.node_labels
+            .get(node.0)
+            .map(String::as_str)
+            .ok_or(CircuitError::UnknownNode { index: node.0 })
+    }
+
+    /// The elements, in insertion order.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// One element by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownElement`] for a foreign id.
+    pub fn element(&self, id: ElementId) -> Result<&Element, CircuitError> {
+        self.elements
+            .get(id.0)
+            .ok_or(CircuitError::UnknownElement { index: id.0 })
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidValue`] for a non-positive or non-finite
+    ///   resistance.
+    /// * [`CircuitError::DegenerateElement`] when `a == b`.
+    /// * [`CircuitError::UnknownNode`] for foreign node ids.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, r: Ohms) -> Result<ElementId, CircuitError> {
+        self.check_positive("resistor", r.value())?;
+        self.push(ElementKind::Resistor { r }, a, b, "R")
+    }
+
+    /// Adds a current source driving `i` from `a` to `b` through the
+    /// external circuit (i.e. injecting `i` into node `b`).
+    ///
+    /// A negative or zero `i` is allowed (loads can be expressed either
+    /// way).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidValue`] for a non-finite current.
+    /// * [`CircuitError::DegenerateElement`] / [`CircuitError::UnknownNode`]
+    ///   as for [`Netlist::resistor`].
+    pub fn current_source(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        i: Amps,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_finite("current source", i.value())?;
+        self.push(ElementKind::CurrentSource { i }, a, b, "I")
+    }
+
+    /// Adds a stepping current source (`before` until `at`, `after`
+    /// afterwards) — the load-transient stimulus for droop studies. DC
+    /// analysis uses the pre-step value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Netlist::current_source`], plus
+    /// [`CircuitError::InvalidValue`] for a negative or non-finite step
+    /// time.
+    pub fn step_current_source(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        before: Amps,
+        after: Amps,
+        at: Seconds,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_finite("step current source (before)", before.value())?;
+        self.check_finite("step current source (after)", after.value())?;
+        if !(at.value().is_finite() && at.value() >= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: "step time",
+                value: at.value(),
+            });
+        }
+        self.push(ElementKind::StepCurrentSource { before, after, at }, a, b, "Istep")
+    }
+
+    /// Adds an ideal voltage source with `V(plus) − V(minus) = v`.
+    ///
+    /// ```
+    /// use vpd_circuit::{DcSolver, Netlist};
+    /// use vpd_units::{Ohms, Volts};
+    ///
+    /// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+    /// let mut net = Netlist::new();
+    /// let vin = net.node("vin");
+    /// let out = net.node("out");
+    /// net.voltage_source(vin, net.ground(), Volts::new(10.0))?;
+    /// net.resistor(vin, out, Ohms::new(1.0))?;
+    /// net.resistor(out, net.ground(), Ohms::new(1.0))?;
+    /// let sol = DcSolver::new().solve(&net)?;
+    /// assert!((sol.voltage(out).value() - 5.0).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As for [`Netlist::current_source`].
+    pub fn voltage_source(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        v: Volts,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_finite("voltage source", v.value())?;
+        self.push(ElementKind::VoltageSource { v }, plus, minus, "V")
+    }
+
+    /// Adds a capacitor (open-circuit in DC) with initial voltage `v0`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Netlist::resistor`].
+    pub fn capacitor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        c: Farads,
+        v0: Volts,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_positive("capacitor", c.value())?;
+        self.push(ElementKind::Capacitor { c, v0 }, a, b, "C")
+    }
+
+    /// Adds an inductor (short-circuit in DC) with initial current `i0`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Netlist::resistor`].
+    pub fn inductor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        l: Henries,
+        i0: Amps,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_positive("inductor", l.value())?;
+        self.push(ElementKind::Inductor { l, i0 }, a, b, "L")
+    }
+
+    /// Adds an ideal switch modeled as an `r_on`/`r_off` two-state
+    /// resistor, optionally driven by a [`PwmSchedule`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Netlist::resistor`] (both resistances must be positive
+    /// and finite).
+    pub fn switch(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        r_on: Ohms,
+        r_off: Ohms,
+        schedule: Option<PwmSchedule>,
+        initial: SwitchState,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_positive("switch r_on", r_on.value())?;
+        self.check_positive("switch r_off", r_off.value())?;
+        self.push(
+            ElementKind::Switch {
+                r_on,
+                r_off,
+                schedule,
+                initial,
+            },
+            a,
+            b,
+            "S",
+        )
+    }
+
+    /// Relabels the most recently added element (diagnostics only).
+    pub fn label_last(&mut self, label: &str) {
+        if let Some(e) = self.elements.last_mut() {
+            e.label = label.to_owned();
+        }
+    }
+
+    fn push(
+        &mut self,
+        kind: ElementKind,
+        a: NodeId,
+        b: NodeId,
+        prefix: &str,
+    ) -> Result<ElementId, CircuitError> {
+        if a.0 >= self.node_labels.len() {
+            return Err(CircuitError::UnknownNode { index: a.0 });
+        }
+        if b.0 >= self.node_labels.len() {
+            return Err(CircuitError::UnknownNode { index: b.0 });
+        }
+        if a == b {
+            return Err(CircuitError::DegenerateElement {
+                label: format!("{prefix}{}", self.elements.len()),
+            });
+        }
+        let label = format!("{prefix}{}", self.elements.len());
+        self.elements.push(Element { kind, a, b, label });
+        Ok(ElementId(self.elements.len() - 1))
+    }
+
+    fn check_positive(&self, element: &'static str, value: f64) -> Result<(), CircuitError> {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(CircuitError::InvalidValue { element, value });
+        }
+        Ok(())
+    }
+
+    fn check_finite(&self, element: &'static str, value: f64) -> Result<(), CircuitError> {
+        if !value.is_finite() {
+            return Err(CircuitError::InvalidValue { element, value });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_labels_are_deduplicated() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let a2 = net.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let mut net = Netlist::new();
+        assert_eq!(net.node("gnd"), net.ground());
+        assert_eq!(net.node("0"), net.ground());
+    }
+
+    #[test]
+    fn rejects_negative_resistor() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let g = net.ground();
+        assert!(matches!(
+            net.resistor(a, g, Ohms::new(-1.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(net.resistor(a, g, Ohms::new(f64::NAN)).is_err());
+        assert!(net.resistor(a, g, Ohms::ZERO).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        assert!(matches!(
+            net.resistor(a, a, Ohms::new(1.0)),
+            Err(CircuitError::DegenerateElement { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_foreign_node() {
+        let mut net = Netlist::new();
+        let g = net.ground();
+        let bogus = NodeId(99);
+        assert!(matches!(
+            net.resistor(bogus, g, Ohms::new(1.0)),
+            Err(CircuitError::UnknownNode { index: 99 })
+        ));
+    }
+
+    #[test]
+    fn pwm_schedule_states() {
+        let sched = PwmSchedule::new(Hertz::new(1.0), 0.25, 0.0).unwrap();
+        assert_eq!(sched.state_at(0.1), SwitchState::On);
+        assert_eq!(sched.state_at(0.3), SwitchState::Off);
+        assert_eq!(sched.state_at(1.1), SwitchState::On); // periodic
+        let comp = sched.complementary();
+        assert_eq!(comp.state_at(0.1), SwitchState::Off);
+        assert_eq!(comp.state_at(0.3), SwitchState::On);
+    }
+
+    #[test]
+    fn pwm_rejects_bad_duty() {
+        assert!(PwmSchedule::new(Hertz::new(1.0), 1.5, 0.0).is_err());
+        assert!(PwmSchedule::new(Hertz::new(1.0), -0.1, 0.0).is_err());
+        assert!(PwmSchedule::new(Hertz::new(1.0), f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn pwm_phase_wraps() {
+        let sched = PwmSchedule::new(Hertz::new(1.0), 0.5, 1.25).unwrap();
+        // phase 1.25 ≡ 0.25: at t=0 the cycle position is 0.25 < 0.5 → on.
+        assert_eq!(sched.state_at(0.0), SwitchState::On);
+        assert_eq!(sched.state_at(0.5), SwitchState::Off);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let id = net.resistor(a, net.ground(), Ohms::new(2.0)).unwrap();
+        net.label_last("load");
+        assert_eq!(net.element(id).unwrap().label, "load");
+        assert_eq!(net.node_label(a).unwrap(), "a");
+        assert!(net.node_label(NodeId(42)).is_err());
+        assert!(net.element(ElementId(42)).is_err());
+    }
+}

@@ -1,0 +1,558 @@
+//! Backward-Euler transient simulation with switched elements.
+//!
+//! Reactive elements are replaced by their backward-Euler companion
+//! models each step; switches follow their [`PwmSchedule`]. Because the
+//! conductance matrix only changes when a switch changes state, LU
+//! factorizations are cached per switch configuration — a multi-phase
+//! converter with `k` switches re-factors at most `2^k` times, not once
+//! per step.
+
+use crate::netlist::{ElementKind, SwitchState};
+use crate::{CircuitError, ElementId, Netlist, NodeId};
+use std::collections::HashMap;
+use vpd_numeric::{DenseMatrix, LuFactor};
+use vpd_units::Seconds;
+
+/// Transient run settings.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TransientSettings {
+    /// Simulation stop time.
+    pub t_stop: Seconds,
+    /// Fixed time step.
+    pub dt: Seconds,
+}
+
+impl TransientSettings {
+    /// Creates settings, validating the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidTimeStep`] when either time is
+    /// non-positive or `dt > t_stop`.
+    pub fn new(t_stop: Seconds, dt: Seconds) -> Result<Self, CircuitError> {
+        if !(t_stop.value() > 0.0 && dt.value() > 0.0 && dt.value() <= t_stop.value()) {
+            return Err(CircuitError::InvalidTimeStep {
+                dt: dt.value(),
+                t_stop: t_stop.value(),
+            });
+        }
+        Ok(Self { t_stop, dt })
+    }
+}
+
+/// Recorded waveforms from a transient run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `node_v[node][step]`
+    node_v: Vec<Vec<f64>>,
+    /// `element_i[element][step]`, current `a → b` through the element.
+    element_i: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Sample times (seconds).
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform of a node.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> &[f64] {
+        &self.node_v[node.index()]
+    }
+
+    /// Current waveform of an element (`a → b`).
+    #[must_use]
+    pub fn current(&self, element: ElementId) -> &[f64] {
+        &self.element_i[element.index()]
+    }
+
+    /// Mean of a waveform over the last `fraction` of the run (use e.g.
+    /// `0.5` to skip the start-up transient).
+    #[must_use]
+    pub fn settled_mean(series: &[f64], fraction: f64) -> f64 {
+        let n = series.len();
+        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
+        let tail = &series[start.min(n.saturating_sub(1))..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// RMS of a waveform over the last `fraction` of the run.
+    #[must_use]
+    pub fn settled_rms(series: &[f64], fraction: f64) -> f64 {
+        let n = series.len();
+        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
+        let tail = &series[start.min(n.saturating_sub(1))..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        (tail.iter().map(|v| v * v).sum::<f64>() / tail.len() as f64).sqrt()
+    }
+
+    /// Peak-to-peak ripple over the last `fraction` of the run.
+    #[must_use]
+    pub fn settled_ripple(series: &[f64], fraction: f64) -> f64 {
+        let n = series.len();
+        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
+        let tail = &series[start.min(n.saturating_sub(1))..];
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in tail {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if tail.is_empty() {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+}
+
+/// Runs a backward-Euler transient simulation.
+///
+/// Initial conditions come from each capacitor's `v0` and inductor's
+/// `i0`.
+///
+/// ```
+/// use vpd_circuit::{transient, Netlist, TransientSettings, TransientResult};
+/// use vpd_units::{Farads, Ohms, Seconds, Volts};
+///
+/// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+/// // RC charging: v(t) = 5·(1 − e^{−t/RC}), RC = 1 ms.
+/// let mut net = Netlist::new();
+/// let vin = net.node("vin");
+/// let out = net.node("out");
+/// net.voltage_source(vin, net.ground(), Volts::new(5.0))?;
+/// net.resistor(vin, out, Ohms::new(1000.0))?;
+/// net.capacitor(out, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)?;
+/// let settings = TransientSettings::new(
+///     Seconds::new(5e-3), Seconds::new(1e-6))?;
+/// let result = transient(&net, &settings)?;
+/// let v_end = *result.voltage(out).last().unwrap();
+/// assert!((v_end - 5.0).abs() < 0.05); // fully charged after 5·RC
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CircuitError::EmptyNetlist`] — nothing to simulate.
+/// * [`CircuitError::Numeric`] — a step's linear solve failed.
+pub fn transient(
+    net: &Netlist,
+    settings: &TransientSettings,
+) -> Result<TransientResult, CircuitError> {
+    if net.element_count() == 0 {
+        return Err(CircuitError::EmptyNetlist);
+    }
+    let dt = settings.dt.value();
+    let steps = (settings.t_stop.value() / dt).round() as usize;
+    let n_nodes = net.node_count();
+
+    // Unknown layout: node voltages (ground eliminated) then source
+    // currents (voltage sources AND inductors get a current unknown —
+    // inductors are stamped as resistive companions instead, so only
+    // voltage sources here).
+    let nv = n_nodes - 1;
+    let source_ids: Vec<usize> = net
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, ElementKind::VoltageSource { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let dim = nv + source_ids.len();
+    let idx = |n: NodeId| -> Option<usize> {
+        let i = n.index();
+        (i > 0).then(|| i - 1)
+    };
+
+    // State: capacitor voltages and inductor currents.
+    let mut cap_v: HashMap<usize, f64> = HashMap::new();
+    let mut ind_i: HashMap<usize, f64> = HashMap::new();
+    for (i, e) in net.elements().iter().enumerate() {
+        match &e.kind {
+            ElementKind::Capacitor { v0, .. } => {
+                cap_v.insert(i, v0.value());
+            }
+            ElementKind::Inductor { i0, .. } => {
+                ind_i.insert(i, i0.value());
+            }
+            _ => {}
+        }
+    }
+
+    // LU cache keyed by the switch-state vector.
+    let mut lu_cache: HashMap<Vec<SwitchState>, LuFactor> = HashMap::new();
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut node_v = vec![Vec::with_capacity(steps + 1); n_nodes];
+    let mut element_i = vec![Vec::with_capacity(steps + 1); net.element_count()];
+
+    let mut voltages = vec![0.0; n_nodes];
+
+    for step in 0..=steps {
+        let t = step as f64 * dt;
+
+        // Switch states at this time.
+        let switch_states: Vec<SwitchState> = net
+            .elements()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ElementKind::Switch {
+                    schedule, initial, ..
+                } => Some(schedule.map_or(*initial, |s| s.state_at(t))),
+                _ => None,
+            })
+            .collect();
+
+        // Assemble (or reuse) the conductance matrix for this switch
+        // configuration; the RHS is rebuilt every step.
+        let lu = match lu_cache.get(&switch_states) {
+            Some(lu) => lu,
+            None => {
+                let mut a = DenseMatrix::zeros(dim, dim);
+                let mut sw_iter = switch_states.iter();
+                let mut src_k = 0;
+                for e in net.elements() {
+                    match &e.kind {
+                        ElementKind::Resistor { r } => {
+                            stamp_g(&mut a, idx(e.a), idx(e.b), 1.0 / r.value())?;
+                        }
+                        ElementKind::Switch { r_on, r_off, .. } => {
+                            let state = sw_iter.next().expect("switch count mismatch");
+                            let r = match state {
+                                SwitchState::On => r_on.value(),
+                                SwitchState::Off => r_off.value(),
+                            };
+                            stamp_g(&mut a, idx(e.a), idx(e.b), 1.0 / r)?;
+                        }
+                        ElementKind::Capacitor { c, .. } => {
+                            stamp_g(&mut a, idx(e.a), idx(e.b), c.value() / dt)?;
+                        }
+                        ElementKind::Inductor { l, .. } => {
+                            stamp_g(&mut a, idx(e.a), idx(e.b), dt / l.value())?;
+                        }
+                        ElementKind::VoltageSource { .. } => {
+                            let row = nv + src_k;
+                            src_k += 1;
+                            if let Some(i) = idx(e.a) {
+                                a.add_at(i, row, 1.0)?;
+                                a.add_at(row, i, 1.0)?;
+                            }
+                            if let Some(j) = idx(e.b) {
+                                a.add_at(j, row, -1.0)?;
+                                a.add_at(row, j, -1.0)?;
+                            }
+                        }
+                        ElementKind::CurrentSource { .. }
+                        | ElementKind::StepCurrentSource { .. } => {}
+                    }
+                }
+                let lu = LuFactor::new(&a)?;
+                lu_cache.entry(switch_states.clone()).or_insert(lu)
+            }
+        };
+
+        // RHS with companion-source history terms.
+        let mut rhs = vec![0.0; dim];
+        let mut src_k = 0;
+        for (i, e) in net.elements().iter().enumerate() {
+            match &e.kind {
+                ElementKind::CurrentSource { i: i_src } => {
+                    if let Some(ia) = idx(e.a) {
+                        rhs[ia] -= i_src.value();
+                    }
+                    if let Some(ib) = idx(e.b) {
+                        rhs[ib] += i_src.value();
+                    }
+                }
+                ElementKind::StepCurrentSource { before, after, at } => {
+                    let i_src = if t < at.value() {
+                        before.value()
+                    } else {
+                        after.value()
+                    };
+                    if let Some(ia) = idx(e.a) {
+                        rhs[ia] -= i_src;
+                    }
+                    if let Some(ib) = idx(e.b) {
+                        rhs[ib] += i_src;
+                    }
+                }
+                ElementKind::VoltageSource { v } => {
+                    rhs[nv + src_k] = v.value();
+                    src_k += 1;
+                }
+                ElementKind::Capacitor { c, .. } => {
+                    // i = C/dt (v_n − v_prev): history acts as a current
+                    // source of (C/dt)·v_prev from b to a (injects into a).
+                    let g = c.value() / dt;
+                    let hist = g * cap_v[&i];
+                    if let Some(ia) = idx(e.a) {
+                        rhs[ia] += hist;
+                    }
+                    if let Some(ib) = idx(e.b) {
+                        rhs[ib] -= hist;
+                    }
+                }
+                ElementKind::Inductor { .. } => {
+                    // i_n = i_prev + (dt/L)·v_n: history is a current
+                    // source i_prev flowing a → b.
+                    let hist = ind_i[&i];
+                    if let Some(ia) = idx(e.a) {
+                        rhs[ia] -= hist;
+                    }
+                    if let Some(ib) = idx(e.b) {
+                        rhs[ib] += hist;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let x = lu.solve(&rhs)?;
+        voltages[0] = 0.0;
+        for n in 1..n_nodes {
+            voltages[n] = x[n - 1];
+        }
+
+        // Record + update state.
+        times.push(t);
+        for (n, v) in voltages.iter().enumerate() {
+            node_v[n].push(*v);
+        }
+        let mut sw_iter = switch_states.iter();
+        let mut src_k = 0;
+        for (i, e) in net.elements().iter().enumerate() {
+            let vab = voltages[e.a.index()] - voltages[e.b.index()];
+            let i_e = match &e.kind {
+                ElementKind::Resistor { r } => vab / r.value(),
+                ElementKind::Switch { r_on, r_off, .. } => {
+                    let state = sw_iter.next().expect("switch count mismatch");
+                    vab / match state {
+                        SwitchState::On => r_on.value(),
+                        SwitchState::Off => r_off.value(),
+                    }
+                }
+                ElementKind::CurrentSource { i } => i.value(),
+                ElementKind::StepCurrentSource { before, after, at } => {
+                    if t < at.value() {
+                        before.value()
+                    } else {
+                        after.value()
+                    }
+                }
+                ElementKind::VoltageSource { .. } => {
+                    let cur = x[nv + src_k];
+                    src_k += 1;
+                    cur
+                }
+                ElementKind::Capacitor { c, .. } => {
+                    let g = c.value() / dt;
+                    let i_c = g * (vab - cap_v[&i]);
+                    cap_v.insert(i, vab);
+                    i_c
+                }
+                ElementKind::Inductor { l, .. } => {
+                    let i_l = ind_i[&i] + dt / l.value() * vab;
+                    ind_i.insert(i, i_l);
+                    i_l
+                }
+            };
+            element_i[i].push(i_e);
+        }
+    }
+
+    Ok(TransientResult {
+        times,
+        node_v,
+        element_i,
+    })
+}
+
+fn stamp_g(
+    a: &mut DenseMatrix,
+    ia: Option<usize>,
+    ib: Option<usize>,
+    g: f64,
+) -> Result<(), CircuitError> {
+    if let Some(i) = ia {
+        a.add_at(i, i, g)?;
+    }
+    if let Some(j) = ib {
+        a.add_at(j, j, g)?;
+    }
+    if let (Some(i), Some(j)) = (ia, ib) {
+        a.add_at(i, j, -g)?;
+        a.add_at(j, i, -g)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PwmSchedule;
+    use vpd_units::{Amps, Farads, Henries, Hertz, Ohms, Volts};
+
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let out = net.node("out");
+        net.voltage_source(vin, net.ground(), Volts::new(1.0)).unwrap();
+        net.resistor(vin, out, Ohms::new(1000.0)).unwrap();
+        net.capacitor(out, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
+            .unwrap();
+        let settings =
+            TransientSettings::new(Seconds::new(2e-3), Seconds::new(1e-7)).unwrap();
+        let res = transient(&net, &settings).unwrap();
+        // Compare against 1 − e^{−t/RC} at several times.
+        let rc = 1e-3;
+        for (k, &t) in res.times().iter().enumerate().step_by(2000) {
+            let expected = 1.0 - (-t / rc).exp();
+            let got = res.voltage(out)[k];
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "t={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rl_rise_matches_analytic() {
+        // V → R → L → gnd: i(t) = V/R (1 − e^{−tR/L}).
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let mid = net.node("mid");
+        net.voltage_source(vin, net.ground(), Volts::new(1.0)).unwrap();
+        net.resistor(vin, mid, Ohms::new(1.0)).unwrap();
+        let l_id = net
+            .inductor(mid, net.ground(), Henries::from_microhenries(1.0), Amps::ZERO)
+            .unwrap();
+        let settings =
+            TransientSettings::new(Seconds::new(5e-6), Seconds::new(1e-9)).unwrap();
+        let res = transient(&net, &settings).unwrap();
+        let tau = 1e-6;
+        for (k, &t) in res.times().iter().enumerate().step_by(1000) {
+            let expected = 1.0 - (-t / tau).exp();
+            let got = res.current(l_id)[k];
+            assert!(
+                (got - expected).abs() < 5e-3,
+                "t={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn switched_rc_reaches_duty_weighted_average() {
+        // A PWM switch chopping 1 V into an RC filter settles at ~duty·V.
+        let f = Hertz::from_megahertz(1.0);
+        let duty = 0.3;
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let sw = net.node("sw");
+        let out = net.node("out");
+        net.voltage_source(vin, net.ground(), Volts::new(1.0)).unwrap();
+        net.switch(
+            vin,
+            sw,
+            Ohms::from_milliohms(1.0),
+            Ohms::new(1e7),
+            Some(PwmSchedule::new(f, duty, 0.0).unwrap()),
+            SwitchState::Off,
+        )
+        .unwrap();
+        // Pull-down so `sw` follows the off state too.
+        net.switch(
+            sw,
+            net.ground(),
+            Ohms::from_milliohms(1.0),
+            Ohms::new(1e7),
+            Some(PwmSchedule::new(f, duty, 0.0).unwrap().complementary()),
+            SwitchState::On,
+        )
+        .unwrap();
+        net.resistor(sw, out, Ohms::new(10.0)).unwrap();
+        net.capacitor(out, net.ground(), Farads::from_microfarads(10.0), Volts::ZERO)
+            .unwrap();
+        let settings =
+            TransientSettings::new(Seconds::new(2e-3), Seconds::new(5e-9)).unwrap();
+        let res = transient(&net, &settings).unwrap();
+        let settled = TransientResult::settled_mean(res.voltage(out), 0.2);
+        assert!(
+            (settled - duty).abs() < 0.02,
+            "settled at {settled}, expected ~{duty}"
+        );
+    }
+
+    #[test]
+    fn step_current_source_steps() {
+        // A step source into an RC supply node produces the classic
+        // first-order droop toward the new operating point.
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.voltage_source(n, net.ground(), Volts::new(1.0)).unwrap();
+        let mid = net.node("mid");
+        net.resistor(n, mid, Ohms::from_milliohms(1.0)).unwrap();
+        net.capacitor(mid, net.ground(), Farads::from_microfarads(100.0), Volts::new(1.0))
+            .unwrap();
+        let step_id = net
+            .step_current_source(
+                mid,
+                net.ground(),
+                Amps::new(10.0),
+                Amps::new(100.0),
+                Seconds::from_microseconds(1.0),
+            )
+            .unwrap();
+        let settings =
+            TransientSettings::new(Seconds::from_microseconds(5.0), Seconds::from_nanoseconds(2.0))
+                .unwrap();
+        let res = transient(&net, &settings).unwrap();
+        let i = res.current(step_id);
+        let times = res.times();
+        // Before the step: 10 A; after: 100 A.
+        let before_idx = times.iter().position(|&t| t > 0.5e-6).unwrap();
+        let after_idx = times.iter().position(|&t| t > 2e-6).unwrap();
+        assert_eq!(i[before_idx], 10.0);
+        assert_eq!(i[after_idx], 100.0);
+        // Voltage settles lower after the step (bigger IR drop).
+        let v = res.voltage(mid);
+        assert!(v[after_idx.max(times.len() - 2)] < v[before_idx]);
+    }
+
+    #[test]
+    fn settings_validation() {
+        assert!(TransientSettings::new(Seconds::new(0.0), Seconds::new(1e-9)).is_err());
+        assert!(TransientSettings::new(Seconds::new(1e-3), Seconds::new(-1.0)).is_err());
+        assert!(TransientSettings::new(Seconds::new(1e-9), Seconds::new(1e-3)).is_err());
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let settings =
+            TransientSettings::new(Seconds::new(1e-3), Seconds::new(1e-6)).unwrap();
+        assert!(matches!(
+            transient(&Netlist::new(), &settings),
+            Err(CircuitError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn waveform_stats() {
+        let series = [0.0, 1.0, 0.0, 1.0];
+        assert!((TransientResult::settled_mean(&series, 1.0) - 0.5).abs() < 1e-12);
+        assert!((TransientResult::settled_ripple(&series, 1.0) - 1.0).abs() < 1e-12);
+        assert!(
+            (TransientResult::settled_rms(&series, 1.0) - (0.5_f64).sqrt()).abs() < 1e-12
+        );
+        assert_eq!(TransientResult::settled_mean(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Converter-model error type.
+
+use std::fmt;
+
+/// Errors from converter construction and evaluation.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ConverterError {
+    /// The requested load exceeds the converter's maximum output
+    /// current.
+    OverCurrent {
+        /// Converter name.
+        converter: String,
+        /// Requested output current (A).
+        requested: f64,
+        /// Maximum supported output current (A).
+        max: f64,
+    },
+    /// The requested load was non-positive or non-finite.
+    InvalidLoad {
+        /// The rejected current (A).
+        value: f64,
+    },
+    /// Calibration anchors are inconsistent (would produce a negative
+    /// loss coefficient).
+    BadCalibration {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The topology cannot realize the requested conversion at the
+    /// requested frequency (minimum on-time violated).
+    InfeasibleOnTime {
+        /// Required on-time (seconds).
+        required: f64,
+        /// Technology minimum on-time (seconds).
+        minimum: f64,
+    },
+    /// A multi-stage chain was built with mismatched bus voltages.
+    StageMismatch {
+        /// Output voltage of the earlier stage (V).
+        upstream_out: f64,
+        /// Input voltage of the later stage (V).
+        downstream_in: f64,
+    },
+    /// A device-model error during a physics-based design.
+    Device(vpd_devices::DeviceError),
+}
+
+impl fmt::Display for ConverterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OverCurrent {
+                converter,
+                requested,
+                max,
+            } => write!(
+                f,
+                "{converter} cannot deliver {requested:.1} A (max {max:.1} A)"
+            ),
+            Self::InvalidLoad { value } => {
+                write!(f, "load current must be positive and finite, got {value}")
+            }
+            Self::BadCalibration { detail } => write!(f, "bad calibration: {detail}"),
+            Self::InfeasibleOnTime { required, minimum } => write!(
+                f,
+                "on-time {required:.2e} s below the {minimum:.2e} s minimum"
+            ),
+            Self::StageMismatch {
+                upstream_out,
+                downstream_in,
+            } => write!(
+                f,
+                "stage bus mismatch: {upstream_out} V feeding a {downstream_in} V input"
+            ),
+            Self::Device(e) => write!(f, "device model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConverterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vpd_devices::DeviceError> for ConverterError {
+    fn from(e: vpd_devices::DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn over_current_message() {
+        let e = ConverterError::OverCurrent {
+            converter: "DSCH".into(),
+            requested: 40.0,
+            max: 30.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("DSCH") && msg.contains("40.0") && msg.contains("30.0"));
+    }
+}

@@ -1,0 +1,39 @@
+//! High-ratio voltage-converter models for vertical power delivery.
+//!
+//! Implements the paper's §III: the three reviewed 48 V-to-1 V hybrid
+//! topologies (DPMIH, DSCH, 3LHD) with efficiency curves calibrated to
+//! their published operating points (Table II), the multi-stage
+//! first/second-stage variants of §II, the flat-90% PCB reference
+//! converter, and a bottom-up physics loss model over the Si/GaN device
+//! layer for ablation studies.
+//!
+//! ```
+//! use vpd_converters::Converter;
+//! use vpd_units::Amps;
+//!
+//! # fn main() -> Result<(), vpd_converters::ConverterError> {
+//! // Table II peak operating point of the DPMIH converter.
+//! let dpmih = Converter::dpmih_48v_to_1v();
+//! assert!((dpmih.efficiency(Amps::new(30.0))?.percent() - 90.0).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod efficiency;
+mod error;
+mod physics;
+mod sc_analysis;
+mod sizing;
+mod topology;
+
+pub use catalog::{TopologyCharacteristics, VrTopologyKind};
+pub use efficiency::{CurveAnchors, EfficiencyCurve};
+pub use error::ConverterError;
+pub use physics::{minimum_on_time, PhysicsDesign, StressFactors};
+pub use sc_analysis::ScConverterModel;
+pub use sizing::{frequency_for_inductance, size_passives, PassiveSizing, RippleSpec};
+pub use topology::{Converter, MultiStageConverter};

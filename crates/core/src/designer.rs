@@ -1,0 +1,126 @@
+//! Architecture recommendation — the "design methodology" the paper's
+//! §I calls for.
+
+use crate::arch::{AnalysisOptions, Architecture, ArchitectureReport};
+use crate::explore::explore_matrix;
+use crate::{Calibration, CoreError, SystemSpec};
+use vpd_converters::VrTopologyKind;
+
+/// One ranked design candidate.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Architecture.
+    pub architecture: Architecture,
+    /// POL-stage topology.
+    pub topology: VrTopologyKind,
+    /// Full analysis report.
+    pub report: ArchitectureReport,
+    /// Why this candidate ranks where it does.
+    pub rationale: String,
+}
+
+/// The designer's output: feasible candidates ranked by total loss,
+/// plus the configurations that were rejected and why.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// Feasible candidates, best (lowest loss) first.
+    pub ranked: Vec<Candidate>,
+    /// Rejected configurations with the error that excluded them.
+    pub rejected: Vec<(Architecture, VrTopologyKind, CoreError)>,
+}
+
+impl Recommendation {
+    /// The winning candidate, if any configuration was feasible.
+    #[must_use]
+    pub fn best(&self) -> Option<&Candidate> {
+        self.ranked.first()
+    }
+}
+
+/// Ranks every architecture × topology combination for a specification.
+///
+/// Overload extrapolation is disabled here: a real design should not
+/// count on running modules beyond their published rating, so
+/// configurations that need it (e.g. A2 with DSCH under the hotspot
+/// map) are surfaced in `rejected` with a [`CoreError::VrOverload`].
+#[must_use]
+pub fn recommend(spec: &SystemSpec, calib: &Calibration) -> Recommendation {
+    let opts = AnalysisOptions {
+        allow_overload: false,
+        ..AnalysisOptions::default()
+    };
+    let mut ranked = Vec::new();
+    let mut rejected = Vec::new();
+    for entry in explore_matrix(&VrTopologyKind::ALL, spec, calib, &opts) {
+        match entry.outcome {
+            Ok(report) => {
+                let rationale = rationale_for(&report);
+                ranked.push(Candidate {
+                    architecture: entry.architecture,
+                    topology: entry.topology,
+                    report,
+                    rationale,
+                });
+            }
+            Err(e) => rejected.push((entry.architecture, entry.topology, e)),
+        }
+    }
+    ranked.sort_by(|a, b| a.report.loss_percent().total_cmp(&b.report.loss_percent()));
+    Recommendation { ranked, rejected }
+}
+
+fn rationale_for(report: &ArchitectureReport) -> String {
+    let b = &report.breakdown;
+    let conv = b.percent_of_pol_power(b.conversion_loss());
+    let ppdn = b.percent_of_pol_power(b.ppdn_loss());
+    format!(
+        "{}: {:.1}% total loss ({:.1}% conversion, {:.1}% PPDN), {} POL-stage modules, worst module {:.1} A",
+        report.architecture.description(),
+        report.loss_percent(),
+        conv,
+        ppdn,
+        report.stage2_modules,
+        report.sharing.max().value(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommends_a_vertical_architecture_over_reference() {
+        let rec = recommend(&SystemSpec::paper_default(), &Calibration::paper_default());
+        let best = rec.best().expect("at least one feasible design");
+        assert!(!matches!(best.architecture, Architecture::Reference));
+        assert!(best.report.loss_percent() < 25.0);
+        // Ranking is sorted.
+        let losses: Vec<f64> = rec.ranked.iter().map(|c| c.report.loss_percent()).collect();
+        assert!(losses.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn overloading_configurations_are_rejected_with_reason() {
+        let rec = recommend(&SystemSpec::paper_default(), &Calibration::paper_default());
+        // A2/DSCH needs >30 A on the hotspot modules → rejected without
+        // extrapolation; 3LHD lacks capacity outright.
+        assert!(!rec.rejected.is_empty());
+        let kinds: Vec<String> = rec
+            .rejected
+            .iter()
+            .map(|(a, t, e)| format!("{a}/{t}: {e}"))
+            .collect();
+        assert!(
+            kinds.iter().any(|k| k.contains("overload") || k.contains("supply at most")),
+            "{kinds:?}"
+        );
+    }
+
+    #[test]
+    fn rationale_mentions_loss_and_modules() {
+        let rec = recommend(&SystemSpec::paper_default(), &Calibration::paper_default());
+        let best = rec.best().unwrap();
+        assert!(best.rationale.contains("total loss"));
+        assert!(best.rationale.contains("modules"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Load-step droop analysis: the time-domain complement of the
+//! impedance profile.
+//!
+//! A compute kernel launching on the die is a current step; the supply
+//! dips by roughly `ΔI · |Z|` at whatever frequency the step excites.
+//! This module drives the per-architecture [`PdnModel`] with an actual
+//! step through the backward-Euler transient engine and measures the
+//! worst excursion — validating the frequency-domain target-impedance
+//! story in the time domain.
+
+use crate::{CoreError, PdnModel, SystemSpec};
+use vpd_circuit::{transient, TransientSettings};
+use vpd_units::{Amps, Seconds, Volts};
+
+/// A load-step stimulus.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LoadStep {
+    /// Quiescent load before the step.
+    pub base: Amps,
+    /// Load after the step.
+    pub after: Amps,
+    /// When the step fires.
+    pub at: Seconds,
+}
+
+impl LoadStep {
+    /// The paper-scale stimulus: 25% → 100% of the 1 kA POL current.
+    #[must_use]
+    pub fn paper_default(spec: &SystemSpec) -> Self {
+        let i = spec.pol_current();
+        Self {
+            base: i * 0.25,
+            after: i,
+            at: Seconds::from_microseconds(5.0),
+        }
+    }
+
+    /// The step magnitude `ΔI`.
+    #[must_use]
+    pub fn delta(&self) -> Amps {
+        self.after - self.base
+    }
+}
+
+/// Result of a droop simulation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DroopReport {
+    /// Supply voltage just before the step.
+    pub v_before: Volts,
+    /// Minimum supply voltage after the step.
+    pub v_min: Volts,
+    /// Worst excursion `v_before − v_min`.
+    pub droop: Volts,
+    /// The naive frequency-domain bound `ΔI · |Z|_peak`.
+    pub impedance_bound: Volts,
+}
+
+/// Simulates a load step against an architecture's PDN model.
+///
+/// # Errors
+///
+/// Propagates netlist and transient-solver failures.
+pub fn simulate_droop(
+    model: &PdnModel,
+    step: &LoadStep,
+    sim_time: Seconds,
+    dt: Seconds,
+) -> Result<DroopReport, CoreError> {
+    let (mut net, die) = model.netlist()?;
+    net.step_current_source(die, net.ground(), step.base, step.after, step.at)
+        .map_err(CoreError::Circuit)?;
+    let settings = TransientSettings::new(sim_time, dt).map_err(CoreError::Circuit)?;
+    let result = transient(&net, &settings).map_err(CoreError::Circuit)?;
+
+    let times = result.times();
+    let v = result.voltage(die);
+    let step_idx = times
+        .iter()
+        .position(|&t| t >= step.at.value())
+        .unwrap_or(0)
+        .saturating_sub(1);
+    let v_before = v[step_idx];
+    let v_min = v[step_idx..].iter().copied().fold(f64::INFINITY, f64::min);
+
+    let peak_z = model.peak_impedance()?;
+    Ok(DroopReport {
+        v_before: Volts::new(v_before),
+        v_min: Volts::new(v_min),
+        droop: Volts::new(v_before - v_min),
+        impedance_bound: step.delta() * peak_z,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Architecture;
+
+    fn run(arch: Architecture) -> DroopReport {
+        let spec = SystemSpec::paper_default();
+        let model = PdnModel::for_architecture(arch);
+        simulate_droop(
+            &model,
+            &LoadStep::paper_default(&spec),
+            Seconds::from_microseconds(60.0),
+            Seconds::from_nanoseconds(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vertical_architectures_droop_less() {
+        let a0 = run(Architecture::Reference);
+        let a2 = run(Architecture::InterposerEmbedded);
+        assert!(
+            a0.droop.value() > 5.0 * a2.droop.value(),
+            "A0 droop {} vs A2 droop {}",
+            a0.droop,
+            a2.droop
+        );
+    }
+
+    #[test]
+    fn a2_stays_within_ripple_budget_a0_does_not() {
+        // 5% of 1 V budget against the 750 A step.
+        let budget = 0.05;
+        let a0 = run(Architecture::Reference);
+        let a2 = run(Architecture::InterposerEmbedded);
+        assert!(a0.droop.value() > budget, "A0 droop {}", a0.droop);
+        assert!(a2.droop.value() < budget, "A2 droop {}", a2.droop);
+    }
+
+    #[test]
+    fn droop_is_bounded_by_impedance_peak_times_delta() {
+        // The time-domain excursion cannot exceed the ΔI·|Z|_peak bound
+        // by more than discretization error.
+        for arch in [Architecture::Reference, Architecture::InterposerEmbedded] {
+            let r = run(arch);
+            assert!(
+                r.droop.value() <= r.impedance_bound.value() * 1.15 + 1e-4,
+                "{}: droop {} vs bound {}",
+                arch.name(),
+                r.droop,
+                r.impedance_bound
+            );
+        }
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let r = run(Architecture::InterposerPeriphery);
+        assert!(r.v_min.value() <= r.v_before.value());
+        assert!((r.droop.value() - (r.v_before - r.v_min).value()).abs() < 1e-15);
+        assert!(r.droop.value() >= 0.0);
+    }
+}

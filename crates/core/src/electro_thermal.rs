@@ -1,0 +1,344 @@
+//! Electro-thermal co-analysis of the vertical architectures.
+//!
+//! The DC picture favors putting regulators as close to the load as
+//! possible (A2); the thermal picture pushes back: an under-die module
+//! dumps its conversion loss directly beneath the compute hotspot,
+//! raising its own junction temperature, which raises its conduction
+//! loss, which raises the temperature — a feedback loop this module
+//! iterates to a fixed point. This is the co-design trade the paper's
+//! heterogeneous-integration discussion (\[13\]) points at.
+
+use crate::placement::{below_die_sites, periphery_sites, VrPlacement};
+use crate::{analyze, AnalysisOptions, Architecture, Calibration, CoreError, SystemSpec};
+use vpd_converters::VrTopologyKind;
+use vpd_thermal::{DeratingModel, DeviceTechnology, ThermalMesh};
+use vpd_units::{Celsius, Watts};
+
+/// Settings for the electro-thermal fixed-point iteration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ElectroThermalSettings {
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Convergence threshold on the peak-temperature change (kelvin).
+    pub tolerance_k: f64,
+    /// Device technology of the regulator switches.
+    pub technology: DeviceTechnology,
+    /// Fraction of a periphery module's heat that couples into the die
+    /// mesh (periphery modules sit beside, not under, the die).
+    pub periphery_coupling: f64,
+}
+
+impl Default for ElectroThermalSettings {
+    fn default() -> Self {
+        Self {
+            max_iterations: 20,
+            tolerance_k: 0.01,
+            technology: DeviceTechnology::GaN,
+            periphery_coupling: 0.3,
+        }
+    }
+}
+
+/// Result of the coupled analysis.
+#[derive(Clone, Debug)]
+pub struct ElectroThermalReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the fixed point converged within tolerance.
+    pub converged: bool,
+    /// Peak die temperature.
+    pub peak_temperature: Celsius,
+    /// Mean die temperature.
+    pub mean_temperature: Celsius,
+    /// Hottest regulator junction (site temperature).
+    pub worst_module_temperature: Celsius,
+    /// Conversion loss before derating.
+    pub nominal_conversion_loss: Watts,
+    /// Conversion loss at the thermal fixed point.
+    pub derated_conversion_loss: Watts,
+    /// Whether every module stays within its junction rating.
+    pub modules_within_rating: bool,
+}
+
+impl ElectroThermalReport {
+    /// The thermal penalty: extra conversion loss caused by heating.
+    #[must_use]
+    pub fn thermal_penalty(&self) -> Watts {
+        self.derated_conversion_loss - self.nominal_conversion_loss
+    }
+}
+
+/// Runs the coupled electro-thermal analysis for a single-stage
+/// vertical architecture (A1 or A2).
+///
+/// The die dissipates the full POL power with the calibrated power map;
+/// regulator losses enter the mesh at their placement sites (fully for
+/// under-die modules, partially for periphery modules). Each iteration
+/// re-derates every module's conduction loss at its local temperature.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidSpec`] when called with the reference or
+///   two-stage architecture (no single regulator bank on the die mesh).
+/// * Any error from the underlying DC analysis or thermal solve.
+pub fn electro_thermal(
+    architecture: Architecture,
+    topology: VrTopologyKind,
+    spec: &SystemSpec,
+    calib: &Calibration,
+    opts: &AnalysisOptions,
+    settings: &ElectroThermalSettings,
+) -> Result<ElectroThermalReport, CoreError> {
+    let placement = match architecture {
+        Architecture::InterposerPeriphery => VrPlacement::Periphery,
+        Architecture::InterposerEmbedded => VrPlacement::BelowDie,
+        _ => {
+            return Err(CoreError::InvalidSpec {
+                what: "electro-thermal analysis requires A1 or A2",
+                value: 0.0,
+            })
+        }
+    };
+    let base = analyze(architecture, topology, spec, calib, opts)?;
+    let conv = crate::single_stage_converter(topology);
+    let per_vr = base.sharing.per_vr().to_vec();
+
+    let n = calib.grid_nodes_per_side.max(4);
+    let mesh = ThermalMesh::silicon_die_default(n, n)?;
+    let derating = DeratingModel::for_technology(settings.technology);
+
+    // Die logic heat: the full POL power, distributed by the
+    // *time-averaged* power map (heat integrates over workload
+    // migration; the sharper electrical map sets module currents).
+    let logic = calib
+        .power_map
+        .thermally_averaged()
+        .node_currents(n, n, spec.pol_current())
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|i| i * spec.pol_voltage())
+                .collect::<Vec<Watts>>()
+        })
+        .collect::<Vec<_>>();
+
+    let sites = match placement {
+        VrPlacement::Periphery => periphery_sites(per_vr.len(), n, n),
+        VrPlacement::BelowDie => below_die_sites(per_vr.len(), n, n),
+    };
+    let coupling = match placement {
+        VrPlacement::Periphery => settings.periphery_coupling.clamp(0.0, 1.0),
+        VrPlacement::BelowDie => 1.0,
+    };
+
+    let nominal_losses: Vec<Watts> = per_vr
+        .iter()
+        .map(|&i| conv.curve().loss_unchecked(i))
+        .collect();
+    let nominal_total: Watts = nominal_losses.iter().copied().sum();
+
+    let mut factors = vec![1.0; per_vr.len()];
+    let mut last_peak = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut peak = Celsius::new(0.0);
+    let mut mean = Celsius::new(0.0);
+    let mut worst_module = Celsius::new(0.0);
+
+    while iterations < settings.max_iterations {
+        iterations += 1;
+        // Assemble the heat map: logic + (derated) module losses. A
+        // module's footprint (~7 mm² for DSCH) spans a 3×3 cell patch of
+        // the 25×25 mesh, so its heat deposits over that patch rather
+        // than one cell.
+        let mut heat = logic.clone();
+        for ((&(x, y), loss), factor) in sites.iter().zip(&nominal_losses).zip(&factors) {
+            let total = *loss * *factor * coupling;
+            let mut patch = Vec::new();
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let px = x as i64 + dx;
+                    let py = y as i64 + dy;
+                    if (0..n as i64).contains(&px) && (0..n as i64).contains(&py) {
+                        patch.push((px as usize, py as usize));
+                    }
+                }
+            }
+            let share = total / patch.len() as f64;
+            for (px, py) in patch {
+                heat[py][px] += share;
+            }
+        }
+        let map = mesh.solve(&heat)?;
+        peak = map.max();
+        mean = map.mean();
+        worst_module = sites
+            .iter()
+            .map(|&(x, y)| map.at(x, y))
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max);
+        // Update derating factors from the site temperatures.
+        for (factor, &(x, y)) in factors.iter_mut().zip(&sites) {
+            *factor = derating.loss_factor(map.at(x, y));
+        }
+        if (peak.value() - last_peak).abs() < settings.tolerance_k {
+            converged = true;
+            break;
+        }
+        last_peak = peak.value();
+    }
+
+    let derated_total: Watts = nominal_losses
+        .iter()
+        .zip(&factors)
+        .map(|(l, f)| *l * *f)
+        .sum();
+
+    Ok(ElectroThermalReport {
+        iterations,
+        converged,
+        peak_temperature: peak,
+        mean_temperature: mean,
+        worst_module_temperature: worst_module,
+        nominal_conversion_loss: nominal_total,
+        derated_conversion_loss: derated_total,
+        modules_within_rating: derating.within_rating(worst_module),
+    })
+}
+
+/// Convenience: the A1-versus-A2 thermal comparison at the paper's
+/// operating point.
+///
+/// # Errors
+///
+/// Propagates any analysis failure.
+pub fn thermal_comparison(
+    topology: VrTopologyKind,
+    spec: &SystemSpec,
+    calib: &Calibration,
+) -> Result<(ElectroThermalReport, ElectroThermalReport), CoreError> {
+    let opts = AnalysisOptions::default();
+    let settings = ElectroThermalSettings::default();
+    let a1 = electro_thermal(
+        Architecture::InterposerPeriphery,
+        topology,
+        spec,
+        calib,
+        &opts,
+        &settings,
+    )?;
+    let a2 = electro_thermal(
+        Architecture::InterposerEmbedded,
+        topology,
+        spec,
+        calib,
+        &opts,
+        &settings,
+    )?;
+    Ok((a1, a2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpd_units::Volts;
+
+    fn env() -> (SystemSpec, Calibration) {
+        (SystemSpec::paper_default(), Calibration::paper_default())
+    }
+
+    #[test]
+    fn iteration_converges() {
+        let (spec, calib) = env();
+        let report = electro_thermal(
+            Architecture::InterposerEmbedded,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+            &ElectroThermalSettings::default(),
+        )
+        .unwrap();
+        assert!(report.converged, "fixed point within 20 iterations");
+        assert!(report.iterations >= 2);
+        assert!(report.peak_temperature.value() > 25.0);
+        assert!(report.thermal_penalty().value() > 0.0);
+    }
+
+    #[test]
+    fn under_die_modules_run_hotter_than_periphery() {
+        // The co-design trade: A2's modules sit under the hotspot.
+        let (spec, calib) = env();
+        let (a1, a2) = thermal_comparison(VrTopologyKind::Dsch, &spec, &calib).unwrap();
+        assert!(
+            a2.worst_module_temperature.value() > a1.worst_module_temperature.value(),
+            "A2 module {} vs A1 module {}",
+            a2.worst_module_temperature,
+            a1.worst_module_temperature
+        );
+        // And its thermal penalty is correspondingly larger.
+        assert!(a2.thermal_penalty().value() > a1.thermal_penalty().value());
+    }
+
+    #[test]
+    fn gan_pays_smaller_penalty_than_si() {
+        let (spec, calib) = env();
+        let run = |tech| {
+            electro_thermal(
+                Architecture::InterposerEmbedded,
+                VrTopologyKind::Dsch,
+                &spec,
+                &calib,
+                &AnalysisOptions::default(),
+                &ElectroThermalSettings {
+                    technology: tech,
+                    ..ElectroThermalSettings::default()
+                },
+            )
+            .unwrap()
+        };
+        let si = run(DeviceTechnology::Si);
+        let gan = run(DeviceTechnology::GaN);
+        assert!(si.thermal_penalty().value() > gan.thermal_penalty().value());
+    }
+
+    #[test]
+    fn rejects_reference_architecture() {
+        let (spec, calib) = env();
+        let err = electro_thermal(
+            Architecture::Reference,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+            &ElectroThermalSettings::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpec { .. }));
+        let err2 = electro_thermal(
+            Architecture::TwoStage {
+                bus: Volts::new(12.0),
+            },
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+            &ElectroThermalSettings::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err2, CoreError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn temperatures_in_plausible_band() {
+        let (spec, calib) = env();
+        let (a1, a2) = thermal_comparison(VrTopologyKind::Dsch, &spec, &calib).unwrap();
+        for (name, r) in [("A1", &a1), ("A2", &a2)] {
+            let peak = r.peak_temperature.value();
+            assert!(
+                (45.0..150.0).contains(&peak),
+                "{name} peak {peak:.0} °C implausible"
+            );
+            assert!(r.mean_temperature.value() < peak);
+        }
+    }
+}

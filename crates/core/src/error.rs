@@ -1,0 +1,122 @@
+//! Core error type aggregating the substrate errors.
+
+use std::fmt;
+
+/// Errors from architecture analysis and exploration.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A specification value was invalid.
+    InvalidSpec {
+        /// Which field.
+        what: &'static str,
+        /// The rejected value (SI units).
+        value: f64,
+    },
+    /// The requested VR count cannot supply the load even at maximum
+    /// module current.
+    InsufficientVrCapacity {
+        /// Modules placed.
+        modules: usize,
+        /// Their combined maximum output (A).
+        capacity: f64,
+        /// Load current (A).
+        demand: f64,
+    },
+    /// A regulator was driven beyond its rating and extrapolation was
+    /// not permitted.
+    VrOverload {
+        /// Worst per-module current (A).
+        worst: f64,
+        /// Module rating (A).
+        rating: f64,
+    },
+    /// Circuit-level failure during the grid solve.
+    Circuit(vpd_circuit::CircuitError),
+    /// Packaging-level failure during via allocation.
+    Package(vpd_package::PackageError),
+    /// Converter-model failure.
+    Converter(vpd_converters::ConverterError),
+    /// Thermal-model failure.
+    Thermal(vpd_thermal::ThermalError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSpec { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            Self::InsufficientVrCapacity {
+                modules,
+                capacity,
+                demand,
+            } => write!(
+                f,
+                "{modules} regulator modules supply at most {capacity:.0} A but the load needs {demand:.0} A"
+            ),
+            Self::VrOverload { worst, rating } => write!(
+                f,
+                "regulator overloaded: {worst:.1} A against a {rating:.1} A rating"
+            ),
+            Self::Circuit(e) => write!(f, "grid solve: {e}"),
+            Self::Package(e) => write!(f, "packaging: {e}"),
+            Self::Converter(e) => write!(f, "converter: {e}"),
+            Self::Thermal(e) => write!(f, "thermal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Package(e) => Some(e),
+            Self::Converter(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vpd_circuit::CircuitError> for CoreError {
+    fn from(e: vpd_circuit::CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<vpd_package::PackageError> for CoreError {
+    fn from(e: vpd_package::PackageError) -> Self {
+        Self::Package(e)
+    }
+}
+
+impl From<vpd_converters::ConverterError> for CoreError {
+    fn from(e: vpd_converters::ConverterError) -> Self {
+        Self::Converter(e)
+    }
+}
+
+impl From<vpd_thermal::ThermalError> for CoreError {
+    fn from(e: vpd_thermal::ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        use std::error::Error;
+        let e = CoreError::from(vpd_package::PackageError::InvalidCurrent { value: -1.0 });
+        assert!(e.source().is_some());
+        let o = CoreError::VrOverload {
+            worst: 93.0,
+            rating: 30.0,
+        };
+        assert!(o.to_string().contains("93.0"));
+        assert!(o.source().is_none());
+    }
+}

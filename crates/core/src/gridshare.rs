@@ -1,0 +1,239 @@
+//! Die-grid current sharing: which regulator supplies how much.
+//!
+//! The die's 1 V distribution grid is discretized as a 2-D resistive
+//! mesh; the power map drives per-node current sinks; every regulator
+//! is an ideal setpoint source behind its droop resistance. Solving the
+//! mesh (sparse MNA, conjugate gradient) yields the per-module output
+//! currents — the quantity behind the paper's observation that A1's
+//! periphery modules see 16–27 A while A2's under-die modules see
+//! 10–93 A.
+
+use crate::placement::{below_die_sites, periphery_sites, VrPlacement};
+use crate::{Calibration, CoreError, SystemSpec};
+use vpd_circuit::PowerGrid;
+use vpd_units::{Amps, Volts, Watts};
+
+/// Result of a current-sharing solve.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SharingReport {
+    per_vr: Vec<Amps>,
+    grid_loss: Watts,
+    droop_loss: Watts,
+    worst_drop: Volts,
+}
+
+impl SharingReport {
+    /// Per-module output currents, in site order.
+    #[must_use]
+    pub fn per_vr(&self) -> &[Amps] {
+        &self.per_vr
+    }
+
+    /// Smallest module current.
+    #[must_use]
+    pub fn min(&self) -> Amps {
+        self.per_vr.iter().copied().fold(Amps::new(f64::INFINITY), Amps::min)
+    }
+
+    /// Largest module current.
+    #[must_use]
+    pub fn max(&self) -> Amps {
+        self.per_vr.iter().copied().fold(Amps::ZERO, Amps::max)
+    }
+
+    /// Mean module current.
+    #[must_use]
+    pub fn mean(&self) -> Amps {
+        self.per_vr.iter().copied().sum::<Amps>() / self.per_vr.len() as f64
+    }
+
+    /// Power dissipated in the distribution mesh (the on-die/
+    /// on-interposer 1 V spreading loss).
+    #[must_use]
+    pub fn grid_loss(&self) -> Watts {
+        self.grid_loss
+    }
+
+    /// Power dissipated in the module droop resistances (counted as
+    /// conversion-path loss by the architecture analysis).
+    #[must_use]
+    pub fn droop_loss(&self) -> Watts {
+        self.droop_loss
+    }
+
+    /// Worst-case IR drop below the regulator setpoint.
+    #[must_use]
+    pub fn worst_drop(&self) -> Volts {
+        self.worst_drop
+    }
+}
+
+/// Solves current sharing for `n_vrs` modules in the given placement.
+///
+/// ```
+/// use vpd_core::{solve_sharing, Calibration, SystemSpec, VrPlacement};
+///
+/// # fn main() -> Result<(), vpd_core::CoreError> {
+/// let spec = SystemSpec::paper_default();
+/// let calib = Calibration::paper_default();
+/// let report = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48)?;
+/// // 48 modules carry 1 kA between them.
+/// let total: f64 = report.per_vr().iter().map(|a| a.value()).sum();
+/// assert!((total - 1000.0).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidSpec`] for `n_vrs == 0`.
+/// * [`CoreError::Circuit`] if the mesh solve fails.
+pub fn solve_sharing(
+    spec: &SystemSpec,
+    calib: &Calibration,
+    placement: VrPlacement,
+    n_vrs: usize,
+) -> Result<SharingReport, CoreError> {
+    if n_vrs == 0 {
+        return Err(CoreError::InvalidSpec {
+            what: "regulator count",
+            value: 0.0,
+        });
+    }
+    let n = calib.grid_nodes_per_side.max(4);
+    let mut grid = PowerGrid::new(n, n, calib.grid_sheet_resistance)?;
+
+    let loads = calib
+        .power_map
+        .node_currents(n, n, spec.pol_current());
+    grid.attach_load_profile(|x, y| loads[y][x])?;
+
+    let (sites, droop) = match placement {
+        VrPlacement::Periphery => (periphery_sites(n_vrs, n, n), calib.vr_droop_periphery),
+        VrPlacement::BelowDie => (below_die_sites(n_vrs, n, n), calib.vr_droop_below_die),
+    };
+    solve_sharing_at(spec, calib, &sites, droop)
+}
+
+/// Solves current sharing for an explicit set of module sites (used by
+/// the placement optimizer; [`solve_sharing`] wraps this with the §II
+/// canonical patterns).
+///
+/// # Errors
+///
+/// As for [`solve_sharing`].
+pub fn solve_sharing_at(
+    spec: &SystemSpec,
+    calib: &Calibration,
+    sites: &[(usize, usize)],
+    droop: vpd_units::Ohms,
+) -> Result<SharingReport, CoreError> {
+    if sites.is_empty() {
+        return Err(CoreError::InvalidSpec {
+            what: "regulator count",
+            value: 0.0,
+        });
+    }
+    let n = calib.grid_nodes_per_side.max(4);
+    let mut grid = PowerGrid::new(n, n, calib.grid_sheet_resistance)?;
+    let loads = calib.power_map.node_currents(n, n, spec.pol_current());
+    grid.attach_load_profile(|x, y| loads[y][x])?;
+    for &(x, y) in sites {
+        grid.attach_regulator(x, y, spec.pol_voltage(), droop)?;
+    }
+    let sol = grid.solve()?;
+    let per_vr = grid.regulator_currents(&sol);
+    let droop_loss = per_vr.iter().map(|i| i.dissipation_in(droop)).sum();
+    Ok(SharingReport {
+        grid_loss: grid.grid_loss(&sol),
+        droop_loss,
+        worst_drop: grid.worst_ir_drop(&sol, spec.pol_voltage()),
+        per_vr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> (SystemSpec, Calibration) {
+        (SystemSpec::paper_default(), Calibration::paper_default())
+    }
+
+    #[test]
+    fn currents_sum_to_load_either_placement() {
+        let (spec, calib) = paper();
+        for placement in [VrPlacement::Periphery, VrPlacement::BelowDie] {
+            let rep = solve_sharing(&spec, &calib, placement, 48).unwrap();
+            let total: f64 = rep.per_vr().iter().map(|a| a.value()).sum();
+            assert!((total - 1000.0).abs() < 0.5, "{placement}: {total}");
+        }
+    }
+
+    #[test]
+    fn below_die_spread_is_much_wider_than_periphery() {
+        // The paper's §IV contrast: A2's under-die modules span a much
+        // broader current range than A1's periphery ring.
+        let (spec, calib) = paper();
+        let peri = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
+        let below = solve_sharing(&spec, &calib, VrPlacement::BelowDie, 48).unwrap();
+        let spread = |r: &SharingReport| r.max().value() / r.min().value();
+        assert!(
+            spread(&below) > 2.0 * spread(&peri),
+            "below {:.1}x vs periphery {:.1}x",
+            spread(&below),
+            spread(&peri)
+        );
+    }
+
+    #[test]
+    fn paper_a1_band_reproduces() {
+        // 16–27 A for 48 periphery modules.
+        let (spec, calib) = paper();
+        let rep = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
+        let (min, max) = (rep.min().value(), rep.max().value());
+        assert!(
+            (12.0..=20.0).contains(&min) && (23.0..=32.0).contains(&max),
+            "A1 band [{min:.1}, {max:.1}] vs paper [16, 27]"
+        );
+    }
+
+    #[test]
+    fn paper_a2_band_reproduces() {
+        // 10–93 A for 48 under-die modules.
+        let (spec, calib) = paper();
+        let rep = solve_sharing(&spec, &calib, VrPlacement::BelowDie, 48).unwrap();
+        let (min, max) = (rep.min().value(), rep.max().value());
+        assert!(
+            (6.0..=14.0).contains(&min) && (75.0..=110.0).contains(&max),
+            "A2 band [{min:.1}, {max:.1}] vs paper [10, 93]"
+        );
+    }
+
+    #[test]
+    fn zero_modules_rejected() {
+        let (spec, calib) = paper();
+        assert!(matches!(
+            solve_sharing(&spec, &calib, VrPlacement::Periphery, 0),
+            Err(CoreError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_loss_positive_and_bounded() {
+        let (spec, calib) = paper();
+        let rep = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
+        assert!(rep.grid_loss().value() > 1.0);
+        assert!(rep.grid_loss().value() < 100.0, "{}", rep.grid_loss());
+        assert!(rep.worst_drop().value() > 0.0);
+        assert!(rep.droop_loss().value() > 0.0);
+    }
+
+    #[test]
+    fn more_modules_reduce_spreading_loss() {
+        let (spec, calib) = paper();
+        let few = solve_sharing(&spec, &calib, VrPlacement::BelowDie, 8).unwrap();
+        let many = solve_sharing(&spec, &calib, VrPlacement::BelowDie, 48).unwrap();
+        assert!(many.grid_loss().value() < few.grid_loss().value());
+    }
+}

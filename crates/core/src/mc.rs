@@ -1,0 +1,158 @@
+//! Monte-Carlo tolerance analysis: how robust are the Figure 7
+//! conclusions to uncertainty in the calibrated resistances and the
+//! converter curves?
+
+use crate::arch::{analyze, AnalysisOptions, Architecture};
+use crate::{Calibration, CoreError, SystemSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpd_converters::VrTopologyKind;
+use vpd_units::Ohms;
+
+/// Monte-Carlo settings.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct McSettings {
+    /// Number of samples.
+    pub samples: usize,
+    /// Relative tolerance on every calibrated resistance (uniform
+    /// `±tol`).
+    pub resistance_tolerance: f64,
+    /// Relative tolerance on the conversion-loss magnitude.
+    pub conversion_tolerance: f64,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for McSettings {
+    fn default() -> Self {
+        Self {
+            samples: 200,
+            resistance_tolerance: 0.20,
+            conversion_tolerance: 0.10,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Distribution summary of total-loss percent over the samples.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct McSummary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl McSummary {
+    fn from_samples(mut xs: Vec<f64>) -> Self {
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let pick = |q: f64| xs[((q * (n - 1) as f64).round() as usize).min(n - 1)];
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+            min: xs[0],
+            max: xs[n - 1],
+            p5: pick(0.05),
+            p95: pick(0.95),
+        }
+    }
+}
+
+fn perturb(r: Ohms, rng: &mut StdRng, tol: f64) -> Ohms {
+    r * (1.0 + rng.gen_range(-tol..=tol))
+}
+
+/// Runs the tolerance analysis for one configuration, returning the
+/// loss-percent distribution summary.
+///
+/// # Errors
+///
+/// Propagates the first analysis failure (a nominal-feasible
+/// configuration stays feasible under resistance perturbation, so
+/// failures indicate a genuinely infeasible configuration).
+pub fn run_tolerance(
+    architecture: Architecture,
+    topology: VrTopologyKind,
+    spec: &SystemSpec,
+    base: &Calibration,
+    settings: &McSettings,
+) -> Result<McSummary, CoreError> {
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let opts = AnalysisOptions::default();
+    let mut samples = Vec::with_capacity(settings.samples);
+    for _ in 0..settings.samples {
+        let rt = settings.resistance_tolerance;
+        let calib = Calibration {
+            horizontal_pol_resistance: perturb(base.horizontal_pol_resistance, &mut rng, rt),
+            horizontal_hv_resistance: perturb(base.horizontal_hv_resistance, &mut rng, rt),
+            interposer_bus_resistance: perturb(base.interposer_bus_resistance, &mut rng, rt),
+            grid_sheet_resistance: perturb(base.grid_sheet_resistance, &mut rng, rt),
+            vr_droop_periphery: perturb(base.vr_droop_periphery, &mut rng, rt),
+            vr_droop_below_die: perturb(base.vr_droop_below_die, &mut rng, rt),
+            ..*base
+        };
+        let report = analyze(architecture, topology, spec, &calib, &opts)?;
+        // Conversion-curve uncertainty applied as a multiplicative factor
+        // on the conversion share of the total.
+        let conv_factor = 1.0 + rng.gen_range(-settings.conversion_tolerance..=settings.conversion_tolerance);
+        let b = &report.breakdown;
+        let loss = b.total().value()
+            + b.conversion_loss().value() * (conv_factor - 1.0);
+        samples.push(100.0 * loss / b.pol_power().value());
+    }
+    Ok(McSummary::from_samples(samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(arch: Architecture) -> McSummary {
+        run_tolerance(
+            arch,
+            VrTopologyKind::Dsch,
+            &SystemSpec::paper_default(),
+            &Calibration::paper_default(),
+            &McSettings {
+                samples: 60,
+                ..McSettings::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distributions_bracket_the_nominal() {
+        let a0 = summary(Architecture::Reference);
+        assert!(a0.min < 43.3 && 43.3 < a0.max, "{a0:?}");
+        assert!(a0.p5 <= a0.mean && a0.mean <= a0.p95);
+        assert!(a0.std_dev > 0.2, "resistance tolerance must show up");
+    }
+
+    #[test]
+    fn conclusion_is_robust_a0_always_worst() {
+        // Even at the 5th/95th percentiles, A0 loses to A1 — the paper's
+        // headline conclusion survives the tolerances.
+        let a0 = summary(Architecture::Reference);
+        let a1 = summary(Architecture::InterposerPeriphery);
+        assert!(a0.p5 > a1.p95, "A0 p5 {:.1} vs A1 p95 {:.1}", a0.p5, a1.p95);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let a = summary(Architecture::InterposerEmbedded);
+        let b = summary(Architecture::InterposerEmbedded);
+        assert_eq!(a, b);
+    }
+}

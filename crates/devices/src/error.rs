@@ -1,0 +1,42 @@
+//! Device-model error type.
+
+use std::fmt;
+
+/// Errors from device-model construction.
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A model parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The rejected value (SI units).
+        value: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}; must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_names_parameter() {
+        let e = DeviceError::InvalidParameter {
+            what: "inductance",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("inductance"));
+    }
+}

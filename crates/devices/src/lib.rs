@@ -1,0 +1,29 @@
+//! Power-stage component models for vertical power delivery.
+//!
+//! Provides the device layer under the converter topologies: Si/GaN
+//! power transistors with voltage-dependent specific on-resistance and
+//! charge densities, plus embedded/discrete inductors and capacitors
+//! with their loss mechanisms and current-density limits.
+//!
+//! ```
+//! use vpd_devices::Semiconductor;
+//! use vpd_units::Volts;
+//!
+//! // The §III argument for GaN in one line: the R_on·Q_g figure of
+//! // merit at the 48 V class is an order of magnitude better.
+//! let v = Volts::new(48.0);
+//! let ratio = Semiconductor::Si.figure_of_merit(v)
+//!     / Semiconductor::GaN.figure_of_merit(v);
+//! assert!(ratio > 8.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod passives;
+mod transistor;
+
+pub use error::DeviceError;
+pub use passives::{Capacitor, Inductor, InductorKind};
+pub use transistor::{PowerTransistor, Semiconductor};

@@ -1,0 +1,317 @@
+//! Preconditioned conjugate gradient for sparse SPD systems.
+
+use crate::vector::{axpy, dot, norm2};
+use crate::{CsrMatrix, NumericError};
+
+/// Preconditioner choice for [`conjugate_gradient`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub enum Preconditioner {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) scaling — the right default for grid Laplacians,
+    /// whose diagonal varies with local via density.
+    #[default]
+    Jacobi,
+}
+
+/// Settings for the conjugate-gradient solver.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CgSettings {
+    /// Relative residual target `‖r‖/‖b‖`.
+    pub tolerance: f64,
+    /// Iteration cap; `None` defaults to `10·n`.
+    pub max_iterations: Option<usize>,
+    /// Preconditioner.
+    pub preconditioner: Preconditioner,
+}
+
+impl Default for CgSettings {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: None,
+            preconditioner: Preconditioner::Jacobi,
+        }
+    }
+}
+
+/// Convergence report returned alongside the solution
+/// ([C-INTERMEDIATE]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CgReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Solves the SPD system `A·x = b` by preconditioned conjugate gradient.
+///
+/// Returns the solution together with a [`CgReport`]. A zero right-hand
+/// side returns the zero vector immediately.
+///
+/// ```
+/// use vpd_numeric::{conjugate_gradient, CgSettings, CooMatrix};
+///
+/// # fn main() -> Result<(), vpd_numeric::NumericError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 4.0);
+/// coo.push(1, 1, 3.0);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0);
+/// let a = coo.to_csr();
+/// let (x, report) = conjugate_gradient(&a, &[1.0, 2.0], &CgSettings::default())?;
+/// assert!(report.relative_residual < 1e-10);
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] — non-square `A` or wrong `b`
+///   length.
+/// * [`NumericError::NoConvergence`] — the iteration cap was reached
+///   before the tolerance; the report fields are embedded in the error.
+/// * [`NumericError::NotPositiveDefinite`] — a breakdown (`pᵀAp ≤ 0`)
+///   revealed an indefinite matrix.
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    settings: &CgSettings,
+) -> Result<(Vec<f64>, CgReport), NumericError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            found: format!("length {}", b.len()),
+        });
+    }
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok((
+            vec![0.0; n],
+            CgReport {
+                iterations: 0,
+                relative_residual: 0.0,
+            },
+        ));
+    }
+
+    let inv_diag: Option<Vec<f64>> = match settings.preconditioner {
+        Preconditioner::None => None,
+        Preconditioner::Jacobi => Some(
+            a.diagonal()
+                .iter()
+                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        ),
+    };
+    let apply_precond = |r: &[f64]| -> Vec<f64> {
+        match &inv_diag {
+            None => r.to_vec(),
+            Some(inv) => r.iter().zip(inv).map(|(ri, di)| ri * di).collect(),
+        }
+    };
+
+    let max_iters = settings.max_iterations.unwrap_or(10 * n.max(1));
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = apply_precond(&r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iter in 0..max_iters {
+        let rel = norm2(&r) / b_norm;
+        if rel <= settings.tolerance {
+            return Ok((
+                x,
+                CgReport {
+                    iterations: iter,
+                    relative_residual: rel,
+                },
+            ));
+        }
+        a.matvec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(NumericError::NotPositiveDefinite { pivot: iter });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        z = apply_precond(&r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    let rel = norm2(&r) / b_norm;
+    if rel <= settings.tolerance {
+        return Ok((
+            x,
+            CgReport {
+                iterations: max_iters,
+                relative_residual: rel,
+            },
+        ));
+    }
+    Err(NumericError::NoConvergence {
+        iterations: max_iters,
+        residual: rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CholeskyFactor, CooMatrix, DenseMatrix};
+    use proptest::prelude::*;
+
+    /// 1-D grounded Laplacian chain of `n` nodes with conductance `g` and a
+    /// ground leak `gl` on each node.
+    fn chain(n: usize, g: f64, gl: f64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let mut diag = gl;
+            if i > 0 {
+                coo.push(i, i - 1, -g);
+                diag += g;
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -g);
+                diag += g;
+            }
+            coo.push(i, i, diag);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_chain_laplacian() {
+        let a = chain(50, 1.0, 0.1);
+        let b = vec![1.0; 50];
+        let (x, report) = conjugate_gradient(&a, &b, &CgSettings::default()).unwrap();
+        assert!(report.relative_residual < 1e-10);
+        // Residual check
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = chain(5, 1.0, 0.1);
+        let (x, report) = conjugate_gradient(&a, &[0.0; 5], &CgSettings::default()).unwrap();
+        assert_eq!(x, vec![0.0; 5]);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_reports_no_convergence() {
+        let a = chain(100, 1.0, 1e-6); // poorly conditioned
+        let settings = CgSettings {
+            tolerance: 1e-14,
+            max_iterations: Some(2),
+            preconditioner: Preconditioner::None,
+        };
+        let err = conjugate_gradient(&a, &vec![1.0; 100], &settings).unwrap_err();
+        assert!(matches!(err, NumericError::NoConvergence { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn indefinite_matrix_breaks_down() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, -1.0);
+        let err =
+            conjugate_gradient(&coo.to_csr(), &[0.0, 1.0], &CgSettings::default()).unwrap_err();
+        assert!(matches!(err, NumericError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn wrong_rhs_rejected() {
+        let a = chain(3, 1.0, 0.1);
+        assert!(conjugate_gradient(&a, &[1.0], &CgSettings::default()).is_err());
+    }
+
+    #[test]
+    fn jacobi_beats_unpreconditioned_on_scaled_system() {
+        // Wildly varying diagonal: Jacobi should converge in far fewer
+        // iterations.
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        let edge = |i: usize| if i % 2 == 0 { 1.0 } else { 1e4 };
+        let mut diag = vec![0.0; n];
+        for i in 0..n - 1 {
+            let g = edge(i);
+            coo.push(i, i + 1, -g);
+            coo.push(i + 1, i, -g);
+            diag[i] += g;
+            diag[i + 1] += g;
+        }
+        for (i, d) in diag.iter().enumerate() {
+            // Ground leak scaled with the local edge weight keeps the
+            // diagonal wildly varying without breaking symmetry.
+            coo.push(i, i, d + 0.01 * edge(i));
+        }
+        let a = coo.to_csr();
+        assert_eq!(a.asymmetry().unwrap(), 0.0);
+        let b = vec![1.0; n];
+        let jacobi = conjugate_gradient(
+            &a,
+            &b,
+            &CgSettings {
+                preconditioner: Preconditioner::Jacobi,
+                ..CgSettings::default()
+            },
+        )
+        .unwrap()
+        .1;
+        let plain = conjugate_gradient(
+            &a,
+            &b,
+            &CgSettings {
+                preconditioner: Preconditioner::None,
+                max_iterations: Some(10 * n),
+                ..CgSettings::default()
+            },
+        );
+        match plain {
+            Ok((_, rep)) => assert!(jacobi.iterations <= rep.iterations),
+            Err(_) => {} // plain CG failing outright also proves the point
+        }
+    }
+
+    proptest! {
+        /// CG agrees with Cholesky on random grounded Laplacian chains.
+        #[test]
+        fn prop_cg_matches_cholesky(
+            g in 0.5_f64..5.0,
+            gl in 0.05_f64..1.0,
+            load in proptest::collection::vec(-2.0_f64..2.0, 8),
+        ) {
+            let n = load.len();
+            let a = chain(n, g, gl);
+            let (x_cg, _) = conjugate_gradient(&a, &load, &CgSettings::default()).unwrap();
+            let dense = DenseMatrix::from_fn(n, n, |i, j| a.get(i, j));
+            let x_ch = CholeskyFactor::new(&dense).unwrap().solve(&load).unwrap();
+            for (c, d) in x_cg.iter().zip(&x_ch) {
+                prop_assert!((c - d).abs() < 1e-6);
+            }
+        }
+    }
+}

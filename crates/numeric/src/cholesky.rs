@@ -1,0 +1,197 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+
+use crate::{DenseMatrix, NumericError};
+
+/// A Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// Grid Laplacians with at least one grounded node are SPD, so this is
+/// both a fast direct solver for medium grids and the oracle against which
+/// the conjugate-gradient path is property-tested.
+///
+/// ```
+/// use vpd_numeric::{CholeskyFactor, DenseMatrix};
+///
+/// # fn main() -> Result<(), vpd_numeric::NumericError> {
+/// let a = DenseMatrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = CholeskyFactor::new(&a)?;
+/// let x = chol.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CholeskyFactor {
+    /// Lower-triangular factor, stored densely.
+    l: DenseMatrix,
+}
+
+impl CholeskyFactor {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's contract (checked in debug builds).
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` is not square.
+    /// * [`NumericError::NotPositiveDefinite`] if a diagonal pivot is not
+    ///   strictly positive.
+    pub fn new(a: &DenseMatrix) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        debug_assert!(
+            a.asymmetry() < 1e-9,
+            "CholeskyFactor::new called with an asymmetric matrix"
+        );
+        let n = a.rows();
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.at(i, j);
+                for k in 0..j {
+                    sum -= l.at(i, k) * l.at(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NumericError::NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt())?;
+                } else {
+                    l.set(i, j, sum / l.at(j, j))?;
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Forward substitution: L·y = b.
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.l.at(i, j) * x[j];
+            }
+            x[i] = sum / self.l.at(i, i);
+        }
+        // Back substitution: Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.l.at(j, i) * x[j];
+            }
+            x[i] = sum / self.l.at(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Dimension of the factored system.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_spd_3x3() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let chol = CholeskyFactor::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = chol.solve(&b).unwrap();
+        let r: f64 = a
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0, f64::max);
+        assert!(r < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(NumericError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(CholeskyFactor::new(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_rhs() {
+        let chol = CholeskyFactor::new(&DenseMatrix::identity(2)).unwrap();
+        assert!(chol.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    proptest! {
+        /// Grounded grid-Laplacian-like matrices (diagonally dominant with
+        /// positive diagonal) are SPD and solve accurately.
+        #[test]
+        fn prop_laplacian_like_solves(
+            g in proptest::array::uniform8(0.1_f64..10.0),
+            b in proptest::array::uniform3(-5.0_f64..5.0),
+        ) {
+            // 3-node chain with conductances g[0..4] and a ground leak on
+            // every node => strictly diagonally dominant SPD.
+            let a = DenseMatrix::from_rows(&[
+                &[g[0] + g[1] + g[4], -g[1], 0.0],
+                &[-g[1], g[1] + g[2] + g[5], -g[2]],
+                &[0.0, -g[2], g[2] + g[3] + g[6]],
+            ]).unwrap();
+            let chol = CholeskyFactor::new(&a).unwrap();
+            let x = chol.solve(&b).unwrap();
+            let r: f64 = a.matvec(&x).iter().zip(&b)
+                .map(|(ax, bi)| (ax - bi).abs()).fold(0.0, f64::max);
+            prop_assert!(r < 1e-9);
+        }
+
+        /// Cholesky and LU agree on SPD systems.
+        #[test]
+        fn prop_agrees_with_lu(d in proptest::array::uniform4(1.0_f64..10.0)) {
+            let n = 4;
+            let a = DenseMatrix::from_fn(n, n, |i, j| {
+                if i == j { d[i] + 2.0 } else { 1.0 / (1.0 + (i as f64 - j as f64).abs()) }
+            });
+            // Symmetrize explicitly (from_fn above is already symmetric, but
+            // keep the invariant obvious).
+            let b = [1.0, -2.0, 3.0, 0.5];
+            let xc = CholeskyFactor::new(&a).unwrap().solve(&b).unwrap();
+            let xl = crate::LuFactor::new(&a).unwrap().solve(&b).unwrap();
+            for (c, l) in xc.iter().zip(&xl) {
+                prop_assert!((c - l).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Complex scalars and dense complex linear algebra for AC (phasor)
+//! analysis.
+
+use crate::NumericError;
+
+/// A complex number (double precision), written from scratch because
+//  the workspace carries no external numerics dependency.
+#[derive(Clone, Copy, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0j.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// 1 + 0j.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// 0 + 1j.
+    pub const J: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates `re + j·im`.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    #[must_use]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// From polar form `r·e^{jθ}`.
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Division by exact zero yields infinities, matching `f64`
+    /// semantics.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// `true` when both parts are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+j{:.6}", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-j{:.6}", self.re, -self.im)
+        }
+    }
+}
+
+/// A row-major dense complex matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ComplexMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry read (panics out of bounds, like slice indexing).
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.cols + col]
+    }
+
+    /// Entry write.
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Adds `value` to an entry (MNA stamping).
+    pub fn add_at(&mut self, row: usize, col: usize, value: Complex) {
+        self.data[row * self.cols + col] += value;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn matvec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.cols, "complex matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = Complex::ZERO;
+                for j in 0..self.cols {
+                    acc += self.at(i, j) * x[j];
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+/// LU factorization with partial pivoting over ℂ.
+#[derive(Clone, Debug)]
+pub struct ComplexLu {
+    lu: ComplexMatrix,
+    perm: Vec<usize>,
+}
+
+impl ComplexLu {
+    /// Factors a square complex matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] for a non-square input.
+    /// * [`NumericError::Singular`] when a pivot magnitude underflows.
+    pub fn new(a: &ComplexMatrix) -> Result<Self, NumericError> {
+        if a.rows() != a.cols() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let scale = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .fold(0.0_f64, |m, (i, j)| m.max(lu.at(i, j).abs()))
+            .max(1.0);
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_mag = lu.at(k, k).abs();
+            for i in (k + 1)..n {
+                let mag = lu.at(i, k).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag <= 1e-13 * scale {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu.at(k, j);
+                    lu.set(k, j, lu.at(pivot_row, j));
+                    lu.set(pivot_row, j, tmp);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu.at(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.at(i, k) / pivot;
+                lu.set(i, k, factor);
+                for j in (k + 1)..n {
+                    let updated = lu.at(i, j) - factor * lu.at(k, j);
+                    lu.set(i, j, updated);
+                }
+            }
+        }
+        Ok(Self { lu, perm })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for a wrong-length
+    /// right-hand side.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let mut x: Vec<Complex> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu.at(i, j) * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu.at(i, j) * x[j];
+            }
+            x[i] = sum / self.lu.at(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        let w = z * z.recip();
+        assert!((w.re - 1.0).abs() < 1e-12 && w.im.abs() < 1e-12);
+        assert_eq!(Complex::J * Complex::J, Complex::from_real(-1.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1.000000-j2.000000");
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // (1+j)x = 2 → x = 1−j.
+        let mut a = ComplexMatrix::zeros(1, 1);
+        a.set(0, 0, Complex::new(1.0, 1.0));
+        let lu = ComplexLu::new(&a).unwrap();
+        let x = lu.solve(&[Complex::from_real(2.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-12 && (x[0].im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_divider_phasor() {
+        // V across C in a series RC at ω where R = 1/(ωC): |H| = 1/√2,
+        // phase −45°.
+        let r = 1000.0;
+        let c = 1e-6;
+        let omega = 1.0 / (r * c);
+        let zc = Complex::new(0.0, -1.0 / (omega * c));
+        let h = zc / (Complex::from_real(r) + zc);
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((h.arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = ComplexMatrix::zeros(2, 2);
+        assert!(matches!(
+            ComplexLu::new(&a),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_and_bad_rhs_rejected() {
+        let a = ComplexMatrix::zeros(2, 3);
+        assert!(ComplexLu::new(&a).is_err());
+        let mut sq = ComplexMatrix::zeros(1, 1);
+        sq.set(0, 0, Complex::ONE);
+        let lu = ComplexLu::new(&sq).unwrap();
+        assert!(lu.solve(&[Complex::ONE, Complex::ONE]).is_err());
+    }
+
+    proptest! {
+        /// Random diagonally-dominant complex systems solve to a small
+        /// residual.
+        #[test]
+        fn prop_complex_solve_residual(
+            res in proptest::array::uniform9(-1.0_f64..1.0),
+            ims in proptest::array::uniform9(-1.0_f64..1.0),
+            rhs_re in proptest::array::uniform3(-5.0_f64..5.0),
+        ) {
+            let n = 3;
+            let mut a = ComplexMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, Complex::new(res[i * n + j], ims[i * n + j]));
+                }
+            }
+            for i in 0..n {
+                let off: f64 = (0..n).filter(|&j| j != i)
+                    .map(|j| a.at(i, j).abs()).sum();
+                a.set(i, i, Complex::new(off + 1.0, 0.5));
+            }
+            let b: Vec<Complex> = rhs_re.iter().map(|&r| Complex::new(r, -r)).collect();
+            let lu = ComplexLu::new(&a).unwrap();
+            let x = lu.solve(&b).unwrap();
+            let ax = a.matvec(&x);
+            for (axi, bi) in ax.iter().zip(&b) {
+                prop_assert!((*axi - *bi).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type shared by every numeric kernel.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// What the operation expected (rows, cols or length).
+        expected: String,
+        /// What it received.
+        found: String,
+    },
+    /// The matrix is singular (or numerically singular) to working
+    /// precision; factorization cannot proceed.
+    Singular {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix is not symmetric positive definite (Cholesky only).
+    NotPositiveDefinite {
+        /// Pivot index at which a non-positive diagonal appeared.
+        pivot: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual at the final iterate.
+        residual: f64,
+    },
+    /// An entry index lies outside the matrix.
+    IndexOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            Self::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            Self::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (relative residual {residual:.3e})"
+            ),
+            Self::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for a {rows}x{cols} matrix"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        let errs: Vec<NumericError> = vec![
+            NumericError::Singular { pivot: 3 },
+            NumericError::NotPositiveDefinite { pivot: 0 },
+            NumericError::NoConvergence {
+                iterations: 100,
+                residual: 1e-3,
+            },
+            NumericError::DimensionMismatch {
+                expected: "3x3".into(),
+                found: "3x4".into(),
+            },
+            NumericError::IndexOutOfBounds {
+                row: 5,
+                col: 1,
+                rows: 4,
+                cols: 4,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

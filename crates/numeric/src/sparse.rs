@@ -1,0 +1,324 @@
+//! Sparse matrix storage: COO builder and CSR compute format.
+
+use crate::NumericError;
+
+/// A coordinate-format (COO) sparse-matrix builder.
+///
+/// MNA stamping naturally produces duplicate `(row, col)` contributions;
+/// duplicates are summed when compressing to CSR, so element stamps can be
+/// pushed independently.
+///
+/// ```
+/// use vpd_numeric::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(0, 0, 2.0); // duplicate: summed on compression
+/// coo.push(1, 1, 4.0);
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.matvec(&[1.0, 1.0]), vec![3.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty builder of the given shape.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a contribution at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index lies outside the declared shape — stamping out
+    /// of bounds is a programming error, not a recoverable condition.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "sparse stamp ({row}, {col}) outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Number of raw (pre-merge) entries.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Declared number of rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Declared number of columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Compresses to CSR, summing duplicate coordinates and dropping
+    /// entries that cancel to exactly zero.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut col_indices = Vec::with_capacity(sorted.len());
+        let mut row_ptr = vec![0usize; self.rows + 1];
+
+        let mut i = 0;
+        while i < sorted.len() {
+            let (r, c, mut v) = sorted[i];
+            i += 1;
+            while i < sorted.len() && sorted[i].0 == r && sorted[i].1 == c {
+                v += sorted[i].2;
+                i += 1;
+            }
+            if v != 0.0 {
+                values.push(v);
+                col_indices.push(c);
+                row_ptr[r + 1] += 1;
+            }
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_indices,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row (CSR) matrix.
+///
+/// Produced from a [`CooMatrix`]; immutable once built. Supports the
+/// operations iterative solvers need: `matvec`, diagonal extraction, and
+/// row iteration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-provided buffer
+    /// ([C-CALLER-CONTROL]); the hot path of conjugate gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec input dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        for r in 0..self.rows {
+            let start = self.row_ptr[r];
+            let end = self.row_ptr[r + 1];
+            let mut sum = 0.0;
+            for k in start..end {
+                sum += self.values[k] * x[self.col_indices[k]];
+            }
+            y[r] = sum;
+        }
+    }
+
+    /// The main diagonal (zero where no entry is stored); the Jacobi
+    /// preconditioner.
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.rows.min(self.cols)];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.col_indices[k] == r {
+                    d[r] = self.values[k];
+                }
+            }
+        }
+        d
+    }
+
+    /// Entry lookup (O(row nnz)).
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        if row >= self.rows {
+            return 0.0;
+        }
+        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+            if self.col_indices[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Iterates the stored entries of one row as `(col, value)` pairs.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        (start..end).map(move |k| (self.col_indices[k], self.values[k]))
+    }
+
+    /// Maximum absolute asymmetry over stored entries (0 for symmetric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the matrix is not
+    /// square.
+    pub fn asymmetry(&self) -> Result<f64, NumericError> {
+        if self.rows != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        let mut worst: f64 = 0.0;
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                worst = worst.max((v - self.get(c, r)).abs());
+            }
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 0, 1.5);
+        coo.push(1, 0, 2.5);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn cancelling_entries_are_dropped() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 3.0);
+        coo.push(0, 0, -3.0);
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn zero_pushes_are_ignored() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 0.0);
+        assert_eq!(coo.raw_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_stamp_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut coo = CooMatrix::new(3, 3);
+        // Tridiagonal Laplacian-ish
+        for i in 0..3 {
+            coo.push(i, i, 2.0);
+        }
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.matvec(&[1.0, 2.0, 3.0]), vec![0.0, 0.0, 4.0]);
+        assert_eq!(csr.asymmetry().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 5.0);
+        coo.push(1, 0, 7.0); // off-diagonal only on row 1
+        let d = coo.to_csr().diagonal();
+        assert_eq!(d, vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn get_missing_entry_is_zero() {
+        let coo = CooMatrix::new(2, 2);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), 0.0);
+        assert_eq!(csr.get(9, 9), 0.0);
+    }
+
+    #[test]
+    fn asymmetry_detects() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        let a = coo.to_csr().asymmetry().unwrap();
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn empty_rows_have_empty_ranges() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 2, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_entries(0).count(), 0);
+        assert_eq!(csr.row_entries(1).count(), 0);
+        assert_eq!(csr.row_entries(2).count(), 1);
+    }
+}

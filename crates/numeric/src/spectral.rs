@@ -1,0 +1,198 @@
+//! Spectral diagnostics: power iteration for the dominant eigenvalue
+//! and a condition-number estimate for SPD systems.
+//!
+//! Used to sanity-check the grid Laplacians the PDN solves produce —
+//! CG's convergence rate is governed by `√κ`, so a runaway condition
+//! number explains (and predicts) slow solves.
+
+use crate::vector::{dot, norm2};
+use crate::{CsrMatrix, NumericError};
+
+/// Result of a power-iteration run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerIteration {
+    /// Estimated dominant eigenvalue.
+    pub eigenvalue: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative change of the estimate.
+    pub residual: f64,
+}
+
+/// Estimates the dominant eigenvalue of a symmetric matrix by power
+/// iteration with a deterministic start vector.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] for a non-square matrix.
+/// * [`NumericError::NoConvergence`] if the estimate is still moving
+///   after `max_iterations`.
+pub fn dominant_eigenvalue(
+    a: &CsrMatrix,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<PowerIteration, NumericError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    // Deterministic, non-degenerate start: varying entries avoid being
+    // orthogonal to the dominant eigenvector for our structured inputs.
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    let nrm = norm2(&x);
+    for v in &mut x {
+        *v /= nrm;
+    }
+    let mut lambda = 0.0;
+    let mut y = vec![0.0; n];
+    for k in 1..=max_iterations {
+        a.matvec_into(&x, &mut y);
+        let new_lambda = dot(&x, &y);
+        let ny = norm2(&y);
+        if ny == 0.0 {
+            // x was in the null space: the dominant eigenvalue of the
+            // restriction is 0.
+            return Ok(PowerIteration {
+                eigenvalue: 0.0,
+                iterations: k,
+                residual: 0.0,
+            });
+        }
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        let rel = if new_lambda != 0.0 {
+            ((new_lambda - lambda) / new_lambda).abs()
+        } else {
+            (new_lambda - lambda).abs()
+        };
+        lambda = new_lambda;
+        if rel < tolerance {
+            return Ok(PowerIteration {
+                eigenvalue: lambda,
+                iterations: k,
+                residual: rel,
+            });
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+/// Estimates the SPD condition number `κ = λ_max / λ_min` using power
+/// iteration on `A` and on a shifted complement `λ_max·I − A` (whose
+/// dominant eigenvalue is `λ_max − λ_min`).
+///
+/// # Errors
+///
+/// As for [`dominant_eigenvalue`].
+pub fn condition_estimate_spd(
+    a: &CsrMatrix,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<f64, NumericError> {
+    let top = dominant_eigenvalue(a, tolerance, max_iterations)?;
+    let lambda_max = top.eigenvalue;
+    // Build λ_max·I − A.
+    let n = a.rows();
+    let mut coo = crate::CooMatrix::new(n, n);
+    for r in 0..n {
+        let mut has_diag = false;
+        for (c, v) in a.row_entries(r) {
+            if c == r {
+                coo.push(r, r, lambda_max - v);
+                has_diag = true;
+            } else {
+                coo.push(r, c, -v);
+            }
+        }
+        if !has_diag {
+            coo.push(r, r, lambda_max);
+        }
+    }
+    let shifted = coo.to_csr();
+    let comp = dominant_eigenvalue(&shifted, tolerance, max_iterations)?;
+    let lambda_min = (lambda_max - comp.eigenvalue).max(f64::MIN_POSITIVE);
+    Ok(lambda_max / lambda_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn diag(values: &[f64]) -> CsrMatrix {
+        let n = values.len();
+        let mut coo = CooMatrix::new(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            coo.push(i, i, v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn finds_dominant_of_diagonal() {
+        let a = diag(&[1.0, 5.0, 3.0]);
+        let r = dominant_eigenvalue(&a, 1e-12, 500).unwrap();
+        assert!((r.eigenvalue - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn condition_of_diagonal_matrix() {
+        let a = diag(&[2.0, 10.0, 4.0]);
+        let kappa = condition_estimate_spd(&a, 1e-12, 2000).unwrap();
+        assert!((kappa - 5.0).abs() < 0.05, "κ = {kappa}");
+    }
+
+    #[test]
+    fn grid_laplacian_condition_grows_with_size() {
+        // Grounded chain Laplacians: κ grows ~n² — the reason the CG
+        // path wants the Jacobi preconditioner on big grids.
+        // Grounded at one end only: λ_min shrinks like 1/n².
+        let chain = |n: usize| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                let mut d = if i == 0 { 1.0 } else { 0.0 };
+                if i > 0 {
+                    coo.push(i, i - 1, -1.0);
+                    d += 1.0;
+                }
+                if i + 1 < n {
+                    coo.push(i, i + 1, -1.0);
+                    d += 1.0;
+                }
+                coo.push(i, i, d);
+            }
+            coo.to_csr()
+        };
+        let k_small = condition_estimate_spd(&chain(8), 1e-11, 100_000).unwrap();
+        let k_large = condition_estimate_spd(&chain(32), 1e-11, 100_000).unwrap();
+        assert!(k_large > 3.0 * k_small, "{k_small} vs {k_large}");
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let coo = CooMatrix::new(2, 3);
+        assert!(dominant_eigenvalue(&coo.to_csr(), 1e-9, 100).is_err());
+    }
+
+    #[test]
+    fn reports_no_convergence() {
+        // Two nearly equal eigenvalues converge very slowly.
+        let a = diag(&[1.0, 1.0 - 1e-12]);
+        let err = dominant_eigenvalue(&a, 0.0, 3).unwrap_err();
+        assert!(matches!(err, NumericError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero() {
+        let a = CooMatrix::new(3, 3).to_csr();
+        let r = dominant_eigenvalue(&a, 1e-9, 10).unwrap();
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Via-array allocation: how many vias a current needs, how much of the
+//! platform that occupies, and what it costs electrically.
+
+use crate::{InterconnectTech, PackageError};
+use vpd_units::{Amps, Ohms, SquareMeters, Volts, Watts};
+
+/// An allocation of vias at one packaging level for one current.
+///
+/// Both the power and the ground return path are allocated (the paper's
+/// "both power and ground distribution networks are considered").
+///
+/// ```
+/// use vpd_package::{InterconnectTech, ViaAllocation};
+/// use vpd_units::Amps;
+///
+/// # fn main() -> Result<(), vpd_package::PackageError> {
+/// // The paper's vertical architectures bring 1 kA through the Cu pads:
+/// // 20% of the 500 mm² die's pad sites.
+/// let alloc = ViaAllocation::for_current(
+///     InterconnectTech::CU_PAD,
+///     Amps::from_kiloamps(1.0),
+///     InterconnectTech::CU_PAD.default_platform_area,
+/// )?;
+/// assert!((alloc.utilization() - 0.20).abs() < 0.005);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ViaAllocation {
+    tech: InterconnectTech,
+    current: Amps,
+    power_vias: usize,
+    total_sites: usize,
+}
+
+impl ViaAllocation {
+    /// Allocates vias for `current` through `tech` on `platform`.
+    ///
+    /// The electromigration limit of the material sets the per-via
+    /// current; the power-site cap of the technology bounds how much of
+    /// the platform power may occupy.
+    ///
+    /// # Errors
+    ///
+    /// * [`PackageError::InvalidCurrent`] for a non-positive current.
+    /// * [`PackageError::InsufficientSites`] when the platform (after
+    ///   the cap) cannot host the required vias.
+    pub fn for_current(
+        tech: InterconnectTech,
+        current: Amps,
+        platform: SquareMeters,
+    ) -> Result<Self, PackageError> {
+        if !(current.value().is_finite() && current.value() > 0.0) {
+            return Err(PackageError::InvalidCurrent {
+                value: current.value(),
+            });
+        }
+        let per_via = tech.max_current_per_via();
+        let power_vias = (current.value() / per_via.value()).ceil() as usize;
+        let total_sites = tech.sites_in(platform);
+        let permitted = (total_sites as f64 * tech.power_site_cap) as usize;
+        let needed = power_vias * 2; // power + ground
+        if needed > permitted {
+            return Err(PackageError::InsufficientSites {
+                tech: tech.name,
+                needed,
+                available: permitted,
+            });
+        }
+        Ok(Self {
+            tech,
+            current,
+            power_vias,
+            total_sites,
+        })
+    }
+
+    /// The technology allocated.
+    #[must_use]
+    pub fn tech(&self) -> InterconnectTech {
+        self.tech
+    }
+
+    /// Vias carrying supply current (the ground return uses as many
+    /// again).
+    #[must_use]
+    pub fn power_vias(&self) -> usize {
+        self.power_vias
+    }
+
+    /// Power + ground vias combined.
+    #[must_use]
+    pub fn total_vias(&self) -> usize {
+        self.power_vias * 2
+    }
+
+    /// Fraction of all platform sites occupied by power + ground.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.total_vias() as f64 / self.total_sites as f64
+    }
+
+    /// Effective resistance of the level: the per-via resistance in
+    /// parallel across the power vias, doubled for the ground return.
+    #[must_use]
+    pub fn effective_resistance(&self) -> Ohms {
+        self.tech.via_resistance().parallel_of(self.power_vias) * 2.0
+    }
+
+    /// Current per power via.
+    #[must_use]
+    pub fn current_per_via(&self) -> Amps {
+        self.current / self.power_vias as f64
+    }
+
+    /// Voltage drop across the level (power + ground return).
+    #[must_use]
+    pub fn voltage_drop(&self) -> Volts {
+        self.current * self.effective_resistance()
+    }
+
+    /// Power dissipated in the level at the allocated current.
+    #[must_use]
+    pub fn loss(&self) -> Watts {
+        self.current.dissipation_in(self.effective_resistance())
+    }
+}
+
+/// The platform area a technology needs to carry `current` under its
+/// power-site cap — the paper's reference-architecture die-size solve.
+///
+/// # Errors
+///
+/// Returns [`PackageError::InvalidCurrent`] for a non-positive current.
+pub fn required_platform_area(
+    tech: InterconnectTech,
+    current: Amps,
+) -> Result<SquareMeters, PackageError> {
+    if !(current.value().is_finite() && current.value() > 0.0) {
+        return Err(PackageError::InvalidCurrent {
+            value: current.value(),
+        });
+    }
+    let per_via = tech.max_current_per_via();
+    let power_vias = (current.value() / per_via.value()).ceil();
+    // Round the site count up and add a one-site guard so the returned
+    // platform always floors back to at least the needed count.
+    let sites_needed = (power_vias * 2.0 / tech.power_site_cap).ceil() + 1.0;
+    Ok(SquareMeters::new(
+        sites_needed * tech.pitch.value() * tech.pitch.value(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's §IV utilization claims at the 48 V / 1 kA operating
+    /// point (lateral current 1000/48 ≈ 20.8 A above conversion; full
+    /// 1 kA below).
+    #[test]
+    fn paper_utilization_claims_reproduce() {
+        let i_hv = Amps::new(1000.0 / 48.0);
+        let i_pol = Amps::from_kiloamps(1.0);
+
+        let bga = ViaAllocation::for_current(
+            InterconnectTech::BGA,
+            i_hv,
+            InterconnectTech::BGA.default_platform_area,
+        )
+        .unwrap();
+        assert!((bga.utilization() - 0.012).abs() < 0.005, "~1% of BGAs");
+
+        let c4 = ViaAllocation::for_current(
+            InterconnectTech::C4,
+            i_hv,
+            InterconnectTech::C4.default_platform_area,
+        )
+        .unwrap();
+        assert!((c4.utilization() - 0.018).abs() < 0.005, "~2% of C4s");
+
+        let tsv = ViaAllocation::for_current(
+            InterconnectTech::TSV,
+            i_pol,
+            InterconnectTech::TSV.default_platform_area,
+        )
+        .unwrap();
+        assert!((tsv.utilization() - 0.104).abs() < 0.01, "~10% of TSVs");
+
+        let pad = ViaAllocation::for_current(
+            InterconnectTech::CU_PAD,
+            i_pol,
+            InterconnectTech::CU_PAD.default_platform_area,
+        )
+        .unwrap();
+        assert!(pad.utilization() <= 0.20 + 1e-6, "<20% of Cu pads");
+    }
+
+    /// The reference architecture needs a ~1,200 mm² die to sink 1 kA
+    /// through C4-class bumps at the 85% cap (paper §IV).
+    #[test]
+    fn reference_die_size_claim_reproduces() {
+        let area =
+            required_platform_area(InterconnectTech::C4, Amps::from_kiloamps(1.0)).unwrap();
+        let mm2 = area.as_square_millimeters();
+        assert!(
+            (mm2 - 1200.0).abs() < 30.0,
+            "expected ~1200 mm², got {mm2:.0}"
+        );
+    }
+
+    /// µ-bumps alone cannot carry 1 kA on a 500 mm² die — the reason the
+    /// paper's vertical architectures lean on Cu–Cu pads.
+    #[test]
+    fn micro_bumps_alone_cannot_carry_pol_current() {
+        let err = ViaAllocation::for_current(
+            InterconnectTech::MICRO_BUMP,
+            Amps::from_kiloamps(1.0),
+            InterconnectTech::MICRO_BUMP.default_platform_area,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PackageError::InsufficientSites { .. }));
+    }
+
+    #[test]
+    fn vertical_losses_are_negligible_at_pol() {
+        // 1 kA through the allocated Cu pads: well under 1 W.
+        let pad = ViaAllocation::for_current(
+            InterconnectTech::CU_PAD,
+            Amps::from_kiloamps(1.0),
+            InterconnectTech::CU_PAD.default_platform_area,
+        )
+        .unwrap();
+        assert!(pad.loss().value() < 0.1);
+        // And through TSVs: also small.
+        let tsv = ViaAllocation::for_current(
+            InterconnectTech::TSV,
+            Amps::from_kiloamps(1.0),
+            InterconnectTech::TSV.default_platform_area,
+        )
+        .unwrap();
+        assert!(tsv.loss().value() < 0.2);
+    }
+
+    #[test]
+    fn rejects_bad_current() {
+        for bad in [0.0, -5.0, f64::NAN] {
+            assert!(ViaAllocation::for_current(
+                InterconnectTech::BGA,
+                Amps::new(bad),
+                InterconnectTech::BGA.default_platform_area,
+            )
+            .is_err());
+            assert!(required_platform_area(InterconnectTech::BGA, Amps::new(bad)).is_err());
+        }
+    }
+
+    #[test]
+    fn effective_resistance_includes_ground_return() {
+        let alloc = ViaAllocation::for_current(
+            InterconnectTech::BGA,
+            Amps::new(1.0),
+            InterconnectTech::BGA.default_platform_area,
+        )
+        .unwrap();
+        // 1 A needs exactly one power BGA; R_eff = 2 × R_via.
+        assert_eq!(alloc.power_vias(), 1);
+        assert!(
+            (alloc.effective_resistance().value()
+                - 2.0 * InterconnectTech::BGA.via_resistance().value())
+            .abs()
+                < 1e-12
+        );
+    }
+
+    proptest! {
+        /// More current never decreases utilization or loss; per-via
+        /// current never exceeds the EM limit.
+        #[test]
+        fn prop_allocation_monotone(i1 in 0.5_f64..400.0, i2 in 0.5_f64..400.0) {
+            let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+            let platform = InterconnectTech::C4.default_platform_area;
+            let a_lo = ViaAllocation::for_current(
+                InterconnectTech::C4, Amps::new(lo), platform).unwrap();
+            let a_hi = ViaAllocation::for_current(
+                InterconnectTech::C4, Amps::new(hi), platform).unwrap();
+            prop_assert!(a_hi.utilization() >= a_lo.utilization());
+            prop_assert!(a_hi.loss().value() >= a_lo.loss().value() - 1e-12);
+            let limit = InterconnectTech::C4.max_current_per_via().value();
+            prop_assert!(a_lo.current_per_via().value() <= limit + 1e-12);
+            prop_assert!(a_hi.current_per_via().value() <= limit + 1e-12);
+        }
+
+        /// The allocation always respects the platform cap when it
+        /// succeeds.
+        #[test]
+        fn prop_cap_respected(i in 1.0_f64..2000.0) {
+            let tech = InterconnectTech::CU_PAD;
+            if let Ok(alloc) = ViaAllocation::for_current(
+                tech, Amps::new(i), tech.default_platform_area) {
+                prop_assert!(alloc.utilization() <= tech.power_site_cap + 1e-9);
+            }
+        }
+    }
+}

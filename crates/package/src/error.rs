@@ -1,0 +1,70 @@
+//! Packaging-level error type.
+
+use std::fmt;
+
+/// Errors from via allocation and stack construction.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum PackageError {
+    /// The platform does not hold enough sites (after the power-site
+    /// cap) to carry the requested current.
+    InsufficientSites {
+        /// Technology name.
+        tech: &'static str,
+        /// Sites needed (power + ground).
+        needed: usize,
+        /// Sites permitted by the platform and cap.
+        available: usize,
+    },
+    /// A requested current was non-positive or non-finite.
+    InvalidCurrent {
+        /// The rejected value in amperes.
+        value: f64,
+    },
+    /// A utilization cap lay outside `(0, 1]`.
+    InvalidCap {
+        /// The rejected cap.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PackageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientSites {
+                tech,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{tech} platform exhausted: {needed} sites needed, {available} available"
+            ),
+            Self::InvalidCurrent { value } => {
+                write!(f, "current must be positive and finite, got {value}")
+            }
+            Self::InvalidCap { value } => {
+                write!(f, "utilization cap must be in (0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = PackageError::InsufficientSites {
+            tech: "µ-bump",
+            needed: 285_000,
+            available: 138_888,
+        };
+        assert!(e.to_string().contains("285000"));
+        assert!(PackageError::InvalidCurrent { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+}

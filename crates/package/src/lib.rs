@@ -1,0 +1,32 @@
+//! Packaging interconnect models: Table I of the paper as typed data,
+//! electromigration-limited via allocation, and vertical level stacks.
+//!
+//! The paper's §II sizes the vertical power path from the Table I
+//! technology characteristics; this crate reproduces every derived
+//! number — per-via resistance (`ρ·h/A`), array site counts
+//! (`platform/pitch²`), EM-limited per-via currents, utilization
+//! percentages, and the reference architecture's 1,200 mm² die-size
+//! requirement.
+//!
+//! ```
+//! use vpd_package::InterconnectTech;
+//!
+//! // One TSV from Table I: 42 mΩ of copper.
+//! let r = InterconnectTech::TSV.via_resistance();
+//! assert!((r.as_milliohms() - 42.0).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod error;
+mod lateral;
+mod stack;
+mod tech;
+
+pub use array::{required_platform_area, ViaAllocation};
+pub use error::PackageError;
+pub use lateral::{plane_spreading_resistance, trace_resistance, BoardLateralModel};
+pub use stack::{LevelSpec, VerticalPath};
+pub use tech::{InterconnectTech, ViaMaterial};

@@ -1,0 +1,169 @@
+//! ASCII stacked horizontal bar charts — the harness's Figure-7-style
+//! output.
+
+/// One bar: a label and stacked `(segment name, value)` pairs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Bar {
+    /// Row label (e.g. an architecture name).
+    pub label: String,
+    /// Stacked segments, in draw order.
+    pub segments: Vec<(String, f64)>,
+}
+
+impl Bar {
+    /// Creates a bar.
+    #[must_use]
+    pub fn new<S: Into<String>>(label: S, segments: Vec<(String, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            segments,
+        }
+    }
+
+    /// Sum of all segment values.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.segments.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// A stacked horizontal bar chart rendered in plain text.
+///
+/// ```
+/// use vpd_report::{Bar, BarChart};
+///
+/// let mut chart = BarChart::new("PCB-to-POL loss (% of 1 kW)", 40);
+/// chart.bar(Bar::new("A0", vec![("VR".into(), 10.0), ("horiz".into(), 30.0)]));
+/// chart.bar(Bar::new("A1", vec![("VR".into(), 14.0), ("horiz".into(), 4.0)]));
+/// let text = chart.render();
+/// assert!(text.contains("A0"));
+/// assert!(text.contains("40.0"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<Bar>,
+}
+
+/// Fill characters cycled across segments.
+const FILLS: &[char] = &['#', '=', ':', '.', '%', '+', '*'];
+
+impl BarChart {
+    /// Creates a chart with a maximum bar width in characters.
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, width: usize) -> Self {
+        Self {
+            title: title.into(),
+            width: width.max(10),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends a bar.
+    pub fn bar(&mut self, bar: Bar) -> &mut Self {
+        self.bars.push(bar);
+        self
+    }
+
+    /// Renders the chart with a legend.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let max_total = self
+            .bars
+            .iter()
+            .map(Bar::total)
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|b| b.label.chars().count())
+            .max()
+            .unwrap_or(0);
+
+        // Legend built from first occurrence of each segment name.
+        let mut legend: Vec<String> = Vec::new();
+        for bar in &self.bars {
+            for (name, _) in &bar.segments {
+                if !legend.contains(name) {
+                    legend.push(name.clone());
+                }
+            }
+        }
+
+        for bar in &self.bars {
+            let mut line = format!(
+                "{:<width$} |",
+                bar.label,
+                width = label_w
+            );
+            for (name, value) in &bar.segments {
+                let fill = FILLS[legend
+                    .iter()
+                    .position(|n| n == name)
+                    .unwrap_or(0)
+                    % FILLS.len()];
+                let chars = (value / max_total * self.width as f64).round() as usize;
+                line.extend(std::iter::repeat(fill).take(chars));
+            }
+            out.push_str(&format!("{line} {:.1}\n", bar.total()));
+        }
+
+        out.push_str("legend: ");
+        let entries: Vec<String> = legend
+            .iter()
+            .enumerate()
+            .map(|(i, name)| format!("{} {name}", FILLS[i % FILLS.len()]))
+            .collect();
+        out.push_str(&entries.join("  "));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_values_draw_longer_bars() {
+        let mut chart = BarChart::new("t", 40);
+        chart.bar(Bar::new("big", vec![("x".into(), 40.0)]));
+        chart.bar(Bar::new("sml", vec![("x".into(), 10.0)]));
+        let text = chart.render();
+        let count = |label: &str| {
+            text.lines()
+                .find(|l| l.starts_with(label))
+                .unwrap()
+                .matches('#')
+                .count()
+        };
+        assert!(count("big") > 3 * count("sml"));
+    }
+
+    #[test]
+    fn legend_lists_each_segment_once() {
+        let mut chart = BarChart::new("t", 20);
+        chart.bar(Bar::new("a", vec![("vr".into(), 1.0), ("h".into(), 2.0)]));
+        chart.bar(Bar::new("b", vec![("vr".into(), 2.0), ("h".into(), 1.0)]));
+        let text = chart.render();
+        let legend = text.lines().last().unwrap();
+        assert_eq!(legend.matches("vr").count(), 1);
+        assert_eq!(legend.matches('h').count() >= 1, true);
+    }
+
+    #[test]
+    fn totals_printed() {
+        let mut chart = BarChart::new("t", 20);
+        chart.bar(Bar::new("a", vec![("x".into(), 1.5), ("y".into(), 2.5)]));
+        assert!(chart.render().contains("4.0"));
+    }
+
+    #[test]
+    fn empty_chart_renders_title() {
+        let chart = BarChart::new("nothing here", 20);
+        assert!(chart.render().contains("nothing here"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal CSV emission (RFC 4180 quoting) for experiment outputs.
+
+/// A CSV document builder.
+///
+/// ```
+/// use vpd_report::Csv;
+///
+/// let mut csv = Csv::new(vec!["arch", "loss_w"]);
+/// csv.row(vec!["A0".into(), "422".into()]);
+/// csv.row(vec!["has,comma".into(), "1".into()]);
+/// let text = csv.render();
+/// assert!(text.contains("\"has,comma\""));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a document with headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_owned()
+        }
+    }
+
+    /// Renders the document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let head: Vec<String> = self.headers.iter().map(|h| Self::escape(h)).collect();
+        out.push_str(&head.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| Self::escape(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_are_doubled() {
+        let mut csv = Csv::new(vec!["a"]);
+        csv.row(vec!["say \"hi\"".into()]);
+        assert!(csv.render().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn newlines_are_quoted() {
+        let mut csv = Csv::new(vec!["a"]);
+        csv.row(vec!["two\nlines".into()]);
+        assert!(csv.render().contains("\"two\nlines\""));
+    }
+
+    #[test]
+    fn rows_padded_to_header_count() {
+        let mut csv = Csv::new(vec!["a", "b"]);
+        csv.row(vec!["1".into()]);
+        assert_eq!(csv.render(), "a,b\n1,\n");
+    }
+
+    #[test]
+    fn plain_cells_unquoted() {
+        let mut csv = Csv::new(vec!["x"]);
+        csv.row(vec!["plain".into()]);
+        assert_eq!(csv.render(), "x\nplain\n");
+    }
+}

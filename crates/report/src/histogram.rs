@@ -1,0 +1,168 @@
+//! Text histograms and sparklines — for Monte-Carlo distributions and
+//! sweep series.
+
+/// A fixed-bin histogram over `f64` samples.
+///
+/// ```
+/// use vpd_report::Histogram;
+///
+/// let h = Histogram::from_samples(&[1.0, 1.2, 1.1, 3.0, 3.1], 4);
+/// assert_eq!(h.bins().len(), 4);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the
+    /// sample range. Empty input or a single repeated value produces a
+    /// single-bin degenerate histogram.
+    #[must_use]
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        let bins = bins.max(1);
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Self {
+                lo: 0.0,
+                hi: 0.0,
+                counts: vec![0; 1],
+            };
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if hi <= lo {
+            return Self {
+                lo,
+                hi,
+                counts: vec![finite.len(); 1],
+            };
+        }
+        let mut counts = vec![0usize; bins];
+        for v in finite {
+            let t = (v - lo) / (hi - lo);
+            let idx = ((t * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Self { lo, hi, counts }
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total samples counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The `(low, high)` edges of bin `i`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Renders a horizontal-bar histogram, `width` chars at the mode.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat(c * width.max(1) / max);
+            out.push_str(&format!("[{lo:>9.2}, {hi:>9.2}) |{bar} {c}\n"));
+        }
+        out
+    }
+}
+
+/// Block-character levels for [`sparkline`], low to high.
+const SPARK_LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a one-line sparkline (`▁▂▅█…`); non-finite
+/// values render as spaces.
+///
+/// ```
+/// use vpd_report::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.ends_with('█'));
+/// ```
+#[must_use]
+pub fn sparkline(series: &[f64]) -> String {
+    let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+        (l.min(v), h.max(v))
+    });
+    series
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if hi <= lo {
+                SPARK_LEVELS[0]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                let idx = ((t * (SPARK_LEVELS.len() - 1) as f64).round()) as usize;
+                SPARK_LEVELS[idx.min(SPARK_LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let h = Histogram::from_samples(&[0.0, 0.1, 0.9, 1.0], 2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bins(), &[2, 2]);
+        let (lo, hi) = h.bin_edges(0);
+        assert!((lo - 0.0).abs() < 1e-12 && (hi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_degenerate_inputs() {
+        assert_eq!(Histogram::from_samples(&[], 5).total(), 0);
+        let constant = Histogram::from_samples(&[2.0; 7], 5);
+        assert_eq!(constant.total(), 7);
+        assert_eq!(constant.bins().len(), 1);
+        let with_nan = Histogram::from_samples(&[1.0, f64::NAN, 2.0], 2);
+        assert_eq!(with_nan.total(), 2);
+    }
+
+    #[test]
+    fn histogram_renders_bars() {
+        let h = Histogram::from_samples(&[1.0, 1.0, 1.0, 5.0], 2);
+        let text = h.render(9);
+        assert!(text.contains("######### 3"));
+        assert!(text.contains("### 1"));
+    }
+
+    #[test]
+    fn sparkline_monotone_series() {
+        let s = sparkline(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.first(), Some(&'▁'));
+        assert_eq!(chars.last(), Some(&'█'));
+        // Levels never decrease for an increasing series.
+        let idx = |c: char| SPARK_LEVELS.iter().position(|&l| l == c).unwrap();
+        assert!(chars.windows(2).all(|w| idx(w[0]) <= idx(w[1])));
+    }
+
+    #[test]
+    fn sparkline_flat_and_nan() {
+        assert_eq!(sparkline(&[3.0, 3.0]), "▁▁");
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0]).chars().nth(1), Some(' '));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

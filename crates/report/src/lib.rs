@@ -1,0 +1,24 @@
+//! Reporting primitives for the experiment harness: plain-text and
+//! Markdown tables, stacked ASCII bar charts (the Figure-7 output
+//! format), and CSV emission.
+//!
+//! ```
+//! use vpd_report::Table;
+//!
+//! let mut t = Table::new(vec!["topology", "peak efficiency"]);
+//! t.row(vec!["DSCH".into(), "91.5%".into()]);
+//! assert!(t.render().contains("DSCH"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod csv;
+mod histogram;
+mod table;
+
+pub use chart::{Bar, BarChart};
+pub use csv::Csv;
+pub use histogram::{sparkline, Histogram};
+pub use table::{Align, Table};

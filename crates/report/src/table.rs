@@ -1,0 +1,202 @@
+//! Plain-text and Markdown table rendering.
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Align {
+    /// Left-aligned (default).
+    #[default]
+    Left,
+    /// Right-aligned — numeric columns.
+    Right,
+}
+
+/// A simple text table builder.
+///
+/// ```
+/// use vpd_report::{Align, Table};
+///
+/// let mut t = Table::new(vec!["Architecture", "Loss (%)"]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["A0".into(), "42.2".into()]);
+/// t.row(vec!["A1 (DSCH)".into(), "17.5".into()]);
+/// let text = t.render();
+/// assert!(text.contains("A0"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Self {
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Sets the alignment of column `col` (ignored when out of range).
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        if let Some(a) = self.aligns.get_mut(col) {
+            *a = align;
+        }
+        self
+    }
+
+    /// Appends a row; short rows are padded, long rows truncated to the
+    /// header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(fill)),
+            Align::Right => format!("{}{cell}", " ".repeat(fill)),
+        }
+    }
+
+    /// Renders a boxed plain-text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let widths = self.widths();
+        let sep: String = {
+            let parts: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+            format!("+{}+", parts.join("+"))
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        let header_cells: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| Self::pad(h, widths[i], Align::Left))
+            .collect();
+        out.push_str(&format!("| {} |\n", header_cells.join(" | ")));
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Self::pad(c, widths[i], self.aligns[i]))
+                .collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Renders a GitHub-flavored Markdown table.
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        let mut out = format!("| {} |\n", self.headers.join(" | "));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => "---",
+                Align::Right => "---:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", seps.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.align(1, Align::Right);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "10000".into()]);
+        t
+    }
+
+    #[test]
+    fn columns_line_up() {
+        let text = sample().render();
+        let widths: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{text}");
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let text = sample().render();
+        assert!(text.contains("|     1 |"), "{text}");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        let text = t.render();
+        assert!(text.lines().count() == 5);
+    }
+
+    #[test]
+    fn markdown_has_separator_with_alignment() {
+        let md = sample().markdown();
+        assert!(md.contains("| --- | ---: |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(vec!["only"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn unicode_headers_counted_by_chars() {
+        let mut t = Table::new(vec!["µ-bump Ω"]);
+        t.row(vec!["x".into()]);
+        let text = t.render();
+        let widths: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{text}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Thermal-model error type.
+
+use std::fmt;
+use vpd_numeric::NumericError;
+
+/// Errors from thermal-mesh construction and solving.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A mesh parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The rejected value (SI units).
+        value: f64,
+    },
+    /// The power map does not match the mesh dimensions.
+    ShapeMismatch {
+        /// Expected `(nx, ny)`.
+        expected: (usize, usize),
+        /// Received `(nx, ny)`.
+        found: (usize, usize),
+    },
+    /// The linear solve failed.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}; must be positive and finite")
+            }
+            Self::ShapeMismatch { expected, found } => write!(
+                f,
+                "power map is {}x{} but the mesh is {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            Self::Numeric(e) => write!(f, "thermal solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for ThermalError {
+    fn from(e: NumericError) -> Self {
+        Self::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ThermalError::ShapeMismatch {
+            expected: (9, 9),
+            found: (3, 3),
+        };
+        assert!(e.to_string().contains("3x3"));
+        assert!(e.source().is_none());
+        let n = ThermalError::from(NumericError::Singular { pivot: 1 });
+        assert!(n.source().is_some());
+    }
+}

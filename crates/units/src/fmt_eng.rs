@@ -1,0 +1,120 @@
+//! Engineering-notation formatting shared by every quantity's `Display`.
+
+use std::fmt;
+
+/// SI prefixes covering the range used in power-delivery work
+/// (femto through tera).
+const PREFIXES: &[(f64, &str)] = &[
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+];
+
+/// Splits a value into an engineering-notation mantissa and SI prefix.
+///
+/// ```
+/// use vpd_units::EngNotation;
+/// let eng = EngNotation::of(0.00033);
+/// assert_eq!(eng.prefix, "µ");
+/// assert!((eng.mantissa - 330.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EngNotation {
+    /// Mantissa scaled into `[1, 1000)` (except for zero / non-finite input).
+    pub mantissa: f64,
+    /// SI prefix string, e.g. `"m"`, `"µ"`, `"k"`.
+    pub prefix: &'static str,
+}
+
+impl EngNotation {
+    /// Computes the engineering notation of `value`.
+    #[must_use]
+    pub fn of(value: f64) -> Self {
+        if value == 0.0 || !value.is_finite() {
+            return Self {
+                mantissa: value,
+                prefix: "",
+            };
+        }
+        let mag = value.abs();
+        for &(scale, prefix) in PREFIXES {
+            if mag >= scale {
+                return Self {
+                    mantissa: value / scale,
+                    prefix,
+                };
+            }
+        }
+        // Below the femto range: fall through unscaled.
+        Self {
+            mantissa: value,
+            prefix: "",
+        }
+    }
+}
+
+impl fmt::Display for EngNotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}{}", self.mantissa, self.prefix)
+    }
+}
+
+/// Writes `value` with `symbol` in engineering notation, honoring an
+/// explicit precision (`{:.2}`) when the caller provides one.
+pub(crate) fn write_engineering(f: &mut fmt::Formatter<'_>, value: f64, symbol: &str) -> fmt::Result {
+    let eng = EngNotation::of(value);
+    let precision = f.precision().unwrap_or(3);
+    write!(f, "{:.*} {}{}", precision, eng.mantissa, eng.prefix, symbol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_no_prefix() {
+        let eng = EngNotation::of(0.0);
+        assert_eq!(eng.prefix, "");
+        assert_eq!(eng.mantissa, 0.0);
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        let eng = EngNotation::of(-4700.0);
+        assert_eq!(eng.prefix, "k");
+        assert!((eng.mantissa + 4.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milli_range() {
+        let eng = EngNotation::of(0.0025);
+        assert_eq!(eng.prefix, "m");
+        assert!((eng.mantissa - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unity_range() {
+        let eng = EngNotation::of(42.0);
+        assert_eq!(eng.prefix, "");
+        assert_eq!(eng.mantissa, 42.0);
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        assert!(EngNotation::of(f64::NAN).mantissa.is_nan());
+        assert_eq!(EngNotation::of(f64::INFINITY).prefix, "");
+    }
+
+    #[test]
+    fn sub_femto_unscaled() {
+        let eng = EngNotation::of(1e-18);
+        assert_eq!(eng.prefix, "");
+    }
+}

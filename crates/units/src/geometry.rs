@@ -1,0 +1,214 @@
+//! Geometric and material quantities: length, area, current density,
+//! resistivity, and temperature.
+
+quantity! {
+    /// Length in meters.
+    ///
+    /// ```
+    /// use vpd_units::Meters;
+    /// let tsv_height = Meters::from_micrometers(50.0);
+    /// assert!((tsv_height.value() - 5e-5).abs() < 1e-18);
+    /// ```
+    Meters, symbol: "m"
+}
+
+quantity! {
+    /// Area in square meters.
+    ///
+    /// Packaging work quotes areas in mm² (platforms, dies) and µm²
+    /// (via cross-sections); both constructors are provided.
+    ///
+    /// ```
+    /// use vpd_units::SquareMeters;
+    /// let die = SquareMeters::from_square_millimeters(500.0);
+    /// assert!((die.as_square_millimeters() - 500.0).abs() < 1e-9);
+    /// ```
+    SquareMeters, symbol: "m²"
+}
+
+quantity! {
+    /// Current density in amperes per square meter.
+    ///
+    /// The paper quotes A/mm²; use
+    /// [`CurrentDensity::from_amps_per_square_millimeter`].
+    ///
+    /// ```
+    /// use vpd_units::CurrentDensity;
+    /// let d = CurrentDensity::from_amps_per_square_millimeter(2.0);
+    /// assert!((d.as_amps_per_square_millimeter() - 2.0).abs() < 1e-12);
+    /// ```
+    CurrentDensity, symbol: "A/m²"
+}
+
+quantity! {
+    /// Electrical resistivity in ohm-meters.
+    ///
+    /// ```
+    /// use vpd_units::Resistivity;
+    /// let cu = Resistivity::COPPER;
+    /// assert!((cu.value() - 1.68e-8).abs() < 1e-12);
+    /// ```
+    Resistivity, symbol: "Ω·m"
+}
+
+quantity! {
+    /// Temperature in degrees Celsius (offset scale; additive ops model
+    /// temperature *differences*).
+    Celsius, symbol: "°C"
+}
+
+impl Meters {
+    /// Creates a length from millimeters.
+    #[must_use]
+    pub const fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm * 1e-3)
+    }
+
+    /// Creates a length from micrometers.
+    #[must_use]
+    pub const fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Value in millimeters.
+    #[must_use]
+    pub fn as_millimeters(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Value in micrometers.
+    #[must_use]
+    pub fn as_micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// The square with this side length.
+    #[must_use]
+    pub fn squared(self) -> SquareMeters {
+        SquareMeters::new(self.value() * self.value())
+    }
+}
+
+impl SquareMeters {
+    /// Creates an area from square millimeters.
+    #[must_use]
+    pub const fn from_square_millimeters(mm2: f64) -> Self {
+        Self::new(mm2 * 1e-6)
+    }
+
+    /// Creates an area from square micrometers.
+    #[must_use]
+    pub const fn from_square_micrometers(um2: f64) -> Self {
+        Self::new(um2 * 1e-12)
+    }
+
+    /// Value in square millimeters.
+    #[must_use]
+    pub fn as_square_millimeters(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Value in square micrometers.
+    #[must_use]
+    pub fn as_square_micrometers(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// Side length of the square with this area.
+    ///
+    /// Used for the paper's square-die assumption (a 500 mm² die has a
+    /// ~22.36 mm side whose four edges host the periphery VR ring).
+    #[must_use]
+    pub fn square_side(self) -> Meters {
+        Meters::new(self.value().sqrt())
+    }
+}
+
+impl CurrentDensity {
+    /// Creates a density from A/mm² (the paper's unit).
+    #[must_use]
+    pub const fn from_amps_per_square_millimeter(a_per_mm2: f64) -> Self {
+        Self::new(a_per_mm2 * 1e6)
+    }
+
+    /// Value in A/mm².
+    #[must_use]
+    pub fn as_amps_per_square_millimeter(self) -> f64 {
+        self.value() * 1e-6
+    }
+}
+
+impl Resistivity {
+    /// Bulk copper resistivity at room temperature.
+    pub const COPPER: Self = Self::new(1.68e-8);
+
+    /// Typical SAC305-class solder resistivity (BGA balls, C4 bumps,
+    /// µ-bumps).
+    pub const SOLDER: Self = Self::new(1.3e-7);
+
+    /// Resistance of a prism conductor: `ρ · l / A`.
+    ///
+    /// This is the via-resistance formula the paper quotes
+    /// (`R_PPDN = ρ·l/A`).
+    ///
+    /// ```
+    /// use vpd_units::{Meters, Resistivity, SquareMeters};
+    /// // One TSV from Table I: Cu, 50 µm tall, 20 µm² cross-section.
+    /// let r = Resistivity::COPPER
+    ///     .wire_resistance(Meters::from_micrometers(50.0),
+    ///                      SquareMeters::from_square_micrometers(20.0));
+    /// assert!((r.as_milliohms() - 42.0).abs() < 0.5);
+    /// ```
+    #[must_use]
+    pub fn wire_resistance(self, length: Meters, cross_section: SquareMeters) -> crate::Ohms {
+        crate::Ohms::new(self.value() * length.value() / cross_section.value())
+    }
+
+    /// Sheet resistance (Ω/□) of a film of this resistivity and `thickness`.
+    #[must_use]
+    pub fn sheet_resistance(self, thickness: Meters) -> crate::Ohms {
+        crate::Ohms::new(self.value() / thickness.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_conversions_round_trip() {
+        let a = SquareMeters::from_square_millimeters(1200.0);
+        assert!((a.as_square_millimeters() - 1200.0).abs() < 1e-9);
+        let b = SquareMeters::from_square_micrometers(707.0);
+        assert!((b.as_square_micrometers() - 707.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn square_side_of_paper_die() {
+        let die = SquareMeters::from_square_millimeters(500.0);
+        assert!((die.square_side().as_millimeters() - 22.360).abs() < 1e-3);
+    }
+
+    #[test]
+    fn current_density_paper_value() {
+        let d = CurrentDensity::from_amps_per_square_millimeter(2.0);
+        assert!((d.value() - 2e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tsv_resistance_matches_hand_calc() {
+        // ρ l / A = 1.68e-8 * 50e-6 / 20e-12 = 42 mΩ
+        let r = Resistivity::COPPER.wire_resistance(
+            Meters::from_micrometers(50.0),
+            SquareMeters::from_square_micrometers(20.0),
+        );
+        assert!((r.as_milliohms() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sheet_resistance_of_rdl_copper() {
+        // 2 µm copper RDL: 1.68e-8 / 2e-6 = 8.4 mΩ/sq
+        let rs = Resistivity::COPPER.sheet_resistance(Meters::from_micrometers(2.0));
+        assert!((rs.as_milliohms() - 8.4).abs() < 1e-9);
+    }
+}

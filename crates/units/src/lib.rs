@@ -1,0 +1,54 @@
+//! Strongly-typed physical quantities for power-delivery modeling.
+//!
+//! Every quantity is a newtype over `f64` in SI base units ([C-NEWTYPE]).
+//! The types provide the arithmetic that is dimensionally meaningful and
+//! nothing else, so that e.g. adding volts to amperes is a compile error
+//! while `Amps * Ohms -> Volts` works:
+//!
+//! ```
+//! use vpd_units::{Amps, Ohms, Volts, Watts};
+//!
+//! let i = Amps::new(1000.0);
+//! let r = Ohms::from_milliohms(0.3);
+//! let drop: Volts = i * r;
+//! let loss: Watts = i.dissipation_in(r);
+//! assert!((drop.value() - 0.3).abs() < 1e-12);
+//! assert!((loss.value() - 300.0).abs() < 1e-9);
+//! ```
+//!
+//! The crate also provides [`Efficiency`] (a validated ratio in `(0, 1]`)
+//! and engineering-notation [`std::fmt::Display`] implementations
+//! (`"3.30 mΩ"`), which the reporting layer relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod efficiency;
+mod electrical;
+mod fmt_eng;
+mod geometry;
+mod ops;
+mod reactive;
+
+pub use efficiency::{Efficiency, EfficiencyError};
+pub use electrical::{Amps, Coulombs, Joules, Ohms, Siemens, Volts, Watts};
+pub use fmt_eng::EngNotation;
+pub use geometry::{Celsius, CurrentDensity, Meters, Resistivity, SquareMeters};
+pub use ops::{capacitor_energy, inductor_energy};
+pub use reactive::{Farads, Henries, Hertz, Seconds};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_example_holds() {
+        let i = Amps::new(1000.0);
+        let r = Ohms::from_milliohms(0.3);
+        assert!(((i * r).value() - 0.3).abs() < 1e-12);
+        assert!((i.dissipation_in(r).value() - 300.0).abs() < 1e-9);
+    }
+}

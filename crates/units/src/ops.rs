@@ -1,0 +1,230 @@
+//! Cross-dimension arithmetic: only the physically meaningful products
+//! and quotients are implemented ([C-OVERLOAD]).
+
+use crate::{
+    Amps, Coulombs, CurrentDensity, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMeters,
+    Volts, Watts,
+};
+use std::ops::{Div, Mul};
+
+/// `V = I · R` (Ohm's law).
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, r: Ohms) -> Volts {
+        Volts::new(self.value() * r.value())
+    }
+}
+
+/// `V = R · I` (commuted Ohm's law).
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+    fn mul(self, i: Amps) -> Volts {
+        Volts::new(self.value() * i.value())
+    }
+}
+
+/// `I = V / R`.
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, r: Ohms) -> Amps {
+        Amps::new(self.value() / r.value())
+    }
+}
+
+/// `R = V / I`.
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    fn div(self, i: Amps) -> Ohms {
+        Ohms::new(self.value() / i.value())
+    }
+}
+
+/// `I = V · G`.
+impl Mul<Siemens> for Volts {
+    type Output = Amps;
+    fn mul(self, g: Siemens) -> Amps {
+        Amps::new(self.value() * g.value())
+    }
+}
+
+/// `I = G · V`.
+impl Mul<Volts> for Siemens {
+    type Output = Amps;
+    fn mul(self, v: Volts) -> Amps {
+        Amps::new(self.value() * v.value())
+    }
+}
+
+/// `P = V · I`.
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, i: Amps) -> Watts {
+        Watts::new(self.value() * i.value())
+    }
+}
+
+/// `P = I · V`.
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, v: Volts) -> Watts {
+        Watts::new(self.value() * v.value())
+    }
+}
+
+/// `I = P / V`.
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, v: Volts) -> Amps {
+        Amps::new(self.value() / v.value())
+    }
+}
+
+/// `V = P / I`.
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    fn div(self, i: Amps) -> Volts {
+        Volts::new(self.value() / i.value())
+    }
+}
+
+/// `E = P · t`.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, t: Seconds) -> Joules {
+        Joules::new(self.value() * t.value())
+    }
+}
+
+/// `P = E · f` (per-cycle energy times switching frequency).
+impl Mul<Hertz> for Joules {
+    type Output = Watts;
+    fn mul(self, f: Hertz) -> Watts {
+        Watts::new(self.value() * f.value())
+    }
+}
+
+/// `P = f · E`.
+impl Mul<Joules> for Hertz {
+    type Output = Watts;
+    fn mul(self, e: Joules) -> Watts {
+        Watts::new(self.value() * e.value())
+    }
+}
+
+/// `Q = C · V` (charge on a capacitor).
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    fn mul(self, v: Volts) -> Coulombs {
+        Coulombs::new(self.value() * v.value())
+    }
+}
+
+/// `E = Q · V` (charge moved through a potential).
+impl Mul<Volts> for Coulombs {
+    type Output = Joules;
+    fn mul(self, v: Volts) -> Joules {
+        Joules::new(self.value() * v.value())
+    }
+}
+
+/// `I = Q · f` (average gate-drive current).
+impl Mul<Hertz> for Coulombs {
+    type Output = Amps;
+    fn mul(self, f: Hertz) -> Amps {
+        Amps::new(self.value() * f.value())
+    }
+}
+
+/// `I = J · A` (current through an area at a given density).
+impl Mul<SquareMeters> for CurrentDensity {
+    type Output = Amps;
+    fn mul(self, a: SquareMeters) -> Amps {
+        Amps::new(self.value() * a.value())
+    }
+}
+
+/// `J = I / A`.
+impl Div<SquareMeters> for Amps {
+    type Output = CurrentDensity;
+    fn div(self, a: SquareMeters) -> CurrentDensity {
+        CurrentDensity::new(self.value() / a.value())
+    }
+}
+
+/// `A = I / J` (area required to carry a current at a density limit).
+impl Div<CurrentDensity> for Amps {
+    type Output = SquareMeters;
+    fn div(self, d: CurrentDensity) -> SquareMeters {
+        SquareMeters::new(self.value() / d.value())
+    }
+}
+
+/// Capacitor energy `½CV²`.
+#[must_use]
+pub fn capacitor_energy(c: Farads, v: Volts) -> Joules {
+    Joules::new(0.5 * c.value() * v.value() * v.value())
+}
+
+/// Inductor energy `½LI²`.
+#[must_use]
+pub fn inductor_energy(l: crate::Henries, i: Amps) -> Joules {
+    Joules::new(0.5 * l.value() * i.value() * i.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Henries;
+
+    #[test]
+    fn ohms_law_both_ways() {
+        let v = Amps::new(3.0) * Ohms::new(2.0);
+        assert_eq!(v, Volts::new(6.0));
+        assert_eq!(v / Ohms::new(2.0), Amps::new(3.0));
+        assert_eq!(v / Amps::new(3.0), Ohms::new(2.0));
+    }
+
+    #[test]
+    fn power_identities() {
+        let p = Volts::new(48.0) * Amps::new(20.8);
+        assert!(p.approx_eq(Watts::new(998.4), 1e-9));
+        assert!((p / Volts::new(48.0)).approx_eq(Amps::new(20.8), 1e-12));
+        assert!((p / Amps::new(20.8)).approx_eq(Volts::new(48.0), 1e-12));
+    }
+
+    #[test]
+    fn paper_die_current_from_density() {
+        // 2 A/mm² × 500 mm² = 1 kA (the paper's headline operating point).
+        let i = CurrentDensity::from_amps_per_square_millimeter(2.0)
+            * SquareMeters::from_square_millimeters(500.0);
+        assert!(i.approx_eq(Amps::from_kiloamps(1.0), 1e-6));
+    }
+
+    #[test]
+    fn area_required_for_current() {
+        // A0 claim: 1 kA at 0.833 A/mm² needs 1200 mm².
+        let area = Amps::from_kiloamps(1.0)
+            / CurrentDensity::from_amps_per_square_millimeter(1000.0 / 1200.0);
+        assert!((area.as_square_millimeters() - 1200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switching_energy_to_power() {
+        let e = capacitor_energy(Farads::from_nanofarads(1.0), Volts::new(48.0));
+        let p = e * Hertz::from_megahertz(1.0);
+        // ½·1n·48² = 1.152 µJ → 1.152 W at 1 MHz
+        assert!(p.approx_eq(Watts::new(1.152), 1e-9));
+    }
+
+    #[test]
+    fn gate_charge_current() {
+        let i = Coulombs::from_nanocoulombs(12.0) * Hertz::from_megahertz(2.0);
+        assert!(i.approx_eq(Amps::new(0.024), 1e-12));
+    }
+
+    #[test]
+    fn stored_energies() {
+        let el = inductor_energy(Henries::from_microhenries(4.0), Amps::new(30.0));
+        assert!(el.approx_eq(Joules::new(0.5 * 4e-6 * 900.0), 1e-15));
+    }
+}

@@ -1,0 +1,138 @@
+//! Reactive-component and timing quantities: capacitance, inductance,
+//! frequency, and time.
+
+quantity! {
+    /// Capacitance in farads.
+    ///
+    /// ```
+    /// use vpd_units::Farads;
+    /// let c = Farads::from_microfarads(15.0); // DPMIH total capacitance
+    /// assert!((c.value() - 15e-6).abs() < 1e-18);
+    /// ```
+    Farads, symbol: "F"
+}
+
+quantity! {
+    /// Inductance in henries.
+    ///
+    /// ```
+    /// use vpd_units::Henries;
+    /// let l = Henries::from_microhenries(0.88); // DSCH total inductance
+    /// assert!((l.value() - 0.88e-6).abs() < 1e-18);
+    /// ```
+    Henries, symbol: "H"
+}
+
+quantity! {
+    /// Frequency in hertz.
+    ///
+    /// ```
+    /// use vpd_units::Hertz;
+    /// let f = Hertz::from_megahertz(2.0);
+    /// assert_eq!(f.period().value(), 0.5e-6);
+    /// ```
+    Hertz, symbol: "Hz"
+}
+
+quantity! {
+    /// Time in seconds.
+    ///
+    /// ```
+    /// use vpd_units::Seconds;
+    /// let dt = Seconds::from_nanoseconds(10.0);
+    /// assert_eq!(dt.value(), 1e-8);
+    /// ```
+    Seconds, symbol: "s"
+}
+
+impl Farads {
+    /// Creates a capacitance from microfarads.
+    #[must_use]
+    pub const fn from_microfarads(uf: f64) -> Self {
+        Self::new(uf * 1e-6)
+    }
+
+    /// Creates a capacitance from nanofarads.
+    #[must_use]
+    pub const fn from_nanofarads(nf: f64) -> Self {
+        Self::new(nf * 1e-9)
+    }
+
+    /// Creates a capacitance from picofarads.
+    #[must_use]
+    pub const fn from_picofarads(pf: f64) -> Self {
+        Self::new(pf * 1e-12)
+    }
+}
+
+impl Henries {
+    /// Creates an inductance from microhenries.
+    #[must_use]
+    pub const fn from_microhenries(uh: f64) -> Self {
+        Self::new(uh * 1e-6)
+    }
+
+    /// Creates an inductance from nanohenries.
+    #[must_use]
+    pub const fn from_nanohenries(nh: f64) -> Self {
+        Self::new(nh * 1e-9)
+    }
+}
+
+impl Hertz {
+    /// Creates a frequency from kilohertz.
+    #[must_use]
+    pub const fn from_kilohertz(khz: f64) -> Self {
+        Self::new(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub const fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// The switching period `1/f`.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+impl Seconds {
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub const fn from_microseconds(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[must_use]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// The frequency whose period is this time.
+    #[must_use]
+    pub fn frequency(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_frequency_round_trip() {
+        let f = Hertz::from_megahertz(2.5);
+        assert!(f.period().frequency().approx_eq(f, 1e-6));
+    }
+
+    #[test]
+    fn submultiple_constructors() {
+        assert!((Farads::from_picofarads(100.0).value() - 1e-10).abs() < 1e-24);
+        assert!((Henries::from_nanohenries(250.0).value() - 2.5e-7).abs() < 1e-20);
+        assert!((Hertz::from_kilohertz(500.0).value() - 5e5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Bottom-up converter design with the physics loss model: choose the
+//! device technology and switching frequency for each topology, and see
+//! the on-time feasibility wall the paper's §III describes.
+//!
+//! ```sh
+//! cargo run --example converter_designer
+//! ```
+
+use vertical_power_delivery::converters::PhysicsDesign;
+use vertical_power_delivery::devices::{PowerTransistor, Semiconductor};
+use vertical_power_delivery::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let v_in = Volts::new(48.0);
+    let v_out = Volts::new(1.0);
+    let i_rated = Amps::new(30.0);
+
+    println!("=== device technology figure of merit at 48 V ===\n");
+    for m in [Semiconductor::Si, Semiconductor::GaN] {
+        println!(
+            "  {m}: R_on·A = {:.1} mΩ·mm², FOM(R·Qg) = {:.2e} Ω·C",
+            m.specific_on_resistance(v_in) * 1e9,
+            m.figure_of_merit(v_in)
+        );
+    }
+
+    println!("\n=== loss-optimal switch sizing (GaN, 1 MHz, DSCH cell) ===\n");
+    let f = Hertz::from_megahertz(1.0);
+    let area = PowerTransistor::optimal_area(
+        Semiconductor::GaN,
+        Volts::new(16.0), // DSCH switch stress: V_in / 3
+        Amps::new(15.0),
+        0.0625,
+        f,
+        Volts::new(16.0),
+    )?;
+    let fet = PowerTransistor::new(Semiconductor::GaN, Volts::new(16.0), area)?;
+    println!(
+        "  optimal die area {:.2} mm² -> R_on {:.2} mΩ, Q_g {:.1} nC",
+        area.as_square_millimeters(),
+        fet.r_on().as_milliohms(),
+        fet.q_g().value() * 1e9
+    );
+
+    println!("\n=== per-topology design table ===\n");
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>16}",
+        "topology", "f_max(Si)", "f_max(GaN)", "η@20A (GaN, 1MHz)", "best f for GaN"
+    );
+    for kind in [
+        VrTopologyKind::Dpmih,
+        VrTopologyKind::Dsch,
+        VrTopologyKind::ThreeLevelHybridDickson,
+    ] {
+        let fmax = |m| {
+            PhysicsDesign::max_feasible_frequency(kind, m, v_in, v_out).value() / 1e6
+        };
+        let eta_at = |f_mhz: f64| -> Option<f64> {
+            PhysicsDesign::new(
+                kind,
+                Semiconductor::GaN,
+                Hertz::from_megahertz(f_mhz),
+                v_in,
+                v_out,
+                i_rated,
+            )
+            .ok()
+            .and_then(|d| d.efficiency(Amps::new(20.0)).ok())
+            .map(|e| e.percent())
+        };
+        // Scan a small frequency grid for the efficiency optimum.
+        let best = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .filter_map(|&f| eta_at(f).map(|e| (f, e)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        println!(
+            "{:<8} {:>8.1} MHz {:>10.1} MHz {:>13} {:>18}",
+            kind.to_string(),
+            fmax(Semiconductor::Si),
+            fmax(Semiconductor::GaN),
+            eta_at(1.0).map_or("infeasible".into(), |e| format!("{e:.1}%")),
+            best.map_or("-".into(), |(f, e)| format!("{f} MHz ({e:.1}%)")),
+        );
+    }
+
+    println!(
+        "\nthe 3LHD's Dickson front (10x internal step-down) lifts the on-time from\n\
+         ~2% to ~20%, so it tolerates ~5x higher switching frequency — the §III\n\
+         trade against its larger switch count."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! The paper's motivating scenario: powering a ~1 kW AI accelerator in
+//! a data center. Compares every architecture × topology combination
+//! and asks the designer for a recommendation.
+//!
+//! ```sh
+//! cargo run --example datacenter_accelerator
+//! ```
+
+use vertical_power_delivery::core::{explore_matrix, recommend};
+use vertical_power_delivery::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An H100-class accelerator pushed to the paper's projection:
+    // 1 kW, 2 A/mm², fed from a 48 V rack bus.
+    let spec = SystemSpec::new(
+        Volts::new(48.0),
+        Volts::new(1.0),
+        Watts::from_kilowatts(1.0),
+        CurrentDensity::from_amps_per_square_millimeter(2.0),
+    )?;
+    let calib = Calibration::paper_default();
+
+    println!("=== full architecture x topology comparison ===\n");
+    let entries = explore_matrix(
+        &[
+            VrTopologyKind::Dpmih,
+            VrTopologyKind::Dsch,
+            VrTopologyKind::ThreeLevelHybridDickson,
+        ],
+        &spec,
+        &calib,
+        &AnalysisOptions::default(),
+    );
+    for e in &entries {
+        let label = format!("{} / {}", e.architecture.name(), e.topology);
+        match &e.outcome {
+            Ok(r) => println!(
+                "  {label:<16} {:>5.1}% loss  (efficiency {}){}",
+                r.loss_percent(),
+                r.breakdown.end_to_end_efficiency(),
+                if r.overloaded {
+                    "  [modules beyond rating]"
+                } else {
+                    ""
+                }
+            ),
+            Err(err) => println!("  {label:<16} infeasible: {err}"),
+        }
+    }
+
+    println!("\n=== designer recommendation (no overload extrapolation) ===\n");
+    let rec = recommend(&spec, &calib);
+    for (rank, cand) in rec.ranked.iter().take(3).enumerate() {
+        println!("  #{}: {}", rank + 1, cand.rationale);
+    }
+    println!("\n  rejected configurations:");
+    for (arch, topo, err) in &rec.rejected {
+        println!("    {} / {topo}: {err}", arch.name());
+    }
+
+    if let Some(best) = rec.best() {
+        println!(
+            "\nchosen: {} with {} — {:.1}% total loss",
+            best.architecture.name(),
+            best.topology,
+            best.report.loss_percent()
+        );
+    }
+    Ok(())
+}

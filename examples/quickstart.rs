@@ -1,0 +1,76 @@
+//! Quickstart: analyze one vertical power-delivery architecture for the
+//! paper's headline system (48 V → 1 V, 1 kW, 2 A/mm²).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vertical_power_delivery::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's operating point: 1 kW at 1 V (1 kA) on a 500 mm² die.
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+
+    println!(
+        "system: {} -> {} | {} at the POL | die {:.0} mm²",
+        spec.pcb_voltage(),
+        spec.pol_voltage(),
+        spec.pol_power(),
+        spec.die_area().as_square_millimeters()
+    );
+
+    // Architecture A1: single-stage DSCH regulators along the die
+    // periphery on the interposer.
+    let report = analyze(
+        Architecture::InterposerPeriphery,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+        &AnalysisOptions::default(),
+    )?;
+
+    println!("\narchitecture: {}", report.architecture.description());
+    println!("POL-stage modules: {}", report.stage2_modules);
+    println!(
+        "per-module load: {:.1} A … {:.1} A (mean {:.1} A)",
+        report.sharing.min().value(),
+        report.sharing.max().value(),
+        report.sharing.mean().value()
+    );
+
+    println!("\nloss breakdown (% of 1 kW):");
+    for s in report.breakdown.segments() {
+        println!(
+            "  {:<28} {:>8.2} W  ({:>5.2}%)",
+            s.name,
+            s.power.value(),
+            report.breakdown.percent_of_pol_power(s.power)
+        );
+    }
+    println!(
+        "  {:<28} {:>8.2} W  ({:>5.2}%)",
+        "TOTAL",
+        report.breakdown.total().value(),
+        report.loss_percent()
+    );
+    println!(
+        "\nend-to-end delivery efficiency: {}",
+        report.breakdown.end_to_end_efficiency()
+    );
+
+    // Compare with the traditional PCB-conversion reference.
+    let reference = analyze(
+        Architecture::Reference,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+        &AnalysisOptions::default(),
+    )?;
+    println!(
+        "reference (A0) efficiency:      {}  — vertical delivery saves {:.0} W",
+        reference.breakdown.end_to_end_efficiency(),
+        reference.breakdown.total().value() - report.breakdown.total().value()
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Monte-Carlo tolerance analysis: are the paper's conclusions robust
+//! to ±20% uncertainty in every calibrated resistance and ±10% in the
+//! converter curves?
+//!
+//! ```sh
+//! cargo run --example tolerance_monte_carlo
+//! ```
+
+use vertical_power_delivery::core::{run_tolerance, McSettings};
+use vertical_power_delivery::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+    let settings = McSettings {
+        samples: 500,
+        resistance_tolerance: 0.20,
+        conversion_tolerance: 0.10,
+        seed: 42,
+    };
+
+    println!(
+        "{} samples, ±{:.0}% resistances, ±{:.0}% conversion loss\n",
+        settings.samples,
+        settings.resistance_tolerance * 100.0,
+        settings.conversion_tolerance * 100.0
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "config", "mean", "std", "p5", "p95", "max"
+    );
+
+    let configs = [
+        (Architecture::Reference, "A0"),
+        (Architecture::InterposerPeriphery, "A1/DSCH"),
+        (Architecture::InterposerEmbedded, "A2/DSCH"),
+        (
+            Architecture::TwoStage {
+                bus: Volts::new(12.0),
+            },
+            "A3@12V",
+        ),
+    ];
+    let mut summaries = Vec::new();
+    for (arch, label) in configs {
+        let s = run_tolerance(arch, VrTopologyKind::Dsch, &spec, &calib, &settings)?;
+        println!(
+            "{:<10} {:>7.1}% {:>7.2} {:>7.1}% {:>7.1}% {:>7.1}%",
+            label, s.mean, s.std_dev, s.p5, s.p95, s.max
+        );
+        summaries.push((label, s));
+    }
+
+    // Distribution shapes: one line per configuration.
+    println!("\ndistribution shape (p5 … p95, 12 buckets):");
+    for (label, s) in &summaries {
+        // Approximate the density by bucketing a normal-ish fan between
+        // the summary quantiles (cheap visualization without storing
+        // every sample).
+        let series: Vec<f64> = (0..12)
+            .map(|k| {
+                let t = k as f64 / 11.0;
+                let x = s.p5 + t * (s.p95 - s.p5);
+                (-(x - s.mean) * (x - s.mean) / (2.0 * s.std_dev * s.std_dev).max(1e-12)).exp()
+            })
+            .collect();
+        println!(
+            "  {:<10} {}  [{:.1}% … {:.1}%]",
+            label,
+            vertical_power_delivery::report::sparkline(&series),
+            s.p5,
+            s.p95
+        );
+    }
+
+    let a0 = &summaries[0].1;
+    let a1 = &summaries[1].1;
+    println!(
+        "\nrobustness check: A0's best case ({:.1}%) still loses to A1's worst case\n\
+         ({:.1}%) -> the paper's headline conclusion survives the tolerances: {}",
+        a0.min,
+        a1.max,
+        if a0.min > a1.max { "YES" } else { "NO" }
+    );
+    Ok(())
+}

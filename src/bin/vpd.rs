@@ -1,0 +1,384 @@
+//! `vpd` — command-line front end for the vertical-power-delivery
+//! models.
+//!
+//! ```sh
+//! vpd analyze --arch a1 --topology dsch --power 1000
+//! vpd matrix
+//! vpd recommend
+//! vpd sharing --placement below --modules 48
+//! vpd impedance --arch a2
+//! vpd droop --arch a0
+//! vpd thermal --arch a2 --tech si
+//! ```
+
+use std::process::ExitCode;
+use vertical_power_delivery::core::{
+    electro_thermal, explore_matrix, recommend, simulate_droop, solve_sharing, target_impedance,
+    ElectroThermalSettings, LoadStep, PdnModel,
+};
+use vertical_power_delivery::prelude::*;
+use vertical_power_delivery::thermal::DeviceTechnology;
+use vpd_units::Seconds;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Command::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: vpd <command> [options]
+
+commands:
+  analyze     --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
+              [--power <watts>] [--density <A/mm2>]
+  matrix      full architecture x topology loss table
+  recommend   designer ranking (no overload extrapolation)
+  sharing     --placement <periphery|below> [--modules <n>]
+  impedance   --arch <a0|a1|a2>
+  droop       --arch <a0|a1|a2>
+  thermal     --arch <a1|a2> [--tech <si|gan>]
+  help        print this message";
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+enum Command {
+    Analyze {
+        arch: Architecture,
+        topology: VrTopologyKind,
+        power_w: f64,
+        density: f64,
+    },
+    Matrix,
+    Recommend,
+    Sharing {
+        placement: VrPlacement,
+        modules: usize,
+    },
+    Impedance {
+        arch: Architecture,
+    },
+    Droop {
+        arch: Architecture,
+    },
+    Thermal {
+        arch: Architecture,
+        tech: DeviceTechnology,
+    },
+    Help,
+}
+
+impl Command {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter();
+        let cmd = it.next().ok_or("missing command")?;
+        let rest: Vec<&String> = it.collect();
+        let flag = |name: &str| -> Option<&str> {
+            rest.iter()
+                .position(|a| a.as_str() == name)
+                .and_then(|i| rest.get(i + 1))
+                .map(|s| s.as_str())
+        };
+        let parse_arch = |required: bool| -> Result<Architecture, String> {
+            match flag("--arch") {
+                Some("a0") => Ok(Architecture::Reference),
+                Some("a1") => Ok(Architecture::InterposerPeriphery),
+                Some("a2") => Ok(Architecture::InterposerEmbedded),
+                Some("a3-12") => Ok(Architecture::TwoStage {
+                    bus: Volts::new(12.0),
+                }),
+                Some("a3-6") => Ok(Architecture::TwoStage {
+                    bus: Volts::new(6.0),
+                }),
+                Some(other) => Err(format!("unknown architecture '{other}'")),
+                None if required => Err("--arch is required".into()),
+                None => Ok(Architecture::InterposerPeriphery),
+            }
+        };
+        let parse_topology = || -> Result<VrTopologyKind, String> {
+            match flag("--topology") {
+                Some("dpmih") => Ok(VrTopologyKind::Dpmih),
+                Some("dsch") | None => Ok(VrTopologyKind::Dsch),
+                Some("3lhd") => Ok(VrTopologyKind::ThreeLevelHybridDickson),
+                Some(other) => Err(format!("unknown topology '{other}'")),
+            }
+        };
+        let parse_f64 = |name: &str, default: f64| -> Result<f64, String> {
+            match flag(name) {
+                Some(v) => v
+                    .parse::<f64>()
+                    .map_err(|_| format!("{name} expects a number, got '{v}'")),
+                None => Ok(default),
+            }
+        };
+        match cmd.as_str() {
+            "analyze" => Ok(Self::Analyze {
+                arch: parse_arch(true)?,
+                topology: parse_topology()?,
+                power_w: parse_f64("--power", 1000.0)?,
+                density: parse_f64("--density", 2.0)?,
+            }),
+            "matrix" => Ok(Self::Matrix),
+            "recommend" => Ok(Self::Recommend),
+            "sharing" => {
+                let placement = match flag("--placement") {
+                    Some("periphery") | None => VrPlacement::Periphery,
+                    Some("below") => VrPlacement::BelowDie,
+                    Some(other) => return Err(format!("unknown placement '{other}'")),
+                };
+                let modules = parse_f64("--modules", 48.0)? as usize;
+                Ok(Self::Sharing { placement, modules })
+            }
+            "impedance" => Ok(Self::Impedance {
+                arch: parse_arch(true)?,
+            }),
+            "droop" => Ok(Self::Droop {
+                arch: parse_arch(true)?,
+            }),
+            "thermal" => {
+                let tech = match flag("--tech") {
+                    Some("si") => DeviceTechnology::Si,
+                    Some("gan") | None => DeviceTechnology::GaN,
+                    Some(other) => return Err(format!("unknown technology '{other}'")),
+                };
+                Ok(Self::Thermal {
+                    arch: parse_arch(true)?,
+                    tech,
+                })
+            }
+            "help" | "--help" | "-h" => Ok(Self::Help),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    let calib = Calibration::paper_default();
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::Analyze {
+            arch,
+            topology,
+            power_w,
+            density,
+        } => {
+            let spec = SystemSpec::new(
+                Volts::new(48.0),
+                Volts::new(1.0),
+                Watts::new(power_w),
+                CurrentDensity::from_amps_per_square_millimeter(density),
+            )?;
+            let report = analyze(arch, topology, &spec, &calib, &AnalysisOptions::default())?;
+            println!(
+                "{} / {} at {:.0} W, {:.1} A/mm² (die {:.0} mm²)",
+                arch.name(),
+                topology,
+                power_w,
+                density,
+                spec.die_area().as_square_millimeters()
+            );
+            for s in report.breakdown.segments() {
+                println!(
+                    "  {:<28} {:>9.2} W ({:>5.2}%)",
+                    s.name,
+                    s.power.value(),
+                    report.breakdown.percent_of_pol_power(s.power)
+                );
+            }
+            println!(
+                "  total {:.1}% of POL power — efficiency {}",
+                report.loss_percent(),
+                report.breakdown.end_to_end_efficiency()
+            );
+        }
+        Command::Matrix => {
+            let spec = SystemSpec::paper_default();
+            for e in explore_matrix(
+                &VrTopologyKind::ALL,
+                &spec,
+                &calib,
+                &AnalysisOptions::default(),
+            ) {
+                match e.outcome {
+                    Ok(r) => println!(
+                        "{:<8} {:<6} {:>5.1}%{}",
+                        e.architecture.name(),
+                        e.topology.name(),
+                        r.loss_percent(),
+                        if r.overloaded { "  [extrapolated]" } else { "" }
+                    ),
+                    Err(err) => println!(
+                        "{:<8} {:<6} excluded: {err}",
+                        e.architecture.name(),
+                        e.topology.name()
+                    ),
+                }
+            }
+        }
+        Command::Recommend => {
+            let rec = recommend(&SystemSpec::paper_default(), &calib);
+            for (i, c) in rec.ranked.iter().enumerate() {
+                println!("#{}: {}", i + 1, c.rationale);
+            }
+            for (a, t, e) in &rec.rejected {
+                println!("rejected {}/{t}: {e}", a.name());
+            }
+        }
+        Command::Sharing { placement, modules } => {
+            let rep = solve_sharing(&SystemSpec::paper_default(), &calib, placement, modules)?;
+            println!(
+                "{modules} modules {placement}: {:.1} – {:.1} A (mean {:.1} A), grid loss {}, worst drop {}",
+                rep.min().value(),
+                rep.max().value(),
+                rep.mean().value(),
+                rep.grid_loss(),
+                rep.worst_drop()
+            );
+        }
+        Command::Impedance { arch } => {
+            let model = PdnModel::for_architecture(arch);
+            let zt = target_impedance(&SystemSpec::paper_default(), 0.05, 0.25);
+            let peak = model.peak_impedance()?;
+            println!(
+                "{}: peak |Z| = {} vs target {} → {}",
+                arch.name(),
+                peak,
+                zt,
+                if peak.value() <= zt.value() {
+                    "meets target"
+                } else {
+                    "violates target"
+                }
+            );
+        }
+        Command::Droop { arch } => {
+            let spec = SystemSpec::paper_default();
+            let report = simulate_droop(
+                &PdnModel::for_architecture(arch),
+                &LoadStep::paper_default(&spec),
+                Seconds::from_microseconds(60.0),
+                Seconds::from_nanoseconds(10.0),
+            )?;
+            println!(
+                "{}: 250 A → 1 kA step drops the rail by {} (bound ΔI·|Z|max = {})",
+                arch.name(),
+                report.droop,
+                report.impedance_bound
+            );
+        }
+        Command::Thermal { arch, tech } => {
+            let settings = ElectroThermalSettings {
+                technology: tech,
+                ..ElectroThermalSettings::default()
+            };
+            let r = electro_thermal(
+                arch,
+                VrTopologyKind::Dsch,
+                &SystemSpec::paper_default(),
+                &calib,
+                &AnalysisOptions::default(),
+                &settings,
+            )?;
+            println!(
+                "{} ({tech:?}): worst module {:.0} °C, VR loss {:.0} W → {:.0} W (+{:.1} W), within rating: {}",
+                arch.name(),
+                r.worst_module_temperature.value(),
+                r.nominal_conversion_loss.value(),
+                r.derated_conversion_loss.value(),
+                r.thermal_penalty().value(),
+                r.modules_within_rating
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Command::parse(&owned)
+    }
+
+    #[test]
+    fn parses_analyze_with_defaults() {
+        let cmd = parse(&["analyze", "--arch", "a1"]).unwrap();
+        match cmd {
+            Command::Analyze {
+                arch,
+                topology,
+                power_w,
+                density,
+            } => {
+                assert_eq!(arch.name(), "A1");
+                assert_eq!(topology, VrTopologyKind::Dsch);
+                assert_eq!(power_w, 1000.0);
+                assert_eq!(density, 2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_two_stage_buses() {
+        assert!(matches!(
+            parse(&["analyze", "--arch", "a3-12"]).unwrap(),
+            Command::Analyze { arch: Architecture::TwoStage { .. }, .. }
+        ));
+        assert!(matches!(
+            parse(&["droop", "--arch", "a0"]).unwrap(),
+            Command::Droop { arch: Architecture::Reference }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_inputs() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["analyze", "--arch", "a9"]).is_err());
+        assert!(parse(&["analyze", "--arch", "a1", "--topology", "zeta"]).is_err());
+        assert!(parse(&["analyze", "--arch", "a1", "--power", "lots"]).is_err());
+        assert!(parse(&["analyze"]).is_err(), "--arch required");
+        assert!(parse(&["sharing", "--placement", "sideways"]).is_err());
+        assert!(parse(&["thermal", "--arch", "a2", "--tech", "sic"]).is_err());
+    }
+
+    #[test]
+    fn parses_sharing_and_thermal() {
+        assert_eq!(
+            parse(&["sharing", "--placement", "below", "--modules", "24"]).unwrap(),
+            Command::Sharing {
+                placement: VrPlacement::BelowDie,
+                modules: 24
+            }
+        );
+        assert!(matches!(
+            parse(&["thermal", "--arch", "a2", "--tech", "si"]).unwrap(),
+            Command::Thermal {
+                tech: DeviceTechnology::Si,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&[h]).unwrap(), Command::Help);
+        }
+    }
+}

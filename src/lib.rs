@@ -1,0 +1,71 @@
+//! `vertical-power-delivery` — a Rust reproduction of *"Vertical Power
+//! Delivery for Emerging Packaging and Integration Platforms — Power
+//! Conversion and Distribution"* (Krishnakumar & Partin-Vaisband,
+//! IEEE SOCC 2023).
+//!
+//! This facade re-exports the workspace crates under one roof:
+//!
+//! * [`units`] — strongly-typed electrical/geometric quantities;
+//! * [`numeric`] — dense/sparse linear algebra (LU, Cholesky, CG);
+//! * [`circuit`] — netlists, MNA DC solves, power-grid meshes,
+//!   transient simulation;
+//! * [`package`] — Table I interconnect technologies and via
+//!   allocation;
+//! * [`devices`] — Si/GaN transistors, inductors, capacitors;
+//! * [`converters`] — DSCH / DPMIH / 3LHD converter models and SC
+//!   output-impedance theory;
+//! * [`thermal`] — steady-state thermal meshes and device derating;
+//! * [`core`] — the architectures `A0`–`A3`, current sharing, loss
+//!   breakdowns, PDN impedance, electro-thermal co-analysis,
+//!   exploration, placement optimization, Monte-Carlo;
+//! * [`report`] — tables/charts/CSV for the experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vertical_power_delivery::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = SystemSpec::paper_default();
+//! let calib = Calibration::paper_default();
+//! let report = analyze(
+//!     Architecture::InterposerPeriphery,
+//!     VrTopologyKind::Dsch,
+//!     &spec,
+//!     &calib,
+//!     &AnalysisOptions::default(),
+//! )?;
+//! println!(
+//!     "A1/DSCH delivers 1 kW at {:.1}% end-to-end efficiency",
+//!     report.breakdown.end_to_end_efficiency().percent()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vpd_circuit as circuit;
+pub use vpd_converters as converters;
+pub use vpd_core as core;
+pub use vpd_devices as devices;
+pub use vpd_numeric as numeric;
+pub use vpd_package as package;
+pub use vpd_report as report;
+pub use vpd_thermal as thermal;
+pub use vpd_units as units;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use vpd_converters::{Converter, MultiStageConverter, VrTopologyKind};
+    pub use vpd_core::{
+        analyze, recommend, solve_sharing, AnalysisOptions, Architecture, Calibration,
+        CoreError, PowerMap, SystemSpec, VrPlacement,
+    };
+    pub use vpd_package::InterconnectTech;
+    pub use vpd_units::{
+        Amps, CurrentDensity, Efficiency, Farads, Henries, Hertz, Ohms, Seconds, SquareMeters,
+        Volts, Watts,
+    };
+}

@@ -1,0 +1,167 @@
+//! Integration tests for the extension subsystems: AC impedance,
+//! SC output-impedance theory, electro-thermal coupling, and placement
+//! optimization — all exercised through the public facade.
+
+use vertical_power_delivery::circuit::log_sweep;
+use vertical_power_delivery::converters::ScConverterModel;
+use vertical_power_delivery::core::{
+    electro_thermal, optimize_placement, target_impedance, thermal_comparison, AnnealSettings,
+    ElectroThermalSettings, PdnModel, PlacementObjective,
+};
+use vertical_power_delivery::prelude::*;
+use vertical_power_delivery::thermal::{DeratingModel, DeviceTechnology, ThermalMesh};
+
+#[test]
+fn e1_impedance_ordering_and_target() {
+    let spec = SystemSpec::paper_default();
+    let zt = target_impedance(&spec, 0.05, 0.25);
+    let peak = |arch| {
+        PdnModel::for_architecture(arch)
+            .peak_impedance()
+            .unwrap()
+            .value()
+    };
+    let a0 = peak(Architecture::Reference);
+    let a1 = peak(Architecture::InterposerPeriphery);
+    let a2 = peak(Architecture::InterposerEmbedded);
+    assert!(a2 < a1 && a1 < a0, "impedance falls as the VR approaches the die");
+    assert!(a0 > 100.0 * zt.value(), "board conversion misses Z_t by orders of magnitude");
+    assert!(a2 < zt.value(), "under-die IVR meets Z_t");
+}
+
+#[test]
+fn e1_impedance_profile_is_consistent_with_dc() {
+    // At very low frequency, |Z| approaches the DC series resistance —
+    // checked through the same netlist machinery the DC solver uses.
+    let model = PdnModel::for_architecture(Architecture::InterposerEmbedded);
+    let z = model
+        .impedance_profile(&[Hertz::new(1.0)])
+        .unwrap()[0]
+        .magnitude();
+    let dc = model.vr_resistance.value()
+        + model.distribution_resistance.value()
+        + model.vertical_resistance.value();
+    assert!((z - dc).abs() < 0.5 * dc, "low-f |Z| {z} vs dc {dc}");
+}
+
+#[test]
+fn sc_theory_supports_section_iii_claims() {
+    let c = Farads::from_microfarads(1.0);
+    let r = Ohms::from_milliohms(5.0);
+    let hard = ScConverterModel::series_parallel(4, c, r).unwrap();
+    let soft = ScConverterModel::series_parallel(4, c, r)
+        .unwrap()
+        .soft_charged();
+    let f_low = Hertz::from_kilohertz(200.0);
+    // Soft charging kills the SSL asymptote...
+    assert!(soft.r_out(f_low).value() < hard.r_out(f_low).value() / 3.0);
+    // ...and the corner frequency marks where more switching stops
+    // helping the hard-switched design.
+    let fc = hard.corner_frequency();
+    let above = hard.r_out(Hertz::new(fc.value() * 10.0)).value();
+    let fsl = hard.r_fsl().value();
+    assert!((above - fsl).abs() < 0.05 * fsl);
+}
+
+#[test]
+fn e2_thermal_coupling_through_facade() {
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+    let (a1, a2) = thermal_comparison(VrTopologyKind::Dsch, &spec, &calib).unwrap();
+    assert!(a1.converged && a2.converged);
+    assert!(a2.peak_temperature.value() > a1.peak_temperature.value());
+    // The derated loss must feed back consistently: penalty > 0 and
+    // bounded (no runaway).
+    for r in [&a1, &a2] {
+        let penalty = r.thermal_penalty().value();
+        assert!(penalty > 0.0);
+        assert!(penalty < 0.5 * r.nominal_conversion_loss.value());
+    }
+}
+
+#[test]
+fn e2_si_modules_can_exceed_rating_where_gan_does_not() {
+    // Crank the coolant temperature: silicon's 125 °C rating is the
+    // first to go.
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+    let run = |tech| {
+        electro_thermal(
+            Architecture::InterposerEmbedded,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+            &ElectroThermalSettings {
+                technology: tech,
+                ..ElectroThermalSettings::default()
+            },
+        )
+        .unwrap()
+    };
+    let si = run(DeviceTechnology::Si);
+    let gan = run(DeviceTechnology::GaN);
+    // GaN headroom (150 °C rating, gentler derating) is never worse.
+    assert!(gan.thermal_penalty().value() <= si.thermal_penalty().value());
+    assert!(gan.worst_module_temperature.value() <= si.worst_module_temperature.value() + 1.0);
+}
+
+#[test]
+fn e3_optimizer_improves_the_paper_placement() {
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+    let opt = optimize_placement(
+        &spec,
+        &calib,
+        48,
+        PlacementObjective::WorstModuleCurrent,
+        &AnnealSettings {
+            iterations: 150,
+            ..AnnealSettings::default()
+        },
+    )
+    .unwrap();
+    assert!(opt.improvement() > 0.1, "≥10% better than the uniform grid");
+    // The optimized placement still supplies the full kiloampere.
+    let total: f64 = opt.report.per_vr().iter().map(|a| a.value()).sum();
+    assert!((total - 1000.0).abs() < 0.5);
+}
+
+#[test]
+fn thermal_mesh_responds_to_cooling_quality() {
+    // The same 1 kW map on a weaker cold plate runs hotter — sanity
+    // across the thermal substrate's public API.
+    let strong = ThermalMesh::silicon_die_default(15, 15).unwrap();
+    let weak = ThermalMesh::new(
+        15,
+        15,
+        0.075,
+        2.0e4 * (500e-6 / 225.0),
+        vertical_power_delivery::units::Celsius::new(25.0),
+    )
+    .unwrap();
+    let p = vec![vec![Watts::new(1000.0 / 225.0); 15]; 15];
+    let t_strong = strong.solve(&p).unwrap().max();
+    let t_weak = weak.solve(&p).unwrap().max();
+    assert!(t_weak.value() > t_strong.value() + 20.0);
+}
+
+#[test]
+fn derating_models_are_ordered() {
+    let si = DeratingModel::for_technology(DeviceTechnology::Si);
+    let gan = DeratingModel::for_technology(DeviceTechnology::GaN);
+    for t in [50.0, 85.0, 110.0] {
+        let t = vertical_power_delivery::units::Celsius::new(t);
+        assert!(si.loss_factor(t) >= gan.loss_factor(t));
+    }
+    assert!(gan.t_max().value() > si.t_max().value());
+}
+
+#[test]
+fn ac_sweep_helper_is_logarithmic() {
+    let grid = log_sweep(Hertz::new(10.0), Hertz::new(1e6), 6);
+    let ratios: Vec<f64> = grid.windows(2).map(|w| w[1].value() / w[0].value()).collect();
+    for pair in ratios.windows(2) {
+        assert!((pair[0] - pair[1]).abs() < 1e-9, "constant log spacing");
+    }
+}

@@ -1,0 +1,163 @@
+//! Numeric-substrate oracle tests: the four solvers (dense LU, dense
+//! Cholesky, sparse CG, complex LU) must agree wherever their domains
+//! overlap, and the spectral diagnostics must predict CG behavior.
+
+use proptest::prelude::*;
+use vertical_power_delivery::numeric::{
+    condition_estimate_spd, conjugate_gradient, dominant_eigenvalue, CgSettings, CholeskyFactor,
+    Complex, ComplexLu, ComplexMatrix, CooMatrix, CsrMatrix, DenseMatrix, LuFactor,
+    Preconditioner,
+};
+
+/// A grounded 2-D grid Laplacian (the PDN solve's matrix shape).
+fn grid_laplacian(n: usize, leak: f64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n * n, n * n);
+    for y in 0..n {
+        for x in 0..n {
+            let i = y * n + x;
+            let mut d = leak;
+            if x + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+                d += 1.0;
+            }
+            if x > 0 {
+                d += 1.0;
+            }
+            if y + 1 < n {
+                coo.push(i, i + n, -1.0);
+                coo.push(i + n, i, -1.0);
+                d += 1.0;
+            }
+            if y > 0 {
+                d += 1.0;
+            }
+            coo.push(i, i, d);
+        }
+    }
+    coo.to_csr()
+}
+
+fn densify(a: &CsrMatrix) -> DenseMatrix {
+    DenseMatrix::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j))
+}
+
+#[test]
+fn four_solvers_agree_on_a_grid_laplacian() {
+    let a = grid_laplacian(6, 0.3);
+    let n = a.rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+
+    let dense = densify(&a);
+    let x_lu = LuFactor::new(&dense).unwrap().solve(&b).unwrap();
+    let x_ch = CholeskyFactor::new(&dense).unwrap().solve(&b).unwrap();
+    let (x_cg, _) = conjugate_gradient(&a, &b, &CgSettings::default()).unwrap();
+
+    // Complex LU with purely real inputs must match too.
+    let mut ac = ComplexMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            ac.set(i, j, Complex::from_real(dense.at(i, j)));
+        }
+    }
+    let bc: Vec<Complex> = b.iter().map(|&v| Complex::from_real(v)).collect();
+    let x_c = ComplexLu::new(&ac).unwrap().solve(&bc).unwrap();
+
+    for i in 0..n {
+        assert!((x_lu[i] - x_ch[i]).abs() < 1e-8, "lu vs cholesky at {i}");
+        assert!((x_lu[i] - x_cg[i]).abs() < 1e-6, "lu vs cg at {i}");
+        assert!((x_lu[i] - x_c[i].re).abs() < 1e-8, "lu vs complex at {i}");
+        assert!(x_c[i].im.abs() < 1e-10, "real system, real solution");
+    }
+}
+
+#[test]
+fn condition_number_predicts_cg_difficulty() {
+    // Weaker ground leak → worse conditioning → more CG iterations.
+    let easy = grid_laplacian(8, 1.0);
+    let hard = grid_laplacian(8, 0.001);
+    let k_easy = condition_estimate_spd(&easy, 1e-10, 100_000).unwrap();
+    let k_hard = condition_estimate_spd(&hard, 1e-10, 100_000).unwrap();
+    assert!(k_hard > 10.0 * k_easy, "κ {k_easy:.1} vs {k_hard:.1}");
+
+    // A non-uniform right-hand side (the all-ones vector is an
+    // eigenvector of a uniform-leak Laplacian and converges instantly).
+    let b: Vec<f64> = (0..easy.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let settings = CgSettings {
+        preconditioner: Preconditioner::None,
+        ..CgSettings::default()
+    };
+    let (_, rep_easy) = conjugate_gradient(&easy, &b, &settings).unwrap();
+    let (_, rep_hard) = conjugate_gradient(&hard, &b, &settings).unwrap();
+    assert!(
+        rep_hard.iterations > rep_easy.iterations,
+        "{} vs {}",
+        rep_easy.iterations,
+        rep_hard.iterations
+    );
+}
+
+#[test]
+fn dominant_eigenvalue_bounds_the_laplacian() {
+    // A 4-connected grid Laplacian's λ_max is below 8 + leak
+    // (Gershgorin) and above the mean diagonal.
+    let leak = 0.5;
+    let a = grid_laplacian(10, leak);
+    let top = dominant_eigenvalue(&a, 1e-10, 50_000).unwrap();
+    assert!(top.eigenvalue <= 8.0 + leak + 1e-6);
+    assert!(top.eigenvalue > 4.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random grounded Laplacians, CG with Jacobi never needs more
+    /// iterations than twice plain CG (and both solve correctly).
+    #[test]
+    fn prop_jacobi_never_catastrophically_worse(
+        n in 3_usize..7,
+        leak in 0.05_f64..2.0,
+    ) {
+        let a = grid_laplacian(n, leak);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let plain = conjugate_gradient(&a, &b, &CgSettings {
+            preconditioner: Preconditioner::None,
+            ..CgSettings::default()
+        });
+        let jacobi = conjugate_gradient(&a, &b, &CgSettings::default());
+        let (xp, rp) = plain.unwrap();
+        let (xj, rj) = jacobi.unwrap();
+        // Jacobi may lose a few iterations on tiny well-conditioned
+        // systems but must never be catastrophically worse.
+        prop_assert!(rj.iterations <= 2 * rp.iterations + 8,
+            "jacobi {} vs plain {}", rj.iterations, rp.iterations);
+        for (p, j) in xp.iter().zip(&xj) {
+            prop_assert!((p - j).abs() < 1e-6);
+        }
+    }
+
+    /// Complex arithmetic satisfies field laws on random values.
+    #[test]
+    fn prop_complex_field_laws(
+        ar in -5.0_f64..5.0, ai in -5.0_f64..5.0,
+        br in -5.0_f64..5.0, bi in -5.0_f64..5.0,
+    ) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        // Commutativity.
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab - ba).abs() < 1e-12);
+        // |ab| = |a||b|.
+        prop_assert!((ab.abs() - a.abs() * b.abs()).abs() < 1e-9);
+        // Conjugate distributes.
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+        // Division inverts multiplication (away from zero).
+        if b.abs() > 1e-6 {
+            let q = ab / b;
+            prop_assert!((q - a).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Workspace-level property tests: invariants that must hold across
+//! arbitrary specifications, calibrations, and module counts.
+
+use proptest::prelude::*;
+use vertical_power_delivery::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every feasible analysis keeps efficiency in (0, 1], decomposes
+    /// additively, and has non-negative segments.
+    #[test]
+    fn prop_analysis_invariants(
+        power in 200.0_f64..1200.0,
+        density in 0.5_f64..3.0,
+        arch_pick in 0_usize..4,
+    ) {
+        let spec = SystemSpec::new(
+            Volts::new(48.0),
+            Volts::new(1.0),
+            Watts::new(power),
+            CurrentDensity::from_amps_per_square_millimeter(density),
+        ).unwrap();
+        let calib = Calibration::paper_default();
+        let arch = [
+            Architecture::Reference,
+            Architecture::InterposerPeriphery,
+            Architecture::InterposerEmbedded,
+            Architecture::TwoStage { bus: Volts::new(12.0) },
+        ][arch_pick];
+        if let Ok(report) = analyze(
+            arch,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+        ) {
+            let b = &report.breakdown;
+            let eta = b.end_to_end_efficiency().fraction();
+            prop_assert!(eta > 0.0 && eta <= 1.0);
+            for s in b.segments() {
+                prop_assert!(s.power.value() >= 0.0, "{}: negative loss", s.name);
+            }
+            let parts = b.conversion_loss() + b.horizontal_loss()
+                + b.vertical_loss() + b.grid_loss();
+            prop_assert!(b.total().approx_eq(parts, 1e-9));
+        }
+    }
+
+    /// Regulator sharing always conserves the POL current and every
+    /// module sources non-negative current for physical module counts.
+    #[test]
+    fn prop_sharing_conserves(
+        n_vrs in 4_usize..64,
+        power in 200.0_f64..1500.0,
+        placement_pick in 0_usize..2,
+    ) {
+        let spec = SystemSpec::new(
+            Volts::new(48.0),
+            Volts::new(1.0),
+            Watts::new(power),
+            CurrentDensity::from_amps_per_square_millimeter(2.0),
+        ).unwrap();
+        let calib = Calibration::paper_default();
+        let placement = [VrPlacement::Periphery, VrPlacement::BelowDie][placement_pick];
+        let rep = vertical_power_delivery::core::solve_sharing(
+            &spec, &calib, placement, n_vrs).unwrap();
+        let total: f64 = rep.per_vr().iter().map(|a| a.value()).sum();
+        prop_assert!((total - power).abs() < 1e-3 * power,
+            "sum {total} vs load {power}");
+        prop_assert!(rep.per_vr().iter().all(|a| a.value() > -1e-6));
+        prop_assert!(rep.grid_loss().value() >= 0.0);
+    }
+
+    /// Converter curves: efficiency bounded and loss monotone in load
+    /// above the peak point.
+    #[test]
+    fn prop_converter_curves_bounded(load in 1.0_f64..100.0) {
+        let conv = Converter::dpmih_48v_to_1v();
+        let eta = conv.efficiency(Amps::new(load)).unwrap().fraction();
+        prop_assert!(eta > 0.5 && eta <= 1.0);
+        let a_bit_more = (load * 1.1).min(100.0);
+        let l1 = conv.loss(Amps::new(load)).unwrap().value();
+        let l2 = conv.loss(Amps::new(a_bit_more)).unwrap().value();
+        prop_assert!(l2 >= l1 - 1e-12);
+    }
+
+    /// Via allocation never exceeds its EM limit or its platform cap for
+    /// any feasible current.
+    #[test]
+    fn prop_via_allocation_limits(current in 1.0_f64..1500.0) {
+        use vertical_power_delivery::package::ViaAllocation;
+        for tech in [InterconnectTech::TSV, InterconnectTech::CU_PAD] {
+            if let Ok(alloc) = ViaAllocation::for_current(
+                tech, Amps::new(current), tech.default_platform_area) {
+                prop_assert!(
+                    alloc.current_per_via().value()
+                        <= tech.max_current_per_via().value() * (1.0 + 1e-9));
+                prop_assert!(alloc.utilization() <= tech.power_site_cap + 1e-9);
+            }
+        }
+    }
+
+    /// Higher conversion-at-PCB voltage always reduces horizontal loss
+    /// for the vertical architectures (the paper's core argument).
+    #[test]
+    fn prop_higher_bus_means_less_lateral_loss(
+        bus_lo in 3.0_f64..8.0,
+        factor in 1.5_f64..3.0,
+    ) {
+        let bus_hi = (bus_lo * factor).min(20.0);
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let opts = AnalysisOptions::default();
+        let lateral = |bus: f64| {
+            analyze(
+                Architecture::TwoStage { bus: Volts::new(bus) },
+                VrTopologyKind::Dsch,
+                &spec, &calib, &opts,
+            ).ok().map(|r| r.breakdown.horizontal_loss().value())
+        };
+        if let (Some(lo), Some(hi)) = (lateral(bus_lo), lateral(bus_hi)) {
+            prop_assert!(hi <= lo + 1e-9,
+                "bus {bus_lo:.1} V: {lo:.1} W vs bus {bus_hi:.1} V: {hi:.1} W");
+        }
+    }
+}
