@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no network access and no vendored registry, so the
+//! real `serde` cannot be fetched. The workspace only uses serde as derive
+//! markers (no code path serializes through it), so this crate provides
+//! empty marker traits plus the derive macros from the sibling
+//! `serde_derive` stand-in. Swapping the workspace dependency back to the
+//! real crates-io `serde` requires no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

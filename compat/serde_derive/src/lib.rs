@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` generates full (de)serialization code; this
+//! repository only uses the derives as markers (nothing serializes through
+//! serde at runtime — see `vpd-report` for the hand-rolled CSV/JSON paths),
+//! so the stand-in emits empty impls of the marker traits defined by the
+//! sibling `serde` stand-in. Helper attributes like `#[serde(transparent)]`
+//! are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive is attached to.
+fn derived_type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kind = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kind {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kind = true;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = derived_type_name(&input).expect("derive target must name a type");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = derived_type_name(&input).expect("derive target must name a type");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

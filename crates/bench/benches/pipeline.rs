@@ -26,10 +26,7 @@ fn bench_efficiency_curve(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for k in 1..=100 {
-                acc += conv
-                    .efficiency(Amps::new(k as f64))
-                    .unwrap()
-                    .fraction();
+                acc += conv.efficiency(Amps::new(k as f64)).unwrap().fraction();
             }
             acc
         });
@@ -123,13 +120,20 @@ fn bench_transient_buck(c: &mut Criterion) {
     .unwrap();
     net.inductor(sw, out, Henries::from_nanohenries(220.0), Amps::ZERO)
         .unwrap();
-    net.capacitor(out, net.ground(), Farads::from_microfarads(10.0), Volts::ZERO)
-        .unwrap();
+    net.capacitor(
+        out,
+        net.ground(),
+        Farads::from_microfarads(10.0),
+        Volts::ZERO,
+    )
+    .unwrap();
     net.resistor(out, net.ground(), Ohms::from_milliohms(100.0))
         .unwrap();
-    let settings =
-        TransientSettings::new(Seconds::from_microseconds(2.0), Seconds::from_nanoseconds(1.0))
-            .unwrap();
+    let settings = TransientSettings::new(
+        Seconds::from_microseconds(2.0),
+        Seconds::from_nanoseconds(1.0),
+    )
+    .unwrap();
     c.bench_function("transient_buck_2000_steps", |b| {
         b.iter(|| transient(&net, &settings).unwrap());
     });

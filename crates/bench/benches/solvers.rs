@@ -72,8 +72,7 @@ fn bench_power_grid_solve(c: &mut Criterion) {
     for side in [15usize, 25, 35] {
         group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bench, &side| {
             bench.iter(|| {
-                let mut grid =
-                    PowerGrid::new(side, side, Ohms::from_milliohms(0.3)).unwrap();
+                let mut grid = PowerGrid::new(side, side, Ohms::from_milliohms(0.3)).unwrap();
                 grid.attach_uniform_load(Amps::from_kiloamps(1.0)).unwrap();
                 for k in 0..8 {
                     let x = (k % 4) * (side - 1) / 3;

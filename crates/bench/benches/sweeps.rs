@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the solver-reuse and parallel-sweep engine:
+//! cold (rebuild-per-call) vs reuse (restamp + warm start) sharing
+//! solves, and serial vs parallel Monte-Carlo sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vpd_converters::VrTopologyKind;
+use vpd_core::{
+    placement::below_die_sites, run_tolerance, solve_sharing_at, Architecture, Calibration,
+    McSettings, SharingSolver, SystemSpec,
+};
+
+fn env() -> (SystemSpec, Calibration) {
+    (SystemSpec::paper_default(), Calibration::paper_default())
+}
+
+fn bench_sharing_cold_vs_reuse(c: &mut Criterion) {
+    let (spec, calib) = env();
+    let n = calib.grid_nodes_per_side;
+    let sites = below_die_sites(48, n, n);
+    let droop = calib.vr_droop_below_die;
+
+    c.bench_function("sharing_cold_rebuild_per_solve", |b| {
+        b.iter(|| solve_sharing_at(&spec, &calib, &sites, droop).unwrap());
+    });
+
+    let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+    solver.solve().unwrap();
+    solver.anchor_last();
+    c.bench_function("sharing_reuse_restamp_per_solve", |b| {
+        b.iter(|| {
+            solver.restamp(&spec, &calib, droop).unwrap();
+            solver.solve().unwrap()
+        });
+    });
+}
+
+fn bench_monte_carlo_serial_vs_parallel(c: &mut Criterion) {
+    let (spec, calib) = env();
+    let base = McSettings {
+        samples: 50,
+        threads: 1,
+        ..McSettings::default()
+    };
+    c.bench_function("monte_carlo_50_samples_serial", |b| {
+        b.iter(|| {
+            run_tolerance(
+                Architecture::InterposerPeriphery,
+                VrTopologyKind::Dsch,
+                &spec,
+                &calib,
+                &base,
+            )
+            .unwrap()
+        });
+    });
+    c.bench_function("monte_carlo_50_samples_parallel_auto", |b| {
+        b.iter(|| {
+            run_tolerance(
+                Architecture::InterposerPeriphery,
+                VrTopologyKind::Dsch,
+                &spec,
+                &calib,
+                &McSettings { threads: 0, ..base },
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sharing_cold_vs_reuse,
+    bench_monte_carlo_serial_vs_parallel
+);
+criterion_main!(benches);

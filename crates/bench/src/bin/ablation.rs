@@ -33,10 +33,17 @@ fn main() {
         for f_mhz in [0.25, 0.5, 1.0, 2.0, 4.0] {
             let f = Hertz::from_megahertz(f_mhz);
             let eta = |m: Semiconductor| -> Option<f64> {
-                PhysicsDesign::new(kind, m, f, Volts::new(48.0), Volts::new(1.0), Amps::new(30.0))
-                    .ok()
-                    .and_then(|d| d.efficiency(i).ok())
-                    .map(|e| e.percent())
+                PhysicsDesign::new(
+                    kind,
+                    m,
+                    f,
+                    Volts::new(48.0),
+                    Volts::new(1.0),
+                    Amps::new(30.0),
+                )
+                .ok()
+                .and_then(|d| d.efficiency(i).ok())
+                .map(|e| e.percent())
             };
             let si = eta(Semiconductor::Si);
             let gan = eta(Semiconductor::GaN);

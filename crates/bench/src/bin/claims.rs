@@ -31,8 +31,7 @@ fn main() {
         (InterconnectTech::CU_PAD, i_pol, "<20%"),
     ];
     for (tech, current, paper) in cases {
-        let alloc =
-            ViaAllocation::for_current(tech, current, tech.default_platform_area).unwrap();
+        let alloc = ViaAllocation::for_current(tech, current, tech.default_platform_area).unwrap();
         t.row(vec![
             tech.name.to_owned(),
             format!("{:.1} A", current.value()),
@@ -54,7 +53,12 @@ fn main() {
     vpd_bench::banner("Claim C2 — per-VR current load (paper / measured)");
     let peri = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
     let below = solve_sharing(&spec, &calib, VrPlacement::BelowDie, 48).unwrap();
-    let mut c2 = Table::new(vec!["Architecture", "Paper range", "Measured range", "Mean"]);
+    let mut c2 = Table::new(vec![
+        "Architecture",
+        "Paper range",
+        "Measured range",
+        "Mean",
+    ]);
     c2.row(vec![
         "A1 (periphery)".into(),
         "16 – 27 A".into(),
@@ -71,7 +75,14 @@ fn main() {
 
     // --- C3: horizontal-loss reduction ------------------------------------
     vpd_bench::banner("Claim C3 — horizontal loss reduction vs. A0 (paper / measured)");
-    let a0 = analyze(Architecture::Reference, VrTopologyKind::Dsch, &spec, &calib, &opts).unwrap();
+    let a0 = analyze(
+        Architecture::Reference,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+        &opts,
+    )
+    .unwrap();
     let h0 = a0.breakdown.horizontal_loss();
     let mut c3 = Table::new(vec!["Architecture", "Horizontal loss", "Paper", "Measured"]);
     c3.align(1, Align::Right);

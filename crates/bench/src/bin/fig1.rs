@@ -30,10 +30,7 @@ fn main() {
                 p.year.to_string(),
                 format!("{:.1}", p.power),
                 format!("{:.0}", p.silicon_area.as_square_millimeters()),
-                format!(
-                    "{:.2}",
-                    p.current_density().as_amps_per_square_millimeter()
-                ),
+                format!("{:.2}", p.current_density().as_amps_per_square_millimeter()),
                 format!("{:.0}%", p.delivery_efficiency * 100.0),
             ]);
         }
@@ -42,7 +39,13 @@ fn main() {
 
     // CSV series for replotting.
     let mut csv = Csv::new(vec![
-        "name", "year", "kind", "power_w", "silicon_mm2", "density_a_mm2", "efficiency",
+        "name",
+        "year",
+        "kind",
+        "power_w",
+        "silicon_mm2",
+        "density_a_mm2",
+        "efficiency",
     ]);
     for p in figure1_dataset() {
         csv.row(vec![
@@ -51,10 +54,7 @@ fn main() {
             format!("{:?}", p.kind),
             format!("{:.0}", p.power.value()),
             format!("{:.0}", p.silicon_area.as_square_millimeters()),
-            format!(
-                "{:.3}",
-                p.current_density().as_amps_per_square_millimeter()
-            ),
+            format!("{:.3}", p.current_density().as_amps_per_square_millimeter()),
             format!("{:.2}", p.delivery_efficiency),
         ]);
     }

@@ -12,7 +12,11 @@ fn main() {
     vpd_bench::banner("Figure 7 — PCB-to-POL power loss breakdown (% of 1 kW)");
 
     let entries = explore_matrix(
-        &[VrTopologyKind::Dpmih, VrTopologyKind::Dsch, VrTopologyKind::ThreeLevelHybridDickson],
+        &[
+            VrTopologyKind::Dpmih,
+            VrTopologyKind::Dsch,
+            VrTopologyKind::ThreeLevelHybridDickson,
+        ],
         &spec,
         &calib,
         &opts,

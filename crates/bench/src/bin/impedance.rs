@@ -21,12 +21,7 @@ fn main() {
         Architecture::InterposerEmbedded,
     ];
 
-    let mut t = Table::new(vec![
-        "f",
-        "A0 |Z| (µΩ)",
-        "A1 |Z| (µΩ)",
-        "A2 |Z| (µΩ)",
-    ]);
+    let mut t = Table::new(vec!["f", "A0 |Z| (µΩ)", "A1 |Z| (µΩ)", "A2 |Z| (µΩ)"]);
     for c in 1..4 {
         t.align(c, Align::Right);
     }
@@ -70,7 +65,12 @@ fn main() {
     print!("{}", s.render());
 
     vpd_bench::banner("Time domain — 250 A → 1 kA load step (transient solve)");
-    let mut d = Table::new(vec!["Architecture", "Droop", "ΔI·|Z|max bound", "5% budget"]);
+    let mut d = Table::new(vec![
+        "Architecture",
+        "Droop",
+        "ΔI·|Z|max bound",
+        "5% budget",
+    ]);
     d.align(1, Align::Right);
     d.align(2, Align::Right);
     let step = LoadStep::paper_default(&spec);

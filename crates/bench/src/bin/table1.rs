@@ -31,10 +31,7 @@ fn main() {
             format!("{:.0}", tech.cross_section.as_square_micrometers()),
             format!("{:.0}", tech.height.as_micrometers()),
             format!("{:.0}", tech.pitch.as_micrometers()),
-            format!(
-                "{:.0}",
-                tech.default_platform_area.as_square_millimeters()
-            ),
+            format!("{:.0}", tech.default_platform_area.as_square_millimeters()),
         ]);
     }
     print!("{}", t.render());

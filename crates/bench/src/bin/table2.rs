@@ -21,7 +21,7 @@ fn main() {
     }
     let row = |label: &str, f: &dyn Fn(&TopologyCharacteristics) -> String| {
         let mut cells = vec![label.to_owned()];
-        cells.extend(chs.iter().map(|c| f(c)));
+        cells.extend(chs.iter().map(f));
         cells
     };
     t.row(row("Conversion scheme", &|_| "48V-to-1V".to_owned()));

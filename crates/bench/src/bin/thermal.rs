@@ -46,22 +46,21 @@ fn main() {
     );
 
     vpd_bench::banner("Extension E3 — annealed module placement vs. the uniform grid");
-    let mut o = Table::new(vec![
-        "Objective",
-        "Uniform grid",
-        "Annealed",
-        "Improvement",
-    ]);
+    let mut o = Table::new(vec!["Objective", "Uniform grid", "Annealed", "Improvement"]);
     for c in 1..4 {
         o.align(c, Align::Right);
     }
     for (objective, label, unit) in [
-        (PlacementObjective::WorstModuleCurrent, "worst module current", "A"),
+        (
+            PlacementObjective::WorstModuleCurrent,
+            "worst module current",
+            "A",
+        ),
         (PlacementObjective::GridLoss, "grid spreading loss", "W"),
         (PlacementObjective::WorstDrop, "worst IR drop", "mV"),
     ] {
-        let opt = optimize_placement(&spec, &calib, 48, objective, &AnnealSettings::default())
-            .unwrap();
+        let opt =
+            optimize_placement(&spec, &calib, 48, objective, &AnnealSettings::default()).unwrap();
         let scale = if unit == "mV" { 1e3 } else { 1.0 };
         o.row(vec![
             label.to_owned(),

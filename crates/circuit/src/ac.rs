@@ -76,7 +76,9 @@ impl<'a> AcAnalysis<'a> {
     /// * [`CircuitError::Numeric`] when the complex solve fails.
     pub fn impedance(&self, node: NodeId, freqs: &[Hertz]) -> Result<Vec<AcPoint>, CircuitError> {
         if node.index() == 0 || node.index() >= self.net.node_count() {
-            return Err(CircuitError::UnknownNode { index: node.index() });
+            return Err(CircuitError::UnknownNode {
+                index: node.index(),
+            });
         }
         freqs
             .iter()
@@ -177,7 +179,12 @@ impl<'a> AcAnalysis<'a> {
         for (i, e) in net.elements().iter().enumerate() {
             match &e.kind {
                 ElementKind::Resistor { r } => {
-                    stamp_y(&mut a, idx(e.a), idx(e.b), Complex::from_real(1.0 / r.value()));
+                    stamp_y(
+                        &mut a,
+                        idx(e.a),
+                        idx(e.b),
+                        Complex::from_real(1.0 / r.value()),
+                    );
                 }
                 ElementKind::Switch {
                     r_on,
@@ -193,7 +200,12 @@ impl<'a> AcAnalysis<'a> {
                     stamp_y(&mut a, idx(e.a), idx(e.b), Complex::from_real(1.0 / r));
                 }
                 ElementKind::Capacitor { c, .. } => {
-                    stamp_y(&mut a, idx(e.a), idx(e.b), Complex::new(0.0, omega * c.value()));
+                    stamp_y(
+                        &mut a,
+                        idx(e.a),
+                        idx(e.b),
+                        Complex::new(0.0, omega * c.value()),
+                    );
                 }
                 ElementKind::Inductor { l, .. } => {
                     stamp_y(
@@ -279,7 +291,10 @@ mod tests {
         let n = net.node("n");
         net.resistor(n, net.ground(), Ohms::new(42.0)).unwrap();
         let sweep = AcAnalysis::new(&net)
-            .impedance(n, &log_sweep(Hertz::new(1.0), Hertz::from_megahertz(1.0), 5))
+            .impedance(
+                n,
+                &log_sweep(Hertz::new(1.0), Hertz::from_megahertz(1.0), 5),
+            )
             .unwrap();
         for p in sweep {
             assert!((p.magnitude() - 42.0).abs() < 1e-9);
@@ -308,10 +323,20 @@ mod tests {
         let n = net.node("pdn");
         let mid = net.node("mid");
         net.resistor(n, mid, Ohms::from_milliohms(10.0)).unwrap();
-        net.inductor(mid, net.ground(), Henries::from_nanohenries(100.0), Amps::ZERO)
-            .unwrap();
-        net.capacitor(n, net.ground(), Farads::from_microfarads(100.0), Volts::ZERO)
-            .unwrap();
+        net.inductor(
+            mid,
+            net.ground(),
+            Henries::from_nanohenries(100.0),
+            Amps::ZERO,
+        )
+        .unwrap();
+        net.capacitor(
+            n,
+            net.ground(),
+            Farads::from_microfarads(100.0),
+            Volts::ZERO,
+        )
+        .unwrap();
         net.resistor(n, net.ground(), Ohms::new(1e6)).unwrap();
         let ana = AcAnalysis::new(&net);
         // Antiresonance: parallel L (through R) and C peak between the
@@ -319,7 +344,10 @@ mod tests {
         let lo = ana.impedance(n, &[Hertz::new(100.0)]).unwrap()[0].magnitude();
         let hi = ana.impedance(n, &[Hertz::from_megahertz(100.0)]).unwrap()[0].magnitude();
         let peak_band = ana
-            .impedance(n, &log_sweep(Hertz::from_kilohertz(10.0), Hertz::from_megahertz(10.0), 40))
+            .impedance(
+                n,
+                &log_sweep(Hertz::from_kilohertz(10.0), Hertz::from_megahertz(10.0), 40),
+            )
             .unwrap();
         let peak = peak_band.iter().map(AcPoint::magnitude).fold(0.0, f64::max);
         assert!(peak > lo && peak > hi, "antiresonant peak {peak}");
@@ -334,8 +362,13 @@ mod tests {
             .voltage_source(vin, net.ground(), Volts::new(1.0))
             .unwrap();
         net.resistor(vin, out, Ohms::new(1000.0)).unwrap();
-        net.capacitor(out, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
-            .unwrap();
+        net.capacitor(
+            out,
+            net.ground(),
+            Farads::from_microfarads(1.0),
+            Volts::ZERO,
+        )
+        .unwrap();
         let ana = AcAnalysis::new(&net);
         // Corner at 1/(2πRC) ≈ 159 Hz: gain 1/√2, phase −45°.
         let corner = Hertz::new(1.0 / (2.0 * std::f64::consts::PI * 1e-3));

@@ -15,7 +15,10 @@
 
 use crate::netlist::{ElementKind, SwitchState};
 use crate::{CircuitError, ElementId, Netlist, NodeId};
-use vpd_numeric::{conjugate_gradient, CgSettings, CooMatrix, DenseMatrix, LuFactor};
+use vpd_numeric::{
+    conjugate_gradient, conjugate_gradient_into, CgReport, CgSettings, CgWorkspace, CooMatrix,
+    CsrMatrix, DenseMatrix, LuFactor, PatternCache,
+};
 use vpd_units::{Amps, Ohms, Volts, Watts};
 
 /// Above this many unknowns, `Auto` prefers the sparse path when the
@@ -123,11 +126,431 @@ impl DcSolver {
             solve_dense(net, &branches)?
         };
 
-        let element_currents = recover_currents(net, &branches, &node_voltages);
+        let adjacency = build_adjacency(net);
+        let element_currents = recover_currents(net, &node_voltages, &adjacency);
         Ok(DcSolution {
             node_voltages,
             element_currents,
         })
+    }
+}
+
+/// A compiled sparse DC solve plan: symbolic analysis done once, numeric
+/// restamping and warm-started CG per solve.
+///
+/// [`DcSolver::solve`] re-derives everything from the netlist on every
+/// call — connectivity, node elimination, COO assembly, sort-and-merge,
+/// current-recovery scans. When the same topology is solved hundreds of
+/// times with different element values (Monte-Carlo sampling, design
+/// sweeps, placement annealing), that symbolic work dominates. A plan
+/// hoists it:
+///
+/// * node elimination and the CSR sparsity [`PatternCache`] are computed
+///   at compile time;
+/// * each solve re-reads element values and scatter-stamps them in place
+///   (O(nnz), allocation-free);
+/// * the CG solution vector persists across solves, so each solve
+///   warm-starts from the last (or from an explicit
+///   [`SparseDcPlan::set_guess`]);
+/// * per-node element adjacency is cached for O(degree) source-current
+///   recovery.
+///
+/// Value-only mutations ([`Netlist::set_resistance`] and friends) keep a
+/// plan valid; terminal changes ([`Netlist::rewire`]) or adding elements
+/// require [`SparseDcPlan::compile`] again (a stale plan is detected and
+/// reported as [`CircuitError::StalePlan`]).
+///
+/// ```
+/// use vpd_circuit::{Netlist, SparseDcPlan};
+/// use vpd_units::{Amps, Ohms, Volts};
+///
+/// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+/// let mut net = Netlist::new();
+/// let n = net.node("n");
+/// net.current_source(net.ground(), n, Amps::new(1.0))?;
+/// let r = net.resistor(n, net.ground(), Ohms::new(2.0))?;
+/// let mut plan = SparseDcPlan::compile(&net)?;
+/// assert!((plan.solve(&net)?.voltage(n).value() - 2.0).abs() < 1e-9);
+/// net.set_resistance(r, Ohms::new(4.0))?; // restamp, no recompile
+/// assert!((plan.solve(&net)?.voltage(n).value() - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseDcPlan {
+    node_count: usize,
+    /// Topology fingerprint: (a, b, kind tag) per element.
+    fingerprint: Vec<(usize, usize, u8)>,
+    unknown_index: Vec<Option<usize>>,
+    fixed_from: Vec<FixedBy>,
+    ops: Vec<StampOp>,
+    csr: CsrMatrix,
+    pattern: PatternCache,
+    raw_values: Vec<f64>,
+    rhs: Vec<f64>,
+    fixed_vals: Vec<f64>,
+    x: Vec<f64>,
+    ws: CgWorkspace,
+    settings: CgSettings,
+    adjacency: Vec<Vec<(usize, f64)>>,
+    last_report: Option<CgReport>,
+}
+
+/// How a node's potential is determined.
+#[derive(Clone, Copy, Debug)]
+enum FixedBy {
+    /// Solved for (an unknown).
+    Free,
+    /// The reference node (0 V).
+    Ground,
+    /// Pinned by a grounded source element: `sign * V(element)`.
+    Source { element: usize, sign: f64 },
+}
+
+/// Compiled per-element stamping instruction. The raw-value push order
+/// (4 for `CondUU`, 1 for `CondUF`, 0 otherwise, in element order) is
+/// the contract between compile-time pattern construction and per-solve
+/// restamping.
+#[derive(Clone, Copy, Debug)]
+enum StampOp {
+    /// Conductance between two unknowns.
+    CondUU { i: usize, j: usize },
+    /// Conductance between unknown `i` and fixed node `fixed_node`.
+    CondUF { i: usize, fixed_node: usize },
+    /// Conductance between two fixed nodes: no reduced-system stamp.
+    CondFF,
+    /// Current injection; right-hand side only.
+    Current {
+        ia: Option<usize>,
+        ib: Option<usize>,
+    },
+    /// Open circuit or voltage constraint: nothing to stamp.
+    Skip,
+}
+
+fn kind_tag(kind: &ElementKind) -> u8 {
+    match kind {
+        ElementKind::Resistor { .. } => 0,
+        ElementKind::CurrentSource { .. } => 1,
+        ElementKind::StepCurrentSource { .. } => 2,
+        ElementKind::VoltageSource { .. } => 3,
+        ElementKind::Capacitor { .. } => 4,
+        ElementKind::Inductor { .. } => 5,
+        ElementKind::Switch { .. } => 6,
+    }
+}
+
+/// DC conductance of an element, if it lowers to one.
+fn dc_conductance(kind: &ElementKind) -> Option<f64> {
+    match kind {
+        ElementKind::Resistor { r } => Some(1.0 / r.value()),
+        ElementKind::Switch {
+            r_on,
+            r_off,
+            schedule,
+            initial,
+        } => Some(1.0 / dc_switch_resistance(*r_on, *r_off, *schedule, *initial)),
+        _ => None,
+    }
+}
+
+/// DC injection current of an element, if it lowers to one.
+fn dc_current(kind: &ElementKind) -> Option<f64> {
+    match kind {
+        ElementKind::CurrentSource { i } => Some(i.value()),
+        ElementKind::StepCurrentSource { before, .. } => Some(before.value()),
+        _ => None,
+    }
+}
+
+/// DC constraint voltage of an element, if it lowers to a source.
+fn dc_source_voltage(kind: &ElementKind) -> Option<f64> {
+    match kind {
+        ElementKind::VoltageSource { v } => Some(v.value()),
+        ElementKind::Inductor { .. } => Some(0.0),
+        _ => None,
+    }
+}
+
+impl SparseDcPlan {
+    /// Compiles a plan with default CG settings.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseDcPlan::compile_with`].
+    pub fn compile(net: &Netlist) -> Result<Self, CircuitError> {
+        Self::compile_with(net, CgSettings::default())
+    }
+
+    /// Compiles the symbolic side of the sparse solve for this netlist
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::EmptyNetlist`] — nothing to solve.
+    /// * [`CircuitError::FloatingNode`] — disconnected nodes, or a
+    ///   floating (ungrounded) voltage source/inductor, which the sparse
+    ///   elimination cannot express.
+    pub fn compile_with(net: &Netlist, settings: CgSettings) -> Result<Self, CircuitError> {
+        if net.element_count() == 0 {
+            return Err(CircuitError::EmptyNetlist);
+        }
+        check_connectivity(net)?;
+        let branches = lower(net);
+        let reducible = branches.iter().all(|b| match b.kind {
+            BranchKind::Source { .. } => b.a == net.ground() || b.b == net.ground(),
+            _ => true,
+        }) && fixed_nodes_unique(net, &branches);
+        if !reducible {
+            return Err(CircuitError::FloatingNode {
+                label: "sparse plan requires grounded voltage sources".to_owned(),
+            });
+        }
+
+        let n = net.node_count();
+        let mut fixed_from = vec![FixedBy::Free; n];
+        fixed_from[0] = FixedBy::Ground;
+        for b in &branches {
+            if let BranchKind::Source { .. } = b.kind {
+                let (node, sign) = if b.b == net.ground() {
+                    (b.a.index(), 1.0)
+                } else {
+                    (b.b.index(), -1.0)
+                };
+                fixed_from[node] = FixedBy::Source {
+                    element: b.element,
+                    sign,
+                };
+            }
+        }
+        let mut unknown_index: Vec<Option<usize>> = vec![None; n];
+        let mut m = 0;
+        for node in 0..n {
+            if matches!(fixed_from[node], FixedBy::Free) {
+                unknown_index[node] = Some(m);
+                m += 1;
+            }
+        }
+
+        let mut ops = Vec::with_capacity(branches.len());
+        for b in &branches {
+            let op = match b.kind {
+                BranchKind::Conductance(_) => {
+                    let (na, nb) = (b.a.index(), b.b.index());
+                    match (unknown_index[na], unknown_index[nb]) {
+                        (Some(i), Some(j)) => StampOp::CondUU { i, j },
+                        (Some(i), None) => StampOp::CondUF { i, fixed_node: nb },
+                        (None, Some(j)) => StampOp::CondUF {
+                            i: j,
+                            fixed_node: na,
+                        },
+                        (None, None) => StampOp::CondFF,
+                    }
+                }
+                BranchKind::Current(_) => StampOp::Current {
+                    ia: unknown_index[b.a.index()],
+                    ib: unknown_index[b.b.index()],
+                },
+                BranchKind::Source { .. } | BranchKind::Open => StampOp::Skip,
+            };
+            ops.push(op);
+        }
+
+        let mut coo = CooMatrix::new(m, m);
+        for op in &ops {
+            match *op {
+                StampOp::CondUU { i, j } => {
+                    coo.push_structural(i, i);
+                    coo.push_structural(j, j);
+                    coo.push_structural(i, j);
+                    coo.push_structural(j, i);
+                }
+                StampOp::CondUF { i, .. } => coo.push_structural(i, i),
+                _ => {}
+            }
+        }
+        let (csr, pattern) = coo.to_csr_with_pattern();
+
+        let fingerprint = net
+            .elements()
+            .iter()
+            .map(|e| (e.a.index(), e.b.index(), kind_tag(&e.kind)))
+            .collect();
+
+        Ok(Self {
+            node_count: n,
+            fingerprint,
+            unknown_index,
+            fixed_from,
+            ops,
+            raw_values: Vec::with_capacity(pattern.raw_len()),
+            rhs: vec![0.0; m],
+            fixed_vals: vec![0.0; n],
+            x: vec![0.0; m],
+            ws: CgWorkspace::new(),
+            settings,
+            adjacency: build_adjacency(net),
+            last_report: None,
+            csr,
+            pattern,
+        })
+    }
+
+    /// Number of eliminated-system unknowns.
+    #[must_use]
+    pub fn unknown_count(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The CG convergence report of the most recent successful solve.
+    #[must_use]
+    pub fn last_report(&self) -> Option<CgReport> {
+        self.last_report
+    }
+
+    /// Seeds the next solve's warm start from a previous solution of the
+    /// same topology (e.g. the nominal operating point of a Monte-Carlo
+    /// study). Without this, each solve warm-starts from the previous
+    /// solve's result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::StalePlan`] when the solution's node count
+    /// does not match the plan's.
+    pub fn set_guess(&mut self, sol: &DcSolution) -> Result<(), CircuitError> {
+        if sol.node_voltages.len() != self.node_count {
+            return Err(CircuitError::StalePlan {
+                reason: format!(
+                    "guess has {} nodes, plan has {}",
+                    sol.node_voltages.len(),
+                    self.node_count
+                ),
+            });
+        }
+        for node in 0..self.node_count {
+            if let Some(i) = self.unknown_index[node] {
+                self.x[i] = sol.node_voltages[node];
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears the warm start: the next solve starts from zero, exactly
+    /// reproducing a cold [`DcSolver`] sparse solve.
+    pub fn reset_guess(&mut self) {
+        self.x.fill(0.0);
+    }
+
+    /// Restamps current element values and solves, warm-starting from
+    /// the current guess.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::StalePlan`] — the netlist's topology changed
+    ///   since compile; recompile and retry.
+    /// * [`CircuitError::Numeric`] — CG failed (the guess is reset so
+    ///   the next attempt is a clean cold start).
+    pub fn solve(&mut self, net: &Netlist) -> Result<DcSolution, CircuitError> {
+        self.check_topology(net)?;
+        self.restamp(net)?;
+        let solve_result = conjugate_gradient_into(
+            &self.csr,
+            &self.rhs,
+            &mut self.x,
+            &self.settings,
+            &mut self.ws,
+        );
+        let report = match solve_result {
+            Ok(report) => report,
+            Err(e) => {
+                self.reset_guess();
+                return Err(CircuitError::from(e));
+            }
+        };
+        self.last_report = Some(report);
+
+        let node_voltages: Vec<f64> = (0..self.node_count)
+            .map(|node| match self.unknown_index[node] {
+                Some(i) => self.x[i],
+                None => self.fixed_vals[node],
+            })
+            .collect();
+        let element_currents = recover_currents(net, &node_voltages, &self.adjacency);
+        Ok(DcSolution {
+            node_voltages,
+            element_currents,
+        })
+    }
+
+    fn check_topology(&self, net: &Netlist) -> Result<(), CircuitError> {
+        if net.node_count() != self.node_count {
+            return Err(CircuitError::StalePlan {
+                reason: format!(
+                    "netlist has {} nodes, plan compiled for {}",
+                    net.node_count(),
+                    self.node_count
+                ),
+            });
+        }
+        if net.element_count() != self.fingerprint.len() {
+            return Err(CircuitError::StalePlan {
+                reason: format!(
+                    "netlist has {} elements, plan compiled for {}",
+                    net.element_count(),
+                    self.fingerprint.len()
+                ),
+            });
+        }
+        for (idx, (e, fp)) in net.elements().iter().zip(&self.fingerprint).enumerate() {
+            if (e.a.index(), e.b.index(), kind_tag(&e.kind)) != *fp {
+                return Err(CircuitError::StalePlan {
+                    reason: format!("element {idx} ({}) changed terminals or kind", e.label),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Numeric restamp: re-reads element values and rebuilds matrix
+    /// values and right-hand side in place. O(elements + nnz), no
+    /// allocation.
+    fn restamp(&mut self, net: &Netlist) -> Result<(), CircuitError> {
+        for node in 0..self.node_count {
+            self.fixed_vals[node] = match self.fixed_from[node] {
+                FixedBy::Free | FixedBy::Ground => 0.0,
+                FixedBy::Source { element, sign } => {
+                    sign * dc_source_voltage(&net.elements()[element].kind).unwrap_or(0.0)
+                }
+            };
+        }
+        self.raw_values.clear();
+        self.rhs.fill(0.0);
+        for (e, op) in net.elements().iter().zip(&self.ops) {
+            match *op {
+                StampOp::CondUU { .. } => {
+                    let g = dc_conductance(&e.kind).unwrap_or(0.0);
+                    self.raw_values.extend_from_slice(&[g, g, -g, -g]);
+                }
+                StampOp::CondUF { i, fixed_node } => {
+                    let g = dc_conductance(&e.kind).unwrap_or(0.0);
+                    self.raw_values.push(g);
+                    self.rhs[i] += g * self.fixed_vals[fixed_node];
+                }
+                StampOp::Current { ia, ib } => {
+                    let i_src = dc_current(&e.kind).unwrap_or(0.0);
+                    if let Some(i) = ia {
+                        self.rhs[i] -= i_src;
+                    }
+                    if let Some(j) = ib {
+                        self.rhs[j] += i_src;
+                    }
+                }
+                StampOp::CondFF | StampOp::Skip => {}
+            }
+        }
+        self.csr
+            .update_values(&self.pattern, &self.raw_values)
+            .map_err(CircuitError::from)
     }
 }
 
@@ -318,7 +741,7 @@ fn lower(net: &Netlist) -> Vec<Branch> {
 fn check_connectivity(net: &Netlist) -> Result<(), CircuitError> {
     let n = net.node_count();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -428,9 +851,7 @@ fn solve_dense(net: &Netlist, branches: &[Branch]) -> Result<Vec<f64>, CircuitEr
     let x = lu.solve(&rhs).map_err(CircuitError::from)?;
 
     let mut voltages = vec![0.0; net.node_count()];
-    for n in 1..net.node_count() {
-        voltages[n] = x[n - 1];
-    }
+    voltages[1..].copy_from_slice(&x[..net.node_count() - 1]);
     Ok(voltages)
 }
 
@@ -512,73 +933,75 @@ fn solve_sparse(
     Ok(voltages)
 }
 
-/// Recovers per-element branch currents (`a → b` through the element).
-fn recover_currents(net: &Netlist, branches: &[Branch], voltages: &[f64]) -> Vec<f64> {
+/// Per-node incident-element lists: for each node, `(element index,
+/// sign)` where sign is `+1.0` when the node is terminal `a` of the
+/// element and `-1.0` when it is terminal `b`. With the `a → b` current
+/// convention, `sign * current` is the current *leaving* the node
+/// through that element.
+fn build_adjacency(net: &Netlist) -> Vec<Vec<(usize, f64)>> {
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); net.node_count()];
+    for (i, e) in net.elements().iter().enumerate() {
+        adj[e.a.index()].push((i, 1.0));
+        adj[e.b.index()].push((i, -1.0));
+    }
+    adj
+}
+
+/// Recovers per-element branch currents (`a → b` through the element)
+/// from solved node voltages, using the incident-element adjacency for
+/// O(degree) KCL balances instead of full element scans.
+fn recover_currents(net: &Netlist, voltages: &[f64], adjacency: &[Vec<(usize, f64)>]) -> Vec<f64> {
     let mut currents = vec![0.0; net.element_count()];
-    // First pass: everything except voltage-constraint branches.
-    for b in branches {
-        let v = voltages[b.a.index()] - voltages[b.b.index()];
-        currents[b.element] = match b.kind {
-            BranchKind::Conductance(g) => v * g,
-            BranchKind::Current(i) => i,
-            BranchKind::Open => 0.0,
-            BranchKind::Source { .. } => f64::NAN, // filled below
+    let mut unresolved = Vec::new();
+    // First pass: everything except voltage-constraint elements.
+    for (i, e) in net.elements().iter().enumerate() {
+        currents[i] = if let Some(g) = dc_conductance(&e.kind) {
+            (voltages[e.a.index()] - voltages[e.b.index()]) * g
+        } else if let Some(i_src) = dc_current(&e.kind) {
+            i_src
+        } else if dc_source_voltage(&e.kind).is_some() {
+            unresolved.push(i);
+            f64::NAN // filled below
+        } else {
+            0.0 // capacitor: DC open circuit
         };
     }
-    // Second pass: source currents by KCL. Process sources one at a time;
-    // a source incident to a node whose every *other* incident element is
-    // known gets its current from that node's balance. Iterate until all
-    // are resolved (source chains resolve from the ends inward).
-    loop {
+    // Second pass: source currents by KCL. A source incident to a node
+    // whose every *other* incident element is known gets its current from
+    // that node's balance; source chains resolve from the ends inward.
+    while !unresolved.is_empty() {
         let mut progressed = false;
-        let mut all_done = true;
-        for b in branches {
-            if !matches!(b.kind, BranchKind::Source { .. }) {
-                continue;
-            }
-            if !currents[b.element].is_nan() {
-                continue;
-            }
-            all_done = false;
-            for (node, sign) in [(b.a, 1.0), (b.b, -1.0)] {
+        unresolved.retain(|&elem| {
+            let e = &net.elements()[elem];
+            for (node, sign) in [(e.a, 1.0), (e.b, -1.0)] {
                 // Sum of known currents leaving `node` through other elements.
                 let mut sum = 0.0;
                 let mut ok = true;
-                for (i, e) in net.elements().iter().enumerate() {
-                    if i == b.element {
+                for &(other, other_sign) in &adjacency[node.index()] {
+                    if other == elem {
                         continue;
                     }
-                    if e.a == node || e.b == node {
-                        if currents[i].is_nan() {
-                            ok = false;
-                            break;
-                        }
-                        if e.a == node {
-                            sum += currents[i];
-                        } else {
-                            sum -= currents[i];
-                        }
+                    if currents[other].is_nan() {
+                        ok = false;
+                        break;
                     }
+                    sum += other_sign * currents[other];
                 }
                 if ok {
                     // KCL: current leaving `node` through this source
                     // balances the rest: sign * I_e = -sum.
-                    currents[b.element] = -sum * sign;
+                    currents[elem] = -sum * sign;
                     progressed = true;
-                    break;
+                    return false;
                 }
             }
-        }
-        if all_done {
-            break;
-        }
+            true
+        });
         if !progressed {
             // Degenerate source cluster (e.g. a loop of sources); leave
             // the remaining currents as 0 rather than NaN.
-            for b in branches {
-                if matches!(b.kind, BranchKind::Source { .. }) && currents[b.element].is_nan() {
-                    currents[b.element] = 0.0;
-                }
+            for &elem in &unresolved {
+                currents[elem] = 0.0;
             }
             break;
         }
@@ -653,7 +1076,8 @@ mod tests {
         let mut net = Netlist::new();
         let a = net.node("a");
         let b = net.node("b");
-        net.voltage_source(a, net.ground(), Volts::new(5.0)).unwrap();
+        net.voltage_source(a, net.ground(), Volts::new(5.0))
+            .unwrap();
         net.inductor(a, b, vpd_units::Henries::from_microhenries(1.0), Amps::ZERO)
             .unwrap();
         net.resistor(b, net.ground(), Ohms::new(5.0)).unwrap();
@@ -668,10 +1092,16 @@ mod tests {
         let mut net = Netlist::new();
         let a = net.node("a");
         let b = net.node("b");
-        net.voltage_source(a, net.ground(), Volts::new(5.0)).unwrap();
-        net.resistor(a, b, Ohms::new(1.0)).unwrap();
-        net.capacitor(b, net.ground(), vpd_units::Farads::from_microfarads(1.0), Volts::ZERO)
+        net.voltage_source(a, net.ground(), Volts::new(5.0))
             .unwrap();
+        net.resistor(a, b, Ohms::new(1.0)).unwrap();
+        net.capacitor(
+            b,
+            net.ground(),
+            vpd_units::Farads::from_microfarads(1.0),
+            Volts::ZERO,
+        )
+        .unwrap();
         // b floats at 5 V through the resistor: no current flows.
         let sol = DcSolver::new().solve(&net).unwrap();
         assert!((sol.voltage(b).value() - 5.0).abs() < 1e-9);
@@ -683,7 +1113,8 @@ mod tests {
         let mut net = Netlist::new();
         let a = net.node("a");
         let b = net.node("b");
-        net.voltage_source(a, net.ground(), Volts::new(1.0)).unwrap();
+        net.voltage_source(a, net.ground(), Volts::new(1.0))
+            .unwrap();
         net.switch(
             a,
             b,
@@ -760,9 +1191,11 @@ mod tests {
         net.resistor(a, net.ground(), Ohms::new(1.0)).unwrap();
         net.voltage_source(a, b, Volts::new(1.0)).unwrap();
         net.resistor(b, net.ground(), Ohms::new(1.0)).unwrap();
-        assert!(DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
-            .solve(&net)
-            .is_err());
+        assert!(
+            DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+                .solve(&net)
+                .is_err()
+        );
     }
 
     #[test]
@@ -799,6 +1232,156 @@ mod tests {
         // Pulling 0.5 A out of the far corner drops its voltage below 1 V.
         assert!(sol.voltage(ids[side * side - 1]).value() < 1.0);
         assert!(sol.max_kcl_residual(&net).value() < 1e-6);
+    }
+
+    /// `side`×`side` unit-resistance mesh with a 1 V source at one
+    /// corner and a load current pulled from the opposite corner.
+    /// Returns the netlist, node ids, and the load source's element id.
+    fn mesh(side: usize, i_load: f64) -> (Netlist, Vec<NodeId>, ElementId) {
+        let mut net = Netlist::new();
+        let mut ids = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(net.node(&format!("n{x}_{y}")));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let here = ids[y * side + x];
+                if x + 1 < side {
+                    net.resistor(here, ids[y * side + x + 1], Ohms::new(1.0))
+                        .unwrap();
+                }
+                if y + 1 < side {
+                    net.resistor(here, ids[(y + 1) * side + x], Ohms::new(1.0))
+                        .unwrap();
+                }
+            }
+        }
+        net.voltage_source(ids[0], net.ground(), Volts::new(1.0))
+            .unwrap();
+        let load = net
+            .current_source(ids[side * side - 1], net.ground(), Amps::new(i_load))
+            .unwrap();
+        (net, ids, load)
+    }
+
+    #[test]
+    fn plan_matches_solver_on_divider() {
+        let (net, vin, out) = divider();
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        let sol = plan.solve(&net).unwrap();
+        let reference = DcSolver::new().solve(&net).unwrap();
+        assert!((sol.voltage(vin).value() - 12.0).abs() < 1e-9);
+        assert!((sol.voltage(out).value() - 4.0).abs() < 1e-9);
+        // Source current recovery matches the one-shot solver.
+        assert!(
+            (sol.current(ElementId(0)).value() - reference.current(ElementId(0)).value()).abs()
+                < 1e-9
+        );
+        assert!(sol.max_kcl_residual(&net).value() < 1e-9);
+    }
+
+    #[test]
+    fn plan_restamp_matches_fresh_solve() {
+        let (mut net, ids, load) = mesh(12, 0.25);
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        let first = plan.solve(&net).unwrap();
+        let fresh = DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+            .solve(&net)
+            .unwrap();
+        for n in 0..net.node_count() {
+            assert!((first.node_voltages()[n] - fresh.node_voltages()[n]).abs() < 1e-8);
+        }
+        // Change element values only: heavier load, one fattened edge.
+        net.set_current(load, Amps::new(0.75)).unwrap();
+        net.set_resistance(ElementId(0), Ohms::new(0.2)).unwrap();
+        let restamped = plan.solve(&net).unwrap();
+        let fresh = DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+            .solve(&net)
+            .unwrap();
+        for n in 0..net.node_count() {
+            assert!((restamped.node_voltages()[n] - fresh.node_voltages()[n]).abs() < 1e-8);
+        }
+        assert!(
+            restamped.voltage(*ids.last().unwrap()).value()
+                < first.voltage(*ids.last().unwrap()).value()
+        );
+        assert!(restamped.max_kcl_residual(&net).value() < 1e-6);
+    }
+
+    #[test]
+    fn plan_detects_topology_change() {
+        let (mut net, ids, _) = mesh(4, 0.1);
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        plan.solve(&net).unwrap();
+        // Rewiring an element invalidates the compiled pattern.
+        net.rewire(ElementId(0), ids[0], ids[5]).unwrap();
+        assert!(matches!(
+            plan.solve(&net),
+            Err(CircuitError::StalePlan { .. })
+        ));
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        let sol = plan.solve(&net).unwrap();
+        assert!(sol.max_kcl_residual(&net).value() < 1e-6);
+    }
+
+    #[test]
+    fn plan_warm_start_beats_cold_on_perturbed_grid() {
+        let (mut net, _, load) = mesh(25, 0.5);
+        let mut warm_plan = SparseDcPlan::compile(&net).unwrap();
+        warm_plan.solve(&net).unwrap();
+        // Small perturbation, as in a Monte-Carlo sample.
+        net.set_current(load, Amps::new(0.52)).unwrap();
+        let warm_sol = warm_plan.solve(&net).unwrap();
+        let warm_iters = warm_plan.last_report().unwrap().iterations;
+        let mut cold_plan = SparseDcPlan::compile(&net).unwrap();
+        let cold_sol = cold_plan.solve(&net).unwrap();
+        let cold_iters = cold_plan.last_report().unwrap().iterations;
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} vs cold {cold_iters}"
+        );
+        for n in 0..net.node_count() {
+            assert!((warm_sol.node_voltages()[n] - cold_sol.node_voltages()[n]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn plan_set_guess_validates_and_reset_matches_cold() {
+        let (net, _, _) = mesh(8, 0.3);
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        let sol = plan.solve(&net).unwrap();
+        // A guess from a different netlist is rejected.
+        let (other_net, _, _) = mesh(4, 0.3);
+        let mut other_plan = SparseDcPlan::compile(&other_net).unwrap();
+        let other_sol = other_plan.solve(&other_net).unwrap();
+        assert!(matches!(
+            plan.set_guess(&other_sol),
+            Err(CircuitError::StalePlan { .. })
+        ));
+        plan.set_guess(&sol).unwrap();
+        let warm = plan.solve(&net).unwrap();
+        assert_eq!(plan.last_report().unwrap().iterations, 0);
+        plan.reset_guess();
+        let cold = plan.solve(&net).unwrap();
+        for n in 0..net.node_count() {
+            assert!((warm.node_voltages()[n] - cold.node_voltages()[n]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn plan_rejects_floating_source() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, net.ground(), Ohms::new(1.0)).unwrap();
+        net.voltage_source(a, b, Volts::new(1.0)).unwrap();
+        net.resistor(b, net.ground(), Ohms::new(1.0)).unwrap();
+        assert!(matches!(
+            SparseDcPlan::compile(&net),
+            Err(CircuitError::FloatingNode { .. })
+        ));
     }
 
     proptest! {

@@ -53,6 +53,13 @@ pub enum CircuitError {
         /// The rejected duty value.
         duty: f64,
     },
+    /// A compiled solve plan was applied to a netlist whose topology no
+    /// longer matches the one it was compiled from (element count,
+    /// terminals, or element kinds changed). Recompile the plan.
+    StalePlan {
+        /// What changed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -61,7 +68,10 @@ impl fmt::Display for CircuitError {
             Self::UnknownNode { index } => write!(f, "unknown node index {index}"),
             Self::UnknownElement { index } => write!(f, "unknown element index {index}"),
             Self::InvalidValue { element, value } => {
-                write!(f, "invalid {element} value {value}; must be positive and finite")
+                write!(
+                    f,
+                    "invalid {element} value {value}; must be positive and finite"
+                )
             }
             Self::DegenerateElement { label } => {
                 write!(f, "element {label} connects a node to itself")
@@ -75,6 +85,9 @@ impl fmt::Display for CircuitError {
                 write!(f, "invalid transient window: dt = {dt}, t_stop = {t_stop}")
             }
             Self::InvalidDuty { duty } => write!(f, "duty cycle {duty} outside [0, 1]"),
+            Self::StalePlan { reason } => {
+                write!(f, "solve plan is stale ({reason}); recompile it")
+            }
         }
     }
 }

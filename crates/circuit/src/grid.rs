@@ -5,7 +5,7 @@
 //! derived from a sheet resistance, a per-node load current, and voltage
 //! regulators attached as grounded sources behind a droop resistance.
 
-use crate::{CircuitError, DcSolver, ElementId, Netlist, NodeId};
+use crate::{CircuitError, DcSolver, ElementId, Netlist, NodeId, SparseDcPlan};
 use vpd_units::{Amps, Meters, Ohms, Volts};
 
 /// A rectangular resistive mesh plus bookkeeping for loads and regulators.
@@ -32,8 +32,12 @@ pub struct PowerGrid {
     nx: usize,
     ny: usize,
     nodes: Vec<NodeId>,
+    mesh_edges: Vec<ElementId>,
     regulators: Vec<Regulator>,
     loads: Vec<ElementId>,
+    /// Compiled sparse solve plan; `None` until first cached solve or
+    /// after any topology change (attach/move).
+    plan: Option<SparseDcPlan>,
 }
 
 /// One attached voltage regulator: a grounded ideal source behind a droop
@@ -46,6 +50,8 @@ pub struct Regulator {
     pub y: usize,
     /// The droop-resistor element (its current is the VR output current).
     pub droop_element: ElementId,
+    /// The ideal-source element holding `source_node` at the setpoint.
+    pub source_element: ElementId,
     /// The internal source node held at the setpoint.
     pub source_node: NodeId,
 }
@@ -75,14 +81,15 @@ impl PowerGrid {
                 nodes.push(net.node(&format!("g{x}_{y}")));
             }
         }
+        let mut mesh_edges = Vec::new();
         for y in 0..ny {
             for x in 0..nx {
                 let here = nodes[y * nx + x];
                 if x + 1 < nx {
-                    net.resistor(here, nodes[y * nx + x + 1], r_edge)?;
+                    mesh_edges.push(net.resistor(here, nodes[y * nx + x + 1], r_edge)?);
                 }
                 if y + 1 < ny {
-                    net.resistor(here, nodes[(y + 1) * nx + x], r_edge)?;
+                    mesh_edges.push(net.resistor(here, nodes[(y + 1) * nx + x], r_edge)?);
                 }
             }
         }
@@ -91,8 +98,10 @@ impl PowerGrid {
             nx,
             ny,
             nodes,
+            mesh_edges,
             regulators: Vec::new(),
             loads: Vec::new(),
+            plan: None,
         })
     }
 
@@ -131,13 +140,7 @@ impl PowerGrid {
     /// Propagates netlist validation errors.
     pub fn attach_uniform_load(&mut self, total: Amps) -> Result<(), CircuitError> {
         let per_node = total / (self.nx * self.ny) as f64;
-        let ground = self.net.ground();
-        for idx in 0..self.nodes.len() {
-            let node = self.nodes[idx];
-            let id = self.net.current_source(node, ground, per_node)?;
-            self.loads.push(id);
-        }
-        Ok(())
+        self.attach_dense_load_profile(|_, _| per_node)
     }
 
     /// Attaches a per-node load given by `profile(x, y)` (amperes drawn
@@ -161,6 +164,93 @@ impl PowerGrid {
                 }
             }
         }
+        self.plan = None;
+        Ok(())
+    }
+
+    /// Attaches a load current sink at *every* node, including nodes
+    /// where the profile is zero. Unlike [`PowerGrid::attach_load_profile`]
+    /// (which skips zero entries), the resulting netlist topology is
+    /// independent of the profile values, so a later
+    /// [`PowerGrid::set_load_profile`] can swap in a new profile without
+    /// recompiling the solve plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors.
+    pub fn attach_dense_load_profile(
+        &mut self,
+        mut profile: impl FnMut(usize, usize) -> Amps,
+    ) -> Result<(), CircuitError> {
+        let ground = self.net.ground();
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let node = self.nodes[y * self.nx + x];
+                let id = self.net.current_source(node, ground, profile(x, y))?;
+                self.loads.push(id);
+            }
+        }
+        self.plan = None;
+        Ok(())
+    }
+
+    /// Rewrites every load current in place from `profile(x, y)`. A
+    /// value-only mutation: the compiled solve plan stays valid.
+    ///
+    /// Requires loads attached by [`PowerGrid::attach_uniform_load`] or
+    /// [`PowerGrid::attach_dense_load_profile`] (one source per node, in
+    /// row-major order).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::StalePlan`] when the loads are not one-per-node.
+    /// * [`CircuitError::InvalidValue`] for a non-finite current.
+    pub fn set_load_profile(
+        &mut self,
+        mut profile: impl FnMut(usize, usize) -> Amps,
+    ) -> Result<(), CircuitError> {
+        if self.loads.len() != self.nx * self.ny {
+            return Err(CircuitError::StalePlan {
+                reason: format!(
+                    "set_load_profile needs one load per node ({} != {}); \
+                     attach with attach_dense_load_profile",
+                    self.loads.len(),
+                    self.nx * self.ny
+                ),
+            });
+        }
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let id = self.loads[y * self.nx + x];
+                self.net.set_current(id, profile(x, y))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites every load to an equal share of `total` in place (see
+    /// [`PowerGrid::set_load_profile`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`PowerGrid::set_load_profile`].
+    pub fn set_uniform_load(&mut self, total: Amps) -> Result<(), CircuitError> {
+        let per_node = total / (self.nx * self.ny) as f64;
+        self.set_load_profile(|_, _| per_node)
+    }
+
+    /// Rewrites every mesh-edge resistance in place (e.g. to sample a
+    /// sheet-resistance corner). A value-only mutation: the compiled
+    /// solve plan stays valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a non-positive or
+    /// non-finite resistance.
+    pub fn set_sheet_resistance(&mut self, r_edge: Ohms) -> Result<(), CircuitError> {
+        for &id in &self.mesh_edges {
+            self.net.set_resistance(id, r_edge)?;
+        }
         Ok(())
     }
 
@@ -180,15 +270,77 @@ impl PowerGrid {
         let grid_node = self.node_at(x, y)?;
         let k = self.regulators.len();
         let source_node = self.net.node(&format!("vr{k}"));
-        self.net
+        let source_element = self
+            .net
             .voltage_source(source_node, self.net.ground(), setpoint)?;
         let droop_element = self.net.resistor(source_node, grid_node, droop)?;
         self.regulators.push(Regulator {
             x,
             y,
             droop_element,
+            source_element,
             source_node,
         });
+        self.plan = None;
+        Ok(())
+    }
+
+    /// Changes regulator `k`'s droop resistance in place. A value-only
+    /// mutation: the compiled solve plan stays valid.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a regulator index out of
+    ///   range.
+    /// * [`CircuitError::InvalidValue`] for a non-positive resistance.
+    pub fn set_regulator_droop(&mut self, k: usize, droop: Ohms) -> Result<(), CircuitError> {
+        let r = *self
+            .regulators
+            .get(k)
+            .ok_or(CircuitError::UnknownElement { index: k })?;
+        self.net.set_resistance(r.droop_element, droop)
+    }
+
+    /// Changes regulator `k`'s setpoint voltage in place. A value-only
+    /// mutation: the compiled solve plan stays valid.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a regulator index out of
+    ///   range.
+    /// * [`CircuitError::InvalidValue`] for a non-finite voltage.
+    pub fn set_regulator_setpoint(
+        &mut self,
+        k: usize,
+        setpoint: Volts,
+    ) -> Result<(), CircuitError> {
+        let r = *self
+            .regulators
+            .get(k)
+            .ok_or(CircuitError::UnknownElement { index: k })?;
+        self.net.set_voltage(r.source_element, setpoint)
+    }
+
+    /// Moves regulator `k` to grid position `(x, y)` by rewiring its
+    /// droop resistor — the annealer's placement move. The node set is
+    /// unchanged, but terminals move, so the compiled solve plan is
+    /// invalidated (the next [`PowerGrid::solve_cached`] recompiles).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a regulator index out of
+    ///   range.
+    /// * [`CircuitError::UnknownNode`] for a position outside the mesh.
+    pub fn move_regulator(&mut self, k: usize, x: usize, y: usize) -> Result<(), CircuitError> {
+        let grid_node = self.node_at(x, y)?;
+        let r = *self
+            .regulators
+            .get(k)
+            .ok_or(CircuitError::UnknownElement { index: k })?;
+        self.net.rewire(r.droop_element, r.source_node, grid_node)?;
+        self.regulators[k].x = x;
+        self.regulators[k].y = y;
+        self.plan = None;
         Ok(())
     }
 
@@ -207,6 +359,68 @@ impl PowerGrid {
     /// * Any solver error from [`DcSolver::solve`].
     pub fn solve(&self) -> Result<crate::DcSolution, CircuitError> {
         DcSolver::new().solve(&self.net)
+    }
+
+    /// Solves through a cached [`SparseDcPlan`], compiling it on first
+    /// use (or after a topology change) and otherwise restamping element
+    /// values in place and warm-starting CG from the previous solution.
+    ///
+    /// This is the hot path for repeated solves of one grid — Monte-Carlo
+    /// sampling, design sweeps, and placement annealing. Results agree
+    /// with [`PowerGrid::solve`] to CG tolerance.
+    ///
+    /// # Errors
+    ///
+    /// As [`PowerGrid::solve`].
+    pub fn solve_cached(&mut self) -> Result<crate::DcSolution, CircuitError> {
+        if self.plan.is_none() {
+            self.plan = Some(SparseDcPlan::compile(&self.net)?);
+        }
+        let plan = self.plan.as_mut().expect("plan was just ensured");
+        match plan.solve(&self.net) {
+            Err(CircuitError::StalePlan { .. }) => {
+                // Defensive: topology mutations clear the plan, so this
+                // only triggers if the netlist was changed through a path
+                // that bypassed the setters. Recompile and retry once.
+                let mut fresh = SparseDcPlan::compile(&self.net)?;
+                let sol = fresh.solve(&self.net);
+                self.plan = Some(fresh);
+                sol
+            }
+            other => other,
+        }
+    }
+
+    /// Seeds the next [`PowerGrid::solve_cached`]'s warm start from a
+    /// previous solution of this grid (e.g. the nominal operating point
+    /// of a Monte-Carlo study), compiling the plan if needed.
+    ///
+    /// Anchoring every sample to one nominal solution keeps results
+    /// independent of sample order, which is what makes parallel and
+    /// serial sweeps bitwise-identical.
+    ///
+    /// # Errors
+    ///
+    /// Compile errors as [`PowerGrid::solve`], or
+    /// [`CircuitError::StalePlan`] for a solution of mismatched size.
+    pub fn seed_solution(&mut self, sol: &crate::DcSolution) -> Result<(), CircuitError> {
+        if self.plan.is_none() {
+            self.plan = Some(SparseDcPlan::compile(&self.net)?);
+        }
+        self.plan
+            .as_mut()
+            .expect("plan was just ensured")
+            .set_guess(sol)
+    }
+
+    /// CG iteration count of the most recent [`PowerGrid::solve_cached`],
+    /// if any — the observable effect of warm starting.
+    #[must_use]
+    pub fn last_cg_iterations(&self) -> Option<usize> {
+        self.plan
+            .as_ref()
+            .and_then(SparseDcPlan::last_report)
+            .map(|r| r.iterations)
     }
 
     /// Output current of each regulator (in attachment order), positive
@@ -375,5 +589,115 @@ mod tests {
         let grid = PowerGrid::new(2, 2, Ohms::new(1.0)).unwrap();
         assert!(grid.node_at(1, 1).is_ok());
         assert!(grid.node_at(2, 0).is_err());
+    }
+
+    fn assert_solutions_close(a: &crate::DcSolution, b: &crate::DcSolution, tol: f64) {
+        assert_eq!(a.node_voltages().len(), b.node_voltages().len());
+        for (va, vb) in a.node_voltages().iter().zip(b.node_voltages()) {
+            assert!((va - vb).abs() < tol, "{va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn cached_solve_matches_one_shot() {
+        let mut grid = PowerGrid::new(9, 9, Ohms::from_milliohms(2.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(81.0)).unwrap();
+        grid.attach_regulator(4, 4, Volts::new(1.0), Ohms::from_milliohms(0.5))
+            .unwrap();
+        let cached = grid.solve_cached().unwrap();
+        let one_shot = grid.solve().unwrap();
+        assert_solutions_close(&cached, &one_shot, 1e-8);
+        assert!(grid.last_cg_iterations().is_some());
+    }
+
+    #[test]
+    fn restamped_grid_matches_rebuilt_grid() {
+        let build = |r_mohm: f64, load: f64, droop_mohm: f64, setpoint: f64| {
+            let mut grid = PowerGrid::new(8, 6, Ohms::from_milliohms(r_mohm)).unwrap();
+            grid.attach_uniform_load(Amps::new(load)).unwrap();
+            grid.attach_regulator(1, 1, Volts::new(setpoint), Ohms::from_milliohms(droop_mohm))
+                .unwrap();
+            grid.attach_regulator(6, 4, Volts::new(setpoint), Ohms::from_milliohms(droop_mohm))
+                .unwrap();
+            grid
+        };
+        let mut grid = build(2.0, 48.0, 0.5, 1.0);
+        grid.solve_cached().unwrap();
+        // Restamp every knob the sweeps touch, without rebuilding.
+        grid.set_sheet_resistance(Ohms::from_milliohms(3.0))
+            .unwrap();
+        grid.set_uniform_load(Amps::new(60.0)).unwrap();
+        grid.set_regulator_droop(0, Ohms::from_milliohms(0.8))
+            .unwrap();
+        grid.set_regulator_droop(1, Ohms::from_milliohms(0.8))
+            .unwrap();
+        grid.set_regulator_setpoint(0, Volts::new(1.05)).unwrap();
+        grid.set_regulator_setpoint(1, Volts::new(1.05)).unwrap();
+        let restamped = grid.solve_cached().unwrap();
+        let rebuilt = build(3.0, 60.0, 0.8, 1.05).solve().unwrap();
+        assert_solutions_close(&restamped, &rebuilt, 1e-8);
+    }
+
+    #[test]
+    fn nonuniform_profile_restamps_in_place() {
+        let mut grid = PowerGrid::new(6, 6, Ohms::from_milliohms(5.0)).unwrap();
+        grid.attach_dense_load_profile(|_, _| Amps::ZERO).unwrap();
+        grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        grid.set_load_profile(|x, _| if x == 5 { Amps::new(2.0) } else { Amps::ZERO })
+            .unwrap();
+        let sol = grid.solve_cached().unwrap();
+        // All load on the far column: its voltage sags below the near one.
+        let near = sol.voltage(grid.node_at(0, 3).unwrap()).value();
+        let far = sol.voltage(grid.node_at(5, 3).unwrap()).value();
+        assert!(far < near);
+    }
+
+    #[test]
+    fn sparse_profile_rejects_set_load_profile() {
+        let mut grid = PowerGrid::new(4, 4, Ohms::new(1.0)).unwrap();
+        grid.attach_load_profile(|x, y| {
+            if x == 0 && y == 0 {
+                Amps::new(1.0)
+            } else {
+                Amps::ZERO
+            }
+        })
+        .unwrap();
+        assert!(matches!(
+            grid.set_load_profile(|_, _| Amps::new(0.5)),
+            Err(CircuitError::StalePlan { .. })
+        ));
+    }
+
+    #[test]
+    fn move_regulator_matches_rebuild_at_new_site() {
+        let mut grid = PowerGrid::new(7, 7, Ohms::from_milliohms(4.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(49.0)).unwrap();
+        grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        grid.solve_cached().unwrap();
+        grid.move_regulator(0, 3, 3).unwrap();
+        assert_eq!(grid.regulators()[0].x, 3);
+        let moved = grid.solve_cached().unwrap();
+        let mut rebuilt = PowerGrid::new(7, 7, Ohms::from_milliohms(4.0)).unwrap();
+        rebuilt.attach_uniform_load(Amps::new(49.0)).unwrap();
+        rebuilt
+            .attach_regulator(3, 3, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        assert_solutions_close(&moved, &rebuilt.solve().unwrap(), 1e-8);
+        assert!(grid.move_regulator(0, 9, 0).is_err());
+    }
+
+    #[test]
+    fn seeded_resolve_converges_immediately() {
+        let mut grid = PowerGrid::new(10, 10, Ohms::from_milliohms(2.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(100.0)).unwrap();
+        grid.attach_regulator(5, 5, Volts::new(1.0), Ohms::from_milliohms(0.5))
+            .unwrap();
+        let nominal = grid.solve_cached().unwrap();
+        grid.seed_solution(&nominal).unwrap();
+        grid.solve_cached().unwrap();
+        assert_eq!(grid.last_cg_iterations(), Some(0));
     }
 }

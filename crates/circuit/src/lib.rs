@@ -37,10 +37,8 @@ mod netlist;
 mod transient;
 
 pub use ac::{log_sweep, AcAnalysis, AcPoint};
-pub use dc::{DcSolution, DcSolver, DcStrategy};
+pub use dc::{DcSolution, DcSolver, DcStrategy, SparseDcPlan};
 pub use error::CircuitError;
 pub use grid::{PowerGrid, Regulator};
-pub use netlist::{
-    Element, ElementId, ElementKind, Netlist, NodeId, PwmSchedule, SwitchState,
-};
+pub use netlist::{Element, ElementId, ElementKind, Netlist, NodeId, PwmSchedule, SwitchState};
 pub use transient::{transient, TransientResult, TransientSettings};

@@ -6,7 +6,9 @@ use vpd_units::{Amps, Farads, Henries, Hertz, Ohms, Seconds, Volts};
 /// A node handle within one [`Netlist`].
 ///
 /// Node 0 is always ground; use [`Netlist::ground`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -18,7 +20,9 @@ impl NodeId {
 }
 
 /// An element handle within one [`Netlist`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct ElementId(pub(crate) usize);
 
 impl ElementId {
@@ -30,7 +34,9 @@ impl ElementId {
 }
 
 /// On/off state of an ideal switch.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum SwitchState {
     /// Conducting (`r_on`).
     On,
@@ -322,7 +328,12 @@ impl Netlist {
                 value: at.value(),
             });
         }
-        self.push(ElementKind::StepCurrentSource { before, after, at }, a, b, "Istep")
+        self.push(
+            ElementKind::StepCurrentSource { before, after, at },
+            a,
+            b,
+            "Istep",
+        )
     }
 
     /// Adds an ideal voltage source with `V(plus) − V(minus) = v`.
@@ -425,6 +436,120 @@ impl Netlist {
         if let Some(e) = self.elements.last_mut() {
             e.label = label.to_owned();
         }
+    }
+
+    /// Changes the resistance of an existing resistor in place.
+    ///
+    /// Value-only mutation: the topology (nodes, element order,
+    /// terminals) is untouched, so compiled solve plans stay valid and
+    /// only need a numeric restamp.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a foreign id.
+    /// * [`CircuitError::InvalidValue`] for a non-positive or non-finite
+    ///   resistance, or when the element is not a resistor.
+    pub fn set_resistance(&mut self, id: ElementId, r: Ohms) -> Result<(), CircuitError> {
+        self.check_positive("resistor", r.value())?;
+        let e = self
+            .elements
+            .get_mut(id.0)
+            .ok_or(CircuitError::UnknownElement { index: id.0 })?;
+        match &mut e.kind {
+            ElementKind::Resistor { r: slot } => {
+                *slot = r;
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_resistance on non-resistor",
+                value: r.value(),
+            }),
+        }
+    }
+
+    /// Changes the current of an existing current source in place (see
+    /// [`Netlist::set_resistance`] for the restamp contract).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a foreign id.
+    /// * [`CircuitError::InvalidValue`] for a non-finite current, or when
+    ///   the element is not a plain current source.
+    pub fn set_current(&mut self, id: ElementId, i: Amps) -> Result<(), CircuitError> {
+        self.check_finite("current source", i.value())?;
+        let e = self
+            .elements
+            .get_mut(id.0)
+            .ok_or(CircuitError::UnknownElement { index: id.0 })?;
+        match &mut e.kind {
+            ElementKind::CurrentSource { i: slot } => {
+                *slot = i;
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_current on non-current-source",
+                value: i.value(),
+            }),
+        }
+    }
+
+    /// Changes the setpoint of an existing voltage source in place (see
+    /// [`Netlist::set_resistance`] for the restamp contract).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a foreign id.
+    /// * [`CircuitError::InvalidValue`] for a non-finite voltage, or when
+    ///   the element is not a voltage source.
+    pub fn set_voltage(&mut self, id: ElementId, v: Volts) -> Result<(), CircuitError> {
+        self.check_finite("voltage source", v.value())?;
+        let e = self
+            .elements
+            .get_mut(id.0)
+            .ok_or(CircuitError::UnknownElement { index: id.0 })?;
+        match &mut e.kind {
+            ElementKind::VoltageSource { v: slot } => {
+                *slot = v;
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_voltage on non-voltage-source",
+                value: v.value(),
+            }),
+        }
+    }
+
+    /// Moves an existing element onto different terminals.
+    ///
+    /// The node set and element order are unchanged, but the sparsity
+    /// pattern is not: compiled solve plans must be recompiled after a
+    /// rewire (placement annealers pay one symbolic rebuild per move and
+    /// keep everything else).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] / [`CircuitError::UnknownNode`]
+    ///   for foreign ids.
+    /// * [`CircuitError::DegenerateElement`] when `a == b`.
+    pub fn rewire(&mut self, id: ElementId, a: NodeId, b: NodeId) -> Result<(), CircuitError> {
+        if a.0 >= self.node_labels.len() {
+            return Err(CircuitError::UnknownNode { index: a.0 });
+        }
+        if b.0 >= self.node_labels.len() {
+            return Err(CircuitError::UnknownNode { index: b.0 });
+        }
+        let e = self
+            .elements
+            .get_mut(id.0)
+            .ok_or(CircuitError::UnknownElement { index: id.0 })?;
+        if a == b {
+            return Err(CircuitError::DegenerateElement {
+                label: e.label.clone(),
+            });
+        }
+        e.a = a;
+        e.b = b;
+        Ok(())
     }
 
     fn push(
@@ -543,6 +668,66 @@ mod tests {
         // phase 1.25 ≡ 0.25: at t=0 the cycle position is 0.25 < 0.5 → on.
         assert_eq!(sched.state_at(0.0), SwitchState::On);
         assert_eq!(sched.state_at(0.5), SwitchState::Off);
+    }
+
+    #[test]
+    fn value_mutators_update_in_place() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let g = net.ground();
+        let r = net.resistor(a, g, Ohms::new(2.0)).unwrap();
+        let i = net.current_source(a, g, Amps::new(1.0)).unwrap();
+        let v = net.voltage_source(a, g, Volts::new(5.0)).unwrap();
+
+        net.set_resistance(r, Ohms::new(3.0)).unwrap();
+        net.set_current(i, Amps::new(-2.0)).unwrap();
+        net.set_voltage(v, Volts::new(1.0)).unwrap();
+
+        assert!(matches!(
+            net.element(r).unwrap().kind,
+            ElementKind::Resistor { r } if (r.value() - 3.0).abs() < 1e-15
+        ));
+        assert!(matches!(
+            net.element(i).unwrap().kind,
+            ElementKind::CurrentSource { i } if (i.value() + 2.0).abs() < 1e-15
+        ));
+        assert!(matches!(
+            net.element(v).unwrap().kind,
+            ElementKind::VoltageSource { v } if (v.value() - 1.0).abs() < 1e-15
+        ));
+    }
+
+    #[test]
+    fn value_mutators_validate() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let g = net.ground();
+        let r = net.resistor(a, g, Ohms::new(2.0)).unwrap();
+        let i = net.current_source(a, g, Amps::new(1.0)).unwrap();
+
+        assert!(net.set_resistance(r, Ohms::new(-1.0)).is_err());
+        assert!(net.set_resistance(r, Ohms::new(f64::NAN)).is_err());
+        assert!(
+            net.set_resistance(i, Ohms::new(1.0)).is_err(),
+            "kind mismatch"
+        );
+        assert!(net.set_current(r, Amps::new(1.0)).is_err(), "kind mismatch");
+        assert!(net.set_current(i, Amps::new(f64::INFINITY)).is_err());
+        assert!(net.set_resistance(ElementId(99), Ohms::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn rewire_moves_terminals() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        let g = net.ground();
+        let r = net.resistor(a, g, Ohms::new(1.0)).unwrap();
+        net.rewire(r, b, g).unwrap();
+        assert_eq!(net.element(r).unwrap().a, b);
+        assert!(net.rewire(r, b, b).is_err(), "self loop");
+        assert!(net.rewire(r, NodeId(99), g).is_err(), "foreign node");
+        assert!(net.rewire(ElementId(99), a, g).is_err(), "foreign element");
     }
 
     #[test]

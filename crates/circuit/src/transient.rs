@@ -318,9 +318,7 @@ pub fn transient(
 
         let x = lu.solve(&rhs)?;
         voltages[0] = 0.0;
-        for n in 1..n_nodes {
-            voltages[n] = x[n - 1];
-        }
+        voltages[1..n_nodes].copy_from_slice(&x[..n_nodes - 1]);
 
         // Record + update state.
         times.push(t);
@@ -406,12 +404,17 @@ mod tests {
         let mut net = Netlist::new();
         let vin = net.node("vin");
         let out = net.node("out");
-        net.voltage_source(vin, net.ground(), Volts::new(1.0)).unwrap();
-        net.resistor(vin, out, Ohms::new(1000.0)).unwrap();
-        net.capacitor(out, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
+        net.voltage_source(vin, net.ground(), Volts::new(1.0))
             .unwrap();
-        let settings =
-            TransientSettings::new(Seconds::new(2e-3), Seconds::new(1e-7)).unwrap();
+        net.resistor(vin, out, Ohms::new(1000.0)).unwrap();
+        net.capacitor(
+            out,
+            net.ground(),
+            Farads::from_microfarads(1.0),
+            Volts::ZERO,
+        )
+        .unwrap();
+        let settings = TransientSettings::new(Seconds::new(2e-3), Seconds::new(1e-7)).unwrap();
         let res = transient(&net, &settings).unwrap();
         // Compare against 1 − e^{−t/RC} at several times.
         let rc = 1e-3;
@@ -431,13 +434,18 @@ mod tests {
         let mut net = Netlist::new();
         let vin = net.node("vin");
         let mid = net.node("mid");
-        net.voltage_source(vin, net.ground(), Volts::new(1.0)).unwrap();
+        net.voltage_source(vin, net.ground(), Volts::new(1.0))
+            .unwrap();
         net.resistor(vin, mid, Ohms::new(1.0)).unwrap();
         let l_id = net
-            .inductor(mid, net.ground(), Henries::from_microhenries(1.0), Amps::ZERO)
+            .inductor(
+                mid,
+                net.ground(),
+                Henries::from_microhenries(1.0),
+                Amps::ZERO,
+            )
             .unwrap();
-        let settings =
-            TransientSettings::new(Seconds::new(5e-6), Seconds::new(1e-9)).unwrap();
+        let settings = TransientSettings::new(Seconds::new(5e-6), Seconds::new(1e-9)).unwrap();
         let res = transient(&net, &settings).unwrap();
         let tau = 1e-6;
         for (k, &t) in res.times().iter().enumerate().step_by(1000) {
@@ -459,7 +467,8 @@ mod tests {
         let vin = net.node("vin");
         let sw = net.node("sw");
         let out = net.node("out");
-        net.voltage_source(vin, net.ground(), Volts::new(1.0)).unwrap();
+        net.voltage_source(vin, net.ground(), Volts::new(1.0))
+            .unwrap();
         net.switch(
             vin,
             sw,
@@ -480,10 +489,14 @@ mod tests {
         )
         .unwrap();
         net.resistor(sw, out, Ohms::new(10.0)).unwrap();
-        net.capacitor(out, net.ground(), Farads::from_microfarads(10.0), Volts::ZERO)
-            .unwrap();
-        let settings =
-            TransientSettings::new(Seconds::new(2e-3), Seconds::new(5e-9)).unwrap();
+        net.capacitor(
+            out,
+            net.ground(),
+            Farads::from_microfarads(10.0),
+            Volts::ZERO,
+        )
+        .unwrap();
+        let settings = TransientSettings::new(Seconds::new(2e-3), Seconds::new(5e-9)).unwrap();
         let res = transient(&net, &settings).unwrap();
         let settled = TransientResult::settled_mean(res.voltage(out), 0.2);
         assert!(
@@ -498,11 +511,17 @@ mod tests {
         // first-order droop toward the new operating point.
         let mut net = Netlist::new();
         let n = net.node("n");
-        net.voltage_source(n, net.ground(), Volts::new(1.0)).unwrap();
+        net.voltage_source(n, net.ground(), Volts::new(1.0))
+            .unwrap();
         let mid = net.node("mid");
         net.resistor(n, mid, Ohms::from_milliohms(1.0)).unwrap();
-        net.capacitor(mid, net.ground(), Farads::from_microfarads(100.0), Volts::new(1.0))
-            .unwrap();
+        net.capacitor(
+            mid,
+            net.ground(),
+            Farads::from_microfarads(100.0),
+            Volts::new(1.0),
+        )
+        .unwrap();
         let step_id = net
             .step_current_source(
                 mid,
@@ -512,9 +531,11 @@ mod tests {
                 Seconds::from_microseconds(1.0),
             )
             .unwrap();
-        let settings =
-            TransientSettings::new(Seconds::from_microseconds(5.0), Seconds::from_nanoseconds(2.0))
-                .unwrap();
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(5.0),
+            Seconds::from_nanoseconds(2.0),
+        )
+        .unwrap();
         let res = transient(&net, &settings).unwrap();
         let i = res.current(step_id);
         let times = res.times();
@@ -537,8 +558,7 @@ mod tests {
 
     #[test]
     fn empty_netlist_rejected() {
-        let settings =
-            TransientSettings::new(Seconds::new(1e-3), Seconds::new(1e-6)).unwrap();
+        let settings = TransientSettings::new(Seconds::new(1e-3), Seconds::new(1e-6)).unwrap();
         assert!(matches!(
             transient(&Netlist::new(), &settings),
             Err(CircuitError::EmptyNetlist)
@@ -550,9 +570,7 @@ mod tests {
         let series = [0.0, 1.0, 0.0, 1.0];
         assert!((TransientResult::settled_mean(&series, 1.0) - 0.5).abs() < 1e-12);
         assert!((TransientResult::settled_ripple(&series, 1.0) - 1.0).abs() < 1e-12);
-        assert!(
-            (TransientResult::settled_rms(&series, 1.0) - (0.5_f64).sqrt()).abs() < 1e-12
-        );
+        assert!((TransientResult::settled_rms(&series, 1.0) - (0.5_f64).sqrt()).abs() < 1e-12);
         assert_eq!(TransientResult::settled_mean(&[], 0.5), 0.0);
     }
 }

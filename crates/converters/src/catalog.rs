@@ -167,8 +167,7 @@ mod tests {
         assert_eq!(dsch.switches, 5);
         assert_eq!(dsch.vrs_along_periphery, 48);
 
-        let tlhd =
-            TopologyCharacteristics::table_ii(VrTopologyKind::ThreeLevelHybridDickson);
+        let tlhd = TopologyCharacteristics::table_ii(VrTopologyKind::ThreeLevelHybridDickson);
         assert_eq!(tlhd.switches, 11);
         assert_eq!(tlhd.capacitors, 5);
         assert!((tlhd.current_at_peak.value() - 3.0).abs() < 1e-12);
@@ -193,8 +192,7 @@ mod tests {
         // §III: "while eleven switches are used ... the area occupied by
         // all the switches is lower when compared to DPMIH".
         let dpmih = TopologyCharacteristics::table_ii(VrTopologyKind::Dpmih);
-        let tlhd =
-            TopologyCharacteristics::table_ii(VrTopologyKind::ThreeLevelHybridDickson);
+        let tlhd = TopologyCharacteristics::table_ii(VrTopologyKind::ThreeLevelHybridDickson);
         assert!(tlhd.switches > dpmih.switches);
         assert!(tlhd.module_area().value() < dpmih.module_area().value());
     }
@@ -205,9 +203,7 @@ mod tests {
         // 3LHD ≈ 20%, versus ~2% for a direct 48:1 buck-derived stage.
         assert!((on(VrTopologyKind::ThreeLevelHybridDickson) - 0.208).abs() < 0.01);
         assert!(on(VrTopologyKind::Dpmih) < 0.05);
-        assert!(
-            on(VrTopologyKind::ThreeLevelHybridDickson) > 4.0 * on(VrTopologyKind::Dpmih)
-        );
+        assert!(on(VrTopologyKind::ThreeLevelHybridDickson) > 4.0 * on(VrTopologyKind::Dpmih));
     }
 
     #[test]
@@ -219,9 +215,6 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(VrTopologyKind::Dpmih.to_string(), "DPMIH");
-        assert_eq!(
-            VrTopologyKind::ThreeLevelHybridDickson.to_string(),
-            "3LHD"
-        );
+        assert_eq!(VrTopologyKind::ThreeLevelHybridDickson.to_string(), "3LHD");
     }
 }

@@ -90,9 +90,7 @@ impl EfficiencyCurve {
         let c = (lm - lp * im / ip) / ((im - ip) * (im - ip));
         if c < 0.0 {
             return Err(ConverterError::BadCalibration {
-                detail: format!(
-                    "full-load anchor too efficient for the peak anchor (c = {c:.3e})"
-                ),
+                detail: format!("full-load anchor too efficient for the peak anchor (c = {c:.3e})"),
             });
         }
         let a = c * ip * ip;
@@ -125,7 +123,7 @@ impl EfficiencyCurve {
         b: f64,
         c: f64,
     ) -> Result<Self, ConverterError> {
-        if a < 0.0 || b < 0.0 || c < 0.0 || !(i_max.value() > 0.0) {
+        if a < 0.0 || b < 0.0 || c < 0.0 || i_max.value() <= 0.0 || i_max.value().is_nan() {
             return Err(ConverterError::BadCalibration {
                 detail: "coefficients must be non-negative with positive i_max".into(),
             });
@@ -294,14 +292,9 @@ mod tests {
             0.0
         )
         .is_err());
-        let flat = EfficiencyCurve::from_coefficients(
-            Volts::new(1.0),
-            Amps::new(10.0),
-            0.0,
-            0.111,
-            0.0,
-        )
-        .unwrap();
+        let flat =
+            EfficiencyCurve::from_coefficients(Volts::new(1.0), Amps::new(10.0), 0.0, 0.111, 0.0)
+                .unwrap();
         // Pure linear loss: 1/(1+0.111) ≈ 90% at every load.
         let eta = flat.efficiency(Amps::new(5.0)).unwrap();
         assert!((eta.fraction() - 0.9).abs() < 1e-3);

@@ -154,16 +154,13 @@ impl PhysicsDesign {
         )?;
         let switch = PowerTransistor::new(material, v_stress, area)?;
 
-        let per_inductor_l =
-            Henries::new(ch.total_inductance.value() / ch.inductors.max(1) as f64);
+        let per_inductor_l = Henries::new(ch.total_inductance.value() / ch.inductors.max(1) as f64);
         let inductor = Inductor::new(
             per_inductor_l,
             // DCR calibrated to ~0.3 mΩ/µH of embedded metal.
             Ohms::new(0.3e-3 * per_inductor_l.value() / 1e-6),
             InductorKind::Embedded,
-            SquareMeters::from_square_millimeters(
-                i_rated.value() / ch.inductors.max(1) as f64,
-            ),
+            SquareMeters::from_square_millimeters(i_rated.value() / ch.inductors.max(1) as f64),
         )?;
         let per_cap_c = Farads::new(ch.total_capacitance.value() / ch.capacitors.max(1) as f64);
         let capacitor = Capacitor::new(
@@ -224,8 +221,7 @@ impl PhysicsDesign {
             });
         }
         let ch = TopologyCharacteristics::table_ii(self.kind);
-        let duty =
-            (self.v_out.value() / self.v_in.value()) / self.factors.switch_voltage_fraction;
+        let duty = (self.v_out.value() / self.v_in.value()) / self.factors.switch_voltage_fraction;
         let phases = ch.inductors.max(1) as f64;
         let i_phase = Amps::new(i_out.value() / phases);
         let i_sw_rms = Amps::new(
@@ -249,7 +245,9 @@ impl PhysicsDesign {
         };
 
         // Passives.
-        let ripple = self.inductor.buck_ripple(self.v_out, duty.min(1.0), self.f_sw);
+        let ripple = self
+            .inductor
+            .buck_ripple(self.v_out, duty.min(1.0), self.f_sw);
         let p_l = self.inductor.loss(i_phase, ripple, self.f_sw) * phases;
         let p_c = if self.factors.soft_switching {
             self.capacitor.loss(Amps::new(i_phase.value() * 0.3)) * ch.capacitors as f64

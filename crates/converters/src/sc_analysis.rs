@@ -144,11 +144,7 @@ impl ScConverterModel {
     /// switching buys (almost) nothing.
     #[must_use]
     pub fn corner_frequency(&self) -> Hertz {
-        let ssl_coeff: f64 = self
-            .caps
-            .iter()
-            .map(|(c, a)| a * a / c.value())
-            .sum();
+        let ssl_coeff: f64 = self.caps.iter().map(|(c, a)| a * a / c.value()).sum();
         Hertz::new(ssl_coeff / self.r_fsl().value().max(f64::MIN_POSITIVE))
     }
 
@@ -259,10 +255,9 @@ mod tests {
         let i = Amps::new(5.0);
         let eta_hard = hard.efficiency(v, i, f);
         let eta_soft = soft.efficiency(v, i, f).unwrap();
-        match eta_hard {
-            Ok(eh) => assert!(eta_soft.fraction() > eh.fraction()),
-            Err(_) => {} // output collapsed entirely: even stronger
-        }
+        if let Ok(eh) = eta_hard {
+            assert!(eta_soft.fraction() > eh.fraction());
+        } // an Err means the output collapsed entirely: even stronger
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub fn frequency_for_inductance(
     target_l: Henries,
     spec: &RippleSpec,
 ) -> Result<Hertz, ConverterError> {
-    if !(target_l.value() > 0.0) {
+    if target_l.value() <= 0.0 || target_l.value().is_nan() {
         return Err(ConverterError::BadCalibration {
             detail: "target inductance must be positive".into(),
         });
@@ -191,12 +191,9 @@ mod tests {
         )
         .unwrap();
         assert!(
-            (s1.inductance_per_phase.value() / s2.inductance_per_phase.value() - 2.0).abs()
-                < 1e-9
+            (s1.inductance_per_phase.value() / s2.inductance_per_phase.value() - 2.0).abs() < 1e-9
         );
-        assert!(
-            (s1.output_capacitance.value() / s2.output_capacitance.value() - 2.0).abs() < 1e-9
-        );
+        assert!((s1.output_capacitance.value() / s2.output_capacitance.value() - 2.0).abs() < 1e-9);
     }
 
     #[test]

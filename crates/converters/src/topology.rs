@@ -1,7 +1,9 @@
 //! Concrete converter instances: the Table II designs, the multi-stage
 //! variants of §II, and the PCB reference converter.
 
-use crate::{ConverterError, CurveAnchors, EfficiencyCurve, TopologyCharacteristics, VrTopologyKind};
+use crate::{
+    ConverterError, CurveAnchors, EfficiencyCurve, TopologyCharacteristics, VrTopologyKind,
+};
 use vpd_units::{Amps, Efficiency, SquareMeters, Volts, Watts};
 
 /// A converter instance: a conversion pair, a fitted efficiency curve,
@@ -445,7 +447,7 @@ impl MultiStageConverter {
             let i_stage = p_out / stage.v_out();
             let loss = stage.loss(i_stage)?;
             losses[k] = loss;
-            p_out = p_out + loss; // becomes this stage's input power
+            p_out += loss; // becomes this stage's input power
         }
         Ok(losses)
     }
@@ -630,8 +632,6 @@ mod tests {
         .unwrap();
         let single = Converter::dsch_48v_to_1v();
         let i = Amps::new(20.0);
-        assert!(
-            single.efficiency(i).unwrap().fraction() > dual.efficiency(i).unwrap().fraction()
-        );
+        assert!(single.efficiency(i).unwrap().fraction() > dual.efficiency(i).unwrap().fraction());
     }
 }

@@ -1,7 +1,9 @@
 //! The paper's power-delivery architectures and their PCB-to-POL
 //! analysis (§II and §IV).
 
-use crate::gridshare::{solve_sharing, SharingReport};
+use crate::gridshare::{
+    placement_droop, placement_sites, solve_sharing, SharingReport, SharingSolver,
+};
 use crate::loss::{LossBreakdown, LossKind, LossSegment};
 use crate::placement::{modules_required, VrPlacement};
 use crate::{Calibration, CoreError, SystemSpec};
@@ -312,15 +314,27 @@ fn analyze_reference(
     spec: &SystemSpec,
     calib: &Calibration,
 ) -> Result<ArchitectureReport, CoreError> {
+    // POL current enters the die through distributed via clusters; the
+    // on-die spreading is the same mesh physics as the proposed
+    // architectures, with under-die entry points.
+    let entry_clusters = PAPER_VR_POSITIONS;
+    let sharing = solve_sharing(spec, calib, VrPlacement::BelowDie, entry_clusters)?;
+    finish_reference(spec, calib, entry_clusters, sharing)
+}
+
+/// Everything in the reference analysis downstream of the die-grid
+/// solve ([`AnalysisSession`] supplies the sharing from its reusable
+/// solver; [`analyze`] from a one-shot solve).
+fn finish_reference(
+    spec: &SystemSpec,
+    calib: &Calibration,
+    entry_clusters: usize,
+    sharing: SharingReport,
+) -> Result<ArchitectureReport, CoreError> {
     let i_pol = spec.pol_current();
     let mut breakdown = LossBreakdown::new(spec.pol_power());
     let mut utilization = Vec::new();
 
-    // POL current enters the die through distributed via clusters; the
-    // on-die spreading is the same mesh physics as the proposed
-    // architectures, with under-die entry points.
-    let entry_clusters = 48;
-    let sharing = solve_sharing(spec, calib, VrPlacement::BelowDie, entry_clusters)?;
     breakdown.push(LossSegment {
         name: "die-grid spreading".to_owned(),
         kind: LossKind::GridSpreading,
@@ -381,6 +395,19 @@ fn analyze_reference(
     })
 }
 
+/// Rejects a module bank whose combined rating cannot meet the demand.
+fn check_capacity(max_load: Amps, modules: usize, demand: Amps) -> Result<(), CoreError> {
+    let capacity = max_load.value() * modules as f64;
+    if capacity < demand.value() {
+        return Err(CoreError::InsufficientVrCapacity {
+            modules,
+            capacity,
+            demand: demand.value(),
+        });
+    }
+    Ok(())
+}
+
 fn analyze_single_stage(
     architecture: Architecture,
     topology: VrTopologyKind,
@@ -389,21 +416,26 @@ fn analyze_single_stage(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Result<ArchitectureReport, CoreError> {
+    let ch = TopologyCharacteristics::table_ii(topology);
+    let n_vrs = opts.module_count.unwrap_or(PAPER_VR_POSITIONS);
+    check_capacity(ch.max_load, n_vrs, spec.pol_current())?;
+    let sharing = solve_sharing(spec, calib, placement, n_vrs)?;
+    finish_single_stage(architecture, topology, spec, calib, opts, n_vrs, sharing)
+}
+
+/// The single-stage analysis downstream of the die-grid solve.
+fn finish_single_stage(
+    architecture: Architecture,
+    topology: VrTopologyKind,
+    spec: &SystemSpec,
+    calib: &Calibration,
+    opts: &AnalysisOptions,
+    n_vrs: usize,
+    sharing: SharingReport,
+) -> Result<ArchitectureReport, CoreError> {
     let i_pol = spec.pol_current();
     let ch = TopologyCharacteristics::table_ii(topology);
     let conv = single_stage_converter(topology);
-    let n_vrs = opts.module_count.unwrap_or(PAPER_VR_POSITIONS);
-
-    let capacity = ch.max_load.value() * n_vrs as f64;
-    if capacity < i_pol.value() {
-        return Err(CoreError::InsufficientVrCapacity {
-            modules: n_vrs,
-            capacity,
-            demand: i_pol.value(),
-        });
-    }
-
-    let sharing = solve_sharing(spec, calib, placement, n_vrs)?;
     let (vr_loss, overloaded) = bank_loss(&conv, sharing.per_vr(), opts.allow_overload)?;
 
     let mut breakdown = LossBreakdown::new(spec.pol_power());
@@ -470,6 +502,17 @@ fn analyze_single_stage(
     })
 }
 
+/// Stage 2 of A3: the selected topology below the die at bus→1 V. The
+/// paper prefers DSCH for the second stage (§III); DSCH calibration data
+/// is what we carry, so non-DSCH selections fall back to the DSCH curve
+/// characteristics with that topology's placement counts.
+/// The paper's two buses use the fixed calibration anchors; any other
+/// bus (the ablation sweep) falls back to the log-ratio interpolation.
+fn second_stage_converter(bus: Volts) -> Result<Converter, CoreError> {
+    Ok(Converter::dsch_second_stage(bus)
+        .or_else(|_| Converter::dsch_second_stage_for_ratio(bus))?)
+}
+
 fn analyze_two_stage(
     architecture: Architecture,
     topology: VrTopologyKind,
@@ -478,26 +521,27 @@ fn analyze_two_stage(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Result<ArchitectureReport, CoreError> {
-    let i_pol = spec.pol_current();
-
-    // Stage 2: the selected topology below the die at bus→1 V. The paper
-    // prefers DSCH for the second stage (§III); DSCH calibration data is
-    // what we carry, so non-DSCH selections fall back to the DSCH curve
-    // characteristics with that topology's placement counts.
-    // The paper's two buses use the fixed calibration anchors; any other
-    // bus (the ablation sweep) falls back to the log-ratio interpolation.
-    let conv2 =
-        Converter::dsch_second_stage(bus).or_else(|_| Converter::dsch_second_stage_for_ratio(bus))?;
+    let conv2 = second_stage_converter(bus)?;
     let n2 = opts.module_count.unwrap_or(PAPER_VR_POSITIONS);
-    let capacity = conv2.max_load().value() * n2 as f64;
-    if capacity < i_pol.value() {
-        return Err(CoreError::InsufficientVrCapacity {
-            modules: n2,
-            capacity,
-            demand: i_pol.value(),
-        });
-    }
+    check_capacity(conv2.max_load(), n2, spec.pol_current())?;
     let sharing = solve_sharing(spec, calib, VrPlacement::BelowDie, n2)?;
+    finish_two_stage(architecture, topology, bus, spec, calib, opts, n2, sharing)
+}
+
+/// The two-stage analysis downstream of the die-grid solve.
+#[allow(clippy::too_many_arguments)]
+fn finish_two_stage(
+    architecture: Architecture,
+    topology: VrTopologyKind,
+    bus: Volts,
+    spec: &SystemSpec,
+    calib: &Calibration,
+    opts: &AnalysisOptions,
+    n2: usize,
+    sharing: SharingReport,
+) -> Result<ArchitectureReport, CoreError> {
+    let i_pol = spec.pol_current();
+    let conv2 = second_stage_converter(bus)?;
     let (vr2_loss, overloaded) = bank_loss(&conv2, sharing.per_vr(), opts.allow_overload)?;
 
     let mut breakdown = LossBreakdown::new(spec.pol_power());
@@ -527,8 +571,8 @@ fn analyze_two_stage(
 
     // Stage 1: DPMIH 48 V→bus on the periphery, module count chosen to
     // run modules near their peak-efficiency current.
-    let conv1 =
-        Converter::dpmih_first_stage(bus).or_else(|_| Converter::dpmih_first_stage_for_ratio(bus))?;
+    let conv1 = Converter::dpmih_first_stage(bus)
+        .or_else(|_| Converter::dpmih_first_stage_for_ratio(bus))?;
     let p1_out = p2_in + bus_loss;
     let i1_total = p1_out / bus;
     let n1 = (i1_total.value() / conv1.curve().peak_efficiency_current().value())
@@ -594,6 +638,191 @@ fn analyze_two_stage(
     })
 }
 
+/// The placement pattern and module count an architecture analyzes
+/// with (the reference's 48 via-entry clusters ignore `module_count`).
+fn session_placement(architecture: Architecture, opts: &AnalysisOptions) -> (VrPlacement, usize) {
+    match architecture {
+        Architecture::Reference => (VrPlacement::BelowDie, PAPER_VR_POSITIONS),
+        Architecture::InterposerPeriphery => (
+            VrPlacement::Periphery,
+            opts.module_count.unwrap_or(PAPER_VR_POSITIONS),
+        ),
+        Architecture::InterposerEmbedded | Architecture::TwoStage { .. } => (
+            VrPlacement::BelowDie,
+            opts.module_count.unwrap_or(PAPER_VR_POSITIONS),
+        ),
+    }
+}
+
+/// A reusable analysis pipeline for sweep hot loops.
+///
+/// [`analyze`] rebuilds the die-grid netlist and re-factorizes/compiles
+/// its solve plan on every call; a session builds the
+/// [`SharingSolver`](crate::SharingSolver) once per architecture and
+/// merely restamps element values for each subsequent evaluation, so
+/// Monte-Carlo samples, topology columns, and bus/spec sweep points all
+/// reuse the same symbolic work — and can warm-start from an anchored
+/// nominal solution.
+///
+/// The mesh resolution is pinned at construction
+/// (`calib.grid_nodes_per_side`); later calibrations passed to
+/// [`AnalysisSession::analyze`] may vary any element value but not the
+/// mesh size.
+///
+/// ```
+/// use vpd_core::{
+///     analyze, AnalysisOptions, AnalysisSession, Architecture, Calibration, SystemSpec,
+/// };
+/// use vpd_converters::VrTopologyKind;
+///
+/// # fn main() -> Result<(), vpd_core::CoreError> {
+/// let (spec, calib) = (SystemSpec::paper_default(), Calibration::paper_default());
+/// let opts = AnalysisOptions::default();
+/// let mut session = AnalysisSession::new(
+///     Architecture::InterposerEmbedded, &spec, &calib, &opts,
+/// )?;
+/// // Two topologies off one compiled grid.
+/// let dsch = session.analyze(VrTopologyKind::Dsch, &calib)?;
+/// let dpmih = session.analyze(VrTopologyKind::Dpmih, &calib)?;
+/// let one_shot = analyze(
+///     Architecture::InterposerEmbedded, VrTopologyKind::Dsch, &spec, &calib, &opts,
+/// )?;
+/// assert!((dsch.loss_percent() - one_shot.loss_percent()).abs() < 1e-6);
+/// assert!(dpmih.loss_percent() != dsch.loss_percent());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalysisSession {
+    architecture: Architecture,
+    spec: SystemSpec,
+    opts: AnalysisOptions,
+    placement: VrPlacement,
+    n_vrs: usize,
+    solver: SharingSolver,
+}
+
+impl AnalysisSession {
+    /// Builds the session's grid and compiles its solve plan.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidSpec`] for a zero module count.
+    /// * [`CoreError::Circuit`] if the grid cannot be built.
+    pub fn new(
+        architecture: Architecture,
+        spec: &SystemSpec,
+        calib: &Calibration,
+        opts: &AnalysisOptions,
+    ) -> Result<Self, CoreError> {
+        let (placement, n_vrs) = session_placement(architecture, opts);
+        let (sites, droop) = placement_sites(placement, calib, n_vrs);
+        let solver = SharingSolver::new(spec, calib, &sites, droop)?;
+        Ok(Self {
+            architecture,
+            spec: *spec,
+            opts: *opts,
+            placement,
+            n_vrs,
+            solver,
+        })
+    }
+
+    /// Analyzes the session's architecture for one (topology,
+    /// calibration) point, reusing the compiled grid. Matches
+    /// [`analyze`] to solver tolerance.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze`].
+    pub fn analyze(
+        &mut self,
+        topology: VrTopologyKind,
+        calib: &Calibration,
+    ) -> Result<ArchitectureReport, CoreError> {
+        // Capacity validation first, preserving `analyze`'s error order
+        // (a hopeless module count fails before any solve).
+        match self.architecture {
+            Architecture::Reference => {}
+            Architecture::InterposerPeriphery | Architecture::InterposerEmbedded => {
+                let ch = TopologyCharacteristics::table_ii(topology);
+                check_capacity(ch.max_load, self.n_vrs, self.spec.pol_current())?;
+            }
+            Architecture::TwoStage { bus } => {
+                let conv2 = second_stage_converter(bus)?;
+                check_capacity(conv2.max_load(), self.n_vrs, self.spec.pol_current())?;
+            }
+        }
+
+        self.solver
+            .restamp(&self.spec, calib, placement_droop(self.placement, calib))?;
+        let sharing = self.solver.solve()?;
+        match self.architecture {
+            Architecture::Reference => finish_reference(&self.spec, calib, self.n_vrs, sharing),
+            Architecture::InterposerPeriphery | Architecture::InterposerEmbedded => {
+                finish_single_stage(
+                    self.architecture,
+                    topology,
+                    &self.spec,
+                    calib,
+                    &self.opts,
+                    self.n_vrs,
+                    sharing,
+                )
+            }
+            Architecture::TwoStage { bus } => finish_two_stage(
+                self.architecture,
+                topology,
+                bus,
+                &self.spec,
+                calib,
+                &self.opts,
+                self.n_vrs,
+                sharing,
+            ),
+        }
+    }
+
+    /// Switches the analyzed architecture without rebuilding the grid —
+    /// legal only when the new architecture shares this session's
+    /// placement pattern and module count (e.g. an A3 bus sweep).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] when the switch would change the
+    /// regulator sites.
+    pub fn set_architecture(&mut self, architecture: Architecture) -> Result<(), CoreError> {
+        let (placement, n_vrs) = session_placement(architecture, &self.opts);
+        if placement != self.placement || n_vrs != self.n_vrs {
+            return Err(CoreError::InvalidSpec {
+                what: "architecture switch changes regulator placement",
+                value: n_vrs as f64,
+            });
+        }
+        self.architecture = architecture;
+        Ok(())
+    }
+
+    /// Replaces the system spec (power/density sweeps); loads are
+    /// restamped on the next [`AnalysisSession::analyze`].
+    pub fn set_spec(&mut self, spec: &SystemSpec) {
+        self.spec = *spec;
+    }
+
+    /// Pins the warm-start anchor to the most recent solution so all
+    /// later solves start from it — the parallel-sweep determinism
+    /// contract (see [`crate::par_map_with`]).
+    pub fn anchor(&mut self) {
+        self.solver.anchor_last();
+    }
+
+    /// CG iterations of the most recent grid solve (reuse diagnostic).
+    #[must_use]
+    pub fn last_iterations(&self) -> Option<usize> {
+        self.solver.last_iterations()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,7 +869,11 @@ mod tests {
                 let b = &report.breakdown;
                 let ppdn_pct = b.percent_of_pol_power(b.ppdn_loss());
                 let conv_pct = b.percent_of_pol_power(b.conversion_loss());
-                assert!(ppdn_pct < 10.0, "{} {topo} PPDN {ppdn_pct:.1}%", arch.name());
+                assert!(
+                    ppdn_pct < 10.0,
+                    "{} {topo} PPDN {ppdn_pct:.1}%",
+                    arch.name()
+                );
                 assert!(
                     conv_pct > 10.0,
                     "{} {topo} conversion {conv_pct:.1}%",
@@ -761,6 +994,92 @@ mod tests {
         for (name, u) in &a1.utilization {
             assert!(*u > 0.0 && *u < 0.25, "{name} utilization {u}");
         }
+    }
+
+    #[test]
+    fn session_matches_one_shot_for_every_architecture() {
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let opts = AnalysisOptions::default();
+        for arch in Architecture::paper_set() {
+            let mut session = AnalysisSession::new(arch, &spec, &calib, &opts).unwrap();
+            for topo in [VrTopologyKind::Dsch, VrTopologyKind::Dpmih] {
+                let fresh = analyze(arch, topo, &spec, &calib, &opts).unwrap();
+                let reused = session.analyze(topo, &calib).unwrap();
+                assert!(
+                    (reused.loss_percent() - fresh.loss_percent()).abs() < 1e-6,
+                    "{} {topo}: session {:.6}% vs one-shot {:.6}%",
+                    arch.name(),
+                    reused.loss_percent(),
+                    fresh.loss_percent()
+                );
+                assert_eq!(reused.stage2_modules, fresh.stage2_modules);
+                assert_eq!(reused.overloaded, fresh.overloaded);
+            }
+        }
+    }
+
+    #[test]
+    fn session_tracks_calibration_changes() {
+        let spec = SystemSpec::paper_default();
+        let mut calib = Calibration::paper_default();
+        let opts = AnalysisOptions::default();
+        let mut session =
+            AnalysisSession::new(Architecture::InterposerPeriphery, &spec, &calib, &opts).unwrap();
+        session.analyze(VrTopologyKind::Dsch, &calib).unwrap();
+        session.anchor();
+
+        calib.grid_sheet_resistance = calib.grid_sheet_resistance * 1.1;
+        calib.vr_droop_periphery = calib.vr_droop_periphery * 0.95;
+        let reused = session.analyze(VrTopologyKind::Dsch, &calib).unwrap();
+        let fresh = analyze(
+            Architecture::InterposerPeriphery,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &opts,
+        )
+        .unwrap();
+        assert!((reused.loss_percent() - fresh.loss_percent()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn session_switches_architecture_only_within_placement() {
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let opts = AnalysisOptions::default();
+        let mut session = AnalysisSession::new(
+            Architecture::TwoStage {
+                bus: Volts::new(12.0),
+            },
+            &spec,
+            &calib,
+            &opts,
+        )
+        .unwrap();
+        // Bus sweep: same under-die sites, allowed.
+        session
+            .set_architecture(Architecture::TwoStage {
+                bus: Volts::new(6.0),
+            })
+            .unwrap();
+        let reused = session.analyze(VrTopologyKind::Dsch, &calib).unwrap();
+        let fresh = analyze(
+            Architecture::TwoStage {
+                bus: Volts::new(6.0),
+            },
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &opts,
+        )
+        .unwrap();
+        assert!((reused.loss_percent() - fresh.loss_percent()).abs() < 1e-6);
+        // Periphery placement differs: refused.
+        assert!(matches!(
+            session.set_architecture(Architecture::InterposerPeriphery),
+            Err(CoreError::InvalidSpec { .. })
+        ));
     }
 
     #[test]

@@ -88,8 +88,7 @@ mod tests {
     fn a0_horizontal_anchor() {
         // 1 kA² × 280 µΩ = 280 W — the dominant A0 loss component.
         let c = Calibration::paper_default();
-        let loss = vpd_units::Amps::from_kiloamps(1.0)
-            .dissipation_in(c.horizontal_pol_resistance);
+        let loss = vpd_units::Amps::from_kiloamps(1.0).dissipation_in(c.horizontal_pol_resistance);
         assert!((loss.value() - 280.0).abs() < 1e-9);
     }
 

@@ -111,7 +111,9 @@ mod tests {
             .map(|(a, t, e)| format!("{a}/{t}: {e}"))
             .collect();
         assert!(
-            kinds.iter().any(|k| k.contains("overload") || k.contains("supply at most")),
+            kinds
+                .iter()
+                .any(|k| k.contains("overload") || k.contains("supply at most")),
             "{kinds:?}"
         );
     }

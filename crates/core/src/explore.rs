@@ -1,7 +1,7 @@
 //! Design-space exploration: the full architecture × topology matrix
 //! and the parameter sweeps behind the ablation studies.
 
-use crate::arch::{analyze, AnalysisOptions, Architecture, ArchitectureReport};
+use crate::arch::{analyze, AnalysisOptions, AnalysisSession, Architecture, ArchitectureReport};
 use crate::{Calibration, CoreError, SystemSpec};
 use vpd_converters::VrTopologyKind;
 use vpd_units::{CurrentDensity, Volts};
@@ -22,6 +22,10 @@ pub struct MatrixEntry {
 
 /// Analyzes every (architecture, topology) combination, never failing
 /// as a whole.
+///
+/// One [`AnalysisSession`] per architecture serves all of its topology
+/// columns — the die grid does not depend on the topology, so each
+/// extra column costs a restamp, not a rebuild.
 #[must_use]
 pub fn explore_matrix(
     topologies: &[VrTopologyKind],
@@ -31,19 +35,22 @@ pub fn explore_matrix(
 ) -> Vec<MatrixEntry> {
     let mut out = Vec::new();
     for arch in Architecture::paper_set() {
-        if matches!(arch, Architecture::Reference) {
-            out.push(MatrixEntry {
-                architecture: arch,
-                topology: VrTopologyKind::Dsch,
-                outcome: analyze(arch, VrTopologyKind::Dsch, spec, calib, opts),
-            });
-            continue;
-        }
-        for &topology in topologies {
+        let columns: &[VrTopologyKind] = if matches!(arch, Architecture::Reference) {
+            &[VrTopologyKind::Dsch]
+        } else {
+            topologies
+        };
+        let mut session = AnalysisSession::new(arch, spec, calib, opts);
+        for &topology in columns {
             out.push(MatrixEntry {
                 architecture: arch,
                 topology,
-                outcome: analyze(arch, topology, spec, calib, opts),
+                outcome: match session.as_mut() {
+                    Ok(session) => session.analyze(topology, calib),
+                    // Grid construction failed: carry the per-cell error
+                    // the one-shot path would have produced.
+                    Err(_) => analyze(arch, topology, spec, calib, opts),
+                },
             });
         }
     }
@@ -59,19 +66,22 @@ pub fn sweep_bus_voltage(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Vec<(Volts, Result<ArchitectureReport, CoreError>)> {
+    // All bus points share the under-die placement, so one session's
+    // grid serves the whole sweep via `set_architecture`.
+    let mut session = buses.first().and_then(|&bus| {
+        AnalysisSession::new(Architecture::TwoStage { bus }, spec, calib, opts).ok()
+    });
     buses
         .iter()
         .map(|&bus| {
-            (
-                bus,
-                analyze(
-                    Architecture::TwoStage { bus },
-                    VrTopologyKind::Dsch,
-                    spec,
-                    calib,
-                    opts,
-                ),
-            )
+            let arch = Architecture::TwoStage { bus };
+            let reused = session.as_mut().and_then(|s| {
+                s.set_architecture(arch).ok()?;
+                Some(s.analyze(VrTopologyKind::Dsch, calib))
+            });
+            let outcome =
+                reused.unwrap_or_else(|| analyze(arch, VrTopologyKind::Dsch, spec, calib, opts));
+            (bus, outcome)
         })
         .collect()
 }
@@ -101,6 +111,7 @@ pub fn sweep_current_density(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Vec<(f64, Result<ArchitectureReport, CoreError>)> {
+    let mut session = AnalysisSession::new(architecture, base, calib, opts).ok();
     densities_a_per_mm2
         .iter()
         .map(|&d| {
@@ -110,7 +121,14 @@ pub fn sweep_current_density(
                 base.pol_power(),
                 CurrentDensity::from_amps_per_square_millimeter(d),
             );
-            let outcome = spec.and_then(|s| analyze(architecture, topology, &s, calib, opts));
+            let outcome = match (spec, session.as_mut()) {
+                (Ok(s), Some(sess)) => {
+                    sess.set_spec(&s);
+                    sess.analyze(topology, calib)
+                }
+                (Ok(s), None) => analyze(architecture, topology, &s, calib, opts),
+                (Err(e), _) => Err(e),
+            };
             (d, outcome)
         })
         .collect()
@@ -129,6 +147,7 @@ pub fn sweep_pol_power(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Vec<(f64, Result<ArchitectureReport, CoreError>)> {
+    let mut session = AnalysisSession::new(architecture, base, calib, opts).ok();
     powers_w
         .iter()
         .map(|&p| {
@@ -138,7 +157,14 @@ pub fn sweep_pol_power(
                 vpd_units::Watts::new(p),
                 base.current_density(),
             );
-            let outcome = spec.and_then(|s| analyze(architecture, topology, &s, calib, opts));
+            let outcome = match (spec, session.as_mut()) {
+                (Ok(s), Some(sess)) => {
+                    sess.set_spec(&s);
+                    sess.analyze(topology, calib)
+                }
+                (Ok(s), None) => analyze(architecture, topology, &s, calib, opts),
+                (Err(e), _) => Err(e),
+            };
             (p, outcome)
         })
         .collect()
@@ -156,7 +182,14 @@ pub fn reference_crossover_power(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Option<f64> {
-    let a0 = sweep_pol_power(powers_w, Architecture::Reference, topology, base, calib, opts);
+    let a0 = sweep_pol_power(
+        powers_w,
+        Architecture::Reference,
+        topology,
+        base,
+        calib,
+        opts,
+    );
     let av = sweep_pol_power(powers_w, vertical, topology, base, calib, opts);
     for ((p, r0), (_, rv)) in a0.into_iter().zip(av) {
         if let (Ok(r0), Ok(rv)) = (r0, rv) {
@@ -190,9 +223,7 @@ mod tests {
         // paper's exclusion.
         let failed_3lhd = entries
             .iter()
-            .filter(|e| {
-                e.topology == VrTopologyKind::ThreeLevelHybridDickson && e.outcome.is_err()
-            })
+            .filter(|e| e.topology == VrTopologyKind::ThreeLevelHybridDickson && e.outcome.is_err())
             .count();
         assert!(failed_3lhd >= 2, "expected A1/A2 3LHD exclusions");
         // Everything with DPMIH and DSCH succeeds.

@@ -10,8 +10,8 @@
 
 use crate::placement::{below_die_sites, periphery_sites, VrPlacement};
 use crate::{Calibration, CoreError, SystemSpec};
-use vpd_circuit::PowerGrid;
-use vpd_units::{Amps, Volts, Watts};
+use vpd_circuit::{DcSolution, PowerGrid};
+use vpd_units::{Amps, Ohms, Volts, Watts};
 
 /// Result of a current-sharing solve.
 #[derive(Clone, PartialEq, Debug)]
@@ -32,7 +32,10 @@ impl SharingReport {
     /// Smallest module current.
     #[must_use]
     pub fn min(&self) -> Amps {
-        self.per_vr.iter().copied().fold(Amps::new(f64::INFINITY), Amps::min)
+        self.per_vr
+            .iter()
+            .copied()
+            .fold(Amps::new(f64::INFINITY), Amps::min)
     }
 
     /// Largest module current.
@@ -100,19 +103,32 @@ pub fn solve_sharing(
             value: 0.0,
         });
     }
-    let n = calib.grid_nodes_per_side.max(4);
-    let mut grid = PowerGrid::new(n, n, calib.grid_sheet_resistance)?;
-
-    let loads = calib
-        .power_map
-        .node_currents(n, n, spec.pol_current());
-    grid.attach_load_profile(|x, y| loads[y][x])?;
-
-    let (sites, droop) = match placement {
-        VrPlacement::Periphery => (periphery_sites(n_vrs, n, n), calib.vr_droop_periphery),
-        VrPlacement::BelowDie => (below_die_sites(n_vrs, n, n), calib.vr_droop_below_die),
-    };
+    let (sites, droop) = placement_sites(placement, calib, n_vrs);
     solve_sharing_at(spec, calib, &sites, droop)
+}
+
+/// The canonical sites and droop resistance for a placement pattern.
+#[must_use]
+pub(crate) fn placement_sites(
+    placement: VrPlacement,
+    calib: &Calibration,
+    n_vrs: usize,
+) -> (Vec<(usize, usize)>, Ohms) {
+    let n = calib.grid_nodes_per_side.max(4);
+    let sites = match placement {
+        VrPlacement::Periphery => periphery_sites(n_vrs, n, n),
+        VrPlacement::BelowDie => below_die_sites(n_vrs, n, n),
+    };
+    (sites, placement_droop(placement, calib))
+}
+
+/// The calibrated droop resistance for a placement pattern.
+#[must_use]
+pub(crate) fn placement_droop(placement: VrPlacement, calib: &Calibration) -> Ohms {
+    match placement {
+        VrPlacement::Periphery => calib.vr_droop_periphery,
+        VrPlacement::BelowDie => calib.vr_droop_below_die,
+    }
 }
 
 /// Solves current sharing for an explicit set of module sites (used by
@@ -126,30 +142,171 @@ pub fn solve_sharing_at(
     spec: &SystemSpec,
     calib: &Calibration,
     sites: &[(usize, usize)],
-    droop: vpd_units::Ohms,
+    droop: Ohms,
 ) -> Result<SharingReport, CoreError> {
-    if sites.is_empty() {
-        return Err(CoreError::InvalidSpec {
-            what: "regulator count",
-            value: 0.0,
-        });
+    SharingSolver::new(spec, calib, sites, droop)?.solve()
+}
+
+/// A reusable current-sharing solver: the mesh, loads, and regulators
+/// are built (and the sparse solve plan compiled) once; subsequent
+/// solves restamp values in place and warm-start the iteration.
+///
+/// This is the hot object behind Monte-Carlo tolerance sweeps and
+/// placement annealing, where [`solve_sharing_at`] (which rebuilds the
+/// whole netlist per call) would spend most of its time on symbolic
+/// work that never changes.
+///
+/// ```
+/// use vpd_core::{SharingSolver, Calibration, SystemSpec};
+/// use vpd_core::placement::below_die_sites;
+///
+/// # fn main() -> Result<(), vpd_core::CoreError> {
+/// let spec = SystemSpec::paper_default();
+/// let mut calib = Calibration::paper_default();
+/// let n = calib.grid_nodes_per_side;
+/// let sites = below_die_sites(48, n, n);
+/// let mut solver = SharingSolver::new(&spec, &calib, &sites, calib.vr_droop_below_die)?;
+/// let nominal = solver.solve()?;
+/// // Re-solve a perturbed calibration without rebuilding anything.
+/// calib.grid_sheet_resistance = calib.grid_sheet_resistance * 1.1;
+/// solver.restamp(&spec, &calib, calib.vr_droop_below_die)?;
+/// let perturbed = solver.solve()?;
+/// assert!(perturbed.grid_loss() > nominal.grid_loss());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharingSolver {
+    grid: PowerGrid,
+    n: usize,
+    droop: Ohms,
+    setpoint: Volts,
+    /// Warm-start anchor: when set, every solve starts the iteration
+    /// from this solution instead of the previous solve's result, which
+    /// makes results independent of solve order (the parallel-sweep
+    /// determinism contract).
+    anchor: Option<DcSolution>,
+    last: Option<DcSolution>,
+}
+
+impl SharingSolver {
+    /// Builds the mesh with dense per-node loads and one regulator per
+    /// site, ready for repeated solving.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidSpec`] for an empty site list.
+    /// * [`CoreError::Circuit`] for sites outside the mesh or invalid
+    ///   element values.
+    pub fn new(
+        spec: &SystemSpec,
+        calib: &Calibration,
+        sites: &[(usize, usize)],
+        droop: Ohms,
+    ) -> Result<Self, CoreError> {
+        if sites.is_empty() {
+            return Err(CoreError::InvalidSpec {
+                what: "regulator count",
+                value: 0.0,
+            });
+        }
+        let n = calib.grid_nodes_per_side.max(4);
+        let mut grid = PowerGrid::new(n, n, calib.grid_sheet_resistance)?;
+        let loads = calib.power_map.node_currents(n, n, spec.pol_current());
+        // Dense attachment (zero-current nodes included) keeps the
+        // topology independent of the profile, so restamps never
+        // recompile.
+        grid.attach_dense_load_profile(|x, y| loads[y][x])?;
+        for &(x, y) in sites {
+            grid.attach_regulator(x, y, spec.pol_voltage(), droop)?;
+        }
+        Ok(Self {
+            grid,
+            n,
+            droop,
+            setpoint: spec.pol_voltage(),
+            anchor: None,
+            last: None,
+        })
     }
-    let n = calib.grid_nodes_per_side.max(4);
-    let mut grid = PowerGrid::new(n, n, calib.grid_sheet_resistance)?;
-    let loads = calib.power_map.node_currents(n, n, spec.pol_current());
-    grid.attach_load_profile(|x, y| loads[y][x])?;
-    for &(x, y) in sites {
-        grid.attach_regulator(x, y, spec.pol_voltage(), droop)?;
+
+    /// Rewrites every value the spec and calibration control — sheet
+    /// resistance, load profile, regulator droop and setpoint — in
+    /// place. The compiled solve plan survives.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for invalid values.
+    pub fn restamp(
+        &mut self,
+        spec: &SystemSpec,
+        calib: &Calibration,
+        droop: Ohms,
+    ) -> Result<(), CoreError> {
+        self.grid
+            .set_sheet_resistance(calib.grid_sheet_resistance)?;
+        let loads = calib
+            .power_map
+            .node_currents(self.n, self.n, spec.pol_current());
+        self.grid.set_load_profile(|x, y| loads[y][x])?;
+        for k in 0..self.grid.regulators().len() {
+            self.grid.set_regulator_droop(k, droop)?;
+            self.grid.set_regulator_setpoint(k, spec.pol_voltage())?;
+        }
+        self.droop = droop;
+        self.setpoint = spec.pol_voltage();
+        Ok(())
     }
-    let sol = grid.solve()?;
-    let per_vr = grid.regulator_currents(&sol);
-    let droop_loss = per_vr.iter().map(|i| i.dissipation_in(droop)).sum();
-    Ok(SharingReport {
-        grid_loss: grid.grid_loss(&sol),
-        droop_loss,
-        worst_drop: grid.worst_ir_drop(&sol, spec.pol_voltage()),
-        per_vr,
-    })
+
+    /// Moves regulator `k` to mesh position `(x, y)` — the annealer's
+    /// placement move. Invalidates the compiled plan (the node set is
+    /// unchanged, so only the sparsity pattern is recompiled on the next
+    /// solve; the netlist itself is reused).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for an index or position out of range.
+    pub fn move_site(&mut self, k: usize, x: usize, y: usize) -> Result<(), CoreError> {
+        self.grid.move_regulator(k, x, y)?;
+        Ok(())
+    }
+
+    /// Pins the warm-start anchor to the most recent solution (typically
+    /// the nominal operating point). Subsequent solves all start from
+    /// it, independent of order.
+    pub fn anchor_last(&mut self) {
+        self.anchor = self.last.clone();
+    }
+
+    /// Solves the current state of the grid and summarizes the sharing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] on solve failure.
+    pub fn solve(&mut self) -> Result<SharingReport, CoreError> {
+        if let Some(anchor) = &self.anchor {
+            // Ignore a stale anchor (e.g. after a recompile changed
+            // nothing structural) rather than failing the solve.
+            let _ = self.grid.seed_solution(anchor);
+        }
+        let sol = self.grid.solve_cached()?;
+        let per_vr = self.grid.regulator_currents(&sol);
+        let droop_loss = per_vr.iter().map(|i| i.dissipation_in(self.droop)).sum();
+        let report = SharingReport {
+            grid_loss: self.grid.grid_loss(&sol),
+            droop_loss,
+            worst_drop: self.grid.worst_ir_drop(&sol, self.setpoint),
+            per_vr,
+        };
+        self.last = Some(sol);
+        Ok(report)
+    }
+
+    /// CG iterations of the most recent solve (warm-start diagnostic).
+    #[must_use]
+    pub fn last_iterations(&self) -> Option<usize> {
+        self.grid.last_cg_iterations()
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +384,74 @@ mod tests {
         assert!(rep.grid_loss().value() < 100.0, "{}", rep.grid_loss());
         assert!(rep.worst_drop().value() > 0.0);
         assert!(rep.droop_loss().value() > 0.0);
+    }
+
+    #[test]
+    fn reusable_solver_matches_one_shot_path() {
+        let (spec, calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 48);
+        let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        let reused = solver.solve().unwrap();
+        let fresh = solve_sharing_at(&spec, &calib, &sites, droop).unwrap();
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn restamped_solver_matches_fresh_solver() {
+        let (spec, mut calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 24);
+        let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        solver.solve().unwrap();
+
+        calib.grid_sheet_resistance = calib.grid_sheet_resistance * 1.17;
+        let droop2 = droop * 0.9;
+        solver.restamp(&spec, &calib, droop2).unwrap();
+        let restamped = solver.solve().unwrap();
+        let fresh = solve_sharing_at(&spec, &calib, &sites, droop2).unwrap();
+
+        // Warm and cold CG converge from different starting points, so
+        // compare to solver tolerance, not bitwise.
+        for (a, b) in restamped.per_vr().iter().zip(fresh.per_vr()) {
+            assert!((a.value() - b.value()).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert!((restamped.grid_loss().value() - fresh.grid_loss().value()).abs() < 1e-4);
+        assert!((restamped.droop_loss().value() - fresh.droop_loss().value()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn anchored_warm_start_cuts_iterations() {
+        let (spec, mut calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 48);
+        let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        solver.solve().unwrap();
+        let cold = solver.last_iterations().unwrap();
+        solver.anchor_last();
+
+        // A ±2% perturbation, the Monte-Carlo regime.
+        calib.grid_sheet_resistance = calib.grid_sheet_resistance * 1.02;
+        solver.restamp(&spec, &calib, droop).unwrap();
+        solver.solve().unwrap();
+        let warm = solver.last_iterations().unwrap();
+        assert!(
+            warm < cold,
+            "warm start took {warm} iterations vs {cold} cold"
+        );
+    }
+
+    #[test]
+    fn moved_site_matches_fresh_solver_at_new_sites() {
+        let (spec, calib) = paper();
+        let (mut sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 12);
+        let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        solver.solve().unwrap();
+
+        sites[3] = (0, 0);
+        solver.move_site(3, 0, 0).unwrap();
+        let moved = solver.solve().unwrap();
+        let fresh = solve_sharing_at(&spec, &calib, &sites, droop).unwrap();
+        for (a, b) in moved.per_vr().iter().zip(fresh.per_vr()) {
+            assert!((a.value() - b.value()).abs() < 1e-8, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -237,15 +237,17 @@ mod tests {
     #[test]
     fn low_frequency_impedance_is_resistive() {
         let model = PdnModel::for_architecture(Architecture::Reference);
-        let z = model
-            .impedance_profile(&[Hertz::new(10.0)])
-            .unwrap()[0];
+        let z = model.impedance_profile(&[Hertz::new(10.0)]).unwrap()[0];
         // At 10 Hz the inductors are shorts and the caps are open: the
         // dc path resistance dominates.
         let dc_r = model.vr_resistance.value()
             + model.distribution_resistance.value()
             + model.vertical_resistance.value();
-        assert!((z.magnitude() - dc_r).abs() < 0.3 * dc_r, "{}", z.magnitude());
+        assert!(
+            (z.magnitude() - dc_r).abs() < 0.3 * dc_r,
+            "{}",
+            z.magnitude()
+        );
     }
 
     #[test]

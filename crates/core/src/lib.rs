@@ -46,14 +46,15 @@ mod impedance;
 mod loss;
 mod mc;
 mod optimize;
+mod par;
 pub mod placement;
 mod powermap;
 mod spec;
 pub mod survey;
 
 pub use arch::{
-    analyze, analyze_paper_matrix, single_stage_converter, AnalysisOptions, Architecture,
-    ArchitectureReport, PAPER_VR_POSITIONS,
+    analyze, analyze_paper_matrix, single_stage_converter, AnalysisOptions, AnalysisSession,
+    Architecture, ArchitectureReport, PAPER_VR_POSITIONS,
 };
 pub use calib::Calibration;
 pub use designer::{recommend, Candidate, Recommendation};
@@ -66,13 +67,12 @@ pub use explore::{
     best_bus_voltage, explore_matrix, reference_crossover_power, sweep_bus_voltage,
     sweep_current_density, sweep_pol_power, MatrixEntry,
 };
-pub use gridshare::{solve_sharing, solve_sharing_at, SharingReport};
+pub use gridshare::{solve_sharing, solve_sharing_at, SharingReport, SharingSolver};
 pub use impedance::{target_impedance, PdnModel};
 pub use loss::{LossBreakdown, LossKind, LossSegment};
 pub use mc::{run_tolerance, McSettings, McSummary};
-pub use optimize::{
-    optimize_placement, AnnealSettings, OptimizedPlacement, PlacementObjective,
-};
+pub use optimize::{optimize_placement, AnnealSettings, OptimizedPlacement, PlacementObjective};
+pub use par::par_map_with;
 pub use placement::VrPlacement;
 pub use powermap::PowerMap;
 pub use spec::SystemSpec;

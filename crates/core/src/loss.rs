@@ -91,9 +91,7 @@ impl LossBreakdown {
     pub fn by_kind(&self, kind: LossKind) -> Watts {
         self.segments
             .iter()
-            .filter(|s| {
-                std::mem::discriminant(&s.kind) == std::mem::discriminant(&kind)
-            })
+            .filter(|s| std::mem::discriminant(&s.kind) == std::mem::discriminant(&kind))
             .map(|s| s.power)
             .sum()
     }

@@ -1,8 +1,23 @@
 //! Monte-Carlo tolerance analysis: how robust are the Figure 7
 //! conclusions to uncertainty in the calibrated resistances and the
 //! converter curves?
+//!
+//! The sweep is built for throughput and reproducibility at once:
+//!
+//! * One [`AnalysisSession`] per run compiles the die-grid solve plan
+//!   once; every sample merely restamps element values.
+//! * The nominal solution is solved first and **anchored** — every
+//!   sample's conjugate gradient warm-starts from that same point, so a
+//!   sample's result depends only on its own perturbed calibration,
+//!   never on which sample ran before it.
+//! * Every sample draws from its own RNG stream derived from
+//!   `(seed, sample index)`.
+//!
+//! Together those make the parallel run ([`McSettings::threads`])
+//! bitwise-identical to the serial one for the same seed.
 
-use crate::arch::{analyze, AnalysisOptions, Architecture};
+use crate::arch::{AnalysisOptions, AnalysisSession, Architecture};
+use crate::par::par_map_with;
 use crate::{Calibration, CoreError, SystemSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +36,9 @@ pub struct McSettings {
     pub conversion_tolerance: f64,
     /// RNG seed (runs are reproducible).
     pub seed: u64,
+    /// Worker threads (0 = auto). Any value yields bitwise-identical
+    /// summaries for the same seed.
+    pub threads: usize,
 }
 
 impl Default for McSettings {
@@ -30,6 +48,7 @@ impl Default for McSettings {
             resistance_tolerance: 0.20,
             conversion_tolerance: 0.10,
             seed: 0x5eed,
+            threads: 0,
         }
     }
 }
@@ -45,9 +64,9 @@ pub struct McSummary {
     pub min: f64,
     /// Maximum observed.
     pub max: f64,
-    /// 5th percentile.
+    /// 5th percentile (linearly interpolated).
     pub p5: f64,
-    /// 95th percentile.
+    /// 95th percentile (linearly interpolated).
     pub p95: f64,
 }
 
@@ -57,7 +76,15 @@ impl McSummary {
         let n = xs.len();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        let pick = |q: f64| xs[((q * (n - 1) as f64).round() as usize).min(n - 1)];
+        // Linear interpolation between closest ranks (the "C = 1"
+        // definition, numpy's default), not nearest-rank: a percentile
+        // of a small sample set should move continuously with q.
+        let pick = |q: f64| {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            xs[lo] + (xs[hi] - xs[lo]) * (pos - lo as f64)
+        };
         Self {
             mean,
             std_dev: var.sqrt(),
@@ -73,8 +100,26 @@ fn perturb(r: Ohms, rng: &mut StdRng, tol: f64) -> Ohms {
     r * (1.0 + rng.gen_range(-tol..=tol))
 }
 
+/// The RNG stream for one sample: a SplitMix64-style avalanche over
+/// `(seed, index)`, so consecutive indices give decorrelated streams and
+/// a sample's draws never depend on how work was divided among threads.
+fn sample_rng(seed: u64, index: usize) -> StdRng {
+    let mut z = seed.wrapping_add(
+        (index as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
 /// Runs the tolerance analysis for one configuration, returning the
 /// loss-percent distribution summary.
+///
+/// The summary is a pure function of the configuration and
+/// `settings.seed`: neither `settings.threads` nor the host's core count
+/// changes a single bit of it.
 ///
 /// # Errors
 ///
@@ -88,11 +133,19 @@ pub fn run_tolerance(
     base: &Calibration,
     settings: &McSettings,
 ) -> Result<McSummary, CoreError> {
-    let mut rng = StdRng::seed_from_u64(settings.seed);
     let opts = AnalysisOptions::default();
-    let mut samples = Vec::with_capacity(settings.samples);
-    for _ in 0..settings.samples {
-        let rt = settings.resistance_tolerance;
+    let mut session = AnalysisSession::new(architecture, spec, base, &opts)?;
+    // Solve the nominal point once and anchor it: every sample then
+    // warm-starts from the same solution, so per-sample results are
+    // independent of sample order and worker assignment.
+    session.analyze(topology, base)?;
+    session.anchor();
+
+    let indices: Vec<usize> = (0..settings.samples).collect();
+    let rt = settings.resistance_tolerance;
+    let ct = settings.conversion_tolerance;
+    let sample = |sess: &mut AnalysisSession, &i: &usize| -> Result<f64, CoreError> {
+        let mut rng = sample_rng(settings.seed, i);
         let calib = Calibration {
             horizontal_pol_resistance: perturb(base.horizontal_pol_resistance, &mut rng, rt),
             horizontal_hv_resistance: perturb(base.horizontal_hv_resistance, &mut rng, rt),
@@ -102,14 +155,18 @@ pub fn run_tolerance(
             vr_droop_below_die: perturb(base.vr_droop_below_die, &mut rng, rt),
             ..*base
         };
-        let report = analyze(architecture, topology, spec, &calib, &opts)?;
+        let report = sess.analyze(topology, &calib)?;
         // Conversion-curve uncertainty applied as a multiplicative factor
         // on the conversion share of the total.
-        let conv_factor = 1.0 + rng.gen_range(-settings.conversion_tolerance..=settings.conversion_tolerance);
+        let conv_factor = 1.0 + rng.gen_range(-ct..=ct);
         let b = &report.breakdown;
-        let loss = b.total().value()
-            + b.conversion_loss().value() * (conv_factor - 1.0);
-        samples.push(100.0 * loss / b.pol_power().value());
+        let loss = b.total().value() + b.conversion_loss().value() * (conv_factor - 1.0);
+        Ok(100.0 * loss / b.pol_power().value())
+    };
+    let results = par_map_with(settings.threads, &indices, &session, sample);
+    let mut samples = Vec::with_capacity(results.len());
+    for r in results {
+        samples.push(r?);
     }
     Ok(McSummary::from_samples(samples))
 }
@@ -154,5 +211,48 @@ mod tests {
         let a = summary(Architecture::InterposerEmbedded);
         let b = summary(Architecture::InterposerEmbedded);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_interpolate_linearly() {
+        // 11 equally spaced values 0..=10: the interpolated p5 sits at
+        // rank 0.5 and p95 at rank 9.5 — nearest-rank would snap both to
+        // the adjacent integers.
+        let s = McSummary::from_samples((0..11).map(f64::from).collect());
+        assert!((s.p5 - 0.5).abs() < 1e-12, "p5 {}", s.p5);
+        assert!((s.p95 - 9.5).abs() < 1e-12, "p95 {}", s.p95);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (0.0, 10.0));
+    }
+
+    #[test]
+    fn parallel_runs_are_bitwise_identical_to_serial() {
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let base = McSettings {
+            samples: 24,
+            threads: 1,
+            ..McSettings::default()
+        };
+        let serial = run_tolerance(
+            Architecture::InterposerEmbedded,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &base,
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let par = run_tolerance(
+                Architecture::InterposerEmbedded,
+                VrTopologyKind::Dsch,
+                &spec,
+                &calib,
+                &McSettings { threads, ..base },
+            )
+            .unwrap();
+            // Bitwise: every field, exact f64 equality.
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 }

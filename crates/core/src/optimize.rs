@@ -6,7 +6,7 @@
 //! annealer moves modules across the mesh, re-solving the current
 //! sharing each step, and minimizes a selectable objective.
 
-use crate::gridshare::{solve_sharing_at, SharingReport};
+use crate::gridshare::{SharingReport, SharingSolver};
 use crate::placement::below_die_sites;
 use crate::{Calibration, CoreError, SystemSpec};
 use rand::rngs::StdRng;
@@ -110,8 +110,14 @@ pub fn optimize_placement(
     let mut sites = below_die_sites(n_vrs, n, n);
     let mut occupied: HashSet<(usize, usize)> = sites.iter().copied().collect();
 
-    let initial_report = solve_sharing_at(spec, calib, &sites, droop)?;
+    // One reusable solver for the whole anneal: candidate moves rewire a
+    // single regulator in place instead of rebuilding the netlist, and
+    // every candidate solve warm-starts from the last accepted solution
+    // (each move only redistributes a few amperes locally).
+    let mut solver = SharingSolver::new(spec, calib, &sites, droop)?;
+    let initial_report = solver.solve()?;
     let initial_objective = objective.evaluate(&initial_report);
+    solver.anchor_last();
     let mut best_sites = sites.clone();
     let mut best_objective = initial_objective;
     let mut current_objective = initial_objective;
@@ -129,28 +135,36 @@ pub fn optimize_placement(
         if occupied.contains(&candidate) {
             continue;
         }
-        sites[k] = candidate;
-        let report = solve_sharing_at(spec, calib, &sites, droop)?;
+        solver.move_site(k, candidate.0, candidate.1)?;
+        let report = solver.solve()?;
         let value = objective.evaluate(&report);
         let accept = value < current_objective || {
             let delta = value - current_objective;
             rng.gen::<f64>() < (-delta / temperature.max(1e-18)).exp()
         };
         if accept {
+            sites[k] = candidate;
             occupied.remove(&old);
             occupied.insert(candidate);
             current_objective = value;
             accepted_moves += 1;
-            if value < best_objective {
-                best_objective = value;
-                best_sites = sites.clone();
-            }
+            // Re-anchor at the accepted state so later candidates start
+            // from the nearest known solution.
+            solver.anchor_last();
         } else {
-            sites[k] = old;
+            solver.move_site(k, old.0, old.1)?;
+        }
+        if accept && value < best_objective {
+            best_objective = value;
+            best_sites = sites.clone();
         }
     }
 
-    let report = solve_sharing_at(spec, calib, &best_sites, droop)?;
+    // Final report at the best placement, reusing the same netlist.
+    for (k, &(x, y)) in best_sites.iter().enumerate() {
+        solver.move_site(k, x, y)?;
+    }
+    let report = solver.solve()?;
     Ok(OptimizedPlacement {
         sites: best_sites,
         initial_objective,

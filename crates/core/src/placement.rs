@@ -59,11 +59,7 @@ pub fn below_die_slots(
 /// requirement, and at least the paper's Table II placement count so the
 /// published figure reproduces.
 #[must_use]
-pub fn analysis_count(
-    ch: &TopologyCharacteristics,
-    placement: VrPlacement,
-    load: Amps,
-) -> usize {
+pub fn analysis_count(ch: &TopologyCharacteristics, placement: VrPlacement, load: Amps) -> usize {
     let paper = match placement {
         VrPlacement::Periphery => ch.vrs_along_periphery,
         VrPlacement::BelowDie => ch.vrs_below_die,
@@ -99,9 +95,7 @@ pub fn periphery_sites(n: usize, nx: usize, ny: usize) -> Vec<(usize, usize)> {
         ring.push((0, y));
     }
     let len = ring.len();
-    (0..n)
-        .map(|k| ring[(k * len) / n])
-        .collect()
+    (0..n).map(|k| ring[(k * len) / n]).collect()
 }
 
 /// A near-square `r × c` pattern of `n` sites across the die shadow —
@@ -140,8 +134,14 @@ mod tests {
 
     #[test]
     fn modules_required_rounds_up() {
-        assert_eq!(modules_required(Amps::new(1000.0), Amps::new(100.0), 1.0), 10);
-        assert_eq!(modules_required(Amps::new(1000.0), Amps::new(30.0), 1.0), 34);
+        assert_eq!(
+            modules_required(Amps::new(1000.0), Amps::new(100.0), 1.0),
+            10
+        );
+        assert_eq!(
+            modules_required(Amps::new(1000.0), Amps::new(30.0), 1.0),
+            34
+        );
         assert_eq!(
             modules_required(Amps::new(1000.0), Amps::new(100.0), 1.25),
             13
@@ -206,10 +206,8 @@ mod tests {
         let sites = below_die_sites(48, 25, 25);
         assert_eq!(sites.len(), 48);
         // Spread across all four quadrants.
-        let quadrants: std::collections::HashSet<(bool, bool)> = sites
-            .iter()
-            .map(|&(x, y)| (x < 12, y < 12))
-            .collect();
+        let quadrants: std::collections::HashSet<(bool, bool)> =
+            sites.iter().map(|&(x, y)| (x < 12, y < 12)).collect();
         assert_eq!(quadrants.len(), 4);
     }
 

@@ -105,12 +105,9 @@ impl Inductor {
     pub fn loss(&self, i_avg: Amps, ripple_pp: Amps, f_sw: Hertz) -> Watts {
         // RMS of a triangular ripple on a DC level:
         // I_rms² = I_avg² + ΔI²/12.
-        let i_rms_sq = i_avg.value() * i_avg.value()
-            + ripple_pp.value() * ripple_pp.value() / 12.0;
+        let i_rms_sq = i_avg.value() * i_avg.value() + ripple_pp.value() * ripple_pp.value() / 12.0;
         let winding = Watts::new(i_rms_sq * self.dcr.value());
-        let core = Watts::new(
-            self.k_core * f_sw.value() * ripple_pp.value() * ripple_pp.value(),
-        );
+        let core = Watts::new(self.k_core * f_sw.value() * ripple_pp.value() * ripple_pp.value());
         winding + core
     }
 
@@ -118,9 +115,7 @@ impl Inductor {
     /// `ΔI = V_out·(1 − D)/(L·f)`.
     #[must_use]
     pub fn buck_ripple(&self, v_out: vpd_units::Volts, duty: f64, f_sw: Hertz) -> Amps {
-        Amps::new(
-            v_out.value() * (1.0 - duty.clamp(0.0, 1.0)) / (self.l.value() * f_sw.value()),
-        )
+        Amps::new(v_out.value() * (1.0 - duty.clamp(0.0, 1.0)) / (self.l.value() * f_sw.value()))
     }
 }
 

@@ -267,8 +267,7 @@ mod tests {
     #[test]
     fn gan_fom_is_order_of_magnitude_better_at_48v() {
         let v = Volts::new(48.0);
-        let ratio =
-            Semiconductor::Si.figure_of_merit(v) / Semiconductor::GaN.figure_of_merit(v);
+        let ratio = Semiconductor::Si.figure_of_merit(v) / Semiconductor::GaN.figure_of_merit(v);
         assert!(
             (8.0..30.0).contains(&ratio),
             "expected ~10-20x FOM advantage, got {ratio:.1}"
@@ -317,8 +316,7 @@ mod tests {
         let a = SquareMeters::from_square_millimeters(1.0);
         assert!(PowerTransistor::new(Semiconductor::Si, Volts::new(-5.0), a).is_err());
         assert!(
-            PowerTransistor::new(Semiconductor::Si, Volts::new(48.0), SquareMeters::ZERO)
-                .is_err()
+            PowerTransistor::new(Semiconductor::Si, Volts::new(48.0), SquareMeters::ZERO).is_err()
         );
         assert!(PowerTransistor::optimal_area(
             Semiconductor::GaN,

@@ -46,6 +46,37 @@ pub struct CgReport {
     pub relative_residual: f64,
 }
 
+/// Reusable scratch space for [`conjugate_gradient_into`].
+///
+/// CG needs four working vectors plus the inverted diagonal; allocating
+/// them per solve dominates the cost of small repeated systems. A
+/// workspace is sized lazily on first use and reused across solves of
+/// any dimension (resizing only when the dimension grows or shrinks).
+#[derive(Clone, Debug, Default)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    inv_diag: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace; buffers are sized on first solve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+        self.inv_diag.resize(n, 0.0);
+    }
+}
+
 /// Solves the SPD system `A·x = b` by preconditioned conjugate gradient.
 ///
 /// Returns the solution together with a [`CgReport`]. A zero right-hand
@@ -81,6 +112,39 @@ pub fn conjugate_gradient(
     b: &[f64],
     settings: &CgSettings,
 ) -> Result<(Vec<f64>, CgReport), NumericError> {
+    let mut x = vec![0.0; a.rows()];
+    let mut ws = CgWorkspace::new();
+    let report = conjugate_gradient_into(a, b, &mut x, settings, &mut ws)?;
+    Ok((x, report))
+}
+
+/// Solves `A·x = b` in place, warm-starting from the incoming `x` and
+/// reusing caller-owned scratch space.
+///
+/// On entry `x` holds the initial guess (zeros reproduce the cold
+/// [`conjugate_gradient`] path exactly); on successful exit it holds the
+/// solution. When the guess is close — a previous solve of a slightly
+/// perturbed system, as in Monte-Carlo sampling or design sweeps — CG
+/// starts with a small residual and converges in a fraction of the cold
+/// iteration count; a guess already within tolerance returns after zero
+/// iterations. The workspace removes every per-solve allocation, so a
+/// restamp + warm solve does no heap work at all.
+///
+/// On error `x` is left in an unspecified (partially updated) state;
+/// refill it before warm-starting the next solve.
+///
+/// # Errors
+///
+/// Same contract as [`conjugate_gradient`]: `DimensionMismatch` on shape
+/// errors (including a wrong `x` length), `NoConvergence` on hitting the
+/// iteration cap, `NotPositiveDefinite` on breakdown.
+pub fn conjugate_gradient_into(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &CgSettings,
+    ws: &mut CgWorkspace,
+) -> Result<CgReport, NumericError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(NumericError::DimensionMismatch {
@@ -94,79 +158,85 @@ pub fn conjugate_gradient(
             found: format!("length {}", b.len()),
         });
     }
+    if x.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("initial guess of length {n}"),
+            found: format!("length {}", x.len()),
+        });
+    }
 
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok((
-            vec![0.0; n],
-            CgReport {
-                iterations: 0,
-                relative_residual: 0.0,
-            },
-        ));
+        x.fill(0.0);
+        return Ok(CgReport {
+            iterations: 0,
+            relative_residual: 0.0,
+        });
     }
 
-    let inv_diag: Option<Vec<f64>> = match settings.preconditioner {
-        Preconditioner::None => None,
-        Preconditioner::Jacobi => Some(
-            a.diagonal()
-                .iter()
-                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
-                .collect(),
-        ),
-    };
-    let apply_precond = |r: &[f64]| -> Vec<f64> {
-        match &inv_diag {
-            None => r.to_vec(),
-            Some(inv) => r.iter().zip(inv).map(|(ri, di)| ri * di).collect(),
+    ws.ensure(n);
+    let jacobi = settings.preconditioner == Preconditioner::Jacobi;
+    if jacobi {
+        a.diagonal_into(&mut ws.inv_diag);
+        for d in &mut ws.inv_diag {
+            *d = if *d != 0.0 { 1.0 / *d } else { 1.0 };
         }
-    };
+    }
+
+    // r = b − A·x0. A zero guess multiplies out to exactly 0.0 per row,
+    // so the cold path stays bitwise identical to r = b.
+    a.matvec_into(x, &mut ws.ap);
+    for i in 0..n {
+        ws.r[i] = b[i] - ws.ap[i];
+    }
+    if jacobi {
+        for i in 0..n {
+            ws.z[i] = ws.r[i] * ws.inv_diag[i];
+        }
+    } else {
+        ws.z.copy_from_slice(&ws.r);
+    }
+    ws.p.copy_from_slice(&ws.z);
+    let mut rz = dot(&ws.r, &ws.z);
 
     let max_iters = settings.max_iterations.unwrap_or(10 * n.max(1));
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z = apply_precond(&r);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
-
     for iter in 0..max_iters {
-        let rel = norm2(&r) / b_norm;
+        let rel = norm2(&ws.r) / b_norm;
         if rel <= settings.tolerance {
-            return Ok((
-                x,
-                CgReport {
-                    iterations: iter,
-                    relative_residual: rel,
-                },
-            ));
+            return Ok(CgReport {
+                iterations: iter,
+                relative_residual: rel,
+            });
         }
-        a.matvec_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.matvec_into(&ws.p, &mut ws.ap);
+        let pap = dot(&ws.p, &ws.ap);
         if pap <= 0.0 {
             return Err(NumericError::NotPositiveDefinite { pivot: iter });
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        z = apply_precond(&r);
-        let rz_new = dot(&r, &z);
+        axpy(alpha, &ws.p, x);
+        axpy(-alpha, &ws.ap, &mut ws.r);
+        if jacobi {
+            for i in 0..n {
+                ws.z[i] = ws.r[i] * ws.inv_diag[i];
+            }
+        } else {
+            ws.z.copy_from_slice(&ws.r);
+        }
+        let rz_new = dot(&ws.r, &ws.z);
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
-            p[i] = z[i] + beta * p[i];
+            ws.p[i] = ws.z[i] + beta * ws.p[i];
         }
     }
 
-    let rel = norm2(&r) / b_norm;
+    let rel = norm2(&ws.r) / b_norm;
     if rel <= settings.tolerance {
-        return Ok((
-            x,
-            CgReport {
-                iterations: max_iters,
-                relative_residual: rel,
-            },
-        ));
+        return Ok(CgReport {
+            iterations: max_iters,
+            relative_residual: rel,
+        });
     }
     Err(NumericError::NoConvergence {
         iterations: max_iters,
@@ -229,7 +299,10 @@ mod tests {
             preconditioner: Preconditioner::None,
         };
         let err = conjugate_gradient(&a, &vec![1.0; 100], &settings).unwrap_err();
-        assert!(matches!(err, NumericError::NoConvergence { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            NumericError::NoConvergence { iterations: 2, .. }
+        ));
     }
 
     #[test]
@@ -254,7 +327,7 @@ mod tests {
         // iterations.
         let n = 64;
         let mut coo = CooMatrix::new(n, n);
-        let edge = |i: usize| if i % 2 == 0 { 1.0 } else { 1e4 };
+        let edge = |i: usize| if i.is_multiple_of(2) { 1.0 } else { 1e4 };
         let mut diag = vec![0.0; n];
         for i in 0..n - 1 {
             let g = edge(i);
@@ -290,10 +363,87 @@ mod tests {
                 ..CgSettings::default()
             },
         );
-        match plain {
-            Ok((_, rep)) => assert!(jacobi.iterations <= rep.iterations),
-            Err(_) => {} // plain CG failing outright also proves the point
+        if let Ok((_, rep)) = plain {
+            assert!(jacobi.iterations <= rep.iterations);
+        } // plain CG failing outright also proves the point
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_instantly() {
+        let a = chain(50, 1.0, 0.1);
+        let b = vec![1.0; 50];
+        let (mut x, cold) = conjugate_gradient(&a, &b, &CgSettings::default()).unwrap();
+        assert!(cold.iterations > 0);
+        let mut ws = CgWorkspace::new();
+        let warm =
+            conjugate_gradient_into(&a, &b, &mut x, &CgSettings::default(), &mut ws).unwrap();
+        assert_eq!(warm.iterations, 0, "exact guess must be accepted as-is");
+    }
+
+    #[test]
+    fn warm_start_across_perturbed_systems_converges_faster() {
+        // The Monte-Carlo pattern: solve a nominal system, then a
+        // slightly perturbed one warm-started from the nominal solution.
+        let nominal = chain(200, 1.0, 0.5);
+        let perturbed = chain(200, 1.004, 0.5);
+        let b = vec![1.0; 200];
+        let settings = CgSettings::default();
+
+        let (x_nominal, _) = conjugate_gradient(&nominal, &b, &settings).unwrap();
+        let (x_cold, cold) = conjugate_gradient(&perturbed, &b, &settings).unwrap();
+
+        let mut x = x_nominal;
+        let mut ws = CgWorkspace::new();
+        let warm = conjugate_gradient_into(&perturbed, &b, &mut x, &settings, &mut ws).unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for (w, c) in x.iter().zip(&x_cold) {
+            assert!((w - c).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn zero_guess_reproduces_cold_path_bitwise() {
+        let a = chain(64, 2.0, 0.05);
+        let b: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let settings = CgSettings::default();
+        let (x_cold, rep_cold) = conjugate_gradient(&a, &b, &settings).unwrap();
+
+        let mut x = vec![0.0; 64];
+        let mut ws = CgWorkspace::new();
+        let rep = conjugate_gradient_into(&a, &b, &mut x, &settings, &mut ws).unwrap();
+        assert_eq!(rep.iterations, rep_cold.iterations);
+        for (a_, b_) in x.iter().zip(&x_cold) {
+            assert_eq!(a_.to_bits(), b_.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_sizes() {
+        let mut ws = CgWorkspace::new();
+        let settings = CgSettings::default();
+        for n in [8usize, 32, 16] {
+            let a = chain(n, 1.0, 0.1);
+            let b = vec![1.0; n];
+            let mut x = vec![0.0; n];
+            let rep = conjugate_gradient_into(&a, &b, &mut x, &settings, &mut ws).unwrap();
+            assert!(rep.relative_residual <= settings.tolerance);
+        }
+    }
+
+    #[test]
+    fn wrong_guess_length_rejected() {
+        let a = chain(3, 1.0, 0.1);
+        let mut x = vec![0.0; 2];
+        let mut ws = CgWorkspace::new();
+        assert!(
+            conjugate_gradient_into(&a, &[1.0; 3], &mut x, &CgSettings::default(), &mut ws)
+                .is_err()
+        );
     }
 
     proptest! {

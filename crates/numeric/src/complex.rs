@@ -113,6 +113,8 @@ impl std::ops::Mul for Complex {
 
 impl std::ops::Div for Complex {
     type Output = Self;
+    // Complex division multiplies by the reciprocal (conjugate trick).
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -26,6 +26,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Kernel loops index several vectors in lockstep (y[r], x[j], pivots);
+// the indexed form keeps them symmetric with the textbook algorithms.
+#![allow(clippy::needless_range_loop)]
 
 mod cg;
 mod cholesky;
@@ -37,11 +40,13 @@ mod sparse;
 mod spectral;
 pub mod vector;
 
-pub use cg::{conjugate_gradient, CgReport, CgSettings, Preconditioner};
+pub use cg::{
+    conjugate_gradient, conjugate_gradient_into, CgReport, CgSettings, CgWorkspace, Preconditioner,
+};
 pub use cholesky::CholeskyFactor;
 pub use complex::{Complex, ComplexLu, ComplexMatrix};
 pub use dense::DenseMatrix;
 pub use error::NumericError;
 pub use lu::LuFactor;
-pub use sparse::{CooMatrix, CsrMatrix};
+pub use sparse::{CooMatrix, CsrMatrix, PatternCache};
 pub use spectral::{condition_estimate_spd, dominant_eigenvalue, PowerIteration};

@@ -170,9 +170,8 @@ mod tests {
 
     #[test]
     fn solves_known_3x3() {
-        let a =
-            DenseMatrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
-                .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
+            .unwrap();
         let lu = LuFactor::new(&a).unwrap();
         let x = lu.solve(&[5.0, -2.0, 9.0]).unwrap();
         assert!(residual_inf(&a, &x, &[5.0, -2.0, 9.0]) < 1e-10);

@@ -72,6 +72,28 @@ impl CooMatrix {
         self.cols
     }
 
+    /// Records a structural entry at `(row, col)` with a placeholder
+    /// value of `1.0`.
+    ///
+    /// Unlike [`CooMatrix::push`], a structural entry is never dropped,
+    /// which makes the raw-entry sequence independent of the numeric
+    /// values — the invariant [`CooMatrix::to_csr_with_pattern`] needs so
+    /// that a later [`CsrMatrix::update_values`] can restamp coefficients
+    /// that happen to be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index lies outside the declared shape.
+    pub fn push_structural(&mut self, row: usize, col: usize) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "sparse stamp ({row}, {col}) outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, 1.0));
+    }
+
     /// Compresses to CSR, summing duplicate coordinates and dropping
     /// entries that cancel to exactly zero.
     #[must_use]
@@ -108,6 +130,113 @@ impl CooMatrix {
             col_indices,
             values,
         }
+    }
+
+    /// Compresses to CSR while recording the symbolic pattern, so later
+    /// solves with the same sparsity can restamp values in place via
+    /// [`CsrMatrix::update_values`] instead of re-sorting and merging.
+    ///
+    /// Unlike [`CooMatrix::to_csr`], entries whose duplicates sum to
+    /// exactly zero are **kept** (stored as explicit zeros): the pattern
+    /// must not depend on the numeric values, or a restamp with different
+    /// coefficients would change the sparsity. Build the pattern with
+    /// [`CooMatrix::push_structural`] so value-dependent dropping in
+    /// [`CooMatrix::push`] cannot skew the raw-entry sequence either.
+    ///
+    /// The returned [`PatternCache`] maps each raw entry (in push order)
+    /// to its merged CSR slot; values are accumulated in raw order both
+    /// here and in `update_values`, so a restamp with the original values
+    /// reproduces the original matrix bitwise.
+    #[must_use]
+    pub fn to_csr_with_pattern(&self) -> (CsrMatrix, PatternCache) {
+        // Deterministic total order: (row, col, raw index) has no ties.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_unstable_by_key(|&k| (self.entries[k].0, self.entries[k].1, k));
+
+        let mut slot_of_raw = vec![0usize; self.entries.len()];
+        let mut col_indices = Vec::with_capacity(self.entries.len());
+        let mut row_ptr = vec![0usize; self.rows + 1];
+
+        let mut i = 0;
+        while i < order.len() {
+            let (r, c, _) = self.entries[order[i]];
+            let slot = col_indices.len();
+            col_indices.push(c);
+            row_ptr[r + 1] += 1;
+            while i < order.len() && self.entries[order[i]].0 == r && self.entries[order[i]].1 == c
+            {
+                slot_of_raw[order[i]] = slot;
+                i += 1;
+            }
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+
+        let mut csr = CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            values: vec![0.0; col_indices.len()],
+            col_indices,
+        };
+        let pattern = PatternCache {
+            rows: self.rows,
+            cols: self.cols,
+            slot_of_raw,
+            nnz: csr.values.len(),
+        };
+        // Accumulate in raw order — the same order update_values uses —
+        // so compile-time and restamped values agree bitwise.
+        for (k, &(_, _, v)) in self.entries.iter().enumerate() {
+            csr.values[pattern.slot_of_raw[k]] += v;
+        }
+        (csr, pattern)
+    }
+}
+
+/// The cached symbolic side of a [`CooMatrix`] → [`CsrMatrix`]
+/// compression: a map from each raw COO entry to its merged CSR value
+/// slot.
+///
+/// Splitting assembly into a symbolic compile (sort + merge, done once)
+/// and a numeric restamp (scatter-add, done per solve) is what lets
+/// repeated solves on a fixed topology — Monte-Carlo sampling, design
+/// sweeps, placement annealing — skip the dominant assembly cost.
+///
+/// ```
+/// use vpd_numeric::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push_structural(0, 0);
+/// coo.push_structural(0, 0); // duplicate: same CSR slot
+/// coo.push_structural(1, 1);
+/// let (mut csr, pattern) = coo.to_csr_with_pattern();
+/// csr.update_values(&pattern, &[1.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(csr.matvec(&[1.0, 1.0]), vec![3.0, 4.0]);
+/// csr.update_values(&pattern, &[0.5, 0.5, 9.0]).unwrap();
+/// assert_eq!(csr.matvec(&[1.0, 1.0]), vec![1.0, 9.0]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PatternCache {
+    rows: usize,
+    cols: usize,
+    slot_of_raw: Vec<usize>,
+    nnz: usize,
+}
+
+impl PatternCache {
+    /// Number of raw COO entries the pattern was compiled from — the
+    /// length [`CsrMatrix::update_values`] expects.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.slot_of_raw.len()
+    }
+
+    /// Number of merged CSR slots.
+    #[must_use]
+    pub const fn nnz(&self) -> usize {
+        self.nnz
     }
 }
 
@@ -176,19 +305,85 @@ impl CsrMatrix {
         }
     }
 
+    /// Replaces the stored values by scatter-adding `raw_values` through
+    /// a [`PatternCache`], without touching the symbolic structure.
+    ///
+    /// `raw_values[k]` is the value of the `k`-th raw COO entry (in the
+    /// push order of the builder the pattern was compiled from);
+    /// duplicates accumulate into their shared slot in that same order,
+    /// so restamping the original values reproduces the original matrix
+    /// bitwise. This is the numeric half of assembly: O(nnz) with no
+    /// sort, no merge, and no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the pattern was
+    /// compiled for a different shape or entry count than this matrix.
+    pub fn update_values(
+        &mut self,
+        pattern: &PatternCache,
+        raw_values: &[f64],
+    ) -> Result<(), NumericError> {
+        if pattern.rows != self.rows
+            || pattern.cols != self.cols
+            || pattern.nnz != self.values.len()
+        {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!(
+                    "pattern for {}x{} with {} slots",
+                    self.rows,
+                    self.cols,
+                    self.values.len()
+                ),
+                found: format!(
+                    "pattern for {}x{} with {} slots",
+                    pattern.rows, pattern.cols, pattern.nnz
+                ),
+            });
+        }
+        if raw_values.len() != pattern.slot_of_raw.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{} raw values", pattern.slot_of_raw.len()),
+                found: format!("{} raw values", raw_values.len()),
+            });
+        }
+        self.values.fill(0.0);
+        for (slot, v) in pattern.slot_of_raw.iter().zip(raw_values) {
+            self.values[*slot] += v;
+        }
+        Ok(())
+    }
+
     /// The main diagonal (zero where no entry is stored); the Jacobi
     /// preconditioner.
     #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.rows.min(self.cols)];
-        for r in 0..self.rows {
+        self.diagonal_into(&mut d);
+        d
+    }
+
+    /// Writes the main diagonal into a caller-provided buffer
+    /// ([C-CALLER-CONTROL]) — the allocation-free path reused solvers
+    /// take each restamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != min(rows, cols)`.
+    pub fn diagonal_into(&self, d: &mut [f64]) {
+        assert_eq!(
+            d.len(),
+            self.rows.min(self.cols),
+            "diagonal buffer dimension mismatch"
+        );
+        d.fill(0.0);
+        for r in 0..self.rows.min(self.cols) {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.col_indices[k] == r {
                     d[r] = self.values[k];
                 }
             }
         }
-        d
     }
 
     /// Entry lookup (O(row nnz)).
@@ -310,6 +505,90 @@ mod tests {
         coo.push(0, 1, 1.0);
         let a = coo.to_csr().asymmetry().unwrap();
         assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn pattern_restamp_matches_fresh_assembly() {
+        // Build the same tridiagonal matrix twice: once merged fresh,
+        // once by restamping a structural pattern.
+        let coords = [(0, 0), (0, 1), (1, 0), (1, 1), (1, 1), (2, 2)];
+        let vals = [2.0, -1.0, -1.0, 1.5, 0.5, 3.0];
+
+        let mut fresh = CooMatrix::new(3, 3);
+        for (&(r, c), &v) in coords.iter().zip(&vals) {
+            fresh.push(r, c, v);
+        }
+        let want = fresh.to_csr();
+
+        let mut structural = CooMatrix::new(3, 3);
+        for &(r, c) in &coords {
+            structural.push_structural(r, c);
+        }
+        let (mut csr, pattern) = structural.to_csr_with_pattern();
+        assert_eq!(pattern.raw_len(), coords.len());
+        csr.update_values(&pattern, &vals).unwrap();
+
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(csr.get(r, c), want.get(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_keeps_zero_valued_slots() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push_structural(0, 0);
+        coo.push_structural(1, 1);
+        let (mut csr, pattern) = coo.to_csr_with_pattern();
+        csr.update_values(&pattern, &[0.0, 4.0]).unwrap();
+        // The zero is stored explicitly: the pattern never shrinks.
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), 0.0);
+        assert_eq!(csr.get(1, 1), 4.0);
+        // And a later restamp can revive it.
+        csr.update_values(&pattern, &[7.0, 4.0]).unwrap();
+        assert_eq!(csr.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn restamp_is_bitwise_repeatable() {
+        let mut coo = CooMatrix::new(2, 2);
+        for _ in 0..3 {
+            coo.push_structural(0, 0); // three duplicates, one slot
+        }
+        let (mut csr, pattern) = coo.to_csr_with_pattern();
+        let vals = [0.1, 0.2, 0.3];
+        csr.update_values(&pattern, &vals).unwrap();
+        let first = csr.get(0, 0);
+        csr.update_values(&pattern, &vals).unwrap();
+        assert_eq!(csr.get(0, 0).to_bits(), first.to_bits());
+    }
+
+    #[test]
+    fn update_values_rejects_wrong_lengths() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push_structural(0, 0);
+        let (mut csr, pattern) = coo.to_csr_with_pattern();
+        assert!(csr.update_values(&pattern, &[1.0, 2.0]).is_err());
+
+        let mut other = CooMatrix::new(2, 2);
+        other.push_structural(0, 0);
+        other.push_structural(1, 1);
+        let (_, wrong_pattern) = other.to_csr_with_pattern();
+        assert!(csr.update_values(&wrong_pattern, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_into_matches_diagonal() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 5.0);
+        coo.push(2, 2, -1.0);
+        coo.push(1, 0, 7.0);
+        let csr = coo.to_csr();
+        let mut d = vec![9.0; 3];
+        csr.diagonal_into(&mut d);
+        assert_eq!(d, csr.diagonal());
     }
 
     #[test]

@@ -201,8 +201,7 @@ mod tests {
     /// through C4-class bumps at the 85% cap (paper §IV).
     #[test]
     fn reference_die_size_claim_reproduces() {
-        let area =
-            required_platform_area(InterconnectTech::C4, Amps::from_kiloamps(1.0)).unwrap();
+        let area = required_platform_area(InterconnectTech::C4, Amps::from_kiloamps(1.0)).unwrap();
         let mm2 = area.as_square_millimeters();
         assert!(
             (mm2 - 1200.0).abs() < 30.0,

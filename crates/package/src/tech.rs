@@ -147,7 +147,13 @@ impl InterconnectTech {
     /// All five Table I technologies, top of the stack first.
     #[must_use]
     pub const fn table_i() -> [Self; 5] {
-        [Self::BGA, Self::C4, Self::TSV, Self::MICRO_BUMP, Self::CU_PAD]
+        [
+            Self::BGA,
+            Self::C4,
+            Self::TSV,
+            Self::MICRO_BUMP,
+            Self::CU_PAD,
+        ]
     }
 
     /// Single-via resistance `ρ·h/A`.
@@ -193,9 +199,7 @@ mod tests {
         assert!((InterconnectTech::BGA.via_resistance().as_milliohms() - 0.310).abs() < 0.01);
         assert!((InterconnectTech::C4.via_resistance().as_milliohms() - 1.159).abs() < 0.01);
         assert!((InterconnectTech::TSV.via_resistance().as_milliohms() - 42.0).abs() < 0.1);
-        assert!(
-            (InterconnectTech::MICRO_BUMP.via_resistance().as_milliohms() - 4.60).abs() < 0.03
-        );
+        assert!((InterconnectTech::MICRO_BUMP.via_resistance().as_milliohms() - 4.60).abs() < 0.03);
         assert!((InterconnectTech::CU_PAD.via_resistance().as_milliohms() - 1.68).abs() < 0.01);
     }
 

@@ -94,19 +94,11 @@ impl BarChart {
         }
 
         for bar in &self.bars {
-            let mut line = format!(
-                "{:<width$} |",
-                bar.label,
-                width = label_w
-            );
+            let mut line = format!("{:<width$} |", bar.label, width = label_w);
             for (name, value) in &bar.segments {
-                let fill = FILLS[legend
-                    .iter()
-                    .position(|n| n == name)
-                    .unwrap_or(0)
-                    % FILLS.len()];
+                let fill = FILLS[legend.iter().position(|n| n == name).unwrap_or(0) % FILLS.len()];
                 let chars = (value / max_total * self.width as f64).round() as usize;
-                line.extend(std::iter::repeat(fill).take(chars));
+                line.extend(std::iter::repeat_n(fill, chars));
             }
             out.push_str(&format!("{line} {:.1}\n", bar.total()));
         }
@@ -151,7 +143,7 @@ mod tests {
         let text = chart.render();
         let legend = text.lines().last().unwrap();
         assert_eq!(legend.matches("vr").count(), 1);
-        assert_eq!(legend.matches('h').count() >= 1, true);
+        assert!(legend.matches('h').count() >= 1);
     }
 
     #[test]

@@ -98,9 +98,11 @@ const SPARK_LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇',
 #[must_use]
 pub fn sparkline(series: &[f64]) -> String {
     let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
-    let (lo, hi) = finite.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
-        (l.min(v), h.max(v))
-    });
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     series
         .iter()
         .map(|&v| {

@@ -47,10 +47,7 @@ impl DeratingModel {
     /// A custom model.
     #[must_use]
     pub fn new(alpha_per_k: f64, t_max: Celsius) -> Self {
-        Self {
-            alpha_per_k,
-            t_max,
-        }
+        Self { alpha_per_k, t_max }
     }
 
     /// Loss multiplier at a junction temperature (≥ 1 above 25 °C,

@@ -81,7 +81,7 @@ impl ThermalMesh {
         let die_thickness = 0.5e-3;
         // Lateral: k·A_cross/L with A_cross = pitch × thickness, L = pitch.
         let lateral = k_si * die_thickness; // pitch cancels
-        // Vertical: 20 W/(cm²·K) = 2e5 W/(m²·K) effective microchannel stack.
+                                            // Vertical: 20 W/(cm²·K) = 2e5 W/(m²·K) effective microchannel stack.
         let vertical = 2.0e5 * cell_area;
         Self::new(nx, ny, lateral, vertical, Celsius::new(25.0))
     }
@@ -112,14 +112,14 @@ impl ThermalMesh {
     /// * [`ThermalError::ShapeMismatch`] when the map doesn't match the
     ///   mesh.
     /// * [`ThermalError::Numeric`] if CG fails to converge.
+    // Laplacian stamping indexes the power map and the flat node id in
+    // lockstep, matching the textbook form.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, power: &[Vec<Watts>]) -> Result<ThermalMap, ThermalError> {
         if power.len() != self.ny || power.iter().any(|row| row.len() != self.nx) {
             return Err(ThermalError::ShapeMismatch {
                 expected: (self.nx, self.ny),
-                found: (
-                    power.first().map_or(0, Vec::len),
-                    power.len(),
-                ),
+                found: (power.first().map_or(0, Vec::len), power.len()),
             });
         }
         let n = self.nx * self.ny;
@@ -256,9 +256,9 @@ mod tests {
         let mesh = ThermalMesh::silicon_die_default(n, n).unwrap();
         // Rough hotspot: half the power within the center 5x5.
         let mut p = vec![vec![Watts::new(500.0 / (n * n - 25) as f64); n]; n];
-        for y in 10..15 {
-            for x in 10..15 {
-                p[y][x] = Watts::new(500.0 / 25.0);
+        for row in p.iter_mut().take(15).skip(10) {
+            for cell in row.iter_mut().take(15).skip(10) {
+                *cell = Watts::new(500.0 / 25.0);
             }
         }
         let map = mesh.solve(&p).unwrap();

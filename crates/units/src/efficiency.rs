@@ -19,11 +19,7 @@ impl EfficiencyError {
 
 impl fmt::Display for EfficiencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "efficiency must be in (0, 1], got {}",
-            self.value
-        )
+        write!(f, "efficiency must be in (0, 1], got {}", self.value)
     }
 }
 

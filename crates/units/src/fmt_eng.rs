@@ -68,7 +68,11 @@ impl fmt::Display for EngNotation {
 
 /// Writes `value` with `symbol` in engineering notation, honoring an
 /// explicit precision (`{:.2}`) when the caller provides one.
-pub(crate) fn write_engineering(f: &mut fmt::Formatter<'_>, value: f64, symbol: &str) -> fmt::Result {
+pub(crate) fn write_engineering(
+    f: &mut fmt::Formatter<'_>,
+    value: f64,
+    symbol: &str,
+) -> fmt::Result {
     let eng = EngNotation::of(value);
     let precision = f.precision().unwrap_or(3);
     write!(f, "{:.*} {}{}", precision, eng.mantissa, eng.prefix, symbol)

@@ -87,7 +87,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|rep| format!("{:>9.1}%", rep.loss_percent()))
                 .unwrap_or_else(|_| "  infeas.".to_owned())
         };
-        println!("{:>10} | {} | {}", powers[i], cell(&p0[i].1), cell(&p1[i].1));
+        println!(
+            "{:>10} | {} | {}",
+            powers[i],
+            cell(&p0[i].1),
+            cell(&p1[i].1)
+        );
     }
     let grid: Vec<f64> = (1..=30).map(|k| 50.0 * f64::from(k)).collect();
     if let Some(p) = reference_crossover_power(

@@ -52,9 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         VrTopologyKind::Dsch,
         VrTopologyKind::ThreeLevelHybridDickson,
     ] {
-        let fmax = |m| {
-            PhysicsDesign::max_feasible_frequency(kind, m, v_in, v_out).value() / 1e6
-        };
+        let fmax = |m| PhysicsDesign::max_feasible_frequency(kind, m, v_in, v_out).value() / 1e6;
         let eta_at = |f_mhz: f64| -> Option<f64> {
             PhysicsDesign::new(
                 kind,

@@ -6,8 +6,7 @@
 //! ```
 
 use vertical_power_delivery::core::{
-    electro_thermal, optimize_placement, AnnealSettings, ElectroThermalSettings,
-    PlacementObjective,
+    electro_thermal, optimize_placement, AnnealSettings, ElectroThermalSettings, PlacementObjective,
 };
 use vertical_power_delivery::prelude::*;
 use vertical_power_delivery::thermal::DeviceTechnology;

@@ -17,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         resistance_tolerance: 0.20,
         conversion_tolerance: 0.10,
         seed: 42,
+        ..McSettings::default()
     };
 
     println!(

@@ -337,11 +337,16 @@ mod tests {
     fn parses_two_stage_buses() {
         assert!(matches!(
             parse(&["analyze", "--arch", "a3-12"]).unwrap(),
-            Command::Analyze { arch: Architecture::TwoStage { .. }, .. }
+            Command::Analyze {
+                arch: Architecture::TwoStage { .. },
+                ..
+            }
         ));
         assert!(matches!(
             parse(&["droop", "--arch", "a0"]).unwrap(),
-            Command::Droop { arch: Architecture::Reference }
+            Command::Droop {
+                arch: Architecture::Reference
+            }
         ));
     }
 

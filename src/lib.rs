@@ -60,8 +60,8 @@ pub use vpd_units as units;
 pub mod prelude {
     pub use vpd_converters::{Converter, MultiStageConverter, VrTopologyKind};
     pub use vpd_core::{
-        analyze, recommend, solve_sharing, AnalysisOptions, Architecture, Calibration,
-        CoreError, PowerMap, SystemSpec, VrPlacement,
+        analyze, recommend, solve_sharing, AnalysisOptions, Architecture, Calibration, CoreError,
+        PowerMap, SystemSpec, VrPlacement,
     };
     pub use vpd_package::InterconnectTech;
     pub use vpd_units::{

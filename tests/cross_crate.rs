@@ -14,11 +14,9 @@ use vertical_power_delivery::prelude::*;
 #[test]
 fn via_allocation_matches_circuit_solve() {
     let i = Amps::new(1000.0);
-    let path = VerticalPath::resolve(&[LevelSpec::on_default_platform(
-        InterconnectTech::CU_PAD,
-        i,
-    )])
-    .unwrap();
+    let path =
+        VerticalPath::resolve(&[LevelSpec::on_default_platform(InterconnectTech::CU_PAD, i)])
+            .unwrap();
     let analytic = path.total_loss();
 
     // Same thing as a netlist: the effective level resistance carrying
@@ -53,8 +51,7 @@ fn two_stage_architecture_consistent_with_multistage_converter() {
     // only ~1.8 A — deep light load — so the composed efficiency is
     // merely sane here; the architecture recovers it by batching
     // stage-1 modules near their peak current.
-    let chain =
-        MultiStageConverter::new(vec![stage1.clone(), stage2.clone()]).unwrap();
+    let chain = MultiStageConverter::new(vec![stage1.clone(), stage2.clone()]).unwrap();
     let chain_eta = chain.efficiency(Amps::new(20.0)).unwrap().fraction();
     assert!((0.5..0.95).contains(&chain_eta), "chain η {chain_eta:.2}");
 
@@ -163,15 +160,10 @@ fn sharing_conserves_current_across_power_maps() {
         let mut calib = Calibration::paper_default();
         calib.power_map = map;
         for placement in [VrPlacement::Periphery, VrPlacement::BelowDie] {
-            let rep = vertical_power_delivery::core::solve_sharing(
-                &spec, &calib, placement, 48,
-            )
-            .unwrap();
+            let rep =
+                vertical_power_delivery::core::solve_sharing(&spec, &calib, placement, 48).unwrap();
             let total: f64 = rep.per_vr().iter().map(|a| a.value()).sum();
-            assert!(
-                (total - 1000.0).abs() < 0.5,
-                "{placement}: {total:.2} A"
-            );
+            assert!((total - 1000.0).abs() < 0.5, "{placement}: {total:.2} A");
         }
     }
 }
@@ -208,7 +200,8 @@ fn loss_scaling_with_power_is_physical() {
         &opts,
     )
     .unwrap();
-    let ratio_h = full.breakdown.horizontal_loss().value() / half.breakdown.horizontal_loss().value();
+    let ratio_h =
+        full.breakdown.horizontal_loss().value() / half.breakdown.horizontal_loss().value();
     assert!((ratio_h - 4.0).abs() < 0.2, "I²R scaling, got {ratio_h:.2}");
     let ratio_conv =
         full.breakdown.conversion_loss().value() / half.breakdown.conversion_loss().value();

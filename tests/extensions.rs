@@ -24,8 +24,14 @@ fn e1_impedance_ordering_and_target() {
     let a0 = peak(Architecture::Reference);
     let a1 = peak(Architecture::InterposerPeriphery);
     let a2 = peak(Architecture::InterposerEmbedded);
-    assert!(a2 < a1 && a1 < a0, "impedance falls as the VR approaches the die");
-    assert!(a0 > 100.0 * zt.value(), "board conversion misses Z_t by orders of magnitude");
+    assert!(
+        a2 < a1 && a1 < a0,
+        "impedance falls as the VR approaches the die"
+    );
+    assert!(
+        a0 > 100.0 * zt.value(),
+        "board conversion misses Z_t by orders of magnitude"
+    );
     assert!(a2 < zt.value(), "under-die IVR meets Z_t");
 }
 
@@ -34,10 +40,7 @@ fn e1_impedance_profile_is_consistent_with_dc() {
     // At very low frequency, |Z| approaches the DC series resistance —
     // checked through the same netlist machinery the DC solver uses.
     let model = PdnModel::for_architecture(Architecture::InterposerEmbedded);
-    let z = model
-        .impedance_profile(&[Hertz::new(1.0)])
-        .unwrap()[0]
-        .magnitude();
+    let z = model.impedance_profile(&[Hertz::new(1.0)]).unwrap()[0].magnitude();
     let dc = model.vr_resistance.value()
         + model.distribution_resistance.value()
         + model.vertical_resistance.value();
@@ -160,7 +163,10 @@ fn derating_models_are_ordered() {
 #[test]
 fn ac_sweep_helper_is_logarithmic() {
     let grid = log_sweep(Hertz::new(10.0), Hertz::new(1e6), 6);
-    let ratios: Vec<f64> = grid.windows(2).map(|w| w[1].value() / w[0].value()).collect();
+    let ratios: Vec<f64> = grid
+        .windows(2)
+        .map(|w| w[1].value() / w[0].value())
+        .collect();
     for pair in ratios.windows(2) {
         assert!((pair[0] - pair[1]).abs() < 1e-9, "constant log spacing");
     }

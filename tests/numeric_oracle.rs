@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use vertical_power_delivery::numeric::{
-    condition_estimate_spd, conjugate_gradient, dominant_eigenvalue, CgSettings, CholeskyFactor,
-    Complex, ComplexLu, ComplexMatrix, CooMatrix, CsrMatrix, DenseMatrix, LuFactor,
-    Preconditioner,
+    condition_estimate_spd, conjugate_gradient, conjugate_gradient_into, dominant_eigenvalue,
+    CgSettings, CgWorkspace, CholeskyFactor, Complex, ComplexLu, ComplexMatrix, CooMatrix,
+    CsrMatrix, DenseMatrix, LuFactor, Preconditioner,
 };
 
 /// A grounded 2-D grid Laplacian (the PDN solve's matrix shape).
@@ -40,6 +40,44 @@ fn grid_laplacian(n: usize, leak: f64) -> CsrMatrix {
 
 fn densify(a: &CsrMatrix) -> DenseMatrix {
     DenseMatrix::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j))
+}
+
+/// The same grid Laplacian split into its symbolic and numeric halves:
+/// structural entries (whose push order never depends on `leak`) plus
+/// the raw value sequence in that order — the input contract of
+/// [`CooMatrix::to_csr_with_pattern`] / [`CsrMatrix::update_values`].
+fn grid_laplacian_parts(n: usize, leak: f64) -> (CooMatrix, Vec<f64>) {
+    let mut coo = CooMatrix::new(n * n, n * n);
+    let mut raw = Vec::new();
+    for y in 0..n {
+        for x in 0..n {
+            let i = y * n + x;
+            let mut d = leak;
+            if x + 1 < n {
+                coo.push_structural(i, i + 1);
+                raw.push(-1.0);
+                coo.push_structural(i + 1, i);
+                raw.push(-1.0);
+                d += 1.0;
+            }
+            if x > 0 {
+                d += 1.0;
+            }
+            if y + 1 < n {
+                coo.push_structural(i, i + n);
+                raw.push(-1.0);
+                coo.push_structural(i + n, i);
+                raw.push(-1.0);
+                d += 1.0;
+            }
+            if y > 0 {
+                d += 1.0;
+            }
+            coo.push_structural(i, i);
+            raw.push(d);
+        }
+    }
+    (coo, raw)
 }
 
 #[test]
@@ -133,6 +171,77 @@ proptest! {
             "jacobi {} vs plain {}", rj.iterations, rp.iterations);
         for (p, j) in xp.iter().zip(&xj) {
             prop_assert!((p - j).abs() < 1e-6);
+        }
+    }
+
+    /// Warm-started CG lands on the same solution as cold CG and dense
+    /// LU on random SPD grid Laplacians, regardless of guess quality.
+    #[test]
+    fn prop_warm_cg_matches_cold_cg_and_lu(
+        n in 3_usize..7,
+        leak in 0.1_f64..2.0,
+        guess_scale in 0.8_f64..1.2,
+    ) {
+        let a = grid_laplacian(n, leak);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+
+        let x_lu = LuFactor::new(&densify(&a)).unwrap().solve(&b).unwrap();
+        let (x_cold, _) = conjugate_gradient(&a, &b, &CgSettings::default()).unwrap();
+
+        // Warm start from a nearby system's solution, further scaled —
+        // the Monte-Carlo regime (good guess) through a mediocre one.
+        let a_near = grid_laplacian(n, leak * guess_scale);
+        let (mut x, _) = conjugate_gradient(&a_near, &b, &CgSettings::default()).unwrap();
+        for v in &mut x {
+            *v *= guess_scale;
+        }
+        let mut ws = CgWorkspace::new();
+        let report =
+            conjugate_gradient_into(&a, &b, &mut x, &CgSettings::default(), &mut ws).unwrap();
+
+        for i in 0..x.len() {
+            prop_assert!((x[i] - x_lu[i]).abs() < 1e-6, "warm vs LU at {i}");
+            prop_assert!((x[i] - x_cold[i]).abs() < 1e-6, "warm vs cold at {i}");
+        }
+        prop_assert!(report.relative_residual <= 1e-10 || report.iterations == 0);
+    }
+
+    /// Restamping a compiled pattern with new values and re-solving is
+    /// indistinguishable from assembling the perturbed system from
+    /// scratch: the matrices agree entry-for-entry (bitwise — same
+    /// accumulation order) and CG agrees on the solution.
+    #[test]
+    fn prop_update_values_matches_from_scratch(
+        n in 3_usize..7,
+        leak_a in 0.1_f64..2.0,
+        leak_b in 0.1_f64..2.0,
+    ) {
+        // Compile once at leak_a, restamp to leak_b…
+        let (coo, raw_a) = grid_laplacian_parts(n, leak_a);
+        let (mut restamped, pattern) = coo.to_csr_with_pattern();
+        restamped.update_values(&pattern, &raw_a).unwrap();
+        let raw_b = grid_laplacian_parts(n, leak_b).1;
+        restamped.update_values(&pattern, &raw_b).unwrap();
+
+        // …and compare against a fresh assembly at leak_b.
+        let fresh = grid_laplacian(n, leak_b);
+        for i in 0..fresh.rows() {
+            for j in 0..fresh.cols() {
+                prop_assert!(
+                    restamped.get(i, j) == fresh.get(i, j),
+                    "entry ({i}, {j}): {} vs {}",
+                    restamped.get(i, j),
+                    fresh.get(i, j)
+                );
+            }
+        }
+
+        let b: Vec<f64> = (0..fresh.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let (x_restamped, _) =
+            conjugate_gradient(&restamped, &b, &CgSettings::default()).unwrap();
+        let (x_fresh, _) = conjugate_gradient(&fresh, &b, &CgSettings::default()).unwrap();
+        for (r, f) in x_restamped.iter().zip(&x_fresh) {
+            prop_assert!((r - f).abs() < 1e-9);
         }
     }
 

@@ -53,11 +53,7 @@ fn table2_catalog_matches_paper() {
     for (conv, i, pct) in [
         (Converter::dpmih_48v_to_1v(), 30.0, 90.0),
         (Converter::dsch_48v_to_1v(), 10.0, 91.5),
-        (
-            Converter::three_level_hybrid_dickson_48v_to_1v(),
-            3.0,
-            90.4,
-        ),
+        (Converter::three_level_hybrid_dickson_48v_to_1v(), 3.0, 90.4),
     ] {
         let eta = conv.efficiency(Amps::new(i)).unwrap();
         assert!((eta.percent() - pct).abs() < 0.05, "{}", conv.name());
@@ -151,20 +147,12 @@ fn claim_c1_utilization_and_reference_die() {
 #[test]
 fn claim_c2_sharing_bands() {
     let (spec, calib, _) = env();
-    let peri = vertical_power_delivery::core::solve_sharing(
-        &spec,
-        &calib,
-        VrPlacement::Periphery,
-        48,
-    )
-    .unwrap();
-    let below = vertical_power_delivery::core::solve_sharing(
-        &spec,
-        &calib,
-        VrPlacement::BelowDie,
-        48,
-    )
-    .unwrap();
+    let peri =
+        vertical_power_delivery::core::solve_sharing(&spec, &calib, VrPlacement::Periphery, 48)
+            .unwrap();
+    let below =
+        vertical_power_delivery::core::solve_sharing(&spec, &calib, VrPlacement::BelowDie, 48)
+            .unwrap();
     // Paper: 16–27 A (A1) and 10–93 A (A2); allow the documented
     // calibration tolerance.
     assert!((12.0..=20.0).contains(&peri.min().value()));
@@ -187,12 +175,14 @@ fn claim_c3_horizontal_reduction() {
             .value()
     };
     let h0 = h(Architecture::Reference);
-    let r12 = h0 / h(Architecture::TwoStage {
-        bus: Volts::new(12.0),
-    });
-    let r6 = h0 / h(Architecture::TwoStage {
-        bus: Volts::new(6.0),
-    });
+    let r12 = h0
+        / h(Architecture::TwoStage {
+            bus: Volts::new(12.0),
+        });
+    let r6 = h0
+        / h(Architecture::TwoStage {
+            bus: Volts::new(6.0),
+        });
     assert!((14.0..26.0).contains(&r12), "{r12:.1}x vs paper 19x");
     assert!((5.0..10.0).contains(&r6), "{r6:.1}x vs paper 7x");
 }

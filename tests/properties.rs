@@ -72,6 +72,38 @@ proptest! {
         prop_assert!(rep.grid_loss().value() >= 0.0);
     }
 
+    /// The Monte-Carlo engine's thread count is unobservable: any
+    /// worker count produces the bitwise-identical summary the serial
+    /// run does, for any seed and architecture.
+    #[test]
+    fn prop_monte_carlo_thread_count_is_unobservable(
+        threads in 2_usize..9,
+        samples in 5_usize..14,
+        seed in 0_u64..1000,
+        arch_pick in 0_usize..3,
+    ) {
+        use vertical_power_delivery::core::{run_tolerance, McSettings};
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let arch = [
+            Architecture::Reference,
+            Architecture::InterposerPeriphery,
+            Architecture::InterposerEmbedded,
+        ][arch_pick];
+        let settings = McSettings {
+            samples,
+            seed,
+            threads: 1,
+            ..McSettings::default()
+        };
+        let serial = run_tolerance(
+            arch, VrTopologyKind::Dsch, &spec, &calib, &settings).unwrap();
+        let parallel = run_tolerance(
+            arch, VrTopologyKind::Dsch, &spec, &calib,
+            &McSettings { threads, ..settings }).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
     /// Converter curves: efficiency bounded and loss monotone in load
     /// above the peak point.
     #[test]
