@@ -16,8 +16,8 @@
 use crate::netlist::{ElementKind, SwitchState};
 use crate::{CircuitError, ElementId, Netlist, NodeId};
 use vpd_numeric::{
-    conjugate_gradient, conjugate_gradient_into, CgReport, CgSettings, CgWorkspace, CooMatrix,
-    CsrMatrix, DenseMatrix, LuFactor, PatternCache,
+    conjugate_gradient, resilient_solve_into, CgSettings, CgWorkspace, CooMatrix, CsrMatrix,
+    DenseMatrix, LuFactor, PatternCache, ResilientSettings, SolveReport,
 };
 use vpd_units::{Amps, Ohms, Volts, Watts};
 
@@ -191,9 +191,9 @@ pub struct SparseDcPlan {
     fixed_vals: Vec<f64>,
     x: Vec<f64>,
     ws: CgWorkspace,
-    settings: CgSettings,
+    settings: ResilientSettings,
     adjacency: Vec<Vec<(usize, f64)>>,
-    last_report: Option<CgReport>,
+    last_report: Option<SolveReport>,
 }
 
 /// How a node's potential is determined.
@@ -282,8 +282,19 @@ impl SparseDcPlan {
         Self::compile_with(net, CgSettings::default())
     }
 
+    /// Compiles a plan with explicit CG settings and the default
+    /// resilience ladder (restart + dense-LU fallback) around them.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseDcPlan::compile_resilient`].
+    pub fn compile_with(net: &Netlist, settings: CgSettings) -> Result<Self, CircuitError> {
+        Self::compile_resilient(net, settings.into())
+    }
+
     /// Compiles the symbolic side of the sparse solve for this netlist
-    /// topology.
+    /// topology, with full control of the resilience ladder (set
+    /// `allow_dense_fallback: false` to get hard CG errors back).
     ///
     /// # Errors
     ///
@@ -291,7 +302,10 @@ impl SparseDcPlan {
     /// * [`CircuitError::FloatingNode`] — disconnected nodes, or a
     ///   floating (ungrounded) voltage source/inductor, which the sparse
     ///   elimination cannot express.
-    pub fn compile_with(net: &Netlist, settings: CgSettings) -> Result<Self, CircuitError> {
+    pub fn compile_resilient(
+        net: &Netlist,
+        settings: ResilientSettings,
+    ) -> Result<Self, CircuitError> {
         if net.element_count() == 0 {
             return Err(CircuitError::EmptyNetlist);
         }
@@ -402,9 +416,11 @@ impl SparseDcPlan {
         self.x.len()
     }
 
-    /// The CG convergence report of the most recent successful solve.
+    /// The convergence report of the most recent successful solve:
+    /// which ladder rung produced it, CG iterations spent, final
+    /// relative residual, and whether CG stagnated along the way.
     #[must_use]
-    pub fn last_report(&self) -> Option<CgReport> {
+    pub fn last_report(&self) -> Option<SolveReport> {
         self.last_report
     }
 
@@ -442,18 +458,21 @@ impl SparseDcPlan {
     }
 
     /// Restamps current element values and solves, warm-starting from
-    /// the current guess.
+    /// the current guess. When CG stagnates or runs out of iterations,
+    /// the solve climbs the resilience ladder (cold-restart CG, then
+    /// dense LU unless disabled) instead of failing; the rung that
+    /// produced the answer is recorded in [`SparseDcPlan::last_report`].
     ///
     /// # Errors
     ///
     /// * [`CircuitError::StalePlan`] — the netlist's topology changed
     ///   since compile; recompile and retry.
-    /// * [`CircuitError::Numeric`] — CG failed (the guess is reset so
-    ///   the next attempt is a clean cold start).
+    /// * [`CircuitError::Numeric`] — every permitted ladder rung failed
+    ///   (the guess is reset so the next attempt is a clean cold start).
     pub fn solve(&mut self, net: &Netlist) -> Result<DcSolution, CircuitError> {
         self.check_topology(net)?;
         self.restamp(net)?;
-        let solve_result = conjugate_gradient_into(
+        let solve_result = resilient_solve_into(
             &self.csr,
             &self.rhs,
             &mut self.x,

@@ -6,6 +6,7 @@
 //! regulators attached as grounded sources behind a droop resistance.
 
 use crate::{CircuitError, DcSolver, ElementId, Netlist, NodeId, SparseDcPlan};
+use vpd_numeric::SolveReport;
 use vpd_units::{Amps, Meters, Ohms, Volts};
 
 /// A rectangular resistive mesh plus bookkeeping for loads and regulators.
@@ -254,6 +255,74 @@ impl PowerGrid {
         Ok(())
     }
 
+    /// Scales every mesh-edge resistance whose both endpoints lie inside
+    /// the inclusive node rectangle `(x0, y0)..=(x1, y1)` by `factor` —
+    /// the model of a locally degraded interconnect patch (corroded or
+    /// delaminated C4/TSV/µ-bump field raising the local sheet
+    /// resistance). A value-only mutation: the compiled solve plan stays
+    /// valid.
+    ///
+    /// Factors multiply the *current* resistance, so successive calls
+    /// compound; restore nominal values with
+    /// [`PowerGrid::set_sheet_resistance`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] for a rectangle that leaves the
+    ///   mesh or is inverted.
+    /// * [`CircuitError::InvalidValue`] for a non-positive or non-finite
+    ///   factor.
+    pub fn scale_region_resistance(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        x1: usize,
+        y1: usize,
+        factor: f64,
+    ) -> Result<(), CircuitError> {
+        if x1 >= self.nx || y1 >= self.ny || x0 > x1 || y0 > y1 {
+            return Err(CircuitError::UnknownNode {
+                index: y1 * self.nx + x1,
+            });
+        }
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(CircuitError::InvalidValue {
+                element: "region resistance factor",
+                value: factor,
+            });
+        }
+        // Walk mesh_edges in the same scan order they were built in
+        // (per node: horizontal edge, then vertical edge) to recover
+        // each edge's coordinates without storing them.
+        let mut edge = 0;
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                if x + 1 < self.nx {
+                    let id = self.mesh_edges[edge];
+                    edge += 1;
+                    if y >= y0 && y <= y1 && x >= x0 && x < x1 {
+                        self.scale_edge(id, factor)?;
+                    }
+                }
+                if y + 1 < self.ny {
+                    let id = self.mesh_edges[edge];
+                    edge += 1;
+                    if x >= x0 && x <= x1 && y >= y0 && y < y1 {
+                        self.scale_edge(id, factor)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn scale_edge(&mut self, id: ElementId, factor: f64) -> Result<(), CircuitError> {
+        let crate::ElementKind::Resistor { r } = self.net.element(id)?.kind else {
+            return Err(CircuitError::UnknownElement { index: id.index() });
+        };
+        self.net.set_resistance(id, Ohms::new(r.value() * factor))
+    }
+
     /// Attaches a regulator at `(x, y)`: an ideal `setpoint` source to
     /// ground, behind `droop` resistance into the grid node.
     ///
@@ -421,6 +490,15 @@ impl PowerGrid {
             .as_ref()
             .and_then(SparseDcPlan::last_report)
             .map(|r| r.iterations)
+    }
+
+    /// Full convergence diagnostic of the most recent
+    /// [`PowerGrid::solve_cached`]: which resilience-ladder rung solved
+    /// the system (plain CG, cold-restart CG, or dense LU), iterations,
+    /// residual, and whether CG stagnated.
+    #[must_use]
+    pub fn last_solve_report(&self) -> Option<SolveReport> {
+        self.plan.as_ref().and_then(SparseDcPlan::last_report)
     }
 
     /// Output current of each regulator (in attachment order), positive
@@ -687,6 +765,61 @@ mod tests {
             .unwrap();
         assert_solutions_close(&moved, &rebuilt.solve().unwrap(), 1e-8);
         assert!(grid.move_regulator(0, 9, 0).is_err());
+    }
+
+    #[test]
+    fn region_scaling_matches_rebuilt_degraded_grid() {
+        // Scale a 2x2 patch by 10x via restamp; rebuild the same grid
+        // with per-edge resistances set by hand and compare solutions.
+        let mut grid = PowerGrid::new(6, 6, Ohms::from_milliohms(2.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(36.0)).unwrap();
+        grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        grid.solve_cached().unwrap();
+        grid.scale_region_resistance(2, 2, 4, 4, 10.0).unwrap();
+        let degraded = grid.solve_cached().unwrap();
+
+        let mut rebuilt = PowerGrid::new(6, 6, Ohms::from_milliohms(2.0)).unwrap();
+        rebuilt.attach_uniform_load(Amps::new(36.0)).unwrap();
+        rebuilt
+            .attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))
+            .unwrap();
+        rebuilt.scale_region_resistance(2, 2, 4, 4, 10.0).unwrap();
+        assert_solutions_close(&degraded, &rebuilt.solve().unwrap(), 1e-8);
+
+        // Degrading a patch must worsen the IR drop somewhere.
+        let nominal = {
+            let mut g = PowerGrid::new(6, 6, Ohms::from_milliohms(2.0)).unwrap();
+            g.attach_uniform_load(Amps::new(36.0)).unwrap();
+            g.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(1.0))
+                .unwrap();
+            let s = g.solve().unwrap();
+            g.worst_ir_drop(&s, Volts::new(1.0)).value()
+        };
+        assert!(grid.worst_ir_drop(&degraded, Volts::new(1.0)).value() > nominal);
+    }
+
+    #[test]
+    fn region_scaling_validates_inputs() {
+        let mut grid = PowerGrid::new(4, 4, Ohms::new(1.0)).unwrap();
+        assert!(grid.scale_region_resistance(0, 0, 4, 1, 2.0).is_err());
+        assert!(grid.scale_region_resistance(2, 0, 1, 1, 2.0).is_err());
+        assert!(grid.scale_region_resistance(0, 0, 1, 1, 0.0).is_err());
+        assert!(grid.scale_region_resistance(0, 0, 1, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn solve_report_is_surfaced_through_cached_solve() {
+        let mut grid = PowerGrid::new(6, 6, Ohms::from_milliohms(2.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(36.0)).unwrap();
+        grid.attach_regulator(3, 3, Volts::new(1.0), Ohms::from_milliohms(0.5))
+            .unwrap();
+        assert!(grid.last_solve_report().is_none());
+        grid.solve_cached().unwrap();
+        let report = grid.last_solve_report().unwrap();
+        assert_eq!(report.method, vpd_numeric::SolveMethod::ConjugateGradient);
+        assert!(!report.used_fallback());
+        assert!(report.relative_residual.is_finite());
     }
 
     #[test]

@@ -508,7 +508,7 @@ fn finish_single_stage(
 /// characteristics with that topology's placement counts.
 /// The paper's two buses use the fixed calibration anchors; any other
 /// bus (the ablation sweep) falls back to the log-ratio interpolation.
-fn second_stage_converter(bus: Volts) -> Result<Converter, CoreError> {
+pub(crate) fn second_stage_converter(bus: Volts) -> Result<Converter, CoreError> {
     Ok(Converter::dsch_second_stage(bus)
         .or_else(|_| Converter::dsch_second_stage_for_ratio(bus))?)
 }
@@ -640,7 +640,10 @@ fn finish_two_stage(
 
 /// The placement pattern and module count an architecture analyzes
 /// with (the reference's 48 via-entry clusters ignore `module_count`).
-fn session_placement(architecture: Architecture, opts: &AnalysisOptions) -> (VrPlacement, usize) {
+pub(crate) fn session_placement(
+    architecture: Architecture,
+    opts: &AnalysisOptions,
+) -> (VrPlacement, usize) {
     match architecture {
         Architecture::Reference => (VrPlacement::BelowDie, PAPER_VR_POSITIONS),
         Architecture::InterposerPeriphery => (

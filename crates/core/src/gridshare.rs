@@ -11,6 +11,7 @@
 use crate::placement::{below_die_sites, periphery_sites, VrPlacement};
 use crate::{Calibration, CoreError, SystemSpec};
 use vpd_circuit::{DcSolution, PowerGrid};
+use vpd_numeric::SolveReport;
 use vpd_units::{Amps, Ohms, Volts, Watts};
 
 /// Result of a current-sharing solve.
@@ -179,7 +180,11 @@ pub fn solve_sharing_at(
 pub struct SharingSolver {
     grid: PowerGrid,
     n: usize,
-    droop: Ohms,
+    /// Per-module droop resistances, in site order. Uniform after
+    /// construction and [`SharingSolver::restamp`]; fault injection
+    /// perturbs individual entries through
+    /// [`SharingSolver::set_vr_droop`].
+    droops: Vec<Ohms>,
     setpoint: Volts,
     /// Warm-start anchor: when set, every solve starts the iteration
     /// from this solution instead of the previous solve's result, which
@@ -223,7 +228,7 @@ impl SharingSolver {
         Ok(Self {
             grid,
             n,
-            droop,
+            droops: vec![droop; sites.len()],
             setpoint: spec.pol_voltage(),
             anchor: None,
             last: None,
@@ -253,9 +258,82 @@ impl SharingSolver {
             self.grid.set_regulator_droop(k, droop)?;
             self.grid.set_regulator_setpoint(k, spec.pol_voltage())?;
         }
-        self.droop = droop;
+        self.droops.fill(droop);
         self.setpoint = spec.pol_voltage();
         Ok(())
+    }
+
+    /// Number of regulator modules.
+    #[must_use]
+    pub fn vr_count(&self) -> usize {
+        self.droops.len()
+    }
+
+    /// Droop resistance of module `k` (None out of range).
+    #[must_use]
+    pub fn vr_droop(&self, k: usize) -> Option<Ohms> {
+        self.droops.get(k).copied()
+    }
+
+    /// Nominal regulator setpoint (the IR-drop reference).
+    #[must_use]
+    pub fn setpoint(&self) -> Volts {
+        self.setpoint
+    }
+
+    /// Overrides the droop resistance of module `k` alone — the fault
+    /// hook for an open (≈GΩ) or derated module. Value-only: the
+    /// compiled plan survives.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for an index out of range or a
+    /// non-positive resistance.
+    pub fn set_vr_droop(&mut self, k: usize, droop: Ohms) -> Result<(), CoreError> {
+        self.grid.set_regulator_droop(k, droop)?;
+        self.droops[k] = droop;
+        Ok(())
+    }
+
+    /// Overrides the setpoint of module `k` alone (setpoint-drift
+    /// fault). The worst-drop reference stays at the nominal setpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for an index out of range or a
+    /// non-finite voltage.
+    pub fn set_vr_setpoint(&mut self, k: usize, setpoint: Volts) -> Result<(), CoreError> {
+        self.grid.set_regulator_setpoint(k, setpoint)?;
+        Ok(())
+    }
+
+    /// Multiplies every mesh-edge resistance inside the node rectangle
+    /// `[x0, x1] × [y0, y1]` by `factor` — the fault hook for an open or
+    /// high-resistance via patch (large factor over a small rectangle)
+    /// or degraded sheet metal (moderate factor over a larger one).
+    /// Compounding: relative to the current values, so restamp first to
+    /// apply against nominal.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for a rectangle outside the mesh or a
+    /// non-positive factor.
+    pub fn scale_region_resistance(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        x1: usize,
+        y1: usize,
+        factor: f64,
+    ) -> Result<(), CoreError> {
+        self.grid.scale_region_resistance(x0, y0, x1, y1, factor)?;
+        Ok(())
+    }
+
+    /// Mesh nodes per side.
+    #[must_use]
+    pub fn grid_side(&self) -> usize {
+        self.n
     }
 
     /// Moves regulator `k` to mesh position `(x, y)` — the annealer's
@@ -291,7 +369,11 @@ impl SharingSolver {
         }
         let sol = self.grid.solve_cached()?;
         let per_vr = self.grid.regulator_currents(&sol);
-        let droop_loss = per_vr.iter().map(|i| i.dissipation_in(self.droop)).sum();
+        let droop_loss = per_vr
+            .iter()
+            .zip(&self.droops)
+            .map(|(i, r)| i.dissipation_in(*r))
+            .sum();
         let report = SharingReport {
             grid_loss: self.grid.grid_loss(&sol),
             droop_loss,
@@ -306,6 +388,14 @@ impl SharingSolver {
     #[must_use]
     pub fn last_iterations(&self) -> Option<usize> {
         self.grid.last_cg_iterations()
+    }
+
+    /// Full solver diagnostics of the most recent solve — which rung of
+    /// the resilience ladder produced the solution, iterations, final
+    /// residual, and whether CG stagnated along the way.
+    #[must_use]
+    pub fn last_solve_report(&self) -> Option<SolveReport> {
+        self.grid.last_solve_report()
     }
 }
 
@@ -452,6 +542,56 @@ mod tests {
         for (a, b) in moved.per_vr().iter().zip(fresh.per_vr()) {
             assert!((a.value() - b.value()).abs() < 1e-8, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn opened_module_sheds_its_current_to_the_survivors() {
+        let (spec, calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 48);
+        let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        let nominal = solver.solve().unwrap();
+        solver.anchor_last();
+
+        solver.set_vr_droop(7, Ohms::new(1e9)).unwrap();
+        let faulted = solver.solve().unwrap();
+        // The opened module carries (numerically) nothing; the load is
+        // conserved across the survivors; the grid sags further.
+        assert!(faulted.per_vr()[7].value() < 1e-6);
+        let total: f64 = faulted.per_vr().iter().map(|a| a.value()).sum();
+        assert!((total - 1000.0).abs() < 0.5, "{total}");
+        assert!(faulted.worst_drop().value() > nominal.worst_drop().value());
+        assert_eq!(solver.vr_count(), 48);
+        assert_eq!(solver.vr_droop(7), Some(Ohms::new(1e9)));
+
+        // Restamp restores the uniform nominal droop.
+        solver.restamp(&spec, &calib, droop).unwrap();
+        assert_eq!(solver.vr_droop(7), Some(droop));
+        let restored = solver.solve().unwrap();
+        let total: f64 = restored.per_vr().iter().map(|a| a.value()).sum();
+        assert!((total - 1000.0).abs() < 0.5);
+        assert!(restored.per_vr()[7].value() > 1.0);
+    }
+
+    #[test]
+    fn setpoint_drift_and_region_faults_reach_the_mesh() {
+        let (spec, calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 12);
+        let mut solver = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        let nominal = solver.solve().unwrap();
+
+        // A drooped setpoint on one module reduces its share.
+        solver
+            .set_vr_setpoint(0, Volts::new(solver.setpoint().value() - 0.02))
+            .unwrap();
+        let drifted = solver.solve().unwrap();
+        assert!(drifted.per_vr()[0].value() < nominal.per_vr()[0].value());
+
+        // Degrading a corner patch raises the spreading loss.
+        solver.restamp(&spec, &calib, droop).unwrap();
+        solver.scale_region_resistance(0, 0, 5, 5, 40.0).unwrap();
+        let degraded = solver.solve().unwrap();
+        assert!(degraded.grid_loss().value() > nominal.grid_loss().value());
+        assert!(solver.last_solve_report().is_some());
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod droop;
 mod electro_thermal;
 mod error;
 mod explore;
+mod faults;
 mod gridshare;
 mod impedance;
 mod loss;
@@ -66,6 +67,10 @@ pub use error::CoreError;
 pub use explore::{
     best_bus_voltage, explore_matrix, reference_crossover_power, sweep_bus_voltage,
     sweep_current_density, sweep_pol_power, MatrixEntry,
+};
+pub use faults::{
+    n_minus_1_comparison, Fault, FaultScenario, FaultSweep, FaultSweepReport, ScenarioOutcome,
+    OPEN_RESISTANCE,
 };
 pub use gridshare::{solve_sharing, solve_sharing_at, SharingReport, SharingSolver};
 pub use impedance::{target_impedance, PdnModel};

@@ -103,7 +103,7 @@ fn perturb(r: Ohms, rng: &mut StdRng, tol: f64) -> Ohms {
 /// The RNG stream for one sample: a SplitMix64-style avalanche over
 /// `(seed, index)`, so consecutive indices give decorrelated streams and
 /// a sample's draws never depend on how work was divided among threads.
-fn sample_rng(seed: u64, index: usize) -> StdRng {
+pub(crate) fn sample_rng(seed: u64, index: usize) -> StdRng {
     let mut z = seed.wrapping_add(
         (index as u64)
             .wrapping_add(1)

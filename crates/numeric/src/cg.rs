@@ -3,6 +3,14 @@
 use crate::vector::{axpy, dot, norm2};
 use crate::{CsrMatrix, NumericError};
 
+/// Iterations without meaningful residual improvement before CG declares
+/// itself stagnated (scaled up to `n / 4` for large systems).
+const STAGNATION_WINDOW: usize = 50;
+
+/// A residual must shrink below this fraction of the best seen so far to
+/// count as progress for the stagnation watchdog.
+const STAGNATION_IMPROVEMENT: f64 = 0.99;
+
 /// Preconditioner choice for [`conjugate_gradient`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 #[non_exhaustive]
@@ -104,7 +112,9 @@ impl CgWorkspace {
 /// * [`NumericError::DimensionMismatch`] — non-square `A` or wrong `b`
 ///   length.
 /// * [`NumericError::NoConvergence`] — the iteration cap was reached
-///   before the tolerance; the report fields are embedded in the error.
+///   before the tolerance, or the residual stagnated (no meaningful
+///   improvement over a trailing window); the report fields — including
+///   the `stagnated` flag — are embedded in the error.
 /// * [`NumericError::NotPositiveDefinite`] — a breakdown (`pᵀAp ≤ 0`)
 ///   revealed an indefinite matrix.
 pub fn conjugate_gradient(
@@ -200,6 +210,14 @@ pub fn conjugate_gradient_into(
     let mut rz = dot(&ws.r, &ws.z);
 
     let max_iters = settings.max_iterations.unwrap_or(10 * n.max(1));
+    // Stagnation watchdog: CG residuals are not monotone, so only call
+    // the iteration stalled after a generous window with no meaningful
+    // improvement over the best residual seen. Monitoring never touches
+    // the iterate arithmetic, so converging solves stay bitwise
+    // identical with or without it.
+    let stagnation_window = STAGNATION_WINDOW.max(n / 4);
+    let mut best_rel = f64::INFINITY;
+    let mut since_improved = 0usize;
     for iter in 0..max_iters {
         let rel = norm2(&ws.r) / b_norm;
         if rel <= settings.tolerance {
@@ -207,6 +225,19 @@ pub fn conjugate_gradient_into(
                 iterations: iter,
                 relative_residual: rel,
             });
+        }
+        if rel < STAGNATION_IMPROVEMENT * best_rel {
+            best_rel = rel;
+            since_improved = 0;
+        } else {
+            since_improved += 1;
+            if since_improved >= stagnation_window {
+                return Err(NumericError::NoConvergence {
+                    iterations: iter,
+                    residual: rel,
+                    stagnated: true,
+                });
+            }
         }
         a.matvec_into(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
@@ -241,6 +272,7 @@ pub fn conjugate_gradient_into(
     Err(NumericError::NoConvergence {
         iterations: max_iters,
         residual: rel,
+        stagnated: false,
     })
 }
 
@@ -303,6 +335,56 @@ mod tests {
             err,
             NumericError::NoConvergence { iterations: 2, .. }
         ));
+    }
+
+    #[test]
+    fn iteration_exhaustion_embeds_full_diagnostics() {
+        // Regression: the default `10·n` cap must not silently truncate —
+        // exhaustion has to return the full embedded report (iterations,
+        // finite residual, stagnation flag) so callers can climb the
+        // resilience ladder instead of guessing what went wrong.
+        let a = chain(100, 1.0, 1e-6);
+        let settings = CgSettings {
+            tolerance: 1e-14,
+            max_iterations: Some(7),
+            preconditioner: Preconditioner::None,
+        };
+        match conjugate_gradient(&a, &vec![1.0; 100], &settings) {
+            Err(NumericError::NoConvergence {
+                iterations,
+                residual,
+                stagnated,
+            }) => {
+                assert_eq!(iterations, 7);
+                assert!(residual.is_finite() && residual > 1e-14);
+                assert!(!stagnated, "7 iterations is too few to stall");
+            }
+            other => panic!("expected embedded NoConvergence report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_plateau_reports_stagnation() {
+        // κ ≈ 4·10¹⁶: roundoff destroys conjugacy and the residual
+        // plateaus far above tolerance; the watchdog must cut the run off
+        // with `stagnated` well before the iteration cap burns out.
+        let a = chain(200, 1e8, 1e-8);
+        let settings = CgSettings {
+            tolerance: 1e-16,
+            max_iterations: Some(200_000),
+            preconditioner: Preconditioner::None,
+        };
+        match conjugate_gradient(&a, &vec![1.0; 200], &settings) {
+            Err(NumericError::NoConvergence {
+                iterations,
+                stagnated,
+                ..
+            }) => {
+                assert!(stagnated, "plateau must be flagged as stagnation");
+                assert!(iterations < 10_000, "watchdog must fire early");
+            }
+            other => panic!("expected stagnation error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub enum NumericError {
         iterations: usize,
         /// Relative residual at the final iterate.
         residual: f64,
+        /// Whether the iteration had stopped making progress (the
+        /// residual plateaued) rather than merely running out of
+        /// iterations while still improving.
+        stagnated: bool,
     },
     /// An entry index lies outside the matrix.
     IndexOutOfBounds {
@@ -59,9 +63,11 @@ impl fmt::Display for NumericError {
             Self::NoConvergence {
                 iterations,
                 residual,
+                stagnated,
             } => write!(
                 f,
-                "iterative solver did not converge after {iterations} iterations (relative residual {residual:.3e})"
+                "iterative solver did not converge after {iterations} iterations (relative residual {residual:.3e}{})",
+                if *stagnated { ", stagnated" } else { "" }
             ),
             Self::IndexOutOfBounds {
                 row,
@@ -90,6 +96,7 @@ mod tests {
             NumericError::NoConvergence {
                 iterations: 100,
                 residual: 1e-3,
+                stagnated: false,
             },
             NumericError::DimensionMismatch {
                 expected: "3x3".into(),

@@ -36,6 +36,7 @@ mod complex;
 mod dense;
 mod error;
 mod lu;
+mod solve;
 mod sparse;
 mod spectral;
 pub mod vector;
@@ -48,5 +49,8 @@ pub use complex::{Complex, ComplexLu, ComplexMatrix};
 pub use dense::DenseMatrix;
 pub use error::NumericError;
 pub use lu::LuFactor;
+pub use solve::{
+    resilient_solve, resilient_solve_into, ResilientSettings, SolveMethod, SolveReport,
+};
 pub use sparse::{CooMatrix, CsrMatrix, PatternCache};
 pub use spectral::{condition_estimate_spd, dominant_eigenvalue, PowerIteration};

@@ -1,0 +1,438 @@
+//! Resilient solve ladder for SPD grid systems.
+//!
+//! Degraded power grids — open vias, derated regulators, corroded sheets —
+//! produce ill-conditioned Laplacians on which plain CG can stall short of
+//! tolerance. [`resilient_solve_into`] climbs a three-rung ladder so such
+//! systems degrade into slower-but-correct solves instead of errors:
+//!
+//! 1. **Warm CG** — preconditioned conjugate gradient from the caller's
+//!    guess, exactly as [`conjugate_gradient_into`] would run it.
+//! 2. **Cold-restart CG** — a stale warm-start can mislead the Krylov
+//!    space; restart from zero with an enlarged iteration cap.
+//! 3. **Dense LU** — densify the matrix and solve directly. `O(n³)` but
+//!    unconditionally robust for nonsingular systems; acceptable because
+//!    fallback is rare and grid blocks are modest.
+//!
+//! A cheap diagonal scan also routes *detectably* near-singular systems
+//! straight to LU, where partial pivoting either solves them or reports
+//! [`NumericError::Singular`] honestly.
+
+use crate::vector::norm2;
+use crate::{
+    conjugate_gradient_into, CgSettings, CgWorkspace, CsrMatrix, DenseMatrix, LuFactor,
+    NumericError,
+};
+
+/// Diagonal entries smaller than this fraction of the largest diagonal
+/// flag the system as near-singular and route it straight to dense LU:
+/// the implied condition number (≥ 10¹⁰) is beyond what Jacobi-scaled CG
+/// resolves in double precision, so iterating would only burn time.
+const NEAR_SINGULAR_DIAG_RATIO: f64 = 1e-10;
+
+/// Which rung of the resilience ladder produced the solution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SolveMethod {
+    /// First-try (possibly warm-started) preconditioned CG.
+    ConjugateGradient,
+    /// Cold-restart CG with an enlarged iteration cap.
+    ConjugateGradientRestart,
+    /// Dense LU fallback.
+    DenseLu,
+}
+
+/// Convergence diagnostic for a resilient solve ([C-INTERMEDIATE]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SolveReport {
+    /// The ladder rung that produced the accepted solution.
+    pub method: SolveMethod,
+    /// Total CG iterations spent across all attempts (zero when the
+    /// near-singular pre-check skipped CG entirely).
+    pub iterations: usize,
+    /// Relative residual `‖b − A·x‖ / ‖b‖` of the accepted solution.
+    pub relative_residual: f64,
+    /// Whether any CG attempt stagnated (residual plateau) on the way.
+    pub stagnated: bool,
+}
+
+impl SolveReport {
+    /// True when the plain warm-CG rung was not the one that solved the
+    /// system — i.e. a restart or dense factorization was needed.
+    #[must_use]
+    pub fn used_fallback(&self) -> bool {
+        self.method != SolveMethod::ConjugateGradient
+    }
+}
+
+/// Settings for [`resilient_solve_into`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ResilientSettings {
+    /// CG settings for the first rung (the restart rung reuses them with
+    /// an enlarged cap).
+    pub cg: CgSettings,
+    /// Multiplier applied to the effective iteration cap for the
+    /// cold-restart rung.
+    pub retry_iteration_factor: usize,
+    /// Whether the dense LU rung is allowed. Disable to make exhaustion
+    /// or stagnation a hard error (useful in tests and memory-tight
+    /// contexts — densifying costs `O(n²)`).
+    pub allow_dense_fallback: bool,
+}
+
+impl Default for ResilientSettings {
+    fn default() -> Self {
+        Self {
+            cg: CgSettings::default(),
+            retry_iteration_factor: 4,
+            allow_dense_fallback: true,
+        }
+    }
+}
+
+impl From<CgSettings> for ResilientSettings {
+    fn from(cg: CgSettings) -> Self {
+        Self {
+            cg,
+            ..Self::default()
+        }
+    }
+}
+
+/// Solves `A·x = b` in place through the resilience ladder, warm-starting
+/// the first CG rung from the incoming `x`.
+///
+/// On success `x` holds a solution whose relative residual is reported in
+/// the returned [`SolveReport`] along with which rung produced it. The
+/// dense-LU rung accepts whatever residual the factorization achieves, so
+/// `relative_residual` may exceed `cg.tolerance` there — callers that
+/// care should check the report.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] — shape errors, never retried.
+/// * [`NumericError::NoConvergence`] — every permitted rung was
+///   exhausted (only possible with `allow_dense_fallback = false`).
+/// * [`NumericError::Singular`] — the dense rung found the system
+///   genuinely singular.
+/// * [`NumericError::NotPositiveDefinite`] — CG broke down and the dense
+///   rung was disallowed.
+pub fn resilient_solve_into(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &ResilientSettings,
+    ws: &mut CgWorkspace,
+) -> Result<SolveReport, NumericError> {
+    let n = a.rows();
+
+    // Near-singular pre-check: a vanishing diagonal entry (relative to
+    // the largest) means Jacobi scaling would blow up and CG would churn;
+    // go straight to LU, whose pivoting handles or honestly rejects it.
+    if settings.allow_dense_fallback && n > 0 && a.cols() == n && b.len() == n && x.len() == n {
+        let mut min_abs = f64::INFINITY;
+        let mut max_abs: f64 = 0.0;
+        for i in 0..n {
+            let d = a.get(i, i).abs();
+            min_abs = min_abs.min(d);
+            max_abs = max_abs.max(d);
+        }
+        if min_abs <= NEAR_SINGULAR_DIAG_RATIO * max_abs {
+            return dense_rung(a, b, x, 0, false);
+        }
+    }
+
+    // Rung 1: warm CG.
+    let first = match conjugate_gradient_into(a, b, x, &settings.cg, ws) {
+        Ok(rep) => {
+            return Ok(SolveReport {
+                method: SolveMethod::ConjugateGradient,
+                iterations: rep.iterations,
+                relative_residual: rep.relative_residual,
+                stagnated: false,
+            });
+        }
+        Err(err @ NumericError::DimensionMismatch { .. }) => return Err(err),
+        Err(err) => err,
+    };
+    let (mut spent, mut stagnated) = match first {
+        NumericError::NoConvergence {
+            iterations,
+            stagnated,
+            ..
+        } => (iterations, stagnated),
+        // Breakdown (pᵀAp ≤ 0): roundoff on a near-indefinite system.
+        _ => (0, false),
+    };
+
+    // Rung 2: cold restart with an enlarged cap. A bad warm start can
+    // poison the Krylov space; zeros plus more headroom often recover.
+    x.fill(0.0);
+    let base_cap = settings.cg.max_iterations.unwrap_or(10 * n.max(1));
+    let retry = CgSettings {
+        max_iterations: Some(base_cap.saturating_mul(settings.retry_iteration_factor.max(1))),
+        ..settings.cg
+    };
+    let second = match conjugate_gradient_into(a, b, x, &retry, ws) {
+        Ok(rep) => {
+            return Ok(SolveReport {
+                method: SolveMethod::ConjugateGradientRestart,
+                iterations: spent + rep.iterations,
+                relative_residual: rep.relative_residual,
+                stagnated,
+            });
+        }
+        Err(err) => err,
+    };
+    if let NumericError::NoConvergence {
+        iterations,
+        stagnated: s2,
+        ..
+    } = second
+    {
+        spent += iterations;
+        stagnated |= s2;
+    }
+
+    // Rung 3: dense LU.
+    if !settings.allow_dense_fallback {
+        return Err(second);
+    }
+    dense_rung(a, b, x, spent, stagnated)
+}
+
+/// Convenience wrapper over [`resilient_solve_into`] starting from a zero
+/// guess with a fresh workspace.
+///
+/// # Errors
+///
+/// As for [`resilient_solve_into`].
+pub fn resilient_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    settings: &ResilientSettings,
+) -> Result<(Vec<f64>, SolveReport), NumericError> {
+    let mut x = vec![0.0; a.rows()];
+    let mut ws = CgWorkspace::new();
+    let report = resilient_solve_into(a, b, &mut x, settings, &mut ws)?;
+    Ok((x, report))
+}
+
+fn dense_rung(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    cg_iterations: usize,
+    stagnated: bool,
+) -> Result<SolveReport, NumericError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n || x.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("rhs and guess of length {n}"),
+            found: format!("lengths {} and {}", b.len(), x.len()),
+        });
+    }
+    let dense = DenseMatrix::from_fn(n, n, |i, j| a.get(i, j));
+    let solution = LuFactor::new(&dense)?.solve(b)?;
+    x.copy_from_slice(&solution);
+    let b_norm = norm2(b);
+    let relative_residual = if b_norm == 0.0 {
+        0.0
+    } else {
+        let ax = a.matvec(x);
+        let mut diff = 0.0;
+        for i in 0..n {
+            let d = b[i] - ax[i];
+            diff += d * d;
+        }
+        diff.sqrt() / b_norm
+    };
+    Ok(SolveReport {
+        method: SolveMethod::DenseLu,
+        iterations: cg_iterations,
+        relative_residual,
+        stagnated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, Preconditioner};
+
+    fn chain(n: usize, g: f64, gl: f64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let mut diag = gl;
+            if i > 0 {
+                coo.push(i, i - 1, -g);
+                diag += g;
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -g);
+                diag += g;
+            }
+            coo.push(i, i, diag);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn healthy_system_stays_on_cg_rung() {
+        let a = chain(50, 1.0, 0.1);
+        let b = vec![1.0; 50];
+        let (x, report) = resilient_solve(&a, &b, &ResilientSettings::default()).unwrap();
+        assert_eq!(report.method, SolveMethod::ConjugateGradient);
+        assert!(!report.used_fallback());
+        assert!(report.relative_residual < 1e-10);
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_rung_matches_plain_cg_bitwise() {
+        // On the happy path the ladder must be invisible: same iterate
+        // sequence, same bits.
+        let a = chain(64, 2.0, 0.05);
+        let b: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let (x_plain, _) = crate::conjugate_gradient(&a, &b, &CgSettings::default()).unwrap();
+        let (x_ladder, report) = resilient_solve(&a, &b, &ResilientSettings::default()).unwrap();
+        assert_eq!(report.method, SolveMethod::ConjugateGradient);
+        for (p, l) in x_plain.iter().zip(&x_ladder) {
+            assert_eq!(p.to_bits(), l.to_bits());
+        }
+    }
+
+    #[test]
+    fn restart_rung_recovers_from_tight_cap() {
+        // A cap too small for the cold solve: rung 1 exhausts, rung 2
+        // (4× cap) converges without needing LU.
+        let a = chain(100, 1.0, 0.01);
+        let b = vec![1.0; 100];
+        let settings = ResilientSettings {
+            cg: CgSettings {
+                max_iterations: Some(40),
+                ..CgSettings::default()
+            },
+            ..ResilientSettings::default()
+        };
+        let (x, report) = resilient_solve(&a, &b, &settings).unwrap();
+        assert_eq!(report.method, SolveMethod::ConjugateGradientRestart);
+        assert!(report.used_fallback());
+        assert!(report.iterations > 40, "counts both attempts");
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn dense_rung_rescues_exhausted_iteration_budget() {
+        // Caps too tight for either CG rung force the ladder all the way
+        // down to LU, which simply solves the system.
+        let a = chain(100, 1.0, 0.01);
+        let b = vec![1.0; 100];
+        let settings = ResilientSettings {
+            cg: CgSettings {
+                max_iterations: Some(2),
+                ..CgSettings::default()
+            },
+            ..ResilientSettings::default()
+        };
+        let (x, report) = resilient_solve(&a, &b, &settings).unwrap();
+        assert_eq!(report.method, SolveMethod::DenseLu);
+        assert!(report.used_fallback());
+        assert!(report.relative_residual < 1e-9);
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_the_cg_error() {
+        let a = chain(100, 1.0, 0.01);
+        let b = vec![1.0; 100];
+        let settings = ResilientSettings {
+            cg: CgSettings {
+                max_iterations: Some(2),
+                ..CgSettings::default()
+            },
+            allow_dense_fallback: false,
+            ..ResilientSettings::default()
+        };
+        let err = resilient_solve(&a, &b, &settings).unwrap_err();
+        assert!(matches!(err, NumericError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn stagnating_system_ends_on_lu_with_flag_set() {
+        // κ ≈ 4·10¹⁶ without preconditioning: both CG rungs stagnate, LU
+        // still produces a usable solution, and the report remembers that
+        // stagnation happened on the way down.
+        let a = chain(200, 1e8, 1e-8);
+        let b = vec![1.0; 200];
+        let settings = ResilientSettings {
+            cg: CgSettings {
+                tolerance: 1e-16,
+                max_iterations: Some(200_000),
+                preconditioner: Preconditioner::None,
+            },
+            ..ResilientSettings::default()
+        };
+        match resilient_solve(&a, &b, &settings) {
+            Ok((_, report)) => {
+                assert_eq!(report.method, SolveMethod::DenseLu);
+                assert!(report.stagnated, "stagnation must survive into the report");
+            }
+            // Pivot decay on a κ ≈ 4e16 matrix may legitimately trip the
+            // dense rung's relative singularity guard; that is still an
+            // honest terminal answer, not a hang.
+            Err(err) => assert!(matches!(err, NumericError::Singular { .. })),
+        }
+    }
+
+    #[test]
+    fn near_singular_diagonal_routes_to_lu() {
+        // One essentially-open node: its diagonal is 1e-11 of the rest —
+        // past the pre-check ratio, but still above LU's pivot floor.
+        let n = 10;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let d = if i == 3 { 1e-11 } else { 1.0 };
+            coo.push(i, i, d);
+        }
+        let a = coo.to_csr();
+        let b = vec![1.0; n];
+        let (x, report) = resilient_solve(&a, &b, &ResilientSettings::default()).unwrap();
+        assert_eq!(report.method, SolveMethod::DenseLu);
+        assert_eq!(report.iterations, 0, "CG was skipped entirely");
+        assert!((x[3] - 1e11).abs() / 1e11 < 1e-9);
+    }
+
+    #[test]
+    fn genuinely_singular_system_reports_singular() {
+        let n = 4;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, if i == 0 { 0.0 } else { 1.0 });
+        }
+        let err =
+            resilient_solve(&coo.to_csr(), &[1.0; 4], &ResilientSettings::default()).unwrap_err();
+        assert!(matches!(err, NumericError::Singular { .. }));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_never_retried() {
+        let a = chain(3, 1.0, 0.1);
+        let err = resilient_solve(&a, &[1.0; 2], &ResilientSettings::default()).unwrap_err();
+        assert!(matches!(err, NumericError::DimensionMismatch { .. }));
+    }
+}

@@ -81,6 +81,7 @@ pub fn dominant_eigenvalue(
     Err(NumericError::NoConvergence {
         iterations: max_iterations,
         residual: f64::NAN,
+        stagnated: false,
     })
 }
 

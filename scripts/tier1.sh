@@ -23,6 +23,9 @@ if ! cargo test -q --release; then
     cargo test -q --release --workspace --exclude vpd-bench || fail=1
 fi
 
+step "fault-sweep smoke (8 scenarios, finiteness-checked)"
+cargo run --release -p vpd-bench --bin faults -- --samples 8 || fail=1
+
 step "cargo clippy --release -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings || fail=1
 

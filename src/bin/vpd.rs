@@ -9,12 +9,13 @@
 //! vpd impedance --arch a2
 //! vpd droop --arch a0
 //! vpd thermal --arch a2 --tech si
+//! vpd faults --arch a2 --n-minus-1
 //! ```
 
 use std::process::ExitCode;
 use vertical_power_delivery::core::{
     electro_thermal, explore_matrix, recommend, simulate_droop, solve_sharing, target_impedance,
-    ElectroThermalSettings, LoadStep, PdnModel,
+    ElectroThermalSettings, FaultScenario, FaultSweep, LoadStep, PdnModel,
 };
 use vertical_power_delivery::prelude::*;
 use vertical_power_delivery::thermal::DeviceTechnology;
@@ -50,6 +51,8 @@ commands:
   impedance   --arch <a0|a1|a2>
   droop       --arch <a0|a1|a2>
   thermal     --arch <a1|a2> [--tech <si|gan>]
+  faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
+              [--n-minus-1 | --random-k <k>] [--count <n>] [--seed <s>]
   help        print this message";
 
 /// A parsed CLI invocation.
@@ -76,6 +79,15 @@ enum Command {
     Thermal {
         arch: Architecture,
         tech: DeviceTechnology,
+    },
+    Faults {
+        arch: Architecture,
+        topology: VrTopologyKind,
+        /// None = N-1 contingency; Some(k) = random scenarios of k
+        /// simultaneous faults.
+        random_k: Option<usize>,
+        count: usize,
+        seed: u64,
     },
     Help,
 }
@@ -156,6 +168,29 @@ impl Command {
                 Ok(Self::Thermal {
                     arch: parse_arch(true)?,
                     tech,
+                })
+            }
+            "faults" => {
+                let n_minus_1 = rest.iter().any(|a| a.as_str() == "--n-minus-1");
+                let random_k = match flag("--random-k") {
+                    Some(v) => Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("--random-k expects a count, got '{v}'"))?,
+                    ),
+                    None => None,
+                };
+                if n_minus_1 && random_k.is_some() {
+                    return Err("--n-minus-1 and --random-k are mutually exclusive".into());
+                }
+                if random_k == Some(0) {
+                    return Err("--random-k must be at least 1".into());
+                }
+                Ok(Self::Faults {
+                    arch: parse_arch(true)?,
+                    topology: parse_topology()?,
+                    random_k,
+                    count: parse_f64("--count", 32.0)? as usize,
+                    seed: parse_f64("--seed", 64023.0)? as u64,
                 })
             }
             "help" | "--help" | "-h" => Ok(Self::Help),
@@ -301,6 +336,55 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 r.modules_within_rating
             );
         }
+        Command::Faults {
+            arch,
+            topology,
+            random_k,
+            count,
+            seed,
+        } => {
+            let sweep = FaultSweep::new(arch, topology, &SystemSpec::paper_default(), &calib)?;
+            let scenarios = match random_k {
+                None => FaultScenario::n_minus_1(sweep.vr_count()),
+                Some(k) => {
+                    FaultScenario::random_k(k, count, seed, sweep.vr_count(), sweep.grid_side())
+                }
+            };
+            let label = match random_k {
+                None => format!("N-1 over {} modules", sweep.vr_count()),
+                Some(k) => format!("{count} random {k}-fault scenarios (seed {seed})"),
+            };
+            let report = sweep.run(&scenarios, 0)?;
+            println!(
+                "{} / {topology}: {label}\n  nominal:  worst drop {}, spread {:.2}x",
+                arch.name(),
+                sweep.nominal().worst_drop(),
+                sweep.nominal().max().value() / sweep.nominal().mean().value(),
+            );
+            println!(
+                "  faulted:  worst drop {} ({}), max spread {:.2}x, worst surviving module {:.1} A",
+                report.worst_drop,
+                report.worst_scenario,
+                report.max_spread,
+                report.worst_surviving_current.value(),
+            );
+            match (report.rating, report.margin()) {
+                (Some(rating), Some(margin)) => println!(
+                    "  rating:   {:.0} A per module → margin {:+.1}% ({} / {} scenarios overloaded)",
+                    rating.value(),
+                    100.0 * margin,
+                    report.overloaded_scenarios,
+                    report.outcomes.len(),
+                ),
+                _ => println!("  rating:   n/a (passive entry clusters)"),
+            }
+            println!(
+                "  solver:   {} / {} scenarios needed a fallback, {} stagnated",
+                report.fallback_count,
+                report.outcomes.len(),
+                report.stagnation_count,
+            );
+        }
     }
     Ok(())
 }
@@ -378,6 +462,52 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_faults_modes() {
+        assert!(matches!(
+            parse(&["faults", "--arch", "a2", "--n-minus-1"]).unwrap(),
+            Command::Faults {
+                arch: Architecture::InterposerEmbedded,
+                random_k: None,
+                ..
+            }
+        ));
+        // N-1 is also the default mode.
+        assert!(matches!(
+            parse(&["faults", "--arch", "a1"]).unwrap(),
+            Command::Faults { random_k: None, .. }
+        ));
+        match parse(&[
+            "faults",
+            "--arch",
+            "a1",
+            "--random-k",
+            "3",
+            "--count",
+            "64",
+            "--seed",
+            "7",
+        ])
+        .unwrap()
+        {
+            Command::Faults {
+                random_k,
+                count,
+                seed,
+                ..
+            } => {
+                assert_eq!(random_k, Some(3));
+                assert_eq!(count, 64);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["faults"]).is_err(), "--arch required");
+        assert!(parse(&["faults", "--arch", "a1", "--random-k", "three"]).is_err());
+        assert!(parse(&["faults", "--arch", "a1", "--random-k", "0"]).is_err());
+        assert!(parse(&["faults", "--arch", "a1", "--n-minus-1", "--random-k", "2"]).is_err());
     }
 
     #[test]

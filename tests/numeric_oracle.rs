@@ -3,11 +3,13 @@
 //! overlap, and the spectral diagnostics must predict CG behavior.
 
 use proptest::prelude::*;
+use vertical_power_delivery::circuit::PowerGrid;
 use vertical_power_delivery::numeric::{
     condition_estimate_spd, conjugate_gradient, conjugate_gradient_into, dominant_eigenvalue,
-    CgSettings, CgWorkspace, CholeskyFactor, Complex, ComplexLu, ComplexMatrix, CooMatrix,
-    CsrMatrix, DenseMatrix, LuFactor, Preconditioner,
+    resilient_solve, CgSettings, CgWorkspace, CholeskyFactor, Complex, ComplexLu, ComplexMatrix,
+    CooMatrix, CsrMatrix, DenseMatrix, LuFactor, Preconditioner, ResilientSettings, SolveMethod,
 };
+use vertical_power_delivery::units::{Amps, Ohms, Volts};
 
 /// A grounded 2-D grid Laplacian (the PDN solve's matrix shape).
 fn grid_laplacian(n: usize, leak: f64) -> CsrMatrix {
@@ -243,6 +245,127 @@ proptest! {
         for (r, f) in x_restamped.iter().zip(&x_fresh) {
             prop_assert!((r - f).abs() < 1e-9);
         }
+    }
+
+    /// Jacobi-preconditioned CG agrees with unpreconditioned CG and
+    /// dense LU to 1e-8 on random SPD grid systems.
+    #[test]
+    fn prop_preconditioned_cg_matches_plain_cg_and_lu(
+        n in 3_usize..8,
+        leak in 0.05_f64..2.0,
+        phase in 0_usize..5,
+    ) {
+        let a = grid_laplacian(n, leak);
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| (((i + phase) % 6) as f64) - 2.5)
+            .collect();
+
+        let x_lu = LuFactor::new(&densify(&a)).unwrap().solve(&b).unwrap();
+        let tight = CgSettings {
+            tolerance: 1e-12,
+            ..CgSettings::default()
+        };
+        let (x_jacobi, _) = conjugate_gradient(&a, &b, &tight).unwrap();
+        let (x_plain, _) = conjugate_gradient(&a, &b, &CgSettings {
+            preconditioner: Preconditioner::None,
+            ..tight
+        }).unwrap();
+
+        for i in 0..b.len() {
+            prop_assert!((x_jacobi[i] - x_plain[i]).abs() < 1e-8,
+                "jacobi vs plain at {i}: {} vs {}", x_jacobi[i], x_plain[i]);
+            prop_assert!((x_jacobi[i] - x_lu[i]).abs() < 1e-8,
+                "jacobi vs LU at {i}: {} vs {}", x_jacobi[i], x_lu[i]);
+        }
+    }
+
+    /// The resilient solver's dense-LU fallback rung returns the same
+    /// solution as calling the direct solver outright.
+    #[test]
+    fn prop_fallback_matches_direct_solver(
+        n in 3_usize..8,
+        leak in 0.05_f64..2.0,
+    ) {
+        let a = grid_laplacian(n, leak);
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| ((i * 5 % 11) as f64) - 5.0)
+            .collect();
+        let x_direct = LuFactor::new(&densify(&a)).unwrap().solve(&b).unwrap();
+
+        // A 1-iteration budget on both CG rungs forces the ladder all
+        // the way down onto dense LU.
+        let settings = ResilientSettings {
+            cg: CgSettings {
+                max_iterations: Some(1),
+                ..CgSettings::default()
+            },
+            retry_iteration_factor: 1,
+            ..ResilientSettings::default()
+        };
+        let (x, report) = resilient_solve(&a, &b, &settings).unwrap();
+        prop_assert!(report.method == SolveMethod::DenseLu, "{:?}", report.method);
+        prop_assert!(report.used_fallback());
+        for i in 0..b.len() {
+            prop_assert!((x[i] - x_direct[i]).abs() < 1e-12,
+                "fallback vs direct at {i}: {} vs {}", x[i], x_direct[i]);
+        }
+    }
+
+    /// Restamping a compiled power-grid plan with fault values (an
+    /// opened regulator plus a degraded mesh region) matches building
+    /// the faulted netlist from scratch — the fault-injection oracle.
+    #[test]
+    fn prop_faulted_restamp_matches_from_scratch(
+        open_k in 0_usize..4,
+        factor in 2.0_f64..50.0,
+        x0 in 0_usize..4,
+        y0 in 0_usize..4,
+    ) {
+        let n = 8;
+        let sheet = Ohms::from_milliohms(1.0);
+        let setpoint = Volts::new(1.0);
+        let droop = Ohms::from_milliohms(0.5);
+        let sites = [(0, 0), (n - 1, 0), (0, n - 1), (n - 1, n - 1)];
+        let build = || -> PowerGrid {
+            let mut g = PowerGrid::new(n, n, sheet).unwrap();
+            g.attach_dense_load_profile(|x, y| Amps::new(0.2 + 0.1 * ((x + 2 * y) % 3) as f64))
+                .unwrap();
+            for &(x, y) in &sites {
+                g.attach_regulator(x, y, setpoint, droop).unwrap();
+            }
+            g
+        };
+
+        // Path 1: compile on the nominal values, then restamp in the
+        // faults and re-solve through the cached plan.
+        let mut restamped = build();
+        restamped.solve_cached().unwrap();
+        restamped.set_regulator_droop(open_k, Ohms::new(1e9)).unwrap();
+        restamped
+            .scale_region_resistance(x0, y0, x0 + 3, y0 + 3, factor)
+            .unwrap();
+        let sol_restamped = restamped.solve_cached().unwrap();
+
+        // Path 2: assemble the faulted grid from scratch, so its plan
+        // compiles directly on the degraded values.
+        let mut fresh = build();
+        fresh.set_regulator_droop(open_k, Ohms::new(1e9)).unwrap();
+        fresh
+            .scale_region_resistance(x0, y0, x0 + 3, y0 + 3, factor)
+            .unwrap();
+        let sol_fresh = fresh.solve_cached().unwrap();
+
+        let i_restamped = restamped.regulator_currents(&sol_restamped);
+        let i_fresh = fresh.regulator_currents(&sol_fresh);
+        for (k, (a, b)) in i_restamped.iter().zip(&i_fresh).enumerate() {
+            prop_assert!((a.value() - b.value()).abs() < 1e-6,
+                "regulator {k}: {a} vs {b}");
+        }
+        let d_restamped = restamped.worst_ir_drop(&sol_restamped, setpoint);
+        let d_fresh = fresh.worst_ir_drop(&sol_fresh, setpoint);
+        prop_assert!((d_restamped.value() - d_fresh.value()).abs() < 1e-8);
+        // The opened module really is out of the picture.
+        prop_assert!(i_restamped[open_k].value().abs() < 1e-6);
     }
 
     /// Complex arithmetic satisfies field laws on random values.
