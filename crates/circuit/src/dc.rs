@@ -391,6 +391,7 @@ impl SparseDcPlan {
             .map(|e| (e.a.index(), e.b.index(), kind_tag(&e.kind)))
             .collect();
 
+        vpd_obs::incr("plan.compiles");
         Ok(Self {
             node_count: n,
             fingerprint,
@@ -472,6 +473,8 @@ impl SparseDcPlan {
     pub fn solve(&mut self, net: &Netlist) -> Result<DcSolution, CircuitError> {
         self.check_topology(net)?;
         self.restamp(net)?;
+        vpd_obs::incr("plan.solves");
+        vpd_obs::incr("plan.restamps");
         let solve_result = resilient_solve_into(
             &self.csr,
             &self.rhs,
@@ -486,6 +489,9 @@ impl SparseDcPlan {
                 return Err(CircuitError::from(e));
             }
         };
+        if report.iterations == 0 {
+            vpd_obs::incr("plan.warm_hits");
+        }
         self.last_report = Some(report);
 
         let node_voltages: Vec<f64> = (0..self.node_count)

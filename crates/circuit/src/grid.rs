@@ -442,12 +442,15 @@ impl PowerGrid {
     ///
     /// As [`PowerGrid::solve`].
     pub fn solve_cached(&mut self) -> Result<crate::DcSolution, CircuitError> {
+        vpd_obs::incr("grid.solves");
         if self.plan.is_none() {
             self.plan = Some(SparseDcPlan::compile(&self.net)?);
+            vpd_obs::incr("grid.plan_compiles");
         }
         let plan = self.plan.as_mut().expect("plan was just ensured");
         match plan.solve(&self.net) {
             Err(CircuitError::StalePlan { .. }) => {
+                vpd_obs::incr("grid.plan_recompiles");
                 // Defensive: topology mutations clear the plan, so this
                 // only triggers if the netlist was changed through a path
                 // that bypassed the setters. Recompile and retry once.

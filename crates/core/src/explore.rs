@@ -33,6 +33,7 @@ pub fn explore_matrix(
     calib: &Calibration,
     opts: &AnalysisOptions,
 ) -> Vec<MatrixEntry> {
+    vpd_obs::incr("explore.matrix_runs");
     let mut out = Vec::new();
     for arch in Architecture::paper_set() {
         let columns: &[VrTopologyKind] = if matches!(arch, Architecture::Reference) {
@@ -54,6 +55,7 @@ pub fn explore_matrix(
             });
         }
     }
+    vpd_obs::add("explore.entries", out.len() as u64);
     out
 }
 

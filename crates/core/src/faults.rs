@@ -387,6 +387,8 @@ impl FaultSweep {
         scenarios: &[FaultScenario],
         threads: usize,
     ) -> Result<FaultSweepReport, CoreError> {
+        let _span = vpd_obs::span("faults.run_ns");
+        let timer = vpd_obs::is_enabled().then(std::time::Instant::now);
         let results = par_map_with(threads, scenarios, &self.solver, |solver, scenario| {
             self.evaluate(solver, scenario)
         });
@@ -394,11 +396,23 @@ impl FaultSweep {
         for r in results {
             outcomes.push(r?);
         }
-        Ok(FaultSweepReport::summarize(
-            self.architecture,
-            self.rating,
-            outcomes,
-        ))
+        let report = FaultSweepReport::summarize(self.architecture, self.rating, outcomes);
+        // Accounting only, after every scenario is solved: enabling
+        // metrics cannot change a bit of the report.
+        vpd_obs::incr("faults.runs");
+        vpd_obs::add("faults.scenarios", report.outcomes.len() as u64);
+        vpd_obs::add("faults.fallbacks", report.fallback_count as u64);
+        vpd_obs::add("faults.stagnations", report.stagnation_count as u64);
+        if let Some(start) = timer {
+            let secs = start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                vpd_obs::gauge_set(
+                    "faults.scenarios_per_sec",
+                    report.outcomes.len() as f64 / secs,
+                );
+            }
+        }
+        Ok(report)
     }
 
     /// One scenario: restamp to nominal, inject, warm-solve, summarize.

@@ -74,6 +74,10 @@ impl SharingReport {
 
 /// Solves current sharing for `n_vrs` modules in the given placement.
 ///
+/// Thin convenience over [`SharingSolver::builder`] — prefer the
+/// builder when you need a non-default setpoint, explicit sites, or the
+/// solver itself for repeated solves.
+///
 /// ```
 /// use vpd_core::{solve_sharing, Calibration, SystemSpec, VrPlacement};
 ///
@@ -98,14 +102,10 @@ pub fn solve_sharing(
     placement: VrPlacement,
     n_vrs: usize,
 ) -> Result<SharingReport, CoreError> {
-    if n_vrs == 0 {
-        return Err(CoreError::InvalidSpec {
-            what: "regulator count",
-            value: 0.0,
-        });
-    }
-    let (sites, droop) = placement_sites(placement, calib, n_vrs);
-    solve_sharing_at(spec, calib, &sites, droop)
+    SharingSolver::builder(spec, calib)
+        .placement(placement)
+        .modules(n_vrs)
+        .solve()
 }
 
 /// The canonical sites and droop resistance for a placement pattern.
@@ -136,6 +136,10 @@ pub(crate) fn placement_droop(placement: VrPlacement, calib: &Calibration) -> Oh
 /// the placement optimizer; [`solve_sharing`] wraps this with the §II
 /// canonical patterns).
 ///
+/// Thin convenience over [`SharingSolver::builder`] with
+/// [`SharingSolverBuilder::sites`] — prefer the builder for anything
+/// beyond a one-shot solve.
+///
 /// # Errors
 ///
 /// As for [`solve_sharing`].
@@ -145,7 +149,131 @@ pub fn solve_sharing_at(
     sites: &[(usize, usize)],
     droop: Ohms,
 ) -> Result<SharingReport, CoreError> {
-    SharingSolver::new(spec, calib, sites, droop)?.solve()
+    SharingSolver::builder(spec, calib)
+        .sites(sites.to_vec())
+        .droop(droop)
+        .solve()
+}
+
+/// Step-by-step configuration for a [`SharingSolver`]: placement and
+/// module count (or explicit sites), droop resistance, and setpoint all
+/// default to the paper's §II values and can be overridden
+/// independently.
+///
+/// ```
+/// use vpd_core::{Calibration, SharingSolver, SystemSpec, VrPlacement};
+///
+/// # fn main() -> Result<(), vpd_core::CoreError> {
+/// let spec = SystemSpec::paper_default();
+/// let calib = Calibration::paper_default();
+/// // Defaults: 48 modules on the periphery, calibrated droop.
+/// let nominal = SharingSolver::builder(&spec, &calib).solve()?;
+/// // Under-die placement with half the modules.
+/// let below = SharingSolver::builder(&spec, &calib)
+///     .placement(VrPlacement::BelowDie)
+///     .modules(24)
+///     .solve()?;
+/// assert!(below.max().value() > nominal.max().value());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharingSolverBuilder<'a> {
+    spec: &'a SystemSpec,
+    calib: &'a Calibration,
+    placement: VrPlacement,
+    modules: usize,
+    sites: Option<Vec<(usize, usize)>>,
+    droop: Option<Ohms>,
+    setpoint: Option<Volts>,
+}
+
+impl<'a> SharingSolverBuilder<'a> {
+    /// Placement pattern for the generated sites (default
+    /// [`VrPlacement::Periphery`]). Ignored when explicit
+    /// [`SharingSolverBuilder::sites`] are given.
+    #[must_use]
+    pub fn placement(mut self, placement: VrPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Number of modules to place (default [`crate::PAPER_VR_POSITIONS`]).
+    /// Ignored when explicit [`SharingSolverBuilder::sites`] are given.
+    #[must_use]
+    pub fn modules(mut self, n_vrs: usize) -> Self {
+        self.modules = n_vrs;
+        self
+    }
+
+    /// Explicit module sites, overriding placement + modules (the
+    /// placement-optimizer path).
+    #[must_use]
+    pub fn sites(mut self, sites: Vec<(usize, usize)>) -> Self {
+        self.sites = Some(sites);
+        self
+    }
+
+    /// Per-module droop resistance (default: the calibrated value for
+    /// the placement).
+    #[must_use]
+    pub fn droop(mut self, droop: Ohms) -> Self {
+        self.droop = Some(droop);
+        self
+    }
+
+    /// Regulator setpoint (default: the spec's POL voltage). Also the
+    /// worst-drop reference.
+    #[must_use]
+    pub fn setpoint(mut self, setpoint: Volts) -> Self {
+        self.setpoint = Some(setpoint);
+        self
+    }
+
+    /// Builds the solver: resolves sites and droop, constructs the mesh,
+    /// and applies any setpoint override.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidSpec`] for zero modules / empty sites.
+    /// * [`CoreError::Circuit`] for sites outside the mesh or invalid
+    ///   element values.
+    pub fn build(self) -> Result<SharingSolver, CoreError> {
+        let droop = self
+            .droop
+            .unwrap_or_else(|| placement_droop(self.placement, self.calib));
+        let sites = match self.sites {
+            Some(sites) => sites,
+            None => {
+                if self.modules == 0 {
+                    return Err(CoreError::InvalidSpec {
+                        what: "regulator count",
+                        value: 0.0,
+                    });
+                }
+                placement_sites(self.placement, self.calib, self.modules).0
+            }
+        };
+        let mut solver = SharingSolver::new(self.spec, self.calib, &sites, droop)?;
+        if let Some(setpoint) = self.setpoint {
+            for k in 0..solver.vr_count() {
+                solver.set_vr_setpoint(k, setpoint)?;
+            }
+            // The worst-drop reference follows the override.
+            solver.setpoint = setpoint;
+        }
+        Ok(solver)
+    }
+
+    /// Builds the solver and solves once.
+    ///
+    /// # Errors
+    ///
+    /// As [`SharingSolverBuilder::build`], plus [`CoreError::Circuit`]
+    /// on solve failure.
+    pub fn solve(self) -> Result<SharingReport, CoreError> {
+        self.build()?.solve()
+    }
 }
 
 /// A reusable current-sharing solver: the mesh, loads, and regulators
@@ -195,8 +323,28 @@ pub struct SharingSolver {
 }
 
 impl SharingSolver {
+    /// Starts a [`SharingSolverBuilder`] with the paper defaults:
+    /// periphery placement, [`crate::PAPER_VR_POSITIONS`] modules, the
+    /// calibrated droop for the placement, and the spec's POL voltage as
+    /// setpoint.
+    #[must_use]
+    pub fn builder<'a>(spec: &'a SystemSpec, calib: &'a Calibration) -> SharingSolverBuilder<'a> {
+        SharingSolverBuilder {
+            spec,
+            calib,
+            placement: VrPlacement::Periphery,
+            modules: crate::PAPER_VR_POSITIONS,
+            sites: None,
+            droop: None,
+            setpoint: None,
+        }
+    }
+
     /// Builds the mesh with dense per-node loads and one regulator per
-    /// site, ready for repeated solving.
+    /// site, ready for repeated solving. Prefer
+    /// [`SharingSolver::builder`], which resolves placement patterns and
+    /// calibrated droop for you; this is the explicit-everything
+    /// primitive underneath it.
     ///
     /// # Errors
     ///
@@ -464,6 +612,58 @@ mod tests {
             solve_sharing(&spec, &calib, VrPlacement::Periphery, 0),
             Err(CoreError::InvalidSpec { .. })
         ));
+        assert!(matches!(
+            SharingSolver::builder(&spec, &calib).modules(0).solve(),
+            Err(CoreError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_defaults_match_the_free_function() {
+        let (spec, calib) = paper();
+        let built = SharingSolver::builder(&spec, &calib).solve().unwrap();
+        let free = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
+        assert_eq!(built, free);
+        assert_eq!(built.per_vr().len(), crate::PAPER_VR_POSITIONS);
+    }
+
+    #[test]
+    fn builder_explicit_sites_match_solve_sharing_at() {
+        let (spec, calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 24);
+        let built = SharingSolver::builder(&spec, &calib)
+            .sites(sites.clone())
+            .droop(droop)
+            .solve()
+            .unwrap();
+        let free = solve_sharing_at(&spec, &calib, &sites, droop).unwrap();
+        assert_eq!(built, free);
+        // Explicit sites without a droop override fall back to the
+        // placement's calibrated droop (periphery by default).
+        let defaulted = SharingSolver::builder(&spec, &calib)
+            .sites(sites)
+            .build()
+            .unwrap();
+        assert_eq!(defaulted.vr_droop(0), Some(calib.vr_droop_periphery));
+    }
+
+    #[test]
+    fn builder_setpoint_override_shifts_the_rail() {
+        let (spec, calib) = paper();
+        let lowered = Volts::new(spec.pol_voltage().value() - 0.05);
+        let mut solver = SharingSolver::builder(&spec, &calib)
+            .setpoint(lowered)
+            .build()
+            .unwrap();
+        assert_eq!(solver.setpoint(), lowered);
+        let rep = solver.solve().unwrap();
+        let nominal = solve_sharing(&spec, &calib, VrPlacement::Periphery, 48).unwrap();
+        // Same load, same droop: identical sharing, and the worst drop
+        // is referenced to the overridden setpoint.
+        for (a, b) in rep.per_vr().iter().zip(nominal.per_vr()) {
+            assert!((a.value() - b.value()).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!((rep.worst_drop().value() - nominal.worst_drop().value()).abs() < 1e-6);
     }
 
     #[test]

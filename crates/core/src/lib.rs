@@ -50,6 +50,7 @@ mod optimize;
 mod par;
 pub mod placement;
 mod powermap;
+mod render;
 mod spec;
 pub mod survey;
 
@@ -72,7 +73,9 @@ pub use faults::{
     n_minus_1_comparison, Fault, FaultScenario, FaultSweep, FaultSweepReport, ScenarioOutcome,
     OPEN_RESISTANCE,
 };
-pub use gridshare::{solve_sharing, solve_sharing_at, SharingReport, SharingSolver};
+pub use gridshare::{
+    solve_sharing, solve_sharing_at, SharingReport, SharingSolver, SharingSolverBuilder,
+};
 pub use impedance::{target_impedance, PdnModel};
 pub use loss::{LossBreakdown, LossKind, LossSegment};
 pub use mc::{run_tolerance, McSettings, McSummary};

@@ -133,6 +133,8 @@ pub fn run_tolerance(
     base: &Calibration,
     settings: &McSettings,
 ) -> Result<McSummary, CoreError> {
+    let _span = vpd_obs::span("mc.run_ns");
+    let timer = vpd_obs::is_enabled().then(std::time::Instant::now);
     let opts = AnalysisOptions::default();
     let mut session = AnalysisSession::new(architecture, spec, base, &opts)?;
     // Solve the nominal point once and anchor it: every sample then
@@ -167,6 +169,16 @@ pub fn run_tolerance(
     let mut samples = Vec::with_capacity(results.len());
     for r in results {
         samples.push(r?);
+    }
+    // Accounting only: recorded after all samples are computed, so the
+    // summary bits cannot depend on whether metrics are enabled.
+    vpd_obs::incr("mc.runs");
+    vpd_obs::add("mc.samples", samples.len() as u64);
+    if let Some(start) = timer {
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            vpd_obs::gauge_set("mc.samples_per_sec", samples.len() as f64 / secs);
+        }
     }
     Ok(McSummary::from_samples(samples))
 }

@@ -50,7 +50,11 @@ where
     }
     .max(1)
     .min(items.len().max(1));
+    vpd_obs::incr("par.jobs");
+    vpd_obs::add("par.tasks", items.len() as u64);
+    vpd_obs::add("par.workers", workers as u64);
     if workers == 1 || items.len() <= 1 {
+        let _span = vpd_obs::span("par.worker_ns");
         let mut local = state.clone();
         return items.iter().map(|item| f(&mut local, item)).collect();
     }
@@ -75,6 +79,7 @@ where
                 let mut local = state.clone();
                 let f = &f;
                 scope.spawn(move || {
+                    let _span = vpd_obs::span("par.worker_ns");
                     chunk
                         .iter()
                         .map(|item| f(&mut local, item))

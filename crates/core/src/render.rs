@@ -1,0 +1,235 @@
+//! [`Render`] implementations for the crate's report types: one text
+//! and one JSON rendering per report, shared by every front end (the
+//! `vpd` CLI wraps these with invocation context instead of formatting
+//! reports inline).
+
+use crate::droop::DroopReport;
+use crate::faults::FaultSweepReport;
+use crate::gridshare::SharingReport;
+use crate::loss::LossBreakdown;
+use crate::mc::McSummary;
+use vpd_report::{Json, Render};
+
+impl Render for SharingReport {
+    fn render_text(&self) -> String {
+        format!(
+            "{:.1} – {:.1} A (mean {:.1} A), grid loss {}, droop loss {}, worst drop {}\n",
+            self.min().value(),
+            self.max().value(),
+            self.mean().value(),
+            self.grid_loss(),
+            self.droop_loss(),
+            self.worst_drop(),
+        )
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("modules", Json::from(self.per_vr().len())),
+            ("min_a", Json::from(self.min().value())),
+            ("max_a", Json::from(self.max().value())),
+            ("mean_a", Json::from(self.mean().value())),
+            ("grid_loss_w", Json::from(self.grid_loss().value())),
+            ("droop_loss_w", Json::from(self.droop_loss().value())),
+            ("worst_drop_v", Json::from(self.worst_drop().value())),
+            (
+                "per_vr_a",
+                Json::array(self.per_vr().iter().map(|a| Json::from(a.value()))),
+            ),
+        ])
+    }
+}
+
+impl Render for DroopReport {
+    fn render_text(&self) -> String {
+        format!(
+            "rail drops by {} from {} to {} (bound ΔI·|Z|max = {})\n",
+            self.droop, self.v_before, self.v_min, self.impedance_bound,
+        )
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("v_before_v", Json::from(self.v_before.value())),
+            ("v_min_v", Json::from(self.v_min.value())),
+            ("droop_v", Json::from(self.droop.value())),
+            (
+                "impedance_bound_v",
+                Json::from(self.impedance_bound.value()),
+            ),
+        ])
+    }
+}
+
+impl Render for LossBreakdown {
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in self.segments() {
+            out.push_str(&format!(
+                "  {:<28} {:>9.2} W ({:>5.2}%)\n",
+                s.name,
+                s.power.value(),
+                self.percent_of_pol_power(s.power)
+            ));
+        }
+        out.push_str(&format!(
+            "  total {:.1}% of POL power — efficiency {}\n",
+            self.percent_of_pol_power(self.total()),
+            self.end_to_end_efficiency()
+        ));
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("pol_power_w", Json::from(self.pol_power().value())),
+            ("total_loss_w", Json::from(self.total().value())),
+            (
+                "total_loss_percent",
+                Json::from(self.percent_of_pol_power(self.total())),
+            ),
+            (
+                "efficiency",
+                Json::from(self.end_to_end_efficiency().fraction()),
+            ),
+            (
+                "segments",
+                Json::array(self.segments().iter().map(|s| {
+                    Json::obj([
+                        ("name", Json::from(s.name.as_str())),
+                        ("power_w", Json::from(s.power.value())),
+                        ("percent", Json::from(self.percent_of_pol_power(s.power))),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+impl Render for McSummary {
+    fn render_text(&self) -> String {
+        format!(
+            "loss {:.2}% ± {:.2}% (min {:.2}%, p5 {:.2}%, p95 {:.2}%, max {:.2}%)\n",
+            self.mean, self.std_dev, self.min, self.p5, self.p95, self.max,
+        )
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("mean_percent", Json::from(self.mean)),
+            ("std_dev_percent", Json::from(self.std_dev)),
+            ("min_percent", Json::from(self.min)),
+            ("p5_percent", Json::from(self.p5)),
+            ("p95_percent", Json::from(self.p95)),
+            ("max_percent", Json::from(self.max)),
+        ])
+    }
+}
+
+impl Render for FaultSweepReport {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "  faulted:  worst drop {} ({}), max spread {:.2}x, worst surviving module {:.1} A\n",
+            self.worst_drop,
+            self.worst_scenario,
+            self.max_spread,
+            self.worst_surviving_current.value(),
+        );
+        match (self.rating, self.margin()) {
+            (Some(rating), Some(margin)) => out.push_str(&format!(
+                "  rating:   {:.0} A per module → margin {:+.1}% ({} / {} scenarios overloaded)\n",
+                rating.value(),
+                100.0 * margin,
+                self.overloaded_scenarios,
+                self.outcomes.len(),
+            )),
+            _ => out.push_str("  rating:   n/a (passive entry clusters)\n"),
+        }
+        out.push_str(&format!(
+            "  solver:   {} / {} scenarios needed a fallback, {} stagnated\n",
+            self.fallback_count,
+            self.outcomes.len(),
+            self.stagnation_count,
+        ));
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("architecture", Json::from(self.architecture.name())),
+            ("scenarios", Json::from(self.outcomes.len())),
+            ("worst_drop_v", Json::from(self.worst_drop.value())),
+            ("worst_scenario", Json::from(self.worst_scenario.as_str())),
+            ("max_spread", Json::from(self.max_spread)),
+            (
+                "worst_surviving_a",
+                Json::from(self.worst_surviving_current.value()),
+            ),
+            (
+                "rating_a",
+                self.rating.map_or(Json::Null, |r| Json::from(r.value())),
+            ),
+            ("margin", self.margin().map_or(Json::Null, Json::from)),
+            ("fallback_count", Json::from(self.fallback_count)),
+            ("stagnation_count", Json::from(self.stagnation_count)),
+            (
+                "overloaded_scenarios",
+                Json::from(self.overloaded_scenarios),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_sharing, Calibration, SystemSpec, VrPlacement};
+    use vpd_report::RenderFormat;
+
+    #[test]
+    fn sharing_report_renders_both_formats() {
+        let rep = solve_sharing(
+            &SystemSpec::paper_default(),
+            &Calibration::paper_default(),
+            VrPlacement::Periphery,
+            48,
+        )
+        .unwrap();
+        let text = rep.render(RenderFormat::Text);
+        assert!(text.contains("mean"), "{text}");
+        let json = rep.render(RenderFormat::Json);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"per_vr_a\":["), "{json}");
+        match rep.render_json() {
+            Json::Object(pairs) => {
+                assert_eq!(pairs[0].0, "modules");
+                assert!(matches!(pairs[0].1, Json::Int(48)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mc_summary_json_lists_every_statistic() {
+        let s = McSummary {
+            mean: 20.0,
+            std_dev: 1.0,
+            min: 18.0,
+            max: 22.0,
+            p5: 18.5,
+            p95: 21.5,
+        };
+        let json = s.render_json().to_string();
+        for key in [
+            "mean_percent",
+            "std_dev_percent",
+            "min_percent",
+            "p5_percent",
+            "p95_percent",
+            "max_percent",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        assert!(s.render_text().contains("20.00%"));
+    }
+}

@@ -155,6 +155,44 @@ pub fn conjugate_gradient_into(
     settings: &CgSettings,
     ws: &mut CgWorkspace,
 ) -> Result<CgReport, NumericError> {
+    let result = cg_run(a, b, x, settings, ws);
+    // Observation only: integer counters after the fact, so the iterate
+    // arithmetic (and therefore the result bits) cannot depend on
+    // whether metrics are enabled.
+    if vpd_obs::is_enabled() {
+        match &result {
+            Ok(rep) => {
+                vpd_obs::incr("cg.solves");
+                vpd_obs::add("cg.iterations", rep.iterations as u64);
+                vpd_obs::observe("cg.iterations_per_solve", rep.iterations as u64);
+                if rep.iterations == 0 {
+                    vpd_obs::incr("cg.warm_hits");
+                }
+            }
+            Err(NumericError::NoConvergence {
+                iterations,
+                stagnated,
+                ..
+            }) => {
+                vpd_obs::incr("cg.failures");
+                vpd_obs::add("cg.iterations", *iterations as u64);
+                if *stagnated {
+                    vpd_obs::incr("cg.stagnations");
+                }
+            }
+            Err(_) => vpd_obs::incr("cg.failures"),
+        }
+    }
+    result
+}
+
+fn cg_run(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &CgSettings,
+    ws: &mut CgWorkspace,
+) -> Result<CgReport, NumericError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(NumericError::DimensionMismatch {

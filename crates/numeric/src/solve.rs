@@ -123,6 +123,39 @@ pub fn resilient_solve_into(
     settings: &ResilientSettings,
     ws: &mut CgWorkspace,
 ) -> Result<SolveReport, NumericError> {
+    let result = ladder_run(a, b, x, settings, ws);
+    // Ladder-stage accounting is observational (integer counters after
+    // the solve), so enabling metrics cannot change the result bits.
+    if vpd_obs::is_enabled() {
+        match &result {
+            Ok(rep) => {
+                vpd_obs::incr("solve.solves");
+                vpd_obs::incr(match rep.method {
+                    SolveMethod::ConjugateGradient => "solve.warm_cg",
+                    SolveMethod::ConjugateGradientRestart => "solve.cold_restart",
+                    SolveMethod::DenseLu => "solve.dense_lu",
+                });
+                if rep.used_fallback() {
+                    vpd_obs::incr("solve.fallbacks");
+                }
+                if rep.stagnated {
+                    vpd_obs::incr("solve.stagnations");
+                }
+                vpd_obs::observe("solve.iterations_per_solve", rep.iterations as u64);
+            }
+            Err(_) => vpd_obs::incr("solve.errors"),
+        }
+    }
+    result
+}
+
+fn ladder_run(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &ResilientSettings,
+    ws: &mut CgWorkspace,
+) -> Result<SolveReport, NumericError> {
     let n = a.rows();
 
     // Near-singular pre-check: a vanishing diagonal entry (relative to

@@ -1,0 +1,43 @@
+//! Std-only observability for the solver stack: a process-global
+//! metrics registry (atomic counters, gauges, fixed-bucket histograms),
+//! scoped timing spans, and snapshot/NDJSON export.
+//!
+//! The registry is **disabled by default**. Every recording entry point
+//! first loads one relaxed atomic bool; while disabled no locks are
+//! taken, no time is read, and no memory is written, so instrumented
+//! hot paths cost a single predictable branch. Recording itself is
+//! strictly observational — integer atomics only, never touching the
+//! instrumented computation — which is what lets the solver crates
+//! guarantee bitwise-identical results with metrics on or off.
+//!
+//! ```
+//! vpd_obs::set_enabled(true);
+//! vpd_obs::incr("demo.runs");
+//! vpd_obs::add("demo.items", 3);
+//! {
+//!     let _span = vpd_obs::span("demo.work_ns");
+//!     // ... timed work ...
+//! }
+//! let snap = vpd_obs::snapshot();
+//! assert_eq!(snap.counter("demo.items"), Some(3));
+//! vpd_obs::set_enabled(false);
+//! vpd_obs::reset();
+//! ```
+//!
+//! Metric names are `&'static str` by design: each distinct name is
+//! registered once (the backing cell is leaked, bounded by the fixed
+//! set of instrumentation sites) and subsequent lookups are a short
+//! mutex-guarded map probe — cheap next to any solve, and absent
+//! entirely while disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod snapshot;
+
+pub use registry::{
+    add, gauge_set, incr, is_enabled, observe, reset, set_enabled, span, Counter, Gauge, Histogram,
+    SpanGuard, HISTOGRAM_BUCKETS,
+};
+pub use snapshot::{append_ndjson, snapshot, HistogramSnapshot, MetricsSnapshot};

@@ -1,0 +1,384 @@
+//! The process-global metric registry and its primitive cells.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global enable flag. All recording entry points check this first with
+/// one relaxed load, so the disabled cost is a predictable branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric recording on or off process-wide. Off is the default;
+/// recorded values persist across a disable (use [`reset`] to zero).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point value (rates, ratios, sizes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge (stored as raw `f64` bits; no FP arithmetic).
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 when never set).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0.0_f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Number of fixed power-of-two histogram buckets. Bucket `k` counts
+/// values `v` with `prev_bound < v <= 2^k − 1`; the last bucket absorbs
+/// everything larger (~2.1 × 10⁹ ns ≈ 2 s for span timings).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket histogram of `u64` observations (iteration counts,
+/// span nanoseconds). Power-of-two bucket bounds: no configuration, no
+/// allocation, O(1) atomic recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum overflow must not wrap into a small lie.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Count in bucket `index` (None out of range).
+    #[must_use]
+    pub fn bucket(&self, index: usize) -> Option<u64> {
+        self.buckets.get(index).map(|b| b.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The bucket an observation lands in: 0 for 0, otherwise the value's
+/// bit width, clamped into the fixed bucket range.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `index` (`u64::MAX` for the last).
+#[must_use]
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        (1_u64 << index) - 1
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    pub(crate) gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    pub(crate) histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Looks up (registering on first use) a metric cell. The leak is
+/// bounded: one cell per distinct static name, for the process lifetime.
+fn cell<M: Default>(
+    map: &Mutex<BTreeMap<&'static str, &'static M>>,
+    name: &'static str,
+) -> &'static M {
+    let mut map = map.lock().expect("metric registry poisoned");
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(M::default())))
+}
+
+/// Adds `n` to counter `name` (no-op while disabled).
+pub fn add(name: &'static str, n: u64) {
+    if is_enabled() {
+        cell(&registry().counters, name).add(n);
+    }
+}
+
+/// Increments counter `name` by one (no-op while disabled).
+pub fn incr(name: &'static str) {
+    add(name, 1);
+}
+
+/// Sets gauge `name` (no-op while disabled).
+pub fn gauge_set(name: &'static str, value: f64) {
+    if is_enabled() {
+        cell(&registry().gauges, name).set(value);
+    }
+}
+
+/// Records `value` into histogram `name` (no-op while disabled).
+pub fn observe(name: &'static str, value: u64) {
+    if is_enabled() {
+        cell(&registry().histograms, name).record(value);
+    }
+}
+
+/// Zeroes every registered metric (registrations persist). Intended for
+/// tests and between measurement phases; recording may race a reset,
+/// so quiesce instrumented work first if exact zeros matter.
+pub fn reset() {
+    let reg = registry();
+    for c in reg
+        .counters
+        .lock()
+        .expect("metric registry poisoned")
+        .values()
+    {
+        c.reset();
+    }
+    for g in reg
+        .gauges
+        .lock()
+        .expect("metric registry poisoned")
+        .values()
+    {
+        g.reset();
+    }
+    for h in reg
+        .histograms
+        .lock()
+        .expect("metric registry poisoned")
+        .values()
+    {
+        h.reset();
+    }
+}
+
+/// An RAII timing scope: on drop, the elapsed wall time in nanoseconds
+/// is recorded into histogram `name`. While disabled the guard holds no
+/// start time — the clock is never read.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ drops immediately"]
+pub struct SpanGuard {
+    start: Option<(&'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.start.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // Re-check enabled: recording may have been turned off while
+            // the span was open; observe() gates again, which is fine.
+            observe(name, nanos);
+        }
+    }
+}
+
+/// Opens a timing span over histogram `name`; see [`SpanGuard`].
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        start: is_enabled().then(|| (name, Instant::now())),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Registry state is process-global; tests in this file serialize
+    /// on one mutex so their counts never interleave.
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _gate = lock();
+        set_enabled(false);
+        reset();
+        incr("test.disabled");
+        observe("test.disabled.hist", 5);
+        gauge_set("test.disabled.gauge", 1.5);
+        set_enabled(true);
+        let snap = crate::snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter("test.disabled").unwrap_or(0), 0);
+        assert_eq!(snap.gauge("test.disabled.gauge").unwrap_or(0.0), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        incr("test.counter");
+        add("test.counter", 41);
+        assert_eq!(crate::snapshot().counter("test.counter"), Some(42));
+        reset();
+        assert_eq!(crate::snapshot().counter("test.counter"), Some(0));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Every value's bucket bound brackets the value.
+        for v in [0_u64, 1, 7, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "{v} in bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        for v in [1_u64, 2, 3, 1000] {
+            observe("test.hist", v);
+        }
+        let snap = crate::snapshot();
+        let h = snap.histogram("test.hist").expect("registered");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn span_times_land_in_the_named_histogram() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _span = span("test.span_ns");
+            std::hint::black_box(());
+        }
+        let snap = crate::snapshot();
+        assert_eq!(snap.histogram("test.span_ns").map(|h| h.count), Some(1));
+        set_enabled(false);
+        // Disabled spans never read the clock or record.
+        {
+            let _span = span("test.span_ns");
+        }
+        set_enabled(true);
+        assert_eq!(
+            crate::snapshot().histogram("test.span_ns").map(|h| h.count),
+            Some(1)
+        );
+        set_enabled(false);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        gauge_set("test.gauge", 2.5);
+        gauge_set("test.gauge", 7.25);
+        assert_eq!(crate::snapshot().gauge("test.gauge"), Some(7.25));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lost_update_free() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        incr("test.concurrent");
+                    }
+                });
+            }
+        });
+        assert_eq!(crate::snapshot().counter("test.concurrent"), Some(8000));
+        set_enabled(false);
+    }
+}

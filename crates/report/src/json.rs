@@ -1,0 +1,191 @@
+//! A minimal JSON document model with a `Display` serializer.
+//!
+//! The workspace is std-only (the `serde` dependency is a marker-trait
+//! stand-in with no serializer behind it), so machine-readable output is
+//! built by hand. [`Json`] keeps that honest: values compose as a tree
+//! and the `Display` impl guarantees well-formed output — escaping,
+//! `null` for non-finite floats, no trailing commas — instead of every
+//! call site string-formatting its own braces.
+
+use std::fmt;
+
+/// A JSON value. Build with the constructors/`From` impls and the
+/// [`Json::obj`] helper; serialize with `to_string()` / `{}`.
+///
+/// ```
+/// use vpd_report::Json;
+///
+/// let doc = Json::obj([
+///     ("name", Json::from("droop")),
+///     ("volts", Json::from(0.05)),
+///     ("ok", Json::from(true)),
+/// ]);
+/// assert_eq!(doc.to_string(), r#"{"name":"droop","volts":0.05,"ok":true}"#);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`. Also what non-finite numbers serialize as.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, emitted without a decimal point.
+    Int(i64),
+    /// A float, emitted with shortest round-trip formatting; NaN and
+    /// infinities become `null` (JSON has no spelling for them).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; key order is preserved as inserted.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Self {
+        Json::Array(items.into_iter().collect())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        // Saturating: a count past i64::MAX is not representable here,
+        // and lying small beats wrapping negative.
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(-3_i64).to_string(), "-3");
+        assert_eq!(Json::from(0.25).to_string(), "0.25");
+        assert_eq!(Json::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\te\u{1}").to_string(),
+            r#""a\"b\\c\nd\te\u0001""#
+        );
+    }
+
+    #[test]
+    fn nested_structures_compose() {
+        let doc = Json::obj([
+            ("xs", Json::array([Json::from(1_i64), Json::from(2_i64)])),
+            ("inner", Json::obj([("k", Json::Null)])),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"xs":[1,2],"inner":{"k":null}}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::array([]).to_string(), "[]");
+        assert_eq!(Json::obj::<String>([]).to_string(), "{}");
+    }
+}

@@ -16,9 +16,13 @@
 mod chart;
 mod csv;
 mod histogram;
+mod json;
+mod render;
 mod table;
 
 pub use chart::{Bar, BarChart};
 pub use csv::Csv;
 pub use histogram::{sparkline, Histogram};
+pub use json::Json;
+pub use render::{Render, RenderFormat};
 pub use table::{Align, Table};

@@ -1,0 +1,82 @@
+//! The unified report-rendering contract behind the CLI's `--format`
+//! flag: every report type renders itself as human text or as a
+//! machine-readable [`Json`] document, and callers pick per invocation.
+
+use crate::json::Json;
+use std::str::FromStr;
+
+/// Output format selector (the CLI's global `--format` flag).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RenderFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// One machine-readable JSON document.
+    Json,
+}
+
+impl FromStr for RenderFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Self::Text),
+            "json" => Ok(Self::Json),
+            other => Err(format!("unknown format '{other}' (expected text|json)")),
+        }
+    }
+}
+
+/// A report that can render itself for people and for machines.
+///
+/// `render_text` is the CLI's default presentation; `render_json`
+/// returns a [`Json`] tree so callers can embed the report in a larger
+/// document (the CLI wraps every report with command/architecture
+/// context) before serializing.
+pub trait Render {
+    /// Human-readable rendering, newline-terminated lines.
+    fn render_text(&self) -> String;
+
+    /// Machine-readable rendering as a JSON value.
+    fn render_json(&self) -> Json;
+
+    /// Renders in the requested format: text verbatim, or the compact
+    /// single-document JSON serialization.
+    fn render(&self, format: RenderFormat) -> String {
+        match format {
+            RenderFormat::Text => self.render_text(),
+            RenderFormat::Json => self.render_json().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl Render for Fixed {
+        fn render_text(&self) -> String {
+            "answer: 42\n".to_owned()
+        }
+
+        fn render_json(&self) -> Json {
+            Json::obj([("answer", Json::from(42_i64))])
+        }
+    }
+
+    #[test]
+    fn format_parses_and_defaults() {
+        assert_eq!("text".parse::<RenderFormat>().unwrap(), RenderFormat::Text);
+        assert_eq!("json".parse::<RenderFormat>().unwrap(), RenderFormat::Json);
+        assert!("yaml".parse::<RenderFormat>().is_err());
+        assert_eq!(RenderFormat::default(), RenderFormat::Text);
+    }
+
+    #[test]
+    fn render_dispatches_on_format() {
+        assert_eq!(Fixed.render(RenderFormat::Text), "answer: 42\n");
+        assert_eq!(Fixed.render(RenderFormat::Json), r#"{"answer":42}"#);
+    }
+}

@@ -26,6 +26,38 @@ fi
 step "fault-sweep smoke (8 scenarios, finiteness-checked)"
 cargo run --release -p vpd-bench --bin faults -- --samples 8 || fail=1
 
+step "observability smoke (metrics on == off, bitwise)"
+cargo run --release -p vpd-bench --bin obs -- --samples 8 || fail=1
+
+step "CLI smoke: --format json + --metrics NDJSON round-trip"
+metrics_file="target/tier1-metrics.ndjson"
+rm -f "$metrics_file"
+if cargo run --release --bin vpd -- --format json --metrics "$metrics_file" \
+    mc --arch a1 --samples 4 >target/tier1-mc.json; then
+    python3 - "$metrics_file" target/tier1-mc.json <<'EOF' || fail=1
+import json, math, sys
+
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+summary = doc["summary"]
+for key in ("mean_percent", "std_dev_percent", "min_percent", "max_percent"):
+    assert math.isfinite(summary[key]), f"non-finite {key} in CLI JSON"
+
+with open(sys.argv[1]) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert len(lines) == 1, f"expected 1 NDJSON record, got {len(lines)}"
+rec = lines[0]
+assert rec["label"] == "mc", rec["label"]
+assert rec["counters"]["mc.samples"] == 4, rec["counters"]
+assert rec["counters"]["cg.solves"] > 0, rec["counters"]
+for value in rec["gauges"].values():
+    assert value is None or math.isfinite(value), "non-finite gauge"
+print("CLI smoke OK: JSON output and NDJSON metrics both parse and are finite")
+EOF
+else
+    fail=1
+fi
+
 step "cargo clippy --release -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings || fail=1
 

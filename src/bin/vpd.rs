@@ -6,32 +6,52 @@
 //! vpd matrix
 //! vpd recommend
 //! vpd sharing --placement below --modules 48
+//! vpd mc --arch a2 --samples 200
 //! vpd impedance --arch a2
 //! vpd droop --arch a0
 //! vpd thermal --arch a2 --tech si
 //! vpd faults --arch a2 --n-minus-1
+//! vpd --format json --metrics metrics.ndjson mc --arch a1
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use vertical_power_delivery::core::{
-    electro_thermal, explore_matrix, recommend, simulate_droop, solve_sharing, target_impedance,
-    ElectroThermalSettings, FaultScenario, FaultSweep, LoadStep, PdnModel,
+    electro_thermal, explore_matrix, recommend, run_tolerance, simulate_droop, solve_sharing,
+    target_impedance, ElectroThermalSettings, FaultScenario, FaultSweep, LoadStep, McSettings,
+    PdnModel,
 };
+use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
+use vertical_power_delivery::report::Json;
 use vertical_power_delivery::thermal::DeviceTechnology;
 use vpd_units::Seconds;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Command::parse(&args) {
-        Ok(cmd) => cmd,
+    let invocation = match Invocation::parse(&args) {
+        Ok(inv) => inv,
         Err(msg) => {
             eprintln!("error: {msg}\n");
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    match run(parsed) {
+    if invocation.metrics.is_some() {
+        obs::set_enabled(true);
+    }
+    let label = invocation.command.name();
+    let outcome = run(invocation.command, invocation.format);
+    if let Some(path) = &invocation.metrics {
+        let snapshot = obs::snapshot();
+        if let Err(e) = obs::append_ndjson(path, label, &snapshot) {
+            eprintln!(
+                "warning: could not write metrics to {}: {e}",
+                path.display()
+            );
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -40,20 +60,64 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vpd <command> [options]
+const USAGE: &str = "usage: vpd [--format <text|json>] [--metrics <path>] <command> [options]
+
+global options:
+  --format <text|json>  output format (default: text)
+  --metrics <path>      record solver metrics and append one NDJSON
+                        snapshot line per invocation to <path>
 
 commands:
   analyze     --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--power <watts>] [--density <A/mm2>]
   matrix      full architecture x topology loss table
   recommend   designer ranking (no overload extrapolation)
-  sharing     --placement <periphery|below> [--modules <n>]
-  impedance   --arch <a0|a1|a2>
-  droop       --arch <a0|a1|a2>
+  sharing     [--placement <periphery|below>] [--modules <n>]
+  mc          --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
+              [--samples <n>] [--seed <s>] [--threads <n>]
+  impedance   --arch <a0|a1|a2|a3-12|a3-6>
+  droop       --arch <a0|a1|a2|a3-12|a3-6>
   thermal     --arch <a1|a2> [--tech <si|gan>]
   faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--n-minus-1 | --random-k <k>] [--count <n>] [--seed <s>]
   help        print this message";
+
+/// A full CLI invocation: global flags plus the subcommand.
+#[derive(Clone, Debug, PartialEq)]
+struct Invocation {
+    command: Command,
+    format: RenderFormat,
+    metrics: Option<PathBuf>,
+}
+
+impl Invocation {
+    /// Extracts the global `--format` / `--metrics` flags (accepted
+    /// anywhere on the line) and parses the rest as a [`Command`].
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut format = RenderFormat::Text;
+        let mut metrics = None;
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let v = it.next().ok_or("--format expects text|json")?;
+                    format = v.parse()?;
+                }
+                "--metrics" => {
+                    let v = it.next().ok_or("--metrics expects a file path")?;
+                    metrics = Some(PathBuf::from(v));
+                }
+                _ => rest.push(arg.clone()),
+            }
+        }
+        Ok(Self {
+            command: Command::parse(&rest)?,
+            format,
+            metrics,
+        })
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +133,13 @@ enum Command {
     Sharing {
         placement: VrPlacement,
         modules: usize,
+    },
+    Mc {
+        arch: Architecture,
+        topology: VrTopologyKind,
+        samples: usize,
+        seed: u64,
+        threads: usize,
     },
     Impedance {
         arch: Architecture,
@@ -93,6 +164,22 @@ enum Command {
 }
 
 impl Command {
+    /// The subcommand name, used as the metrics snapshot label.
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Analyze { .. } => "analyze",
+            Self::Matrix => "matrix",
+            Self::Recommend => "recommend",
+            Self::Sharing { .. } => "sharing",
+            Self::Mc { .. } => "mc",
+            Self::Impedance { .. } => "impedance",
+            Self::Droop { .. } => "droop",
+            Self::Thermal { .. } => "thermal",
+            Self::Faults { .. } => "faults",
+            Self::Help => "help",
+        }
+    }
+
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut it = args.iter();
         let cmd = it.next().ok_or("missing command")?;
@@ -153,6 +240,19 @@ impl Command {
                 let modules = parse_f64("--modules", 48.0)? as usize;
                 Ok(Self::Sharing { placement, modules })
             }
+            "mc" => {
+                let samples = parse_f64("--samples", 200.0)? as usize;
+                if samples == 0 {
+                    return Err("--samples must be at least 1".into());
+                }
+                Ok(Self::Mc {
+                    arch: parse_arch(true)?,
+                    topology: parse_topology()?,
+                    samples,
+                    seed: parse_f64("--seed", 0x5eed as f64)? as u64,
+                    threads: parse_f64("--threads", 0.0)? as usize,
+                })
+            }
             "impedance" => Ok(Self::Impedance {
                 arch: parse_arch(true)?,
             }),
@@ -199,7 +299,15 @@ impl Command {
     }
 }
 
-fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+/// Prints one document: the text rendering, or the context-wrapped JSON.
+fn emit(format: RenderFormat, text: impl FnOnce() -> String, json: impl FnOnce() -> Json) {
+    match format {
+        RenderFormat::Text => print!("{}", text()),
+        RenderFormat::Json => println!("{}", json()),
+    }
+}
+
+fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Error>> {
     let calib = Calibration::paper_default();
     match cmd {
         Command::Help => println!("{USAGE}"),
@@ -216,86 +324,223 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 CurrentDensity::from_amps_per_square_millimeter(density),
             )?;
             let report = analyze(arch, topology, &spec, &calib, &AnalysisOptions::default())?;
-            println!(
-                "{} / {} at {:.0} W, {:.1} A/mm² (die {:.0} mm²)",
-                arch.name(),
-                topology,
-                power_w,
-                density,
-                spec.die_area().as_square_millimeters()
-            );
-            for s in report.breakdown.segments() {
-                println!(
-                    "  {:<28} {:>9.2} W ({:>5.2}%)",
-                    s.name,
-                    s.power.value(),
-                    report.breakdown.percent_of_pol_power(s.power)
-                );
-            }
-            println!(
-                "  total {:.1}% of POL power — efficiency {}",
-                report.loss_percent(),
-                report.breakdown.end_to_end_efficiency()
+            emit(
+                format,
+                || {
+                    format!(
+                        "{} / {} at {:.0} W, {:.1} A/mm² (die {:.0} mm²)\n{}",
+                        arch.name(),
+                        topology,
+                        power_w,
+                        density,
+                        spec.die_area().as_square_millimeters(),
+                        report.breakdown.render_text(),
+                    )
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("analyze")),
+                        ("architecture", Json::from(arch.name())),
+                        ("topology", Json::from(topology.name())),
+                        ("power_w", Json::from(power_w)),
+                        ("density_a_per_mm2", Json::from(density)),
+                        (
+                            "die_area_mm2",
+                            Json::from(spec.die_area().as_square_millimeters()),
+                        ),
+                        ("overloaded", Json::from(report.overloaded)),
+                        ("breakdown", report.breakdown.render_json()),
+                    ])
+                },
             );
         }
         Command::Matrix => {
             let spec = SystemSpec::paper_default();
-            for e in explore_matrix(
+            let entries = explore_matrix(
                 &VrTopologyKind::ALL,
                 &spec,
                 &calib,
                 &AnalysisOptions::default(),
-            ) {
-                match e.outcome {
-                    Ok(r) => println!(
-                        "{:<8} {:<6} {:>5.1}%{}",
-                        e.architecture.name(),
-                        e.topology.name(),
-                        r.loss_percent(),
-                        if r.overloaded { "  [extrapolated]" } else { "" }
-                    ),
-                    Err(err) => println!(
-                        "{:<8} {:<6} excluded: {err}",
-                        e.architecture.name(),
-                        e.topology.name()
-                    ),
-                }
-            }
+            );
+            emit(
+                format,
+                || {
+                    let mut out = String::new();
+                    for e in &entries {
+                        match &e.outcome {
+                            Ok(r) => out.push_str(&format!(
+                                "{:<8} {:<6} {:>5.1}%{}\n",
+                                e.architecture.name(),
+                                e.topology.name(),
+                                r.loss_percent(),
+                                if r.overloaded { "  [extrapolated]" } else { "" }
+                            )),
+                            Err(err) => out.push_str(&format!(
+                                "{:<8} {:<6} excluded: {err}\n",
+                                e.architecture.name(),
+                                e.topology.name()
+                            )),
+                        }
+                    }
+                    out
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("matrix")),
+                        (
+                            "entries",
+                            Json::array(entries.iter().map(|e| {
+                                let mut pairs = vec![
+                                    ("architecture".to_owned(), Json::from(e.architecture.name())),
+                                    ("topology".to_owned(), Json::from(e.topology.name())),
+                                ];
+                                match &e.outcome {
+                                    Ok(r) => {
+                                        pairs.push((
+                                            "loss_percent".to_owned(),
+                                            Json::from(r.loss_percent()),
+                                        ));
+                                        pairs.push((
+                                            "overloaded".to_owned(),
+                                            Json::from(r.overloaded),
+                                        ));
+                                    }
+                                    Err(err) => pairs
+                                        .push(("excluded".to_owned(), Json::from(err.to_string()))),
+                                }
+                                Json::Object(pairs)
+                            })),
+                        ),
+                    ])
+                },
+            );
         }
         Command::Recommend => {
             let rec = recommend(&SystemSpec::paper_default(), &calib);
-            for (i, c) in rec.ranked.iter().enumerate() {
-                println!("#{}: {}", i + 1, c.rationale);
-            }
-            for (a, t, e) in &rec.rejected {
-                println!("rejected {}/{t}: {e}", a.name());
-            }
+            emit(
+                format,
+                || {
+                    let mut out = String::new();
+                    for (i, c) in rec.ranked.iter().enumerate() {
+                        out.push_str(&format!("#{}: {}\n", i + 1, c.rationale));
+                    }
+                    for (a, t, e) in &rec.rejected {
+                        out.push_str(&format!("rejected {}/{t}: {e}\n", a.name()));
+                    }
+                    out
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("recommend")),
+                        (
+                            "ranked",
+                            Json::array(rec.ranked.iter().map(|c| {
+                                Json::obj([
+                                    ("architecture", Json::from(c.architecture.name())),
+                                    ("topology", Json::from(c.topology.name())),
+                                    ("loss_percent", Json::from(c.report.loss_percent())),
+                                    ("rationale", Json::from(c.rationale.as_str())),
+                                ])
+                            })),
+                        ),
+                        (
+                            "rejected",
+                            Json::array(rec.rejected.iter().map(|(a, t, e)| {
+                                Json::obj([
+                                    ("architecture", Json::from(a.name())),
+                                    ("topology", Json::from(t.name())),
+                                    ("error", Json::from(e.to_string())),
+                                ])
+                            })),
+                        ),
+                    ])
+                },
+            );
         }
         Command::Sharing { placement, modules } => {
             let rep = solve_sharing(&SystemSpec::paper_default(), &calib, placement, modules)?;
-            println!(
-                "{modules} modules {placement}: {:.1} – {:.1} A (mean {:.1} A), grid loss {}, worst drop {}",
-                rep.min().value(),
-                rep.max().value(),
-                rep.mean().value(),
-                rep.grid_loss(),
-                rep.worst_drop()
+            emit(
+                format,
+                || format!("{modules} modules {placement}: {}", rep.render_text()),
+                || {
+                    Json::obj([
+                        ("command", Json::from("sharing")),
+                        ("placement", Json::from(placement.to_string())),
+                        ("report", rep.render_json()),
+                    ])
+                },
+            );
+        }
+        Command::Mc {
+            arch,
+            topology,
+            samples,
+            seed,
+            threads,
+        } => {
+            let settings = McSettings {
+                samples,
+                seed,
+                threads,
+                ..McSettings::default()
+            };
+            let summary = run_tolerance(
+                arch,
+                topology,
+                &SystemSpec::paper_default(),
+                &calib,
+                &settings,
+            )?;
+            emit(
+                format,
+                || {
+                    format!(
+                        "{} / {topology}: {samples} samples (seed {seed}): {}",
+                        arch.name(),
+                        summary.render_text(),
+                    )
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("mc")),
+                        ("architecture", Json::from(arch.name())),
+                        ("topology", Json::from(topology.name())),
+                        ("samples", Json::from(samples)),
+                        ("seed", Json::from(i64::try_from(seed).unwrap_or(i64::MAX))),
+                        ("summary", summary.render_json()),
+                    ])
+                },
             );
         }
         Command::Impedance { arch } => {
             let model = PdnModel::for_architecture(arch);
             let zt = target_impedance(&SystemSpec::paper_default(), 0.05, 0.25);
             let peak = model.peak_impedance()?;
-            println!(
-                "{}: peak |Z| = {} vs target {} → {}",
-                arch.name(),
-                peak,
-                zt,
-                if peak.value() <= zt.value() {
-                    "meets target"
-                } else {
-                    "violates target"
-                }
+            let meets = peak.value() <= zt.value();
+            emit(
+                format,
+                || {
+                    format!(
+                        "{}: peak |Z| = {} vs target {} → {}\n",
+                        arch.name(),
+                        peak,
+                        zt,
+                        if meets {
+                            "meets target"
+                        } else {
+                            "violates target"
+                        }
+                    )
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("impedance")),
+                        ("architecture", Json::from(arch.name())),
+                        ("peak_impedance_ohm", Json::from(peak.value())),
+                        ("target_ohm", Json::from(zt.value())),
+                        ("meets_target", Json::from(meets)),
+                    ])
+                },
             );
         }
         Command::Droop { arch } => {
@@ -306,11 +551,22 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 Seconds::from_microseconds(60.0),
                 Seconds::from_nanoseconds(10.0),
             )?;
-            println!(
-                "{}: 250 A → 1 kA step drops the rail by {} (bound ΔI·|Z|max = {})",
-                arch.name(),
-                report.droop,
-                report.impedance_bound
+            emit(
+                format,
+                || {
+                    format!(
+                        "{}: 250 A → 1 kA step: {}",
+                        arch.name(),
+                        report.render_text()
+                    )
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("droop")),
+                        ("architecture", Json::from(arch.name())),
+                        ("report", report.render_json()),
+                    ])
+                },
             );
         }
         Command::Thermal { arch, tech } => {
@@ -326,14 +582,40 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 &AnalysisOptions::default(),
                 &settings,
             )?;
-            println!(
-                "{} ({tech:?}): worst module {:.0} °C, VR loss {:.0} W → {:.0} W (+{:.1} W), within rating: {}",
-                arch.name(),
-                r.worst_module_temperature.value(),
-                r.nominal_conversion_loss.value(),
-                r.derated_conversion_loss.value(),
-                r.thermal_penalty().value(),
-                r.modules_within_rating
+            emit(
+                format,
+                || {
+                    format!(
+                        "{} ({tech:?}): worst module {:.0} °C, VR loss {:.0} W → {:.0} W (+{:.1} W), within rating: {}\n",
+                        arch.name(),
+                        r.worst_module_temperature.value(),
+                        r.nominal_conversion_loss.value(),
+                        r.derated_conversion_loss.value(),
+                        r.thermal_penalty().value(),
+                        r.modules_within_rating
+                    )
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("thermal")),
+                        ("architecture", Json::from(arch.name())),
+                        ("technology", Json::from(format!("{tech:?}"))),
+                        (
+                            "worst_module_temperature_c",
+                            Json::from(r.worst_module_temperature.value()),
+                        ),
+                        (
+                            "nominal_conversion_loss_w",
+                            Json::from(r.nominal_conversion_loss.value()),
+                        ),
+                        (
+                            "derated_conversion_loss_w",
+                            Json::from(r.derated_conversion_loss.value()),
+                        ),
+                        ("thermal_penalty_w", Json::from(r.thermal_penalty().value())),
+                        ("within_rating", Json::from(r.modules_within_rating)),
+                    ])
+                },
             );
         }
         Command::Faults {
@@ -355,34 +637,29 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 Some(k) => format!("{count} random {k}-fault scenarios (seed {seed})"),
             };
             let report = sweep.run(&scenarios, 0)?;
-            println!(
-                "{} / {topology}: {label}\n  nominal:  worst drop {}, spread {:.2}x",
-                arch.name(),
-                sweep.nominal().worst_drop(),
-                sweep.nominal().max().value() / sweep.nominal().mean().value(),
-            );
-            println!(
-                "  faulted:  worst drop {} ({}), max spread {:.2}x, worst surviving module {:.1} A",
-                report.worst_drop,
-                report.worst_scenario,
-                report.max_spread,
-                report.worst_surviving_current.value(),
-            );
-            match (report.rating, report.margin()) {
-                (Some(rating), Some(margin)) => println!(
-                    "  rating:   {:.0} A per module → margin {:+.1}% ({} / {} scenarios overloaded)",
-                    rating.value(),
-                    100.0 * margin,
-                    report.overloaded_scenarios,
-                    report.outcomes.len(),
-                ),
-                _ => println!("  rating:   n/a (passive entry clusters)"),
-            }
-            println!(
-                "  solver:   {} / {} scenarios needed a fallback, {} stagnated",
-                report.fallback_count,
-                report.outcomes.len(),
-                report.stagnation_count,
+            emit(
+                format,
+                || {
+                    format!(
+                        "{} / {topology}: {label}\n  nominal:  worst drop {}, spread {:.2}x\n{}",
+                        arch.name(),
+                        sweep.nominal().worst_drop(),
+                        sweep.nominal().max().value() / sweep.nominal().mean().value(),
+                        report.render_text(),
+                    )
+                },
+                || {
+                    Json::obj([
+                        ("command", Json::from("faults")),
+                        ("mode", Json::from(label.as_str())),
+                        ("topology", Json::from(topology.name())),
+                        (
+                            "nominal_worst_drop_v",
+                            Json::from(sweep.nominal().worst_drop().value()),
+                        ),
+                        ("report", report.render_json()),
+                    ])
+                },
             );
         }
     }
@@ -396,6 +673,11 @@ mod tests {
     fn parse(args: &[&str]) -> Result<Command, String> {
         let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
         Command::parse(&owned)
+    }
+
+    fn parse_invocation(args: &[&str]) -> Result<Invocation, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Invocation::parse(&owned)
     }
 
     #[test]
@@ -465,6 +747,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_mc() {
+        match parse(&["mc", "--arch", "a2", "--samples", "50", "--seed", "9"]).unwrap() {
+            Command::Mc {
+                arch,
+                topology,
+                samples,
+                seed,
+                threads,
+            } => {
+                assert_eq!(arch, Architecture::InterposerEmbedded);
+                assert_eq!(topology, VrTopologyKind::Dsch);
+                assert_eq!(samples, 50);
+                assert_eq!(seed, 9);
+                assert_eq!(threads, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["mc"]).is_err(), "--arch required");
+        assert!(parse(&["mc", "--arch", "a1", "--samples", "0"]).is_err());
+    }
+
+    #[test]
     fn parses_faults_modes() {
         assert!(matches!(
             parse(&["faults", "--arch", "a2", "--n-minus-1"]).unwrap(),
@@ -508,6 +812,41 @@ mod tests {
         assert!(parse(&["faults", "--arch", "a1", "--random-k", "three"]).is_err());
         assert!(parse(&["faults", "--arch", "a1", "--random-k", "0"]).is_err());
         assert!(parse(&["faults", "--arch", "a1", "--n-minus-1", "--random-k", "2"]).is_err());
+    }
+
+    #[test]
+    fn global_flags_parse_anywhere() {
+        let inv = parse_invocation(&["--format", "json", "matrix"]).unwrap();
+        assert_eq!(inv.format, RenderFormat::Json);
+        assert_eq!(inv.command, Command::Matrix);
+        assert_eq!(inv.metrics, None);
+
+        // Globals are accepted after the subcommand too.
+        let inv =
+            parse_invocation(&["sharing", "--metrics", "m.ndjson", "--format", "text"]).unwrap();
+        assert_eq!(inv.format, RenderFormat::Text);
+        assert_eq!(inv.metrics, Some(PathBuf::from("m.ndjson")));
+        assert!(matches!(inv.command, Command::Sharing { .. }));
+
+        // Defaults: text, no metrics.
+        let inv = parse_invocation(&["recommend"]).unwrap();
+        assert_eq!(inv.format, RenderFormat::Text);
+        assert_eq!(inv.metrics, None);
+    }
+
+    #[test]
+    fn global_flags_reject_bad_values() {
+        assert!(parse_invocation(&["--format", "yaml", "matrix"]).is_err());
+        assert!(parse_invocation(&["matrix", "--format"]).is_err());
+        assert!(parse_invocation(&["matrix", "--metrics"]).is_err());
+    }
+
+    #[test]
+    fn command_names_cover_every_variant() {
+        assert_eq!(parse(&["matrix"]).unwrap().name(), "matrix");
+        assert_eq!(parse(&["mc", "--arch", "a1"]).unwrap().name(), "mc");
+        assert_eq!(parse(&["faults", "--arch", "a1"]).unwrap().name(), "faults");
+        assert_eq!(parse(&["help"]).unwrap().name(), "help");
     }
 
     #[test]

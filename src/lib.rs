@@ -18,7 +18,11 @@
 //! * [`core`] — the architectures `A0`–`A3`, current sharing, loss
 //!   breakdowns, PDN impedance, electro-thermal co-analysis,
 //!   exploration, placement optimization, Monte-Carlo;
-//! * [`report`] — tables/charts/CSV for the experiment harness.
+//! * [`report`] — tables/charts/CSV/JSON and the [`report::Render`]
+//!   contract for the experiment harness;
+//! * [`obs`] — the std-only observability layer: solver metrics
+//!   (counters, gauges, histograms), timing spans, and NDJSON snapshot
+//!   export, off by default and enabled by the CLI's `--metrics` flag.
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@ pub use vpd_converters as converters;
 pub use vpd_core as core;
 pub use vpd_devices as devices;
 pub use vpd_numeric as numeric;
+pub use vpd_obs as obs;
 pub use vpd_package as package;
 pub use vpd_report as report;
 pub use vpd_thermal as thermal;
@@ -64,6 +69,7 @@ pub mod prelude {
         PowerMap, SystemSpec, VrPlacement,
     };
     pub use vpd_package::InterconnectTech;
+    pub use vpd_report::{Render, RenderFormat};
     pub use vpd_units::{
         Amps, CurrentDensity, Efficiency, Farads, Henries, Hertz, Ohms, Seconds, SquareMeters,
         Volts, Watts,

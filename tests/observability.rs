@@ -1,0 +1,160 @@
+//! Workspace-level observability contracts: the metrics layer must be
+//! deterministic where the solvers are deterministic, and must never
+//! change a solver result.
+//!
+//! The metric registry is process-global, so every test that enables
+//! recording serializes behind one mutex (this file is its own test
+//! binary, and metrics stay disabled everywhere else, so no other test
+//! can interleave).
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use vertical_power_delivery::core::{
+    run_tolerance, Architecture, FaultScenario, FaultSweep, McSettings, SharingSolver,
+};
+use vertical_power_delivery::obs;
+use vertical_power_delivery::prelude::*;
+
+/// Serializes tests that enable the process-global registry.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn paper() -> (SystemSpec, Calibration) {
+    (SystemSpec::paper_default(), Calibration::paper_default())
+}
+
+/// Runs one MC sweep plus one fault sweep at `threads` and returns the
+/// metric snapshot of just that work.
+fn instrumented_run(threads: usize) -> obs::MetricsSnapshot {
+    let (spec, calib) = paper();
+    obs::reset();
+    run_tolerance(
+        Architecture::InterposerEmbedded,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+        &McSettings {
+            samples: 24,
+            threads,
+            ..McSettings::default()
+        },
+    )
+    .unwrap();
+    let sweep = FaultSweep::new(
+        Architecture::InterposerPeriphery,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+    )
+    .unwrap();
+    sweep
+        .run(&FaultScenario::n_minus_1(sweep.vr_count()), threads)
+        .unwrap();
+    obs::snapshot()
+}
+
+/// The sweeps are bitwise thread-count-independent, so every counter
+/// that tallies *work done* (solves, iterations, fallbacks) must be
+/// identical serial vs parallel. Timing histograms and gauges are
+/// wall-clock and legitimately differ.
+#[test]
+fn work_counters_are_thread_count_deterministic() {
+    let _gate = lock();
+    obs::set_enabled(true);
+    let serial = instrumented_run(1);
+    let parallel = instrumented_run(4);
+    obs::set_enabled(false);
+
+    for name in [
+        "cg.solves",
+        "cg.iterations",
+        "cg.warm_hits",
+        "solve.solves",
+        "solve.warm_cg",
+        "solve.cold_restart",
+        "solve.dense_lu",
+        "solve.stagnations",
+        "plan.solves",
+        "plan.restamps",
+        "grid.solves",
+        "mc.runs",
+        "mc.samples",
+        "faults.runs",
+        "faults.scenarios",
+        "faults.fallbacks",
+        "faults.stagnations",
+        "par.jobs",
+        "par.tasks",
+    ] {
+        assert_eq!(
+            serial.counter(name),
+            parallel.counter(name),
+            "counter {name} differs between serial and parallel runs"
+        );
+    }
+    // And the sweeps actually ran through the instrumented paths.
+    assert_eq!(serial.counter("mc.samples"), Some(24));
+    assert_eq!(serial.counter("faults.runs"), Some(1));
+    assert!(serial.counter("cg.iterations").unwrap_or(0) > 0);
+    // The iteration histogram's totals agree with the counters.
+    let hist = serial
+        .histogram("cg.iterations_per_solve")
+        .expect("histogram registered");
+    assert_eq!(Some(hist.count), serial.counter("cg.solves"));
+    assert_eq!(Some(hist.sum), serial.counter("cg.iterations"));
+}
+
+/// A snapshot of the same seeded run twice must be identical in every
+/// deterministic dimension (full counter list, not a hand-picked set).
+#[test]
+fn same_seed_reruns_reproduce_every_counter() {
+    let _gate = lock();
+    obs::set_enabled(true);
+    let a = instrumented_run(1);
+    let b = instrumented_run(1);
+    obs::set_enabled(false);
+    assert_eq!(a.counters, b.counters);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Enabling metrics never changes a solver result, bitwise — the
+    /// instrumentation is observational only.
+    #[test]
+    fn prop_metrics_never_change_results(
+        n_vrs in 4_usize..56,
+        power in 300.0_f64..1400.0,
+        placement_pick in 0_usize..2,
+    ) {
+        let placement = [VrPlacement::Periphery, VrPlacement::BelowDie][placement_pick];
+        let spec = SystemSpec::new(
+            Volts::new(48.0),
+            Volts::new(1.0),
+            Watts::new(power),
+            CurrentDensity::from_amps_per_square_millimeter(2.0),
+        ).unwrap();
+        let calib = Calibration::paper_default();
+
+        let _gate = lock();
+        obs::set_enabled(false);
+        let off = SharingSolver::builder(&spec, &calib)
+            .placement(placement)
+            .modules(n_vrs)
+            .solve()
+            .unwrap();
+        obs::set_enabled(true);
+        let on = SharingSolver::builder(&spec, &calib)
+            .placement(placement)
+            .modules(n_vrs)
+            .solve()
+            .unwrap();
+        obs::set_enabled(false);
+
+        // Bitwise: PartialEq on SharingReport is exact f64 equality.
+        prop_assert_eq!(off, on);
+    }
+}
