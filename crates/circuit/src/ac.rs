@@ -98,8 +98,10 @@ impl<'a> AcAnalysis<'a> {
     ///
     /// # Errors
     ///
-    /// * [`CircuitError::UnknownElement`] when `source` is not a voltage
-    ///   source of this netlist.
+    /// * [`CircuitError::UnknownElement`] when `source` is not an
+    ///   element of this netlist.
+    /// * [`CircuitError::NotAVoltageSource`] when it exists but is some
+    ///   other element kind.
     /// * As for [`AcAnalysis::impedance`] otherwise.
     pub fn transfer(
         &self,
@@ -109,7 +111,7 @@ impl<'a> AcAnalysis<'a> {
     ) -> Result<Vec<AcPoint>, CircuitError> {
         let e = self.net.element(source)?;
         if !matches!(e.kind, ElementKind::VoltageSource { .. }) {
-            return Err(CircuitError::UnknownElement {
+            return Err(CircuitError::NotAVoltageSource {
                 index: source.index(),
             });
         }
@@ -258,11 +260,337 @@ enum Stimulus {
     UnitVoltage(ElementId),
 }
 
+/// One compiled stamp of the complex MNA system, in netlist element
+/// order so a restamp replays exactly the operations a from-scratch
+/// assembly would perform.
+#[derive(Clone, Copy, Debug)]
+enum PlanOp {
+    /// A two-terminal admittance between the (ground-dropped) node
+    /// indices `a` and `b`.
+    Admittance {
+        a: Option<usize>,
+        b: Option<usize>,
+        kind: AdmittanceKind,
+    },
+    /// A voltage-source constraint row.
+    Source {
+        /// The element index (matched against the driven source).
+        element: usize,
+        a: Option<usize>,
+        b: Option<usize>,
+        row: usize,
+    },
+}
+
+/// Frequency dependence of a compiled admittance stamp.
+#[derive(Clone, Copy, Debug)]
+enum AdmittanceKind {
+    /// `y = g` (resistors and switches at their `t = 0` state).
+    Conductance(f64),
+    /// `y = jωc`.
+    Capacitance(f64),
+    /// `y = −j/(ωl)`.
+    Inductance(f64),
+}
+
+/// A compiled AC solve plan: the netlist is walked **once** — elements
+/// classified, the MNA index map and voltage-source rows fixed — and
+/// every frequency point then restamps only values into one reusable
+/// [`ComplexMatrix`], factoring with [`ComplexLu::factor_into`] and
+/// solving with [`ComplexLu::solve_into`] so a sweep performs **zero
+/// allocations per point after warm-up**.
+///
+/// The plan replays the exact stamp order of [`AcAnalysis`], so the two
+/// paths return bitwise-identical [`AcPoint`]s; it is `Clone`, and each
+/// point depends only on the compiled values and the frequency, so
+/// cloned plans on worker threads produce results identical to a serial
+/// sweep.
+///
+/// ```
+/// use vpd_circuit::{AcAnalysis, AcPlan, Netlist};
+/// use vpd_units::{Farads, Hertz, Ohms, Volts};
+///
+/// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+/// let mut net = Netlist::new();
+/// let n = net.node("pdn");
+/// net.capacitor(n, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)?;
+/// net.resistor(n, net.ground(), Ohms::new(1e6))?;
+/// let mut plan = AcPlan::compile(&net);
+/// let f = Hertz::from_kilohertz(1.0);
+/// let fast = plan.impedance_at(n, f)?;
+/// let reference = AcAnalysis::new(&net).impedance(n, &[f])?[0];
+/// assert_eq!(fast, reference); // bitwise, not approximately
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AcPlan {
+    /// Unknown node voltages (ground dropped).
+    nv: usize,
+    /// Node count of the compiled netlist, for stimulus validation.
+    node_count: usize,
+    /// Element count of the compiled netlist, for stimulus validation.
+    element_count: usize,
+    /// Stamps in element order.
+    ops: Vec<PlanOp>,
+    /// Element indices of the voltage sources, in element order.
+    sources: Vec<usize>,
+    /// Reusable MNA matrix (`dim × dim`).
+    matrix: ComplexMatrix,
+    /// Reusable right-hand side.
+    rhs: Vec<Complex>,
+    /// Reusable factorization (matrix + permutation buffers).
+    lu: ComplexLu,
+    /// Reusable solution buffer.
+    x: Vec<Complex>,
+}
+
+impl AcPlan {
+    /// Compiles the netlist into a reusable plan. Switches are frozen
+    /// at their `t = 0` state, exactly as [`AcAnalysis`] treats them.
+    #[must_use]
+    pub fn compile(net: &Netlist) -> Self {
+        vpd_obs::incr("ac.plan_builds");
+        let nv = net.node_count() - 1;
+        let idx = |n: NodeId| -> Option<usize> {
+            let i = n.index();
+            (i > 0).then(|| i - 1)
+        };
+        let mut sources = Vec::new();
+        let mut ops = Vec::with_capacity(net.elements().len());
+        for (i, e) in net.elements().iter().enumerate() {
+            let (a, b) = (idx(e.a), idx(e.b));
+            match &e.kind {
+                ElementKind::Resistor { r } => ops.push(PlanOp::Admittance {
+                    a,
+                    b,
+                    kind: AdmittanceKind::Conductance(1.0 / r.value()),
+                }),
+                ElementKind::Switch {
+                    r_on,
+                    r_off,
+                    schedule,
+                    initial,
+                } => {
+                    let state = schedule.map_or(*initial, |s| s.state_at(0.0));
+                    let r = match state {
+                        SwitchState::On => r_on.value(),
+                        SwitchState::Off => r_off.value(),
+                    };
+                    ops.push(PlanOp::Admittance {
+                        a,
+                        b,
+                        kind: AdmittanceKind::Conductance(1.0 / r),
+                    });
+                }
+                ElementKind::Capacitor { c, .. } => ops.push(PlanOp::Admittance {
+                    a,
+                    b,
+                    kind: AdmittanceKind::Capacitance(c.value()),
+                }),
+                ElementKind::Inductor { l, .. } => ops.push(PlanOp::Admittance {
+                    a,
+                    b,
+                    kind: AdmittanceKind::Inductance(l.value()),
+                }),
+                ElementKind::VoltageSource { .. } => {
+                    ops.push(PlanOp::Source {
+                        element: i,
+                        a,
+                        b,
+                        row: nv + sources.len(),
+                    });
+                    sources.push(i);
+                }
+                ElementKind::CurrentSource { .. } | ElementKind::StepCurrentSource { .. } => {
+                    // DC bias sources are AC opens: no stamp.
+                }
+            }
+        }
+        let dim = nv + sources.len();
+        Self {
+            nv,
+            node_count: net.node_count(),
+            element_count: net.elements().len(),
+            ops,
+            sources,
+            matrix: ComplexMatrix::zeros(dim, dim),
+            rhs: vec![Complex::ZERO; dim],
+            lu: ComplexLu::new(&ComplexMatrix::zeros(0, 0)).expect("0×0 factors trivially"),
+            x: Vec::with_capacity(dim),
+        }
+    }
+
+    /// The compiled system dimension (unknown voltages plus source
+    /// currents).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.nv + self.sources.len()
+    }
+
+    /// Driving-point impedance at `node` (vs. ground) at one frequency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcAnalysis::impedance`].
+    pub fn impedance_at(&mut self, node: NodeId, f: Hertz) -> Result<AcPoint, CircuitError> {
+        if node.index() == 0 || node.index() >= self.node_count {
+            return Err(CircuitError::UnknownNode {
+                index: node.index(),
+            });
+        }
+        self.solve_at(f, Stimulus::CurrentInto(node))?;
+        Ok(AcPoint {
+            frequency: f,
+            response: self.x[node.index() - 1],
+        })
+    }
+
+    /// Driving-point impedance across `freqs`, restamping per point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcAnalysis::impedance`].
+    pub fn impedance(
+        &mut self,
+        node: NodeId,
+        freqs: &[Hertz],
+    ) -> Result<Vec<AcPoint>, CircuitError> {
+        freqs.iter().map(|&f| self.impedance_at(node, f)).collect()
+    }
+
+    /// Voltage transfer function from a voltage source to `output` at
+    /// one frequency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcAnalysis::transfer`].
+    pub fn transfer_at(
+        &mut self,
+        source: ElementId,
+        output: NodeId,
+        f: Hertz,
+    ) -> Result<AcPoint, CircuitError> {
+        if source.index() >= self.element_count {
+            return Err(CircuitError::UnknownElement {
+                index: source.index(),
+            });
+        }
+        if !self.sources.contains(&source.index()) {
+            return Err(CircuitError::NotAVoltageSource {
+                index: source.index(),
+            });
+        }
+        if output.index() >= self.node_count {
+            return Err(CircuitError::UnknownNode {
+                index: output.index(),
+            });
+        }
+        self.solve_at(f, Stimulus::UnitVoltage(source))?;
+        let v = if output.index() == 0 {
+            Complex::ZERO
+        } else {
+            self.x[output.index() - 1]
+        };
+        Ok(AcPoint {
+            frequency: f,
+            response: v,
+        })
+    }
+
+    /// Voltage transfer function across `freqs`, restamping per point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcAnalysis::transfer`].
+    pub fn transfer(
+        &mut self,
+        source: ElementId,
+        output: NodeId,
+        freqs: &[Hertz],
+    ) -> Result<Vec<AcPoint>, CircuitError> {
+        freqs
+            .iter()
+            .map(|&f| self.transfer_at(source, output, f))
+            .collect()
+    }
+
+    /// Restamps, refactors, and solves at one frequency into the
+    /// plan's buffers, leaving the solution in `self.x`.
+    fn solve_at(&mut self, f: Hertz, stimulus: Stimulus) -> Result<(), CircuitError> {
+        if !(f.value() > 0.0 && f.value().is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: "ac frequency",
+                value: f.value(),
+            });
+        }
+        vpd_obs::incr("ac.points");
+        let omega = 2.0 * std::f64::consts::PI * f.value();
+        let a = &mut self.matrix;
+        a.fill(Complex::ZERO);
+        self.rhs.fill(Complex::ZERO);
+        for op in &self.ops {
+            match *op {
+                PlanOp::Admittance { a: na, b: nb, kind } => {
+                    let y = match kind {
+                        AdmittanceKind::Conductance(g) => Complex::from_real(g),
+                        AdmittanceKind::Capacitance(c) => Complex::new(0.0, omega * c),
+                        AdmittanceKind::Inductance(l) => Complex::new(0.0, -1.0 / (omega * l)),
+                    };
+                    if let Some(i) = na {
+                        a.add_at(i, i, y);
+                    }
+                    if let Some(j) = nb {
+                        a.add_at(j, j, y);
+                    }
+                    if let (Some(i), Some(j)) = (na, nb) {
+                        a.add_at(i, j, -y);
+                        a.add_at(j, i, -y);
+                    }
+                }
+                PlanOp::Source {
+                    element,
+                    a: na,
+                    b: nb,
+                    row,
+                } => {
+                    if let Some(ia) = na {
+                        a.add_at(ia, row, Complex::ONE);
+                        a.add_at(row, ia, Complex::ONE);
+                    }
+                    if let Some(ib) = nb {
+                        a.add_at(ib, row, -Complex::ONE);
+                        a.add_at(row, ib, -Complex::ONE);
+                    }
+                    self.rhs[row] = match stimulus {
+                        Stimulus::UnitVoltage(id) if id.index() == element => Complex::ONE,
+                        _ => Complex::ZERO,
+                    };
+                }
+            }
+        }
+        if let Stimulus::CurrentInto(node) = stimulus {
+            if node.index() > 0 {
+                self.rhs[node.index() - 1] += Complex::ONE;
+            }
+        }
+        let _span = vpd_obs::span("ac.factor_ns");
+        vpd_obs::incr("ac.factorizations");
+        self.lu
+            .factor_into(&self.matrix)
+            .map_err(CircuitError::from)?;
+        self.lu
+            .solve_into(&self.rhs, &mut self.x)
+            .map_err(CircuitError::from)
+    }
+}
+
 /// Logarithmically spaced frequency grid (decade sweep).
 ///
 /// # Panics
 ///
-/// Panics if `points < 2` or the bounds are not positive and ordered.
+/// Panics if `points < 2` or the bounds are not positive and ordered;
+/// use [`log_sweep_checked`] for user-supplied inputs.
 #[must_use]
 pub fn log_sweep(start: Hertz, stop: Hertz, points: usize) -> Vec<Hertz> {
     assert!(points >= 2, "need at least two sweep points");
@@ -270,14 +598,47 @@ pub fn log_sweep(start: Hertz, stop: Hertz, points: usize) -> Vec<Hertz> {
         start.value() > 0.0 && stop.value() > start.value(),
         "need 0 < start < stop"
     );
+    log_sweep_checked(start, stop, points).expect("bounds validated above")
+}
+
+/// Logarithmically spaced frequency grid (decade sweep), validating
+/// instead of panicking, so CLI-reachable inputs return typed errors.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidValue`] when `points < 2`, either
+/// bound is non-finite or non-positive, or `stop ≤ start`.
+pub fn log_sweep_checked(
+    start: Hertz,
+    stop: Hertz,
+    points: usize,
+) -> Result<Vec<Hertz>, CircuitError> {
+    if points < 2 {
+        return Err(CircuitError::InvalidValue {
+            element: "sweep point count (need at least 2)",
+            value: points as f64,
+        });
+    }
+    if !(start.value() > 0.0 && start.value().is_finite()) {
+        return Err(CircuitError::InvalidValue {
+            element: "sweep start frequency",
+            value: start.value(),
+        });
+    }
+    if !(stop.value() > start.value() && stop.value().is_finite()) {
+        return Err(CircuitError::InvalidValue {
+            element: "sweep stop frequency (need start < stop)",
+            value: stop.value(),
+        });
+    }
     let l0 = start.value().log10();
     let l1 = stop.value().log10();
-    (0..points)
+    Ok((0..points)
         .map(|k| {
             let t = k as f64 / (points - 1) as f64;
             Hertz::new(10f64.powf(l0 + t * (l1 - l0)))
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -404,5 +765,150 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn log_sweep_rejects_single_point() {
         let _ = log_sweep(Hertz::new(1.0), Hertz::new(10.0), 1);
+    }
+
+    #[test]
+    fn log_sweep_checked_rejects_bad_inputs_with_typed_errors() {
+        let ok = log_sweep_checked(Hertz::new(1.0), Hertz::new(1000.0), 4).unwrap();
+        assert_eq!(ok, log_sweep(Hertz::new(1.0), Hertz::new(1000.0), 4));
+        for (start, stop, points) in [
+            (1.0, 10.0, 0),
+            (1.0, 10.0, 1),
+            (0.0, 10.0, 5),
+            (-2.0, 10.0, 5),
+            (f64::NAN, 10.0, 5),
+            (10.0, 10.0, 5),
+            (10.0, 1.0, 5),
+            (1.0, f64::INFINITY, 5),
+            (1.0, f64::NAN, 5),
+        ] {
+            let got = log_sweep_checked(Hertz::new(start), Hertz::new(stop), points);
+            assert!(
+                matches!(got, Err(CircuitError::InvalidValue { .. })),
+                "({start}, {stop}, {points}) must be rejected, got {got:?}"
+            );
+        }
+    }
+
+    /// The A0-style RLC ladder used by the golden plan-vs-analysis
+    /// tests: voltage source behind an RL, two decap stages, a load
+    /// node.
+    fn ladder() -> (Netlist, NodeId, ElementId) {
+        let mut net = Netlist::new();
+        let vr = net.node("vr");
+        let board = net.node("board");
+        let die = net.node("die");
+        let g = net.ground();
+        let src = net.voltage_source(vr, g, Volts::new(1.0)).unwrap();
+        net.resistor(vr, board, Ohms::from_milliohms(0.5)).unwrap();
+        net.inductor(board, die, Henries::from_nanohenries(15.0), Amps::ZERO)
+            .unwrap();
+        let bulk = net.node("bulk");
+        net.capacitor(board, bulk, Farads::from_microfarads(200.0), Volts::ZERO)
+            .unwrap();
+        net.resistor(bulk, g, Ohms::from_milliohms(0.2)).unwrap();
+        net.capacitor(die, g, Farads::from_microfarads(2.0), Volts::ZERO)
+            .unwrap();
+        net.resistor(die, g, Ohms::new(1e4)).unwrap();
+        (net, die, src)
+    }
+
+    #[test]
+    fn plan_impedance_is_bitwise_identical_to_analysis() {
+        let (net, die, _) = ladder();
+        let freqs = log_sweep(Hertz::new(100.0), Hertz::new(1e9), 60);
+        let reference = AcAnalysis::new(&net).impedance(die, &freqs).unwrap();
+        let mut plan = AcPlan::compile(&net);
+        let fast = plan.impedance(die, &freqs).unwrap();
+        assert_eq!(fast, reference);
+        // A second pass through the same warm buffers must not drift.
+        assert_eq!(plan.impedance(die, &freqs).unwrap(), reference);
+    }
+
+    #[test]
+    fn plan_transfer_is_bitwise_identical_to_analysis() {
+        let (net, die, src) = ladder();
+        let freqs = log_sweep(Hertz::new(100.0), Hertz::new(1e8), 30);
+        let reference = AcAnalysis::new(&net).transfer(src, die, &freqs).unwrap();
+        let mut plan = AcPlan::compile(&net);
+        assert_eq!(plan.transfer(src, die, &freqs).unwrap(), reference);
+    }
+
+    #[test]
+    fn plan_matches_analytic_rc_answers() {
+        // 1 µF to ground: |Z| = 1/(ωC) ≈ 159 Ω at 1 kHz, phase −90°.
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.capacitor(n, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
+            .unwrap();
+        net.resistor(n, net.ground(), Ohms::new(1e9)).unwrap();
+        let mut plan = AcPlan::compile(&net);
+        let p = plan.impedance_at(n, Hertz::from_kilohertz(1.0)).unwrap();
+        assert!((p.magnitude() - 159.15).abs() < 0.5);
+        assert!((p.phase_degrees() + 90.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn plan_validation_matches_analysis() {
+        let (net, die, _) = ladder();
+        let mut plan = AcPlan::compile(&net);
+        assert!(matches!(
+            plan.impedance_at(net.ground(), Hertz::new(1.0)),
+            Err(CircuitError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            plan.impedance_at(die, Hertz::new(0.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            plan.impedance_at(die, Hertz::new(f64::NAN)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        // Element 1 is the series resistor: present, but not a source.
+        assert!(matches!(
+            plan.transfer_at(ElementId(1), die, Hertz::new(1.0)),
+            Err(CircuitError::NotAVoltageSource { .. })
+        ));
+        assert!(matches!(
+            plan.transfer_at(ElementId(999), die, Hertz::new(1.0)),
+            Err(CircuitError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn analysis_transfer_reports_precise_error_kinds() {
+        let (net, die, _) = ladder();
+        let ana = AcAnalysis::new(&net);
+        // Exists but is a resistor → NotAVoltageSource, not
+        // UnknownElement (the old misleading diagnostic).
+        assert!(matches!(
+            ana.transfer(ElementId(1), die, &[Hertz::new(1.0)]),
+            Err(CircuitError::NotAVoltageSource { index: 1 })
+        ));
+        assert!(matches!(
+            ana.transfer(ElementId(999), die, &[Hertz::new(1.0)]),
+            Err(CircuitError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn cloned_plans_solve_independently_and_identically() {
+        let (net, die, _) = ladder();
+        let freqs = log_sweep(Hertz::new(1e3), Hertz::new(1e8), 16);
+        let mut plan = AcPlan::compile(&net);
+        let mut clone = plan.clone();
+        // Interleave solves in opposite orders; every point must agree.
+        let forward: Vec<AcPoint> = freqs
+            .iter()
+            .map(|&f| plan.impedance_at(die, f).unwrap())
+            .collect();
+        let backward: Vec<AcPoint> = freqs
+            .iter()
+            .rev()
+            .map(|&f| clone.impedance_at(die, f).unwrap())
+            .collect();
+        for (p, q) in forward.iter().zip(backward.iter().rev()) {
+            assert_eq!(p, q);
+        }
     }
 }

@@ -17,6 +17,13 @@ pub enum CircuitError {
         /// The raw element index that was out of range.
         index: usize,
     },
+    /// An analysis needed a voltage source but the element, although it
+    /// exists, is some other kind (e.g. an AC transfer function driven
+    /// from a resistor).
+    NotAVoltageSource {
+        /// The raw index of the non-source element.
+        index: usize,
+    },
     /// An element value was non-positive or non-finite
     /// (e.g. a −3 Ω resistor).
     InvalidValue {
@@ -67,6 +74,9 @@ impl fmt::Display for CircuitError {
         match self {
             Self::UnknownNode { index } => write!(f, "unknown node index {index}"),
             Self::UnknownElement { index } => write!(f, "unknown element index {index}"),
+            Self::NotAVoltageSource { index } => {
+                write!(f, "element {index} is not a voltage source")
+            }
             Self::InvalidValue { element, value } => {
                 write!(
                     f,

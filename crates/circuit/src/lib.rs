@@ -36,7 +36,7 @@ mod grid;
 mod netlist;
 mod transient;
 
-pub use ac::{log_sweep, AcAnalysis, AcPoint};
+pub use ac::{log_sweep, log_sweep_checked, AcAnalysis, AcPlan, AcPoint};
 pub use dc::{DcSolution, DcSolver, DcStrategy, SparseDcPlan};
 pub use error::CircuitError;
 pub use grid::{PowerGrid, Regulator};

@@ -69,47 +69,53 @@ impl TransientResult {
         &self.element_i[element.index()]
     }
 
-    /// Mean of a waveform over the last `fraction` of the run (use e.g.
-    /// `0.5` to skip the start-up transient).
-    #[must_use]
-    pub fn settled_mean(series: &[f64], fraction: f64) -> f64 {
+    /// The trailing window covering the last `fraction` of the samples
+    /// (`fraction` clamped to `[0, 1]`). `fraction = 0.0` — and an empty
+    /// series — yield an **empty** window; the statistics below define
+    /// the empty-window result as `0.0` rather than silently averaging
+    /// the final sample.
+    fn settled_tail(series: &[f64], fraction: f64) -> &[f64] {
         let n = series.len();
         let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
-        let tail = &series[start.min(n.saturating_sub(1))..];
+        &series[start.min(n)..]
+    }
+
+    /// Mean of a waveform over the last `fraction` of the run (use e.g.
+    /// `0.5` to skip the start-up transient). `0.0` for an empty window.
+    #[must_use]
+    pub fn settled_mean(series: &[f64], fraction: f64) -> f64 {
+        let tail = Self::settled_tail(series, fraction);
         if tail.is_empty() {
             return 0.0;
         }
         tail.iter().sum::<f64>() / tail.len() as f64
     }
 
-    /// RMS of a waveform over the last `fraction` of the run.
+    /// RMS of a waveform over the last `fraction` of the run. `0.0` for
+    /// an empty window.
     #[must_use]
     pub fn settled_rms(series: &[f64], fraction: f64) -> f64 {
-        let n = series.len();
-        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
-        let tail = &series[start.min(n.saturating_sub(1))..];
+        let tail = Self::settled_tail(series, fraction);
         if tail.is_empty() {
             return 0.0;
         }
         (tail.iter().map(|v| v * v).sum::<f64>() / tail.len() as f64).sqrt()
     }
 
-    /// Peak-to-peak ripple over the last `fraction` of the run.
+    /// Peak-to-peak ripple over the last `fraction` of the run. `0.0`
+    /// for an empty window.
     #[must_use]
     pub fn settled_ripple(series: &[f64], fraction: f64) -> f64 {
-        let n = series.len();
-        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
-        let tail = &series[start.min(n.saturating_sub(1))..];
+        let tail = Self::settled_tail(series, fraction);
+        if tail.is_empty() {
+            return 0.0;
+        }
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &v in tail {
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        if tail.is_empty() {
-            0.0
-        } else {
-            hi - lo
-        }
+        hi - lo
     }
 }
 
@@ -572,5 +578,33 @@ mod tests {
         assert!((TransientResult::settled_ripple(&series, 1.0) - 1.0).abs() < 1e-12);
         assert!((TransientResult::settled_rms(&series, 1.0) - (0.5_f64).sqrt()).abs() < 1e-12);
         assert_eq!(TransientResult::settled_mean(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn waveform_stats_edge_fractions() {
+        let series = [2.0, 4.0, 6.0, 8.0];
+        // fraction = 0 is an empty window — it must NOT silently average
+        // the final sample (the old clamp made this return 8.0).
+        assert_eq!(TransientResult::settled_mean(&series, 0.0), 0.0);
+        assert_eq!(TransientResult::settled_rms(&series, 0.0), 0.0);
+        assert_eq!(TransientResult::settled_ripple(&series, 0.0), 0.0);
+        // fraction = 1 covers the whole series.
+        assert!((TransientResult::settled_mean(&series, 1.0) - 5.0).abs() < 1e-12);
+        assert!((TransientResult::settled_ripple(&series, 1.0) - 6.0).abs() < 1e-12);
+        // fraction > 1 clamps to the whole series; negative clamps to
+        // the empty window.
+        assert_eq!(
+            TransientResult::settled_mean(&series, 7.5),
+            TransientResult::settled_mean(&series, 1.0)
+        );
+        assert_eq!(TransientResult::settled_rms(&series, -0.5), 0.0);
+        // Half window: the last two samples exactly.
+        assert!((TransientResult::settled_mean(&series, 0.5) - 7.0).abs() < 1e-12);
+        // Empty series stays 0 for every statistic and fraction.
+        for f in [0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(TransientResult::settled_mean(&[], f), 0.0);
+            assert_eq!(TransientResult::settled_rms(&[], f), 0.0);
+            assert_eq!(TransientResult::settled_ripple(&[], f), 0.0);
+        }
     }
 }

@@ -167,20 +167,46 @@ impl PdnModel {
             .map_err(CoreError::Circuit)
     }
 
-    /// The peak impedance magnitude across a decade sweep from 1 kHz to
-    /// 1 GHz.
+    /// The default peak-impedance frequency grid: a 200-point decade
+    /// sweep from 1 kHz to 1 GHz. [`PdnModel::peak_impedance`] and the
+    /// CLI's `vpd impedance` defaults both derive from this one grid,
+    /// so the two can never disagree about what "peak" means.
+    #[must_use]
+    pub fn default_peak_sweep() -> Vec<Hertz> {
+        log_sweep(DEFAULT_SWEEP_FMIN, DEFAULT_SWEEP_FMAX, DEFAULT_SWEEP_POINTS)
+    }
+
+    /// The peak impedance magnitude across a caller-chosen frequency
+    /// sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates AC-solver failures.
+    pub fn peak_impedance_over(&self, freqs: &[Hertz]) -> Result<Ohms, CoreError> {
+        let profile = self.impedance_profile(freqs)?;
+        Ok(Ohms::new(
+            profile.iter().map(AcPoint::magnitude).fold(0.0, f64::max),
+        ))
+    }
+
+    /// The peak impedance magnitude across
+    /// [`PdnModel::default_peak_sweep`] (200 points, 1 kHz – 1 GHz).
     ///
     /// # Errors
     ///
     /// Propagates AC-solver failures.
     pub fn peak_impedance(&self) -> Result<Ohms, CoreError> {
-        let freqs = log_sweep(Hertz::from_kilohertz(1.0), Hertz::new(1e9), 200);
-        let profile = self.impedance_profile(&freqs)?;
-        Ok(Ohms::new(
-            profile.iter().map(AcPoint::magnitude).fold(0.0, f64::max),
-        ))
+        self.peak_impedance_over(&Self::default_peak_sweep())
     }
 }
+
+/// Default sweep lower bound shared by [`PdnModel::default_peak_sweep`]
+/// and [`crate::ImpedanceSweepSettings`].
+pub(crate) const DEFAULT_SWEEP_FMIN: Hertz = Hertz::from_kilohertz(1.0);
+/// Default sweep upper bound.
+pub(crate) const DEFAULT_SWEEP_FMAX: Hertz = Hertz::new(1e9);
+/// Default sweep point count.
+pub(crate) const DEFAULT_SWEEP_POINTS: usize = 200;
 
 /// The classical target impedance `Z_t = V · ripple / ΔI`.
 #[must_use]

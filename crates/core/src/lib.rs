@@ -53,6 +53,7 @@ mod powermap;
 mod render;
 mod spec;
 pub mod survey;
+mod zsweep;
 
 pub use arch::{
     analyze, analyze_paper_matrix, single_stage_converter, AnalysisOptions, AnalysisSession,
@@ -84,3 +85,7 @@ pub use par::par_map_with;
 pub use placement::VrPlacement;
 pub use powermap::PowerMap;
 pub use spec::SystemSpec;
+pub use zsweep::{
+    compare_architectures, ImpedanceComparison, ImpedanceProfile, ImpedanceSweep,
+    ImpedanceSweepSettings,
+};

@@ -8,6 +8,7 @@ use crate::faults::FaultSweepReport;
 use crate::gridshare::SharingReport;
 use crate::loss::LossBreakdown;
 use crate::mc::McSummary;
+use crate::zsweep::{ImpedanceComparison, ImpedanceProfile};
 use vpd_report::{Json, Render};
 
 impl Render for SharingReport {
@@ -180,6 +181,135 @@ impl Render for FaultSweepReport {
     }
 }
 
+impl Render for ImpedanceProfile {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}: {} points, peak {} at {}, target {} → ",
+            self.label,
+            self.points.len(),
+            self.peak,
+            self.peak_frequency,
+            self.target,
+        );
+        match self.first_violation {
+            None => out.push_str(&format!(
+                "meets target (margin {:+.1}%)\n",
+                100.0 * self.margin()
+            )),
+            Some(f) => out.push_str(&format!(
+                "VIOLATES target from {} (margin {:+.1}%)\n",
+                f,
+                100.0 * self.margin()
+            )),
+        }
+        if !self.antiresonances.is_empty() {
+            out.push_str("  antiresonant peaks:\n");
+            for p in &self.antiresonances {
+                out.push_str(&format!(
+                    "    {:>14}  |Z| {:>12.6e} Ω\n",
+                    p.frequency.to_string(),
+                    p.magnitude()
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  {:>14}  {:>12}  {:>8}\n",
+            "frequency", "|Z| (Ω)", "∠Z (°)"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:>14}  {:>12.6e}  {:>8.2}\n",
+                p.frequency.to_string(),
+                p.magnitude(),
+                p.phase_degrees()
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            ("points", Json::from(self.points.len())),
+            ("target_ohm", Json::from(self.target.value())),
+            ("peak_ohm", Json::from(self.peak.value())),
+            ("peak_frequency_hz", Json::from(self.peak_frequency.value())),
+            ("margin", Json::from(self.margin())),
+            ("meets_target", Json::from(self.meets_target())),
+            (
+                "first_violation_hz",
+                self.first_violation
+                    .map_or(Json::Null, |f| Json::from(f.value())),
+            ),
+            (
+                "antiresonances",
+                Json::array(self.antiresonances.iter().map(|p| {
+                    Json::obj([
+                        ("frequency_hz", Json::from(p.frequency.value())),
+                        ("magnitude_ohm", Json::from(p.magnitude())),
+                    ])
+                })),
+            ),
+            (
+                "profile",
+                Json::array(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("frequency_hz", Json::from(p.frequency.value())),
+                        ("magnitude_ohm", Json::from(p.magnitude())),
+                        ("phase_deg", Json::from(p.phase_degrees())),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+impl Render for ImpedanceComparison {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "  {:<6} {:>14} {:>16} {:>12} {:>9} {}\n",
+            "arch", "peak |Z| (Ω)", "at", "target (Ω)", "margin", "verdict"
+        );
+        for p in &self.profiles {
+            out.push_str(&format!(
+                "  {:<6} {:>14.6e} {:>16} {:>12.6e} {:>8.1}% {}\n",
+                p.label,
+                p.peak.value(),
+                p.peak_frequency.to_string(),
+                p.target.value(),
+                100.0 * p.margin(),
+                if p.meets_target() {
+                    "meets"
+                } else {
+                    "violates"
+                },
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([(
+            "architectures",
+            Json::array(self.profiles.iter().map(|p| {
+                Json::obj([
+                    ("label", Json::from(p.label.as_str())),
+                    ("peak_ohm", Json::from(p.peak.value())),
+                    ("peak_frequency_hz", Json::from(p.peak_frequency.value())),
+                    ("target_ohm", Json::from(p.target.value())),
+                    ("margin", Json::from(p.margin())),
+                    ("meets_target", Json::from(p.meets_target())),
+                    (
+                        "first_violation_hz",
+                        p.first_violation
+                            .map_or(Json::Null, |f| Json::from(f.value())),
+                    ),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +361,50 @@ mod tests {
             assert!(json.contains(key), "{json} missing {key}");
         }
         assert!(s.render_text().contains("20.00%"));
+    }
+
+    #[test]
+    fn impedance_profile_renders_points_and_verdict() {
+        use crate::{compare_architectures, Architecture, ImpedanceSweepSettings};
+        let spec = SystemSpec::paper_default();
+        let settings = ImpedanceSweepSettings {
+            points: 24,
+            ..ImpedanceSweepSettings::default()
+        };
+        let cmp = compare_architectures(
+            &[Architecture::Reference, Architecture::InterposerEmbedded],
+            &spec,
+            &settings,
+        )
+        .unwrap();
+        let a0 = &cmp.profiles[0];
+        let text = a0.render(RenderFormat::Text);
+        assert!(text.contains("VIOLATES target"), "{text}");
+        assert!(text.contains("frequency"), "{text}");
+        assert_eq!(
+            text.lines().count(),
+            // header + antiresonance block + column header + one row per point
+            2 + a0.antiresonances.len() + 1 + a0.points.len(),
+            "{text}"
+        );
+        let json = a0.render(RenderFormat::Json);
+        assert!(json.contains("\"meets_target\":false"), "{json}");
+        assert!(json.contains("\"profile\":["), "{json}");
+
+        let a2 = &cmp.profiles[1];
+        assert!(a2.render_text().contains("meets target"));
+        assert!(a2
+            .render_json()
+            .to_string()
+            .contains("\"first_violation_hz\":null"));
+
+        let cmp_text = cmp.render(RenderFormat::Text);
+        assert!(
+            cmp_text.contains("A0") && cmp_text.contains("A2"),
+            "{cmp_text}"
+        );
+        assert!(cmp_text.contains("violates") && cmp_text.contains("meets"));
+        let cmp_json = cmp.render(RenderFormat::Json);
+        assert!(cmp_json.contains("\"architectures\":["), "{cmp_json}");
     }
 }

@@ -202,6 +202,22 @@ impl ComplexMatrix {
         self.data[row * self.cols + col] += value;
     }
 
+    /// Overwrites every entry with `value` (typically [`Complex::ZERO`]
+    /// before restamping), keeping the allocation.
+    pub fn fill(&mut self, value: Complex) {
+        self.data.fill(value);
+    }
+
+    /// Makes `self` an entry-for-entry copy of `src`, reusing the
+    /// existing allocation when the sizes match (and growing it at most
+    /// once otherwise).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix–vector product.
     ///
     /// # Panics
@@ -237,6 +253,30 @@ impl ComplexLu {
     /// * [`NumericError::DimensionMismatch`] for a non-square input.
     /// * [`NumericError::Singular`] when a pivot magnitude underflows.
     pub fn new(a: &ComplexMatrix) -> Result<Self, NumericError> {
+        let mut f = Self {
+            lu: ComplexMatrix::zeros(0, 0),
+            perm: Vec::new(),
+        };
+        f.factor_into(a)?;
+        Ok(f)
+    }
+
+    /// Refactors `a` in place, reusing this factorization's matrix and
+    /// permutation buffers: after the first call (or a [`ComplexLu::new`]
+    /// of the same dimension) repeated factorizations allocate nothing.
+    ///
+    /// Pivoting compares squared magnitudes (`|z|²`), which selects the
+    /// same pivot as comparing `|z|` — the square is monotone — without
+    /// a square root per candidate; the singularity threshold is the
+    /// squared form of `|pivot| ≤ 1e-13·max|aᵢⱼ|`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] for a non-square input.
+    /// * [`NumericError::Singular`] when a pivot magnitude underflows;
+    ///   the buffered factorization is unspecified afterwards and must
+    ///   be refactored before solving.
+    pub fn factor_into(&mut self, a: &ComplexMatrix) -> Result<(), NumericError> {
         if a.rows() != a.cols() {
             return Err(NumericError::DimensionMismatch {
                 expected: "square matrix".into(),
@@ -244,23 +284,25 @@ impl ComplexLu {
             });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let scale = (0..n)
+        let lu = &mut self.lu;
+        lu.copy_from(a);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        let scale_sqr = (0..n)
             .flat_map(|i| (0..n).map(move |j| (i, j)))
-            .fold(0.0_f64, |m, (i, j)| m.max(lu.at(i, j).abs()))
+            .fold(0.0_f64, |m, (i, j)| m.max(lu.at(i, j).norm_sqr()))
             .max(1.0);
         for k in 0..n {
             let mut pivot_row = k;
-            let mut pivot_mag = lu.at(k, k).abs();
+            let mut pivot_sqr = lu.at(k, k).norm_sqr();
             for i in (k + 1)..n {
-                let mag = lu.at(i, k).abs();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
+                let sqr = lu.at(i, k).norm_sqr();
+                if sqr > pivot_sqr {
+                    pivot_sqr = sqr;
                     pivot_row = i;
                 }
             }
-            if pivot_mag <= 1e-13 * scale {
+            if pivot_sqr <= 1e-26 * scale_sqr {
                 return Err(NumericError::Singular { pivot: k });
             }
             if pivot_row != k {
@@ -269,7 +311,7 @@ impl ComplexLu {
                     lu.set(k, j, lu.at(pivot_row, j));
                     lu.set(pivot_row, j, tmp);
                 }
-                perm.swap(k, pivot_row);
+                self.perm.swap(k, pivot_row);
             }
             let pivot = lu.at(k, k);
             for i in (k + 1)..n {
@@ -281,7 +323,7 @@ impl ComplexLu {
                 }
             }
         }
-        Ok(Self { lu, perm })
+        Ok(())
     }
 
     /// Solves `A·x = b`.
@@ -291,6 +333,20 @@ impl ComplexLu {
     /// Returns [`NumericError::DimensionMismatch`] for a wrong-length
     /// right-hand side.
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, so a sweep that
+    /// keeps `x` alive allocates nothing per solve. `x` is resized to
+    /// the system dimension and fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for a wrong-length
+    /// right-hand side.
+    pub fn solve_into(&self, b: &[Complex], x: &mut Vec<Complex>) -> Result<(), NumericError> {
         let n = self.lu.rows();
         if b.len() != n {
             return Err(NumericError::DimensionMismatch {
@@ -298,7 +354,8 @@ impl ComplexLu {
                 found: format!("length {}", b.len()),
             });
         }
-        let mut x: Vec<Complex> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for i in 1..n {
             let mut sum = x[i];
             for j in 0..i {
@@ -313,7 +370,7 @@ impl ComplexLu {
             }
             x[i] = sum / self.lu.at(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -386,7 +443,142 @@ mod tests {
         assert!(lu.solve(&[Complex::ONE, Complex::ONE]).is_err());
     }
 
+    #[test]
+    fn factor_into_reuses_buffers_and_matches_fresh_factorization() {
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a.set(0, 0, Complex::new(2.0, 1.0));
+        a.set(0, 1, Complex::new(-1.0, 0.5));
+        a.set(1, 0, Complex::new(0.25, -0.75));
+        a.set(1, 1, Complex::new(3.0, -2.0));
+        let mut b = a.clone();
+        b.set(0, 0, Complex::new(5.0, -1.0));
+
+        let mut reused = ComplexLu::new(&a).unwrap();
+        let rhs = [Complex::new(1.0, 2.0), Complex::new(-3.0, 0.5)];
+        let mut x = Vec::new();
+        // Refactor `b` into the same buffers, then come back to `a`:
+        // both must agree bitwise with fresh factorizations.
+        reused.factor_into(&b).unwrap();
+        reused.solve_into(&rhs, &mut x).unwrap();
+        assert_eq!(x, ComplexLu::new(&b).unwrap().solve(&rhs).unwrap());
+        reused.factor_into(&a).unwrap();
+        reused.solve_into(&rhs, &mut x).unwrap();
+        assert_eq!(x, ComplexLu::new(&a).unwrap().solve(&rhs).unwrap());
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_checks_rhs_length() {
+        let mut a = ComplexMatrix::zeros(1, 1);
+        a.set(0, 0, Complex::new(0.0, 2.0));
+        let lu = ComplexLu::new(&a).unwrap();
+        let mut x = vec![Complex::ONE; 7]; // stale contents must not leak
+        lu.solve_into(&[Complex::from_real(4.0)], &mut x).unwrap();
+        assert_eq!(x, lu.solve(&[Complex::from_real(4.0)]).unwrap());
+        assert!(lu.solve_into(&[], &mut x).is_err());
+    }
+
+    #[test]
+    fn factor_into_rejects_non_square_and_detects_singular() {
+        let mut lu = ComplexLu::new(&{
+            let mut a = ComplexMatrix::zeros(1, 1);
+            a.set(0, 0, Complex::ONE);
+            a
+        })
+        .unwrap();
+        assert!(lu.factor_into(&ComplexMatrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            lu.factor_into(&ComplexMatrix::zeros(2, 2)),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_fill_and_copy_from_reuse_storage() {
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a.set(1, 0, Complex::J);
+        let mut b = ComplexMatrix::zeros(2, 2);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        b.fill(Complex::ZERO);
+        assert_eq!(b, ComplexMatrix::zeros(2, 2));
+        // Shape changes follow the source.
+        let wide = ComplexMatrix::zeros(1, 3);
+        b.copy_from(&wide);
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.cols(), 3);
+    }
+
     proptest! {
+        /// On real-only systems the complex LU must agree with the
+        /// real-valued [`crate::LuFactor`] oracle: same partial-pivoting
+        /// algorithm, so the solutions coincide to rounding error.
+        #[test]
+        fn prop_real_only_systems_match_real_lu_oracle(
+            entries in proptest::array::uniform9(-1.0_f64..1.0),
+            rhs in proptest::array::uniform3(-5.0_f64..5.0),
+        ) {
+            let n = 3;
+            let mut c = ComplexMatrix::zeros(n, n);
+            let mut rows = [[0.0_f64; 3]; 3];
+            for i in 0..n {
+                for j in 0..n {
+                    let v = entries[i * n + j]
+                        + if i == j { 3.0 } else { 0.0 };
+                    c.set(i, j, Complex::from_real(v));
+                    rows[i][j] = v;
+                }
+            }
+            let real = crate::LuFactor::new(
+                &crate::DenseMatrix::from_rows(&[&rows[0], &rows[1], &rows[2]]).unwrap(),
+            ).unwrap();
+            let want = real.solve(&rhs).unwrap();
+
+            let mut lu = ComplexLu::new(&c).unwrap();
+            let got = lu.solve(&rhs.map(Complex::from_real)).unwrap();
+            // `factor_into` over the same matrix must agree bitwise with
+            // the fresh factorization it just produced.
+            let mut again = Vec::new();
+            lu.factor_into(&c).unwrap();
+            lu.solve_into(&rhs.map(Complex::from_real), &mut again).unwrap();
+            prop_assert_eq!(&again, &got);
+
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.re - w).abs() < 1e-9, "{} vs {}", g.re, w);
+                prop_assert!(g.im.abs() < 1e-12);
+            }
+        }
+
+        /// Random diagonally-dominant complex systems solve to a small
+        /// residual through the in-place path as well.
+        #[test]
+        fn prop_factor_into_residual(
+            res in proptest::array::uniform9(-1.0_f64..1.0),
+            ims in proptest::array::uniform9(-1.0_f64..1.0),
+            rhs_re in proptest::array::uniform3(-5.0_f64..5.0),
+        ) {
+            let n = 3;
+            let mut a = ComplexMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, Complex::new(res[i * n + j], ims[i * n + j]));
+                }
+            }
+            for i in 0..n {
+                let off: f64 = (0..n).filter(|&j| j != i)
+                    .map(|j| a.at(i, j).abs()).sum();
+                a.set(i, i, Complex::new(off + 1.0, 0.5));
+            }
+            let b: Vec<Complex> = rhs_re.iter().map(|&r| Complex::new(r, -r)).collect();
+            let mut lu = ComplexLu::new(&ComplexMatrix::zeros(0, 0)).unwrap();
+            lu.factor_into(&a).unwrap();
+            let mut x = Vec::new();
+            lu.solve_into(&b, &mut x).unwrap();
+            let ax = a.matvec(&x);
+            for (axi, bi) in ax.iter().zip(&b) {
+                prop_assert!((*axi - *bi).abs() < 1e-9);
+            }
+        }
+
         /// Random diagonally-dominant complex systems solve to a small
         /// residual.
         #[test]

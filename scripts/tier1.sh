@@ -29,6 +29,31 @@ cargo run --release -p vpd-bench --bin faults -- --samples 8 || fail=1
 step "observability smoke (metrics on == off, bitwise)"
 cargo run --release -p vpd-bench --bin obs -- --samples 8 || fail=1
 
+step "ac-sweep smoke (16 points, four paths bitwise identical)"
+cargo run --release -p vpd-bench --bin ac -- --points 16 || fail=1
+
+step "CLI smoke: vpd impedance --format json"
+if cargo run --release --bin vpd -- --format json \
+    impedance --arch all --points 24 >target/tier1-impedance.json; then
+    python3 - target/tier1-impedance.json <<'EOF' || fail=1
+import json, math, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+archs = doc["comparison"]["architectures"]
+assert [a["label"] for a in archs] == ["A0", "A1", "A2"], archs
+for a in archs:
+    for key in ("peak_ohm", "peak_frequency_hz", "target_ohm", "margin"):
+        assert math.isfinite(a[key]), f"non-finite {key} for {a['label']}"
+assert not archs[0]["meets_target"], "A0 must violate the target"
+assert archs[2]["meets_target"], "A2 must meet the target"
+assert archs[0]["peak_ohm"] > archs[2]["peak_ohm"], "peaks must fall A0 -> A2"
+print("impedance smoke OK: comparison JSON parses, finite, correctly ordered")
+EOF
+else
+    fail=1
+fi
+
 step "CLI smoke: --format json + --metrics NDJSON round-trip"
 metrics_file="target/tier1-metrics.ndjson"
 rm -f "$metrics_file"

@@ -17,9 +17,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use vertical_power_delivery::core::{
-    electro_thermal, explore_matrix, recommend, run_tolerance, simulate_droop, solve_sharing,
-    target_impedance, ElectroThermalSettings, FaultScenario, FaultSweep, LoadStep, McSettings,
-    PdnModel,
+    compare_architectures, electro_thermal, explore_matrix, recommend, run_tolerance,
+    simulate_droop, solve_sharing, ElectroThermalSettings, FaultScenario, FaultSweep,
+    ImpedanceSweep, ImpedanceSweepSettings, LoadStep, McSettings, PdnModel,
 };
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
@@ -75,7 +75,10 @@ commands:
   sharing     [--placement <periphery|below>] [--modules <n>]
   mc          --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--samples <n>] [--seed <s>] [--threads <n>]
-  impedance   --arch <a0|a1|a2|a3-12|a3-6>
+  impedance   --arch <a0|a1|a2|a3-12|a3-6|all> [--fmin <hz>] [--fmax <hz>]
+              [--points <n>] [--profile]
+              (defaults: 200 points, 1 kHz – 1 GHz; --arch all compares
+              A0/A1/A2 on one grid; --profile prints every swept point)
   droop       --arch <a0|a1|a2|a3-12|a3-6>
   thermal     --arch <a1|a2> [--tech <si|gan>]
   faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
@@ -142,7 +145,12 @@ enum Command {
         threads: usize,
     },
     Impedance {
-        arch: Architecture,
+        /// None = compare all single-stage architectures on one grid.
+        arch: Option<Architecture>,
+        fmin_hz: f64,
+        fmax_hz: f64,
+        points: usize,
+        profile: bool,
     },
     Droop {
         arch: Architecture,
@@ -253,9 +261,23 @@ impl Command {
                     threads: parse_f64("--threads", 0.0)? as usize,
                 })
             }
-            "impedance" => Ok(Self::Impedance {
-                arch: parse_arch(true)?,
-            }),
+            "impedance" => {
+                let arch = match flag("--arch") {
+                    Some("all") => None,
+                    _ => Some(parse_arch(true)?),
+                };
+                let defaults = ImpedanceSweepSettings::default();
+                // Bounds and point counts are validated downstream by
+                // the checked sweep builder, so every bad value becomes
+                // a typed error instead of a panic.
+                Ok(Self::Impedance {
+                    arch,
+                    fmin_hz: parse_f64("--fmin", defaults.fmin.value())?,
+                    fmax_hz: parse_f64("--fmax", defaults.fmax.value())?,
+                    points: parse_f64("--points", defaults.points as f64)? as usize,
+                    profile: rest.iter().any(|a| a.as_str() == "--profile"),
+                })
+            }
             "droop" => Ok(Self::Droop {
                 arch: parse_arch(true)?,
             }),
@@ -512,36 +534,98 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                 },
             );
         }
-        Command::Impedance { arch } => {
-            let model = PdnModel::for_architecture(arch);
-            let zt = target_impedance(&SystemSpec::paper_default(), 0.05, 0.25);
-            let peak = model.peak_impedance()?;
-            let meets = peak.value() <= zt.value();
-            emit(
-                format,
-                || {
-                    format!(
-                        "{}: peak |Z| = {} vs target {} → {}\n",
-                        arch.name(),
-                        peak,
-                        zt,
-                        if meets {
-                            "meets target"
-                        } else {
-                            "violates target"
-                        }
-                    )
-                },
-                || {
-                    Json::obj([
-                        ("command", Json::from("impedance")),
-                        ("architecture", Json::from(arch.name())),
-                        ("peak_impedance_ohm", Json::from(peak.value())),
-                        ("target_ohm", Json::from(zt.value())),
-                        ("meets_target", Json::from(meets)),
-                    ])
-                },
-            );
+        Command::Impedance {
+            arch,
+            fmin_hz,
+            fmax_hz,
+            points,
+            profile,
+        } => {
+            let spec = SystemSpec::paper_default();
+            let settings = ImpedanceSweepSettings {
+                fmin: Hertz::new(fmin_hz),
+                fmax: Hertz::new(fmax_hz),
+                points,
+                threads: 0,
+            };
+            match arch {
+                None => {
+                    let cmp = compare_architectures(
+                        &[
+                            Architecture::Reference,
+                            Architecture::InterposerPeriphery,
+                            Architecture::InterposerEmbedded,
+                        ],
+                        &spec,
+                        &settings,
+                    )?;
+                    emit(
+                        format,
+                        || {
+                            format!(
+                                "impedance comparison, {points} points {} – {}:\n{}",
+                                Hertz::new(fmin_hz),
+                                Hertz::new(fmax_hz),
+                                cmp.render_text()
+                            )
+                        },
+                        || {
+                            Json::obj([
+                                ("command", Json::from("impedance")),
+                                ("points", Json::from(points)),
+                                ("fmin_hz", Json::from(fmin_hz)),
+                                ("fmax_hz", Json::from(fmax_hz)),
+                                ("comparison", cmp.render_json()),
+                            ])
+                        },
+                    );
+                }
+                Some(arch) => {
+                    let rep = ImpedanceSweep::for_architecture(arch, &spec)?.run(&settings)?;
+                    if profile {
+                        emit(
+                            format,
+                            || rep.render_text(),
+                            || {
+                                Json::obj([
+                                    ("command", Json::from("impedance")),
+                                    ("report", rep.render_json()),
+                                ])
+                            },
+                        );
+                    } else {
+                        emit(
+                            format,
+                            || {
+                                format!(
+                                    "{}: peak |Z| = {} at {} vs target {} → {}\n",
+                                    rep.label,
+                                    rep.peak,
+                                    rep.peak_frequency,
+                                    rep.target,
+                                    if rep.meets_target() {
+                                        "meets target"
+                                    } else {
+                                        "violates target"
+                                    }
+                                )
+                            },
+                            || {
+                                Json::obj([
+                                    ("command", Json::from("impedance")),
+                                    ("architecture", Json::from(rep.label.as_str())),
+                                    ("points", Json::from(points)),
+                                    ("peak_impedance_ohm", Json::from(rep.peak.value())),
+                                    ("peak_frequency_hz", Json::from(rep.peak_frequency.value())),
+                                    ("target_ohm", Json::from(rep.target.value())),
+                                    ("margin", Json::from(rep.margin())),
+                                    ("meets_target", Json::from(rep.meets_target())),
+                                ])
+                            },
+                        );
+                    }
+                }
+            }
         }
         Command::Droop { arch } => {
             let spec = SystemSpec::paper_default();
@@ -766,6 +850,88 @@ mod tests {
         }
         assert!(parse(&["mc"]).is_err(), "--arch required");
         assert!(parse(&["mc", "--arch", "a1", "--samples", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_impedance_grid_flags() {
+        let defaults = ImpedanceSweepSettings::default();
+        match parse(&["impedance", "--arch", "a2"]).unwrap() {
+            Command::Impedance {
+                arch,
+                fmin_hz,
+                fmax_hz,
+                points,
+                profile,
+            } => {
+                assert_eq!(arch, Some(Architecture::InterposerEmbedded));
+                assert_eq!(fmin_hz, defaults.fmin.value());
+                assert_eq!(fmax_hz, defaults.fmax.value());
+                assert_eq!(points, defaults.points);
+                assert!(!profile);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "impedance",
+            "--arch",
+            "all",
+            "--fmin",
+            "1e4",
+            "--fmax",
+            "1e8",
+            "--points",
+            "64",
+            "--profile",
+        ])
+        .unwrap()
+        {
+            Command::Impedance {
+                arch,
+                fmin_hz,
+                fmax_hz,
+                points,
+                profile,
+            } => {
+                assert_eq!(arch, None);
+                assert_eq!(fmin_hz, 1e4);
+                assert_eq!(fmax_hz, 1e8);
+                assert_eq!(points, 64);
+                assert!(profile);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["impedance"]).is_err(), "--arch required");
+        assert!(parse(&["impedance", "--arch", "a9"]).is_err());
+        assert!(parse(&["impedance", "--arch", "a1", "--points", "many"]).is_err());
+        // Bad grids parse fine and fail later with a typed solver error.
+        assert!(parse(&["impedance", "--arch", "a1", "--points", "1"]).is_ok());
+        assert!(parse(&["impedance", "--arch", "a1", "--fmin", "-3"]).is_ok());
+    }
+
+    #[test]
+    fn bad_impedance_grids_error_instead_of_panicking() {
+        for args in [
+            ["impedance", "--arch", "a1", "--points", "1"].as_slice(),
+            ["impedance", "--arch", "a1", "--points", "0"].as_slice(),
+            ["impedance", "--arch", "a1", "--fmin", "-3"].as_slice(),
+            ["impedance", "--arch", "a1", "--fmin", "0"].as_slice(),
+            ["impedance", "--arch", "a1", "--fmax", "nan"].as_slice(),
+            [
+                "impedance",
+                "--arch",
+                "all",
+                "--fmin",
+                "1e9",
+                "--fmax",
+                "1e3",
+            ]
+            .as_slice(),
+            ["impedance", "--arch", "a2", "--fmax", "inf"].as_slice(),
+        ] {
+            let cmd = parse(args).unwrap();
+            let err = run(cmd, RenderFormat::Text).unwrap_err().to_string();
+            assert!(err.contains("sweep"), "{args:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Cross-crate bitwise-determinism contracts for the frequency-domain
+//! sweep engine: the compiled [`AcPlan`] path must reproduce the
+//! reference [`AcAnalysis`] exactly, and the parallel engine must
+//! reproduce the serial run exactly, on every architecture ladder.
+
+use vertical_power_delivery::circuit::{AcAnalysis, AcPlan};
+use vertical_power_delivery::core::{
+    compare_architectures, ImpedanceSweep, ImpedanceSweepSettings, PdnModel,
+};
+use vertical_power_delivery::prelude::*;
+
+const ARCHS: [Architecture; 3] = [
+    Architecture::Reference,
+    Architecture::InterposerPeriphery,
+    Architecture::InterposerEmbedded,
+];
+
+fn settings() -> ImpedanceSweepSettings {
+    ImpedanceSweepSettings {
+        points: 72,
+        ..ImpedanceSweepSettings::default()
+    }
+}
+
+/// The compiled plan replays the reference analysis bitwise on every
+/// ladder: same stamps, same factorization, same points.
+#[test]
+fn plan_is_bitwise_identical_to_analysis_on_every_ladder() {
+    let freqs = settings().frequencies().unwrap();
+    for arch in ARCHS {
+        let model = PdnModel::for_architecture(arch);
+        let (net, die) = model.netlist().unwrap();
+        let reference = AcAnalysis::new(&net).impedance(die, &freqs).unwrap();
+
+        let mut plan = AcPlan::compile(&net);
+        let fast = plan.impedance(die, &freqs).unwrap();
+        assert_eq!(fast, reference, "{} plan vs analysis", arch.name());
+
+        // A second pass through the same warm buffers must not drift.
+        assert_eq!(
+            plan.impedance(die, &freqs).unwrap(),
+            reference,
+            "{} warm pass",
+            arch.name()
+        );
+    }
+}
+
+/// The sweep engine returns the same bitwise points at every thread
+/// count, and matches the raw plan.
+#[test]
+fn sweep_engine_is_thread_count_invariant() {
+    let spec = SystemSpec::paper_default();
+    let freqs = settings().frequencies().unwrap();
+    for arch in ARCHS {
+        let sweep = ImpedanceSweep::for_architecture(arch, &spec).unwrap();
+        let serial = sweep.run_over(&freqs, 1).unwrap();
+        for threads in [0, 2, 5] {
+            let parallel = sweep.run_over(&freqs, threads).unwrap();
+            assert_eq!(parallel, serial, "{} x{threads}", arch.name());
+        }
+        let (net, die) = PdnModel::for_architecture(arch).netlist().unwrap();
+        let reference = AcAnalysis::new(&net).impedance(die, &freqs).unwrap();
+        assert_eq!(serial.points, reference, "{} vs analysis", arch.name());
+    }
+}
+
+/// The comparison mode reproduces the per-architecture runs and the
+/// paper's ordering: impedance falls as the regulator approaches the
+/// die.
+#[test]
+fn comparison_mode_matches_individual_sweeps() {
+    let spec = SystemSpec::paper_default();
+    let settings = settings();
+    let cmp = compare_architectures(&ARCHS, &spec, &settings).unwrap();
+    assert_eq!(cmp.profiles.len(), ARCHS.len());
+    let freqs = settings.frequencies().unwrap();
+    for (arch, profile) in ARCHS.iter().zip(&cmp.profiles) {
+        let solo = ImpedanceSweep::for_architecture(*arch, &spec)
+            .unwrap()
+            .run_over(&freqs, 1)
+            .unwrap();
+        assert_eq!(*profile, solo, "{}", arch.name());
+    }
+    assert!(cmp.profiles[0].peak.value() > cmp.profiles[1].peak.value());
+    assert!(cmp.profiles[1].peak.value() > cmp.profiles[2].peak.value());
+}
