@@ -1,0 +1,262 @@
+//! Measures the `vpd-serve` service and emits `BENCH_serve.json`.
+//!
+//! Three phases over one TCP server on an ephemeral loopback port:
+//!
+//! * **cold vs warm** — a single closed-loop client runs the mixed
+//!   scenario set once against an empty scenario cache (every request
+//!   compiles its plan) and then repeatedly against the warmed cache
+//!   (every request checks compiled state out and back in). Scenario
+//!   sizes are chosen so plan compilation dominates the solve, which is
+//!   exactly the workload the cache exists for.
+//! * **concurrent throughput** — N closed-loop clients hammer the warm
+//!   server; per-request latencies aggregate into p50/p95/p99.
+//! * **determinism audit** — every response seen by every client is
+//!   compared against a cold oracle (a zero-capacity
+//!   [`Dispatcher`](vpd_serve::Dispatcher), which never caches):
+//!   cache-hit bits must equal cold-compile bits, request by request.
+//!
+//! ```sh
+//! cargo run --release -p vpd-bench --bin serve             # full, writes JSON
+//! cargo run --release -p vpd-bench --bin serve -- --smoke  # CI smoke
+//! ```
+//!
+//! Exits non-zero if any rate is non-finite or the determinism audit
+//! fails.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use vpd_report::Json;
+use vpd_serve::proto::Request;
+use vpd_serve::{Dispatcher, ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--smoke]");
+    std::process::exit(2);
+}
+
+/// The mixed scenario set: every cacheable analysis kind, sized so the
+/// compiled plan (grid factorization, AC plan, fault nominal) costs far
+/// more than one warm solve.
+fn scenarios() -> Vec<String> {
+    let mut lines = Vec::new();
+    for arch in ["a0", "a1", "a2", "a3-12"] {
+        lines.push(format!(
+            r#"{{"kind":"analyze","params":{{"arch":"{arch}"}}}}"#
+        ));
+    }
+    for placement in ["periphery", "below"] {
+        lines.push(format!(
+            r#"{{"kind":"sharing","params":{{"placement":"{placement}","modules":48}}}}"#
+        ));
+    }
+    lines.push(r#"{"kind":"mc","params":{"arch":"a1","samples":6,"seed":9}}"#.to_owned());
+    lines.push(r#"{"kind":"impedance","params":{"arch":"a1","points":16}}"#.to_owned());
+    lines.push(r#"{"kind":"impedance","params":{"arch":"a2","points":16}}"#.to_owned());
+    lines.push(
+        r#"{"kind":"faults","params":{"arch":"a2","random_k":2,"count":4,"seed":7}}"#.to_owned(),
+    );
+    lines
+}
+
+/// One closed-loop pass: send each line, wait for its response, record
+/// the latency. Returns the response body per request line.
+fn run_pass(addr: &str, lines: &[String], latencies: &mut Vec<f64>) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    let mut buf = String::new();
+    for line in lines {
+        let start = Instant::now();
+        writeln!(writer, "{line}").expect("send request");
+        writer.flush().expect("flush request");
+        buf.clear();
+        let n = reader.read_line(&mut buf).expect("read response");
+        assert!(n > 0, "server closed mid-pass");
+        latencies.push(start.elapsed().as_secs_f64());
+        responses.push(buf.trim_end().to_owned());
+    }
+    responses
+}
+
+/// Extracts the serialized `result` document from a success response.
+fn result_of(line: &str) -> String {
+    let doc = Json::parse(line).expect("response parses");
+    assert_eq!(
+        doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {line}"
+    );
+    doc.get("result").expect("result present").to_string()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            _ => usage(),
+        }
+    }
+    vpd_bench::banner(if smoke {
+        "serve smoke"
+    } else {
+        "serve benchmark (BENCH_serve.json)"
+    });
+
+    let workers = std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .min(8);
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: 256,
+        cache_capacity: 64,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let lines = scenarios();
+    let (clients, warm_passes) = if smoke { (2, 2) } else { (8, 20) };
+
+    // --- phase 1: cold vs warm, one closed-loop client ------------------
+    let mut cold_latencies = Vec::new();
+    let start = Instant::now();
+    let cold_responses = run_pass(&addr, &lines, &mut cold_latencies);
+    let cold_s = start.elapsed().as_secs_f64();
+
+    let mut warm_latencies = Vec::new();
+    let start = Instant::now();
+    let mut warm_responses = Vec::new();
+    for _ in 0..warm_passes {
+        warm_responses = run_pass(&addr, &lines, &mut warm_latencies);
+    }
+    let warm_s = start.elapsed().as_secs_f64() / warm_passes as f64;
+    let warm_speedup = cold_s / warm_s;
+
+    // --- phase 2: concurrent closed-loop clients on the warm cache ------
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let lines = lines.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let mut responses = Vec::new();
+                for _ in 0..warm_passes {
+                    responses = run_pass(&addr, &lines, &mut latencies);
+                }
+                (latencies, responses)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut concurrent_responses = Vec::new();
+    for h in handles {
+        let (lat, resp) = h.join().expect("client thread");
+        latencies.extend(lat);
+        concurrent_responses.push(resp);
+    }
+    let concurrent_s = start.elapsed().as_secs_f64();
+    let total_requests = clients * warm_passes * lines.len();
+    let throughput = total_requests as f64 / concurrent_s;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50) * 1e3,
+        percentile(&latencies, 0.95) * 1e3,
+        percentile(&latencies, 0.99) * 1e3,
+    );
+
+    // --- cache hit rate, then drain the server ---------------------------
+    // Stats first, then a separate drain call: a shutdown pipelined on
+    // the same connection would race ahead and drain the queued stats.
+    let stats_lines = vec![r#"{"id":90,"kind":"stats"}"#.to_owned()];
+    let stats = vpd_serve::call(&addr, &stats_lines, false).expect("stats call");
+    let stats_doc = Json::parse(&stats[0]).expect("stats parses");
+    let cache = stats_doc
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("cache stats");
+    let hits = cache.get("hits").and_then(Json::as_i64).unwrap_or(0);
+    let misses = cache.get("misses").and_then(Json::as_i64).unwrap_or(0);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    vpd_serve::call(&addr, &[], true).expect("drain call");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+
+    // --- determinism audit: every response equals the cold oracle --------
+    let oracle = Dispatcher::new(0);
+    let mut expected: HashMap<&str, String> = HashMap::new();
+    for line in &lines {
+        let request = Request::parse_line(line).expect("scenario parses");
+        let (doc, cached) = oracle.dispatch(&request.work).expect("oracle dispatch");
+        assert!(!cached, "zero-capacity oracle must always be cold");
+        expected.insert(line.as_str(), doc.to_string());
+    }
+    let mut audited = 0usize;
+    for responses in std::iter::once(&cold_responses)
+        .chain(std::iter::once(&warm_responses))
+        .chain(concurrent_responses.iter())
+    {
+        for (line, response) in lines.iter().zip(responses) {
+            assert_eq!(
+                result_of(response),
+                expected[line.as_str()],
+                "served bits diverged from the cold oracle for {line}"
+            );
+            audited += 1;
+        }
+    }
+
+    println!(
+        "serve ({} scenarios, {workers} workers): cold pass {:.1} ms, warm pass {:.1} ms \
+         ({warm_speedup:.1}x), {clients} clients: {throughput:.0} req/s, \
+         p50 {p50:.2} ms p95 {p95:.2} ms p99 {p99:.2} ms, cache hit rate {:.1}% \
+         ({audited} responses bitwise-equal to the cold oracle)",
+        lines.len(),
+        cold_s * 1e3,
+        warm_s * 1e3,
+        hit_rate * 100.0,
+    );
+
+    for (label, v) in [
+        ("throughput", throughput),
+        ("warm_speedup", warm_speedup),
+        ("p50", p50),
+        ("p95", p95),
+        ("p99", p99),
+    ] {
+        assert!(v.is_finite() && v > 0.0, "{label} not finite: {v}");
+    }
+
+    if smoke {
+        println!("\nsmoke OK ({audited} responses audited)");
+        return;
+    }
+
+    assert!(
+        warm_speedup >= 2.0,
+        "warm pass must be at least 2x faster than cold (got {warm_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"serve\": {{\n    \"scenarios\": {},\n    \"workers\": {workers},\n    \"clients\": {clients},\n    \"warm_passes\": {warm_passes},\n    \"cold_pass_ms\": {:.3},\n    \"warm_pass_ms\": {:.3},\n    \"cold_vs_warm_speedup\": {warm_speedup:.3},\n    \"throughput_req_per_sec\": {throughput:.3},\n    \"latency_p50_ms\": {p50:.4},\n    \"latency_p95_ms\": {p95:.4},\n    \"latency_p99_ms\": {p99:.4},\n    \"cache_hit_rate\": {hit_rate:.4},\n    \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \"responses_audited\": {audited},\n    \"cached_matches_cold_bitwise\": true\n  }}\n}}\n",
+        lines.len(),
+        cold_s * 1e3,
+        warm_s * 1e3,
+    );
+    std::fs::write("BENCH_serve.json", &json).unwrap();
+    println!("\nwrote BENCH_serve.json");
+}

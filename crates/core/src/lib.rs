@@ -79,7 +79,7 @@ pub use gridshare::{
 };
 pub use impedance::{target_impedance, PdnModel};
 pub use loss::{LossBreakdown, LossKind, LossSegment};
-pub use mc::{run_tolerance, McSettings, McSummary};
+pub use mc::{run_tolerance, run_tolerance_with, McSettings, McSummary};
 pub use optimize::{optimize_placement, AnnealSettings, OptimizedPlacement, PlacementObjective};
 pub use par::par_map_with;
 pub use placement::VrPlacement;

@@ -133,10 +133,31 @@ pub fn run_tolerance(
     base: &Calibration,
     settings: &McSettings,
 ) -> Result<McSummary, CoreError> {
-    let _span = vpd_obs::span("mc.run_ns");
-    let timer = vpd_obs::is_enabled().then(std::time::Instant::now);
     let opts = AnalysisOptions::default();
     let mut session = AnalysisSession::new(architecture, spec, base, &opts)?;
+    run_tolerance_with(&mut session, topology, base, settings)
+}
+
+/// [`run_tolerance`] over a caller-provided session, letting a compiled
+/// grid plan be amortized across runs (the serve-layer scenario cache).
+///
+/// The summary is bitwise-identical to [`run_tolerance`] for the same
+/// configuration whether the session is freshly built or reused: the
+/// nominal point is re-solved and re-anchored here, and a warm re-solve
+/// of an identical system converges at iteration zero to the anchored
+/// solution, so every sample starts from the same point either way.
+///
+/// # Errors
+///
+/// As for [`run_tolerance`].
+pub fn run_tolerance_with(
+    session: &mut AnalysisSession,
+    topology: VrTopologyKind,
+    base: &Calibration,
+    settings: &McSettings,
+) -> Result<McSummary, CoreError> {
+    let _span = vpd_obs::span("mc.run_ns");
+    let timer = vpd_obs::is_enabled().then(std::time::Instant::now);
     // Solve the nominal point once and anchor it: every sample then
     // warm-starts from the same solution, so per-sample results are
     // independent of sample order and worker assignment.
@@ -165,7 +186,7 @@ pub fn run_tolerance(
         let loss = b.total().value() + b.conversion_loss().value() * (conv_factor - 1.0);
         Ok(100.0 * loss / b.pol_power().value())
     };
-    let results = par_map_with(settings.threads, &indices, &session, sample);
+    let results = par_map_with(settings.threads, &indices, &*session, sample);
     let mut samples = Vec::with_capacity(results.len());
     for r in results {
         samples.push(r?);

@@ -23,6 +23,6 @@ mod table;
 pub use chart::{Bar, BarChart};
 pub use csv::Csv;
 pub use histogram::{sparkline, Histogram};
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use render::{Render, RenderFormat};
 pub use table::{Align, Table};

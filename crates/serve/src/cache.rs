@@ -1,0 +1,288 @@
+//! The scenario cache: compiled solver state keyed by the scenario that
+//! produced it, behind a sharded mutex.
+//!
+//! Entries are **checked out** ([`ScenarioCache::take`]) rather than
+//! borrowed: the shard lock is held only for the map operation, never
+//! across a solve, so a slow analysis on one key cannot block cache
+//! traffic on another. After use the entry is checked back in
+//! ([`ScenarioCache::put`]), which also refreshes its recency. Two
+//! concurrent requests for the same key simply both miss — each
+//! compiles cold, the last check-in wins, and the determinism contract
+//! (cache hit ≡ cold compile, bit for bit) makes the race harmless.
+//!
+//! Eviction is least-recently-used per shard: the configured capacity
+//! is split across shards, and a full shard evicts its own oldest
+//! entry. Hits, misses, and evictions are surfaced through `vpd-obs`
+//! (`serve.cache.*`) and through [`ScenarioCache::stats`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vpd_core::{AnalysisSession, FaultSweep, ImpedanceSweep, SharingSolver};
+use vpd_report::Json;
+
+/// What a cache entry is keyed by: the analysis kind plus the scenario
+/// parameters that shape the compiled state. Float parameters enter as
+/// IEEE-754 bit patterns so the key is `Eq`/`Hash` without tolerance
+/// games.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Entry family (`"session"`, `"sharing"`, `"faults"`, …).
+    pub kind: &'static str,
+    /// Canonical architecture tag (`"A0"`…`"A3@6V"`), empty when the
+    /// entry is architecture-independent.
+    pub arch: String,
+    /// Remaining scenario parameters, each packed to 64 bits.
+    pub params: Vec<u64>,
+}
+
+/// Compiled state held by the cache — exactly the expensive artifacts
+/// PRs 1–4 taught each engine to reuse.
+pub enum CacheEntry {
+    /// A compiled die-grid analysis session (`analyze` and `mc` share
+    /// these — the grid plan does not depend on the topology).
+    Session(Box<AnalysisSession>),
+    /// A compiled current-sharing solver.
+    Sharing(Box<SharingSolver>),
+    /// A compiled fault sweep (grid plan + anchored nominal solve).
+    Faults(Box<FaultSweep>),
+    /// A compiled AC impedance sweep plan.
+    Impedance(Box<ImpedanceSweep>),
+    /// A memoized droop report — the transient simulation compiles no
+    /// reusable plan, so the scenario's finished document is the state.
+    Droop(Json),
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Check-outs that found compiled state.
+    pub hits: u64,
+    /// Check-outs that found nothing (including while checked out).
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, (u64, CacheEntry)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl Shard {
+    fn evict_lru(&mut self) -> bool {
+        let oldest = self
+            .map
+            .iter()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(k, _)| k.clone());
+        match oldest {
+            Some(k) => {
+                self.map.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Sharded LRU of [`CacheEntry`] values. Capacity 0 disables caching
+/// entirely (every `take` misses, every `put` is dropped) — the bench
+/// uses that as its always-cold oracle.
+pub struct ScenarioCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ScenarioCache {
+    /// Builds a cache holding at most `capacity` compiled scenarios.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        // Split the capacity over up to 8 shards, never leaving a shard
+        // with zero slots; the shard count is the number of nonempty
+        // splits so the per-shard capacities sum exactly to `capacity`.
+        let n_shards = capacity.clamp(1, 8);
+        let shards = (0..n_shards)
+            .map(|i| {
+                let per = capacity / n_shards + usize::from(i < capacity % n_shards);
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    clock: 0,
+                    capacity: per,
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, key: &CacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Checks an entry out of the cache, removing it so the caller can
+    /// mutate it without holding any lock. Counts a hit or miss.
+    pub fn take(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let taken = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .remove(key)
+            .map(|(_, entry)| entry);
+        if taken.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            vpd_obs::incr("serve.cache.hits");
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            vpd_obs::incr("serve.cache.misses");
+        }
+        taken
+    }
+
+    /// Checks an entry (back) in as the most recently used for its key,
+    /// evicting the shard's LRU entry if it is at capacity. A
+    /// zero-capacity cache drops the entry.
+    pub fn put(&self, key: CacheKey, entry: CacheEntry) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.capacity == 0 {
+            return;
+        }
+        if !shard.map.contains_key(&key) && shard.map.len() >= shard.capacity && shard.evict_lru() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            vpd_obs::incr("serve.cache.evictions");
+        }
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.map.insert(key, (stamp, entry));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(kind: &'static str, tag: &str) -> CacheKey {
+        CacheKey {
+            kind,
+            arch: tag.to_owned(),
+            params: Vec::new(),
+        }
+    }
+
+    fn doc(n: i64) -> CacheEntry {
+        CacheEntry::Droop(Json::Int(n))
+    }
+
+    fn doc_value(e: &CacheEntry) -> i64 {
+        match e {
+            CacheEntry::Droop(Json::Int(n)) => *n,
+            _ => panic!("unexpected entry"),
+        }
+    }
+
+    #[test]
+    fn take_removes_and_put_restores() {
+        let cache = ScenarioCache::new(4);
+        assert!(cache.take(&key("droop", "A0")).is_none());
+        cache.put(key("droop", "A0"), doc(7));
+        let got = cache.take(&key("droop", "A0")).expect("hit");
+        assert_eq!(doc_value(&got), 7);
+        // Checked out: a second take misses until checked back in.
+        assert!(cache.take(&key("droop", "A0")).is_none());
+        cache.put(key("droop", "A0"), got);
+        assert!(cache.take(&key("droop", "A0")).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_within_a_shard() {
+        // Single shard (capacity 1 → one slot): the second insert must
+        // displace the first.
+        let cache = ScenarioCache::new(1);
+        cache.put(key("droop", "A0"), doc(1));
+        cache.put(key("droop", "A1"), doc(2));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.take(&key("droop", "A0")).is_none());
+        assert_eq!(doc_value(&cache.take(&key("droop", "A1")).unwrap()), 2);
+    }
+
+    #[test]
+    fn recency_is_refreshed_by_put() {
+        // Capacity 16 → 8 shards of 2 slots. Probe for three keys that
+        // hash to the same shard, so the test drives one LRU list.
+        let cache = ScenarioCache::new(16);
+        let mut same_shard = Vec::new();
+        for i in 0..256 {
+            let k = CacheKey {
+                kind: "droop",
+                arch: format!("t{i}"),
+                params: Vec::new(),
+            };
+            if cache.shard_index(&k) == 0 {
+                same_shard.push(k);
+                if same_shard.len() == 3 {
+                    break;
+                }
+            }
+        }
+        let [a, b, c] = <[CacheKey; 3]>::try_from(same_shard).expect("three keys in shard 0");
+        assert_eq!(cache.shards[0].lock().unwrap().capacity, 2);
+        cache.put(a.clone(), doc(1));
+        cache.put(b.clone(), doc(2));
+        // Touch `a`: check it out and back in, making `b` the LRU.
+        let got = cache.take(&a).unwrap();
+        cache.put(a.clone(), got);
+        cache.put(c.clone(), doc(3));
+        assert!(cache.take(&b).is_none(), "b was the LRU and is evicted");
+        assert!(
+            cache.take(&a).is_some(),
+            "a survived: its recency was refreshed"
+        );
+        assert!(cache.take(&c).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = ScenarioCache::new(0);
+        cache.put(key("droop", "A0"), doc(1));
+        assert!(cache.take(&key("droop", "A0")).is_none());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,507 @@
+//! Request dispatch: each analysis kind checks its compiled state out
+//! of the [`ScenarioCache`], runs the engine, and checks the state back
+//! in.
+//!
+//! # Determinism contract
+//!
+//! A request's `result` document is **bitwise-identical** whether its
+//! compiled state was found in the cache or built cold, and identical
+//! to the one-shot `vpd --format json` invocation with the same
+//! parameters. The mechanism is the warm-start anchor introduced in
+//! PR 1: after a successful solve the solution is anchored, and a
+//! re-solve of an identical system converges at CG iteration zero,
+//! returning the anchored bits unchanged. The fault and impedance
+//! engines take `&self` and are pure over their compiled plans, so
+//! reuse is trivially bitwise there; the droop engine compiles no
+//! reusable plan, so its cache entry is the finished document itself.
+
+use vpd_converters::VrTopologyKind;
+use vpd_core::{
+    run_tolerance_with, simulate_droop, AnalysisOptions, AnalysisSession, Architecture,
+    Calibration, FaultScenario, FaultSweep, ImpedanceSweep, ImpedanceSweepSettings, LoadStep,
+    McSettings, PdnModel, SharingSolver, SystemSpec, VrPlacement,
+};
+use vpd_report::{Json, Render};
+use vpd_units::{CurrentDensity, Hertz, Seconds, Volts, Watts};
+
+use crate::cache::{CacheEntry, CacheKey, CacheStats, ScenarioCache};
+use crate::proto::{ErrorCode, Work};
+
+/// A handler outcome: the result document plus whether compiled state
+/// was found in the cache (meta only — the document bits never depend
+/// on it).
+pub type DispatchResult = Result<(Json, bool), (ErrorCode, String)>;
+
+/// The paper-default die power used by `mc` (and the `analyze`
+/// default), part of the shared session cache key.
+const PAPER_POWER_W: f64 = 1000.0;
+/// The paper-default current density (A/mm²), likewise.
+const PAPER_DENSITY: f64 = 2.0;
+
+fn engine_err(e: impl std::fmt::Display) -> (ErrorCode, String) {
+    (ErrorCode::Engine, e.to_string())
+}
+
+fn topology_tag(t: VrTopologyKind) -> u64 {
+    match t {
+        VrTopologyKind::Dsch => 0,
+        VrTopologyKind::Dpmih => 1,
+        VrTopologyKind::ThreeLevelHybridDickson => 2,
+    }
+}
+
+fn placement_tag(p: VrPlacement) -> u64 {
+    match p {
+        VrPlacement::Periphery => 0,
+        VrPlacement::BelowDie => 1,
+    }
+}
+
+/// Routes [`Work`] to the engines over a shared [`ScenarioCache`].
+pub struct Dispatcher {
+    cache: ScenarioCache,
+    calib: Calibration,
+}
+
+impl Dispatcher {
+    /// A dispatcher whose cache holds at most `cache_capacity` compiled
+    /// scenarios (0 disables caching — every request compiles cold).
+    #[must_use]
+    pub fn new(cache_capacity: usize) -> Self {
+        Self {
+            cache: ScenarioCache::new(cache_capacity),
+            calib: Calibration::paper_default(),
+        }
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs one unit of work to completion.
+    ///
+    /// # Errors
+    ///
+    /// A typed `(code, message)` pair ready to become an error
+    /// response; engine failures carry [`ErrorCode::Engine`].
+    pub fn dispatch(&self, work: &Work) -> DispatchResult {
+        match work {
+            Work::Ping => Ok((Json::obj([("command", Json::from("ping"))]), false)),
+            Work::Shutdown => Ok((Json::obj([("command", Json::from("shutdown"))]), false)),
+            Work::Stats => self.stats(),
+            Work::Analyze {
+                arch,
+                topology,
+                power_w,
+                density,
+            } => self.analyze(*arch, *topology, *power_w, *density),
+            Work::Sharing { placement, modules } => self.sharing(*placement, *modules),
+            Work::Droop { arch } => self.droop(*arch),
+            Work::Mc {
+                arch,
+                topology,
+                samples,
+                seed,
+                threads,
+            } => self.mc(*arch, *topology, *samples, *seed, *threads),
+            Work::Impedance {
+                arch,
+                fmin_hz,
+                fmax_hz,
+                points,
+                profile,
+            } => self.impedance(*arch, *fmin_hz, *fmax_hz, *points, *profile),
+            Work::Faults {
+                arch,
+                topology,
+                random_k,
+                count,
+                seed,
+            } => self.faults(*arch, *topology, *random_k, *count, *seed),
+        }
+    }
+
+    fn stats(&self) -> DispatchResult {
+        let s = self.cache.stats();
+        let metrics = Json::parse(&vpd_obs::snapshot().to_json("serve")).unwrap_or(Json::Null);
+        Ok((
+            Json::obj([
+                ("command", Json::from("stats")),
+                (
+                    "cache",
+                    Json::obj([
+                        ("hits", Json::from(s.hits as usize)),
+                        ("misses", Json::from(s.misses as usize)),
+                        ("evictions", Json::from(s.evictions as usize)),
+                        ("entries", Json::from(s.entries)),
+                    ]),
+                ),
+                ("metrics", metrics),
+            ]),
+            false,
+        ))
+    }
+
+    /// Checks a compiled analysis session out of the cache, or builds
+    /// one cold. `analyze` and `mc` share entries: the grid plan
+    /// depends on (architecture, spec), never on the topology.
+    fn take_session(
+        &self,
+        arch: Architecture,
+        spec: &SystemSpec,
+        power_w: f64,
+        density: f64,
+    ) -> Result<(CacheKey, Box<AnalysisSession>, bool), (ErrorCode, String)> {
+        let key = CacheKey {
+            kind: "session",
+            arch: arch.name(),
+            params: vec![power_w.to_bits(), density.to_bits()],
+        };
+        match self.cache.take(&key) {
+            Some(CacheEntry::Session(s)) => Ok((key, s, true)),
+            _ => {
+                let session =
+                    AnalysisSession::new(arch, spec, &self.calib, &AnalysisOptions::default())
+                        .map_err(engine_err)?;
+                Ok((key, Box::new(session), false))
+            }
+        }
+    }
+
+    fn analyze(
+        &self,
+        arch: Architecture,
+        topology: VrTopologyKind,
+        power_w: f64,
+        density: f64,
+    ) -> DispatchResult {
+        let spec = SystemSpec::new(
+            Volts::new(48.0),
+            Volts::new(1.0),
+            Watts::new(power_w),
+            CurrentDensity::from_amps_per_square_millimeter(density),
+        )
+        .map_err(|e| (ErrorCode::BadRequest, e.to_string()))?;
+        let (key, mut session, cached) = self.take_session(arch, &spec, power_w, density)?;
+        let outcome = session.analyze(topology, &self.calib);
+        let report = match outcome {
+            Ok(report) => {
+                session.anchor();
+                report
+            }
+            Err(e) => {
+                // The compiled plan is still sound (the failure is the
+                // scenario's, e.g. a capacity check): keep it warm.
+                self.cache.put(key, CacheEntry::Session(session));
+                return Err(engine_err(e));
+            }
+        };
+        let result = Json::obj([
+            ("command", Json::from("analyze")),
+            ("architecture", Json::from(arch.name())),
+            ("topology", Json::from(topology.name())),
+            ("power_w", Json::from(power_w)),
+            ("density_a_per_mm2", Json::from(density)),
+            (
+                "die_area_mm2",
+                Json::from(spec.die_area().as_square_millimeters()),
+            ),
+            ("overloaded", Json::from(report.overloaded)),
+            ("breakdown", report.breakdown.render_json()),
+        ]);
+        self.cache.put(key, CacheEntry::Session(session));
+        Ok((result, cached))
+    }
+
+    fn sharing(&self, placement: VrPlacement, modules: usize) -> DispatchResult {
+        let spec = SystemSpec::paper_default();
+        let key = CacheKey {
+            kind: "sharing",
+            arch: String::new(),
+            params: vec![placement_tag(placement), modules as u64],
+        };
+        let (mut solver, cached) = match self.cache.take(&key) {
+            Some(CacheEntry::Sharing(s)) => (s, true),
+            _ => {
+                let solver = SharingSolver::builder(&spec, &self.calib)
+                    .placement(placement)
+                    .modules(modules)
+                    .build()
+                    .map_err(engine_err)?;
+                (Box::new(solver), false)
+            }
+        };
+        let rep = match solver.solve() {
+            Ok(rep) => {
+                solver.anchor_last();
+                rep
+            }
+            Err(e) => {
+                self.cache.put(key, CacheEntry::Sharing(solver));
+                return Err(engine_err(e));
+            }
+        };
+        let result = Json::obj([
+            ("command", Json::from("sharing")),
+            ("placement", Json::from(placement.to_string())),
+            ("report", rep.render_json()),
+        ]);
+        self.cache.put(key, CacheEntry::Sharing(solver));
+        Ok((result, cached))
+    }
+
+    fn droop(&self, arch: Architecture) -> DispatchResult {
+        let key = CacheKey {
+            kind: "droop",
+            arch: arch.name(),
+            params: Vec::new(),
+        };
+        if let Some(CacheEntry::Droop(doc)) = self.cache.take(&key) {
+            self.cache.put(key, CacheEntry::Droop(doc.clone()));
+            return Ok((doc, true));
+        }
+        let spec = SystemSpec::paper_default();
+        let report = simulate_droop(
+            &PdnModel::for_architecture(arch),
+            &LoadStep::paper_default(&spec),
+            Seconds::from_microseconds(60.0),
+            Seconds::from_nanoseconds(10.0),
+        )
+        .map_err(engine_err)?;
+        let result = Json::obj([
+            ("command", Json::from("droop")),
+            ("architecture", Json::from(arch.name())),
+            ("report", report.render_json()),
+        ]);
+        self.cache.put(key, CacheEntry::Droop(result.clone()));
+        Ok((result, false))
+    }
+
+    fn mc(
+        &self,
+        arch: Architecture,
+        topology: VrTopologyKind,
+        samples: usize,
+        seed: u64,
+        threads: usize,
+    ) -> DispatchResult {
+        let spec = SystemSpec::paper_default();
+        let (key, mut session, cached) =
+            self.take_session(arch, &spec, PAPER_POWER_W, PAPER_DENSITY)?;
+        let settings = McSettings {
+            samples,
+            seed,
+            threads,
+            ..McSettings::default()
+        };
+        let summary = match run_tolerance_with(&mut session, topology, &self.calib, &settings) {
+            Ok(summary) => summary,
+            Err(e) => {
+                self.cache.put(key, CacheEntry::Session(session));
+                return Err(engine_err(e));
+            }
+        };
+        let result = Json::obj([
+            ("command", Json::from("mc")),
+            ("architecture", Json::from(arch.name())),
+            ("topology", Json::from(topology.name())),
+            ("samples", Json::from(samples)),
+            ("seed", Json::from(i64::try_from(seed).unwrap_or(i64::MAX))),
+            ("summary", summary.render_json()),
+        ]);
+        self.cache.put(key, CacheEntry::Session(session));
+        Ok((result, cached))
+    }
+
+    fn impedance(
+        &self,
+        arch: Architecture,
+        fmin_hz: f64,
+        fmax_hz: f64,
+        points: usize,
+        profile: bool,
+    ) -> DispatchResult {
+        let key = CacheKey {
+            kind: "impedance",
+            arch: arch.name(),
+            params: Vec::new(),
+        };
+        let (sweep, cached) = match self.cache.take(&key) {
+            Some(CacheEntry::Impedance(s)) => (s, true),
+            _ => {
+                let spec = SystemSpec::paper_default();
+                let sweep = ImpedanceSweep::for_architecture(arch, &spec).map_err(engine_err)?;
+                (Box::new(sweep), false)
+            }
+        };
+        let settings = ImpedanceSweepSettings {
+            fmin: Hertz::new(fmin_hz),
+            fmax: Hertz::new(fmax_hz),
+            points,
+            threads: 0,
+        };
+        let outcome = sweep.run(&settings);
+        self.cache.put(key, CacheEntry::Impedance(sweep));
+        let rep = outcome.map_err(engine_err)?;
+        let result = if profile {
+            Json::obj([
+                ("command", Json::from("impedance")),
+                ("report", rep.render_json()),
+            ])
+        } else {
+            Json::obj([
+                ("command", Json::from("impedance")),
+                ("architecture", Json::from(rep.label.as_str())),
+                ("points", Json::from(points)),
+                ("peak_impedance_ohm", Json::from(rep.peak.value())),
+                ("peak_frequency_hz", Json::from(rep.peak_frequency.value())),
+                ("target_ohm", Json::from(rep.target.value())),
+                ("margin", Json::from(rep.margin())),
+                ("meets_target", Json::from(rep.meets_target())),
+            ])
+        };
+        Ok((result, cached))
+    }
+
+    fn faults(
+        &self,
+        arch: Architecture,
+        topology: VrTopologyKind,
+        random_k: Option<usize>,
+        count: usize,
+        seed: u64,
+    ) -> DispatchResult {
+        let key = CacheKey {
+            kind: "faults",
+            arch: arch.name(),
+            params: vec![topology_tag(topology)],
+        };
+        let (sweep, cached) = match self.cache.take(&key) {
+            Some(CacheEntry::Faults(s)) => (s, true),
+            _ => {
+                let spec = SystemSpec::paper_default();
+                let sweep =
+                    FaultSweep::new(arch, topology, &spec, &self.calib).map_err(engine_err)?;
+                (Box::new(sweep), false)
+            }
+        };
+        let scenarios = match random_k {
+            None => FaultScenario::n_minus_1(sweep.vr_count()),
+            Some(k) => FaultScenario::random_k(k, count, seed, sweep.vr_count(), sweep.grid_side()),
+        };
+        let label = match random_k {
+            None => format!("N-1 over {} modules", sweep.vr_count()),
+            Some(k) => format!("{count} random {k}-fault scenarios (seed {seed})"),
+        };
+        let nominal_worst_drop = sweep.nominal().worst_drop().value();
+        let outcome = sweep.run(&scenarios, 0);
+        self.cache.put(key, CacheEntry::Faults(sweep));
+        let report = outcome.map_err(engine_err)?;
+        let result = Json::obj([
+            ("command", Json::from("faults")),
+            ("mode", Json::from(label.as_str())),
+            ("topology", Json::from(topology.name())),
+            ("nominal_worst_drop_v", Json::from(nominal_worst_drop)),
+            ("report", report.render_json()),
+        ]);
+        Ok((result, cached))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(line: &str) -> Work {
+        crate::proto::Request::parse_line(line).unwrap().work
+    }
+
+    #[test]
+    fn warm_result_is_bitwise_identical_to_cold() {
+        for line in [
+            r#"{"kind":"analyze","params":{"arch":"a1"}}"#,
+            r#"{"kind":"sharing","params":{"modules":24}}"#,
+            r#"{"kind":"droop","params":{"arch":"a0"}}"#,
+            r#"{"kind":"mc","params":{"arch":"a1","samples":6}}"#,
+            r#"{"kind":"impedance","params":{"arch":"a2","points":16}}"#,
+            r#"{"kind":"faults","params":{"arch":"a1","random_k":2,"count":4}}"#,
+        ] {
+            // Fresh dispatcher per kind: analyze and mc intentionally
+            // share session entries, which would warm each other here.
+            let d = Dispatcher::new(16);
+            let w = work(line);
+            let (cold, was_cached) = d.dispatch(&w).unwrap();
+            assert!(!was_cached, "{line}: first dispatch must compile cold");
+            let (warm, was_cached) = d.dispatch(&w).unwrap();
+            assert!(was_cached, "{line}: second dispatch must hit the cache");
+            assert_eq!(
+                cold.to_string(),
+                warm.to_string(),
+                "{line}: cache hit changed the result bits"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_dispatcher_always_compiles_cold() {
+        let d = Dispatcher::new(0);
+        let w = work(r#"{"kind":"sharing"}"#);
+        let (first, c1) = d.dispatch(&w).unwrap();
+        let (second, c2) = d.dispatch(&w).unwrap();
+        assert!(!c1 && !c2);
+        assert_eq!(first.to_string(), second.to_string());
+    }
+
+    #[test]
+    fn analyze_and_mc_share_one_session_entry() {
+        let d = Dispatcher::new(16);
+        let analyze = work(r#"{"kind":"analyze","params":{"arch":"a2"}}"#);
+        let mc = work(r#"{"kind":"mc","params":{"arch":"a2","samples":4}}"#);
+        let (_, cached) = d.dispatch(&analyze).unwrap();
+        assert!(!cached);
+        let (_, cached) = d.dispatch(&mc).unwrap();
+        assert!(cached, "mc at paper defaults reuses the analyze session");
+        assert_eq!(d.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn engine_failures_are_typed_and_preserve_the_entry() {
+        let d = Dispatcher::new(16);
+        // Warm a session, then drive a failing scenario through it: an
+        // absurd power at paper density overloads every capacity check.
+        let ok = work(r#"{"kind":"analyze","params":{"arch":"a1"}}"#);
+        d.dispatch(&ok).unwrap();
+        let bad = work(r#"{"kind":"impedance","params":{"arch":"a1","points":1}}"#);
+        let err = d.dispatch(&bad).unwrap_err();
+        assert_eq!(err.0, ErrorCode::Engine, "{err:?}");
+        // The failing run kept the compiled impedance plan resident.
+        let good = work(r#"{"kind":"impedance","params":{"arch":"a1","points":16}}"#);
+        let (_, cached) = d.dispatch(&good).unwrap();
+        assert!(cached, "entry survived the failed scenario");
+    }
+
+    #[test]
+    fn mc_summary_matches_the_one_shot_engine_bitwise() {
+        let d = Dispatcher::new(4);
+        let w = work(r#"{"kind":"mc","params":{"arch":"a1","samples":5,"seed":11}}"#);
+        let (served, _) = d.dispatch(&w).unwrap();
+        let oneshot = vpd_core::run_tolerance(
+            Architecture::InterposerPeriphery,
+            VrTopologyKind::Dsch,
+            &SystemSpec::paper_default(),
+            &Calibration::paper_default(),
+            &McSettings {
+                samples: 5,
+                seed: 11,
+                ..McSettings::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            served.get("summary").unwrap().to_string(),
+            oneshot.render_json().to_string()
+        );
+    }
+}

@@ -1,0 +1,678 @@
+//! The wire protocol: one JSON document per line in both directions.
+//!
+//! A request names an analysis `kind` plus a `params` object, and may
+//! carry a client-chosen `id` (echoed back verbatim so responses can be
+//! matched over a pipelined connection) and a `deadline_ms` budget.
+//! Responses are either `{"ok":true,...}` with the analysis result or
+//! `{"ok":false,"error":{...}}` with a stable machine-readable code.
+//!
+//! The `result` field of a successful response is byte-identical to the
+//! JSON document the one-shot `vpd --format json <command>` invocation
+//! prints for the same parameters — the service is a resident,
+//! plan-caching front end to the exact same engines.
+
+use vpd_converters::VrTopologyKind;
+use vpd_core::{Architecture, VrPlacement};
+use vpd_report::Json;
+use vpd_units::Volts;
+
+/// Machine-readable failure class carried by error responses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    Parse,
+    /// The request was well-formed JSON but not a valid request.
+    BadRequest,
+    /// The bounded queue was full; retry later (backpressure).
+    QueueFull,
+    /// The server is draining for shutdown and refuses new work.
+    Draining,
+    /// The request waited in the queue past its `deadline_ms`.
+    DeadlineExceeded,
+    /// The analysis engine itself failed (infeasible configuration…).
+    Engine,
+    /// A recognized request the service deliberately does not serve.
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Parse => "parse",
+            Self::BadRequest => "bad_request",
+            Self::QueueFull => "queue_full",
+            Self::Draining => "draining",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::Engine => "engine",
+            Self::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// A rejected request line: the echoed id (when one could be read) plus
+/// the typed reason.
+#[derive(Clone, Debug)]
+pub struct RequestError {
+    /// Client id, echoed when the document yielded one.
+    pub id: Option<i64>,
+    /// Failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One unit of analysis work, fully parsed and defaulted.
+///
+/// Parameter names and defaults deliberately mirror the CLI flags, so a
+/// request's `result` matches the one-shot invocation bit for bit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Work {
+    /// Liveness probe; returns immediately.
+    Ping,
+    /// Server statistics: cache counters plus an obs metrics snapshot.
+    Stats,
+    /// Graceful shutdown: finish in-flight work, reject queued work.
+    Shutdown,
+    /// Loss breakdown for one architecture × topology point.
+    Analyze {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// POL-stage topology.
+        topology: VrTopologyKind,
+        /// Die power draw in watts.
+        power_w: f64,
+        /// Current density in A/mm².
+        density: f64,
+    },
+    /// Die-grid current sharing for a placement pattern.
+    Sharing {
+        /// Regulator placement pattern.
+        placement: VrPlacement,
+        /// Module count.
+        modules: usize,
+    },
+    /// Transient droop response to the paper's load step.
+    Droop {
+        /// Delivery architecture.
+        arch: Architecture,
+    },
+    /// Monte-Carlo tolerance sweep.
+    Mc {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// POL-stage topology.
+        topology: VrTopologyKind,
+        /// Sample count.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads (0 = auto); never changes the result bits.
+        threads: usize,
+    },
+    /// PDN impedance profile over a log frequency sweep.
+    Impedance {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// Sweep start, Hz.
+        fmin_hz: f64,
+        /// Sweep end, Hz.
+        fmax_hz: f64,
+        /// Number of points.
+        points: usize,
+        /// Emit every swept point instead of the summary.
+        profile: bool,
+    },
+    /// Fault-injection sweep (N-1 or random-k scenarios).
+    Faults {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// POL-stage topology.
+        topology: VrTopologyKind,
+        /// `None` = N-1 contingency; `Some(k)` = random k-fault draws.
+        random_k: Option<usize>,
+        /// Scenario count for random-k mode.
+        count: usize,
+        /// RNG seed for random-k mode.
+        seed: u64,
+    },
+}
+
+impl Work {
+    /// The wire `kind` tag.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Ping => "ping",
+            Self::Stats => "stats",
+            Self::Shutdown => "shutdown",
+            Self::Analyze { .. } => "analyze",
+            Self::Sharing { .. } => "sharing",
+            Self::Droop { .. } => "droop",
+            Self::Mc { .. } => "mc",
+            Self::Impedance { .. } => "impedance",
+            Self::Faults { .. } => "faults",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: Option<i64>,
+    /// Queue-wait budget in milliseconds (checked at dequeue).
+    pub deadline_ms: Option<u64>,
+    /// The analysis to run.
+    pub work: Work,
+}
+
+/// Parses the CLI/wire spelling of an architecture
+/// (`a0|a1|a2|a3-12|a3-6`).
+#[must_use]
+pub fn parse_architecture(s: &str) -> Option<Architecture> {
+    match s {
+        "a0" => Some(Architecture::Reference),
+        "a1" => Some(Architecture::InterposerPeriphery),
+        "a2" => Some(Architecture::InterposerEmbedded),
+        "a3-12" => Some(Architecture::TwoStage {
+            bus: Volts::new(12.0),
+        }),
+        "a3-6" => Some(Architecture::TwoStage {
+            bus: Volts::new(6.0),
+        }),
+        _ => None,
+    }
+}
+
+/// Parses the CLI/wire spelling of a topology (`dpmih|dsch|3lhd`).
+#[must_use]
+pub fn parse_topology(s: &str) -> Option<VrTopologyKind> {
+    match s {
+        "dpmih" => Some(VrTopologyKind::Dpmih),
+        "dsch" => Some(VrTopologyKind::Dsch),
+        "3lhd" => Some(VrTopologyKind::ThreeLevelHybridDickson),
+        _ => None,
+    }
+}
+
+/// Parses the CLI/wire spelling of a placement (`periphery|below`).
+#[must_use]
+pub fn parse_placement(s: &str) -> Option<VrPlacement> {
+    match s {
+        "periphery" => Some(VrPlacement::Periphery),
+        "below" => Some(VrPlacement::BelowDie),
+        _ => None,
+    }
+}
+
+/// Typed access to the request's `params` object.
+struct Params<'a> {
+    doc: Option<&'a Json>,
+}
+
+impl<'a> Params<'a> {
+    fn get(&self, key: &str) -> Option<&'a Json> {
+        self.doc.and_then(|d| d.get(key))
+    }
+
+    /// Rejects params outside `allowed`, so a misspelled name fails
+    /// loudly instead of silently falling back to the default.
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        let Some(doc) = self.doc else {
+            return Ok(());
+        };
+        let Json::Object(pairs) = doc else {
+            return Err("`params` must be an object".into());
+        };
+        for (key, _) in pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(if allowed.is_empty() {
+                    format!("unknown param `{key}` (this kind takes no params)")
+                } else {
+                    format!(
+                        "unknown param `{key}` (expected one of: {})",
+                        allowed.join(", ")
+                    )
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("param `{key}` expects a number")),
+        }
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_i64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| format!("param `{key}` expects a non-negative integer")),
+        }
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_i64()
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| format!("param `{key}` expects a non-negative integer")),
+        }
+    }
+
+    fn bool(&self, key: &str, default: bool) -> Result<bool, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("param `{key}` expects a boolean")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<Option<&'a str>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("param `{key}` expects a string")),
+        }
+    }
+
+    fn arch(&self) -> Result<Architecture, String> {
+        match self.str("arch")? {
+            None => Err("param `arch` is required".into()),
+            Some(s) => parse_architecture(s).ok_or_else(|| format!("unknown architecture '{s}'")),
+        }
+    }
+
+    fn topology(&self) -> Result<VrTopologyKind, String> {
+        match self.str("topology")? {
+            None => Ok(VrTopologyKind::Dsch),
+            Some(s) => parse_topology(s).ok_or_else(|| format!("unknown topology '{s}'")),
+        }
+    }
+}
+
+impl Request {
+    /// Parses one NDJSON request line.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError`] with [`ErrorCode::Parse`] for malformed JSON,
+    /// [`ErrorCode::BadRequest`] for a well-formed document that is not
+    /// a valid request, and [`ErrorCode::Unsupported`] for the
+    /// `impedance` architecture comparison (`"arch":"all"`), which only
+    /// the one-shot CLI serves.
+    pub fn parse_line(line: &str) -> Result<Self, RequestError> {
+        let doc = Json::parse(line).map_err(|e| RequestError {
+            id: None,
+            code: ErrorCode::Parse,
+            message: e.to_string(),
+        })?;
+        let id = doc.get("id").and_then(Json::as_i64);
+        let bad = |code: ErrorCode, message: String| RequestError { id, code, message };
+        let kind = doc.get("kind").and_then(Json::as_str).ok_or_else(|| {
+            bad(
+                ErrorCode::BadRequest,
+                "request needs a string `kind`".into(),
+            )
+        })?;
+        let deadline_ms = doc
+            .get("deadline_ms")
+            .and_then(Json::as_i64)
+            .map(|v| u64::try_from(v.max(0)).unwrap_or(0));
+        let p = Params {
+            doc: doc.get("params"),
+        };
+        let work = parse_work(kind, &p).map_err(|(code, message)| bad(code, message))?;
+        Ok(Self {
+            id,
+            deadline_ms,
+            work,
+        })
+    }
+}
+
+/// Defaults shared with the CLI so serve results match one-shot runs.
+mod defaults {
+    pub const POWER_W: f64 = 1000.0;
+    pub const DENSITY: f64 = 2.0;
+    pub const MODULES: usize = 48;
+    pub const MC_SAMPLES: usize = 200;
+    pub const MC_SEED: u64 = 0x5eed;
+    pub const FAULT_COUNT: usize = 32;
+    pub const FAULT_SEED: u64 = 64023;
+}
+
+fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
+    let plain = |m: String| (ErrorCode::BadRequest, m);
+    let allowed: &[&str] = match kind {
+        "ping" | "stats" | "shutdown" => &[],
+        "analyze" => &["arch", "topology", "power_w", "density"],
+        "sharing" => &["placement", "modules"],
+        "droop" => &["arch"],
+        "mc" => &["arch", "topology", "samples", "seed", "threads"],
+        "impedance" => &["arch", "fmin_hz", "fmax_hz", "points", "profile"],
+        "faults" => &["arch", "topology", "random_k", "count", "seed"],
+        other => return Err(plain(format!("unknown request kind '{other}'"))),
+    };
+    p.reject_unknown(allowed).map_err(plain)?;
+    match kind {
+        "ping" => Ok(Work::Ping),
+        "stats" => Ok(Work::Stats),
+        "shutdown" => Ok(Work::Shutdown),
+        "analyze" => Ok(Work::Analyze {
+            arch: p.arch().map_err(plain)?,
+            topology: p.topology().map_err(plain)?,
+            power_w: p.f64("power_w", defaults::POWER_W).map_err(plain)?,
+            density: p.f64("density", defaults::DENSITY).map_err(plain)?,
+        }),
+        "sharing" => {
+            let placement = match p.str("placement").map_err(plain)? {
+                None => VrPlacement::Periphery,
+                Some(s) => {
+                    parse_placement(s).ok_or_else(|| plain(format!("unknown placement '{s}'")))?
+                }
+            };
+            let modules = p.usize("modules", defaults::MODULES).map_err(plain)?;
+            if modules == 0 {
+                return Err(plain("param `modules` must be at least 1".into()));
+            }
+            Ok(Work::Sharing { placement, modules })
+        }
+        "droop" => Ok(Work::Droop {
+            arch: p.arch().map_err(plain)?,
+        }),
+        "mc" => {
+            let samples = p.usize("samples", defaults::MC_SAMPLES).map_err(plain)?;
+            if samples == 0 {
+                return Err(plain("param `samples` must be at least 1".into()));
+            }
+            Ok(Work::Mc {
+                arch: p.arch().map_err(plain)?,
+                topology: p.topology().map_err(plain)?,
+                samples,
+                seed: p.u64("seed", defaults::MC_SEED).map_err(plain)?,
+                threads: p.usize("threads", 0).map_err(plain)?,
+            })
+        }
+        "impedance" => {
+            if p.str("arch").map_err(plain)? == Some("all") {
+                return Err((
+                    ErrorCode::Unsupported,
+                    "the multi-architecture impedance comparison is only served by the one-shot \
+                     CLI (`vpd impedance --arch all`)"
+                        .into(),
+                ));
+            }
+            let d = vpd_core::ImpedanceSweepSettings::default();
+            Ok(Work::Impedance {
+                arch: p.arch().map_err(plain)?,
+                fmin_hz: p.f64("fmin_hz", d.fmin.value()).map_err(plain)?,
+                fmax_hz: p.f64("fmax_hz", d.fmax.value()).map_err(plain)?,
+                points: p.usize("points", d.points).map_err(plain)?,
+                profile: p.bool("profile", false).map_err(plain)?,
+            })
+        }
+        "faults" => {
+            let random_k = match p.get("random_k") {
+                None => None,
+                Some(v) => Some(
+                    v.as_i64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| {
+                            plain("param `random_k` expects a positive integer".into())
+                        })?,
+                ),
+            };
+            Ok(Work::Faults {
+                arch: p.arch().map_err(plain)?,
+                topology: p.topology().map_err(plain)?,
+                random_k,
+                count: p.usize("count", defaults::FAULT_COUNT).map_err(plain)?,
+                seed: p.u64("seed", defaults::FAULT_SEED).map_err(plain)?,
+            })
+        }
+        other => Err(plain(format!("unknown request kind '{other}'"))),
+    }
+}
+
+/// A response line, ready to serialize.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echoed request id (absent when the request carried none or the
+    /// line was too malformed to read one).
+    pub id: Option<i64>,
+    /// Success or typed failure.
+    pub body: ResponseBody,
+}
+
+/// The payload half of a [`Response`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// The analysis succeeded.
+    Ok {
+        /// Request kind, echoed for log readability.
+        kind: &'static str,
+        /// Whether compiled state was found in the scenario cache. Meta
+        /// only — `result` is bitwise-identical either way.
+        cached: bool,
+        /// The analysis result document (matches the one-shot CLI).
+        result: Json,
+    },
+    /// The request was rejected or failed.
+    Err {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// A success response.
+    #[must_use]
+    pub fn ok(id: Option<i64>, kind: &'static str, cached: bool, result: Json) -> Self {
+        Self {
+            id,
+            body: ResponseBody::Ok {
+                kind,
+                cached,
+                result,
+            },
+        }
+    }
+
+    /// A typed failure response.
+    #[must_use]
+    pub fn error(id: Option<i64>, code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            body: ResponseBody::Err {
+                code,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Serializes to the single-line wire form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let id = match self.id {
+            Some(id) => Json::Int(id),
+            None => Json::Null,
+        };
+        match &self.body {
+            ResponseBody::Ok {
+                kind,
+                cached,
+                result,
+            } => Json::obj([
+                ("id", id),
+                ("ok", Json::from(true)),
+                ("kind", Json::from(*kind)),
+                ("cached", Json::from(*cached)),
+                ("result", result.clone()),
+            ]),
+            ResponseBody::Err { code, message } => Json::obj([
+                ("id", id),
+                ("ok", Json::from(false)),
+                (
+                    "error",
+                    Json::obj([
+                        ("code", Json::from(code.as_str())),
+                        ("message", Json::from(message.as_str())),
+                    ]),
+                ),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_params_instead_of_defaulting() {
+        let err =
+            Request::parse_line(r#"{"id":3,"kind":"analyze","params":{"power":800}}"#).unwrap_err();
+        assert_eq!(err.id, Some(3));
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("unknown param `power`"), "{err:?}");
+        assert!(err.message.contains("power_w"), "{err:?}");
+
+        let err = Request::parse_line(r#"{"id":4,"kind":"ping","params":{"x":1}}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+
+        let err = Request::parse_line(r#"{"id":5,"kind":"mc","params":[1,2]}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("must be an object"), "{err:?}");
+    }
+
+    #[test]
+    fn parses_a_full_analyze_request() {
+        let req = Request::parse_line(
+            r#"{"id":7,"kind":"analyze","deadline_ms":250,
+               "params":{"arch":"a2","topology":"dpmih","power_w":500,"density":1.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(7));
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(
+            req.work,
+            Work::Analyze {
+                arch: Architecture::InterposerEmbedded,
+                topology: VrTopologyKind::Dpmih,
+                power_w: 500.0,
+                density: 1.5,
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        let req = Request::parse_line(r#"{"kind":"analyze","params":{"arch":"a1"}}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::Analyze {
+                arch: Architecture::InterposerPeriphery,
+                topology: VrTopologyKind::Dsch,
+                power_w: 1000.0,
+                density: 2.0,
+            }
+        );
+        let req = Request::parse_line(r#"{"kind":"sharing"}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::Sharing {
+                placement: VrPlacement::Periphery,
+                modules: 48,
+            }
+        );
+        let req = Request::parse_line(r#"{"kind":"mc","params":{"arch":"a0"}}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::Mc {
+                arch: Architecture::Reference,
+                topology: VrTopologyKind::Dsch,
+                samples: 200,
+                seed: 0x5eed,
+                threads: 0,
+            }
+        );
+        let req = Request::parse_line(r#"{"kind":"faults","params":{"arch":"a2"}}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::Faults {
+                arch: Architecture::InterposerEmbedded,
+                topology: VrTopologyKind::Dsch,
+                random_k: None,
+                count: 32,
+                seed: 64023,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_give_typed_errors() {
+        let e = Request::parse_line("{nope").unwrap_err();
+        assert_eq!(e.code, ErrorCode::Parse);
+        assert_eq!(e.id, None);
+
+        let e = Request::parse_line(r#"{"id":3,"kind":"frobnicate"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert_eq!(e.id, Some(3), "id echoed even on bad requests");
+
+        let e = Request::parse_line(r#"{"id":4,"kind":"analyze"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("arch"));
+
+        let e = Request::parse_line(r#"{"kind":"analyze","params":{"arch":"a9"}}"#).unwrap_err();
+        assert!(e.message.contains("unknown architecture"));
+
+        let e =
+            Request::parse_line(r#"{"kind":"mc","params":{"arch":"a1","samples":0}}"#).unwrap_err();
+        assert!(e.message.contains("samples"));
+    }
+
+    #[test]
+    fn impedance_all_is_unsupported() {
+        let e = Request::parse_line(r#"{"id":9,"kind":"impedance","params":{"arch":"all"}}"#)
+            .unwrap_err();
+        assert_eq!(e.code, ErrorCode::Unsupported);
+        assert_eq!(e.id, Some(9));
+    }
+
+    #[test]
+    fn responses_serialize_to_one_line() {
+        let ok = Response::ok(
+            Some(1),
+            "ping",
+            false,
+            Json::obj([("command", Json::from("ping"))]),
+        );
+        assert_eq!(
+            ok.to_json().to_string(),
+            r#"{"id":1,"ok":true,"kind":"ping","cached":false,"result":{"command":"ping"}}"#
+        );
+        let err = Response::error(None, ErrorCode::QueueFull, "queue is full (depth 2)");
+        assert_eq!(
+            err.to_json().to_string(),
+            r#"{"id":null,"ok":false,"error":{"code":"queue_full","message":"queue is full (depth 2)"}}"#
+        );
+        assert!(!err.to_json().to_string().contains('\n'));
+    }
+}

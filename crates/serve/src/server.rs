@@ -1,0 +1,507 @@
+//! Line transports: stdio (tests, `vpd serve --stdio`) and TCP
+//! (`vpd serve`), plus the thin [`call`] client used by `vpd call`.
+//!
+//! Both transports share one shape: read a request line, submit it to
+//! the bounded [`WorkerPool`], and let the worker write the response
+//! line. Every accepted line gets **exactly one** response line —
+//! rejections included — so clients can count instead of guessing.
+//!
+//! Shutdown semantics (see DESIGN §12):
+//!
+//! * A `shutdown` request is acknowledged, then the pool **drains**:
+//!   in-flight requests complete and their responses are written;
+//!   queued requests are handed back and answered with
+//!   `{"code":"draining"}`; the listener closes.
+//! * End of input (stdio EOF / client disconnect) **finishes** instead:
+//!   everything already accepted runs to completion. On TCP, a single
+//!   client hanging up does not stop the server; only a `shutdown`
+//!   request (or killing the process) does. The workspace forbids
+//!   `unsafe`, so no signal handler is installed — drive shutdown
+//!   through the protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::engine::Dispatcher;
+use crate::pool::{SubmitError, WorkerPool};
+use crate::proto::{ErrorCode, Request, Response, Work};
+
+/// Service tuning knobs; the CLI flags map onto these 1:1.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing analyses (min 1).
+    pub workers: usize,
+    /// Bounded queue depth; a full queue rejects with `queue_full`.
+    pub queue_depth: usize,
+    /// Scenario-cache capacity in compiled entries (0 disables).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// One queued unit: the parsed request plus where its response goes.
+struct Job<W: Write + Send + 'static> {
+    request: Request,
+    accepted_at: Instant,
+    writer: Arc<Mutex<W>>,
+}
+
+fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) {
+    let mut w = writer.lock().expect("response writer poisoned");
+    // A torn-down connection makes writes fail; that request's client
+    // is gone, which is not the server's problem.
+    let _ = writeln!(w, "{}", response.to_json());
+    let _ = w.flush();
+}
+
+fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
+    vpd_obs::incr("serve.requests");
+    let _span = vpd_obs::span("serve.request_ns");
+    let Job {
+        request,
+        accepted_at,
+        writer,
+    } = job;
+    if let Some(budget_ms) = request.deadline_ms {
+        let waited = accepted_at.elapsed();
+        // `>=` so a zero deadline deterministically expires (useful for
+        // tests and as an explicit "reject unless immediate" probe).
+        if waited.as_millis() >= u128::from(budget_ms) {
+            vpd_obs::incr("serve.rejected.deadline");
+            write_line(
+                &writer,
+                &Response::error(
+                    request.id,
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "request waited {} ms in queue, past its {budget_ms} ms deadline",
+                        waited.as_millis()
+                    ),
+                ),
+            );
+            return;
+        }
+    }
+    let response = match dispatcher.dispatch(&request.work) {
+        Ok((result, cached)) => {
+            vpd_obs::incr("serve.ok");
+            Response::ok(request.id, request.work.kind(), cached, result)
+        }
+        Err((code, message)) => {
+            vpd_obs::incr("serve.errors");
+            Response::error(request.id, code, message)
+        }
+    };
+    write_line(&writer, &response);
+}
+
+/// What ended a serve session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ended {
+    /// Input exhausted; all accepted work completed.
+    Eof,
+    /// A `shutdown` request drained the service.
+    Shutdown,
+}
+
+/// Builds the worker pool around a shared dispatcher.
+fn build_pool<W: Write + Send + 'static>(
+    dispatcher: &Arc<Dispatcher>,
+    cfg: &ServeConfig,
+) -> WorkerPool<Job<W>> {
+    let dispatcher = Arc::clone(dispatcher);
+    WorkerPool::new(cfg.workers, cfg.queue_depth, move |job: Job<W>| {
+        run_job(&dispatcher, job)
+    })
+}
+
+/// Handles one request line; returns `true` when the line was a
+/// `shutdown` request (the caller then drains).
+fn handle_line<W: Write + Send + 'static>(
+    line: &str,
+    pool: &WorkerPool<Job<W>>,
+    writer: &Arc<Mutex<W>>,
+) -> bool {
+    if line.trim().is_empty() {
+        return false;
+    }
+    let request = match Request::parse_line(line) {
+        Ok(req) => req,
+        Err(e) => {
+            vpd_obs::incr("serve.rejected.invalid");
+            write_line(writer, &Response::error(e.id, e.code, e.message));
+            return false;
+        }
+    };
+    if request.work == Work::Shutdown {
+        return true;
+    }
+    let job = Job {
+        request,
+        accepted_at: Instant::now(),
+        writer: Arc::clone(writer),
+    };
+    if let Err(err) = pool.submit(job) {
+        let (job, code, message) = match err {
+            SubmitError::QueueFull(job) => {
+                vpd_obs::incr("serve.rejected.queue_full");
+                (job, ErrorCode::QueueFull, "queue is full; retry later")
+            }
+            SubmitError::Draining(job) => {
+                vpd_obs::incr("serve.rejected.draining");
+                (job, ErrorCode::Draining, "server is draining")
+            }
+        };
+        write_line(writer, &Response::error(job.request.id, code, message));
+    }
+    false
+}
+
+/// Acknowledges a shutdown request and drains the pool, answering every
+/// pulled-back queued job with a typed `draining` rejection.
+fn drain_with_rejections<W: Write + Send + 'static>(
+    id: Option<i64>,
+    pool: &WorkerPool<Job<W>>,
+    writer: &Arc<Mutex<W>>,
+) {
+    write_line(
+        writer,
+        &Response::ok(
+            id,
+            "shutdown",
+            false,
+            vpd_report::Json::obj([("command", vpd_report::Json::from("shutdown"))]),
+        ),
+    );
+    for job in pool.drain() {
+        vpd_obs::incr("serve.rejected.draining");
+        write_line(
+            &job.writer,
+            &Response::error(
+                job.request.id,
+                ErrorCode::Draining,
+                "server is draining for shutdown",
+            ),
+        );
+    }
+}
+
+/// Serves one NDJSON session over arbitrary line I/O — the stdio mode,
+/// and the deterministic harness the shutdown tests drive.
+///
+/// Returns the writer (all workers joined, so it is exclusively owned
+/// again) plus how the session ended.
+///
+/// # Errors
+///
+/// Propagates read errors from `reader`.
+pub fn serve_lines<R, W>(reader: R, writer: W, cfg: &ServeConfig) -> std::io::Result<(W, Ended)>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let dispatcher = Arc::new(Dispatcher::new(cfg.cache_capacity));
+    let writer = Arc::new(Mutex::new(writer));
+    let pool = build_pool(&dispatcher, cfg);
+    let mut ended = Ended::Eof;
+    for line in reader.lines() {
+        let line = line?;
+        if handle_line(&line, &pool, &writer) {
+            let id = Request::parse_line(&line).ok().and_then(|r| r.id);
+            drain_with_rejections(id, &pool, &writer);
+            ended = Ended::Shutdown;
+            break;
+        }
+    }
+    if ended == Ended::Eof {
+        pool.finish();
+    }
+    let writer = Arc::into_inner(writer)
+        .expect("workers joined; no writer clones remain")
+        .into_inner()
+        .expect("response writer poisoned");
+    Ok((writer, ended))
+}
+
+/// A bound TCP service, not yet accepting.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+}
+
+struct TcpShared {
+    pool: WorkerPool<Job<TcpStream>>,
+    shutting_down: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7171`, or port 0 for an ephemeral
+    /// port — see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            cfg,
+        })
+    }
+
+    /// The actually-bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request
+    /// arrives, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures.
+    pub fn run(self) -> std::io::Result<()> {
+        let dispatcher = Arc::new(Dispatcher::new(self.cfg.cache_capacity));
+        let shared = Arc::new(TcpShared {
+            pool: build_pool(&dispatcher, &self.cfg),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let local = self.listener.local_addr()?;
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            // One-line requests and responses are far smaller than a
+            // segment; Nagle + delayed ACK would add ~40 ms per turn.
+            let _ = stream.set_nodelay(true);
+            vpd_obs::incr("serve.connections");
+            let shared = Arc::clone(&shared);
+            if let Ok(track) = stream.try_clone() {
+                shared
+                    .conns
+                    .lock()
+                    .expect("connection list poisoned")
+                    .push(track);
+            }
+            handles.push(std::thread::spawn(move || {
+                serve_connection(stream, &shared, local);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<TcpShared>, local: std::net::SocketAddr) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse_line(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                vpd_obs::incr("serve.rejected.invalid");
+                write_line(&writer, &Response::error(e.id, e.code, e.message));
+                continue;
+            }
+        };
+        if request.work == Work::Shutdown {
+            if shared.shutting_down.swap(true, Ordering::SeqCst) {
+                // A concurrent shutdown is already draining; just ack.
+                write_line(
+                    &writer,
+                    &Response::error(request.id, ErrorCode::Draining, "server is draining"),
+                );
+                break;
+            }
+            drain_with_rejections(request.id, &shared.pool, &writer);
+            // Unblock every connection reader, then the accept loop.
+            for conn in shared
+                .conns
+                .lock()
+                .expect("connection list poisoned")
+                .iter()
+            {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = TcpStream::connect(local);
+            break;
+        }
+        let job = Job {
+            request,
+            accepted_at: Instant::now(),
+            writer: Arc::clone(&writer),
+        };
+        if let Err(err) = shared.pool.submit(job) {
+            let (job, code, message) = match err {
+                SubmitError::QueueFull(job) => {
+                    vpd_obs::incr("serve.rejected.queue_full");
+                    (job, ErrorCode::QueueFull, "queue is full; retry later")
+                }
+                SubmitError::Draining(job) => {
+                    vpd_obs::incr("serve.rejected.draining");
+                    (job, ErrorCode::Draining, "server is draining")
+                }
+            };
+            write_line(&writer, &Response::error(job.request.id, code, message));
+        }
+    }
+}
+
+/// Sends request lines over one connection and reads one response line
+/// per request — the `vpd call` client.
+///
+/// When `shutdown` is true a `{"kind":"shutdown"}` request is appended
+/// after the payload lines. Responses arrive in completion order; match
+/// them up by `id`.
+///
+/// # Errors
+///
+/// Propagates connection and I/O failures. A clean server-side close
+/// before all responses arrive yields `UnexpectedEof`.
+pub fn call(addr: &str, lines: &[String], shutdown: bool) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut expected = 0usize;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}")?;
+        expected += 1;
+    }
+    if shutdown {
+        writer.write_all(b"{\"kind\":\"shutdown\",\"id\":-1}\n")?;
+        expected += 1;
+    }
+    writer.flush()?;
+    let mut responses = Vec::with_capacity(expected);
+    let mut buf = String::new();
+    while responses.len() < expected {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "server closed after {} of {expected} responses",
+                    responses.len()
+                ),
+            ));
+        }
+        responses.push(buf.trim_end().to_owned());
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn serve_script(lines: &[&str], cfg: &ServeConfig) -> (Vec<String>, Ended) {
+        let input = lines.join("\n");
+        let (out, ended) =
+            serve_lines(Cursor::new(input), Vec::<u8>::new(), cfg).expect("serve session");
+        let text = String::from_utf8(out).expect("utf8 output");
+        (text.lines().map(str::to_owned).collect(), ended)
+    }
+
+    #[test]
+    fn stdio_session_answers_every_line_and_finishes_on_eof() {
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let (out, ended) = serve_script(
+            &[
+                r#"{"id":1,"kind":"ping"}"#,
+                "",
+                r#"{"id":2,"kind":"sharing","params":{"modules":12}}"#,
+                "not json",
+                r#"{"id":4,"kind":"stats"}"#,
+            ],
+            &cfg,
+        );
+        assert_eq!(ended, Ended::Eof);
+        assert_eq!(out.len(), 4, "one response per non-empty line: {out:?}");
+        // The reader thread answers parse errors inline while the
+        // worker writes results, so only membership is deterministic —
+        // clients match responses by id, and so does this test.
+        let ping = out.iter().find(|l| l.contains(r#""id":1"#)).unwrap();
+        assert!(ping.contains(r#""ok":true"#) && ping.contains(r#""command":"ping""#));
+        let sharing = out.iter().find(|l| l.contains(r#""id":2"#)).unwrap();
+        assert!(sharing.contains(r#""command":"sharing""#), "{sharing}");
+        assert!(out.iter().any(|l| l.contains(r#""code":"parse""#)));
+        let stats = out.iter().find(|l| l.contains(r#""id":4"#)).unwrap();
+        assert!(stats.contains(r#""command":"stats""#));
+    }
+
+    #[test]
+    fn shutdown_request_acks_then_rejects_queued_work() {
+        // Single worker and a script whose first request occupies it
+        // long enough for the rest to queue is inherently racy — so
+        // drive the deterministic half here (shutdown first, work
+        // after) and leave the in-flight half to the pool tests.
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let (out, ended) = serve_script(
+            &[
+                r#"{"id":10,"kind":"shutdown"}"#,
+                r#"{"id":11,"kind":"ping"}"#,
+                r#"{"id":12,"kind":"ping"}"#,
+            ],
+            &cfg,
+        );
+        assert_eq!(ended, Ended::Shutdown);
+        // The ack is written; the lines after shutdown are never read.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains(r#""id":10"#) && out[0].contains(r#""kind":"shutdown""#));
+    }
+
+    #[test]
+    fn deadline_zero_rejects_at_dequeue() {
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        // A zero deadline has always expired by dequeue time.
+        let (out, _) = serve_script(&[r#"{"id":5,"kind":"ping","deadline_ms":0}"#], &cfg);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].contains(r#""code":"deadline_exceeded""#),
+            "{}",
+            out[0]
+        );
+    }
+}

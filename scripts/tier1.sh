@@ -83,6 +83,68 @@ else
     fail=1
 fi
 
+step "serve bench smoke (cold/warm + concurrent, cold-oracle audited)"
+cargo run --release -p vpd-bench --bin serve -- --smoke || fail=1
+
+step "CLI smoke: vpd serve / vpd call round-trip over loopback"
+serve_log="target/tier1-serve.log"
+serve_metrics="target/tier1-serve-metrics.ndjson"
+serve_calls="target/tier1-serve-calls.ndjson"
+rm -f "$serve_metrics" "$serve_calls"
+./target/release/vpd --metrics "$serve_metrics" serve --addr 127.0.0.1:0 \
+    2>"$serve_log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^vpd serve: listening on //p' "$serve_log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "vpd serve did not start:"
+    cat "$serve_log"
+    kill "$serve_pid" 2>/dev/null
+    fail=1
+else
+    ./target/release/vpd call --addr "$serve_addr" \
+        --request '{"id":1,"kind":"ping"}' \
+        --request '{"id":2,"kind":"analyze","params":{"arch":"a1"}}' \
+        --request '{"id":3,"kind":"sharing","params":{"modules":12}}' \
+        --request '{"id":4,"kind":"mc","params":{"arch":"a0","samples":4}}' \
+        --request '{"id":5,"kind":"impedance","params":{"arch":"a1","points":16}}' \
+        --request '{"id":6,"kind":"droop","params":{"arch":"a0"}}' \
+        --request '{"id":7,"kind":"faults","params":{"arch":"a2","random_k":2,"count":4,"seed":7}}' \
+        --request '{"id":8,"kind":"stats"}' \
+        >"$serve_calls" || fail=1
+    ./target/release/vpd call --addr "$serve_addr" --shutdown >/dev/null || fail=1
+    wait "$serve_pid" || fail=1
+    python3 - "$serve_calls" "$serve_metrics" <<'EOF' || fail=1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    responses = [json.loads(line) for line in f if line.strip()]
+assert len(responses) == 8, f"expected 8 responses, got {len(responses)}"
+by_id = {r["id"]: r for r in responses}
+assert sorted(by_id) == list(range(1, 9)), sorted(by_id)
+for r in responses:
+    assert r["ok"], f"request {r['id']} failed: {r}"
+stats = by_id[8]["result"]
+cache = stats["cache"]
+assert cache["misses"] > 0, cache
+assert cache["entries"] > 0, cache
+
+with open(sys.argv[2]) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert len(lines) == 1, f"expected 1 metrics record, got {len(lines)}"
+rec = lines[0]
+assert rec["label"] == "serve", rec["label"]
+assert rec["counters"]["serve.requests"] == 8, rec["counters"]
+assert rec["counters"]["serve.ok"] == 8, rec["counters"]
+assert rec["counters"]["serve.cache.misses"] > 0, rec["counters"]
+print("serve smoke OK: one response per request, all ok, metrics snapshot valid")
+EOF
+fi
+
 step "cargo clippy --release -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings || fail=1
 

@@ -24,6 +24,8 @@ use vertical_power_delivery::core::{
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
 use vertical_power_delivery::report::Json;
+use vertical_power_delivery::serve::proto::{parse_architecture, parse_topology};
+use vertical_power_delivery::serve::{self, ServeConfig};
 use vertical_power_delivery::thermal::DeviceTechnology;
 use vpd_units::Seconds;
 
@@ -40,7 +42,7 @@ fn main() -> ExitCode {
     if invocation.metrics.is_some() {
         obs::set_enabled(true);
     }
-    let label = invocation.command.name();
+    let label = invocation.command.label();
     let outcome = run(invocation.command, invocation.format);
     if let Some(path) = &invocation.metrics {
         let snapshot = obs::snapshot();
@@ -83,6 +85,15 @@ commands:
   thermal     --arch <a1|a2> [--tech <si|gan>]
   faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--n-minus-1 | --random-k <k>] [--count <n>] [--seed <s>]
+  serve       [--addr <host:port>] [--workers <n>] [--queue-depth <n>]
+              [--cache-size <n>] [--stdio]
+              NDJSON analysis service with a compiled-plan scenario
+              cache (default addr 127.0.0.1:7171; --stdio serves one
+              session on stdin/stdout instead of TCP)
+  call        [--addr <host:port>] --request '<json>' [--request ...]
+              [--shutdown]
+              send request lines to a running server, print one
+              response line each; --shutdown drains the server after
   help        print this message";
 
 /// A full CLI invocation: global flags plus the subcommand.
@@ -168,12 +179,25 @@ enum Command {
         count: usize,
         seed: u64,
     },
+    Serve {
+        addr: String,
+        workers: usize,
+        queue_depth: usize,
+        cache_size: usize,
+        stdio: bool,
+    },
+    Call {
+        addr: String,
+        requests: Vec<String>,
+        shutdown: bool,
+    },
     Help,
 }
 
 impl Command {
-    /// The subcommand name, used as the metrics snapshot label.
-    fn name(&self) -> &'static str {
+    /// The subcommand label: the metrics snapshot tag and the
+    /// `"command"` field of every JSON document this subcommand emits.
+    fn label(&self) -> &'static str {
         match self {
             Self::Analyze { .. } => "analyze",
             Self::Matrix => "matrix",
@@ -184,6 +208,8 @@ impl Command {
             Self::Droop { .. } => "droop",
             Self::Thermal { .. } => "thermal",
             Self::Faults { .. } => "faults",
+            Self::Serve { .. } => "serve",
+            Self::Call { .. } => "call",
             Self::Help => "help",
         }
     }
@@ -198,28 +224,21 @@ impl Command {
                 .and_then(|i| rest.get(i + 1))
                 .map(|s| s.as_str())
         };
+        // Architecture/topology spellings are shared with the serve
+        // protocol, so the CLI and the wire accept the same tags.
         let parse_arch = |required: bool| -> Result<Architecture, String> {
             match flag("--arch") {
-                Some("a0") => Ok(Architecture::Reference),
-                Some("a1") => Ok(Architecture::InterposerPeriphery),
-                Some("a2") => Ok(Architecture::InterposerEmbedded),
-                Some("a3-12") => Ok(Architecture::TwoStage {
-                    bus: Volts::new(12.0),
-                }),
-                Some("a3-6") => Ok(Architecture::TwoStage {
-                    bus: Volts::new(6.0),
-                }),
-                Some(other) => Err(format!("unknown architecture '{other}'")),
+                Some(s) => {
+                    parse_architecture(s).ok_or_else(|| format!("unknown architecture '{s}'"))
+                }
                 None if required => Err("--arch is required".into()),
                 None => Ok(Architecture::InterposerPeriphery),
             }
         };
-        let parse_topology = || -> Result<VrTopologyKind, String> {
+        let parse_topo = || -> Result<VrTopologyKind, String> {
             match flag("--topology") {
-                Some("dpmih") => Ok(VrTopologyKind::Dpmih),
-                Some("dsch") | None => Ok(VrTopologyKind::Dsch),
-                Some("3lhd") => Ok(VrTopologyKind::ThreeLevelHybridDickson),
-                Some(other) => Err(format!("unknown topology '{other}'")),
+                Some(s) => parse_topology(s).ok_or_else(|| format!("unknown topology '{s}'")),
+                None => Ok(VrTopologyKind::Dsch),
             }
         };
         let parse_f64 = |name: &str, default: f64| -> Result<f64, String> {
@@ -233,7 +252,7 @@ impl Command {
         match cmd.as_str() {
             "analyze" => Ok(Self::Analyze {
                 arch: parse_arch(true)?,
-                topology: parse_topology()?,
+                topology: parse_topo()?,
                 power_w: parse_f64("--power", 1000.0)?,
                 density: parse_f64("--density", 2.0)?,
             }),
@@ -255,7 +274,7 @@ impl Command {
                 }
                 Ok(Self::Mc {
                     arch: parse_arch(true)?,
-                    topology: parse_topology()?,
+                    topology: parse_topo()?,
                     samples,
                     seed: parse_f64("--seed", 0x5eed as f64)? as u64,
                     threads: parse_f64("--threads", 0.0)? as usize,
@@ -309,10 +328,45 @@ impl Command {
                 }
                 Ok(Self::Faults {
                     arch: parse_arch(true)?,
-                    topology: parse_topology()?,
+                    topology: parse_topo()?,
                     random_k,
                     count: parse_f64("--count", 32.0)? as usize,
                     seed: parse_f64("--seed", 64023.0)? as u64,
+                })
+            }
+            "serve" => {
+                let defaults = ServeConfig::default();
+                Ok(Self::Serve {
+                    addr: flag("--addr").unwrap_or(DEFAULT_ADDR).to_owned(),
+                    workers: parse_f64("--workers", defaults.workers as f64)? as usize,
+                    queue_depth: parse_f64("--queue-depth", defaults.queue_depth as f64)? as usize,
+                    cache_size: parse_f64("--cache-size", defaults.cache_capacity as f64)? as usize,
+                    stdio: rest.iter().any(|a| a.as_str() == "--stdio"),
+                })
+            }
+            "call" => {
+                // `--request` repeats; collect every occurrence in order.
+                let mut requests = Vec::new();
+                let mut i = 0;
+                while i < rest.len() {
+                    if rest[i].as_str() == "--request" {
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or("--request expects a JSON request line")?;
+                        requests.push((*v).clone());
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let shutdown = rest.iter().any(|a| a.as_str() == "--shutdown");
+                if requests.is_empty() && !shutdown {
+                    return Err("call needs at least one --request (or --shutdown)".into());
+                }
+                Ok(Self::Call {
+                    addr: flag("--addr").unwrap_or(DEFAULT_ADDR).to_owned(),
+                    requests,
+                    shutdown,
                 })
             }
             "help" | "--help" | "-h" => Ok(Self::Help),
@@ -320,6 +374,9 @@ impl Command {
         }
     }
 }
+
+/// The default service endpoint shared by `serve` and `call`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
 /// Prints one document: the text rendering, or the context-wrapped JSON.
 fn emit(format: RenderFormat, text: impl FnOnce() -> String, json: impl FnOnce() -> Json) {
@@ -329,8 +386,25 @@ fn emit(format: RenderFormat, text: impl FnOnce() -> String, json: impl FnOnce()
     }
 }
 
+/// Builds the context-wrapped JSON document every subcommand emits: the
+/// subcommand label under `"command"`, then the given pairs. One
+/// assembly point instead of a per-arm `("command", ...)` block keeps
+/// the label in lockstep with [`Command::label`] (and with the serve
+/// protocol, whose `result` documents reproduce these bytes exactly).
+fn command_json(
+    label: &'static str,
+    pairs: impl IntoIterator<Item = (&'static str, Json)>,
+) -> Json {
+    Json::Object(
+        std::iter::once(("command".to_owned(), Json::from(label)))
+            .chain(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)))
+            .collect(),
+    )
+}
+
 fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Error>> {
     let calib = Calibration::paper_default();
+    let label = cmd.label();
     match cmd {
         Command::Help => println!("{USAGE}"),
         Command::Analyze {
@@ -360,19 +434,21 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     )
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("analyze")),
-                        ("architecture", Json::from(arch.name())),
-                        ("topology", Json::from(topology.name())),
-                        ("power_w", Json::from(power_w)),
-                        ("density_a_per_mm2", Json::from(density)),
-                        (
-                            "die_area_mm2",
-                            Json::from(spec.die_area().as_square_millimeters()),
-                        ),
-                        ("overloaded", Json::from(report.overloaded)),
-                        ("breakdown", report.breakdown.render_json()),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            ("architecture", Json::from(arch.name())),
+                            ("topology", Json::from(topology.name())),
+                            ("power_w", Json::from(power_w)),
+                            ("density_a_per_mm2", Json::from(density)),
+                            (
+                                "die_area_mm2",
+                                Json::from(spec.die_area().as_square_millimeters()),
+                            ),
+                            ("overloaded", Json::from(report.overloaded)),
+                            ("breakdown", report.breakdown.render_json()),
+                        ],
+                    )
                 },
             );
         }
@@ -407,9 +483,9 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     out
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("matrix")),
-                        (
+                    command_json(
+                        label,
+                        [(
                             "entries",
                             Json::array(entries.iter().map(|e| {
                                 let mut pairs = vec![
@@ -432,8 +508,8 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                                 }
                                 Json::Object(pairs)
                             })),
-                        ),
-                    ])
+                        )],
+                    )
                 },
             );
         }
@@ -452,30 +528,32 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     out
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("recommend")),
-                        (
-                            "ranked",
-                            Json::array(rec.ranked.iter().map(|c| {
-                                Json::obj([
-                                    ("architecture", Json::from(c.architecture.name())),
-                                    ("topology", Json::from(c.topology.name())),
-                                    ("loss_percent", Json::from(c.report.loss_percent())),
-                                    ("rationale", Json::from(c.rationale.as_str())),
-                                ])
-                            })),
-                        ),
-                        (
-                            "rejected",
-                            Json::array(rec.rejected.iter().map(|(a, t, e)| {
-                                Json::obj([
-                                    ("architecture", Json::from(a.name())),
-                                    ("topology", Json::from(t.name())),
-                                    ("error", Json::from(e.to_string())),
-                                ])
-                            })),
-                        ),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            (
+                                "ranked",
+                                Json::array(rec.ranked.iter().map(|c| {
+                                    Json::obj([
+                                        ("architecture", Json::from(c.architecture.name())),
+                                        ("topology", Json::from(c.topology.name())),
+                                        ("loss_percent", Json::from(c.report.loss_percent())),
+                                        ("rationale", Json::from(c.rationale.as_str())),
+                                    ])
+                                })),
+                            ),
+                            (
+                                "rejected",
+                                Json::array(rec.rejected.iter().map(|(a, t, e)| {
+                                    Json::obj([
+                                        ("architecture", Json::from(a.name())),
+                                        ("topology", Json::from(t.name())),
+                                        ("error", Json::from(e.to_string())),
+                                    ])
+                                })),
+                            ),
+                        ],
+                    )
                 },
             );
         }
@@ -485,11 +563,13 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                 format,
                 || format!("{modules} modules {placement}: {}", rep.render_text()),
                 || {
-                    Json::obj([
-                        ("command", Json::from("sharing")),
-                        ("placement", Json::from(placement.to_string())),
-                        ("report", rep.render_json()),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            ("placement", Json::from(placement.to_string())),
+                            ("report", rep.render_json()),
+                        ],
+                    )
                 },
             );
         }
@@ -523,14 +603,16 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     )
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("mc")),
-                        ("architecture", Json::from(arch.name())),
-                        ("topology", Json::from(topology.name())),
-                        ("samples", Json::from(samples)),
-                        ("seed", Json::from(i64::try_from(seed).unwrap_or(i64::MAX))),
-                        ("summary", summary.render_json()),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            ("architecture", Json::from(arch.name())),
+                            ("topology", Json::from(topology.name())),
+                            ("samples", Json::from(samples)),
+                            ("seed", Json::from(i64::try_from(seed).unwrap_or(i64::MAX))),
+                            ("summary", summary.render_json()),
+                        ],
+                    )
                 },
             );
         }
@@ -570,13 +652,15 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                             )
                         },
                         || {
-                            Json::obj([
-                                ("command", Json::from("impedance")),
-                                ("points", Json::from(points)),
-                                ("fmin_hz", Json::from(fmin_hz)),
-                                ("fmax_hz", Json::from(fmax_hz)),
-                                ("comparison", cmp.render_json()),
-                            ])
+                            command_json(
+                                label,
+                                [
+                                    ("points", Json::from(points)),
+                                    ("fmin_hz", Json::from(fmin_hz)),
+                                    ("fmax_hz", Json::from(fmax_hz)),
+                                    ("comparison", cmp.render_json()),
+                                ],
+                            )
                         },
                     );
                 }
@@ -586,12 +670,7 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                         emit(
                             format,
                             || rep.render_text(),
-                            || {
-                                Json::obj([
-                                    ("command", Json::from("impedance")),
-                                    ("report", rep.render_json()),
-                                ])
-                            },
+                            || command_json(label, [("report", rep.render_json())]),
                         );
                     } else {
                         emit(
@@ -611,16 +690,21 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                                 )
                             },
                             || {
-                                Json::obj([
-                                    ("command", Json::from("impedance")),
-                                    ("architecture", Json::from(rep.label.as_str())),
-                                    ("points", Json::from(points)),
-                                    ("peak_impedance_ohm", Json::from(rep.peak.value())),
-                                    ("peak_frequency_hz", Json::from(rep.peak_frequency.value())),
-                                    ("target_ohm", Json::from(rep.target.value())),
-                                    ("margin", Json::from(rep.margin())),
-                                    ("meets_target", Json::from(rep.meets_target())),
-                                ])
+                                command_json(
+                                    label,
+                                    [
+                                        ("architecture", Json::from(rep.label.as_str())),
+                                        ("points", Json::from(points)),
+                                        ("peak_impedance_ohm", Json::from(rep.peak.value())),
+                                        (
+                                            "peak_frequency_hz",
+                                            Json::from(rep.peak_frequency.value()),
+                                        ),
+                                        ("target_ohm", Json::from(rep.target.value())),
+                                        ("margin", Json::from(rep.margin())),
+                                        ("meets_target", Json::from(rep.meets_target())),
+                                    ],
+                                )
                             },
                         );
                     }
@@ -645,11 +729,13 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     )
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("droop")),
-                        ("architecture", Json::from(arch.name())),
-                        ("report", report.render_json()),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            ("architecture", Json::from(arch.name())),
+                            ("report", report.render_json()),
+                        ],
+                    )
                 },
             );
         }
@@ -680,25 +766,27 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     )
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("thermal")),
-                        ("architecture", Json::from(arch.name())),
-                        ("technology", Json::from(format!("{tech:?}"))),
-                        (
-                            "worst_module_temperature_c",
-                            Json::from(r.worst_module_temperature.value()),
-                        ),
-                        (
-                            "nominal_conversion_loss_w",
-                            Json::from(r.nominal_conversion_loss.value()),
-                        ),
-                        (
-                            "derated_conversion_loss_w",
-                            Json::from(r.derated_conversion_loss.value()),
-                        ),
-                        ("thermal_penalty_w", Json::from(r.thermal_penalty().value())),
-                        ("within_rating", Json::from(r.modules_within_rating)),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            ("architecture", Json::from(arch.name())),
+                            ("technology", Json::from(format!("{tech:?}"))),
+                            (
+                                "worst_module_temperature_c",
+                                Json::from(r.worst_module_temperature.value()),
+                            ),
+                            (
+                                "nominal_conversion_loss_w",
+                                Json::from(r.nominal_conversion_loss.value()),
+                            ),
+                            (
+                                "derated_conversion_loss_w",
+                                Json::from(r.derated_conversion_loss.value()),
+                            ),
+                            ("thermal_penalty_w", Json::from(r.thermal_penalty().value())),
+                            ("within_rating", Json::from(r.modules_within_rating)),
+                        ],
+                    )
                 },
             );
         }
@@ -716,7 +804,7 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     FaultScenario::random_k(k, count, seed, sweep.vr_count(), sweep.grid_side())
                 }
             };
-            let label = match random_k {
+            let mode_label = match random_k {
                 None => format!("N-1 over {} modules", sweep.vr_count()),
                 Some(k) => format!("{count} random {k}-fault scenarios (seed {seed})"),
             };
@@ -725,7 +813,7 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                 format,
                 || {
                     format!(
-                        "{} / {topology}: {label}\n  nominal:  worst drop {}, spread {:.2}x\n{}",
+                        "{} / {topology}: {mode_label}\n  nominal:  worst drop {}, spread {:.2}x\n{}",
                         arch.name(),
                         sweep.nominal().worst_drop(),
                         sweep.nominal().max().value() / sweep.nominal().mean().value(),
@@ -733,18 +821,51 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                     )
                 },
                 || {
-                    Json::obj([
-                        ("command", Json::from("faults")),
-                        ("mode", Json::from(label.as_str())),
-                        ("topology", Json::from(topology.name())),
-                        (
-                            "nominal_worst_drop_v",
-                            Json::from(sweep.nominal().worst_drop().value()),
-                        ),
-                        ("report", report.render_json()),
-                    ])
+                    command_json(
+                        label,
+                        [
+                            ("mode", Json::from(mode_label.as_str())),
+                            ("topology", Json::from(topology.name())),
+                            (
+                                "nominal_worst_drop_v",
+                                Json::from(sweep.nominal().worst_drop().value()),
+                            ),
+                            ("report", report.render_json()),
+                        ],
+                    )
                 },
             );
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            cache_size,
+            stdio,
+        } => {
+            let cfg = ServeConfig {
+                workers,
+                queue_depth,
+                cache_capacity: cache_size,
+            };
+            if stdio {
+                // One session over stdin/stdout: requests in, responses
+                // out, ends on EOF or a shutdown request.
+                serve::serve_lines(std::io::stdin().lock(), std::io::stdout(), &cfg)?;
+            } else {
+                let server = serve::Server::bind(&addr, cfg)?;
+                eprintln!("vpd serve: listening on {}", server.local_addr()?);
+                server.run()?;
+            }
+        }
+        Command::Call {
+            addr,
+            requests,
+            shutdown,
+        } => {
+            for line in serve::call(&addr, &requests, shutdown)? {
+                println!("{line}");
+            }
         }
     }
     Ok(())
@@ -1008,11 +1129,112 @@ mod tests {
     }
 
     #[test]
-    fn command_names_cover_every_variant() {
-        assert_eq!(parse(&["matrix"]).unwrap().name(), "matrix");
-        assert_eq!(parse(&["mc", "--arch", "a1"]).unwrap().name(), "mc");
-        assert_eq!(parse(&["faults", "--arch", "a1"]).unwrap().name(), "faults");
-        assert_eq!(parse(&["help"]).unwrap().name(), "help");
+    fn command_labels_cover_every_variant() {
+        assert_eq!(parse(&["matrix"]).unwrap().label(), "matrix");
+        assert_eq!(parse(&["mc", "--arch", "a1"]).unwrap().label(), "mc");
+        assert_eq!(
+            parse(&["faults", "--arch", "a1"]).unwrap().label(),
+            "faults"
+        );
+        assert_eq!(parse(&["serve"]).unwrap().label(), "serve");
+        assert_eq!(parse(&["call", "--shutdown"]).unwrap().label(), "call");
+        assert_eq!(parse(&["help"]).unwrap().label(), "help");
+    }
+
+    #[test]
+    fn command_json_prepends_the_label() {
+        let doc = command_json("analyze", [("x", Json::from(1.5))]);
+        assert_eq!(doc.to_string(), r#"{"command":"analyze","x":1.5}"#);
+        let empty = command_json("matrix", []);
+        assert_eq!(empty.to_string(), r#"{"command":"matrix"}"#);
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let defaults = ServeConfig::default();
+        match parse(&["serve"]).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                cache_size,
+                stdio,
+            } => {
+                assert_eq!(addr, DEFAULT_ADDR);
+                assert_eq!(workers, defaults.workers);
+                assert_eq!(queue_depth, defaults.queue_depth);
+                assert_eq!(cache_size, defaults.cache_capacity);
+                assert!(!stdio);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--queue-depth",
+            "8",
+            "--cache-size",
+            "2",
+            "--stdio",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                cache_size,
+                stdio,
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(workers, 4);
+                assert_eq!(queue_depth, 8);
+                assert_eq!(cache_size, 2);
+                assert!(stdio);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "--workers", "lots"]).is_err());
+    }
+
+    #[test]
+    fn parses_call_with_repeated_requests() {
+        match parse(&[
+            "call",
+            "--request",
+            r#"{"kind":"ping"}"#,
+            "--request",
+            r#"{"kind":"stats"}"#,
+        ])
+        .unwrap()
+        {
+            Command::Call {
+                addr,
+                requests,
+                shutdown,
+            } => {
+                assert_eq!(addr, DEFAULT_ADDR);
+                assert_eq!(
+                    requests,
+                    vec![
+                        r#"{"kind":"ping"}"#.to_owned(),
+                        r#"{"kind":"stats"}"#.to_owned()
+                    ]
+                );
+                assert!(!shutdown);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --shutdown alone is a valid drain-only call.
+        assert!(matches!(
+            parse(&["call", "--shutdown"]).unwrap(),
+            Command::Call { shutdown: true, .. }
+        ));
+        assert!(parse(&["call"]).is_err(), "needs a request or --shutdown");
+        assert!(parse(&["call", "--request"]).is_err(), "dangling value");
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   exploration, placement optimization, Monte-Carlo;
 //! * [`report`] — tables/charts/CSV/JSON and the [`report::Render`]
 //!   contract for the experiment harness;
+//! * [`serve`] — the concurrent NDJSON analysis service with a
+//!   compiled-plan scenario cache (`vpd serve` / `vpd call`);
 //! * [`obs`] — the std-only observability layer: solver metrics
 //!   (counters, gauges, histograms), timing spans, and NDJSON snapshot
 //!   export, off by default and enabled by the CLI's `--metrics` flag.
@@ -58,6 +60,7 @@ pub use vpd_numeric as numeric;
 pub use vpd_obs as obs;
 pub use vpd_package as package;
 pub use vpd_report as report;
+pub use vpd_serve as serve;
 pub use vpd_thermal as thermal;
 pub use vpd_units as units;
 

@@ -1,0 +1,205 @@
+//! End-to-end tests for the `vpd-serve` service: the stdio transport,
+//! the TCP transport with the `call` client, and the determinism
+//! contract — a served `result` document is bitwise-identical to the
+//! one-shot `vpd --format json <command>` invocation, cold or cached.
+
+use std::io::Cursor;
+use std::process::Command;
+
+use vertical_power_delivery::report::Json;
+use vertical_power_delivery::serve::{serve_lines, Ended, ServeConfig, Server};
+
+/// Runs one stdio serve session over a scripted input with a single
+/// worker (so request order is deterministic) and returns the response
+/// lines plus how the session ended.
+fn serve_script(lines: &[&str], cache_capacity: usize) -> (Vec<String>, Ended) {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 64,
+        cache_capacity,
+    };
+    let input = lines.join("\n");
+    let (out, ended) =
+        serve_lines(Cursor::new(input), Vec::<u8>::new(), &cfg).expect("serve session");
+    let text = String::from_utf8(out).expect("utf8 output");
+    (text.lines().map(str::to_owned).collect(), ended)
+}
+
+/// Extracts the `result` document of a success response, re-serialized.
+fn result_of(response_line: &str) -> String {
+    let doc = Json::parse(response_line).expect("response is valid JSON");
+    assert_eq!(
+        doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected a success response: {response_line}"
+    );
+    doc.get("result")
+        .expect("success carries a result")
+        .to_string()
+}
+
+/// Runs the real `vpd` binary and returns its single-line JSON stdout.
+fn one_shot_cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_vpd"))
+        .arg("--format")
+        .arg("json")
+        .args(args)
+        .output()
+        .expect("vpd binary runs");
+    assert!(
+        out.status.success(),
+        "vpd {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("utf8 stdout")
+        .trim_end()
+        .to_owned()
+}
+
+#[test]
+fn served_results_match_the_one_shot_cli_bitwise() {
+    // Each pair: a request line and the equivalent one-shot invocation.
+    // Small sample/point counts keep the debug-build runtime sane; the
+    // comparison is still bit-exact.
+    let cases: &[(&str, &[&str])] = &[
+        (
+            r#"{"id":1,"kind":"analyze","params":{"arch":"a1","topology":"dpmih"}}"#,
+            &["analyze", "--arch", "a1", "--topology", "dpmih"],
+        ),
+        (
+            r#"{"id":2,"kind":"sharing","params":{"placement":"below","modules":12}}"#,
+            &["sharing", "--placement", "below", "--modules", "12"],
+        ),
+        (
+            r#"{"id":3,"kind":"mc","params":{"arch":"a0","samples":8,"seed":9}}"#,
+            &["mc", "--arch", "a0", "--samples", "8", "--seed", "9"],
+        ),
+        (
+            r#"{"id":4,"kind":"impedance","params":{"arch":"a1","points":24}}"#,
+            &["impedance", "--arch", "a1", "--points", "24"],
+        ),
+        (
+            r#"{"id":5,"kind":"faults","params":{"arch":"a2","random_k":2,"count":6,"seed":7}}"#,
+            &[
+                "faults",
+                "--arch",
+                "a2",
+                "--random-k",
+                "2",
+                "--count",
+                "6",
+                "--seed",
+                "7",
+            ],
+        ),
+    ];
+    let request_lines: Vec<&str> = cases.iter().map(|(req, _)| *req).collect();
+    let (out, ended) = serve_script(&request_lines, 16);
+    assert_eq!(ended, Ended::Eof);
+    assert_eq!(out.len(), cases.len(), "{out:?}");
+    for (i, (_, cli_args)) in cases.iter().enumerate() {
+        let id = format!("\"id\":{}", i + 1);
+        let line = out
+            .iter()
+            .find(|l| l.contains(&id))
+            .unwrap_or_else(|| panic!("no response for id {}: {out:?}", i + 1));
+        assert_eq!(
+            result_of(line),
+            one_shot_cli(cli_args),
+            "served result differs from one-shot CLI for {cli_args:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_hit_is_bitwise_identical_and_marked_cached() {
+    // One worker: the second identical request dequeues after the first
+    // has checked its compiled session back in, so it must hit.
+    let (out, _) = serve_script(
+        &[
+            r#"{"id":1,"kind":"analyze","params":{"arch":"a2"}}"#,
+            r#"{"id":2,"kind":"analyze","params":{"arch":"a2"}}"#,
+        ],
+        16,
+    );
+    assert_eq!(out.len(), 2);
+    let cold = out.iter().find(|l| l.contains("\"id\":1")).unwrap();
+    let warm = out.iter().find(|l| l.contains("\"id\":2")).unwrap();
+    assert!(cold.contains(r#""cached":false"#), "{cold}");
+    assert!(warm.contains(r#""cached":true"#), "{warm}");
+    assert_eq!(result_of(cold), result_of(warm), "cache hit changed bits");
+}
+
+#[test]
+fn zero_capacity_cache_still_serves_identical_bits() {
+    let (out, _) = serve_script(
+        &[
+            r#"{"id":1,"kind":"analyze","params":{"arch":"a1"}}"#,
+            r#"{"id":2,"kind":"analyze","params":{"arch":"a1"}}"#,
+        ],
+        0,
+    );
+    let a = out.iter().find(|l| l.contains("\"id\":1")).unwrap();
+    let b = out.iter().find(|l| l.contains("\"id\":2")).unwrap();
+    assert!(a.contains(r#""cached":false"#) && b.contains(r#""cached":false"#));
+    assert_eq!(result_of(a), result_of(b));
+}
+
+#[test]
+fn tcp_round_trip_serves_and_drains_on_shutdown() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let lines = vec![
+        r#"{"id":1,"kind":"ping"}"#.to_owned(),
+        r#"{"id":2,"kind":"analyze","params":{"arch":"a1"}}"#.to_owned(),
+        r#"{"id":3,"kind":"stats"}"#.to_owned(),
+    ];
+    // Payload first, shutdown as a second call: a shutdown pipelined on
+    // the same connection would race ahead and drain still-queued jobs.
+    let responses =
+        vertical_power_delivery::serve::call(&addr, &lines, false).expect("call round trip");
+    assert_eq!(responses.len(), 3, "{responses:?}");
+    for id in 1..=3 {
+        let needle = format!("\"id\":{id}");
+        let line = responses
+            .iter()
+            .find(|l| l.contains(&needle))
+            .unwrap_or_else(|| panic!("no response for id {id}: {responses:?}"));
+        assert!(line.contains(r#""ok":true"#), "{line}");
+    }
+    let drain = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain call");
+    assert_eq!(drain.len(), 1, "{drain:?}");
+    assert!(
+        drain[0].contains("\"id\":-1") && drain[0].contains(r#""kind":"shutdown""#),
+        "{}",
+        drain[0]
+    );
+
+    // The shutdown request must also stop the accept loop.
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn typed_errors_flow_end_to_end() {
+    let (out, _) = serve_script(
+        &[
+            r#"{"id":1,"kind":"impedance","params":{"arch":"all"}}"#,
+            r#"{"id":2,"kind":"impedance","params":{"arch":"a1","points":1}}"#,
+            r#"{"id":3,"kind":"mc","params":{"arch":"a1","samples":0}}"#,
+        ],
+        16,
+    );
+    assert_eq!(out.len(), 3, "{out:?}");
+    let unsupported = out.iter().find(|l| l.contains("\"id\":1")).unwrap();
+    assert!(
+        unsupported.contains(r#""code":"unsupported""#),
+        "{unsupported}"
+    );
+    let engine = out.iter().find(|l| l.contains("\"id\":2")).unwrap();
+    assert!(engine.contains(r#""code":"engine""#), "{engine}");
+    let bad = out.iter().find(|l| l.contains("\"id\":3")).unwrap();
+    assert!(bad.contains(r#""code":"bad_request""#), "{bad}");
+}
