@@ -16,8 +16,9 @@
 use crate::netlist::{ElementKind, SwitchState};
 use crate::{CircuitError, ElementId, Netlist, NodeId};
 use vpd_numeric::{
-    conjugate_gradient, resilient_solve_into, CgSettings, CgWorkspace, CooMatrix, CsrMatrix,
-    DenseMatrix, LuFactor, PatternCache, ResilientSettings, SolveReport,
+    conjugate_gradient, resilient_solve_direct_into, resilient_solve_into, CgSettings, CgWorkspace,
+    CooMatrix, CsrMatrix, DenseMatrix, LuFactor, PatternCache, ResilientSettings, SolveReport,
+    SparseCholesky, SymbolicCholesky,
 };
 use vpd_units::{Amps, Ohms, Volts, Watts};
 
@@ -194,6 +195,33 @@ pub struct SparseDcPlan {
     settings: ResilientSettings,
     adjacency: Vec<Vec<(usize, f64)>>,
     last_report: Option<SolveReport>,
+    mode: DcPlanMode,
+    /// Symbolic factorization cached at compile time (direct mode only):
+    /// ordering, elimination tree, and the pattern of `L` — reused by
+    /// every numeric refactorization, including retries after a failed
+    /// one.
+    sym: Option<SymbolicCholesky>,
+    /// The numeric factor, built lazily on the first direct-mode solve
+    /// (compile time has no element values yet) and refactored in place
+    /// on every restamp.
+    chol: Option<SparseCholesky>,
+}
+
+/// Which solver backs [`SparseDcPlan::solve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub enum DcPlanMode {
+    /// Warm-started preconditioned CG behind the resilience ladder
+    /// (restart, then dense LU) — the iterative default.
+    #[default]
+    WarmCg,
+    /// Sparse Cholesky direct solves: the symbolic factorization is
+    /// cached in the plan, each restamp refactors numerically (skipped
+    /// when the matrix values are bitwise-unchanged), and failures
+    /// degrade through the same CG ladder. Exact solves, no
+    /// iteration-count variance, and [`SparseDcPlan::solve_block`] can
+    /// batch right-hand sides against one factor.
+    DirectCholesky,
 }
 
 /// How a node's potential is determined.
@@ -408,7 +436,73 @@ impl SparseDcPlan {
             last_report: None,
             csr,
             pattern,
+            mode: DcPlanMode::WarmCg,
+            sym: None,
+            chol: None,
         })
+    }
+
+    /// Compiles a plan in [`DcPlanMode::DirectCholesky`] with default
+    /// settings: the fill-reducing ordering, elimination tree, and factor
+    /// pattern are analyzed here, once, and every later solve only
+    /// refactors numerically.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseDcPlan::compile_resilient`].
+    pub fn compile_direct(net: &Netlist) -> Result<Self, CircuitError> {
+        Self::compile_direct_resilient(net, ResilientSettings::default())
+    }
+
+    /// Compiles a direct-mode plan with explicit ladder settings (the CG
+    /// tolerance doubles as the direct rung's residual acceptance bar).
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseDcPlan::compile_resilient`].
+    pub fn compile_direct_resilient(
+        net: &Netlist,
+        settings: ResilientSettings,
+    ) -> Result<Self, CircuitError> {
+        let mut plan = Self::compile_resilient(net, settings)?;
+        plan.set_mode(DcPlanMode::DirectCholesky)?;
+        Ok(plan)
+    }
+
+    /// The solver mode backing [`SparseDcPlan::solve`].
+    #[must_use]
+    pub const fn mode(&self) -> DcPlanMode {
+        self.mode
+    }
+
+    /// Switches the solver mode. Entering direct mode runs the symbolic
+    /// analysis (if not already cached); leaving it keeps the analysis
+    /// around so switching back is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Numeric`] if the symbolic analysis fails
+    /// (cannot happen for plans this compiler produced — the reduced
+    /// system is square by construction).
+    pub fn set_mode(&mut self, mode: DcPlanMode) -> Result<(), CircuitError> {
+        if mode == DcPlanMode::DirectCholesky && self.sym.is_none() {
+            self.sym = Some(SymbolicCholesky::analyze(&self.csr)?);
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Ensures a numeric factor object exists for the current symbolic
+    /// analysis, building it from the current matrix values on first use.
+    fn ensure_factor(&mut self) -> Result<&mut SparseCholesky, CircuitError> {
+        if self.chol.is_none() {
+            let sym = match &self.sym {
+                Some(sym) => sym.clone(),
+                None => SymbolicCholesky::analyze(&self.csr)?,
+            };
+            self.chol = Some(SparseCholesky::factor_with(&self.csr, sym)?);
+        }
+        Ok(self.chol.as_mut().expect("factor was just ensured"))
     }
 
     /// Number of eliminated-system unknowns.
@@ -475,13 +569,7 @@ impl SparseDcPlan {
         self.restamp(net)?;
         vpd_obs::incr("plan.solves");
         vpd_obs::incr("plan.restamps");
-        let solve_result = resilient_solve_into(
-            &self.csr,
-            &self.rhs,
-            &mut self.x,
-            &self.settings,
-            &mut self.ws,
-        );
+        let solve_result = self.run_ladder();
         let report = match solve_result {
             Ok(report) => report,
             Err(e) => {
@@ -505,6 +593,169 @@ impl SparseDcPlan {
             node_voltages,
             element_currents,
         })
+    }
+
+    /// Runs the restamped system through the ladder the current mode
+    /// selects. In direct mode a failed *first* factorization (the only
+    /// one [`SparseDcPlan::ensure_factor`] can't hand to the resilient
+    /// direct ladder) degrades to the iterative ladder for this solve
+    /// and is retried on the next.
+    fn run_ladder(&mut self) -> Result<SolveReport, vpd_numeric::NumericError> {
+        if self.mode == DcPlanMode::DirectCholesky {
+            if self.chol.is_none() && self.ensure_factor().is_err() {
+                vpd_obs::incr("plan.direct_factor_failures");
+            } else if let Some(chol) = self.chol.as_mut() {
+                return resilient_solve_direct_into(
+                    &self.csr,
+                    chol,
+                    &self.rhs,
+                    &mut self.x,
+                    &self.settings,
+                    &mut self.ws,
+                );
+            }
+        }
+        resilient_solve_into(
+            &self.csr,
+            &self.rhs,
+            &mut self.x,
+            &self.settings,
+            &mut self.ws,
+        )
+    }
+
+    /// Solves `k` closely-related configurations of one topology as a
+    /// single multi-right-hand-side block against one factorization.
+    ///
+    /// `configure(net, c)` must put the netlist into configuration `c`
+    /// **absolutely** (not incrementally — it may be called more than
+    /// once per configuration, and in any order). When every
+    /// configuration stamps a bitwise-identical matrix — true whenever
+    /// only sources move: regulator setpoints, load currents — the plan
+    /// factors once and forward/back-substitutes all `k` right-hand
+    /// sides in one pass over the factor. The results are
+    /// bitwise-identical to `k` sequential [`SparseDcPlan::solve`] calls
+    /// in direct mode, because the block kernel's per-column arithmetic
+    /// does not depend on `k`.
+    ///
+    /// When configurations disagree on matrix values, or the plan is not
+    /// in [`DcPlanMode::DirectCholesky`], or the factorization fails,
+    /// the call transparently degrades to exactly those sequential
+    /// solves.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseDcPlan::solve`]; whichever configuration fails first
+    /// aborts the batch.
+    pub fn solve_block<F>(
+        &mut self,
+        net: &mut Netlist,
+        k: usize,
+        mut configure: F,
+    ) -> Result<Vec<DcSolution>, CircuitError>
+    where
+        F: FnMut(&mut Netlist, usize) -> Result<(), CircuitError>,
+    {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let m = self.x.len();
+        let mut coalesce = self.mode == DcPlanMode::DirectCholesky;
+        let mut block = vec![0.0; m * k];
+        let mut fixed_cols: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut base_values: Vec<f64> = Vec::new();
+        if coalesce {
+            for c in 0..k {
+                configure(net, c)?;
+                self.check_topology(net)?;
+                self.restamp(net)?;
+                if c == 0 {
+                    base_values.extend_from_slice(self.csr.values());
+                } else if self
+                    .csr
+                    .values()
+                    .iter()
+                    .zip(&base_values)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    // The matrix moved between configurations: no shared
+                    // factor exists, so solve them one by one instead.
+                    coalesce = false;
+                    break;
+                }
+                block[c * m..(c + 1) * m].copy_from_slice(&self.rhs);
+                fixed_cols.push(self.fixed_vals.clone());
+            }
+        }
+        if coalesce && self.ensure_factor().is_err() {
+            vpd_obs::incr("plan.direct_factor_failures");
+            coalesce = false;
+        }
+        if coalesce {
+            // `restamp` left the matrix at the shared values; refactor is
+            // a no-op when the factor already matches them bitwise.
+            let chol = self.chol.as_mut().expect("factor was just ensured");
+            if chol.refactor(&self.csr).is_ok() && chol.solve_block_into(&mut block, k).is_ok() {
+                vpd_obs::incr("plan.block_solves");
+                vpd_obs::observe("plan.block_rhs", k as u64);
+                let mut out = Vec::with_capacity(k);
+                for c in 0..k {
+                    // Re-apply the configuration so current recovery sees
+                    // configuration c's element values.
+                    configure(net, c)?;
+                    let col = &block[c * m..(c + 1) * m];
+                    let node_voltages: Vec<f64> = (0..self.node_count)
+                        .map(|node| match self.unknown_index[node] {
+                            Some(i) => col[i],
+                            None => fixed_cols[c][node],
+                        })
+                        .collect();
+                    let element_currents = recover_currents(net, &node_voltages, &self.adjacency);
+                    out.push(DcSolution {
+                        node_voltages,
+                        element_currents,
+                    });
+                }
+                // Leave the plan's state (guess, report) as a sequential
+                // run of the same k solves would have: at the last column.
+                self.x.copy_from_slice(&block[(k - 1) * m..]);
+                self.last_report = Some(SolveReport {
+                    method: vpd_numeric::SolveMethod::SparseCholesky,
+                    iterations: 0,
+                    relative_residual: self.block_residual(&block[(k - 1) * m..]),
+                    stagnated: false,
+                });
+                return Ok(out);
+            }
+        }
+        // Sequential path: identical semantics, one solve per
+        // configuration (direct mode still benefits from the factor
+        // cache inside each solve).
+        let mut out = Vec::with_capacity(k);
+        for c in 0..k {
+            configure(net, c)?;
+            out.push(self.solve(net)?);
+        }
+        Ok(out)
+    }
+
+    /// Relative residual `‖b − A·x‖ / ‖b‖` of one block column against
+    /// the currently stamped system (the block path's report diagnostic).
+    fn block_residual(&self, x: &[f64]) -> f64 {
+        let mut b_norm = 0.0;
+        for v in &self.rhs {
+            b_norm += v * v;
+        }
+        if b_norm == 0.0 {
+            return 0.0;
+        }
+        let ax = self.csr.matvec(x);
+        let mut diff = 0.0;
+        for (axi, bi) in ax.iter().zip(&self.rhs) {
+            let d = bi - axi;
+            diff += d * d;
+        }
+        (diff / b_norm).sqrt()
     }
 
     fn check_topology(&self, net: &Netlist) -> Result<(), CircuitError> {
@@ -1393,6 +1644,172 @@ mod tests {
         for n in 0..net.node_count() {
             assert!((warm.node_voltages()[n] - cold.node_voltages()[n]).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn direct_plan_matches_cg_plan_within_tolerance() {
+        let (net, _, _) = mesh(12, 0.4);
+        let mut cg_plan = SparseDcPlan::compile(&net).unwrap();
+        let cg_sol = cg_plan.solve(&net).unwrap();
+        let mut direct_plan = SparseDcPlan::compile_direct(&net).unwrap();
+        assert_eq!(direct_plan.mode(), DcPlanMode::DirectCholesky);
+        let direct_sol = direct_plan.solve(&net).unwrap();
+        let report = direct_plan.last_report().unwrap();
+        assert_eq!(report.method, vpd_numeric::SolveMethod::SparseCholesky);
+        assert_eq!(report.iterations, 0);
+        // Both passed the same residual bar, so they agree to CG
+        // tolerance (1e-10 relative residual ⇒ ~1e-7 absolute here).
+        for n in 0..net.node_count() {
+            assert!(
+                (direct_sol.node_voltages()[n] - cg_sol.node_voltages()[n]).abs() < 1e-7,
+                "node {n}"
+            );
+        }
+        assert!(direct_sol.max_kcl_residual(&net).value() < 1e-7);
+    }
+
+    #[test]
+    fn direct_plan_refactors_on_restamp() {
+        let (mut net, _, load) = mesh(10, 0.3);
+        let mut plan = SparseDcPlan::compile_direct(&net).unwrap();
+        plan.solve(&net).unwrap();
+        // Matrix-changing restamp: a fattened edge forces a refactor.
+        net.set_resistance(ElementId(0), Ohms::new(0.25)).unwrap();
+        net.set_current(load, Amps::new(0.6)).unwrap();
+        let restamped = plan.solve(&net).unwrap();
+        assert_eq!(
+            plan.last_report().unwrap().method,
+            vpd_numeric::SolveMethod::SparseCholesky
+        );
+        let fresh = DcSolver::with_strategy(DcStrategy::SparseCg(CgSettings::default()))
+            .solve(&net)
+            .unwrap();
+        for n in 0..net.node_count() {
+            assert!((restamped.node_voltages()[n] - fresh.node_voltages()[n]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn direct_mode_switch_preserves_plan_and_results() {
+        let (net, _, _) = mesh(9, 0.2);
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        let mut direct_plan = SparseDcPlan::compile_direct(&net).unwrap();
+        let direct_first = direct_plan.solve(&net).unwrap();
+        // Switching an existing CG plan into direct mode must produce
+        // bitwise the same answers as compiling direct from scratch.
+        plan.set_mode(DcPlanMode::DirectCholesky).unwrap();
+        let switched = plan.solve(&net).unwrap();
+        for n in 0..net.node_count() {
+            assert_eq!(
+                switched.node_voltages()[n].to_bits(),
+                direct_first.node_voltages()[n].to_bits()
+            );
+        }
+        // And back: CG mode still works after the round trip.
+        plan.set_mode(DcPlanMode::WarmCg).unwrap();
+        let cg = plan.solve(&net).unwrap();
+        for n in 0..net.node_count() {
+            assert!((cg.node_voltages()[n] - switched.node_voltages()[n]).abs() < 1e-7);
+        }
+    }
+
+    fn source_element(net: &Netlist) -> ElementId {
+        let idx = net
+            .elements()
+            .iter()
+            .position(|e| matches!(e.kind, ElementKind::VoltageSource { .. }))
+            .expect("mesh has a voltage source");
+        ElementId(idx)
+    }
+
+    #[test]
+    fn solve_block_coalesces_rhs_only_sweep_bitwise() {
+        // Setpoint moves touch only the right-hand side, so the block
+        // path factors once — and must match k sequential direct solves
+        // bitwise.
+        let (mut net, _, _) = mesh(10, 0.35);
+        let src = source_element(&net);
+        let setpoints = [0.9, 0.95, 1.0, 1.05, 1.1];
+        let mut plan = SparseDcPlan::compile_direct(&net).unwrap();
+        let block = plan
+            .solve_block(&mut net, setpoints.len(), |net, c| {
+                net.set_voltage(src, Volts::new(setpoints[c]))
+            })
+            .unwrap();
+        assert_eq!(block.len(), setpoints.len());
+
+        let mut seq_plan = SparseDcPlan::compile_direct(&net).unwrap();
+        for (c, &sp) in setpoints.iter().enumerate() {
+            net.set_voltage(src, Volts::new(sp)).unwrap();
+            let sol = seq_plan.solve(&net).unwrap();
+            for n in 0..net.node_count() {
+                assert_eq!(
+                    block[c].node_voltages()[n].to_bits(),
+                    sol.node_voltages()[n].to_bits(),
+                    "setpoint {c}, node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_block_degrades_when_matrix_moves() {
+        // Per-configuration resistance changes defeat coalescing; the
+        // block call must transparently match sequential direct solves.
+        let (mut net, _, _) = mesh(8, 0.25);
+        let resistances = [1.0, 0.8, 1.2];
+        let mut plan = SparseDcPlan::compile_direct(&net).unwrap();
+        let block = plan
+            .solve_block(&mut net, resistances.len(), |net, c| {
+                net.set_resistance(ElementId(0), Ohms::new(resistances[c]))
+            })
+            .unwrap();
+
+        let mut seq_plan = SparseDcPlan::compile_direct(&net).unwrap();
+        for (c, &r) in resistances.iter().enumerate() {
+            net.set_resistance(ElementId(0), Ohms::new(r)).unwrap();
+            let sol = seq_plan.solve(&net).unwrap();
+            for n in 0..net.node_count() {
+                assert_eq!(
+                    block[c].node_voltages()[n].to_bits(),
+                    sol.node_voltages()[n].to_bits(),
+                    "config {c}, node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_block_in_cg_mode_is_a_sequential_sweep() {
+        let (mut net, _, _) = mesh(8, 0.25);
+        let src = source_element(&net);
+        let setpoints = [1.0, 1.02, 0.98];
+        let mut plan = SparseDcPlan::compile(&net).unwrap();
+        let block = plan
+            .solve_block(&mut net, setpoints.len(), |net, c| {
+                net.set_voltage(src, Volts::new(setpoints[c]))
+            })
+            .unwrap();
+        let mut seq_plan = SparseDcPlan::compile(&net).unwrap();
+        for (c, &sp) in setpoints.iter().enumerate() {
+            net.set_voltage(src, Volts::new(sp)).unwrap();
+            let sol = seq_plan.solve(&net).unwrap();
+            for n in 0..net.node_count() {
+                assert_eq!(
+                    block[c].node_voltages()[n].to_bits(),
+                    sol.node_voltages()[n].to_bits(),
+                    "setpoint {c}, node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_block_empty_is_empty() {
+        let (mut net, _, _) = mesh(4, 0.1);
+        let mut plan = SparseDcPlan::compile_direct(&net).unwrap();
+        let block = plan.solve_block(&mut net, 0, |_, _| Ok(())).unwrap();
+        assert!(block.is_empty());
     }
 
     #[test]

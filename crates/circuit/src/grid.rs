@@ -5,7 +5,7 @@
 //! derived from a sheet resistance, a per-node load current, and voltage
 //! regulators attached as grounded sources behind a droop resistance.
 
-use crate::{CircuitError, DcSolver, ElementId, Netlist, NodeId, SparseDcPlan};
+use crate::{CircuitError, DcPlanMode, DcSolver, ElementId, Netlist, NodeId, SparseDcPlan};
 use vpd_numeric::SolveReport;
 use vpd_units::{Amps, Meters, Ohms, Volts};
 
@@ -39,6 +39,9 @@ pub struct PowerGrid {
     /// Compiled sparse solve plan; `None` until first cached solve or
     /// after any topology change (attach/move).
     plan: Option<SparseDcPlan>,
+    /// Solver mode applied to the plan (and to recompiles after topology
+    /// changes).
+    mode: DcPlanMode,
 }
 
 /// One attached voltage regulator: a grounded ideal source behind a droop
@@ -103,6 +106,7 @@ impl PowerGrid {
             regulators: Vec::new(),
             loads: Vec::new(),
             plan: None,
+            mode: DcPlanMode::default(),
         })
     }
 
@@ -443,10 +447,7 @@ impl PowerGrid {
     /// As [`PowerGrid::solve`].
     pub fn solve_cached(&mut self) -> Result<crate::DcSolution, CircuitError> {
         vpd_obs::incr("grid.solves");
-        if self.plan.is_none() {
-            self.plan = Some(SparseDcPlan::compile(&self.net)?);
-            vpd_obs::incr("grid.plan_compiles");
-        }
+        self.ensure_plan()?;
         let plan = self.plan.as_mut().expect("plan was just ensured");
         match plan.solve(&self.net) {
             Err(CircuitError::StalePlan { .. }) => {
@@ -455,12 +456,80 @@ impl PowerGrid {
                 // only triggers if the netlist was changed through a path
                 // that bypassed the setters. Recompile and retry once.
                 let mut fresh = SparseDcPlan::compile(&self.net)?;
+                fresh.set_mode(self.mode)?;
                 let sol = fresh.solve(&self.net);
                 self.plan = Some(fresh);
                 sol
             }
             other => other,
         }
+    }
+
+    /// Compiles the plan (in the grid's solver mode) if none is cached.
+    fn ensure_plan(&mut self) -> Result<(), CircuitError> {
+        if self.plan.is_none() {
+            let mut plan = SparseDcPlan::compile(&self.net)?;
+            plan.set_mode(self.mode)?;
+            self.plan = Some(plan);
+            vpd_obs::incr("grid.plan_compiles");
+        }
+        Ok(())
+    }
+
+    /// The solver mode behind [`PowerGrid::solve_cached`].
+    #[must_use]
+    pub const fn solve_mode(&self) -> DcPlanMode {
+        self.mode
+    }
+
+    /// Switches the cached plan's solver mode ([`DcPlanMode::WarmCg`] by
+    /// default). The compiled plan survives the switch — only the
+    /// numeric backend changes — and recompiles after topology changes
+    /// keep the chosen mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseDcPlan::set_mode`].
+    pub fn set_solve_mode(&mut self, mode: DcPlanMode) -> Result<(), CircuitError> {
+        if let Some(plan) = self.plan.as_mut() {
+            plan.set_mode(mode)?;
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Solves one operating point per setpoint, holding **every**
+    /// regulator at that setpoint, as a single multi-right-hand-side
+    /// block ([`SparseDcPlan::solve_block`]): setpoint moves enter the
+    /// reduced system only through the right-hand side, so in direct
+    /// mode all points share one factorization and one pass over the
+    /// factor. In CG mode this degrades to sequential cached solves.
+    ///
+    /// The grid is left at the **last** setpoint, exactly as if the
+    /// sweep had been run through repeated
+    /// [`PowerGrid::set_regulator_setpoint`] + [`PowerGrid::solve_cached`]
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`PowerGrid::solve_cached`], plus
+    /// [`CircuitError::UnknownElement`] when no regulator is attached.
+    pub fn solve_setpoint_block(
+        &mut self,
+        setpoints: &[Volts],
+    ) -> Result<Vec<crate::DcSolution>, CircuitError> {
+        if self.regulators.is_empty() {
+            return Err(CircuitError::UnknownElement { index: 0 });
+        }
+        self.ensure_plan()?;
+        let sources: Vec<ElementId> = self.regulators.iter().map(|r| r.source_element).collect();
+        let plan = self.plan.as_mut().expect("plan was just ensured");
+        plan.solve_block(&mut self.net, setpoints.len(), |net, c| {
+            for &e in &sources {
+                net.set_voltage(e, setpoints[c])?;
+            }
+            Ok(())
+        })
     }
 
     /// Seeds the next [`PowerGrid::solve_cached`]'s warm start from a
@@ -476,9 +545,7 @@ impl PowerGrid {
     /// Compile errors as [`PowerGrid::solve`], or
     /// [`CircuitError::StalePlan`] for a solution of mismatched size.
     pub fn seed_solution(&mut self, sol: &crate::DcSolution) -> Result<(), CircuitError> {
-        if self.plan.is_none() {
-            self.plan = Some(SparseDcPlan::compile(&self.net)?);
-        }
+        self.ensure_plan()?;
         self.plan
             .as_mut()
             .expect("plan was just ensured")
@@ -677,6 +744,71 @@ mod tests {
         for (va, vb) in a.node_voltages().iter().zip(b.node_voltages()) {
             assert!((va - vb).abs() < tol, "{va} vs {vb}");
         }
+    }
+
+    #[test]
+    fn direct_mode_matches_cg_mode() {
+        let build = || {
+            let mut grid = PowerGrid::new(10, 10, Ohms::from_milliohms(2.0)).unwrap();
+            grid.attach_uniform_load(Amps::new(50.0)).unwrap();
+            grid.attach_regulator(2, 2, Volts::new(1.0), Ohms::from_milliohms(0.5))
+                .unwrap();
+            grid.attach_regulator(7, 7, Volts::new(1.0), Ohms::from_milliohms(0.5))
+                .unwrap();
+            grid
+        };
+        let mut cg = build();
+        let cg_sol = cg.solve_cached().unwrap();
+        let mut direct = build();
+        direct.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+        assert_eq!(direct.solve_mode(), DcPlanMode::DirectCholesky);
+        let direct_sol = direct.solve_cached().unwrap();
+        assert_eq!(
+            direct.last_solve_report().unwrap().method,
+            vpd_numeric::SolveMethod::SparseCholesky
+        );
+        assert_solutions_close(&cg_sol, &direct_sol, 1e-7);
+    }
+
+    #[test]
+    fn setpoint_block_matches_sequential_direct_sweep_bitwise() {
+        let build = || {
+            let mut grid = PowerGrid::new(9, 9, Ohms::from_milliohms(2.0)).unwrap();
+            grid.attach_uniform_load(Amps::new(40.0)).unwrap();
+            grid.attach_regulator(0, 0, Volts::new(1.0), Ohms::from_milliohms(0.5))
+                .unwrap();
+            grid.attach_regulator(8, 8, Volts::new(1.0), Ohms::from_milliohms(0.5))
+                .unwrap();
+            grid.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+            grid
+        };
+        let setpoints = [
+            Volts::new(0.9),
+            Volts::new(0.95),
+            Volts::new(1.0),
+            Volts::new(1.05),
+        ];
+        let mut block_grid = build();
+        let block = block_grid.solve_setpoint_block(&setpoints).unwrap();
+        assert_eq!(block.len(), setpoints.len());
+
+        let mut seq_grid = build();
+        for (c, &sp) in setpoints.iter().enumerate() {
+            for k in 0..seq_grid.regulators().len() {
+                seq_grid.set_regulator_setpoint(k, sp).unwrap();
+            }
+            let sol = seq_grid.solve_cached().unwrap();
+            for (vb, vs) in block[c].node_voltages().iter().zip(sol.node_voltages()) {
+                assert_eq!(vb.to_bits(), vs.to_bits(), "setpoint {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn setpoint_block_requires_a_regulator() {
+        let mut grid = PowerGrid::new(3, 3, Ohms::new(1.0)).unwrap();
+        grid.attach_uniform_load(Amps::new(1.0)).unwrap();
+        assert!(grid.solve_setpoint_block(&[Volts::new(1.0)]).is_err());
     }
 
     #[test]

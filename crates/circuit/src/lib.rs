@@ -37,7 +37,7 @@ mod netlist;
 mod transient;
 
 pub use ac::{log_sweep, log_sweep_checked, AcAnalysis, AcPlan, AcPoint};
-pub use dc::{DcSolution, DcSolver, DcStrategy, SparseDcPlan};
+pub use dc::{DcPlanMode, DcSolution, DcSolver, DcStrategy, SparseDcPlan};
 pub use error::CircuitError;
 pub use grid::{PowerGrid, Regulator};
 pub use netlist::{Element, ElementId, ElementKind, Netlist, NodeId, PwmSchedule, SwitchState};

@@ -7,6 +7,7 @@ use crate::gridshare::{
 use crate::loss::{LossBreakdown, LossKind, LossSegment};
 use crate::placement::{modules_required, VrPlacement};
 use crate::{Calibration, CoreError, SystemSpec};
+use vpd_circuit::DcPlanMode;
 use vpd_converters::{Converter, TopologyCharacteristics, VrTopologyKind};
 use vpd_package::{required_platform_area, InterconnectTech, ViaAllocation};
 use vpd_units::{Amps, SquareMeters, Volts, Watts};
@@ -106,6 +107,13 @@ pub struct AnalysisOptions {
     /// [`PAPER_VR_POSITIONS`]). Lets the explorer e.g. run 3LHD with the
     /// 84 modules its 12 A rating needs at 1 kA.
     pub module_count: Option<usize>,
+    /// Sparse-solver mode for the die-grid mesh (default
+    /// [`DcPlanMode::WarmCg`]). [`DcPlanMode::DirectCholesky`] answers
+    /// each operating point with an exact factorization — fastest when
+    /// consecutive solves reuse the factor (setpoint/load sweeps), and
+    /// iteration-count-free everywhere, at the price of a refactor
+    /// whenever the matrix values move.
+    pub solve_mode: DcPlanMode,
 }
 
 impl Default for AnalysisOptions {
@@ -113,6 +121,7 @@ impl Default for AnalysisOptions {
         Self {
             allow_overload: true,
             module_count: None,
+            solve_mode: DcPlanMode::WarmCg,
         }
     }
 }
@@ -720,7 +729,8 @@ impl AnalysisSession {
     ) -> Result<Self, CoreError> {
         let (placement, n_vrs) = session_placement(architecture, opts);
         let (sites, droop) = placement_sites(placement, calib, n_vrs);
-        let solver = SharingSolver::new(spec, calib, &sites, droop)?;
+        let mut solver = SharingSolver::new(spec, calib, &sites, droop)?;
+        solver.set_solve_mode(opts.solve_mode)?;
         Ok(Self {
             architecture,
             spec: *spec,
@@ -823,6 +833,12 @@ impl AnalysisSession {
     #[must_use]
     pub fn last_iterations(&self) -> Option<usize> {
         self.solver.last_iterations()
+    }
+
+    /// Sparse-solver mode the session's grid solves run under.
+    #[must_use]
+    pub fn solve_mode(&self) -> DcPlanMode {
+        self.solver.solve_mode()
     }
 }
 

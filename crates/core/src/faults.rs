@@ -25,6 +25,7 @@ use crate::{
     SharingSolver, SystemSpec,
 };
 use rand::Rng;
+use vpd_circuit::DcPlanMode;
 use vpd_converters::{TopologyCharacteristics, VrTopologyKind};
 use vpd_numeric::SolveReport;
 use vpd_units::{Amps, Ohms, Volts};
@@ -376,6 +377,33 @@ impl FaultSweep {
         &self.nominal
     }
 
+    /// Sparse-solver mode scenarios are evaluated under (warm CG by
+    /// default, which keeps the historical sweep results bit-for-bit).
+    #[must_use]
+    pub fn solve_mode(&self) -> DcPlanMode {
+        self.solver.solve_mode()
+    }
+
+    /// Switches the sparse-solver mode for every subsequent scenario
+    /// evaluation and re-solves + re-anchors the nominal point under the
+    /// new mode. [`DcPlanMode::DirectCholesky`] answers each restamped
+    /// scenario with an exact factorization: value-only scenarios whose
+    /// matrix matches nominal (setpoint drift) reuse the cached factor
+    /// outright, and the serial==parallel bitwise contract of
+    /// [`FaultSweep::run`] holds per mode because workers clone the
+    /// solver — mode, factor and anchor included.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] if the nominal point cannot be re-solved
+    /// under the new mode.
+    pub fn set_solve_mode(&mut self, mode: DcPlanMode) -> Result<(), CoreError> {
+        self.solver.set_solve_mode(mode)?;
+        self.nominal = self.solver.solve()?;
+        self.solver.anchor_last();
+        Ok(())
+    }
+
     /// Evaluates every scenario on `threads` workers (0 = auto). The
     /// result is bitwise-independent of `threads`.
     ///
@@ -652,6 +680,42 @@ mod tests {
     /// `a1_n_minus_1_golden`.
     const GOLDEN_A1_WORST_DROP: f64 = 0.090586354;
     const GOLDEN_A1_MAX_SPREAD: f64 = 1.297382967;
+
+    #[test]
+    fn direct_mode_sweep_matches_warm_cg_and_stays_deterministic() {
+        let mut sweep = a2_sweep();
+        let mut scenarios = FaultScenario::n_minus_1(8);
+        scenarios.extend(FaultScenario::random_k(
+            2,
+            6,
+            0xD1CE,
+            sweep.vr_count(),
+            sweep.grid_side(),
+        ));
+        let cg = sweep.run(&scenarios, 1).unwrap();
+
+        sweep.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+        assert_eq!(sweep.solve_mode(), DcPlanMode::DirectCholesky);
+        let serial = sweep.run(&scenarios, 1).unwrap();
+        // Exact solves: the ladder never leaves its first rung.
+        assert_eq!(serial.fallback_count, 0);
+        assert_eq!(serial.stagnation_count, 0);
+        for (a, b) in cg.outcomes.iter().zip(&serial.outcomes) {
+            assert!(
+                (a.worst_drop.value() - b.worst_drop.value()).abs() < 1e-8,
+                "{}: {} vs {}",
+                a.name,
+                a.worst_drop,
+                b.worst_drop
+            );
+            assert!((a.spread - b.spread).abs() < 1e-6);
+        }
+        // The bitwise serial==parallel contract holds in direct mode.
+        for threads in [2, 5] {
+            let parallel = sweep.run(&scenarios, threads).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
 
     #[test]
     fn compound_scenarios_degrade_monotonically() {

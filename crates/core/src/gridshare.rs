@@ -10,7 +10,7 @@
 
 use crate::placement::{below_die_sites, periphery_sites, VrPlacement};
 use crate::{Calibration, CoreError, SystemSpec};
-use vpd_circuit::{DcSolution, PowerGrid};
+use vpd_circuit::{DcPlanMode, DcSolution, PowerGrid};
 use vpd_numeric::SolveReport;
 use vpd_units::{Amps, Ohms, Volts, Watts};
 
@@ -504,6 +504,73 @@ impl SharingSolver {
         self.anchor = self.last.clone();
     }
 
+    /// Sparse-solver mode the mesh solves run under (warm CG by
+    /// default).
+    #[must_use]
+    pub fn solve_mode(&self) -> DcPlanMode {
+        self.grid.solve_mode()
+    }
+
+    /// Selects the sparse-solver mode for every subsequent solve:
+    /// [`DcPlanMode::DirectCholesky`] factors the mesh once per value
+    /// change and answers each operating point exactly (and unlocks the
+    /// coalesced [`SharingSolver::solve_setpoints`] block path);
+    /// [`DcPlanMode::WarmCg`] is the iterative default.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] if the symbolic analysis of the mesh
+    /// pattern fails.
+    pub fn set_solve_mode(&mut self, mode: DcPlanMode) -> Result<(), CoreError> {
+        self.grid.set_solve_mode(mode)?;
+        Ok(())
+    }
+
+    /// Solves one operating point per setpoint, driving **every**
+    /// regulator to the same swept value, and summarizes each — the
+    /// rail-voltage sweep primitive. In direct mode the sweep is
+    /// setpoint-only (the conductance matrix never moves), so all
+    /// columns coalesce into a single factorization plus one multi-RHS
+    /// block substitution; results are bitwise-identical to solving the
+    /// setpoints one at a time in the same mode.
+    ///
+    /// Each report's worst drop stays referenced to the *nominal*
+    /// setpoint, matching [`SharingSolver::set_vr_setpoint`] semantics.
+    /// The grid is left configured at the last setpoint in the slice.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for a non-finite setpoint or on solve
+    /// failure.
+    pub fn solve_setpoints(
+        &mut self,
+        setpoints: &[Volts],
+    ) -> Result<Vec<SharingReport>, CoreError> {
+        if let Some(anchor) = &self.anchor {
+            let _ = self.grid.seed_solution(anchor);
+        }
+        let sols = self.grid.solve_setpoint_block(setpoints)?;
+        let mut reports = Vec::with_capacity(sols.len());
+        for sol in &sols {
+            let per_vr = self.grid.regulator_currents(sol);
+            let droop_loss = per_vr
+                .iter()
+                .zip(&self.droops)
+                .map(|(i, r)| i.dissipation_in(*r))
+                .sum();
+            reports.push(SharingReport {
+                grid_loss: self.grid.grid_loss(sol),
+                droop_loss,
+                worst_drop: self.grid.worst_ir_drop(sol, self.setpoint),
+                per_vr,
+            });
+        }
+        if let Some(last) = sols.into_iter().last() {
+            self.last = Some(last);
+        }
+        Ok(reports)
+    }
+
     /// Solves the current state of the grid and summarizes the sharing.
     ///
     /// # Errors
@@ -792,6 +859,51 @@ mod tests {
         let degraded = solver.solve().unwrap();
         assert!(degraded.grid_loss().value() > nominal.grid_loss().value());
         assert!(solver.last_solve_report().is_some());
+    }
+
+    #[test]
+    fn direct_mode_matches_warm_cg_sharing() {
+        let (spec, calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 24);
+        let mut cg = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        let mut direct = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        assert_eq!(direct.solve_mode(), DcPlanMode::WarmCg);
+        direct.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+        assert_eq!(direct.solve_mode(), DcPlanMode::DirectCholesky);
+        let a = cg.solve().unwrap();
+        let b = direct.solve().unwrap();
+        for (x, y) in a.per_vr().iter().zip(b.per_vr()) {
+            assert!((x.value() - y.value()).abs() < 1e-6, "{x} vs {y}");
+        }
+        assert!((a.worst_drop().value() - b.worst_drop().value()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn setpoint_block_matches_sequential_solves_bitwise() {
+        let (spec, calib) = paper();
+        let (sites, droop) = placement_sites(VrPlacement::BelowDie, &calib, 12);
+        let sweep: Vec<Volts> = (0..4)
+            .map(|i| Volts::new(spec.pol_voltage().value() + 0.01 * i as f64))
+            .collect();
+
+        let mut block = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        block.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+        let coalesced = block.solve_setpoints(&sweep).unwrap();
+
+        let mut seq = SharingSolver::new(&spec, &calib, &sites, droop).unwrap();
+        seq.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+        let mut one_at_a_time = Vec::new();
+        for &sp in &sweep {
+            for k in 0..seq.vr_count() {
+                seq.set_vr_setpoint(k, sp).unwrap();
+            }
+            one_at_a_time.push(seq.solve().unwrap());
+        }
+
+        assert_eq!(coalesced, one_at_a_time);
+        // A higher rail pushes every node up: referenced to the nominal
+        // setpoint, the worst drop shrinks as the sweep rises.
+        assert!(coalesced[3].worst_drop().value() < coalesced[0].worst_drop().value());
     }
 
     #[test]

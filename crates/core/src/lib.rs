@@ -85,6 +85,7 @@ pub use par::par_map_with;
 pub use placement::VrPlacement;
 pub use powermap::PowerMap;
 pub use spec::SystemSpec;
+pub use vpd_circuit::DcPlanMode;
 pub use zsweep::{
     compare_architectures, ImpedanceComparison, ImpedanceProfile, ImpedanceSweep,
     ImpedanceSweepSettings,

@@ -259,6 +259,54 @@ mod tests {
     }
 
     #[test]
+    fn direct_mode_sessions_match_warm_cg_and_stay_deterministic() {
+        use vpd_circuit::DcPlanMode;
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let settings = McSettings {
+            samples: 24,
+            threads: 1,
+            ..McSettings::default()
+        };
+        let cg = run_tolerance(
+            Architecture::InterposerEmbedded,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &settings,
+        )
+        .unwrap();
+
+        let opts = AnalysisOptions {
+            solve_mode: DcPlanMode::DirectCholesky,
+            ..AnalysisOptions::default()
+        };
+        let mut session =
+            AnalysisSession::new(Architecture::InterposerEmbedded, &spec, &calib, &opts).unwrap();
+        assert_eq!(session.solve_mode(), DcPlanMode::DirectCholesky);
+        let direct =
+            run_tolerance_with(&mut session, VrTopologyKind::Dsch, &calib, &settings).unwrap();
+        // Exact per-sample solves land within solver tolerance of CG.
+        assert!((direct.mean - cg.mean).abs() < 1e-6, "{direct:?} vs {cg:?}");
+        assert!((direct.p95 - cg.p95).abs() < 1e-6);
+
+        // And the thread-count independence contract holds per mode.
+        for threads in [3, 8] {
+            let par = run_tolerance_with(
+                &mut session,
+                VrTopologyKind::Dsch,
+                &calib,
+                &McSettings {
+                    threads,
+                    ..settings
+                },
+            )
+            .unwrap();
+            assert_eq!(direct, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn parallel_runs_are_bitwise_identical_to_serial() {
         let spec = SystemSpec::paper_default();
         let calib = Calibration::paper_default();

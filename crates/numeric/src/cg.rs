@@ -280,7 +280,10 @@ fn cg_run(
         a.matvec_into(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
         if pap <= 0.0 {
-            return Err(NumericError::NotPositiveDefinite { pivot: iter });
+            return Err(NumericError::NotPositiveDefinite {
+                pivot: iter,
+                value: pap,
+            });
         }
         let alpha = rz / pap;
         axpy(alpha, &ws.p, x);

@@ -58,7 +58,13 @@ impl CholeskyFactor {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(NumericError::NotPositiveDefinite { pivot: i });
+                        // `sum` is the i-th Schur-complement diagonal, so
+                        // the leading minor of order i+1 is the first one
+                        // that fails positive definiteness.
+                        return Err(NumericError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l.set(i, j, sum.sqrt())?;
                 } else {
@@ -142,6 +148,22 @@ mod tests {
             CholeskyFactor::new(&a),
             Err(NumericError::NotPositiveDefinite { .. })
         ));
+    }
+
+    #[test]
+    fn reports_failing_leading_minor() {
+        // Leading minors: order 1 (det 4) and order 2 (det 4·3−2·2 = 8)
+        // are fine; order 3 fails (the 3x3 determinant is negative), so
+        // the error must name pivot index 2 with the Schur value it saw.
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 3.0, 5.0], &[0.0, 5.0, 1.0]])
+            .unwrap();
+        match CholeskyFactor::new(&a) {
+            Err(NumericError::NotPositiveDefinite { pivot, value }) => {
+                assert_eq!(pivot, 2);
+                assert!(value <= 0.0);
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,10 +19,17 @@ pub enum NumericError {
         /// Pivot index at which the factorization broke down.
         pivot: usize,
     },
-    /// The matrix is not symmetric positive definite (Cholesky only).
+    /// The matrix is not symmetric positive definite (Cholesky and CG
+    /// breakdown).
     NotPositiveDefinite {
-        /// Pivot index at which a non-positive diagonal appeared.
+        /// Pivot index at which a non-positive diagonal appeared — the
+        /// leading minor of order `pivot + 1` is the first one that is
+        /// not positive definite.
         pivot: usize,
+        /// The offending pivot value (the Schur-complement diagonal for
+        /// Cholesky, `pᵀAp` for a CG breakdown), kept so resilient-solve
+        /// diagnostics can log *how* indefinite the system was.
+        value: f64,
     },
     /// An iterative solver failed to reach the requested tolerance.
     NoConvergence {
@@ -57,8 +64,12 @@ impl fmt::Display for NumericError {
             Self::Singular { pivot } => {
                 write!(f, "matrix is singular at pivot {pivot}")
             }
-            Self::NotPositiveDefinite { pivot } => {
-                write!(f, "matrix is not positive definite at pivot {pivot}")
+            Self::NotPositiveDefinite { pivot, value } => {
+                write!(
+                    f,
+                    "matrix is not positive definite: leading minor of order {} fails with pivot {value:.3e} at index {pivot}",
+                    pivot + 1
+                )
             }
             Self::NoConvergence {
                 iterations,
@@ -92,7 +103,10 @@ mod tests {
     fn messages_are_lowercase_and_concise() {
         let errs: Vec<NumericError> = vec![
             NumericError::Singular { pivot: 3 },
-            NumericError::NotPositiveDefinite { pivot: 0 },
+            NumericError::NotPositiveDefinite {
+                pivot: 0,
+                value: -1.5e-3,
+            },
             NumericError::NoConvergence {
                 iterations: 100,
                 residual: 1e-3,

@@ -38,6 +38,7 @@ mod error;
 mod lu;
 mod solve;
 mod sparse;
+mod sparse_cholesky;
 mod spectral;
 pub mod vector;
 
@@ -50,7 +51,9 @@ pub use dense::DenseMatrix;
 pub use error::NumericError;
 pub use lu::LuFactor;
 pub use solve::{
-    resilient_solve, resilient_solve_into, ResilientSettings, SolveMethod, SolveReport,
+    resilient_solve, resilient_solve_direct_into, resilient_solve_into, ResilientSettings,
+    SolveMethod, SolveReport,
 };
 pub use sparse::{CooMatrix, CsrMatrix, PatternCache};
+pub use sparse_cholesky::{rcm_ordering, SparseCholesky, SymbolicCholesky};
 pub use spectral::{condition_estimate_spd, dominant_eigenvalue, PowerIteration};

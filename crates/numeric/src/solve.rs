@@ -20,7 +20,7 @@
 use crate::vector::norm2;
 use crate::{
     conjugate_gradient_into, CgSettings, CgWorkspace, CsrMatrix, DenseMatrix, LuFactor,
-    NumericError,
+    NumericError, SparseCholesky,
 };
 
 /// Diagonal entries smaller than this fraction of the largest diagonal
@@ -33,6 +33,9 @@ const NEAR_SINGULAR_DIAG_RATIO: f64 = 1e-10;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[non_exhaustive]
 pub enum SolveMethod {
+    /// Sparse Cholesky direct solve (the rung above warm CG, used by
+    /// [`resilient_solve_direct_into`]).
+    SparseCholesky,
     /// First-try (possibly warm-started) preconditioned CG.
     ConjugateGradient,
     /// Cold-restart CG with an enlarged iteration cap.
@@ -56,11 +59,15 @@ pub struct SolveReport {
 }
 
 impl SolveReport {
-    /// True when the plain warm-CG rung was not the one that solved the
-    /// system — i.e. a restart or dense factorization was needed.
+    /// True when a first-choice rung (sparse Cholesky in direct mode,
+    /// warm CG otherwise) was not the one that solved the system — i.e.
+    /// a restart or dense factorization was needed.
     #[must_use]
     pub fn used_fallback(&self) -> bool {
-        self.method != SolveMethod::ConjugateGradient
+        matches!(
+            self.method,
+            SolveMethod::ConjugateGradientRestart | SolveMethod::DenseLu
+        )
     }
 }
 
@@ -131,6 +138,9 @@ pub fn resilient_solve_into(
             Ok(rep) => {
                 vpd_obs::incr("solve.solves");
                 vpd_obs::incr(match rep.method {
+                    // The direct rung accounts for itself before handing
+                    // any degraded solve to this ladder.
+                    SolveMethod::SparseCholesky => "solve.sparse_cholesky",
                     SolveMethod::ConjugateGradient => "solve.warm_cg",
                     SolveMethod::ConjugateGradientRestart => "solve.cold_restart",
                     SolveMethod::DenseLu => "solve.dense_lu",
@@ -147,6 +157,99 @@ pub fn resilient_solve_into(
         }
     }
     result
+}
+
+/// Solves `A·x = b` through a four-rung ladder whose first rung is a
+/// sparse Cholesky direct solve: refactor `chol` against the (possibly
+/// restamped) values of `a`, substitute, and accept the result when its
+/// relative residual meets `settings.cg.tolerance` — the same bar CG has
+/// to clear, so direct-mode answers match CG-mode answers within the CG
+/// tolerance by construction. Any direct-rung failure (indefinite
+/// restamp, poisoned factor, residual above tolerance) degrades to the
+/// standard [`resilient_solve_into`] ladder: warm CG from the incoming
+/// `x`, cold-restart CG, dense LU.
+///
+/// The refactor skips itself when the matrix values are
+/// bitwise-unchanged, so sweeps that only move the right-hand side pay
+/// two triangular substitutions per solve.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] — shape errors, never retried.
+/// * Otherwise as for [`resilient_solve_into`], since every other
+///   direct-rung failure falls through to that ladder.
+pub fn resilient_solve_direct_into(
+    a: &CsrMatrix,
+    chol: &mut SparseCholesky,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &ResilientSettings,
+    ws: &mut CgWorkspace,
+) -> Result<SolveReport, NumericError> {
+    match direct_rung(a, chol, b, x, settings) {
+        Ok(report) => {
+            if vpd_obs::is_enabled() {
+                vpd_obs::incr("solve.solves");
+                vpd_obs::incr("solve.sparse_cholesky");
+                vpd_obs::observe("solve.iterations_per_solve", 0);
+            }
+            Ok(report)
+        }
+        Err(err @ NumericError::DimensionMismatch { .. }) => Err(err),
+        Err(_) => {
+            if vpd_obs::is_enabled() {
+                vpd_obs::incr("solve.direct_degraded");
+            }
+            resilient_solve_into(a, b, x, settings, ws)
+        }
+    }
+}
+
+fn direct_rung(
+    a: &CsrMatrix,
+    chol: &mut SparseCholesky,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &ResilientSettings,
+) -> Result<SolveReport, NumericError> {
+    let n = a.rows();
+    if b.len() != n || x.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("rhs and guess of length {n}"),
+            found: format!("lengths {} and {}", b.len(), x.len()),
+        });
+    }
+    chol.refactor(a)?;
+    // Substitute into a scratch copy so a rejected direct answer leaves
+    // the caller's warm start in `x` intact for the CG ladder.
+    let mut direct = b.to_vec();
+    chol.solve_into(&mut direct)?;
+    let b_norm = norm2(b);
+    let relative_residual = if b_norm == 0.0 {
+        0.0
+    } else {
+        let ax = a.matvec(&direct);
+        let mut diff = 0.0;
+        for i in 0..n {
+            let d = b[i] - ax[i];
+            diff += d * d;
+        }
+        diff.sqrt() / b_norm
+    };
+    if !relative_residual.is_finite() || relative_residual > settings.cg.tolerance {
+        return Err(NumericError::NoConvergence {
+            iterations: 0,
+            residual: relative_residual,
+            stagnated: false,
+        });
+    }
+    x.copy_from_slice(&direct);
+    Ok(SolveReport {
+        method: SolveMethod::SparseCholesky,
+        iterations: 0,
+        relative_residual,
+        stagnated: false,
+    })
 }
 
 fn ladder_run(
@@ -466,6 +569,105 @@ mod tests {
     fn dimension_mismatch_is_never_retried() {
         let a = chain(3, 1.0, 0.1);
         let err = resilient_solve(&a, &[1.0; 2], &ResilientSettings::default()).unwrap_err();
+        assert!(matches!(err, NumericError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn direct_rung_solves_and_matches_cg_within_tolerance() {
+        let a = chain(80, 1.0, 0.05);
+        let b: Vec<f64> = (0..80).map(|i| ((i * 29) % 13) as f64 - 6.0).collect();
+        let settings = ResilientSettings::default();
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        let mut x = vec![0.0; 80];
+        let mut ws = CgWorkspace::new();
+        let report =
+            resilient_solve_direct_into(&a, &mut chol, &b, &mut x, &settings, &mut ws).unwrap();
+        assert_eq!(report.method, SolveMethod::SparseCholesky);
+        assert_eq!(report.iterations, 0);
+        assert!(!report.used_fallback(), "direct is a first-choice rung");
+        assert!(report.relative_residual <= settings.cg.tolerance);
+        let (x_cg, _) = resilient_solve(&a, &b, &settings).unwrap();
+        let scale: f64 = x_cg.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (d, c) in x.iter().zip(&x_cg) {
+            assert!((d - c).abs() / scale < 1e-8, "direct vs CG drifted");
+        }
+    }
+
+    #[test]
+    fn direct_rung_repeated_solves_are_bitwise_stable() {
+        let a = chain(50, 2.0, 0.1);
+        let b = vec![1.0; 50];
+        let settings = ResilientSettings::default();
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut x1 = vec![0.0; 50];
+        resilient_solve_direct_into(&a, &mut chol, &b, &mut x1, &settings, &mut ws).unwrap();
+        // Second call hits the bitwise refactor skip; bits must agree.
+        let mut x2 = vec![0.0; 50];
+        resilient_solve_direct_into(&a, &mut chol, &b, &mut x2, &settings, &mut ws).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn direct_failure_degrades_to_the_cg_ladder() {
+        // Factor on an SPD system, then restamp to an indefinite one:
+        // the direct rung rejects it and the ladder must still deliver
+        // (dense LU, since CG breaks down on indefinite systems).
+        let spd = chain(10, 1.0, 0.5);
+        let mut chol = SparseCholesky::factor(&spd).unwrap();
+        let mut coo = CooMatrix::new(10, 10);
+        for i in 0..10 {
+            // Node 4 gets a strongly negative leak: its diagonal ends up
+            // at -1.0, so e₄ᵀ·A·e₄ < 0 and the matrix is indefinite.
+            let mut diag = if i == 4 { -3.0 } else { 0.5 };
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+                diag += 1.0;
+            }
+            if i + 1 < 10 {
+                coo.push(i, i + 1, -1.0);
+                diag += 1.0;
+            }
+            coo.push(i, i, diag);
+        }
+        let indefinite = coo.to_csr();
+        assert_eq!(indefinite.nnz(), spd.nnz(), "same pattern by construction");
+        let b = vec![1.0; 10];
+        let mut x = vec![0.0; 10];
+        let mut ws = CgWorkspace::new();
+        let report = resilient_solve_direct_into(
+            &indefinite,
+            &mut chol,
+            &b,
+            &mut x,
+            &ResilientSettings::default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert_ne!(report.method, SolveMethod::SparseCholesky);
+        let ax = indefinite.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn direct_dimension_mismatch_is_never_retried() {
+        let a = chain(8, 1.0, 0.1);
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        let mut x = vec![0.0; 8];
+        let mut ws = CgWorkspace::new();
+        let err = resilient_solve_direct_into(
+            &a,
+            &mut chol,
+            &[1.0; 5],
+            &mut x,
+            &ResilientSettings::default(),
+            &mut ws,
+        )
+        .unwrap_err();
         assert!(matches!(err, NumericError::DimensionMismatch { .. }));
     }
 }

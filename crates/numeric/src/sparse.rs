@@ -386,6 +386,84 @@ impl CsrMatrix {
         }
     }
 
+    /// The stored non-zero values in CSR order.
+    ///
+    /// Exposed so plan layers can fingerprint the numeric state of a
+    /// matrix (e.g. to skip a refactorization when a restamp reproduced
+    /// the previous values bitwise).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The symmetric permutation `P·A·Pᵀ`: returns `B` with
+    /// `B[i][j] = A[perm[i]][perm[j]]`.
+    ///
+    /// `perm` maps new indices to old (`perm[new] = old`) — the
+    /// convention fill-reducing orderings produce. Column indices of the
+    /// result are sorted within each row, so the output is a valid CSR
+    /// matrix regardless of how `perm` scrambles them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the matrix is not
+    /// square or `perm` is not a permutation of `0..rows`.
+    pub fn permuted(&self, perm: &[usize]) -> Result<CsrMatrix, NumericError> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        if perm.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("permutation of length {n}"),
+                found: format!("length {}", perm.len()),
+            });
+        }
+        // Invert while checking that every old index appears exactly once.
+        let mut iperm = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            if old >= n || iperm[old] != usize::MAX {
+                return Err(NumericError::DimensionMismatch {
+                    expected: format!("a permutation of 0..{n}"),
+                    found: format!("duplicate or out-of-range index {old}"),
+                });
+            }
+            iperm[old] = new;
+        }
+
+        let mut row_ptr = vec![0usize; n + 1];
+        for new_row in 0..n {
+            let old = perm[new_row];
+            row_ptr[new_row + 1] = row_ptr[new_row] + (self.row_ptr[old + 1] - self.row_ptr[old]);
+        }
+        let nnz = row_ptr[n];
+        let mut col_indices = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for new_row in 0..n {
+            scratch.clear();
+            scratch.extend(self.row_entries(perm[new_row]).map(|(c, v)| (iperm[c], v)));
+            // Distinct old columns map to distinct new columns, so sorting
+            // by the new column alone is a deterministic total order.
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let base = row_ptr[new_row];
+            for (k, &(c, v)) in scratch.iter().enumerate() {
+                col_indices[base + k] = c;
+                values[base + k] = v;
+            }
+        }
+        Ok(CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr,
+            col_indices,
+            values,
+        })
+    }
+
     /// Entry lookup (O(row nnz)).
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> f64 {
@@ -589,6 +667,43 @@ mod tests {
         let mut d = vec![9.0; 3];
         csr.diagonal_into(&mut d);
         assert_eq!(d, csr.diagonal());
+    }
+
+    #[test]
+    fn permuted_reverses_a_chain() {
+        // 3-node chain, reversed: entry (0,1) must land at (2,1).
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 2.0 + i as f64);
+        }
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 2, -0.5);
+        coo.push(2, 1, -0.5);
+        let a = coo.to_csr();
+        let p = [2usize, 1, 0];
+        let b = a.permuted(&p).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), a.get(p[i], p[j]), "({i},{j})");
+            }
+        }
+        assert_eq!(b.nnz(), a.nnz());
+        assert_eq!(b.asymmetry().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn permuted_rejects_bad_permutations() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        assert!(a.permuted(&[0]).is_err(), "wrong length");
+        assert!(a.permuted(&[0, 2]).is_err(), "out of range");
+        assert!(a.permuted(&[1, 1]).is_err(), "duplicate");
+        let mut rect = CooMatrix::new(2, 3);
+        rect.push(0, 0, 1.0);
+        assert!(rect.to_csr().permuted(&[0, 1]).is_err(), "not square");
     }
 
     #[test]

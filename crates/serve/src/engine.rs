@@ -18,8 +18,8 @@
 use vpd_converters::VrTopologyKind;
 use vpd_core::{
     run_tolerance_with, simulate_droop, AnalysisOptions, AnalysisSession, Architecture,
-    Calibration, FaultScenario, FaultSweep, ImpedanceSweep, ImpedanceSweepSettings, LoadStep,
-    McSettings, PdnModel, SharingSolver, SystemSpec, VrPlacement,
+    Calibration, DcPlanMode, FaultScenario, FaultSweep, ImpedanceSweep, ImpedanceSweepSettings,
+    LoadStep, McSettings, PdnModel, SharingSolver, SystemSpec, VrPlacement,
 };
 use vpd_report::{Json, Render};
 use vpd_units::{CurrentDensity, Hertz, Seconds, Volts, Watts};
@@ -98,6 +98,11 @@ impl Dispatcher {
                 density,
             } => self.analyze(*arch, *topology, *power_w, *density),
             Work::Sharing { placement, modules } => self.sharing(*placement, *modules),
+            Work::SharingSweep {
+                placement,
+                modules,
+                setpoints,
+            } => self.sharing_sweep(*placement, *modules, setpoints),
             Work::Droop { arch } => self.droop(*arch),
             Work::Mc {
                 arch,
@@ -247,6 +252,70 @@ impl Dispatcher {
             ("command", Json::from("sharing")),
             ("placement", Json::from(placement.to_string())),
             ("report", rep.render_json()),
+        ]);
+        self.cache.put(key, CacheEntry::Sharing(solver));
+        Ok((result, cached))
+    }
+
+    /// Setpoint sweep over a sharing grid. The solver is pinned to the
+    /// direct-Cholesky plan mode, so the whole sweep — identical in all
+    /// but its right-hand side — coalesces into one factorization plus
+    /// a single multi-RHS block substitution, and the per-setpoint
+    /// reports are bitwise what `k` separate direct-mode solves return.
+    /// Cached under its own key: the plain `sharing` entry stays in the
+    /// warm-CG mode the one-shot CLI uses.
+    fn sharing_sweep(
+        &self,
+        placement: VrPlacement,
+        modules: usize,
+        setpoints: &[f64],
+    ) -> DispatchResult {
+        let spec = SystemSpec::paper_default();
+        let key = CacheKey {
+            kind: "sharing_sweep",
+            arch: String::new(),
+            params: vec![placement_tag(placement), modules as u64],
+        };
+        let (mut solver, cached) = match self.cache.take(&key) {
+            Some(CacheEntry::Sharing(s)) => (s, true),
+            _ => {
+                let mut solver = SharingSolver::builder(&spec, &self.calib)
+                    .placement(placement)
+                    .modules(modules)
+                    .build()
+                    .map_err(engine_err)?;
+                solver
+                    .set_solve_mode(DcPlanMode::DirectCholesky)
+                    .map_err(engine_err)?;
+                (Box::new(solver), false)
+            }
+        };
+        let volts: Vec<Volts> = setpoints.iter().map(|&v| Volts::new(v)).collect();
+        let reports = match solver.solve_setpoints(&volts) {
+            Ok(reports) => {
+                solver.anchor_last();
+                reports
+            }
+            Err(e) => {
+                self.cache.put(key, CacheEntry::Sharing(solver));
+                return Err(engine_err(e));
+            }
+        };
+        let points: Vec<Json> = setpoints
+            .iter()
+            .zip(&reports)
+            .map(|(&sp, rep)| {
+                Json::obj([
+                    ("setpoint_v", Json::from(sp)),
+                    ("report", rep.render_json()),
+                ])
+            })
+            .collect();
+        let result = Json::obj([
+            ("command", Json::from("sharing_sweep")),
+            ("placement", Json::from(placement.to_string())),
+            ("setpoints", Json::from(setpoints.len())),
+            ("points", Json::Array(points)),
         ]);
         self.cache.put(key, CacheEntry::Sharing(solver));
         Ok((result, cached))
@@ -423,6 +492,7 @@ mod tests {
         for line in [
             r#"{"kind":"analyze","params":{"arch":"a1"}}"#,
             r#"{"kind":"sharing","params":{"modules":24}}"#,
+            r#"{"kind":"sharing_sweep","params":{"modules":24,"setpoints":[1.0,1.005]}}"#,
             r#"{"kind":"droop","params":{"arch":"a0"}}"#,
             r#"{"kind":"mc","params":{"arch":"a1","samples":6}}"#,
             r#"{"kind":"impedance","params":{"arch":"a2","points":16}}"#,
@@ -480,6 +550,42 @@ mod tests {
         let good = work(r#"{"kind":"impedance","params":{"arch":"a1","points":16}}"#);
         let (_, cached) = d.dispatch(&good).unwrap();
         assert!(cached, "entry survived the failed scenario");
+    }
+
+    #[test]
+    fn sharing_sweep_matches_sequential_direct_solves_bitwise() {
+        let sweep = [1.0, 1.01, 1.02];
+        let d = Dispatcher::new(4);
+        let w = work(
+            r#"{"kind":"sharing_sweep","params":{"placement":"below","modules":12,"setpoints":[1.0,1.01,1.02]}}"#,
+        );
+        let (served, _) = d.dispatch(&w).unwrap();
+        let Some(Json::Array(points)) = served.get("points") else {
+            panic!("missing points array: {served}");
+        };
+        assert_eq!(points.len(), sweep.len());
+
+        // Oracle: the same setpoints solved one at a time through the
+        // core API in the same (direct) mode.
+        let spec = SystemSpec::paper_default();
+        let calib = Calibration::paper_default();
+        let mut solver = SharingSolver::builder(&spec, &calib)
+            .placement(VrPlacement::BelowDie)
+            .modules(12)
+            .build()
+            .unwrap();
+        solver.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+        for (point, &sp) in points.iter().zip(&sweep) {
+            for k in 0..solver.vr_count() {
+                solver.set_vr_setpoint(k, Volts::new(sp)).unwrap();
+            }
+            let rep = solver.solve().unwrap();
+            assert_eq!(
+                point.get("report").unwrap().to_string(),
+                rep.render_json().to_string(),
+                "setpoint {sp}"
+            );
+        }
     }
 
     #[test]

@@ -93,6 +93,17 @@ pub enum Work {
         /// Module count.
         modules: usize,
     },
+    /// Rail-setpoint sweep over a sharing grid, coalesced into one
+    /// factorization plus a multi-RHS block solve (direct-Cholesky
+    /// plan mode).
+    SharingSweep {
+        /// Regulator placement pattern.
+        placement: VrPlacement,
+        /// Module count.
+        modules: usize,
+        /// Swept regulator setpoints, volts (all modules move together).
+        setpoints: Vec<f64>,
+    },
     /// Transient droop response to the paper's load step.
     Droop {
         /// Delivery architecture.
@@ -149,6 +160,7 @@ impl Work {
             Self::Shutdown => "shutdown",
             Self::Analyze { .. } => "analyze",
             Self::Sharing { .. } => "sharing",
+            Self::SharingSweep { .. } => "sharing_sweep",
             Self::Droop { .. } => "droop",
             Self::Mc { .. } => "mc",
             Self::Impedance { .. } => "impedance",
@@ -279,6 +291,22 @@ impl<'a> Params<'a> {
         }
     }
 
+    fn f64_array(&self, key: &str) -> Result<Option<Vec<f64>>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| format!("param `{key}` expects finite numbers"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some),
+            Some(_) => Err(format!("param `{key}` expects an array of numbers")),
+        }
+    }
+
     fn str(&self, key: &str) -> Result<Option<&'a str>, String> {
         match self.get(key) {
             None => Ok(None),
@@ -353,6 +381,9 @@ mod defaults {
     pub const MC_SEED: u64 = 0x5eed;
     pub const FAULT_COUNT: usize = 32;
     pub const FAULT_SEED: u64 = 64023;
+    /// Ceiling on one request's coalesced block width, bounding the
+    /// block-solve scratch a single line can demand.
+    pub const MAX_SWEEP_SETPOINTS: usize = 256;
 }
 
 fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
@@ -361,6 +392,7 @@ fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
         "ping" | "stats" | "shutdown" => &[],
         "analyze" => &["arch", "topology", "power_w", "density"],
         "sharing" => &["placement", "modules"],
+        "sharing_sweep" => &["placement", "modules", "setpoints"],
         "droop" => &["arch"],
         "mc" => &["arch", "topology", "samples", "seed", "threads"],
         "impedance" => &["arch", "fmin_hz", "fmax_hz", "points", "profile"],
@@ -390,6 +422,36 @@ fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
                 return Err(plain("param `modules` must be at least 1".into()));
             }
             Ok(Work::Sharing { placement, modules })
+        }
+        "sharing_sweep" => {
+            let placement = match p.str("placement").map_err(plain)? {
+                None => VrPlacement::Periphery,
+                Some(s) => {
+                    parse_placement(s).ok_or_else(|| plain(format!("unknown placement '{s}'")))?
+                }
+            };
+            let modules = p.usize("modules", defaults::MODULES).map_err(plain)?;
+            if modules == 0 {
+                return Err(plain("param `modules` must be at least 1".into()));
+            }
+            let setpoints = p
+                .f64_array("setpoints")
+                .map_err(plain)?
+                .ok_or_else(|| plain("param `setpoints` is required".into()))?;
+            if setpoints.is_empty() {
+                return Err(plain("param `setpoints` must not be empty".into()));
+            }
+            if setpoints.len() > defaults::MAX_SWEEP_SETPOINTS {
+                return Err(plain(format!(
+                    "param `setpoints` is capped at {} values",
+                    defaults::MAX_SWEEP_SETPOINTS
+                )));
+            }
+            Ok(Work::SharingSweep {
+                placement,
+                modules,
+                setpoints,
+            })
         }
         "droop" => Ok(Work::Droop {
             arch: p.arch().map_err(plain)?,
@@ -624,6 +686,34 @@ mod tests {
                 seed: 64023,
             }
         );
+    }
+
+    #[test]
+    fn parses_a_sharing_sweep_request() {
+        let req = Request::parse_line(
+            r#"{"kind":"sharing_sweep","params":{"placement":"below","modules":24,"setpoints":[1.0,1.01,1.02]}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.work,
+            Work::SharingSweep {
+                placement: VrPlacement::BelowDie,
+                modules: 24,
+                setpoints: vec![1.0, 1.01, 1.02],
+            }
+        );
+        assert_eq!(req.work.kind(), "sharing_sweep");
+
+        for bad in [
+            r#"{"kind":"sharing_sweep"}"#,
+            r#"{"kind":"sharing_sweep","params":{"setpoints":[]}}"#,
+            r#"{"kind":"sharing_sweep","params":{"setpoints":"1.0"}}"#,
+            r#"{"kind":"sharing_sweep","params":{"setpoints":[1.0,"x"]}}"#,
+            r#"{"kind":"sharing_sweep","params":{"setpoints":[1.0],"modules":0}}"#,
+        ] {
+            let e = Request::parse_line(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");
+        }
     }
 
     #[test]

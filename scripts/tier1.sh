@@ -26,6 +26,9 @@ fi
 step "fault-sweep smoke (8 scenarios, finiteness-checked)"
 cargo run --release -p vpd-bench --bin faults -- --samples 8 || fail=1
 
+step "sparse-cholesky smoke (block bitwise, BENCH_cholesky.json speedups >= 1.0)"
+cargo run --release -p vpd-bench --bin cholesky -- --smoke || fail=1
+
 step "observability smoke (metrics on == off, bitwise)"
 cargo run --release -p vpd-bench --bin obs -- --samples 8 || fail=1
 

@@ -1,0 +1,195 @@
+//! Sparse direct-solver contracts, checked across crate boundaries:
+//! the permutation primitive round-trips, the sparse Cholesky factor
+//! agrees with the dense oracle, direct-mode analysis tracks warm-CG
+//! within solver tolerance on every paper architecture, and the
+//! direct-mode sweep engines keep the serial == parallel bitwise
+//! guarantee.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vertical_power_delivery::circuit::DcPlanMode;
+use vertical_power_delivery::converters::VrTopologyKind;
+use vertical_power_delivery::core::{
+    AnalysisOptions, AnalysisSession, Architecture, Calibration, FaultScenario, FaultSweep,
+    SystemSpec,
+};
+use vertical_power_delivery::numeric::{
+    CholeskyFactor, CooMatrix, CsrMatrix, DenseMatrix, SparseCholesky,
+};
+
+/// A 2-D grid Laplacian with a per-node leak to ground — the SPD matrix
+/// family every die-grid solve reduces to.
+fn grid_laplacian(side: usize, leaks: &[f64]) -> CsrMatrix {
+    let n = side * side;
+    assert_eq!(leaks.len(), n);
+    let mut coo = CooMatrix::new(n, n);
+    for y in 0..side {
+        for x in 0..side {
+            let i = y * side + x;
+            let mut d = leaks[i];
+            if x + 1 < side {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+                d += 1.0;
+            }
+            if x > 0 {
+                d += 1.0;
+            }
+            if y + 1 < side {
+                coo.push(i, i + side, -1.0);
+                coo.push(i + side, i, -1.0);
+                d += 1.0;
+            }
+            if y > 0 {
+                d += 1.0;
+            }
+            coo.push(i, i, d);
+        }
+    }
+    coo.to_csr()
+}
+
+fn densify(a: &CsrMatrix) -> DenseMatrix {
+    DenseMatrix::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j))
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a seed.
+fn random_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    perm
+}
+
+/// Largest grid side the properties sample; leak vectors are drawn at
+/// this capacity and sliced down to the sampled `side * side`.
+const MAX_SIDE: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite contract: `P·A·Pᵀ` keeps every value (bitwise) and the
+    /// symmetry of the pattern, and permuting back by the inverse
+    /// restores the original matrix exactly.
+    #[test]
+    fn permuted_round_trips_values_and_symmetry(
+        side in 2usize..=MAX_SIDE,
+        leaks in proptest::collection::vec(0.05f64..2.0, MAX_SIDE * MAX_SIDE),
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = grid_laplacian(side, &leaks[..side * side]);
+        let n = a.rows();
+        let perm = random_perm(n, seed);
+        let b = a.permuted(&perm).unwrap();
+
+        let mut iperm = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            iperm[old] = new;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let expect = a.get(perm[i], perm[j]);
+                prop_assert_eq!(b.get(i, j).to_bits(), expect.to_bits());
+                prop_assert_eq!(b.get(i, j).to_bits(), b.get(j, i).to_bits());
+            }
+        }
+
+        let back = b.permuted(&iperm).unwrap();
+        prop_assert_eq!(back.rows(), a.rows());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(back.get(i, j).to_bits(), a.get(i, j).to_bits());
+            }
+        }
+    }
+
+    /// The sparse factorization must agree with the dense Cholesky
+    /// oracle on the same system.
+    #[test]
+    fn sparse_cholesky_matches_dense_oracle(
+        side in 2usize..=MAX_SIDE,
+        leaks in proptest::collection::vec(0.05f64..2.0, MAX_SIDE * MAX_SIDE),
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = grid_laplacian(side, &leaks[..side * side]);
+        let n = a.rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+
+        let mut sparse = SparseCholesky::factor(&a).unwrap();
+        let xs = sparse.solve(&b).unwrap();
+        let xd = CholeskyFactor::new(&densify(&a)).unwrap().solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-8, "sparse {} vs dense {}", s, d);
+        }
+        // And the answer actually solves the system.
+        for (axi, bi) in a.matvec(&xs).iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+}
+
+/// Direct-mode analysis must track the warm-CG default within solver
+/// tolerance on every paper architecture (A0 through A3).
+#[test]
+fn direct_mode_tracks_warm_cg_on_all_paper_architectures() {
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+    for arch in Architecture::paper_set() {
+        let mut cg_sess =
+            AnalysisSession::new(arch, &spec, &calib, &AnalysisOptions::default()).unwrap();
+        let direct_opts = AnalysisOptions {
+            solve_mode: DcPlanMode::DirectCholesky,
+            ..AnalysisOptions::default()
+        };
+        let mut direct_sess = AnalysisSession::new(arch, &spec, &calib, &direct_opts).unwrap();
+        let cg = cg_sess.analyze(VrTopologyKind::Dsch, &calib).unwrap();
+        let direct = direct_sess.analyze(VrTopologyKind::Dsch, &calib).unwrap();
+
+        let (a, b) = (
+            cg.breakdown.total().value(),
+            direct.breakdown.total().value(),
+        );
+        assert!(
+            (a - b).abs() < 1e-6 * a.max(1.0),
+            "{arch:?}: total loss {a} vs {b}"
+        );
+        for (x, y) in cg.sharing.per_vr().iter().zip(direct.sharing.per_vr()) {
+            assert!((x.value() - y.value()).abs() < 1e-6, "{arch:?}: {x} vs {y}");
+        }
+    }
+}
+
+/// The sweep engines' serial == parallel bitwise contract holds in
+/// direct-Cholesky mode, not just the warm-CG default.
+#[test]
+fn direct_mode_fault_sweep_is_bitwise_thread_independent() {
+    let spec = SystemSpec::paper_default();
+    let calib = Calibration::paper_default();
+    let mut sweep = FaultSweep::new(
+        Architecture::InterposerPeriphery,
+        VrTopologyKind::Dsch,
+        &spec,
+        &calib,
+    )
+    .unwrap();
+    sweep.set_solve_mode(DcPlanMode::DirectCholesky).unwrap();
+
+    let mut scenarios = FaultScenario::n_minus_1(6);
+    scenarios.extend(FaultScenario::random_k(
+        2,
+        6,
+        0xB10C,
+        sweep.vr_count(),
+        sweep.grid_side(),
+    ));
+    let serial = sweep.run(&scenarios, 1).unwrap();
+    assert_eq!(serial.fallback_count, 0, "direct rung must hold");
+    for threads in [2, 4, 7] {
+        let parallel = sweep.run(&scenarios, threads).unwrap();
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
