@@ -1,0 +1,209 @@
+//! Measures the transient plan-reuse engine and emits
+//! `BENCH_transient.json`.
+//!
+//! Four configurations sweep the same load-step amplitude grid over the
+//! A2 PDN ladder with an individually-modeled MLCC decap bank at the
+//! die — the cap-heavy netlist every real PDN transient runs on:
+//!
+//! * **rebuild-per-run** — the cold path: the netlist is rebuilt and
+//!   the interpreted [`transient`] engine simulates it, once per
+//!   amplitude (per-step `Vec` allocations, `HashMap` state, per-step
+//!   element dispatch).
+//! * **plan-compile-per-run** — a fresh [`TransientPlan`] is compiled
+//!   and run once per amplitude: compiled ops and dense state, but the
+//!   compile and factorization are paid every run.
+//! * **plan reuse, serial** — one compiled plan; each amplitude is a
+//!   source-only restamp ([`TransientPlan::set_load_step`]) plus a run.
+//!   Repeated runs at the same `dt` re-factor zero times.
+//! * **plan reuse, parallel** — the same restamp-and-run closure fanned
+//!   over [`par_map_with`] with the auto thread count; the prefactored
+//!   plan is cloned per worker, so no worker factors either.
+//!
+//! The engine guarantees all four produce bitwise-identical die
+//! waveforms; this binary asserts it before reporting throughput.
+//!
+//! ```sh
+//! cargo run --release -p vpd-bench --bin transient            # full, writes JSON
+//! cargo run --release -p vpd-bench --bin transient -- --runs 4    # CI smoke
+//! ```
+//!
+//! Exits non-zero if any reported quantity is non-finite.
+
+use std::time::Instant;
+use vpd_circuit::{transient, ElementId, Netlist, TransientPlan, TransientSettings};
+use vpd_core::{par_map_with, Architecture, PdnModel};
+use vpd_units::{Amps, Farads, Seconds, Volts};
+
+/// Individually-modeled MLCC branches hung off the die node.
+const DECAP_BRANCHES: usize = 48;
+/// Load before the step (25% of the paper's 1 kA POL current).
+const I_BASE: f64 = 250.0;
+/// When the step fires.
+const STEP_AT_US: f64 = 2.0;
+
+fn usage() -> ! {
+    eprintln!("usage: transient [--runs N]");
+    std::process::exit(2);
+}
+
+/// The benchmark netlist: the A2 ladder, the decap bank, and a load
+/// step to `after` amps. Rebuilt from scratch by the cold path.
+fn build(after: f64) -> (Netlist, ElementId, TransientSettings) {
+    let model = PdnModel::for_architecture(Architecture::InterposerEmbedded);
+    let (mut net, die) = model.netlist().expect("PDN netlist");
+    for k in 0..DECAP_BRANCHES {
+        let c = 100.0e-9 * (1.0 + 0.1 * k as f64);
+        net.capacitor(die, net.ground(), Farads::new(c), Volts::new(1.0))
+            .expect("decap");
+    }
+    let el = net
+        .step_current_source(
+            die,
+            net.ground(),
+            Amps::new(I_BASE),
+            Amps::new(after),
+            Seconds::from_microseconds(STEP_AT_US),
+        )
+        .expect("load step");
+    let settings = TransientSettings::new(
+        Seconds::from_microseconds(20.0),
+        Seconds::from_nanoseconds(10.0),
+    )
+    .expect("window");
+    (net, el, settings)
+}
+
+fn main() {
+    let mut runs: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                runs = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let smoke = runs.is_some();
+    let runs = runs.unwrap_or(40).max(2);
+
+    vpd_bench::banner(if smoke {
+        "transient-plan smoke"
+    } else {
+        "transient-plan benchmark (BENCH_transient.json)"
+    });
+
+    // The amplitude grid: 500 A … 980 A in `runs` points.
+    let amps: Vec<f64> = (0..runs)
+        .map(|k| 500.0 + 480.0 * k as f64 / (runs - 1) as f64)
+        .collect();
+    let (net, el, settings) = build(amps[0]);
+    let steps = (settings.t_stop.value() / settings.dt.value()).round() as usize;
+    let (_, die) = PdnModel::for_architecture(Architecture::InterposerEmbedded)
+        .netlist()
+        .expect("die node");
+
+    // Warm up the allocator and page cache once before timing.
+    let _ = transient(&net, &settings).expect("warmup");
+
+    // --- rebuild-per-run: netlist + interpreted engine every run --------
+    let start = Instant::now();
+    let mut rebuilt: Vec<Vec<f64>> = Vec::with_capacity(runs);
+    for &a in &amps {
+        let (net, _, settings) = build(a);
+        let r = transient(&net, &settings).expect("cold run");
+        rebuilt.push(r.voltage(die).to_vec());
+    }
+    let rebuild_runs_per_sec = runs as f64 / start.elapsed().as_secs_f64();
+
+    // --- plan-compile-per-run: compiled engine, cold plan every run -----
+    let start = Instant::now();
+    let mut compiled: Vec<Vec<f64>> = Vec::with_capacity(runs);
+    for &a in &amps {
+        let (net, _, settings) = build(a);
+        let mut plan = TransientPlan::compile(&net, &settings).expect("compile");
+        let r = plan.run().expect("compiled run");
+        compiled.push(r.voltage(die).to_vec());
+    }
+    let compile_runs_per_sec = runs as f64 / start.elapsed().as_secs_f64();
+
+    // --- plan reuse, serial: one plan, restamp + rerun ------------------
+    let mut plan = TransientPlan::compile(&net, &settings).expect("compile");
+    plan.run().expect("warmup run");
+    let factors_before = plan.cached_factorizations();
+    let start = Instant::now();
+    let mut reused: Vec<Vec<f64>> = Vec::with_capacity(runs);
+    for &a in &amps {
+        plan.set_load_step(
+            el,
+            Amps::new(I_BASE),
+            Amps::new(a),
+            Seconds::from_microseconds(STEP_AT_US),
+        )
+        .expect("restamp");
+        let r = plan.run().expect("reused run");
+        reused.push(r.voltage(die).to_vec());
+    }
+    let reuse_runs_per_sec = runs as f64 / start.elapsed().as_secs_f64();
+    let refactored = plan.cached_factorizations() - factors_before;
+
+    // --- plan reuse, parallel: prefactored clones per worker ------------
+    plan.prefactor().expect("prefactor");
+    let start = Instant::now();
+    let parallel: Vec<Vec<f64>> = par_map_with(0, &amps, &plan, |plan, &a| {
+        plan.set_load_step(
+            el,
+            Amps::new(I_BASE),
+            Amps::new(a),
+            Seconds::from_microseconds(STEP_AT_US),
+        )
+        .expect("restamp");
+        plan.run().expect("parallel run").voltage(die).to_vec()
+    });
+    let parallel_runs_per_sec = runs as f64 / start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        compiled, rebuilt,
+        "compiled plan must match the interpreter"
+    );
+    assert_eq!(reused, rebuilt, "restamped reruns must match cold rebuilds");
+    assert_eq!(parallel, reused, "thread count must not change the bits");
+    assert_eq!(refactored, 0, "plan reuse must re-factor zero times");
+
+    let plan_speedup = reuse_runs_per_sec / rebuild_runs_per_sec;
+    let engine_speedup = parallel_runs_per_sec / rebuild_runs_per_sec;
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "transient ({runs} runs x {steps} steps, A2 + {DECAP_BRANCHES} decaps): \
+         rebuild {rebuild_runs_per_sec:.1}/s, compile-per-run {compile_runs_per_sec:.1}/s, \
+         plan reuse {reuse_runs_per_sec:.1}/s ({plan_speedup:.1}x vs rebuild), \
+         parallel x{threads} {parallel_runs_per_sec:.1}/s ({engine_speedup:.1}x vs rebuild)"
+    );
+
+    for (label, v) in [
+        ("rebuild", rebuild_runs_per_sec),
+        ("compile", compile_runs_per_sec),
+        ("reuse", reuse_runs_per_sec),
+        ("parallel", parallel_runs_per_sec),
+    ] {
+        assert!(v.is_finite() && v > 0.0, "{label} rate not finite: {v}");
+    }
+
+    if smoke {
+        println!("\nsmoke OK ({runs} runs, all four paths bitwise identical)");
+        return;
+    }
+
+    // Sanity: the stepped die waveform actually moves (peak-to-peak).
+    let full = reused.last().expect("runs >= 2");
+    let lo = full.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = full.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let swing = hi - lo;
+    assert!(swing > 0.0, "die waveform is flat");
+    let json = format!(
+        "{{\n  \"transient_plan\": {{\n    \"architecture\": \"A2\",\n    \"decap_branches\": {DECAP_BRANCHES},\n    \"steps_per_run\": {steps},\n    \"runs\": {runs},\n    \"rebuild_runs_per_sec\": {rebuild_runs_per_sec:.3},\n    \"plan_compile_runs_per_sec\": {compile_runs_per_sec:.3},\n    \"plan_reuse_runs_per_sec\": {reuse_runs_per_sec:.3},\n    \"plan_parallel_runs_per_sec\": {parallel_runs_per_sec:.3},\n    \"plan_reuse_vs_rebuild_speedup\": {plan_speedup:.3},\n    \"engine_vs_rebuild_speedup\": {engine_speedup:.3},\n    \"threads\": {threads},\n    \"refactorizations_during_reuse\": {refactored},\n    \"parallel_matches_serial_bitwise\": true\n  }},\n  \"sanity\": {{\n    \"a2_full_step_swing_v\": {swing:.9}\n  }}\n}}\n",
+    );
+    std::fs::write("BENCH_transient.json", &json).unwrap();
+    println!("\nwrote BENCH_transient.json");
+}

@@ -235,7 +235,9 @@ impl<'a> AcAnalysis<'a> {
                     };
                     src_k += 1;
                 }
-                ElementKind::CurrentSource { .. } | ElementKind::StepCurrentSource { .. } => {
+                ElementKind::CurrentSource { .. }
+                | ElementKind::StepCurrentSource { .. }
+                | ElementKind::RampCurrentSource { .. } => {
                     // DC bias sources are AC opens.
                 }
             }
@@ -402,7 +404,9 @@ impl AcPlan {
                     });
                     sources.push(i);
                 }
-                ElementKind::CurrentSource { .. } | ElementKind::StepCurrentSource { .. } => {
+                ElementKind::CurrentSource { .. }
+                | ElementKind::StepCurrentSource { .. }
+                | ElementKind::RampCurrentSource { .. } => {
                     // DC bias sources are AC opens: no stamp.
                 }
             }

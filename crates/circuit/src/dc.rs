@@ -265,6 +265,7 @@ fn kind_tag(kind: &ElementKind) -> u8 {
         ElementKind::Capacitor { .. } => 4,
         ElementKind::Inductor { .. } => 5,
         ElementKind::Switch { .. } => 6,
+        ElementKind::RampCurrentSource { .. } => 7,
     }
 }
 
@@ -287,6 +288,7 @@ fn dc_current(kind: &ElementKind) -> Option<f64> {
     match kind {
         ElementKind::CurrentSource { i } => Some(i.value()),
         ElementKind::StepCurrentSource { before, .. } => Some(before.value()),
+        ElementKind::RampCurrentSource { before, .. } => Some(before.value()),
         _ => None,
     }
 }
@@ -982,6 +984,10 @@ fn lower(net: &Netlist) -> Vec<Branch> {
                 ElementKind::CurrentSource { i } => BranchKind::Current(i.value()),
                 // DC operating point precedes the step.
                 ElementKind::StepCurrentSource { before, .. } => {
+                    BranchKind::Current(before.value())
+                }
+                // DC operating point precedes the ramp.
+                ElementKind::RampCurrentSource { before, .. } => {
                     BranchKind::Current(before.value())
                 }
                 ElementKind::VoltageSource { v } => {

@@ -41,4 +41,4 @@ pub use dc::{DcPlanMode, DcSolution, DcSolver, DcStrategy, SparseDcPlan};
 pub use error::CircuitError;
 pub use grid::{PowerGrid, Regulator};
 pub use netlist::{Element, ElementId, ElementKind, Netlist, NodeId, PwmSchedule, SwitchState};
-pub use transient::{transient, TransientResult, TransientSettings};
+pub use transient::{transient, TransientPlan, TransientResult, TransientSettings};

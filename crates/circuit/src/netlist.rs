@@ -134,6 +134,20 @@ pub enum ElementKind {
         /// Step time.
         at: Seconds,
     },
+    /// A ramping current source: `before` until `at`, then a linear
+    /// ramp reaching `after` at `at + rise` (an ideal step when
+    /// `rise = 0`) — the finite-slew load transient. DC analysis uses
+    /// `before`; AC treats it as an open (like any bias current source).
+    RampCurrentSource {
+        /// Current before the ramp starts.
+        before: Amps,
+        /// Current once the ramp completes.
+        after: Amps,
+        /// Ramp start time.
+        at: Seconds,
+        /// Ramp duration (slew window); `0` degenerates to a step.
+        rise: Seconds,
+    },
     /// Ideal voltage source: `V(a) − V(b) = v`.
     VoltageSource {
         /// Source voltage.
@@ -333,6 +347,52 @@ impl Netlist {
             a,
             b,
             "Istep",
+        )
+    }
+
+    /// Adds a ramping current source (`before` until `at`, linear to
+    /// `after` over `rise`, then `after`) — the finite-di/dt load
+    /// transient for slew studies. `rise = 0` degenerates to an ideal
+    /// step. DC analysis uses the pre-ramp value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Netlist::step_current_source`], plus
+    /// [`CircuitError::InvalidValue`] for a negative or non-finite rise
+    /// time.
+    pub fn ramp_current_source(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        before: Amps,
+        after: Amps,
+        at: Seconds,
+        rise: Seconds,
+    ) -> Result<ElementId, CircuitError> {
+        self.check_finite("ramp current source (before)", before.value())?;
+        self.check_finite("ramp current source (after)", after.value())?;
+        if !(at.value().is_finite() && at.value() >= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: "ramp start time",
+                value: at.value(),
+            });
+        }
+        if !(rise.value().is_finite() && rise.value() >= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: "ramp rise time",
+                value: rise.value(),
+            });
+        }
+        self.push(
+            ElementKind::RampCurrentSource {
+                before,
+                after,
+                at,
+                rise,
+            },
+            a,
+            b,
+            "Iramp",
         )
     }
 

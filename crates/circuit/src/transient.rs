@@ -7,11 +7,11 @@
 //! converter with `k` switches re-factors at most `2^k` times, not once
 //! per step.
 
-use crate::netlist::{ElementKind, SwitchState};
+use crate::netlist::{ElementKind, PwmSchedule, SwitchState};
 use crate::{CircuitError, ElementId, Netlist, NodeId};
 use std::collections::HashMap;
 use vpd_numeric::{DenseMatrix, LuFactor};
-use vpd_units::Seconds;
+use vpd_units::{Amps, Seconds};
 
 /// Transient run settings.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -257,7 +257,8 @@ pub fn transient(
                             }
                         }
                         ElementKind::CurrentSource { .. }
-                        | ElementKind::StepCurrentSource { .. } => {}
+                        | ElementKind::StepCurrentSource { .. }
+                        | ElementKind::RampCurrentSource { .. } => {}
                     }
                 }
                 let lu = LuFactor::new(&a)?;
@@ -284,6 +285,21 @@ pub fn transient(
                     } else {
                         after.value()
                     };
+                    if let Some(ia) = idx(e.a) {
+                        rhs[ia] -= i_src;
+                    }
+                    if let Some(ib) = idx(e.b) {
+                        rhs[ib] += i_src;
+                    }
+                }
+                ElementKind::RampCurrentSource {
+                    before,
+                    after,
+                    at,
+                    rise,
+                } => {
+                    let i_src =
+                        ramp_value(before.value(), after.value(), at.value(), rise.value(), t);
                     if let Some(ia) = idx(e.a) {
                         rhs[ia] -= i_src;
                     }
@@ -352,6 +368,12 @@ pub fn transient(
                         after.value()
                     }
                 }
+                ElementKind::RampCurrentSource {
+                    before,
+                    after,
+                    at,
+                    rise,
+                } => ramp_value(before.value(), after.value(), at.value(), rise.value(), t),
                 ElementKind::VoltageSource { .. } => {
                     let cur = x[nv + src_k];
                     src_k += 1;
@@ -380,6 +402,20 @@ pub fn transient(
     })
 }
 
+/// Value of a ramping current source at time `t`: `before` until `at`,
+/// linear to `after` over `rise`, then `after`. `rise = 0` degenerates
+/// to an ideal step (`t >= at` implies `t >= at + 0`), so the divide is
+/// never reached with a zero denominator.
+fn ramp_value(before: f64, after: f64, at: f64, rise: f64, t: f64) -> f64 {
+    if t < at {
+        before
+    } else if t >= at + rise {
+        after
+    } else {
+        before + (after - before) * ((t - at) / rise)
+    }
+}
+
 fn stamp_g(
     a: &mut DenseMatrix,
     ia: Option<usize>,
@@ -397,6 +433,666 @@ fn stamp_g(
         a.add_at(j, i, -g)?;
     }
     Ok(())
+}
+
+/// One compiled element: reduced node indices for stamping, raw node
+/// indices for waveform recording, and the element-specific operation.
+#[derive(Clone, Debug)]
+struct TranOp {
+    /// Reduced index of node `a` (`None` = ground).
+    na: Option<usize>,
+    /// Reduced index of node `b` (`None` = ground).
+    nb: Option<usize>,
+    /// Raw index of node `a`, for `v_ab` in the record pass.
+    ra: usize,
+    /// Raw index of node `b`.
+    rb: usize,
+    kind: TranOpKind,
+}
+
+/// The compiled per-element operation. Conductances are pre-divided at
+/// compile time (`1/r`, `c/dt`, `dt/l`) from exactly the operands the
+/// legacy walk divides each build, so the stamps are bitwise identical.
+#[derive(Clone, Debug)]
+enum TranOpKind {
+    /// Fixed conductance (resistor). `r` is kept for the record pass,
+    /// which divides by resistance like the legacy walk.
+    Conductance { g: f64, r: f64 },
+    /// A scheduled switch; consumes one slot of the switch-state vector.
+    Switch {
+        g_on: f64,
+        g_off: f64,
+        r_on: f64,
+        r_off: f64,
+        schedule: Option<PwmSchedule>,
+        initial: SwitchState,
+    },
+    /// Backward-Euler capacitor companion, `g = c/dt`.
+    Capacitor { g: f64 },
+    /// Backward-Euler inductor companion, `g = dt/l`.
+    Inductor { g: f64 },
+    /// Ideal voltage source occupying MNA row `row`.
+    VoltageSource { v: f64, row: usize },
+    /// Constant current source.
+    CurrentSource { i: f64 },
+    /// Step current source.
+    StepCurrent { before: f64, after: f64, at: f64 },
+    /// Ramp current source.
+    RampCurrent {
+        before: f64,
+        after: f64,
+        at: f64,
+        rise: f64,
+    },
+}
+
+/// A compiled, reusable transient simulation.
+///
+/// One netlist walk at [`TransientPlan::compile`] lowers every element
+/// to a [`TranOp`] with pre-divided companion conductances and
+/// pre-assigned source rows; [`TransientPlan::run`] then replays the op
+/// list with reusable matrix/RHS/solution buffers. The replay follows
+/// the exact stamp, solve, and record order of [`transient`], so the
+/// two paths produce bitwise-identical [`TransientResult`]s.
+///
+/// The per-switch-configuration LU cache **persists across runs**:
+/// repeated runs at the same `dt` re-factor zero times, and the
+/// restamp API ([`TransientPlan::set_load_step`],
+/// [`TransientPlan::set_load_ramp`], [`TransientPlan::set_source`])
+/// rewrites only right-hand-side inputs — voltage-source matrix stamps
+/// are topological `±1` entries — so sweeps over source values never
+/// invalidate a factorization. The plan is `Clone`, so parallel sweeps
+/// can hand each worker its own buffers (with the factor cache already
+/// warm if [`TransientPlan::prefactor`] ran first).
+///
+/// [`TransientPlan::advance`] exposes the same run incrementally for
+/// streaming consumers: each call executes a bounded number of steps
+/// and the partial waveforms are visible through
+/// [`TransientPlan::result`].
+///
+/// ```
+/// use vpd_circuit::{transient, Netlist, TransientPlan, TransientSettings};
+/// use vpd_units::{Farads, Ohms, Seconds, Volts};
+///
+/// # fn main() -> Result<(), vpd_circuit::CircuitError> {
+/// let mut net = Netlist::new();
+/// let vin = net.node("vin");
+/// let out = net.node("out");
+/// net.voltage_source(vin, net.ground(), Volts::new(5.0))?;
+/// net.resistor(vin, out, Ohms::new(1000.0))?;
+/// net.capacitor(out, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)?;
+/// let settings = TransientSettings::new(Seconds::new(1e-4), Seconds::new(1e-6))?;
+/// let mut plan = TransientPlan::compile(&net, &settings)?;
+/// let fast = plan.run()?.clone();
+/// let slow = transient(&net, &settings)?;
+/// assert_eq!(fast, slow);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TransientPlan {
+    dt: f64,
+    steps: usize,
+    n_nodes: usize,
+    dim: usize,
+    ops: Vec<TranOp>,
+    /// Initial capacitor voltages / inductor currents, element-indexed.
+    init_state: Vec<f64>,
+    /// Live capacitor voltages / inductor currents, element-indexed.
+    state: Vec<f64>,
+    /// Switch states at the step being processed (reused buffer).
+    sw_buf: Vec<SwitchState>,
+    /// LU factorizations, one per switch configuration seen so far.
+    factors: Vec<LuFactor>,
+    /// Switch configuration → index into `factors`.
+    factor_index: HashMap<Vec<SwitchState>, usize>,
+    /// The configuration `current` was resolved for, compared (not
+    /// hashed) each step so an unchanged configuration costs one `==`.
+    current_key: Vec<SwitchState>,
+    current: Option<usize>,
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    voltages: Vec<f64>,
+    result: TransientResult,
+    next_step: usize,
+}
+
+impl TransientPlan {
+    /// Compiles a netlist into a reusable transient plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::EmptyNetlist`] when the netlist has no
+    /// elements.
+    pub fn compile(net: &Netlist, settings: &TransientSettings) -> Result<Self, CircuitError> {
+        if net.element_count() == 0 {
+            return Err(CircuitError::EmptyNetlist);
+        }
+        vpd_obs::incr("transient.plan_builds");
+        let dt = settings.dt.value();
+        let steps = (settings.t_stop.value() / dt).round() as usize;
+        let n_nodes = net.node_count();
+        let nv = n_nodes - 1;
+        let idx = |n: NodeId| -> Option<usize> {
+            let i = n.index();
+            (i > 0).then(|| i - 1)
+        };
+
+        let mut ops = Vec::with_capacity(net.element_count());
+        let mut init_state = vec![0.0; net.element_count()];
+        let mut n_sources = 0;
+        let mut n_switches = 0;
+        for (i, e) in net.elements().iter().enumerate() {
+            let kind = match &e.kind {
+                ElementKind::Resistor { r } => TranOpKind::Conductance {
+                    g: 1.0 / r.value(),
+                    r: r.value(),
+                },
+                ElementKind::Switch {
+                    r_on,
+                    r_off,
+                    schedule,
+                    initial,
+                } => {
+                    n_switches += 1;
+                    TranOpKind::Switch {
+                        g_on: 1.0 / r_on.value(),
+                        g_off: 1.0 / r_off.value(),
+                        r_on: r_on.value(),
+                        r_off: r_off.value(),
+                        schedule: *schedule,
+                        initial: *initial,
+                    }
+                }
+                ElementKind::Capacitor { c, v0 } => {
+                    init_state[i] = v0.value();
+                    TranOpKind::Capacitor { g: c.value() / dt }
+                }
+                ElementKind::Inductor { l, i0 } => {
+                    init_state[i] = i0.value();
+                    TranOpKind::Inductor { g: dt / l.value() }
+                }
+                ElementKind::VoltageSource { v } => {
+                    let row = nv + n_sources;
+                    n_sources += 1;
+                    TranOpKind::VoltageSource { v: v.value(), row }
+                }
+                ElementKind::CurrentSource { i } => TranOpKind::CurrentSource { i: i.value() },
+                ElementKind::StepCurrentSource { before, after, at } => TranOpKind::StepCurrent {
+                    before: before.value(),
+                    after: after.value(),
+                    at: at.value(),
+                },
+                ElementKind::RampCurrentSource {
+                    before,
+                    after,
+                    at,
+                    rise,
+                } => TranOpKind::RampCurrent {
+                    before: before.value(),
+                    after: after.value(),
+                    at: at.value(),
+                    rise: rise.value(),
+                },
+            };
+            ops.push(TranOp {
+                na: idx(e.a),
+                nb: idx(e.b),
+                ra: e.a.index(),
+                rb: e.b.index(),
+                kind,
+            });
+        }
+        let dim = nv + n_sources;
+        let state = init_state.clone();
+        Ok(Self {
+            dt,
+            steps,
+            n_nodes,
+            dim,
+            ops,
+            init_state,
+            state,
+            sw_buf: Vec::with_capacity(n_switches),
+            factors: Vec::new(),
+            factor_index: HashMap::new(),
+            current_key: Vec::new(),
+            current: None,
+            rhs: vec![0.0; dim],
+            x: Vec::with_capacity(dim),
+            voltages: vec![0.0; n_nodes],
+            result: TransientResult {
+                times: Vec::with_capacity(steps + 1),
+                node_v: vec![Vec::with_capacity(steps + 1); n_nodes],
+                element_i: vec![Vec::with_capacity(steps + 1); net.element_count()],
+            },
+            next_step: 0,
+        })
+    }
+
+    /// Total number of time steps in a run (the run records
+    /// `steps() + 1` samples, including `t = 0`).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Samples recorded so far in the current run.
+    #[must_use]
+    pub fn samples_done(&self) -> usize {
+        self.result.times.len()
+    }
+
+    /// The fixed time step (seconds).
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Whether the current run has recorded its final sample.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.next_step > self.steps
+    }
+
+    /// Number of LU factorizations currently cached.
+    #[must_use]
+    pub fn cached_factorizations(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The (possibly partial) waveforms of the current run.
+    #[must_use]
+    pub fn result(&self) -> &TransientResult {
+        &self.result
+    }
+
+    /// Resets state and waveforms for a fresh run, keeping the compiled
+    /// ops, buffers, and — crucially — the LU cache.
+    pub fn start(&mut self) {
+        vpd_obs::incr("transient.runs");
+        self.state.copy_from_slice(&self.init_state);
+        self.result.times.clear();
+        for v in &mut self.result.node_v {
+            v.clear();
+        }
+        for i in &mut self.result.element_i {
+            i.clear();
+        }
+        self.next_step = 0;
+    }
+
+    /// Factors the `t = 0` switch configuration if it is not cached
+    /// yet, so clones handed to parallel workers re-factor zero times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Numeric`] when the conductance matrix is
+    /// singular.
+    pub fn prefactor(&mut self) -> Result<(), CircuitError> {
+        self.compute_switch_states(0.0);
+        self.ensure_factor()?;
+        Ok(())
+    }
+
+    /// Runs the simulation start-to-finish and returns the waveforms.
+    ///
+    /// Always begins a fresh run ([`TransientPlan::start`]); use
+    /// [`TransientPlan::advance`] directly for incremental consumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Numeric`] when a step's factorization or
+    /// solve fails.
+    pub fn run(&mut self) -> Result<&TransientResult, CircuitError> {
+        self.start();
+        while self.advance(usize::MAX)? > 0 {}
+        Ok(&self.result)
+    }
+
+    /// Executes up to `max_steps` time steps of the current run and
+    /// returns how many were executed (`0` once the run is finished).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Numeric`] when a step's factorization or
+    /// solve fails.
+    pub fn advance(&mut self, max_steps: usize) -> Result<usize, CircuitError> {
+        let mut done = 0;
+        while done < max_steps && self.next_step <= self.steps {
+            self.step()?;
+            done += 1;
+        }
+        if done > 0 {
+            vpd_obs::add("transient.steps", done as u64);
+        }
+        Ok(done)
+    }
+
+    /// Repoints a step current source's parameters (RHS-only, so the
+    /// LU cache survives).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] — no such element.
+    /// * [`CircuitError::InvalidValue`] — the element is not a step
+    ///   current source, a current is non-finite, or the step time is
+    ///   negative or non-finite.
+    pub fn set_load_step(
+        &mut self,
+        element: ElementId,
+        before: Amps,
+        after: Amps,
+        at: Seconds,
+    ) -> Result<(), CircuitError> {
+        check_source_value("set_load_step current", before.value())?;
+        check_source_value("set_load_step current", after.value())?;
+        check_source_time("set_load_step time", at.value())?;
+        let op = self.op_mut(element)?;
+        match &mut op.kind {
+            TranOpKind::StepCurrent {
+                before: b,
+                after: a,
+                at: t0,
+            } => {
+                *b = before.value();
+                *a = after.value();
+                *t0 = at.value();
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_load_step on a non-step element",
+                value: element.index() as f64,
+            }),
+        }
+    }
+
+    /// Repoints a ramp current source's parameters (RHS-only, so the
+    /// LU cache survives).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientPlan::set_load_step`], with the target being a
+    /// ramp current source and `rise` also required finite and
+    /// non-negative.
+    pub fn set_load_ramp(
+        &mut self,
+        element: ElementId,
+        before: Amps,
+        after: Amps,
+        at: Seconds,
+        rise: Seconds,
+    ) -> Result<(), CircuitError> {
+        check_source_value("set_load_ramp current", before.value())?;
+        check_source_value("set_load_ramp current", after.value())?;
+        check_source_time("set_load_ramp time", at.value())?;
+        check_source_time("set_load_ramp rise", rise.value())?;
+        let op = self.op_mut(element)?;
+        match &mut op.kind {
+            TranOpKind::RampCurrent {
+                before: b,
+                after: a,
+                at: t0,
+                rise: r,
+            } => {
+                *b = before.value();
+                *a = after.value();
+                *t0 = at.value();
+                *r = rise.value();
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_load_ramp on a non-ramp element",
+                value: element.index() as f64,
+            }),
+        }
+    }
+
+    /// Repoints a constant source's value: volts for a voltage source,
+    /// amps for a current source. Both rewrites are RHS-only — a
+    /// voltage source's matrix stamps are the topological `±1` entries —
+    /// so the LU cache survives.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] — no such element.
+    /// * [`CircuitError::InvalidValue`] — non-finite value, or the
+    ///   element is neither a voltage source nor a constant current
+    ///   source.
+    pub fn set_source(&mut self, element: ElementId, value: f64) -> Result<(), CircuitError> {
+        check_source_value("set_source value", value)?;
+        let op = self.op_mut(element)?;
+        match &mut op.kind {
+            TranOpKind::VoltageSource { v, .. } => {
+                *v = value;
+                Ok(())
+            }
+            TranOpKind::CurrentSource { i } => {
+                *i = value;
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_source on a non-source element",
+                value: element.index() as f64,
+            }),
+        }
+    }
+
+    fn op_mut(&mut self, element: ElementId) -> Result<&mut TranOp, CircuitError> {
+        let index = element.index();
+        self.ops
+            .get_mut(index)
+            .ok_or(CircuitError::UnknownElement { index })
+    }
+
+    /// Fills `sw_buf` with every switch's state at time `t`, in element
+    /// order — the same vector the legacy walk collects per step.
+    fn compute_switch_states(&mut self, t: f64) {
+        self.sw_buf.clear();
+        for op in &self.ops {
+            if let TranOpKind::Switch {
+                schedule, initial, ..
+            } = &op.kind
+            {
+                self.sw_buf
+                    .push(schedule.map_or(*initial, |s| s.state_at(t)));
+            }
+        }
+    }
+
+    /// Resolves (building if needed) the factorization for the switch
+    /// configuration in `sw_buf`. The common unchanged-configuration
+    /// case is a vector compare, not a hash.
+    fn ensure_factor(&mut self) -> Result<usize, CircuitError> {
+        if let Some(k) = self.current {
+            if self.current_key == self.sw_buf {
+                return Ok(k);
+            }
+        }
+        if let Some(&k) = self.factor_index.get(&self.sw_buf) {
+            self.current_key.clone_from(&self.sw_buf);
+            self.current = Some(k);
+            return Ok(k);
+        }
+        vpd_obs::incr("transient.factorizations");
+        let _span = vpd_obs::span("transient.factor_ns");
+        let mut a = DenseMatrix::zeros(self.dim, self.dim);
+        let mut sw_k = 0;
+        for op in &self.ops {
+            match &op.kind {
+                TranOpKind::Conductance { g, .. } => stamp_g(&mut a, op.na, op.nb, *g)?,
+                TranOpKind::Switch { g_on, g_off, .. } => {
+                    let g = match self.sw_buf[sw_k] {
+                        SwitchState::On => *g_on,
+                        SwitchState::Off => *g_off,
+                    };
+                    sw_k += 1;
+                    stamp_g(&mut a, op.na, op.nb, g)?;
+                }
+                TranOpKind::Capacitor { g } => stamp_g(&mut a, op.na, op.nb, *g)?,
+                TranOpKind::Inductor { g } => stamp_g(&mut a, op.na, op.nb, *g)?,
+                TranOpKind::VoltageSource { row, .. } => {
+                    if let Some(i) = op.na {
+                        a.add_at(i, *row, 1.0)?;
+                        a.add_at(*row, i, 1.0)?;
+                    }
+                    if let Some(j) = op.nb {
+                        a.add_at(j, *row, -1.0)?;
+                        a.add_at(*row, j, -1.0)?;
+                    }
+                }
+                TranOpKind::CurrentSource { .. }
+                | TranOpKind::StepCurrent { .. }
+                | TranOpKind::RampCurrent { .. } => {}
+            }
+        }
+        let lu = LuFactor::new(&a)?;
+        let k = self.factors.len();
+        self.factors.push(lu);
+        self.factor_index.insert(self.sw_buf.clone(), k);
+        self.current_key.clone_from(&self.sw_buf);
+        self.current = Some(k);
+        Ok(k)
+    }
+
+    /// One backward-Euler step: the legacy loop body, replayed over the
+    /// compiled ops with reusable buffers.
+    fn step(&mut self) -> Result<(), CircuitError> {
+        let t = self.next_step as f64 * self.dt;
+        self.compute_switch_states(t);
+        let cur = self.ensure_factor()?;
+
+        // RHS with companion-source history terms.
+        for v in &mut self.rhs {
+            *v = 0.0;
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            match &op.kind {
+                TranOpKind::CurrentSource { i: i_src } => {
+                    if let Some(ia) = op.na {
+                        self.rhs[ia] -= *i_src;
+                    }
+                    if let Some(ib) = op.nb {
+                        self.rhs[ib] += *i_src;
+                    }
+                }
+                TranOpKind::StepCurrent { before, after, at } => {
+                    let i_src = if t < *at { *before } else { *after };
+                    if let Some(ia) = op.na {
+                        self.rhs[ia] -= i_src;
+                    }
+                    if let Some(ib) = op.nb {
+                        self.rhs[ib] += i_src;
+                    }
+                }
+                TranOpKind::RampCurrent {
+                    before,
+                    after,
+                    at,
+                    rise,
+                } => {
+                    let i_src = ramp_value(*before, *after, *at, *rise, t);
+                    if let Some(ia) = op.na {
+                        self.rhs[ia] -= i_src;
+                    }
+                    if let Some(ib) = op.nb {
+                        self.rhs[ib] += i_src;
+                    }
+                }
+                TranOpKind::VoltageSource { v, row } => {
+                    self.rhs[*row] = *v;
+                }
+                TranOpKind::Capacitor { g } => {
+                    let hist = *g * self.state[i];
+                    if let Some(ia) = op.na {
+                        self.rhs[ia] += hist;
+                    }
+                    if let Some(ib) = op.nb {
+                        self.rhs[ib] -= hist;
+                    }
+                }
+                TranOpKind::Inductor { .. } => {
+                    let hist = self.state[i];
+                    if let Some(ia) = op.na {
+                        self.rhs[ia] -= hist;
+                    }
+                    if let Some(ib) = op.nb {
+                        self.rhs[ib] += hist;
+                    }
+                }
+                TranOpKind::Conductance { .. } | TranOpKind::Switch { .. } => {}
+            }
+        }
+
+        self.factors[cur].solve_into(&self.rhs, &mut self.x)?;
+        self.voltages[0] = 0.0;
+        self.voltages[1..self.n_nodes].copy_from_slice(&self.x[..self.n_nodes - 1]);
+
+        // Record + update state.
+        self.result.times.push(t);
+        for (n, v) in self.voltages.iter().enumerate() {
+            self.result.node_v[n].push(*v);
+        }
+        let mut sw_k = 0;
+        for (i, op) in self.ops.iter().enumerate() {
+            let vab = self.voltages[op.ra] - self.voltages[op.rb];
+            let i_e = match &op.kind {
+                TranOpKind::Conductance { r, .. } => vab / *r,
+                TranOpKind::Switch { r_on, r_off, .. } => {
+                    let r = match self.sw_buf[sw_k] {
+                        SwitchState::On => *r_on,
+                        SwitchState::Off => *r_off,
+                    };
+                    sw_k += 1;
+                    vab / r
+                }
+                TranOpKind::CurrentSource { i } => *i,
+                TranOpKind::StepCurrent { before, after, at } => {
+                    if t < *at {
+                        *before
+                    } else {
+                        *after
+                    }
+                }
+                TranOpKind::RampCurrent {
+                    before,
+                    after,
+                    at,
+                    rise,
+                } => ramp_value(*before, *after, *at, *rise, t),
+                TranOpKind::VoltageSource { row, .. } => self.x[*row],
+                TranOpKind::Capacitor { g } => {
+                    let i_c = *g * (vab - self.state[i]);
+                    self.state[i] = vab;
+                    i_c
+                }
+                TranOpKind::Inductor { g } => {
+                    let i_l = self.state[i] + *g * vab;
+                    self.state[i] = i_l;
+                    i_l
+                }
+            };
+            self.result.element_i[i].push(i_e);
+        }
+        self.next_step += 1;
+        Ok(())
+    }
+}
+
+fn check_source_value(element: &'static str, value: f64) -> Result<(), CircuitError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(CircuitError::InvalidValue { element, value })
+    }
+}
+
+fn check_source_time(element: &'static str, value: f64) -> Result<(), CircuitError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(CircuitError::InvalidValue { element, value })
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +1249,321 @@ mod tests {
         // Voltage settles lower after the step (bigger IR drop).
         let v = res.voltage(mid);
         assert!(v[after_idx.max(times.len() - 2)] < v[before_idx]);
+    }
+
+    /// Bitwise equality of two results, series by series.
+    fn assert_results_bitwise(a: &TransientResult, b: &TransientResult) {
+        assert_eq!(a.times.len(), b.times.len());
+        for (x, y) in a.times.iter().zip(&b.times) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.node_v.len(), b.node_v.len());
+        for (sa, sb) in a.node_v.iter().zip(&b.node_v) {
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(a.element_i.len(), b.element_i.len());
+        for (sa, sb) in a.element_i.iter().zip(&b.element_i) {
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// A netlist exercising every op kind: PWM switches, R, L, C, a
+    /// voltage source, and all three current-source flavors.
+    fn full_coverage_netlist() -> (Netlist, NodeId) {
+        let f = Hertz::from_megahertz(2.0);
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let sw = net.node("sw");
+        let out = net.node("out");
+        net.voltage_source(vin, net.ground(), Volts::new(1.0))
+            .unwrap();
+        net.switch(
+            vin,
+            sw,
+            Ohms::from_milliohms(5.0),
+            Ohms::new(1e6),
+            Some(PwmSchedule::new(f, 0.4, 0.0).unwrap()),
+            SwitchState::Off,
+        )
+        .unwrap();
+        net.switch(
+            sw,
+            net.ground(),
+            Ohms::from_milliohms(5.0),
+            Ohms::new(1e6),
+            Some(PwmSchedule::new(f, 0.4, 0.0).unwrap().complementary()),
+            SwitchState::On,
+        )
+        .unwrap();
+        net.inductor(sw, out, Henries::from_microhenries(0.5), Amps::ZERO)
+            .unwrap();
+        net.capacitor(
+            out,
+            net.ground(),
+            Farads::from_microfarads(4.0),
+            Volts::ZERO,
+        )
+        .unwrap();
+        net.resistor(out, net.ground(), Ohms::new(2.0)).unwrap();
+        net.current_source(out, net.ground(), Amps::new(0.05))
+            .unwrap();
+        net.step_current_source(
+            out,
+            net.ground(),
+            Amps::new(0.01),
+            Amps::new(0.2),
+            Seconds::from_microseconds(3.0),
+        )
+        .unwrap();
+        net.ramp_current_source(
+            out,
+            net.ground(),
+            Amps::new(0.0),
+            Amps::new(0.1),
+            Seconds::from_microseconds(5.0),
+            Seconds::from_microseconds(1.0),
+        )
+        .unwrap();
+        (net, out)
+    }
+
+    #[test]
+    fn ramp_current_source_interpolates_and_holds() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        net.resistor(n, net.ground(), Ohms::new(1.0)).unwrap();
+        let ramp = net
+            .ramp_current_source(
+                n,
+                net.ground(),
+                Amps::new(1.0),
+                Amps::new(5.0),
+                Seconds::from_microseconds(2.0),
+                Seconds::from_microseconds(4.0),
+            )
+            .unwrap();
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(10.0),
+            Seconds::from_microseconds(1.0),
+        )
+        .unwrap();
+        let res = transient(&net, &settings).unwrap();
+        let i = res.current(ramp);
+        // t = 0,1 µs: before; t = 2..6 µs: linear; t >= 6 µs: after.
+        assert_eq!(i[0], 1.0);
+        assert_eq!(i[1], 1.0);
+        assert_eq!(i[2], 1.0); // ramp starts at `at`, still at `before`
+        assert!((i[3] - 2.0).abs() < 1e-12);
+        assert!((i[4] - 3.0).abs() < 1e-12);
+        assert!((i[5] - 4.0).abs() < 1e-12);
+        assert_eq!(i[6], 5.0);
+        assert_eq!(i[10], 5.0);
+    }
+
+    #[test]
+    fn zero_rise_ramp_is_bitwise_a_step() {
+        let build = |ramp: bool| {
+            let mut net = Netlist::new();
+            let n = net.node("n");
+            net.resistor(n, net.ground(), Ohms::new(0.5)).unwrap();
+            net.capacitor(n, net.ground(), Farads::from_microfarads(1.0), Volts::ZERO)
+                .unwrap();
+            let (before, after) = (Amps::new(1.0), Amps::new(4.0));
+            let at = Seconds::from_microseconds(2.0);
+            if ramp {
+                net.ramp_current_source(n, net.ground(), before, after, at, Seconds::ZERO)
+                    .unwrap();
+            } else {
+                net.step_current_source(n, net.ground(), before, after, at)
+                    .unwrap();
+            }
+            let settings = TransientSettings::new(
+                Seconds::from_microseconds(8.0),
+                Seconds::from_nanoseconds(20.0),
+            )
+            .unwrap();
+            transient(&net, &settings).unwrap()
+        };
+        assert_results_bitwise(&build(true), &build(false));
+    }
+
+    #[test]
+    fn ramp_source_validation() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        let g = net.ground();
+        let ok = (Amps::new(1.0), Amps::new(2.0));
+        assert!(net
+            .ramp_current_source(n, g, ok.0, ok.1, Seconds::new(-1.0), Seconds::ZERO)
+            .is_err());
+        assert!(net
+            .ramp_current_source(n, g, ok.0, ok.1, Seconds::ZERO, Seconds::new(-1e-9))
+            .is_err());
+        assert!(net
+            .ramp_current_source(
+                n,
+                g,
+                Amps::new(f64::NAN),
+                ok.1,
+                Seconds::ZERO,
+                Seconds::ZERO
+            )
+            .is_err());
+        assert!(net
+            .ramp_current_source(n, g, ok.0, ok.1, Seconds::ZERO, Seconds::ZERO)
+            .is_ok());
+    }
+
+    #[test]
+    fn plan_matches_legacy_bitwise_with_all_element_kinds() {
+        let (net, _) = full_coverage_netlist();
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(8.0),
+            Seconds::from_nanoseconds(25.0),
+        )
+        .unwrap();
+        let legacy = transient(&net, &settings).unwrap();
+        let mut plan = TransientPlan::compile(&net, &settings).unwrap();
+        let fast = plan.run().unwrap();
+        assert_results_bitwise(fast, &legacy);
+        // Two switch phases → exactly two cached configurations.
+        assert_eq!(plan.cached_factorizations(), 2);
+        // A second run re-factors zero times and reproduces the bits.
+        let again = plan.run().unwrap().clone();
+        assert_eq!(plan.cached_factorizations(), 2);
+        assert_results_bitwise(&again, &legacy);
+    }
+
+    #[test]
+    fn plan_advance_streams_the_same_bits() {
+        let (net, out) = full_coverage_netlist();
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(4.0),
+            Seconds::from_nanoseconds(50.0),
+        )
+        .unwrap();
+        let legacy = transient(&net, &settings).unwrap();
+        let mut plan = TransientPlan::compile(&net, &settings).unwrap();
+        plan.start();
+        let mut chunks = 0;
+        loop {
+            let n = plan.advance(17).unwrap();
+            if n == 0 {
+                break;
+            }
+            chunks += 1;
+            assert!(plan.samples_done() <= plan.steps() + 1);
+        }
+        assert!(plan.finished());
+        assert!(chunks > 1, "expected multiple chunks");
+        assert_eq!(plan.samples_done(), plan.steps() + 1);
+        assert_results_bitwise(plan.result(), &legacy);
+        assert_eq!(plan.result().voltage(out).len(), legacy.voltage(out).len());
+    }
+
+    #[test]
+    fn plan_restamp_matches_rebuild_from_scratch() {
+        // Build with placeholder step params, restamp, and compare to a
+        // netlist built directly with the final params.
+        let make = |before: f64, after: f64, at_us: f64| {
+            let mut net = Netlist::new();
+            let vin = net.node("vin");
+            let mid = net.node("mid");
+            net.voltage_source(vin, net.ground(), Volts::new(1.0))
+                .unwrap();
+            net.resistor(vin, mid, Ohms::from_milliohms(2.0)).unwrap();
+            net.capacitor(
+                mid,
+                net.ground(),
+                Farads::from_microfarads(50.0),
+                Volts::new(1.0),
+            )
+            .unwrap();
+            let id = net
+                .step_current_source(
+                    mid,
+                    net.ground(),
+                    Amps::new(before),
+                    Amps::new(after),
+                    Seconds::from_microseconds(at_us),
+                )
+                .unwrap();
+            (net, id)
+        };
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(10.0),
+            Seconds::from_nanoseconds(10.0),
+        )
+        .unwrap();
+        let (net_a, step_a) = make(1.0, 10.0, 1.0);
+        let (net_b, _) = make(2.5, 40.0, 3.0);
+        let mut plan = TransientPlan::compile(&net_a, &settings).unwrap();
+        plan.run().unwrap();
+        plan.set_load_step(
+            step_a,
+            Amps::new(2.5),
+            Amps::new(40.0),
+            Seconds::from_microseconds(3.0),
+        )
+        .unwrap();
+        let restamped = plan.run().unwrap();
+        let scratch = transient(&net_b, &settings).unwrap();
+        assert_results_bitwise(restamped, &scratch);
+        // The restamp must not have invalidated the factorization.
+        assert_eq!(plan.cached_factorizations(), 1);
+    }
+
+    #[test]
+    fn plan_set_source_rewrites_rhs_only() {
+        let mut net = Netlist::new();
+        let vin = net.node("vin");
+        let out = net.node("out");
+        let vs = net
+            .voltage_source(vin, net.ground(), Volts::new(1.0))
+            .unwrap();
+        let r = net.resistor(vin, out, Ohms::new(100.0)).unwrap();
+        net.capacitor(
+            out,
+            net.ground(),
+            Farads::from_microfarads(1.0),
+            Volts::ZERO,
+        )
+        .unwrap();
+        let settings = TransientSettings::new(Seconds::new(1e-4), Seconds::new(1e-7)).unwrap();
+        let mut plan = TransientPlan::compile(&net, &settings).unwrap();
+        plan.run().unwrap();
+        plan.set_source(vs, 2.5).unwrap();
+        let swept = plan.run().unwrap();
+        let mut net2 = net.clone();
+        net2.set_voltage(vs, Volts::new(2.5)).unwrap();
+        let scratch = transient(&net2, &settings).unwrap();
+        assert_results_bitwise(swept, &scratch);
+        assert_eq!(plan.cached_factorizations(), 1);
+        // Wrong-kind and out-of-range restamps are typed errors.
+        assert!(plan.set_source(r, 1.0).is_err());
+        assert!(plan
+            .set_load_step(r, Amps::ZERO, Amps::ZERO, Seconds::ZERO)
+            .is_err());
+        assert!(plan
+            .set_load_ramp(vs, Amps::ZERO, Amps::ZERO, Seconds::ZERO, Seconds::ZERO)
+            .is_err());
+        assert!(plan.set_source(ElementId(99), 1.0).is_err());
+        assert!(plan.set_source(vs, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn plan_rejects_empty_netlist() {
+        let settings = TransientSettings::new(Seconds::new(1e-3), Seconds::new(1e-6)).unwrap();
+        assert!(matches!(
+            TransientPlan::compile(&Netlist::new(), &settings),
+            Err(CircuitError::EmptyNetlist)
+        ));
     }
 
     #[test]

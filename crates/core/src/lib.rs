@@ -38,6 +38,7 @@ mod arch;
 mod calib;
 mod designer;
 mod droop;
+mod droopsweep;
 mod electro_thermal;
 mod error;
 mod explore;
@@ -61,7 +62,11 @@ pub use arch::{
 };
 pub use calib::Calibration;
 pub use designer::{recommend, Candidate, Recommendation};
-pub use droop::{simulate_droop, DroopReport, LoadStep};
+pub use droop::{simulate_droop, DroopReport, DroopScenario, LoadStep};
+pub use droopsweep::{
+    compare_droop_architectures, DroopSweep, DroopSweepComparison, DroopSweepPoint,
+    DroopSweepReport, DroopSweepSettings,
+};
 pub use electro_thermal::{
     electro_thermal, thermal_comparison, ElectroThermalReport, ElectroThermalSettings,
 };

@@ -4,6 +4,7 @@
 //! reports inline).
 
 use crate::droop::DroopReport;
+use crate::droopsweep::{DroopSweepComparison, DroopSweepPoint, DroopSweepReport};
 use crate::faults::FaultSweepReport;
 use crate::gridshare::SharingReport;
 use crate::loss::LossBreakdown;
@@ -59,6 +60,135 @@ impl Render for DroopReport {
                 Json::from(self.impedance_bound.value()),
             ),
         ])
+    }
+}
+
+fn sweep_point_json(p: &DroopSweepPoint) -> Json {
+    Json::obj([
+        ("after_a", Json::from(p.after.value())),
+        ("rise_s", Json::from(p.rise.value())),
+        ("v_before_v", Json::from(p.v_before.value())),
+        ("v_min_v", Json::from(p.v_min.value())),
+        ("droop_v", Json::from(p.droop.value())),
+        ("settle_s", Json::from(p.settle.value())),
+        ("violates", Json::from(p.violates)),
+    ])
+}
+
+impl Render for DroopSweepReport {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}: {} points (base {:.0} A, transient at {}, budget {})\n",
+            self.label,
+            self.points.len(),
+            self.base.value(),
+            self.at,
+            self.budget,
+        );
+        if let Some(w) = self.worst_droop() {
+            out.push_str(&format!(
+                "  worst droop:  {} at {:.0} A / rise {}\n",
+                w.droop,
+                w.after.value(),
+                w.rise,
+            ));
+        }
+        if let Some(w) = self.worst_settle() {
+            out.push_str(&format!(
+                "  worst settle: {} at {:.0} A / rise {}\n",
+                w.settle,
+                w.after.value(),
+                w.rise,
+            ));
+        }
+        match self.first_violation() {
+            None => out.push_str("  verdict:      meets budget at every point\n"),
+            Some(v) => out.push_str(&format!(
+                "  verdict:      VIOLATES budget from {:.0} A / rise {} (droop {})\n",
+                v.after.value(),
+                v.rise,
+                v.droop,
+            )),
+        }
+        out.push_str(&format!(
+            "  {:>10}  {:>12}  {:>12}  {:>12}  {}\n",
+            "after (A)", "rise", "droop (V)", "settle", "budget"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:>10.0}  {:>12}  {:>12.6}  {:>12}  {}\n",
+                p.after.value(),
+                p.rise.to_string(),
+                p.droop.value(),
+                p.settle.to_string(),
+                if p.violates { "violates" } else { "meets" },
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            ("points", Json::from(self.points.len())),
+            ("base_a", Json::from(self.base.value())),
+            ("at_s", Json::from(self.at.value())),
+            ("budget_v", Json::from(self.budget.value())),
+            (
+                "impedance_peak_ohm",
+                Json::from(self.impedance_peak.value()),
+            ),
+            ("meets_budget", Json::from(self.meets_budget())),
+            (
+                "worst_droop",
+                self.worst_droop().map_or(Json::Null, sweep_point_json),
+            ),
+            (
+                "worst_settle",
+                self.worst_settle().map_or(Json::Null, sweep_point_json),
+            ),
+            (
+                "first_violation",
+                self.first_violation().map_or(Json::Null, sweep_point_json),
+            ),
+            (
+                "grid",
+                Json::array(self.points.iter().map(sweep_point_json)),
+            ),
+        ])
+    }
+}
+
+impl Render for DroopSweepComparison {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "  {:<6} {:>12} {:>14} {:>10} {}\n",
+            "arch", "worst droop", "worst settle", "budget", "verdict"
+        );
+        for r in &self.reports {
+            out.push_str(&format!(
+                "  {:<6} {:>12} {:>14} {:>10} {}\n",
+                r.label,
+                r.worst_droop()
+                    .map_or_else(|| "n/a".into(), |p| p.droop.to_string()),
+                r.worst_settle()
+                    .map_or_else(|| "n/a".into(), |p| p.settle.to_string()),
+                r.budget.to_string(),
+                if r.meets_budget() {
+                    "meets"
+                } else {
+                    "violates"
+                },
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([(
+            "architectures",
+            Json::array(self.reports.iter().map(Render::render_json)),
+        )])
     }
 }
 
@@ -361,6 +491,51 @@ mod tests {
             assert!(json.contains(key), "{json} missing {key}");
         }
         assert!(s.render_text().contains("20.00%"));
+    }
+
+    #[test]
+    fn droop_sweep_report_renders_worst_cases_and_grid() {
+        use crate::{compare_droop_architectures, Architecture, DroopSweepSettings};
+        use vpd_units::Seconds;
+        let spec = SystemSpec::paper_default();
+        let cmp = compare_droop_architectures(
+            &[Architecture::Reference, Architecture::InterposerEmbedded],
+            &spec,
+            Seconds::from_microseconds(20.0),
+            Seconds::from_nanoseconds(100.0),
+            &DroopSweepSettings::paper_default(&spec, 2, 2).unwrap(),
+        )
+        .unwrap();
+        let a0 = &cmp.reports[0];
+        let text = a0.render(RenderFormat::Text);
+        assert!(text.contains("worst droop"), "{text}");
+        assert!(text.contains("VIOLATES budget"), "{text}");
+        assert_eq!(
+            text.lines().count(),
+            // header + worst droop + worst settle + verdict + column
+            // header + one row per point
+            5 + a0.points.len(),
+            "{text}"
+        );
+        let json = a0.render(RenderFormat::Json);
+        assert!(json.contains("\"meets_budget\":false"), "{json}");
+        assert!(json.contains("\"grid\":["), "{json}");
+        assert!(json.contains("\"worst_droop\":{"), "{json}");
+
+        let a2 = &cmp.reports[1];
+        assert!(a2.render_text().contains("meets budget"));
+        assert!(a2
+            .render_json()
+            .to_string()
+            .contains("\"first_violation\":null"));
+
+        let cmp_text = cmp.render(RenderFormat::Text);
+        assert!(
+            cmp_text.contains("A0") && cmp_text.contains("A2"),
+            "{cmp_text}"
+        );
+        let cmp_json = cmp.render(RenderFormat::Json);
+        assert!(cmp_json.contains("\"architectures\":["), "{cmp_json}");
     }
 
     #[test]

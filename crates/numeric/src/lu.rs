@@ -102,6 +102,24 @@ impl LuFactor {
     /// Returns [`NumericError::DimensionMismatch`] if `b` has the wrong
     /// length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, so a hot loop (one
+    /// transient step per call) performs zero allocations after warm-up.
+    ///
+    /// `x` is resized to the system dimension. The substitution
+    /// arithmetic is exactly [`LuFactor::solve`]'s — `solve` is a thin
+    /// wrapper — so the two entry points return bitwise-identical
+    /// solutions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), NumericError> {
         let n = self.lu.rows();
         if b.len() != n {
             return Err(NumericError::DimensionMismatch {
@@ -110,7 +128,8 @@ impl LuFactor {
             });
         }
         // Apply the permutation, then forward substitution (unit L).
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for i in 1..n {
             let mut sum = x[i];
             for j in 0..i {
@@ -126,7 +145,7 @@ impl LuFactor {
             }
             x[i] = sum / self.lu.at(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// The determinant of the factored matrix (product of U's diagonal
@@ -220,6 +239,23 @@ mod tests {
         // Swapping rows of the identity flips the determinant sign.
         let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         assert!((LuFactor::new(&a).unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise_and_reuses_the_buffer() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, 1.0, -1.0], &[1.0, 4.0, 2.0]])
+            .unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let mut buf = Vec::new();
+        for b in [[5.0, -2.0, 9.0], [1.0, 0.0, 0.0], [-3.5, 2.25, 0.125]] {
+            let fresh = lu.solve(&b).unwrap();
+            lu.solve_into(&b, &mut buf).unwrap();
+            assert_eq!(buf.len(), 3);
+            for (y, z) in fresh.iter().zip(&buf) {
+                assert_eq!(y.to_bits(), z.to_bits());
+            }
+        }
+        assert!(lu.solve_into(&[1.0], &mut buf).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use vpd_core::{AnalysisSession, FaultSweep, ImpedanceSweep, SharingSolver};
+use vpd_core::{AnalysisSession, DroopScenario, FaultSweep, ImpedanceSweep, SharingSolver};
 use vpd_report::Json;
 
 /// What a cache entry is keyed by: the analysis kind plus the scenario
@@ -51,9 +51,13 @@ pub enum CacheEntry {
     Faults(Box<FaultSweep>),
     /// A compiled AC impedance sweep plan.
     Impedance(Box<ImpedanceSweep>),
-    /// A memoized droop report — the transient simulation compiles no
-    /// reusable plan, so the scenario's finished document is the state.
+    /// A memoized droop report — the one-shot droop request returns a
+    /// fixed document, so the scenario's finished report is the state.
     Droop(Json),
+    /// A compiled transient droop scenario for streaming replays: the
+    /// plan (and its LU cache) survives across `transient_stream`
+    /// requests, so warm streams re-factor zero times.
+    Transient(Box<DroopScenario>),
 }
 
 /// Point-in-time cache counters.

@@ -18,8 +18,8 @@
 use vpd_converters::VrTopologyKind;
 use vpd_core::{
     run_tolerance_with, simulate_droop, AnalysisOptions, AnalysisSession, Architecture,
-    Calibration, DcPlanMode, FaultScenario, FaultSweep, ImpedanceSweep, ImpedanceSweepSettings,
-    LoadStep, McSettings, PdnModel, SharingSolver, SystemSpec, VrPlacement,
+    Calibration, DcPlanMode, DroopScenario, FaultScenario, FaultSweep, ImpedanceSweep,
+    ImpedanceSweepSettings, LoadStep, McSettings, PdnModel, SharingSolver, SystemSpec, VrPlacement,
 };
 use vpd_report::{Json, Render};
 use vpd_units::{CurrentDensity, Hertz, Seconds, Volts, Watts};
@@ -125,6 +125,16 @@ impl Dispatcher {
                 count,
                 seed,
             } => self.faults(*arch, *topology, *random_k, *count, *seed),
+            // The server streams this kind chunk-by-chunk; dispatching
+            // it directly drains the same run silently and returns the
+            // summary document — bitwise what the stream's final record
+            // carries.
+            Work::TransientStream { arch, chunk } => {
+                let mut run = self.begin_transient_stream(*arch, *chunk)?;
+                while run.next_chunk()?.is_some() {}
+                let cached = run.cached();
+                Ok((run.finish(), cached))
+            }
         }
     }
 
@@ -348,6 +358,51 @@ impl Dispatcher {
         Ok((result, false))
     }
 
+    /// Checks the architecture's compiled transient scenario out of the
+    /// cache (or compiles it cold — the same 60 µs / 10 ns window the
+    /// one-shot `droop` handler simulates) and begins a fresh streaming
+    /// run over it.
+    ///
+    /// # Errors
+    ///
+    /// A typed `(code, message)` pair when the cold compile fails.
+    pub fn begin_transient_stream(
+        &self,
+        arch: Architecture,
+        chunk: usize,
+    ) -> Result<TransientStreamRun<'_>, (ErrorCode, String)> {
+        let key = CacheKey {
+            kind: "transient",
+            arch: arch.name(),
+            params: Vec::new(),
+        };
+        let (mut scenario, cached) = match self.cache.take(&key) {
+            Some(CacheEntry::Transient(s)) => (s, true),
+            _ => {
+                let spec = SystemSpec::paper_default();
+                let scenario = DroopScenario::new(
+                    &PdnModel::for_architecture(arch),
+                    &LoadStep::paper_default(&spec),
+                    Seconds::from_microseconds(60.0),
+                    Seconds::from_nanoseconds(10.0),
+                )
+                .map_err(engine_err)?;
+                (Box::new(scenario), false)
+            }
+        };
+        scenario.start();
+        Ok(TransientStreamRun {
+            dispatcher: self,
+            key,
+            scenario: Some(scenario),
+            arch,
+            chunk,
+            cached,
+            chunks: 0,
+            cursor: 0,
+        })
+    }
+
     fn mc(
         &self,
         arch: Architecture,
@@ -479,6 +534,98 @@ impl Dispatcher {
     }
 }
 
+/// A checked-out streaming transient run: drives a compiled
+/// [`DroopScenario`] chunk by chunk, yielding one waveform document per
+/// chunk and a final summary whose `report` is bitwise the one-shot
+/// `droop` report. Dropping the run — finished or aborted mid-stream —
+/// checks the scenario back into the cache, so the compiled plan (and
+/// its LU cache) stays warm even when a deadline kills the stream.
+pub struct TransientStreamRun<'a> {
+    dispatcher: &'a Dispatcher,
+    key: CacheKey,
+    scenario: Option<Box<DroopScenario>>,
+    arch: Architecture,
+    chunk: usize,
+    cached: bool,
+    chunks: usize,
+    cursor: usize,
+}
+
+impl TransientStreamRun<'_> {
+    /// Whether the compiled scenario was found in the cache (meta only
+    /// — the waveform bits never depend on it).
+    #[must_use]
+    pub fn cached(&self) -> bool {
+        self.cached
+    }
+
+    /// Chunk records emitted so far.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Runs up to `chunk` more time steps and returns their samples as
+    /// a waveform document, or `Ok(None)` once every sample has been
+    /// emitted (time to send the summary).
+    ///
+    /// # Errors
+    ///
+    /// A typed `(code, message)` pair on solver failure; the scenario
+    /// still returns to the cache on drop (a fresh run resets it).
+    pub fn next_chunk(&mut self) -> Result<Option<Json>, (ErrorCode, String)> {
+        let scenario = self.scenario.as_mut().expect("stream scenario checked out");
+        if scenario.finished() {
+            return Ok(None);
+        }
+        scenario.advance(self.chunk).map_err(engine_err)?;
+        let result = scenario.result();
+        let times = result.times();
+        let v = result.voltage(scenario.die());
+        let t0 = times[self.cursor];
+        let chunk_times: Vec<Json> = times[self.cursor..]
+            .iter()
+            .map(|&t| Json::from(t))
+            .collect();
+        let chunk_v: Vec<Json> = v[self.cursor..].iter().map(|&x| Json::from(x)).collect();
+        let samples = chunk_times.len();
+        self.cursor = times.len();
+        self.chunks += 1;
+        Ok(Some(Json::obj([
+            ("t0_s", Json::from(t0)),
+            ("samples", Json::from(samples)),
+            ("times_s", Json::Array(chunk_times)),
+            ("v_die_v", Json::Array(chunk_v)),
+        ])))
+    }
+
+    /// The final summary document. Meaningful once
+    /// [`TransientStreamRun::next_chunk`] has returned `None`; its
+    /// `report` field carries the exact bits of the one-shot `droop`
+    /// result for the same architecture.
+    #[must_use]
+    pub fn finish(&self) -> Json {
+        let scenario = self.scenario.as_ref().expect("stream scenario checked out");
+        Json::obj([
+            ("command", Json::from("transient_stream")),
+            ("architecture", Json::from(self.arch.name())),
+            ("samples", Json::from(scenario.samples_done())),
+            ("chunks", Json::from(self.chunks)),
+            ("report", scenario.report().render_json()),
+        ])
+    }
+}
+
+impl Drop for TransientStreamRun<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scenario.take() {
+            self.dispatcher
+                .cache
+                .put(self.key.clone(), CacheEntry::Transient(s));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +644,7 @@ mod tests {
             r#"{"kind":"mc","params":{"arch":"a1","samples":6}}"#,
             r#"{"kind":"impedance","params":{"arch":"a2","points":16}}"#,
             r#"{"kind":"faults","params":{"arch":"a1","random_k":2,"count":4}}"#,
+            r#"{"kind":"transient_stream","params":{"arch":"a0","chunk":2048}}"#,
         ] {
             // Fresh dispatcher per kind: analyze and mc intentionally
             // share session entries, which would warm each other here.
@@ -586,6 +734,68 @@ mod tests {
                 "setpoint {sp}"
             );
         }
+    }
+
+    #[test]
+    fn transient_stream_chunks_reassemble_and_warm_is_bitwise() {
+        let d = Dispatcher::new(8);
+        let mut run = d
+            .begin_transient_stream(Architecture::InterposerEmbedded, 1000)
+            .unwrap();
+        assert!(!run.cached(), "first stream compiles cold");
+        let mut cold_chunks = Vec::new();
+        while let Some(c) = run.next_chunk().unwrap() {
+            cold_chunks.push(c.to_string());
+        }
+        // 60 µs at 10 ns is 6001 samples: seven chunks of ≤1000.
+        assert_eq!(cold_chunks.len(), 7);
+        let cold = run.finish().to_string();
+        drop(run);
+
+        // Warm replay: the scenario came back from the cache and every
+        // chunk — and the summary — carries the same bits.
+        let mut run = d
+            .begin_transient_stream(Architecture::InterposerEmbedded, 1000)
+            .unwrap();
+        assert!(run.cached(), "drop checked the scenario back in");
+        let mut warm_chunks = Vec::new();
+        while let Some(c) = run.next_chunk().unwrap() {
+            warm_chunks.push(c.to_string());
+        }
+        assert_eq!(cold_chunks, warm_chunks);
+        assert_eq!(run.finish().to_string(), cold);
+        drop(run);
+
+        // The dispatch fallback drains the same run silently.
+        let w = work(r#"{"kind":"transient_stream","params":{"arch":"a2","chunk":1000}}"#);
+        let (full, cached) = d.dispatch(&w).unwrap();
+        assert!(cached);
+        assert_eq!(full.to_string(), cold);
+
+        // And the summary's report is bitwise the one-shot droop report.
+        let (droop, _) = d
+            .dispatch(&work(r#"{"kind":"droop","params":{"arch":"a2"}}"#))
+            .unwrap();
+        assert_eq!(
+            full.get("report").unwrap().to_string(),
+            droop.get("report").unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn aborted_stream_keeps_the_compiled_scenario_warm() {
+        let d = Dispatcher::new(8);
+        let mut run = d
+            .begin_transient_stream(Architecture::Reference, 500)
+            .unwrap();
+        // Emit one chunk, then abandon the stream mid-run.
+        assert!(run.next_chunk().unwrap().is_some());
+        drop(run);
+        assert_eq!(d.cache_stats().entries, 1);
+        let run = d
+            .begin_transient_stream(Architecture::Reference, 500)
+            .unwrap();
+        assert!(run.cached(), "mid-stream abort still checked it back in");
     }
 
     #[test]

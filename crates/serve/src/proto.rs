@@ -109,6 +109,16 @@ pub enum Work {
         /// Delivery architecture.
         arch: Architecture,
     },
+    /// Streaming transient run: incremental waveform chunks
+    /// (`done:false`) followed by one summary record (`done:true`)
+    /// whose droop report is bitwise-identical to the one-shot `droop`
+    /// result for the same architecture.
+    TransientStream {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// Samples per emitted chunk.
+        chunk: usize,
+    },
     /// Monte-Carlo tolerance sweep.
     Mc {
         /// Delivery architecture.
@@ -162,6 +172,7 @@ impl Work {
             Self::Sharing { .. } => "sharing",
             Self::SharingSweep { .. } => "sharing_sweep",
             Self::Droop { .. } => "droop",
+            Self::TransientStream { .. } => "transient_stream",
             Self::Mc { .. } => "mc",
             Self::Impedance { .. } => "impedance",
             Self::Faults { .. } => "faults",
@@ -384,6 +395,10 @@ mod defaults {
     /// Ceiling on one request's coalesced block width, bounding the
     /// block-solve scratch a single line can demand.
     pub const MAX_SWEEP_SETPOINTS: usize = 256;
+    /// Default samples per `transient_stream` chunk.
+    pub const STREAM_CHUNK: usize = 1024;
+    /// Ceiling on one chunk's samples, bounding a single record's size.
+    pub const MAX_STREAM_CHUNK: usize = 4096;
 }
 
 fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
@@ -394,6 +409,7 @@ fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
         "sharing" => &["placement", "modules"],
         "sharing_sweep" => &["placement", "modules", "setpoints"],
         "droop" => &["arch"],
+        "transient_stream" => &["arch", "chunk"],
         "mc" => &["arch", "topology", "samples", "seed", "threads"],
         "impedance" => &["arch", "fmin_hz", "fmax_hz", "points", "profile"],
         "faults" => &["arch", "topology", "random_k", "count", "seed"],
@@ -456,6 +472,22 @@ fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
         "droop" => Ok(Work::Droop {
             arch: p.arch().map_err(plain)?,
         }),
+        "transient_stream" => {
+            let chunk = p.usize("chunk", defaults::STREAM_CHUNK).map_err(plain)?;
+            if chunk == 0 {
+                return Err(plain("param `chunk` must be at least 1".into()));
+            }
+            if chunk > defaults::MAX_STREAM_CHUNK {
+                return Err(plain(format!(
+                    "param `chunk` is capped at {} samples",
+                    defaults::MAX_STREAM_CHUNK
+                )));
+            }
+            Ok(Work::TransientStream {
+                arch: p.arch().map_err(plain)?,
+                chunk,
+            })
+        }
         "mc" => {
             let samples = p.usize("samples", defaults::MC_SAMPLES).map_err(plain)?;
             if samples == 0 {
@@ -534,6 +566,22 @@ pub enum ResponseBody {
         /// The analysis result document (matches the one-shot CLI).
         result: Json,
     },
+    /// One record of a streaming response. Records with `done: false`
+    /// are incremental chunks; the record with `done: true` is the
+    /// final summary. Streams that fail mid-flight end with a plain
+    /// [`ResponseBody::Err`] record instead of a summary.
+    Stream {
+        /// Request kind, echoed for log readability.
+        kind: &'static str,
+        /// Whether compiled state was found in the scenario cache.
+        cached: bool,
+        /// Zero-based record sequence number within the stream.
+        seq: usize,
+        /// `false` for chunks, `true` for the final summary record.
+        done: bool,
+        /// Chunk payload or summary document.
+        result: Json,
+    },
     /// The request was rejected or failed.
     Err {
         /// Failure class.
@@ -555,6 +603,37 @@ impl Response {
                 result,
             },
         }
+    }
+
+    /// One record of a streaming response (`done = false` for chunks,
+    /// `true` for the final summary).
+    #[must_use]
+    pub fn stream(
+        id: Option<i64>,
+        kind: &'static str,
+        cached: bool,
+        seq: usize,
+        done: bool,
+        result: Json,
+    ) -> Self {
+        Self {
+            id,
+            body: ResponseBody::Stream {
+                kind,
+                cached,
+                seq,
+                done,
+                result,
+            },
+        }
+    }
+
+    /// Whether more records of the same response follow this one on the
+    /// wire. Only a stream chunk (`done: false`) is non-terminal; plain
+    /// responses, summaries, and errors all end their response.
+    #[must_use]
+    pub fn has_more(&self) -> bool {
+        matches!(self.body, ResponseBody::Stream { done: false, .. })
     }
 
     /// A typed failure response.
@@ -586,6 +665,21 @@ impl Response {
                 ("ok", Json::from(true)),
                 ("kind", Json::from(*kind)),
                 ("cached", Json::from(*cached)),
+                ("result", result.clone()),
+            ]),
+            ResponseBody::Stream {
+                kind,
+                cached,
+                seq,
+                done,
+                result,
+            } => Json::obj([
+                ("id", id),
+                ("ok", Json::from(true)),
+                ("kind", Json::from(*kind)),
+                ("cached", Json::from(*cached)),
+                ("done", Json::from(*done)),
+                ("seq", Json::from(*seq)),
                 ("result", result.clone()),
             ]),
             ResponseBody::Err { code, message } => Json::obj([
@@ -736,6 +830,62 @@ mod tests {
         let e =
             Request::parse_line(r#"{"kind":"mc","params":{"arch":"a1","samples":0}}"#).unwrap_err();
         assert!(e.message.contains("samples"));
+    }
+
+    #[test]
+    fn parses_a_transient_stream_request() {
+        let req = Request::parse_line(
+            r#"{"kind":"transient_stream","params":{"arch":"a2","chunk":256}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.work,
+            Work::TransientStream {
+                arch: Architecture::InterposerEmbedded,
+                chunk: 256,
+            }
+        );
+        assert_eq!(req.work.kind(), "transient_stream");
+        // Default chunk size.
+        let req =
+            Request::parse_line(r#"{"kind":"transient_stream","params":{"arch":"a0"}}"#).unwrap();
+        assert!(matches!(
+            req.work,
+            Work::TransientStream { chunk: 1024, .. }
+        ));
+
+        for bad in [
+            r#"{"kind":"transient_stream"}"#,
+            r#"{"kind":"transient_stream","params":{"arch":"a0","chunk":0}}"#,
+            r#"{"kind":"transient_stream","params":{"arch":"a0","chunk":65536}}"#,
+            r#"{"kind":"transient_stream","params":{"arch":"a0","chunks":8}}"#,
+        ] {
+            let e = Request::parse_line(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn stream_records_serialize_and_classify_termination() {
+        let chunk = Response::stream(
+            Some(4),
+            "transient_stream",
+            true,
+            0,
+            false,
+            Json::obj([("samples", Json::from(2usize))]),
+        );
+        assert_eq!(
+            chunk.to_json().to_string(),
+            r#"{"id":4,"ok":true,"kind":"transient_stream","cached":true,"done":false,"seq":0,"result":{"samples":2}}"#
+        );
+        assert!(chunk.has_more());
+        let summary = Response::stream(Some(4), "transient_stream", true, 3, true, Json::Null);
+        assert!(!summary.has_more());
+        assert!(summary.to_json().to_string().contains("\"done\":true"));
+        // Plain responses and errors never have more records.
+        assert!(!Response::ok(Some(1), "ping", false, Json::Null).has_more());
+        assert!(!Response::error(None, ErrorCode::Engine, "x").has_more());
     }
 
     #[test]

@@ -28,6 +28,8 @@ use std::time::Instant;
 use crate::engine::Dispatcher;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{ErrorCode, Request, Response, Work};
+use vpd_core::Architecture;
+use vpd_report::Json;
 
 /// Service tuning knobs; the CLI flags map onto these 1:1.
 #[derive(Clone, Copy, Debug)]
@@ -73,6 +75,21 @@ fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
         accepted_at,
         writer,
     } = job;
+    if let Work::TransientStream { arch, chunk } = request.work {
+        // Streams own their deadline: the budget is re-checked between
+        // chunks, so expiry mid-stream ends the stream with a typed
+        // error record instead of a silent truncation.
+        run_stream(
+            dispatcher,
+            request.id,
+            arch,
+            chunk,
+            accepted_at,
+            request.deadline_ms,
+            &writer,
+        );
+        return;
+    }
     if let Some(budget_ms) = request.deadline_ms {
         let waited = accepted_at.elapsed();
         // `>=` so a zero deadline deterministically expires (useful for
@@ -104,6 +121,82 @@ fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
         }
     };
     write_line(&writer, &response);
+}
+
+/// Drives one `transient_stream` request: chunk records with
+/// `"done":false` and ascending `seq`, then a terminal record — the
+/// summary on success, a typed error on deadline expiry or solver
+/// failure. The deadline is checked before the compile/check-out and
+/// again between chunks; an expired stream still returns its compiled
+/// scenario to the cache (the run drops, the drop checks it back in).
+fn run_stream<W: Write + Send + 'static>(
+    dispatcher: &Dispatcher,
+    id: Option<i64>,
+    arch: Architecture,
+    chunk: usize,
+    accepted_at: Instant,
+    deadline_ms: Option<u64>,
+    writer: &Mutex<W>,
+) {
+    let deadline_expired = |emitted: usize| -> bool {
+        let Some(budget_ms) = deadline_ms else {
+            return false;
+        };
+        let waited = accepted_at.elapsed();
+        if waited.as_millis() >= u128::from(budget_ms) {
+            vpd_obs::incr("serve.rejected.deadline");
+            write_line(
+                writer,
+                &Response::error(
+                    id,
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "stream deadline of {budget_ms} ms expired after {emitted} chunk records"
+                    ),
+                ),
+            );
+            return true;
+        }
+        false
+    };
+    if deadline_expired(0) {
+        return;
+    }
+    let mut run = match dispatcher.begin_transient_stream(arch, chunk) {
+        Ok(run) => run,
+        Err((code, message)) => {
+            vpd_obs::incr("serve.errors");
+            write_line(writer, &Response::error(id, code, message));
+            return;
+        }
+    };
+    let cached = run.cached();
+    let mut seq = 0usize;
+    loop {
+        match run.next_chunk() {
+            Ok(Some(doc)) => {
+                write_line(
+                    writer,
+                    &Response::stream(id, "transient_stream", cached, seq, false, doc),
+                );
+                seq += 1;
+                if deadline_expired(seq) {
+                    return;
+                }
+            }
+            Ok(None) => break,
+            Err((code, message)) => {
+                vpd_obs::incr("serve.errors");
+                write_line(writer, &Response::error(id, code, message));
+                return;
+            }
+        }
+    }
+    vpd_obs::incr("serve.ok");
+    write_line(
+        writer,
+        &Response::stream(id, "transient_stream", cached, seq, true, run.finish()),
+    );
 }
 
 /// What ended a serve session.
@@ -374,17 +467,21 @@ fn serve_connection(stream: TcpStream, shared: &Arc<TcpShared>, local: std::net:
     }
 }
 
-/// Sends request lines over one connection and reads one response line
-/// per request — the `vpd call` client.
+/// Sends request lines over one connection and reads one **terminal**
+/// response line per request — the `vpd call` client.
 ///
 /// When `shutdown` is true a `{"kind":"shutdown"}` request is appended
 /// after the payload lines. Responses arrive in completion order; match
-/// them up by `id`.
+/// them up by `id`. Streaming requests (`transient_stream`) emit chunk
+/// records carrying `"done":false` before their terminal record — the
+/// chunks are collected into the returned lines but do not count toward
+/// the per-request tally, so a stream of any length still satisfies
+/// exactly one expected response.
 ///
 /// # Errors
 ///
 /// Propagates connection and I/O failures. A clean server-side close
-/// before all responses arrive yields `UnexpectedEof`.
+/// before all terminal responses arrive yields `UnexpectedEof`.
 pub fn call(addr: &str, lines: &[String], shutdown: bool) -> std::io::Result<Vec<String>> {
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
@@ -404,20 +501,28 @@ pub fn call(addr: &str, lines: &[String], shutdown: bool) -> std::io::Result<Vec
     }
     writer.flush()?;
     let mut responses = Vec::with_capacity(expected);
+    let mut terminal = 0usize;
     let mut buf = String::new();
-    while responses.len() < expected {
+    while terminal < expected {
         buf.clear();
         let n = reader.read_line(&mut buf)?;
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
-                format!(
-                    "server closed after {} of {expected} responses",
-                    responses.len()
-                ),
+                format!("server closed after {terminal} of {expected} responses"),
             ));
         }
-        responses.push(buf.trim_end().to_owned());
+        let text = buf.trim_end().to_owned();
+        // A chunk record (`"done":false`) belongs to a still-open
+        // stream; anything else — plain results, errors, and stream
+        // summaries (`"done":true`) — terminates its request.
+        let is_chunk = Json::parse(&text)
+            .ok()
+            .is_some_and(|j| matches!(j.get("done"), Some(Json::Bool(false))));
+        if !is_chunk {
+            terminal += 1;
+        }
+        responses.push(text);
     }
     Ok(responses)
 }
@@ -487,6 +592,52 @@ mod tests {
         // The ack is written; the lines after shutdown are never read.
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].contains(r#""id":10"#) && out[0].contains(r#""kind":"shutdown""#));
+    }
+
+    #[test]
+    fn transient_stream_emits_ordered_chunks_then_a_summary() {
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let (out, ended) = serve_script(
+            &[r#"{"id":7,"kind":"transient_stream","params":{"arch":"a2","chunk":2000}}"#],
+            &cfg,
+        );
+        assert_eq!(ended, Ended::Eof);
+        // 60 µs at 10 ns is 6001 samples: chunks of 2000, 2000, 2000,
+        // and 1, then the summary record.
+        assert_eq!(out.len(), 5, "{}", out.len());
+        for (i, line) in out[..4].iter().enumerate() {
+            assert!(line.contains(&format!(r#""seq":{i}"#)), "{line}");
+            assert!(line.contains(r#""done":false"#), "{line}");
+            assert!(line.contains(r#""id":7"#), "{line}");
+        }
+        assert!(out[4].contains(r#""done":true"#), "{}", out[4]);
+        assert!(out[4].contains(r#""seq":4"#), "{}", out[4]);
+        assert!(out[4].contains(r#""command":"transient_stream""#));
+        assert!(out[4].contains(r#""samples":6001"#) && out[4].contains(r#""chunks":4"#));
+    }
+
+    #[test]
+    fn expired_stream_deadline_yields_a_typed_error_record() {
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        // A zero budget has always expired by the stream's first
+        // deadline check: the stream terminates with one typed error
+        // record and zero chunk records.
+        let (out, _) = serve_script(
+            &[r#"{"id":8,"kind":"transient_stream","params":{"arch":"a0"},"deadline_ms":0}"#],
+            &cfg,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].contains(r#""code":"deadline_exceeded""#) && out[0].contains("0 chunk records"),
+            "{}",
+            out[0]
+        );
     }
 
     #[test]

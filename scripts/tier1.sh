@@ -35,6 +35,24 @@ cargo run --release -p vpd-bench --bin obs -- --samples 8 || fail=1
 step "ac-sweep smoke (16 points, four paths bitwise identical)"
 cargo run --release -p vpd-bench --bin ac -- --points 16 || fail=1
 
+step "transient bench smoke (4 runs, four engine paths bitwise identical)"
+cargo run --release -p vpd-bench --bin transient -- --runs 4 || fail=1
+
+step "BENCH_transient.json audit (checked-in speedups >= 1.0)"
+python3 - BENCH_transient.json <<'EOF' || fail=1
+import json, math, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+plan = doc["transient_plan"]
+for key in ("plan_reuse_vs_rebuild_speedup", "engine_vs_rebuild_speedup"):
+    assert math.isfinite(plan[key]), f"non-finite {key}"
+    assert plan[key] >= 1.0, f"{key} regressed below 1.0: {plan[key]}"
+assert plan["refactorizations_during_reuse"] == 0, plan
+assert plan["parallel_matches_serial_bitwise"] is True, plan
+print("transient bench audit OK: checked-in speedups >= 1.0, zero re-factorizations")
+EOF
+
 step "CLI smoke: vpd impedance --format json"
 if cargo run --release --bin vpd -- --format json \
     impedance --arch all --points 24 >target/tier1-impedance.json; then
@@ -145,6 +163,47 @@ assert rec["counters"]["serve.requests"] == 8, rec["counters"]
 assert rec["counters"]["serve.ok"] == 8, rec["counters"]
 assert rec["counters"]["serve.cache.misses"] > 0, rec["counters"]
 print("serve smoke OK: one response per request, all ok, metrics snapshot valid")
+EOF
+fi
+
+step "CLI smoke: vpd call transient_stream over loopback"
+stream_log="target/tier1-stream.log"
+stream_out="target/tier1-stream.ndjson"
+rm -f "$stream_out"
+./target/release/vpd serve --addr 127.0.0.1:0 2>"$stream_log" &
+stream_pid=$!
+stream_addr=""
+for _ in $(seq 1 100); do
+    stream_addr=$(sed -n 's/^vpd serve: listening on //p' "$stream_log")
+    [ -n "$stream_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$stream_addr" ]; then
+    echo "vpd serve did not start:"
+    cat "$stream_log"
+    kill "$stream_pid" 2>/dev/null
+    fail=1
+else
+    ./target/release/vpd call --addr "$stream_addr" \
+        --request '{"id":1,"kind":"transient_stream","params":{"arch":"a2","chunk":2000}}' \
+        >"$stream_out" || fail=1
+    ./target/release/vpd call --addr "$stream_addr" --shutdown >/dev/null || fail=1
+    wait "$stream_pid" || fail=1
+    python3 - "$stream_out" <<'EOF' || fail=1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+chunks = [r for r in records if r.get("done") is False]
+finals = [r for r in records if r.get("done") is True]
+assert len(finals) == 1, f"expected 1 summary record, got {len(finals)}"
+assert [r["seq"] for r in records] == list(range(len(records))), records
+assert sum(r["result"]["samples"] for r in chunks) == 6001, chunks
+summary = finals[0]["result"]
+assert summary["samples"] == 6001, summary
+assert summary["chunks"] == len(chunks), summary
+assert "report" in summary, summary
+print(f"transient_stream smoke OK: {len(chunks)} ordered chunks + summary, 6001 samples")
 EOF
 fi
 

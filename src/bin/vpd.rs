@@ -17,9 +17,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use vertical_power_delivery::core::{
-    compare_architectures, electro_thermal, explore_matrix, recommend, run_tolerance,
-    simulate_droop, solve_sharing, ElectroThermalSettings, FaultScenario, FaultSweep,
-    ImpedanceSweep, ImpedanceSweepSettings, LoadStep, McSettings, PdnModel,
+    compare_architectures, compare_droop_architectures, electro_thermal, explore_matrix, recommend,
+    run_tolerance, simulate_droop, solve_sharing, DroopSweep, DroopSweepSettings,
+    ElectroThermalSettings, FaultScenario, FaultSweep, ImpedanceSweep, ImpedanceSweepSettings,
+    LoadStep, McSettings, PdnModel,
 };
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
@@ -81,7 +82,11 @@ commands:
               [--points <n>] [--profile]
               (defaults: 200 points, 1 kHz – 1 GHz; --arch all compares
               A0/A1/A2 on one grid; --profile prints every swept point)
-  droop       --arch <a0|a1|a2|a3-12|a3-6>
+  droop       --arch <a0|a1|a2|a3-12|a3-6|all> [--sweep] [--amps <n>]
+              [--slews <n>] [--threads <n>]
+              (--sweep runs a load-step amplitude x slew-rate grid
+              through one compiled transient plan; --arch all compares
+              A0/A1/A2 sweeps and requires --sweep)
   thermal     --arch <a1|a2> [--tech <si|gan>]
   faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--n-minus-1 | --random-k <k>] [--count <n>] [--seed <s>]
@@ -164,7 +169,12 @@ enum Command {
         profile: bool,
     },
     Droop {
-        arch: Architecture,
+        /// None = compare A0/A1/A2 sweeps (only valid with `--sweep`).
+        arch: Option<Architecture>,
+        sweep: bool,
+        amps: usize,
+        slews: usize,
+        threads: usize,
     },
     Thermal {
         arch: Architecture,
@@ -297,9 +307,25 @@ impl Command {
                     profile: rest.iter().any(|a| a.as_str() == "--profile"),
                 })
             }
-            "droop" => Ok(Self::Droop {
-                arch: parse_arch(true)?,
-            }),
+            "droop" => {
+                let sweep = rest.iter().any(|a| a.as_str() == "--sweep");
+                let arch = match flag("--arch") {
+                    Some("all") => {
+                        if !sweep {
+                            return Err("droop --arch all requires --sweep".into());
+                        }
+                        None
+                    }
+                    _ => Some(parse_arch(true)?),
+                };
+                Ok(Self::Droop {
+                    arch,
+                    sweep,
+                    amps: parse_f64("--amps", 4.0)? as usize,
+                    slews: parse_f64("--slews", 3.0)? as usize,
+                    threads: parse_f64("--threads", 0.0)? as usize,
+                })
+            }
             "thermal" => {
                 let tech = match flag("--tech") {
                     Some("si") => DeviceTechnology::Si,
@@ -711,33 +737,95 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                 }
             }
         }
-        Command::Droop { arch } => {
+        Command::Droop {
+            arch,
+            sweep,
+            amps,
+            slews,
+            threads,
+        } => {
             let spec = SystemSpec::paper_default();
-            let report = simulate_droop(
-                &PdnModel::for_architecture(arch),
-                &LoadStep::paper_default(&spec),
-                Seconds::from_microseconds(60.0),
-                Seconds::from_nanoseconds(10.0),
-            )?;
-            emit(
-                format,
-                || {
-                    format!(
-                        "{}: 250 A → 1 kA step: {}",
-                        arch.name(),
-                        report.render_text()
-                    )
-                },
-                || {
-                    command_json(
-                        label,
-                        [
-                            ("architecture", Json::from(arch.name())),
-                            ("report", report.render_json()),
-                        ],
-                    )
-                },
-            );
+            let sim = Seconds::from_microseconds(60.0);
+            let dt = Seconds::from_nanoseconds(10.0);
+            if sweep {
+                let mut settings = DroopSweepSettings::paper_default(&spec, amps, slews)?;
+                settings.threads = threads;
+                match arch {
+                    None => {
+                        let cmp = compare_droop_architectures(
+                            &[
+                                Architecture::Reference,
+                                Architecture::InterposerPeriphery,
+                                Architecture::InterposerEmbedded,
+                            ],
+                            &spec,
+                            sim,
+                            dt,
+                            &settings,
+                        )?;
+                        emit(
+                            format,
+                            || cmp.render_text(),
+                            || {
+                                command_json(
+                                    label,
+                                    [
+                                        ("amps", Json::from(amps)),
+                                        ("slews", Json::from(slews)),
+                                        ("comparison", cmp.render_json()),
+                                    ],
+                                )
+                            },
+                        );
+                    }
+                    Some(arch) => {
+                        let rep =
+                            DroopSweep::for_architecture(arch, &spec, sim, dt)?.run(&settings)?;
+                        emit(
+                            format,
+                            || rep.render_text(),
+                            || {
+                                command_json(
+                                    label,
+                                    [
+                                        ("architecture", Json::from(arch.name())),
+                                        ("amps", Json::from(amps)),
+                                        ("slews", Json::from(slews)),
+                                        ("report", rep.render_json()),
+                                    ],
+                                )
+                            },
+                        );
+                    }
+                }
+            } else {
+                let arch = arch.expect("parser requires an architecture without --sweep");
+                let report = simulate_droop(
+                    &PdnModel::for_architecture(arch),
+                    &LoadStep::paper_default(&spec),
+                    sim,
+                    dt,
+                )?;
+                emit(
+                    format,
+                    || {
+                        format!(
+                            "{}: 250 A → 1 kA step: {}",
+                            arch.name(),
+                            report.render_text()
+                        )
+                    },
+                    || {
+                        command_json(
+                            label,
+                            [
+                                ("architecture", Json::from(arch.name())),
+                                ("report", report.render_json()),
+                            ],
+                        )
+                    },
+                );
+            }
         }
         Command::Thermal { arch, tech } => {
             let settings = ElectroThermalSettings {
@@ -916,9 +1004,51 @@ mod tests {
         assert!(matches!(
             parse(&["droop", "--arch", "a0"]).unwrap(),
             Command::Droop {
-                arch: Architecture::Reference
+                arch: Some(Architecture::Reference),
+                sweep: false,
+                ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_droop_sweeps() {
+        assert_eq!(
+            parse(&[
+                "droop",
+                "--arch",
+                "a2",
+                "--sweep",
+                "--amps",
+                "5",
+                "--slews",
+                "2",
+                "--threads",
+                "3"
+            ])
+            .unwrap(),
+            Command::Droop {
+                arch: Some(Architecture::InterposerEmbedded),
+                sweep: true,
+                amps: 5,
+                slews: 2,
+                threads: 3,
+            }
+        );
+        assert!(matches!(
+            parse(&["droop", "--arch", "all", "--sweep"]).unwrap(),
+            Command::Droop {
+                arch: None,
+                sweep: true,
+                amps: 4,
+                slews: 3,
+                threads: 0,
+            }
+        ));
+        assert!(
+            parse(&["droop", "--arch", "all"]).is_err(),
+            "--arch all needs --sweep"
+        );
     }
 
     #[test]

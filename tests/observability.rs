@@ -10,7 +10,8 @@
 use proptest::prelude::*;
 use std::sync::Mutex;
 use vertical_power_delivery::core::{
-    run_tolerance, Architecture, FaultScenario, FaultSweep, McSettings, SharingSolver,
+    run_tolerance, Architecture, DroopSweep, DroopSweepReport, DroopSweepSettings, FaultScenario,
+    FaultSweep, McSettings, SharingSolver,
 };
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
@@ -117,6 +118,60 @@ fn same_seed_reruns_reproduce_every_counter() {
     let b = instrumented_run(1);
     obs::set_enabled(false);
     assert_eq!(a.counters, b.counters);
+}
+
+/// One droop sweep (3 amplitudes × 2 slews on the A2 ladder) at
+/// `threads`, instrumented; returns the report and its metric snapshot.
+fn instrumented_droop_sweep(threads: usize) -> (DroopSweepReport, obs::MetricsSnapshot) {
+    let spec = SystemSpec::paper_default();
+    let sweep = DroopSweep::for_architecture(
+        Architecture::InterposerEmbedded,
+        &spec,
+        Seconds::from_microseconds(20.0),
+        Seconds::from_nanoseconds(50.0),
+    )
+    .unwrap();
+    let mut settings = DroopSweepSettings::paper_default(&spec, 3, 2).unwrap();
+    settings.threads = threads;
+    obs::reset();
+    let report = sweep.run(&settings).unwrap();
+    (report, obs::snapshot())
+}
+
+/// The droop-sweep engine's thread count is unobservable in both the
+/// result (bitwise) and every work counter it emits: workers clone a
+/// pre-factored plan, so `transient.*` tallies depend only on the grid.
+#[test]
+fn droop_sweep_is_bitwise_and_counter_deterministic_across_threads() {
+    let _gate = lock();
+    obs::set_enabled(true);
+    let (serial_report, serial) = instrumented_droop_sweep(1);
+    let (parallel_report, parallel) = instrumented_droop_sweep(4);
+    obs::set_enabled(false);
+
+    assert_eq!(serial_report, parallel_report, "sweep reports diverge");
+    assert_eq!(serial_report.points.len(), 6);
+    for name in [
+        "transient.runs",
+        "transient.steps",
+        "transient.factorizations",
+        "transient.plan_builds",
+        "droop.sweeps",
+        "droop.points",
+        "par.jobs",
+        "par.tasks",
+    ] {
+        assert_eq!(
+            serial.counter(name),
+            parallel.counter(name),
+            "counter {name} differs between serial and parallel sweeps"
+        );
+    }
+    // The sweep ran through the instrumented paths: one run per grid
+    // point, and the pre-factored clones never factored again.
+    assert_eq!(serial.counter("transient.runs"), Some(6));
+    assert_eq!(serial.counter("droop.points"), Some(6));
+    assert_eq!(serial.counter("transient.factorizations").unwrap_or(0), 0);
 }
 
 proptest! {

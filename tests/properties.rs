@@ -2,7 +2,78 @@
 //! arbitrary specifications, calibrations, and module counts.
 
 use proptest::prelude::*;
+use vertical_power_delivery::circuit::{ElementId, Netlist, NodeId, PwmSchedule, SwitchState};
 use vertical_power_delivery::prelude::*;
+
+/// A randomized RLC supply ladder with a PWM switch and a stepping
+/// load: `stages` series R‖L sections from the 1 V source to the load
+/// node, a decap at every intermediate node, and a switched bleed
+/// branch at the load. Returns the netlist, the load node, and the
+/// step source's element id (for plan restamping).
+#[allow(clippy::too_many_arguments)]
+fn random_ladder_with_step(
+    stages: usize,
+    r: f64,
+    l: f64,
+    c: f64,
+    freq_mhz: f64,
+    duty: f64,
+    base: f64,
+    after: f64,
+    at_ns: f64,
+) -> (Netlist, NodeId, ElementId) {
+    let mut net = Netlist::new();
+    let vin = net.node("n_in");
+    net.voltage_source(vin, net.ground(), Volts::new(1.0))
+        .unwrap();
+    let mut prev = vin;
+    for k in 0..stages {
+        let node = net.node(&format!("n{k}"));
+        net.resistor(prev, node, Ohms::new(r * (1.0 + k as f64 * 0.3)))
+            .unwrap();
+        net.inductor(prev, node, Henries::new(l), Amps::new(0.0))
+            .unwrap();
+        net.capacitor(node, net.ground(), Farads::new(c), Volts::new(1.0))
+            .unwrap();
+        prev = node;
+    }
+    let load = net.node("n_load");
+    net.resistor(prev, load, Ohms::new(r)).unwrap();
+    let schedule = PwmSchedule::new(Hertz::from_megahertz(freq_mhz), duty, 0.25).unwrap();
+    net.switch(
+        load,
+        net.ground(),
+        Ohms::new(0.5),
+        Ohms::new(1.0e6),
+        Some(schedule),
+        SwitchState::Off,
+    )
+    .unwrap();
+    let el = net
+        .step_current_source(
+            load,
+            net.ground(),
+            Amps::new(base),
+            Amps::new(after),
+            Seconds::from_nanoseconds(at_ns),
+        )
+        .unwrap();
+    (net, load, el)
+}
+
+/// [`random_ladder_with_step`] with the default 25%-of-`after` base
+/// load stepping at 500 ns.
+fn random_ladder(
+    stages: usize,
+    r: f64,
+    l: f64,
+    c: f64,
+    freq_mhz: f64,
+    duty: f64,
+    after: f64,
+) -> (Netlist, NodeId, ElementId) {
+    random_ladder_with_step(stages, r, l, c, freq_mhz, duty, after * 0.25, after, 500.0)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -131,6 +202,109 @@ proptest! {
                 prop_assert!(alloc.utilization() <= tech.power_site_cap + 1e-9);
             }
         }
+    }
+
+    /// The compiled transient plan is bitwise-identical to the legacy
+    /// interpreter on arbitrary RLC ladders with a PWM switch — same
+    /// sample times, node voltages, and element currents, bit for bit.
+    #[test]
+    fn prop_transient_plan_matches_legacy_on_random_netlists(
+        stages in 1_usize..4,
+        r in 1e-3_f64..1e-1,
+        l in 1e-10_f64..1e-8,
+        c in 1e-8_f64..1e-6,
+        freq_mhz in 1.0_f64..10.0,
+        duty in 0.2_f64..0.8,
+        after in 10.0_f64..400.0,
+    ) {
+        use vertical_power_delivery::circuit::{
+            transient, TransientPlan, TransientSettings,
+        };
+        let (net, _, _) = random_ladder(stages, r, l, c, freq_mhz, duty, after);
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(1.0),
+            Seconds::from_nanoseconds(5.0),
+        ).unwrap();
+        let legacy = transient(&net, &settings).unwrap();
+        let mut plan = TransientPlan::compile(&net, &settings).unwrap();
+        prop_assert_eq!(plan.run().unwrap(), &legacy);
+        // Replaying the compiled plan reproduces the same bits.
+        prop_assert_eq!(plan.run().unwrap(), &legacy);
+    }
+
+    /// Restamping a compiled plan's load step is indistinguishable from
+    /// rebuilding the netlist with the new stimulus, and never costs a
+    /// new factorization.
+    #[test]
+    fn prop_restamped_plan_matches_rebuilt_netlist(
+        stages in 1_usize..4,
+        r in 1e-3_f64..1e-1,
+        l in 1e-10_f64..1e-8,
+        c in 1e-8_f64..1e-6,
+        freq_mhz in 1.0_f64..10.0,
+        duty in 0.2_f64..0.8,
+        first in 10.0_f64..400.0,
+        second in 10.0_f64..400.0,
+        at_ns in 0.0_f64..900.0,
+    ) {
+        use vertical_power_delivery::circuit::{
+            transient, TransientPlan, TransientSettings,
+        };
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(1.0),
+            Seconds::from_nanoseconds(5.0),
+        ).unwrap();
+        let (net, _, el) = random_ladder(stages, r, l, c, freq_mhz, duty, first);
+        let mut plan = TransientPlan::compile(&net, &settings).unwrap();
+        plan.run().unwrap();
+        let factorizations = plan.cached_factorizations();
+        plan.set_load_step(
+            el,
+            Amps::new(first * 0.25),
+            Amps::new(second),
+            Seconds::from_nanoseconds(at_ns),
+        ).unwrap();
+        // The rebuilt netlist carries the second stimulus from scratch.
+        let (fresh, _, _) = random_ladder_with_step(
+            stages, r, l, c, freq_mhz, duty,
+            first * 0.25, second, at_ns,
+        );
+        let rebuilt = transient(&fresh, &settings).unwrap();
+        prop_assert_eq!(plan.run().unwrap(), &rebuilt);
+        prop_assert_eq!(plan.cached_factorizations(), factorizations);
+    }
+
+    /// The settled-statistics windows: the mean lies inside the tail's
+    /// envelope, RMS dominates the mean, ripple is the tail's exact
+    /// peak-to-peak span, and a full-width window reproduces the plain
+    /// whole-series statistics.
+    #[test]
+    fn prop_settled_tail_invariants(
+        series in proptest::collection::vec(-2.0_f64..2.0, 1..64),
+        fraction in 0.01_f64..1.0,
+    ) {
+        use vertical_power_delivery::circuit::TransientResult;
+        let mean = TransientResult::settled_mean(&series, fraction);
+        let rms = TransientResult::settled_rms(&series, fraction);
+        let ripple = TransientResult::settled_ripple(&series, fraction);
+        let n = series.len();
+        let start = ((1.0 - fraction) * n as f64) as usize;
+        let tail = &series[start.min(n)..];
+        if tail.is_empty() {
+            // Tiny fraction of a tiny series: the empty window defines
+            // all three statistics as exactly zero.
+            prop_assert_eq!((mean, rms, ripple), (0.0, 0.0, 0.0));
+        } else {
+            let lo = tail.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
+            prop_assert!(rms + 1e-12 >= mean.abs(), "rms {rms} < |mean| {mean}");
+            prop_assert!((ripple - (hi - lo)).abs() < 1e-12);
+        }
+        let full_mean = series.iter().sum::<f64>() / n as f64;
+        prop_assert!(
+            (TransientResult::settled_mean(&series, 1.0) - full_mean).abs() < 1e-12
+        );
     }
 
     /// Higher conversion-at-PCB voltage always reduces horizontal loss

@@ -183,6 +183,160 @@ fn tcp_round_trip_serves_and_drains_on_shutdown() {
 }
 
 #[test]
+fn transient_stream_chunks_are_ordered_and_summary_matches_one_shot_droop() {
+    let (out, ended) = serve_script(
+        &[
+            r#"{"id":1,"kind":"droop","params":{"arch":"a2"}}"#,
+            r#"{"id":2,"kind":"transient_stream","params":{"arch":"a2","chunk":1500}}"#,
+        ],
+        16,
+    );
+    assert_eq!(ended, Ended::Eof);
+    // One droop response, then 6001 samples in chunks of ≤1500: five
+    // chunk records and the summary.
+    assert_eq!(out.len(), 7, "{out:?}");
+    let droop = out.iter().find(|l| l.contains("\"id\":1")).unwrap();
+    let stream: Vec<&String> = out.iter().filter(|l| l.contains("\"id\":2")).collect();
+    assert_eq!(stream.len(), 6);
+    let mut sample_total = 0i64;
+    for (seq, line) in stream[..5].iter().enumerate() {
+        let doc = Json::parse(line).expect("chunk record is valid JSON");
+        assert_eq!(
+            doc.get("seq").and_then(Json::as_i64),
+            Some(seq as i64),
+            "{line}"
+        );
+        assert_eq!(doc.get("done").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        sample_total += doc
+            .get("result")
+            .and_then(|r| r.get("samples"))
+            .and_then(Json::as_i64)
+            .expect("chunk carries its sample count");
+    }
+    assert_eq!(sample_total, 6001, "chunks cover every sample exactly once");
+    let summary = Json::parse(stream[5]).expect("summary record is valid JSON");
+    assert_eq!(summary.get("done").and_then(Json::as_bool), Some(true));
+    assert_eq!(summary.get("seq").and_then(Json::as_i64), Some(5));
+    let report = summary
+        .get("result")
+        .and_then(|r| r.get("report"))
+        .expect("summary carries the droop report")
+        .to_string();
+    let droop_report = Json::parse(droop)
+        .unwrap()
+        .get("result")
+        .and_then(|r| r.get("report"))
+        .expect("droop carries a report")
+        .to_string();
+    assert_eq!(
+        report, droop_report,
+        "stream summary differs from the one-shot droop report"
+    );
+}
+
+#[test]
+fn expired_stream_deadline_ends_with_a_typed_error_record() {
+    // The first stream warms the scenario cache; the second carries a
+    // zero budget, which has always expired by the stream's first
+    // deadline check — one typed error record, no chunks.
+    let (out, _) = serve_script(
+        &[
+            r#"{"id":1,"kind":"transient_stream","params":{"arch":"a0","chunk":4000}}"#,
+            r#"{"id":2,"kind":"transient_stream","params":{"arch":"a0","chunk":4000},"deadline_ms":0}"#,
+        ],
+        16,
+    );
+    let expired: Vec<&String> = out.iter().filter(|l| l.contains("\"id\":2")).collect();
+    assert_eq!(expired.len(), 1, "{expired:?}");
+    assert!(
+        expired[0].contains(r#""code":"deadline_exceeded""#)
+            && expired[0].contains("chunk records"),
+        "{}",
+        expired[0]
+    );
+    // The aborted stream checked its compiled scenario back in: a third
+    // stream on the same dispatcher would hit the cache — covered at
+    // the engine layer; here we pin that the error is terminal (no
+    // further id:2 records followed it).
+}
+
+#[test]
+fn shutdown_drains_an_in_flight_stream_to_its_summary() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Client A starts a finely-chunked stream and reads its first
+    // record, guaranteeing the job is in flight (not merely queued).
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(
+        writer,
+        r#"{{"id":1,"kind":"transient_stream","params":{{"arch":"a2","chunk":100}}}}"#
+    )
+    .expect("send request");
+    writer.flush().expect("flush");
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first chunk");
+    assert!(first.contains(r#""seq":0"#), "{first}");
+
+    // Client B requests shutdown while A's stream is in flight.
+    let drain = vertical_power_delivery::serve::call(&addr, &[], true).expect("shutdown call");
+    assert!(drain[0].contains(r#""kind":"shutdown""#), "{}", drain[0]);
+
+    // The drain must let A's stream run to completion: every remaining
+    // chunk arrives, then the done:true summary.
+    let mut saw_summary = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read stream record");
+        if n == 0 {
+            break;
+        }
+        if line.contains(r#""done":true"#) {
+            assert!(
+                line.contains(r#""samples":6001"#) && line.contains(r#""chunks":61"#),
+                "{line}"
+            );
+            saw_summary = true;
+            break;
+        }
+    }
+    assert!(saw_summary, "shutdown cut the in-flight stream short");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn call_client_collects_stream_records_behind_one_expected_response() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let lines = vec![
+        r#"{"id":1,"kind":"transient_stream","params":{"arch":"a1","chunk":3000}}"#.to_owned(),
+        r#"{"id":2,"kind":"ping"}"#.to_owned(),
+    ];
+    let responses = vertical_power_delivery::serve::call(&addr, &lines, false).expect("call");
+    // 6001 samples in chunks of 3000 → three chunk records plus the
+    // summary, and the ping: five lines, two of them terminal.
+    assert_eq!(responses.len(), 5, "{responses:?}");
+    let terminal = responses
+        .iter()
+        .filter(|l| !l.contains(r#""done":false"#))
+        .count();
+    assert_eq!(terminal, 2, "{responses:?}");
+
+    let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
 fn typed_errors_flow_end_to_end() {
     let (out, _) = serve_script(
         &[
