@@ -732,7 +732,12 @@ impl SparseDcPlan {
         }
         // Sequential path: identical semantics, one solve per
         // configuration (direct mode still benefits from the factor
-        // cache inside each solve).
+        // cache inside each solve). Counted so a serving layer relying
+        // on coalesced batches can see when its batches silently
+        // degrade to k sequential solves.
+        if k > 1 {
+            vpd_obs::incr("plan.block_sequential_fallbacks");
+        }
         let mut out = Vec::with_capacity(k);
         for c in 0..k {
             configure(net, c)?;

@@ -549,6 +549,8 @@ impl SharingSolver {
         if let Some(anchor) = &self.anchor {
             let _ = self.grid.seed_solution(anchor);
         }
+        vpd_obs::incr("share.setpoint_sweeps");
+        vpd_obs::observe("share.setpoint_columns", setpoints.len() as u64);
         let sols = self.grid.solve_setpoint_block(setpoints)?;
         let mut reports = Vec::with_capacity(sols.len());
         for sol in &sols {

@@ -1,35 +1,77 @@
 //! The scenario cache: compiled solver state keyed by the scenario that
-//! produced it, behind a sharded mutex.
+//! produced it, sharded per worker with work stealing on miss.
 //!
-//! Entries are **checked out** ([`ScenarioCache::take`]) rather than
-//! borrowed: the shard lock is held only for the map operation, never
-//! across a solve, so a slow analysis on one key cannot block cache
-//! traffic on another. After use the entry is checked back in
-//! ([`ScenarioCache::put`]), which also refreshes its recency. Two
+//! Entries are **checked out** ([`ScenarioCache::take_for`]) rather
+//! than borrowed: a shard lock is held only for the map operation,
+//! never across a solve, so a slow analysis on one key cannot block
+//! cache traffic on another. After use the entry is checked back in
+//! ([`ScenarioCache::put_for`]), which also refreshes its recency. Two
 //! concurrent requests for the same key simply both miss — each
 //! compiles cold, the last check-in wins, and the determinism contract
 //! (cache hit ≡ cold compile, bit for bit) makes the race harmless.
 //!
+//! # Worker sharding and stealing
+//!
+//! The cache keeps one shard per pool worker, so in steady state a
+//! worker's check-outs and check-ins touch only its own lock — zero
+//! cross-worker contention on the hot path. When a worker's home shard
+//! misses, it **steals**: the other shards are probed (cheapest lock
+//! walk, in order) and a hit migrates the entry to the stealing
+//! worker's shard at check-in. Compiled state therefore follows the
+//! work instead of being recompiled per worker.
+//!
 //! Eviction is least-recently-used per shard: the configured capacity
 //! is split across shards, and a full shard evicts its own oldest
-//! entry. Hits, misses, and evictions are surfaced through `vpd-obs`
-//! (`serve.cache.*`) and through [`ScenarioCache::stats`].
+//! entry. Hits, misses, steals, and evictions are surfaced through
+//! `vpd-obs` (`serve.cache.*`) and through [`ScenarioCache::stats`].
+//!
+//! # One audited keying API
+//!
+//! Every request kind derives its cache key through
+//! [`ScenarioKey::from_work`] — the single place that decides which
+//! request parameters shape compiled state (and therefore the key) and
+//! which are RHS-only (and therefore deliberately excluded, like
+//! `sharing_sweep` setpoints or `mc` sample counts).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use vpd_core::{AnalysisSession, DroopScenario, FaultSweep, ImpedanceSweep, SharingSolver};
+use vpd_converters::VrTopologyKind;
+use vpd_core::{
+    AnalysisSession, DroopScenario, FaultSweep, ImpedanceSweep, SharingSolver, VrPlacement,
+};
 use vpd_report::Json;
+
+use crate::proto::Work;
+
+/// The paper-default die power (watts) pinned into `mc` session keys,
+/// shared with the `analyze` default so the two kinds share entries.
+pub(crate) const PAPER_POWER_W: f64 = 1000.0;
+/// The paper-default current density (A/mm²), likewise.
+pub(crate) const PAPER_DENSITY: f64 = 2.0;
+
+pub(crate) fn topology_tag(t: VrTopologyKind) -> u64 {
+    match t {
+        VrTopologyKind::Dsch => 0,
+        VrTopologyKind::Dpmih => 1,
+        VrTopologyKind::ThreeLevelHybridDickson => 2,
+    }
+}
+
+pub(crate) fn placement_tag(p: VrPlacement) -> u64 {
+    match p {
+        VrPlacement::Periphery => 0,
+        VrPlacement::BelowDie => 1,
+    }
+}
 
 /// What a cache entry is keyed by: the analysis kind plus the scenario
 /// parameters that shape the compiled state. Float parameters enter as
 /// IEEE-754 bit patterns so the key is `Eq`/`Hash` without tolerance
 /// games.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct CacheKey {
+pub struct ScenarioKey {
     /// Entry family (`"session"`, `"sharing"`, `"faults"`, …).
     pub kind: &'static str,
     /// Canonical architecture tag (`"A0"`…`"A3@6V"`), empty when the
@@ -37,6 +79,81 @@ pub struct CacheKey {
     pub arch: String,
     /// Remaining scenario parameters, each packed to 64 bits.
     pub params: Vec<u64>,
+}
+
+impl ScenarioKey {
+    /// The one audited constructor: derives the cache key for a unit of
+    /// work, or `None` for kinds that carry no compiled state (`ping`,
+    /// `stats`, `kinds`, `shutdown`).
+    ///
+    /// Keying decisions concentrated here:
+    ///
+    /// * `analyze` and `mc` share `"session"` entries — the compiled
+    ///   grid plan depends on (architecture, power, density), never on
+    ///   the topology, samples, seed, or thread count. `mc` always runs
+    ///   at the paper defaults, so its key pins
+    ///   [`PAPER_POWER_W`]/[`PAPER_DENSITY`].
+    /// * `sharing_sweep` keys on (placement, modules) only — setpoints
+    ///   are RHS-only restamps against the same factorization, which is
+    ///   also what makes the kind batchable. It does **not** share the
+    ///   plain `sharing` entry: the sweep pins the direct-Cholesky plan
+    ///   mode while one-shot sharing stays in the CLI's warm-CG mode.
+    /// * `faults` keys on the topology (the sweep pre-rates each
+    ///   module against its topology limits); `impedance`, `droop`, and
+    ///   `transient_stream` key on the architecture alone.
+    #[must_use]
+    pub fn from_work(work: &Work) -> Option<Self> {
+        match work {
+            Work::Ping | Work::Stats | Work::Kinds | Work::Shutdown => None,
+            Work::Analyze {
+                arch,
+                power_w,
+                density,
+                ..
+            } => Some(Self {
+                kind: "session",
+                arch: arch.name(),
+                params: vec![power_w.to_bits(), density.to_bits()],
+            }),
+            Work::Mc { arch, .. } => Some(Self {
+                kind: "session",
+                arch: arch.name(),
+                params: vec![PAPER_POWER_W.to_bits(), PAPER_DENSITY.to_bits()],
+            }),
+            Work::Sharing { placement, modules } => Some(Self {
+                kind: "sharing",
+                arch: String::new(),
+                params: vec![placement_tag(*placement), *modules as u64],
+            }),
+            Work::SharingSweep {
+                placement, modules, ..
+            } => Some(Self {
+                kind: "sharing_sweep",
+                arch: String::new(),
+                params: vec![placement_tag(*placement), *modules as u64],
+            }),
+            Work::Droop { arch } => Some(Self {
+                kind: "droop",
+                arch: arch.name(),
+                params: Vec::new(),
+            }),
+            Work::TransientStream { arch, .. } => Some(Self {
+                kind: "transient",
+                arch: arch.name(),
+                params: Vec::new(),
+            }),
+            Work::Impedance { arch, .. } => Some(Self {
+                kind: "impedance",
+                arch: arch.name(),
+                params: Vec::new(),
+            }),
+            Work::Faults { arch, topology, .. } => Some(Self {
+                kind: "faults",
+                arch: arch.name(),
+                params: vec![topology_tag(*topology)],
+            }),
+        }
+    }
 }
 
 /// Compiled state held by the cache — exactly the expensive artifacts
@@ -63,10 +180,13 @@ pub enum CacheEntry {
 /// Point-in-time cache counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
-    /// Check-outs that found compiled state.
+    /// Check-outs that found compiled state (home shard or stolen).
     pub hits: u64,
     /// Check-outs that found nothing (including while checked out).
     pub misses: u64,
+    /// Hits that found the entry in another worker's shard and
+    /// migrated it.
+    pub steals: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
     /// Entries currently resident.
@@ -74,7 +194,7 @@ pub struct CacheStats {
 }
 
 struct Shard {
-    map: HashMap<CacheKey, (u64, CacheEntry)>,
+    map: HashMap<ScenarioKey, (u64, CacheEntry)>,
     clock: u64,
     capacity: usize,
 }
@@ -96,24 +216,32 @@ impl Shard {
     }
 }
 
-/// Sharded LRU of [`CacheEntry`] values. Capacity 0 disables caching
-/// entirely (every `take` misses, every `put` is dropped) — the bench
-/// uses that as its always-cold oracle.
+/// Worker-sharded LRU of [`CacheEntry`] values. Capacity 0 disables
+/// caching entirely (every `take` misses, every `put` is dropped) — the
+/// bench uses that as its always-cold oracle.
 pub struct ScenarioCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    steals: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl ScenarioCache {
-    /// Builds a cache holding at most `capacity` compiled scenarios.
+    /// A single-shard cache holding at most `capacity` compiled
+    /// scenarios — the stdio/one-worker shape.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        // Split the capacity over up to 8 shards, never leaving a shard
-        // with zero slots; the shard count is the number of nonempty
-        // splits so the per-shard capacities sum exactly to `capacity`.
-        let n_shards = capacity.clamp(1, 8);
+        Self::for_workers(capacity, 1)
+    }
+
+    /// A cache sharded across `workers` home shards (min 1), splitting
+    /// `capacity` slots across them such that the per-shard capacities
+    /// sum exactly to `capacity`. Workers address their home shard by
+    /// index in [`ScenarioCache::take_for`] / [`ScenarioCache::put_for`].
+    #[must_use]
+    pub fn for_workers(capacity: usize, workers: usize) -> Self {
+        let n_shards = workers.max(1);
         let shards = (0..n_shards)
             .map(|i| {
                 let per = capacity / n_shards + usize::from(i < capacity % n_shards);
@@ -128,33 +256,52 @@ impl ScenarioCache {
             shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard_index(&self, key: &CacheKey) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.shards.len() as u64) as usize
+    fn home(&self, worker: usize) -> usize {
+        worker % self.shards.len()
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
-        &self.shards[self.shard_index(key)]
-    }
-
-    /// Checks an entry out of the cache, removing it so the caller can
-    /// mutate it without holding any lock. Counts a hit or miss.
-    pub fn take(&self, key: &CacheKey) -> Option<CacheEntry> {
-        let taken = self
-            .shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .map
-            .remove(key)
-            .map(|(_, entry)| entry);
+    /// Checks an entry out of the cache for `worker`, removing it so
+    /// the caller can mutate it without holding any lock. The worker's
+    /// home shard is probed first; on a home miss the remaining shards
+    /// are probed in order and a hit **steals** the entry (it will
+    /// re-home to this worker at check-in). Counts a hit or miss, and a
+    /// steal when the hit came from another shard.
+    pub fn take_for(&self, worker: usize, key: &ScenarioKey) -> Option<CacheEntry> {
+        let home = self.home(worker);
+        let probe = |shard: &Mutex<Shard>| {
+            shard
+                .lock()
+                .expect("cache shard poisoned")
+                .map
+                .remove(key)
+                .map(|(_, entry)| entry)
+        };
+        let mut stolen = false;
+        let mut taken = probe(&self.shards[home]);
+        if taken.is_none() {
+            for (i, shard) in self.shards.iter().enumerate() {
+                if i == home {
+                    continue;
+                }
+                taken = probe(shard);
+                if taken.is_some() {
+                    stolen = true;
+                    break;
+                }
+            }
+        }
         if taken.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             vpd_obs::incr("serve.cache.hits");
+            if stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                vpd_obs::incr("serve.cache.steals");
+            }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             vpd_obs::incr("serve.cache.misses");
@@ -162,11 +309,13 @@ impl ScenarioCache {
         taken
     }
 
-    /// Checks an entry (back) in as the most recently used for its key,
-    /// evicting the shard's LRU entry if it is at capacity. A
-    /// zero-capacity cache drops the entry.
-    pub fn put(&self, key: CacheKey, entry: CacheEntry) {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+    /// Checks an entry (back) in to `worker`'s home shard as its most
+    /// recently used entry, evicting that shard's LRU entry if it is at
+    /// capacity. A zero-capacity shard drops the entry.
+    pub fn put_for(&self, worker: usize, key: ScenarioKey, entry: CacheEntry) {
+        let mut shard = self.shards[self.home(worker)]
+            .lock()
+            .expect("cache shard poisoned");
         if shard.capacity == 0 {
             return;
         }
@@ -179,6 +328,22 @@ impl ScenarioCache {
         shard.map.insert(key, (stamp, entry));
     }
 
+    /// [`ScenarioCache::take_for`] as worker 0 (single-worker callers).
+    pub fn take(&self, key: &ScenarioKey) -> Option<CacheEntry> {
+        self.take_for(0, key)
+    }
+
+    /// [`ScenarioCache::put_for`] as worker 0 (single-worker callers).
+    pub fn put(&self, key: ScenarioKey, entry: CacheEntry) {
+        self.put_for(0, key, entry)
+    }
+
+    /// Home shards (== the worker count the cache was built for).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let entries = self
@@ -189,6 +354,7 @@ impl ScenarioCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
         }
@@ -199,8 +365,8 @@ impl ScenarioCache {
 mod tests {
     use super::*;
 
-    fn key(kind: &'static str, tag: &str) -> CacheKey {
-        CacheKey {
+    fn key(kind: &'static str, tag: &str) -> ScenarioKey {
+        ScenarioKey {
             kind,
             arch: tag.to_owned(),
             params: Vec::new(),
@@ -230,12 +396,12 @@ mod tests {
         cache.put(key("droop", "A0"), got);
         assert!(cache.take(&key("droop", "A0")).is_some());
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses), (2, 2));
+        assert_eq!((s.hits, s.misses, s.steals), (2, 2, 0));
     }
 
     #[test]
     fn lru_evicts_the_oldest_within_a_shard() {
-        // Single shard (capacity 1 → one slot): the second insert must
+        // Single shard (one worker), capacity 1: the second insert must
         // displace the first.
         let cache = ScenarioCache::new(1);
         cache.put(key("droop", "A0"), doc(1));
@@ -248,25 +414,9 @@ mod tests {
 
     #[test]
     fn recency_is_refreshed_by_put() {
-        // Capacity 16 → 8 shards of 2 slots. Probe for three keys that
-        // hash to the same shard, so the test drives one LRU list.
-        let cache = ScenarioCache::new(16);
-        let mut same_shard = Vec::new();
-        for i in 0..256 {
-            let k = CacheKey {
-                kind: "droop",
-                arch: format!("t{i}"),
-                params: Vec::new(),
-            };
-            if cache.shard_index(&k) == 0 {
-                same_shard.push(k);
-                if same_shard.len() == 3 {
-                    break;
-                }
-            }
-        }
-        let [a, b, c] = <[CacheKey; 3]>::try_from(same_shard).expect("three keys in shard 0");
-        assert_eq!(cache.shards[0].lock().unwrap().capacity, 2);
+        // One worker, two slots: touching `a` must make `b` the LRU.
+        let cache = ScenarioCache::for_workers(2, 1);
+        let (a, b, c) = (key("droop", "A0"), key("droop", "A1"), key("droop", "A2"));
         cache.put(a.clone(), doc(1));
         cache.put(b.clone(), doc(2));
         // Touch `a`: check it out and back in, making `b` the LRU.
@@ -282,10 +432,95 @@ mod tests {
     }
 
     #[test]
+    fn workers_steal_across_shards_and_rehome_the_entry() {
+        let cache = ScenarioCache::for_workers(8, 4);
+        assert_eq!(cache.shard_count(), 4);
+        // Worker 0 compiles and checks in; worker 3's home shard is
+        // empty, so its take must steal from worker 0's shard.
+        cache.put_for(0, key("droop", "A0"), doc(9));
+        let got = cache.take_for(3, &key("droop", "A0")).expect("stolen hit");
+        assert_eq!(doc_value(&got), 9);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.steals), (1, 0, 1));
+        // Check-in re-homes the entry to worker 3's shard: a second
+        // take by worker 3 is now a home hit, not a steal.
+        cache.put_for(3, key("droop", "A0"), got);
+        assert!(cache.take_for(3, &key("droop", "A0")).is_some());
+        assert_eq!(cache.stats().steals, 1, "home hit counts no steal");
+    }
+
+    #[test]
+    fn capacity_splits_exactly_across_worker_shards() {
+        // 5 slots over 4 workers: shard capacities 2,1,1,1. Fill each
+        // worker's shard past its share and count survivors.
+        let cache = ScenarioCache::for_workers(5, 4);
+        for w in 0..4 {
+            for i in 0..3 {
+                cache.put_for(w, key("droop", &format!("w{w}i{i}")), doc(i));
+            }
+        }
+        assert_eq!(cache.stats().entries, 5);
+        assert_eq!(cache.stats().evictions, 7);
+    }
+
+    #[test]
+    fn from_work_concentrates_every_keying_decision() {
+        let parse = |line: &str| crate::proto::Request::parse_line(line).unwrap().work;
+        // Meta kinds carry no compiled state.
+        for line in [
+            r#"{"kind":"ping"}"#,
+            r#"{"kind":"stats"}"#,
+            r#"{"kind":"kinds"}"#,
+            r#"{"kind":"shutdown"}"#,
+        ] {
+            assert!(ScenarioKey::from_work(&parse(line)).is_none(), "{line}");
+        }
+        // analyze and mc share the session family at paper defaults.
+        let analyze =
+            ScenarioKey::from_work(&parse(r#"{"kind":"analyze","params":{"arch":"a2"}}"#)).unwrap();
+        let mc = ScenarioKey::from_work(&parse(
+            r#"{"kind":"mc","params":{"arch":"a2","samples":7,"seed":3}}"#,
+        ))
+        .unwrap();
+        assert_eq!(analyze, mc, "mc at paper defaults reuses analyze sessions");
+        // Non-default analyze power forks the key.
+        let hot = ScenarioKey::from_work(&parse(
+            r#"{"kind":"analyze","params":{"arch":"a2","power_w":750}}"#,
+        ))
+        .unwrap();
+        assert_ne!(analyze, hot);
+        // sharing_sweep excludes setpoints (RHS-only) but is a distinct
+        // family from plain sharing (different plan mode).
+        let s1 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"sharing_sweep","params":{"modules":24,"setpoints":[1.0]}}"#,
+        ))
+        .unwrap();
+        let s2 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"sharing_sweep","params":{"modules":24,"setpoints":[0.98,1.02]}}"#,
+        ))
+        .unwrap();
+        assert_eq!(s1, s2, "setpoints are RHS-only and must not key");
+        let sharing =
+            ScenarioKey::from_work(&parse(r#"{"kind":"sharing","params":{"modules":24}}"#))
+                .unwrap();
+        assert_ne!(s1, sharing);
+        // faults keys on topology; mc does not.
+        let f1 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"faults","params":{"arch":"a1","topology":"dsch"}}"#,
+        ))
+        .unwrap();
+        let f2 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"faults","params":{"arch":"a1","topology":"dpmih"}}"#,
+        ))
+        .unwrap();
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
     fn zero_capacity_disables_the_cache() {
-        let cache = ScenarioCache::new(0);
-        cache.put(key("droop", "A0"), doc(1));
-        assert!(cache.take(&key("droop", "A0")).is_none());
+        let cache = ScenarioCache::for_workers(0, 3);
+        cache.put_for(1, key("droop", "A0"), doc(1));
+        assert!(cache.take_for(1, &key("droop", "A0")).is_none());
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().evictions, 0);
     }

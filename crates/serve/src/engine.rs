@@ -1,6 +1,7 @@
 //! Request dispatch: each analysis kind checks its compiled state out
 //! of the [`ScenarioCache`], runs the engine, and checks the state back
-//! in.
+//! in. Every kind derives its cache key through the one audited
+//! constructor, [`ScenarioKey::from_work`].
 //!
 //! # Determinism contract
 //!
@@ -14,63 +15,86 @@
 //! engines take `&self` and are pure over their compiled plans, so
 //! reuse is trivially bitwise there; the droop engine compiles no
 //! reusable plan, so its cache entry is the finished document itself.
+//!
+//! # Batched block solves
+//!
+//! `sharing_sweep` requests that share a `(placement, modules)`
+//! compiled plan can be dispatched **as one batch**
+//! ([`Dispatcher::dispatch_sharing_sweep_batch`]): their setpoint lists
+//! are concatenated into a single multi-RHS block solve against one
+//! factorization, and the per-request documents are cut back out of
+//! the block. The batch is bitwise-identical to dispatching the same
+//! requests one at a time because the direct-Cholesky block solve is
+//! per-column independent (PR 6's `solve_block_into` contract: `k`
+//! stacked right-hand sides produce exactly the `k` single-solve
+//! solutions) and the single-request path runs through the same code
+//! with a batch of one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use vpd_converters::VrTopologyKind;
 use vpd_core::{
     run_tolerance_with, simulate_droop, AnalysisOptions, AnalysisSession, Architecture,
     Calibration, DcPlanMode, DroopScenario, FaultScenario, FaultSweep, ImpedanceSweep,
-    ImpedanceSweepSettings, LoadStep, McSettings, PdnModel, SharingSolver, SystemSpec, VrPlacement,
+    ImpedanceSweepSettings, LoadStep, McSettings, PdnModel, SharingReport, SharingSolver,
+    SystemSpec, VrPlacement,
 };
 use vpd_report::{Json, Render};
 use vpd_units::{CurrentDensity, Hertz, Seconds, Volts, Watts};
 
-use crate::cache::{CacheEntry, CacheKey, CacheStats, ScenarioCache};
-use crate::proto::{ErrorCode, Work};
+use crate::cache::{CacheEntry, CacheStats, ScenarioCache, ScenarioKey};
+use crate::proto::{kind_catalog, ErrorCode, Work, PROTOCOL_VERSION};
 
 /// A handler outcome: the result document plus whether compiled state
 /// was found in the cache (meta only — the document bits never depend
 /// on it).
 pub type DispatchResult = Result<(Json, bool), (ErrorCode, String)>;
 
-/// The paper-default die power used by `mc` (and the `analyze`
-/// default), part of the shared session cache key.
-const PAPER_POWER_W: f64 = 1000.0;
-/// The paper-default current density (A/mm²), likewise.
-const PAPER_DENSITY: f64 = 2.0;
-
 fn engine_err(e: impl std::fmt::Display) -> (ErrorCode, String) {
     (ErrorCode::Engine, e.to_string())
 }
 
-fn topology_tag(t: VrTopologyKind) -> u64 {
-    match t {
-        VrTopologyKind::Dsch => 0,
-        VrTopologyKind::Dpmih => 1,
-        VrTopologyKind::ThreeLevelHybridDickson => 2,
-    }
-}
-
-fn placement_tag(p: VrPlacement) -> u64 {
-    match p {
-        VrPlacement::Periphery => 0,
-        VrPlacement::BelowDie => 1,
-    }
+/// Point-in-time batching counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchStats {
+    /// Multi-request batches dispatched (batches of one count as plain
+    /// dispatches, not here).
+    pub batches: u64,
+    /// Requests that rode along in a batch beyond its first member.
+    pub coalesced: u64,
+    /// Total right-hand-side columns solved through batched dispatch.
+    pub columns: u64,
 }
 
 /// Routes [`Work`] to the engines over a shared [`ScenarioCache`].
 pub struct Dispatcher {
     cache: ScenarioCache,
     calib: Calibration,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    batch_columns: AtomicU64,
 }
 
 impl Dispatcher {
     /// A dispatcher whose cache holds at most `cache_capacity` compiled
-    /// scenarios (0 disables caching — every request compiles cold).
+    /// scenarios (0 disables caching — every request compiles cold) in
+    /// a single shard.
     #[must_use]
     pub fn new(cache_capacity: usize) -> Self {
+        Self::with_workers(cache_capacity, 1)
+    }
+
+    /// A dispatcher whose cache is sharded across `workers` home
+    /// shards with stealing on miss; worker `i` should dispatch through
+    /// [`Dispatcher::dispatch_on`] with its index.
+    #[must_use]
+    pub fn with_workers(cache_capacity: usize, workers: usize) -> Self {
         Self {
-            cache: ScenarioCache::new(cache_capacity),
+            cache: ScenarioCache::for_workers(cache_capacity, workers),
             calib: Calibration::paper_default(),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            batch_columns: AtomicU64::new(0),
         }
     }
 
@@ -80,57 +104,96 @@ impl Dispatcher {
         self.cache.stats()
     }
 
-    /// Runs one unit of work to completion.
+    /// Current batching counters.
+    #[must_use]
+    pub fn batch_stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            columns: self.batch_columns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one unit of work to completion as worker 0.
     ///
     /// # Errors
     ///
     /// A typed `(code, message)` pair ready to become an error
     /// response; engine failures carry [`ErrorCode::Engine`].
     pub fn dispatch(&self, work: &Work) -> DispatchResult {
+        self.dispatch_on(0, work)
+    }
+
+    /// Runs one unit of work to completion on behalf of pool worker
+    /// `worker`, whose home cache shard serves the check-out/check-in.
+    ///
+    /// # Errors
+    ///
+    /// A typed `(code, message)` pair ready to become an error
+    /// response; engine failures carry [`ErrorCode::Engine`].
+    pub fn dispatch_on(&self, worker: usize, work: &Work) -> DispatchResult {
         match work {
             Work::Ping => Ok((Json::obj([("command", Json::from("ping"))]), false)),
             Work::Shutdown => Ok((Json::obj([("command", Json::from("shutdown"))]), false)),
             Work::Stats => self.stats(),
+            Work::Kinds => Ok((
+                Json::obj([
+                    ("command", Json::from("kinds")),
+                    ("version", Json::Int(PROTOCOL_VERSION)),
+                    ("kinds", kind_catalog()),
+                ]),
+                false,
+            )),
             Work::Analyze {
                 arch,
                 topology,
                 power_w,
                 density,
-            } => self.analyze(*arch, *topology, *power_w, *density),
-            Work::Sharing { placement, modules } => self.sharing(*placement, *modules),
+            } => self.analyze(worker, work, *arch, *topology, *power_w, *density),
+            Work::Sharing { placement, modules } => {
+                self.sharing(worker, work, *placement, *modules)
+            }
             Work::SharingSweep {
                 placement,
                 modules,
                 setpoints,
-            } => self.sharing_sweep(*placement, *modules, setpoints),
-            Work::Droop { arch } => self.droop(*arch),
+            } => {
+                let mut results = self.sharing_sweep_batch(
+                    worker,
+                    *placement,
+                    *modules,
+                    std::slice::from_ref(setpoints),
+                );
+                results.pop().expect("batch of one yields one result")
+            }
+            Work::Droop { arch } => self.droop(worker, work, *arch),
             Work::Mc {
                 arch,
                 topology,
                 samples,
                 seed,
                 threads,
-            } => self.mc(*arch, *topology, *samples, *seed, *threads),
+            } => self.mc(worker, work, *arch, *topology, *samples, *seed, *threads),
             Work::Impedance {
                 arch,
                 fmin_hz,
                 fmax_hz,
                 points,
                 profile,
-            } => self.impedance(*arch, *fmin_hz, *fmax_hz, *points, *profile),
+            } => self.impedance(worker, work, *arch, *fmin_hz, *fmax_hz, *points, *profile),
             Work::Faults {
                 arch,
                 topology,
                 random_k,
                 count,
                 seed,
-            } => self.faults(*arch, *topology, *random_k, *count, *seed),
+            } => self.faults(worker, work, *arch, *topology, *random_k, *count, *seed),
             // The server streams this kind chunk-by-chunk; dispatching
             // it directly drains the same run silently and returns the
             // summary document — bitwise what the stream's final record
             // carries.
             Work::TransientStream { arch, chunk } => {
-                let mut run = self.begin_transient_stream(*arch, *chunk)?;
+                let mut run = self.begin_transient_stream_on(worker, *arch, *chunk)?;
                 while run.next_chunk()?.is_some() {}
                 let cached = run.cached();
                 Ok((run.finish(), cached))
@@ -138,8 +201,27 @@ impl Dispatcher {
         }
     }
 
+    /// Dispatches a batch of `sharing_sweep` requests that share one
+    /// `(placement, modules)` compiled plan: a single cache check-out,
+    /// one factorization, one multi-RHS block solve over the
+    /// concatenated setpoint lists, and one result document per
+    /// request, in order. Bitwise-identical to calling
+    /// [`Dispatcher::dispatch_on`] once per request (see the module
+    /// docs for why).
+    #[must_use]
+    pub fn dispatch_sharing_sweep_batch(
+        &self,
+        worker: usize,
+        placement: VrPlacement,
+        modules: usize,
+        sweeps: &[Vec<f64>],
+    ) -> Vec<DispatchResult> {
+        self.sharing_sweep_batch(worker, placement, modules, sweeps)
+    }
+
     fn stats(&self) -> DispatchResult {
         let s = self.cache.stats();
+        let b = self.batch_stats();
         let metrics = Json::parse(&vpd_obs::snapshot().to_json("serve")).unwrap_or(Json::Null);
         Ok((
             Json::obj([
@@ -149,8 +231,17 @@ impl Dispatcher {
                     Json::obj([
                         ("hits", Json::from(s.hits as usize)),
                         ("misses", Json::from(s.misses as usize)),
+                        ("steals", Json::from(s.steals as usize)),
                         ("evictions", Json::from(s.evictions as usize)),
                         ("entries", Json::from(s.entries)),
+                    ]),
+                ),
+                (
+                    "batch",
+                    Json::obj([
+                        ("batches", Json::from(b.batches as usize)),
+                        ("coalesced", Json::from(b.coalesced as usize)),
+                        ("columns", Json::from(b.columns as usize)),
                     ]),
                 ),
                 ("metrics", metrics),
@@ -161,20 +252,16 @@ impl Dispatcher {
 
     /// Checks a compiled analysis session out of the cache, or builds
     /// one cold. `analyze` and `mc` share entries: the grid plan
-    /// depends on (architecture, spec), never on the topology.
+    /// depends on (architecture, spec), never on the topology (see
+    /// [`ScenarioKey::from_work`]).
     fn take_session(
         &self,
+        worker: usize,
+        key: ScenarioKey,
         arch: Architecture,
         spec: &SystemSpec,
-        power_w: f64,
-        density: f64,
-    ) -> Result<(CacheKey, Box<AnalysisSession>, bool), (ErrorCode, String)> {
-        let key = CacheKey {
-            kind: "session",
-            arch: arch.name(),
-            params: vec![power_w.to_bits(), density.to_bits()],
-        };
-        match self.cache.take(&key) {
+    ) -> Result<(ScenarioKey, Box<AnalysisSession>, bool), (ErrorCode, String)> {
+        match self.cache.take_for(worker, &key) {
             Some(CacheEntry::Session(s)) => Ok((key, s, true)),
             _ => {
                 let session =
@@ -185,8 +272,11 @@ impl Dispatcher {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn analyze(
         &self,
+        worker: usize,
+        work: &Work,
         arch: Architecture,
         topology: VrTopologyKind,
         power_w: f64,
@@ -199,7 +289,8 @@ impl Dispatcher {
             CurrentDensity::from_amps_per_square_millimeter(density),
         )
         .map_err(|e| (ErrorCode::BadRequest, e.to_string()))?;
-        let (key, mut session, cached) = self.take_session(arch, &spec, power_w, density)?;
+        let key = ScenarioKey::from_work(work).expect("analyze has a key");
+        let (key, mut session, cached) = self.take_session(worker, key, arch, &spec)?;
         let outcome = session.analyze(topology, &self.calib);
         let report = match outcome {
             Ok(report) => {
@@ -209,7 +300,8 @@ impl Dispatcher {
             Err(e) => {
                 // The compiled plan is still sound (the failure is the
                 // scenario's, e.g. a capacity check): keep it warm.
-                self.cache.put(key, CacheEntry::Session(session));
+                self.cache
+                    .put_for(worker, key, CacheEntry::Session(session));
                 return Err(engine_err(e));
             }
         };
@@ -226,18 +318,21 @@ impl Dispatcher {
             ("overloaded", Json::from(report.overloaded)),
             ("breakdown", report.breakdown.render_json()),
         ]);
-        self.cache.put(key, CacheEntry::Session(session));
+        self.cache
+            .put_for(worker, key, CacheEntry::Session(session));
         Ok((result, cached))
     }
 
-    fn sharing(&self, placement: VrPlacement, modules: usize) -> DispatchResult {
+    fn sharing(
+        &self,
+        worker: usize,
+        work: &Work,
+        placement: VrPlacement,
+        modules: usize,
+    ) -> DispatchResult {
         let spec = SystemSpec::paper_default();
-        let key = CacheKey {
-            kind: "sharing",
-            arch: String::new(),
-            params: vec![placement_tag(placement), modules as u64],
-        };
-        let (mut solver, cached) = match self.cache.take(&key) {
+        let key = ScenarioKey::from_work(work).expect("sharing has a key");
+        let (mut solver, cached) = match self.cache.take_for(worker, &key) {
             Some(CacheEntry::Sharing(s)) => (s, true),
             _ => {
                 let solver = SharingSolver::builder(&spec, &self.calib)
@@ -254,7 +349,7 @@ impl Dispatcher {
                 rep
             }
             Err(e) => {
-                self.cache.put(key, CacheEntry::Sharing(solver));
+                self.cache.put_for(worker, key, CacheEntry::Sharing(solver));
                 return Err(engine_err(e));
             }
         };
@@ -263,82 +358,94 @@ impl Dispatcher {
             ("placement", Json::from(placement.to_string())),
             ("report", rep.render_json()),
         ]);
-        self.cache.put(key, CacheEntry::Sharing(solver));
+        self.cache.put_for(worker, key, CacheEntry::Sharing(solver));
         Ok((result, cached))
     }
 
-    /// Setpoint sweep over a sharing grid. The solver is pinned to the
-    /// direct-Cholesky plan mode, so the whole sweep — identical in all
-    /// but its right-hand side — coalesces into one factorization plus
-    /// a single multi-RHS block substitution, and the per-setpoint
-    /// reports are bitwise what `k` separate direct-mode solves return.
-    /// Cached under its own key: the plain `sharing` entry stays in the
-    /// warm-CG mode the one-shot CLI uses.
-    fn sharing_sweep(
+    /// Setpoint sweeps over a sharing grid, one result per request in
+    /// `sweeps`. The solver is pinned to the direct-Cholesky plan mode,
+    /// so the whole batch — identical in all but its right-hand sides —
+    /// coalesces into one factorization plus a single multi-RHS block
+    /// substitution, and the per-setpoint reports are bitwise what `k`
+    /// separate direct-mode solves return. Cached under its own key:
+    /// the plain `sharing` entry stays in the warm-CG mode the one-shot
+    /// CLI uses.
+    fn sharing_sweep_batch(
         &self,
+        worker: usize,
         placement: VrPlacement,
         modules: usize,
-        setpoints: &[f64],
-    ) -> DispatchResult {
+        sweeps: &[Vec<f64>],
+    ) -> Vec<DispatchResult> {
         let spec = SystemSpec::paper_default();
-        let key = CacheKey {
-            kind: "sharing_sweep",
-            arch: String::new(),
-            params: vec![placement_tag(placement), modules as u64],
+        let probe = Work::SharingSweep {
+            placement,
+            modules,
+            setpoints: Vec::new(),
         };
-        let (mut solver, cached) = match self.cache.take(&key) {
+        let key = ScenarioKey::from_work(&probe).expect("sharing_sweep has a key");
+        let fail_all = |e: (ErrorCode, String)| sweeps.iter().map(|_| Err(e.clone())).collect();
+        let (mut solver, cached) = match self.cache.take_for(worker, &key) {
             Some(CacheEntry::Sharing(s)) => (s, true),
             _ => {
-                let mut solver = SharingSolver::builder(&spec, &self.calib)
+                let built = SharingSolver::builder(&spec, &self.calib)
                     .placement(placement)
                     .modules(modules)
                     .build()
-                    .map_err(engine_err)?;
-                solver
-                    .set_solve_mode(DcPlanMode::DirectCholesky)
-                    .map_err(engine_err)?;
-                (Box::new(solver), false)
+                    .map_err(engine_err)
+                    .and_then(|mut solver| {
+                        solver
+                            .set_solve_mode(DcPlanMode::DirectCholesky)
+                            .map_err(engine_err)?;
+                        Ok(solver)
+                    });
+                match built {
+                    Ok(solver) => (Box::new(solver), false),
+                    Err(e) => return fail_all(e),
+                }
             }
         };
-        let volts: Vec<Volts> = setpoints.iter().map(|&v| Volts::new(v)).collect();
+        let volts: Vec<Volts> = sweeps
+            .iter()
+            .flat_map(|s| s.iter().map(|&v| Volts::new(v)))
+            .collect();
         let reports = match solver.solve_setpoints(&volts) {
             Ok(reports) => {
                 solver.anchor_last();
                 reports
             }
             Err(e) => {
-                self.cache.put(key, CacheEntry::Sharing(solver));
-                return Err(engine_err(e));
+                self.cache.put_for(worker, key, CacheEntry::Sharing(solver));
+                return fail_all(engine_err(e));
             }
         };
-        let points: Vec<Json> = setpoints
+        self.cache.put_for(worker, key, CacheEntry::Sharing(solver));
+        if sweeps.len() > 1 {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.coalesced
+                .fetch_add(sweeps.len() as u64 - 1, Ordering::Relaxed);
+            self.batch_columns
+                .fetch_add(volts.len() as u64, Ordering::Relaxed);
+            vpd_obs::incr("serve.batch.dispatched");
+            vpd_obs::add("serve.batch.coalesced", sweeps.len() as u64 - 1);
+            vpd_obs::add("serve.batch.columns", volts.len() as u64);
+        }
+        let mut cursor = 0;
+        sweeps
             .iter()
-            .zip(&reports)
-            .map(|(&sp, rep)| {
-                Json::obj([
-                    ("setpoint_v", Json::from(sp)),
-                    ("report", rep.render_json()),
-                ])
+            .map(|setpoints| {
+                let slice = &reports[cursor..cursor + setpoints.len()];
+                cursor += setpoints.len();
+                Ok((render_sharing_sweep(placement, setpoints, slice), cached))
             })
-            .collect();
-        let result = Json::obj([
-            ("command", Json::from("sharing_sweep")),
-            ("placement", Json::from(placement.to_string())),
-            ("setpoints", Json::from(setpoints.len())),
-            ("points", Json::Array(points)),
-        ]);
-        self.cache.put(key, CacheEntry::Sharing(solver));
-        Ok((result, cached))
+            .collect()
     }
 
-    fn droop(&self, arch: Architecture) -> DispatchResult {
-        let key = CacheKey {
-            kind: "droop",
-            arch: arch.name(),
-            params: Vec::new(),
-        };
-        if let Some(CacheEntry::Droop(doc)) = self.cache.take(&key) {
-            self.cache.put(key, CacheEntry::Droop(doc.clone()));
+    fn droop(&self, worker: usize, work: &Work, arch: Architecture) -> DispatchResult {
+        let key = ScenarioKey::from_work(work).expect("droop has a key");
+        if let Some(CacheEntry::Droop(doc)) = self.cache.take_for(worker, &key) {
+            self.cache
+                .put_for(worker, key, CacheEntry::Droop(doc.clone()));
             return Ok((doc, true));
         }
         let spec = SystemSpec::paper_default();
@@ -354,14 +461,12 @@ impl Dispatcher {
             ("architecture", Json::from(arch.name())),
             ("report", report.render_json()),
         ]);
-        self.cache.put(key, CacheEntry::Droop(result.clone()));
+        self.cache
+            .put_for(worker, key, CacheEntry::Droop(result.clone()));
         Ok((result, false))
     }
 
-    /// Checks the architecture's compiled transient scenario out of the
-    /// cache (or compiles it cold — the same 60 µs / 10 ns window the
-    /// one-shot `droop` handler simulates) and begins a fresh streaming
-    /// run over it.
+    /// [`Dispatcher::begin_transient_stream_on`] as worker 0.
     ///
     /// # Errors
     ///
@@ -371,12 +476,26 @@ impl Dispatcher {
         arch: Architecture,
         chunk: usize,
     ) -> Result<TransientStreamRun<'_>, (ErrorCode, String)> {
-        let key = CacheKey {
-            kind: "transient",
-            arch: arch.name(),
-            params: Vec::new(),
-        };
-        let (mut scenario, cached) = match self.cache.take(&key) {
+        self.begin_transient_stream_on(0, arch, chunk)
+    }
+
+    /// Checks the architecture's compiled transient scenario out of the
+    /// cache (or compiles it cold — the same 60 µs / 10 ns window the
+    /// one-shot `droop` handler simulates) and begins a fresh streaming
+    /// run over it on behalf of pool worker `worker`.
+    ///
+    /// # Errors
+    ///
+    /// A typed `(code, message)` pair when the cold compile fails.
+    pub fn begin_transient_stream_on(
+        &self,
+        worker: usize,
+        arch: Architecture,
+        chunk: usize,
+    ) -> Result<TransientStreamRun<'_>, (ErrorCode, String)> {
+        let key = ScenarioKey::from_work(&Work::TransientStream { arch, chunk })
+            .expect("transient_stream has a key");
+        let (mut scenario, cached) = match self.cache.take_for(worker, &key) {
             Some(CacheEntry::Transient(s)) => (s, true),
             _ => {
                 let spec = SystemSpec::paper_default();
@@ -394,6 +513,7 @@ impl Dispatcher {
         Ok(TransientStreamRun {
             dispatcher: self,
             key,
+            worker,
             scenario: Some(scenario),
             arch,
             chunk,
@@ -403,8 +523,11 @@ impl Dispatcher {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn mc(
         &self,
+        worker: usize,
+        work: &Work,
         arch: Architecture,
         topology: VrTopologyKind,
         samples: usize,
@@ -412,8 +535,8 @@ impl Dispatcher {
         threads: usize,
     ) -> DispatchResult {
         let spec = SystemSpec::paper_default();
-        let (key, mut session, cached) =
-            self.take_session(arch, &spec, PAPER_POWER_W, PAPER_DENSITY)?;
+        let key = ScenarioKey::from_work(work).expect("mc has a key");
+        let (key, mut session, cached) = self.take_session(worker, key, arch, &spec)?;
         let settings = McSettings {
             samples,
             seed,
@@ -423,7 +546,8 @@ impl Dispatcher {
         let summary = match run_tolerance_with(&mut session, topology, &self.calib, &settings) {
             Ok(summary) => summary,
             Err(e) => {
-                self.cache.put(key, CacheEntry::Session(session));
+                self.cache
+                    .put_for(worker, key, CacheEntry::Session(session));
                 return Err(engine_err(e));
             }
         };
@@ -435,24 +559,24 @@ impl Dispatcher {
             ("seed", Json::from(i64::try_from(seed).unwrap_or(i64::MAX))),
             ("summary", summary.render_json()),
         ]);
-        self.cache.put(key, CacheEntry::Session(session));
+        self.cache
+            .put_for(worker, key, CacheEntry::Session(session));
         Ok((result, cached))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn impedance(
         &self,
+        worker: usize,
+        work: &Work,
         arch: Architecture,
         fmin_hz: f64,
         fmax_hz: f64,
         points: usize,
         profile: bool,
     ) -> DispatchResult {
-        let key = CacheKey {
-            kind: "impedance",
-            arch: arch.name(),
-            params: Vec::new(),
-        };
-        let (sweep, cached) = match self.cache.take(&key) {
+        let key = ScenarioKey::from_work(work).expect("impedance has a key");
+        let (sweep, cached) = match self.cache.take_for(worker, &key) {
             Some(CacheEntry::Impedance(s)) => (s, true),
             _ => {
                 let spec = SystemSpec::paper_default();
@@ -467,7 +591,8 @@ impl Dispatcher {
             threads: 0,
         };
         let outcome = sweep.run(&settings);
-        self.cache.put(key, CacheEntry::Impedance(sweep));
+        self.cache
+            .put_for(worker, key, CacheEntry::Impedance(sweep));
         let rep = outcome.map_err(engine_err)?;
         let result = if profile {
             Json::obj([
@@ -489,20 +614,19 @@ impl Dispatcher {
         Ok((result, cached))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn faults(
         &self,
+        worker: usize,
+        work: &Work,
         arch: Architecture,
         topology: VrTopologyKind,
         random_k: Option<usize>,
         count: usize,
         seed: u64,
     ) -> DispatchResult {
-        let key = CacheKey {
-            kind: "faults",
-            arch: arch.name(),
-            params: vec![topology_tag(topology)],
-        };
-        let (sweep, cached) = match self.cache.take(&key) {
+        let key = ScenarioKey::from_work(work).expect("faults has a key");
+        let (sweep, cached) = match self.cache.take_for(worker, &key) {
             Some(CacheEntry::Faults(s)) => (s, true),
             _ => {
                 let spec = SystemSpec::paper_default();
@@ -521,7 +645,7 @@ impl Dispatcher {
         };
         let nominal_worst_drop = sweep.nominal().worst_drop().value();
         let outcome = sweep.run(&scenarios, 0);
-        self.cache.put(key, CacheEntry::Faults(sweep));
+        self.cache.put_for(worker, key, CacheEntry::Faults(sweep));
         let report = outcome.map_err(engine_err)?;
         let result = Json::obj([
             ("command", Json::from("faults")),
@@ -534,6 +658,32 @@ impl Dispatcher {
     }
 }
 
+/// Renders one `sharing_sweep` result document — the single place both
+/// the solo path and the batched path produce their bytes from, so the
+/// batched==sequential contract cannot drift on formatting.
+fn render_sharing_sweep(
+    placement: VrPlacement,
+    setpoints: &[f64],
+    reports: &[SharingReport],
+) -> Json {
+    let points: Vec<Json> = setpoints
+        .iter()
+        .zip(reports)
+        .map(|(&sp, rep)| {
+            Json::obj([
+                ("setpoint_v", Json::from(sp)),
+                ("report", rep.render_json()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("command", Json::from("sharing_sweep")),
+        ("placement", Json::from(placement.to_string())),
+        ("setpoints", Json::from(setpoints.len())),
+        ("points", Json::Array(points)),
+    ])
+}
+
 /// A checked-out streaming transient run: drives a compiled
 /// [`DroopScenario`] chunk by chunk, yielding one waveform document per
 /// chunk and a final summary whose `report` is bitwise the one-shot
@@ -542,7 +692,8 @@ impl Dispatcher {
 /// its LU cache) stays warm even when a deadline kills the stream.
 pub struct TransientStreamRun<'a> {
     dispatcher: &'a Dispatcher,
-    key: CacheKey,
+    key: ScenarioKey,
+    worker: usize,
     scenario: Option<Box<DroopScenario>>,
     arch: Architecture,
     chunk: usize,
@@ -621,7 +772,7 @@ impl Drop for TransientStreamRun<'_> {
         if let Some(s) = self.scenario.take() {
             self.dispatcher
                 .cache
-                .put(self.key.clone(), CacheEntry::Transient(s));
+                .put_for(self.worker, self.key.clone(), CacheEntry::Transient(s));
         }
     }
 }
@@ -685,6 +836,25 @@ mod tests {
     }
 
     #[test]
+    fn workers_steal_compiled_state_instead_of_recompiling() {
+        let d = Dispatcher::with_workers(16, 4);
+        let w = work(r#"{"kind":"sharing","params":{"modules":12}}"#);
+        let (cold, cached) = d.dispatch_on(0, &w).unwrap();
+        assert!(!cached);
+        // A different worker's home shard misses, steals worker 0's
+        // compiled solver, and produces the same bits.
+        let (stolen, cached) = d.dispatch_on(3, &w).unwrap();
+        assert!(cached, "steal counts as a hit");
+        assert_eq!(cold.to_string(), stolen.to_string());
+        let s = d.cache_stats();
+        assert_eq!(s.steals, 1);
+        // The entry re-homed to worker 3: its next take is a home hit.
+        let (_, cached) = d.dispatch_on(3, &w).unwrap();
+        assert!(cached);
+        assert_eq!(d.cache_stats().steals, 1);
+    }
+
+    #[test]
     fn engine_failures_are_typed_and_preserve_the_entry() {
         let d = Dispatcher::new(16);
         // Warm a session, then drive a failing scenario through it: an
@@ -698,6 +868,22 @@ mod tests {
         let good = work(r#"{"kind":"impedance","params":{"arch":"a1","points":16}}"#);
         let (_, cached) = d.dispatch(&good).unwrap();
         assert!(cached, "entry survived the failed scenario");
+    }
+
+    #[test]
+    fn kinds_returns_the_catalog() {
+        let d = Dispatcher::new(0);
+        let (doc, cached) = d.dispatch(&Work::Kinds).unwrap();
+        assert!(!cached);
+        assert_eq!(doc.get("command").and_then(Json::as_str), Some("kinds"));
+        assert_eq!(
+            doc.get("version").and_then(Json::as_i64),
+            Some(PROTOCOL_VERSION)
+        );
+        let Some(Json::Array(kinds)) = doc.get("kinds") else {
+            panic!("kinds array: {doc}");
+        };
+        assert_eq!(kinds.len(), crate::proto::kind_specs().len());
     }
 
     #[test]
@@ -734,6 +920,50 @@ mod tests {
                 "setpoint {sp}"
             );
         }
+    }
+
+    #[test]
+    fn batched_sharing_sweeps_match_sequential_dispatch_bitwise() {
+        let sweeps: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.005, 0.98],
+            vec![1.02],
+            vec![0.995, 1.0],
+            vec![1.0, 1.005, 0.98], // duplicate of the first request
+        ];
+        // Sequential oracle: each request dispatched on its own, cold
+        // dispatcher so no cross-request state sneaks in.
+        let seq = Dispatcher::new(0);
+        let sequential: Vec<String> = sweeps
+            .iter()
+            .map(|sp| {
+                let w = Work::SharingSweep {
+                    placement: VrPlacement::Periphery,
+                    modules: 16,
+                    setpoints: sp.clone(),
+                };
+                seq.dispatch(&w).unwrap().0.to_string()
+            })
+            .collect();
+        // Batched: one checkout, one block solve, per-request docs.
+        let d = Dispatcher::new(4);
+        let results = d.dispatch_sharing_sweep_batch(0, VrPlacement::Periphery, 16, &sweeps);
+        assert_eq!(results.len(), sweeps.len());
+        for (i, (res, oracle)) in results.iter().zip(&sequential).enumerate() {
+            let (doc, _) = res.as_ref().unwrap();
+            assert_eq!(
+                doc.to_string(),
+                *oracle,
+                "request {i}: batched bits differ from sequential dispatch"
+            );
+        }
+        let b = d.batch_stats();
+        assert_eq!(b.batches, 1);
+        assert_eq!(b.coalesced, 3);
+        assert_eq!(b.columns, 9);
+        // A batch of one goes through the same path but counts nothing.
+        let w = work(r#"{"kind":"sharing_sweep","params":{"modules":16,"setpoints":[1.0]}}"#);
+        d.dispatch(&w).unwrap();
+        assert_eq!(d.batch_stats().batches, 1);
     }
 
     #[test]

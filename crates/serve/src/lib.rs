@@ -8,22 +8,30 @@
 //! way an inference server fronts compiled model artifacts:
 //!
 //! * [`proto`] — a line-delimited JSON request/response schema with
-//!   ids, deadlines, and typed error codes (no serde; parsing is
-//!   `vpd_report::Json::parse`).
-//! * [`cache`] — the scenario cache: a sharded-mutex LRU of compiled
-//!   solver state, checked out for use so no lock spans a solve.
-//! * [`pool`] — a bounded-queue worker pool with typed backpressure
-//!   and two shutdown flavors (finish everything vs. drain).
+//!   ids, deadlines, protocol versioning, and typed error codes, all
+//!   driven by one declarative per-kind field-spec table (no serde;
+//!   parsing is `vpd_report::Json::parse`).
+//! * [`cache`] — the scenario cache: per-worker LRU shards of compiled
+//!   solver state with steal-on-miss, checked out for use so no lock
+//!   spans a solve. [`ScenarioKey::from_work`] is the one place a
+//!   request maps to its cache identity.
+//! * [`pool`] — a bounded-queue worker pool with typed backpressure,
+//!   two shutdown flavors (finish everything vs. drain), and a
+//!   coalescing hook for batched dispatch.
 //! * [`engine`] — the dispatcher mapping requests onto engines over
-//!   the cache.
-//! * [`server`] — stdio and TCP transports plus the `vpd call` client.
+//!   the cache, including multi-request batched block solves.
+//! * [`server`] — stdio and **multiplexed** TCP transports (one
+//!   event-loop thread over nonblocking sockets, so idle connections
+//!   cost buffers, not threads), deadline-aware admission control, and
+//!   the `vpd call` client.
 //!
 //! # Determinism contract
 //!
 //! A request's `result` is bitwise-identical whether it hit the cache
-//! or compiled cold, with one worker or many, and matches the one-shot
-//! `vpd --format json` invocation byte for byte. Cache hits change the
-//! `cached` metadata flag and the latency — never the result.
+//! or compiled cold, with one worker or many, batched with peers or
+//! dispatched alone, and matches the one-shot `vpd --format json`
+//! invocation byte for byte. Cache hits change the `cached` metadata
+//! flag and the latency — never the result.
 //!
 //! ```
 //! use std::io::Cursor;
@@ -35,6 +43,7 @@
 //! assert_eq!(ended, Ended::Eof);
 //! let text = String::from_utf8(out).unwrap();
 //! assert!(text.contains("\"ok\":true"));
+//! assert!(text.contains("\"version\":2"));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,8 +55,10 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
-pub use cache::{CacheEntry, CacheKey, CacheStats, ScenarioCache};
-pub use engine::Dispatcher;
-pub use pool::{SubmitError, WorkerPool};
-pub use proto::{ErrorCode, Request, RequestError, Response, ResponseBody, Work};
+pub use cache::{CacheEntry, CacheStats, ScenarioCache, ScenarioKey};
+pub use engine::{BatchStats, Dispatcher};
+pub use pool::{SubmitError, WorkerPool, WorkerScope};
+pub use proto::{
+    kind_catalog, ErrorCode, Request, RequestError, Response, ResponseBody, Work, PROTOCOL_VERSION,
+};
 pub use server::{call, serve_lines, Ended, ServeConfig, Server};

@@ -3,6 +3,13 @@
 //! to the caller instead of blocking or dropping it, so the server can
 //! answer with a machine-readable rejection.
 //!
+//! Each worker runs the handler with a [`WorkerScope`] carrying its
+//! worker index (which addresses the worker's home cache shard) and a
+//! coalescing hook, [`WorkerScope::take_matching`]: while holding a
+//! job, a worker may pull further queued jobs that satisfy a predicate
+//! — the mechanism behind batched block solves, where queued requests
+//! sharing a compiled plan are dispatched as one multi-RHS solve.
+//!
 //! Two shutdown flavors match the two ways a serve session ends:
 //!
 //! * [`WorkerPool::finish`] — the input is exhausted (stdio EOF):
@@ -42,6 +49,46 @@ struct Inner<T> {
     depth: usize,
 }
 
+/// The handler's view of the worker running it: the worker index plus
+/// access to the shared queue for coalescing.
+pub struct WorkerScope<'a, T> {
+    inner: &'a Inner<T>,
+    index: usize,
+}
+
+impl<T> WorkerScope<'_, T> {
+    /// This worker's stable index in `0..workers` — used to address
+    /// per-worker state (home cache shards).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Pulls up to `max` queued jobs satisfying `pred` out of the
+    /// shared queue, preserving their FIFO order; non-matching jobs
+    /// keep their positions. Called by a handler that is already
+    /// holding a job to coalesce compatible work into one dispatch
+    /// (the queue lock is held only for the scan, never across the
+    /// dispatch). Draining pools have no queued jobs left to match.
+    pub fn take_matching(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        let mut taken = Vec::new();
+        let mut keep = VecDeque::with_capacity(st.queue.len());
+        while let Some(job) = st.queue.pop_front() {
+            if taken.len() < max && pred(&job) {
+                taken.push(job);
+            } else {
+                keep.push_back(job);
+            }
+        }
+        st.queue = keep;
+        taken
+    }
+}
+
 /// A fixed-size pool of workers draining a bounded FIFO queue.
 pub struct WorkerPool<T: Send + 'static> {
     inner: Arc<Inner<T>>,
@@ -50,10 +97,11 @@ pub struct WorkerPool<T: Send + 'static> {
 
 impl<T: Send + 'static> WorkerPool<T> {
     /// Spawns `workers` threads (min 1) running `handler` over
-    /// submitted jobs, with at most `depth` jobs queued (min 1).
+    /// submitted jobs, with at most `depth` jobs queued (min 1). The
+    /// handler receives the [`WorkerScope`] of the worker running it.
     pub fn new<F>(workers: usize, depth: usize, handler: F) -> Self
     where
-        F: Fn(T) + Send + Sync + 'static,
+        F: Fn(&WorkerScope<'_, T>, T) + Send + Sync + 'static,
     {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
@@ -65,25 +113,31 @@ impl<T: Send + 'static> WorkerPool<T> {
         });
         let handler = Arc::new(handler);
         let handles = (0..workers.max(1))
-            .map(|_| {
+            .map(|index| {
                 let inner = Arc::clone(&inner);
                 let handler = Arc::clone(&handler);
-                std::thread::spawn(move || loop {
-                    let job = {
-                        let mut st = inner.state.lock().expect("pool state poisoned");
-                        loop {
-                            if let Some(job) = st.queue.pop_front() {
-                                break Some(job);
-                            }
-                            if st.mode != Mode::Running {
-                                break None;
-                            }
-                            st = inner.available.wait(st).expect("pool state poisoned");
-                        }
+                std::thread::spawn(move || {
+                    let scope = WorkerScope {
+                        inner: &inner,
+                        index,
                     };
-                    match job {
-                        Some(job) => handler(job),
-                        None => return,
+                    loop {
+                        let job = {
+                            let mut st = inner.state.lock().expect("pool state poisoned");
+                            loop {
+                                if let Some(job) = st.queue.pop_front() {
+                                    break Some(job);
+                                }
+                                if st.mode != Mode::Running {
+                                    break None;
+                                }
+                                st = inner.available.wait(st).expect("pool state poisoned");
+                            }
+                        };
+                        match job {
+                            Some(job) => handler(&scope, job),
+                            None => return,
+                        }
                     }
                 })
             })
@@ -115,7 +169,8 @@ impl<T: Send + 'static> WorkerPool<T> {
         Ok(())
     }
 
-    /// Jobs currently waiting (diagnostic).
+    /// Jobs currently waiting (diagnostic, and the admission-control
+    /// depth signal).
     pub fn queued(&self) -> usize {
         self.inner
             .state
@@ -176,7 +231,7 @@ mod tests {
     fn jobs_run_and_finish_completes_everything() {
         let done = Arc::new(AtomicUsize::new(0));
         let d = Arc::clone(&done);
-        let pool = WorkerPool::new(3, 64, move |n: usize| {
+        let pool = WorkerPool::new(3, 64, move |_scope, n: usize| {
             d.fetch_add(n, Ordering::SeqCst);
         });
         for i in 1..=10 {
@@ -188,6 +243,19 @@ mod tests {
     }
 
     #[test]
+    fn workers_know_their_index() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let pool = WorkerPool::new(1, 8, move |scope, _n: usize| {
+            s.lock().unwrap().push(scope.index());
+        });
+        pool.submit(1).unwrap();
+        pool.submit(2).unwrap();
+        pool.finish();
+        assert_eq!(*seen.lock().unwrap(), vec![0, 0]);
+    }
+
+    #[test]
     fn queue_full_hands_the_job_back() {
         // One worker blocked on a handshake; depth-1 queue: the first
         // job occupies the worker, the second fills the queue, and the
@@ -195,7 +263,7 @@ mod tests {
         let (started_tx, started_rx) = mpsc::channel::<()>();
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let release_rx = Mutex::new(release_rx);
-        let pool = WorkerPool::new(1, 1, move |n: usize| {
+        let pool = WorkerPool::new(1, 1, move |_scope, n: usize| {
             if n == 0 {
                 started_tx.send(()).unwrap();
                 release_rx.lock().unwrap().recv().unwrap();
@@ -213,13 +281,46 @@ mod tests {
     }
 
     #[test]
+    fn take_matching_coalesces_queued_jobs_in_fifo_order() {
+        // A single worker holds job 0 on a handshake while the queue
+        // fills; its handler then pulls the even jobs and leaves the
+        // odd ones, which run normally afterwards.
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Mutex::new(release_rx);
+        let batched = Arc::new(Mutex::new(Vec::new()));
+        let solo = Arc::new(Mutex::new(Vec::new()));
+        let (batched_in, solo_in) = (Arc::clone(&batched), Arc::clone(&solo));
+        let pool = WorkerPool::new(1, 16, move |scope, n: usize| {
+            if n == 0 {
+                started_tx.send(()).unwrap();
+                release_rx.lock().unwrap().recv().unwrap();
+                let peers = scope.take_matching(2, |j| j % 2 == 0);
+                batched_in.lock().unwrap().extend(peers);
+            } else {
+                solo_in.lock().unwrap().push(n);
+            }
+        });
+        pool.submit(0).unwrap();
+        started_rx.recv().unwrap();
+        for n in 1..=6 {
+            pool.submit(n).unwrap();
+        }
+        release_tx.send(()).unwrap();
+        pool.finish();
+        // max=2 even jobs coalesced in FIFO order; 6 stayed queued.
+        assert_eq!(*batched.lock().unwrap(), vec![2, 4]);
+        assert_eq!(*solo.lock().unwrap(), vec![1, 3, 5, 6]);
+    }
+
+    #[test]
     fn drain_completes_in_flight_and_returns_queued() {
         let (started_tx, started_rx) = mpsc::channel::<()>();
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let release_rx = Mutex::new(release_rx);
         let completed = Arc::new(Mutex::new(Vec::new()));
         let completed_in = Arc::clone(&completed);
-        let pool = Arc::new(WorkerPool::new(1, 16, move |n: usize| {
+        let pool = Arc::new(WorkerPool::new(1, 16, move |_scope, n: usize| {
             if n == 0 {
                 started_tx.send(()).unwrap();
                 release_rx.lock().unwrap().recv().unwrap();

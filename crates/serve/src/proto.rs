@@ -4,17 +4,49 @@
 //! carry a client-chosen `id` (echoed back verbatim so responses can be
 //! matched over a pipelined connection) and a `deadline_ms` budget.
 //! Responses are either `{"ok":true,...}` with the analysis result or
-//! `{"ok":false,"error":{...}}` with a stable machine-readable code.
+//! `{"ok":false,"error":{...}}` with a stable machine-readable code,
+//! and every response carries the server's [`PROTOCOL_VERSION`] so
+//! clients can fail fast across incompatible upgrades.
 //!
 //! The `result` field of a successful response is byte-identical to the
 //! JSON document the one-shot `vpd --format json <command>` invocation
 //! prints for the same parameters — the service is a resident,
 //! plan-caching front end to the exact same engines.
+//!
+//! # The field-spec table
+//!
+//! Every request kind is described **declaratively** by a [`KindSpec`]:
+//! one row per parameter with its wire name, type, default, and range.
+//! The same table drives
+//!
+//! * parsing and validation (one generic walk instead of per-kind
+//!   accessor chains),
+//! * unknown-parameter rejection (a misspelled name fails loudly,
+//!   listing the spec's accepted names),
+//! * the machine-readable catalog served by the `kinds` request
+//!   ([`kind_catalog`]), and
+//! * the CLI defaults (via [`wire_default_f64`] and friends), so serve
+//!   defaults and `vpd` flag defaults cannot drift.
+
+use std::sync::OnceLock;
 
 use vpd_converters::VrTopologyKind;
 use vpd_core::{Architecture, VrPlacement};
 use vpd_report::Json;
 use vpd_units::Volts;
+
+/// Version tag carried by every response. Version 1 is the original
+/// (unversioned) PR 5 protocol; version 2 added the `version` field
+/// itself, the `kinds` catalog request, the `shed` reject code, and the
+/// batched `sharing_sweep` dispatch (which never changes result bits).
+pub const PROTOCOL_VERSION: i64 = 2;
+
+/// Ceiling on one request's coalesced block width, bounding the
+/// block-solve scratch a single line can demand.
+pub const MAX_SWEEP_SETPOINTS: usize = 256;
+/// Ceiling on one `transient_stream` chunk's samples, bounding a single
+/// record's size.
+pub const MAX_STREAM_CHUNK: usize = 4096;
 
 /// Machine-readable failure class carried by error responses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,13 +57,19 @@ pub enum ErrorCode {
     BadRequest,
     /// The bounded queue was full; retry later (backpressure).
     QueueFull,
+    /// Admission control shed the request: its deadline cannot be met
+    /// at the current queue depth (retry with backoff or a larger
+    /// budget).
+    Shed,
     /// The server is draining for shutdown and refuses new work.
     Draining,
     /// The request waited in the queue past its `deadline_ms`.
     DeadlineExceeded,
     /// The analysis engine itself failed (infeasible configuration…).
     Engine,
-    /// A recognized request the service deliberately does not serve.
+    /// A recognized request the service deliberately does not serve, or
+    /// a kind this protocol version does not know (the message lists
+    /// the supported kinds).
     Unsupported,
 }
 
@@ -43,6 +81,7 @@ impl ErrorCode {
             Self::Parse => "parse",
             Self::BadRequest => "bad_request",
             Self::QueueFull => "queue_full",
+            Self::Shed => "shed",
             Self::Draining => "draining",
             Self::DeadlineExceeded => "deadline_exceeded",
             Self::Engine => "engine",
@@ -73,6 +112,9 @@ pub enum Work {
     Ping,
     /// Server statistics: cache counters plus an obs metrics snapshot.
     Stats,
+    /// The machine-readable request catalog generated from the
+    /// field-spec table (kinds, params, types, defaults, ranges).
+    Kinds,
     /// Graceful shutdown: finish in-flight work, reject queued work.
     Shutdown,
     /// Loss breakdown for one architecture × topology point.
@@ -95,7 +137,10 @@ pub enum Work {
     },
     /// Rail-setpoint sweep over a sharing grid, coalesced into one
     /// factorization plus a multi-RHS block solve (direct-Cholesky
-    /// plan mode).
+    /// plan mode). Queued `sharing_sweep` requests sharing the same
+    /// `(placement, modules)` plan are additionally batched into one
+    /// block solve by the dispatcher — bitwise-identical to dispatching
+    /// them one at a time.
     SharingSweep {
         /// Regulator placement pattern.
         placement: VrPlacement,
@@ -167,6 +212,7 @@ impl Work {
         match self {
             Self::Ping => "ping",
             Self::Stats => "stats",
+            Self::Kinds => "kinds",
             Self::Shutdown => "shutdown",
             Self::Analyze { .. } => "analyze",
             Self::Sharing { .. } => "sharing",
@@ -185,7 +231,8 @@ impl Work {
 pub struct Request {
     /// Client-chosen correlation id, echoed on the response.
     pub id: Option<i64>,
-    /// Queue-wait budget in milliseconds (checked at dequeue).
+    /// Queue-wait budget in milliseconds (checked at admission and
+    /// again at dequeue).
     pub deadline_ms: Option<u64>,
     /// The analysis to run.
     pub work: Work,
@@ -230,7 +277,585 @@ pub fn parse_placement(s: &str) -> Option<VrPlacement> {
     }
 }
 
-/// Typed access to the request's `params` object.
+/// The wire spelling of a topology (inverse of [`parse_topology`]).
+#[must_use]
+pub fn topology_wire_name(t: VrTopologyKind) -> &'static str {
+    match t {
+        VrTopologyKind::Dpmih => "dpmih",
+        VrTopologyKind::Dsch => "dsch",
+        VrTopologyKind::ThreeLevelHybridDickson => "3lhd",
+    }
+}
+
+/// The wire spelling of a placement (inverse of [`parse_placement`]).
+#[must_use]
+pub fn placement_wire_name(p: VrPlacement) -> &'static str {
+    match p {
+        VrPlacement::Periphery => "periphery",
+        VrPlacement::BelowDie => "below",
+    }
+}
+
+// ---------------------------------------------------------------------
+// The declarative field-spec table
+// ---------------------------------------------------------------------
+
+/// Wire type (plus range validator) of one request parameter.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldType {
+    /// A finite JSON number; `positive` additionally requires `> 0`.
+    F64 {
+        /// Reject zero and negative values.
+        positive: bool,
+    },
+    /// A non-negative integer within `[min, max]`.
+    Count {
+        /// Inclusive lower bound (violations say "must be at least").
+        min: usize,
+        /// Inclusive upper bound (violations say "is capped at").
+        max: usize,
+    },
+    /// A non-negative 64-bit RNG seed.
+    Seed,
+    /// A JSON boolean.
+    Flag,
+    /// An architecture tag (`a0|a1|a2|a3-12|a3-6`).
+    Arch,
+    /// A topology tag (`dpmih|dsch|3lhd`).
+    Topology,
+    /// A placement tag (`periphery|below`).
+    Placement,
+    /// A non-empty array of finite numbers, at most `max_len` long.
+    F64List {
+        /// Inclusive length ceiling.
+        max_len: usize,
+    },
+    /// An *optional* positive integer (absent ≠ zero; e.g. `random_k`).
+    OptionalCount,
+}
+
+impl FieldType {
+    /// The catalog spelling of the type.
+    #[must_use]
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Self::F64 { .. } => "number",
+            Self::Count { .. } => "count",
+            Self::Seed => "seed",
+            Self::Flag => "flag",
+            Self::Arch => "architecture",
+            Self::Topology => "topology",
+            Self::Placement => "placement",
+            Self::F64List { .. } => "number[]",
+            Self::OptionalCount => "count?",
+        }
+    }
+}
+
+/// Default of one request parameter. [`FieldDefault::Required`] makes
+/// the parameter mandatory; [`FieldDefault::Absent`] makes it optional
+/// with no substituted value (only [`FieldType::OptionalCount`]).
+#[derive(Clone, Copy, Debug)]
+pub enum FieldDefault {
+    /// The request must carry the parameter.
+    Required,
+    /// Optional with no default value.
+    Absent,
+    /// Defaulted number.
+    F64(f64),
+    /// Defaulted count.
+    Count(usize),
+    /// Defaulted seed.
+    Seed(u64),
+    /// Defaulted flag.
+    Flag(bool),
+    /// Defaulted topology.
+    Topology(VrTopologyKind),
+    /// Defaulted placement.
+    Placement(VrPlacement),
+}
+
+/// One row of the table: a parameter's wire name, type, default, and
+/// one-line doc.
+#[derive(Clone, Debug)]
+pub struct FieldSpec {
+    /// Wire name inside `params`.
+    pub name: &'static str,
+    /// Type and range validator.
+    pub ty: FieldType,
+    /// Default (or required-ness).
+    pub default: FieldDefault,
+    /// One-line description for the catalog.
+    pub doc: &'static str,
+}
+
+/// The declarative description of one request kind.
+#[derive(Clone, Debug)]
+pub struct KindSpec {
+    /// The wire `kind` tag.
+    pub kind: &'static str,
+    /// One-line description for the catalog.
+    pub doc: &'static str,
+    /// Parameter rows; requests carrying names outside this list are
+    /// rejected.
+    pub fields: Vec<FieldSpec>,
+}
+
+fn field(name: &'static str, ty: FieldType, default: FieldDefault, doc: &'static str) -> FieldSpec {
+    FieldSpec {
+        name,
+        ty,
+        default,
+        doc,
+    }
+}
+
+/// The table itself. Built once; defaults that mirror engine settings
+/// (the impedance sweep grid) are read from the engine defaults so the
+/// three consumers — serve parsing, the CLI, and the catalog — cannot
+/// drift from each other or from the one-shot code path.
+#[must_use]
+pub fn kind_specs() -> &'static [KindSpec] {
+    static SPECS: OnceLock<Vec<KindSpec>> = OnceLock::new();
+    SPECS.get_or_init(|| {
+        let z = vpd_core::ImpedanceSweepSettings::default();
+        let arch = || {
+            field(
+                "arch",
+                FieldType::Arch,
+                FieldDefault::Required,
+                "delivery architecture (a0|a1|a2|a3-12|a3-6)",
+            )
+        };
+        let topology = || {
+            field(
+                "topology",
+                FieldType::Topology,
+                FieldDefault::Topology(VrTopologyKind::Dsch),
+                "POL-stage topology (dpmih|dsch|3lhd)",
+            )
+        };
+        let placement = || {
+            field(
+                "placement",
+                FieldType::Placement,
+                FieldDefault::Placement(VrPlacement::Periphery),
+                "regulator placement pattern (periphery|below)",
+            )
+        };
+        let modules = || {
+            field(
+                "modules",
+                FieldType::Count {
+                    min: 1,
+                    max: 10_000,
+                },
+                FieldDefault::Count(48),
+                "regulator module count",
+            )
+        };
+        vec![
+            KindSpec {
+                kind: "ping",
+                doc: "liveness probe; returns immediately",
+                fields: Vec::new(),
+            },
+            KindSpec {
+                kind: "stats",
+                doc: "server statistics: cache, batching, and shed counters",
+                fields: Vec::new(),
+            },
+            KindSpec {
+                kind: "kinds",
+                doc: "this catalog: every kind with its params, types, defaults, and ranges",
+                fields: Vec::new(),
+            },
+            KindSpec {
+                kind: "shutdown",
+                doc: "graceful shutdown: finish in-flight work, reject queued work",
+                fields: Vec::new(),
+            },
+            KindSpec {
+                kind: "analyze",
+                doc: "loss breakdown for one architecture x topology point",
+                fields: vec![
+                    arch(),
+                    topology(),
+                    field(
+                        "power_w",
+                        FieldType::F64 { positive: true },
+                        FieldDefault::F64(1000.0),
+                        "die power draw in watts",
+                    ),
+                    field(
+                        "density",
+                        FieldType::F64 { positive: true },
+                        FieldDefault::F64(2.0),
+                        "current density in A/mm^2",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "sharing",
+                doc: "die-grid current sharing for a placement pattern",
+                fields: vec![placement(), modules()],
+            },
+            KindSpec {
+                kind: "sharing_sweep",
+                doc: "rail-setpoint sweep coalesced into one multi-RHS block solve; \
+                      queued requests sharing a plan batch together",
+                fields: vec![
+                    placement(),
+                    modules(),
+                    field(
+                        "setpoints",
+                        FieldType::F64List {
+                            max_len: MAX_SWEEP_SETPOINTS,
+                        },
+                        FieldDefault::Required,
+                        "swept regulator setpoints in volts",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "droop",
+                doc: "transient droop response to the paper's load step",
+                fields: vec![arch()],
+            },
+            KindSpec {
+                kind: "transient_stream",
+                doc: "streaming transient run: waveform chunks, then a summary record",
+                fields: vec![
+                    arch(),
+                    field(
+                        "chunk",
+                        FieldType::Count {
+                            min: 1,
+                            max: MAX_STREAM_CHUNK,
+                        },
+                        FieldDefault::Count(1024),
+                        "samples per emitted chunk",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "mc",
+                doc: "Monte-Carlo tolerance sweep",
+                fields: vec![
+                    arch(),
+                    topology(),
+                    field(
+                        "samples",
+                        FieldType::Count {
+                            min: 1,
+                            max: 1_000_000,
+                        },
+                        FieldDefault::Count(200),
+                        "sample count",
+                    ),
+                    field(
+                        "seed",
+                        FieldType::Seed,
+                        FieldDefault::Seed(0x5eed),
+                        "RNG seed",
+                    ),
+                    field(
+                        "threads",
+                        FieldType::Count {
+                            min: 0,
+                            max: 10_000,
+                        },
+                        FieldDefault::Count(0),
+                        "worker threads (0 = auto); never changes result bits",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "impedance",
+                doc: "PDN impedance profile over a log frequency sweep",
+                fields: vec![
+                    arch(),
+                    field(
+                        "fmin_hz",
+                        FieldType::F64 { positive: true },
+                        FieldDefault::F64(z.fmin.value()),
+                        "sweep start in Hz",
+                    ),
+                    field(
+                        "fmax_hz",
+                        FieldType::F64 { positive: true },
+                        FieldDefault::F64(z.fmax.value()),
+                        "sweep end in Hz",
+                    ),
+                    field(
+                        "points",
+                        FieldType::Count {
+                            min: 1,
+                            max: 100_000,
+                        },
+                        FieldDefault::Count(z.points),
+                        "number of swept points",
+                    ),
+                    field(
+                        "profile",
+                        FieldType::Flag,
+                        FieldDefault::Flag(false),
+                        "emit every swept point instead of the summary",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "faults",
+                doc: "fault-injection sweep (N-1 or random-k scenarios)",
+                fields: vec![
+                    arch(),
+                    topology(),
+                    field(
+                        "random_k",
+                        FieldType::OptionalCount,
+                        FieldDefault::Absent,
+                        "absent = N-1 contingency; k = random k-fault draws",
+                    ),
+                    field(
+                        "count",
+                        FieldType::Count {
+                            min: 1,
+                            max: 1_000_000,
+                        },
+                        FieldDefault::Count(32),
+                        "scenario count for random-k mode",
+                    ),
+                    field(
+                        "seed",
+                        FieldType::Seed,
+                        FieldDefault::Seed(64023),
+                        "RNG seed for random-k mode",
+                    ),
+                ],
+            },
+        ]
+    })
+}
+
+/// Looks a kind's spec up in the table.
+#[must_use]
+pub fn kind_spec(kind: &str) -> Option<&'static KindSpec> {
+    kind_specs().iter().find(|s| s.kind == kind)
+}
+
+/// Every supported kind tag, in table order.
+#[must_use]
+pub fn supported_kinds() -> Vec<&'static str> {
+    kind_specs().iter().map(|s| s.kind).collect()
+}
+
+/// The machine-readable catalog generated from the table: one entry per
+/// kind with its params, types, defaults, and ranges. Served by the
+/// `kinds` request and printed by documentation tooling.
+#[must_use]
+pub fn kind_catalog() -> Json {
+    let kinds: Vec<Json> = kind_specs()
+        .iter()
+        .map(|spec| {
+            let params: Vec<Json> =
+                spec.fields
+                    .iter()
+                    .map(|f| {
+                        let mut pairs = vec![
+                            ("name", Json::from(f.name)),
+                            ("type", Json::from(f.ty.type_name())),
+                            (
+                                "required",
+                                Json::from(matches!(f.default, FieldDefault::Required)),
+                            ),
+                        ];
+                        match f.default {
+                            FieldDefault::Required | FieldDefault::Absent => {}
+                            FieldDefault::F64(v) => pairs.push(("default", Json::from(v))),
+                            FieldDefault::Count(v) => pairs.push(("default", Json::from(v))),
+                            FieldDefault::Seed(v) => pairs
+                                .push(("default", Json::Int(i64::try_from(v).unwrap_or(i64::MAX)))),
+                            FieldDefault::Flag(v) => pairs.push(("default", Json::from(v))),
+                            FieldDefault::Topology(t) => {
+                                pairs.push(("default", Json::from(topology_wire_name(t))));
+                            }
+                            FieldDefault::Placement(p) => {
+                                pairs.push(("default", Json::from(placement_wire_name(p))));
+                            }
+                        }
+                        match f.ty {
+                            FieldType::Count { min, max } => {
+                                pairs.push(("min", Json::from(min)));
+                                pairs.push(("max", Json::from(max)));
+                            }
+                            FieldType::F64List { max_len } => {
+                                pairs.push(("max_len", Json::from(max_len)));
+                            }
+                            _ => {}
+                        }
+                        pairs.push(("doc", Json::from(f.doc)));
+                        Json::obj(pairs)
+                    })
+                    .collect();
+            Json::obj([
+                ("kind", Json::from(spec.kind)),
+                ("doc", Json::from(spec.doc)),
+                ("params", Json::Array(params)),
+            ])
+        })
+        .collect();
+    Json::Array(kinds)
+}
+
+fn table_default<T>(kind: &str, name: &str, pick: impl Fn(&FieldDefault) -> Option<T>) -> T {
+    let spec = kind_spec(kind).unwrap_or_else(|| panic!("unknown kind `{kind}` in spec table"));
+    let f = spec
+        .fields
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("kind `{kind}` has no param `{name}`"));
+    pick(&f.default).unwrap_or_else(|| panic!("param `{kind}.{name}` has no default of that type"))
+}
+
+/// The table's default for a numeric parameter — the CLI reads its flag
+/// defaults through these so `vpd` and serve cannot drift.
+///
+/// # Panics
+///
+/// On a kind/param name not in the table (a programmer error, caught by
+/// the CLI's own parse tests).
+#[must_use]
+pub fn wire_default_f64(kind: &str, name: &str) -> f64 {
+    table_default(kind, name, |d| match d {
+        FieldDefault::F64(v) => Some(*v),
+        _ => None,
+    })
+}
+
+/// The table's default for a count parameter (see [`wire_default_f64`]).
+///
+/// # Panics
+///
+/// On a kind/param name not in the table.
+#[must_use]
+pub fn wire_default_count(kind: &str, name: &str) -> usize {
+    table_default(kind, name, |d| match d {
+        FieldDefault::Count(v) => Some(*v),
+        _ => None,
+    })
+}
+
+/// The table's default for a seed parameter (see [`wire_default_f64`]).
+///
+/// # Panics
+///
+/// On a kind/param name not in the table.
+#[must_use]
+pub fn wire_default_seed(kind: &str, name: &str) -> u64 {
+    table_default(kind, name, |d| match d {
+        FieldDefault::Seed(v) => Some(*v),
+        _ => None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Table-driven parsing
+// ---------------------------------------------------------------------
+
+/// One parsed parameter value.
+#[derive(Clone, Debug)]
+enum FieldValue {
+    F64(f64),
+    Count(usize),
+    Seed(u64),
+    Flag(bool),
+    Arch(Architecture),
+    Topology(VrTopologyKind),
+    Placement(VrPlacement),
+    List(Vec<f64>),
+    /// An optional parameter the request did not carry.
+    Absent,
+}
+
+/// The validated parameter set of one request, keyed by wire name.
+struct ParsedFields(Vec<(&'static str, FieldValue)>);
+
+impl ParsedFields {
+    fn value(&self, name: &str) -> &FieldValue {
+        &self
+            .0
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("field `{name}` missing from parsed set"))
+            .1
+    }
+
+    fn f64(&self, name: &str) -> f64 {
+        match self.value(name) {
+            FieldValue::F64(v) => *v,
+            other => panic!("field `{name}` is not a number: {other:?}"),
+        }
+    }
+
+    fn count(&self, name: &str) -> usize {
+        match self.value(name) {
+            FieldValue::Count(v) => *v,
+            other => panic!("field `{name}` is not a count: {other:?}"),
+        }
+    }
+
+    fn seed(&self, name: &str) -> u64 {
+        match self.value(name) {
+            FieldValue::Seed(v) => *v,
+            other => panic!("field `{name}` is not a seed: {other:?}"),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        match self.value(name) {
+            FieldValue::Flag(v) => *v,
+            other => panic!("field `{name}` is not a flag: {other:?}"),
+        }
+    }
+
+    fn arch(&self, name: &str) -> Architecture {
+        match self.value(name) {
+            FieldValue::Arch(v) => *v,
+            other => panic!("field `{name}` is not an architecture: {other:?}"),
+        }
+    }
+
+    fn topology(&self, name: &str) -> VrTopologyKind {
+        match self.value(name) {
+            FieldValue::Topology(v) => *v,
+            other => panic!("field `{name}` is not a topology: {other:?}"),
+        }
+    }
+
+    fn placement(&self, name: &str) -> VrPlacement {
+        match self.value(name) {
+            FieldValue::Placement(v) => *v,
+            other => panic!("field `{name}` is not a placement: {other:?}"),
+        }
+    }
+
+    fn list(&self, name: &str) -> Vec<f64> {
+        match self.value(name) {
+            FieldValue::List(v) => v.clone(),
+            other => panic!("field `{name}` is not a list: {other:?}"),
+        }
+    }
+
+    fn optional_count(&self, name: &str) -> Option<usize> {
+        match self.value(name) {
+            FieldValue::Count(v) => Some(*v),
+            FieldValue::Absent => None,
+            other => panic!("field `{name}` is not an optional count: {other:?}"),
+        }
+    }
+}
+
+/// Raw access to the request's `params` object.
 struct Params<'a> {
     doc: Option<&'a Json>,
 }
@@ -240,9 +865,10 @@ impl<'a> Params<'a> {
         self.doc.and_then(|d| d.get(key))
     }
 
-    /// Rejects params outside `allowed`, so a misspelled name fails
-    /// loudly instead of silently falling back to the default.
-    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+    /// Rejects params outside the spec's field list, so a misspelled
+    /// name fails loudly instead of silently falling back to the
+    /// default.
+    fn reject_unknown(&self, spec: &KindSpec) -> Result<(), String> {
         let Some(doc) = self.doc else {
             return Ok(());
         };
@@ -250,95 +876,130 @@ impl<'a> Params<'a> {
             return Err("`params` must be an object".into());
         };
         for (key, _) in pairs {
-            if !allowed.contains(&key.as_str()) {
-                return Err(if allowed.is_empty() {
+            if !spec.fields.iter().any(|f| f.name == key.as_str()) {
+                return Err(if spec.fields.is_empty() {
                     format!("unknown param `{key}` (this kind takes no params)")
                 } else {
+                    let names: Vec<&str> = spec.fields.iter().map(|f| f.name).collect();
                     format!(
                         "unknown param `{key}` (expected one of: {})",
-                        allowed.join(", ")
+                        names.join(", ")
                     )
                 });
             }
         }
         Ok(())
     }
+}
 
-    fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
+/// Validates one parameter against its spec row: type check, range
+/// check, and default substitution.
+fn parse_field(f: &FieldSpec, p: &Params<'_>) -> Result<FieldValue, (ErrorCode, String)> {
+    let key = f.name;
+    let plain = |m: String| (ErrorCode::BadRequest, m);
+    let raw = p.get(key);
+    if raw.is_none() {
+        return match f.default {
+            FieldDefault::Required => Err(plain(format!("param `{key}` is required"))),
+            FieldDefault::Absent => Ok(FieldValue::Absent),
+            FieldDefault::F64(v) => Ok(FieldValue::F64(v)),
+            FieldDefault::Count(v) => Ok(FieldValue::Count(v)),
+            FieldDefault::Seed(v) => Ok(FieldValue::Seed(v)),
+            FieldDefault::Flag(v) => Ok(FieldValue::Flag(v)),
+            FieldDefault::Topology(t) => Ok(FieldValue::Topology(t)),
+            FieldDefault::Placement(pl) => Ok(FieldValue::Placement(pl)),
+        };
+    }
+    let raw = raw.expect("raw value present");
+    let want_str = || -> Result<&str, (ErrorCode, String)> {
+        raw.as_str()
+            .ok_or_else(|| plain(format!("param `{key}` expects a string")))
+    };
+    let want_count = |min: usize, max: usize| -> Result<usize, (ErrorCode, String)> {
+        let n = raw
+            .as_i64()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| plain(format!("param `{key}` expects a non-negative integer")))?;
+        if n < min {
+            return Err(plain(format!("param `{key}` must be at least {min}")));
+        }
+        if n > max {
+            return Err(plain(format!("param `{key}` is capped at {max}")));
+        }
+        Ok(n)
+    };
+    match f.ty {
+        FieldType::F64 { positive } => {
+            let v = raw
                 .as_f64()
-                .ok_or_else(|| format!("param `{key}` expects a number")),
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| plain(format!("param `{key}` expects a number")))?;
+            if positive && v <= 0.0 {
+                return Err(plain(format!("param `{key}` must be positive")));
+            }
+            Ok(FieldValue::F64(v))
         }
-    }
-
-    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .as_i64()
-                .and_then(|n| usize::try_from(n).ok())
-                .ok_or_else(|| format!("param `{key}` expects a non-negative integer")),
-        }
-    }
-
-    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
+        FieldType::Count { min, max } => Ok(FieldValue::Count(want_count(min, max)?)),
+        FieldType::Seed => {
+            let v = raw
                 .as_i64()
                 .and_then(|n| u64::try_from(n).ok())
-                .ok_or_else(|| format!("param `{key}` expects a non-negative integer")),
+                .ok_or_else(|| plain(format!("param `{key}` expects a non-negative integer")))?;
+            Ok(FieldValue::Seed(v))
         }
-    }
-
-    fn bool(&self, key: &str, default: bool) -> Result<bool, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
+        FieldType::Flag => {
+            let v = raw
                 .as_bool()
-                .ok_or_else(|| format!("param `{key}` expects a boolean")),
+                .ok_or_else(|| plain(format!("param `{key}` expects a boolean")))?;
+            Ok(FieldValue::Flag(v))
         }
-    }
-
-    fn f64_array(&self, key: &str) -> Result<Option<Vec<f64>>, String> {
-        match self.get(key) {
-            None => Ok(None),
-            Some(Json::Array(items)) => items
+        FieldType::Arch => {
+            let s = want_str()?;
+            parse_architecture(s)
+                .map(FieldValue::Arch)
+                .ok_or_else(|| plain(format!("unknown architecture '{s}'")))
+        }
+        FieldType::Topology => {
+            let s = want_str()?;
+            parse_topology(s)
+                .map(FieldValue::Topology)
+                .ok_or_else(|| plain(format!("unknown topology '{s}'")))
+        }
+        FieldType::Placement => {
+            let s = want_str()?;
+            parse_placement(s)
+                .map(FieldValue::Placement)
+                .ok_or_else(|| plain(format!("unknown placement '{s}'")))
+        }
+        FieldType::F64List { max_len } => {
+            let Json::Array(items) = raw else {
+                return Err(plain(format!("param `{key}` expects an array of numbers")));
+            };
+            if items.is_empty() {
+                return Err(plain(format!("param `{key}` must not be empty")));
+            }
+            if items.len() > max_len {
+                return Err(plain(format!(
+                    "param `{key}` is capped at {max_len} values"
+                )));
+            }
+            let values = items
                 .iter()
                 .map(|v| {
                     v.as_f64()
                         .filter(|x| x.is_finite())
-                        .ok_or_else(|| format!("param `{key}` expects finite numbers"))
+                        .ok_or_else(|| plain(format!("param `{key}` expects finite numbers")))
                 })
-                .collect::<Result<Vec<f64>, String>>()
-                .map(Some),
-            Some(_) => Err(format!("param `{key}` expects an array of numbers")),
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(FieldValue::List(values))
         }
-    }
-
-    fn str(&self, key: &str) -> Result<Option<&'a str>, String> {
-        match self.get(key) {
-            None => Ok(None),
-            Some(v) => v
-                .as_str()
-                .map(Some)
-                .ok_or_else(|| format!("param `{key}` expects a string")),
-        }
-    }
-
-    fn arch(&self) -> Result<Architecture, String> {
-        match self.str("arch")? {
-            None => Err("param `arch` is required".into()),
-            Some(s) => parse_architecture(s).ok_or_else(|| format!("unknown architecture '{s}'")),
-        }
-    }
-
-    fn topology(&self) -> Result<VrTopologyKind, String> {
-        match self.str("topology")? {
-            None => Ok(VrTopologyKind::Dsch),
-            Some(s) => parse_topology(s).ok_or_else(|| format!("unknown topology '{s}'")),
+        FieldType::OptionalCount => {
+            let v = raw
+                .as_i64()
+                .and_then(|n| usize::try_from(n).ok())
+                .filter(|&k| k > 0)
+                .ok_or_else(|| plain(format!("param `{key}` expects a positive integer")))?;
+            Ok(FieldValue::Count(v))
         }
     }
 }
@@ -350,9 +1011,10 @@ impl Request {
     ///
     /// [`RequestError`] with [`ErrorCode::Parse`] for malformed JSON,
     /// [`ErrorCode::BadRequest`] for a well-formed document that is not
-    /// a valid request, and [`ErrorCode::Unsupported`] for the
-    /// `impedance` architecture comparison (`"arch":"all"`), which only
-    /// the one-shot CLI serves.
+    /// a valid request, and [`ErrorCode::Unsupported`] for a kind this
+    /// protocol version does not serve (the message lists the supported
+    /// kinds) or the `impedance` architecture comparison
+    /// (`"arch":"all"`), which only the one-shot CLI serves.
     pub fn parse_line(line: &str) -> Result<Self, RequestError> {
         let doc = Json::parse(line).map_err(|e| RequestError {
             id: None,
@@ -383,164 +1045,83 @@ impl Request {
     }
 }
 
-/// Defaults shared with the CLI so serve results match one-shot runs.
-mod defaults {
-    pub const POWER_W: f64 = 1000.0;
-    pub const DENSITY: f64 = 2.0;
-    pub const MODULES: usize = 48;
-    pub const MC_SAMPLES: usize = 200;
-    pub const MC_SEED: u64 = 0x5eed;
-    pub const FAULT_COUNT: usize = 32;
-    pub const FAULT_SEED: u64 = 64023;
-    /// Ceiling on one request's coalesced block width, bounding the
-    /// block-solve scratch a single line can demand.
-    pub const MAX_SWEEP_SETPOINTS: usize = 256;
-    /// Default samples per `transient_stream` chunk.
-    pub const STREAM_CHUNK: usize = 1024;
-    /// Ceiling on one chunk's samples, bounding a single record's size.
-    pub const MAX_STREAM_CHUNK: usize = 4096;
-}
-
 fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
-    let plain = |m: String| (ErrorCode::BadRequest, m);
-    let allowed: &[&str] = match kind {
-        "ping" | "stats" | "shutdown" => &[],
-        "analyze" => &["arch", "topology", "power_w", "density"],
-        "sharing" => &["placement", "modules"],
-        "sharing_sweep" => &["placement", "modules", "setpoints"],
-        "droop" => &["arch"],
-        "transient_stream" => &["arch", "chunk"],
-        "mc" => &["arch", "topology", "samples", "seed", "threads"],
-        "impedance" => &["arch", "fmin_hz", "fmax_hz", "points", "profile"],
-        "faults" => &["arch", "topology", "random_k", "count", "seed"],
-        other => return Err(plain(format!("unknown request kind '{other}'"))),
+    let Some(spec) = kind_spec(kind) else {
+        return Err((
+            ErrorCode::Unsupported,
+            format!(
+                "unsupported kind '{kind}' (supported: {})",
+                supported_kinds().join(", ")
+            ),
+        ));
     };
-    p.reject_unknown(allowed).map_err(plain)?;
-    match kind {
-        "ping" => Ok(Work::Ping),
-        "stats" => Ok(Work::Stats),
-        "shutdown" => Ok(Work::Shutdown),
-        "analyze" => Ok(Work::Analyze {
-            arch: p.arch().map_err(plain)?,
-            topology: p.topology().map_err(plain)?,
-            power_w: p.f64("power_w", defaults::POWER_W).map_err(plain)?,
-            density: p.f64("density", defaults::DENSITY).map_err(plain)?,
-        }),
-        "sharing" => {
-            let placement = match p.str("placement").map_err(plain)? {
-                None => VrPlacement::Periphery,
-                Some(s) => {
-                    parse_placement(s).ok_or_else(|| plain(format!("unknown placement '{s}'")))?
-                }
-            };
-            let modules = p.usize("modules", defaults::MODULES).map_err(plain)?;
-            if modules == 0 {
-                return Err(plain("param `modules` must be at least 1".into()));
-            }
-            Ok(Work::Sharing { placement, modules })
-        }
-        "sharing_sweep" => {
-            let placement = match p.str("placement").map_err(plain)? {
-                None => VrPlacement::Periphery,
-                Some(s) => {
-                    parse_placement(s).ok_or_else(|| plain(format!("unknown placement '{s}'")))?
-                }
-            };
-            let modules = p.usize("modules", defaults::MODULES).map_err(plain)?;
-            if modules == 0 {
-                return Err(plain("param `modules` must be at least 1".into()));
-            }
-            let setpoints = p
-                .f64_array("setpoints")
-                .map_err(plain)?
-                .ok_or_else(|| plain("param `setpoints` is required".into()))?;
-            if setpoints.is_empty() {
-                return Err(plain("param `setpoints` must not be empty".into()));
-            }
-            if setpoints.len() > defaults::MAX_SWEEP_SETPOINTS {
-                return Err(plain(format!(
-                    "param `setpoints` is capped at {} values",
-                    defaults::MAX_SWEEP_SETPOINTS
-                )));
-            }
-            Ok(Work::SharingSweep {
-                placement,
-                modules,
-                setpoints,
-            })
-        }
-        "droop" => Ok(Work::Droop {
-            arch: p.arch().map_err(plain)?,
-        }),
-        "transient_stream" => {
-            let chunk = p.usize("chunk", defaults::STREAM_CHUNK).map_err(plain)?;
-            if chunk == 0 {
-                return Err(plain("param `chunk` must be at least 1".into()));
-            }
-            if chunk > defaults::MAX_STREAM_CHUNK {
-                return Err(plain(format!(
-                    "param `chunk` is capped at {} samples",
-                    defaults::MAX_STREAM_CHUNK
-                )));
-            }
-            Ok(Work::TransientStream {
-                arch: p.arch().map_err(plain)?,
-                chunk,
-            })
-        }
-        "mc" => {
-            let samples = p.usize("samples", defaults::MC_SAMPLES).map_err(plain)?;
-            if samples == 0 {
-                return Err(plain("param `samples` must be at least 1".into()));
-            }
-            Ok(Work::Mc {
-                arch: p.arch().map_err(plain)?,
-                topology: p.topology().map_err(plain)?,
-                samples,
-                seed: p.u64("seed", defaults::MC_SEED).map_err(plain)?,
-                threads: p.usize("threads", 0).map_err(plain)?,
-            })
-        }
-        "impedance" => {
-            if p.str("arch").map_err(plain)? == Some("all") {
-                return Err((
-                    ErrorCode::Unsupported,
-                    "the multi-architecture impedance comparison is only served by the one-shot \
-                     CLI (`vpd impedance --arch all`)"
-                        .into(),
-                ));
-            }
-            let d = vpd_core::ImpedanceSweepSettings::default();
-            Ok(Work::Impedance {
-                arch: p.arch().map_err(plain)?,
-                fmin_hz: p.f64("fmin_hz", d.fmin.value()).map_err(plain)?,
-                fmax_hz: p.f64("fmax_hz", d.fmax.value()).map_err(plain)?,
-                points: p.usize("points", d.points).map_err(plain)?,
-                profile: p.bool("profile", false).map_err(plain)?,
-            })
-        }
-        "faults" => {
-            let random_k = match p.get("random_k") {
-                None => None,
-                Some(v) => Some(
-                    v.as_i64()
-                        .and_then(|n| usize::try_from(n).ok())
-                        .filter(|&k| k > 0)
-                        .ok_or_else(|| {
-                            plain("param `random_k` expects a positive integer".into())
-                        })?,
-                ),
-            };
-            Ok(Work::Faults {
-                arch: p.arch().map_err(plain)?,
-                topology: p.topology().map_err(plain)?,
-                random_k,
-                count: p.usize("count", defaults::FAULT_COUNT).map_err(plain)?,
-                seed: p.u64("seed", defaults::FAULT_SEED).map_err(plain)?,
-            })
-        }
-        other => Err(plain(format!("unknown request kind '{other}'"))),
+    p.reject_unknown(spec)
+        .map_err(|m| (ErrorCode::BadRequest, m))?;
+    // The one per-kind special case the table cannot express: the CLI's
+    // multi-architecture impedance comparison is deliberately unserved.
+    if kind == "impedance" && p.get("arch").and_then(Json::as_str) == Some("all") {
+        return Err((
+            ErrorCode::Unsupported,
+            "the multi-architecture impedance comparison is only served by the one-shot \
+             CLI (`vpd impedance --arch all`)"
+                .into(),
+        ));
     }
+    let mut values = Vec::with_capacity(spec.fields.len());
+    for f in &spec.fields {
+        values.push((f.name, parse_field(f, p)?));
+    }
+    let v = ParsedFields(values);
+    Ok(match kind {
+        "ping" => Work::Ping,
+        "stats" => Work::Stats,
+        "kinds" => Work::Kinds,
+        "shutdown" => Work::Shutdown,
+        "analyze" => Work::Analyze {
+            arch: v.arch("arch"),
+            topology: v.topology("topology"),
+            power_w: v.f64("power_w"),
+            density: v.f64("density"),
+        },
+        "sharing" => Work::Sharing {
+            placement: v.placement("placement"),
+            modules: v.count("modules"),
+        },
+        "sharing_sweep" => Work::SharingSweep {
+            placement: v.placement("placement"),
+            modules: v.count("modules"),
+            setpoints: v.list("setpoints"),
+        },
+        "droop" => Work::Droop {
+            arch: v.arch("arch"),
+        },
+        "transient_stream" => Work::TransientStream {
+            arch: v.arch("arch"),
+            chunk: v.count("chunk"),
+        },
+        "mc" => Work::Mc {
+            arch: v.arch("arch"),
+            topology: v.topology("topology"),
+            samples: v.count("samples"),
+            seed: v.seed("seed"),
+            threads: v.count("threads"),
+        },
+        "impedance" => Work::Impedance {
+            arch: v.arch("arch"),
+            fmin_hz: v.f64("fmin_hz"),
+            fmax_hz: v.f64("fmax_hz"),
+            points: v.count("points"),
+            profile: v.flag("profile"),
+        },
+        "faults" => Work::Faults {
+            arch: v.arch("arch"),
+            topology: v.topology("topology"),
+            random_k: v.optional_count("random_k"),
+            count: v.count("count"),
+            seed: v.seed("seed"),
+        },
+        other => unreachable!("kind `{other}` is in the table but not constructed"),
+    })
 }
 
 /// A response line, ready to serialize.
@@ -648,13 +1229,15 @@ impl Response {
         }
     }
 
-    /// Serializes to the single-line wire form.
+    /// Serializes to the single-line wire form. Every variant leads
+    /// with the echoed `id` and the server's [`PROTOCOL_VERSION`].
     #[must_use]
     pub fn to_json(&self) -> Json {
         let id = match self.id {
             Some(id) => Json::Int(id),
             None => Json::Null,
         };
+        let version = Json::Int(PROTOCOL_VERSION);
         match &self.body {
             ResponseBody::Ok {
                 kind,
@@ -662,6 +1245,7 @@ impl Response {
                 result,
             } => Json::obj([
                 ("id", id),
+                ("version", version),
                 ("ok", Json::from(true)),
                 ("kind", Json::from(*kind)),
                 ("cached", Json::from(*cached)),
@@ -675,6 +1259,7 @@ impl Response {
                 result,
             } => Json::obj([
                 ("id", id),
+                ("version", version),
                 ("ok", Json::from(true)),
                 ("kind", Json::from(*kind)),
                 ("cached", Json::from(*cached)),
@@ -684,6 +1269,7 @@ impl Response {
             ]),
             ResponseBody::Err { code, message } => Json::obj([
                 ("id", id),
+                ("version", version),
                 ("ok", Json::from(false)),
                 (
                     "error",
@@ -783,6 +1369,64 @@ mod tests {
     }
 
     #[test]
+    fn table_defaults_are_reachable_by_name() {
+        assert_eq!(wire_default_f64("analyze", "power_w"), 1000.0);
+        assert_eq!(wire_default_f64("analyze", "density"), 2.0);
+        assert_eq!(wire_default_count("sharing", "modules"), 48);
+        assert_eq!(wire_default_count("mc", "samples"), 200);
+        assert_eq!(wire_default_seed("mc", "seed"), 0x5eed);
+        assert_eq!(wire_default_count("faults", "count"), 32);
+        assert_eq!(wire_default_seed("faults", "seed"), 64023);
+        let z = vpd_core::ImpedanceSweepSettings::default();
+        assert_eq!(wire_default_f64("impedance", "fmin_hz"), z.fmin.value());
+        assert_eq!(wire_default_f64("impedance", "fmax_hz"), z.fmax.value());
+        assert_eq!(wire_default_count("impedance", "points"), z.points);
+    }
+
+    #[test]
+    fn catalog_lists_every_kind_with_typed_params() {
+        let catalog = kind_catalog();
+        let Json::Array(kinds) = &catalog else {
+            panic!("catalog must be an array: {catalog}");
+        };
+        assert_eq!(kinds.len(), kind_specs().len());
+        let analyze = kinds
+            .iter()
+            .find(|k| k.get("kind").and_then(Json::as_str) == Some("analyze"))
+            .expect("analyze in catalog");
+        let Some(Json::Array(params)) = analyze.get("params") else {
+            panic!("analyze params: {analyze}");
+        };
+        let arch = params
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some("arch"))
+            .expect("arch param");
+        assert_eq!(arch.get("required").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            arch.get("type").and_then(Json::as_str),
+            Some("architecture")
+        );
+        let power = params
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some("power_w"))
+            .expect("power_w param");
+        assert_eq!(power.get("default").and_then(Json::as_f64), Some(1000.0));
+        // Range validators surface in the catalog.
+        let mc = kinds
+            .iter()
+            .find(|k| k.get("kind").and_then(Json::as_str) == Some("mc"))
+            .unwrap();
+        let Some(Json::Array(mc_params)) = mc.get("params") else {
+            panic!("mc params");
+        };
+        let samples = mc_params
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some("samples"))
+            .unwrap();
+        assert_eq!(samples.get("min").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
     fn parses_a_sharing_sweep_request() {
         let req = Request::parse_line(
             r#"{"kind":"sharing_sweep","params":{"placement":"below","modules":24,"setpoints":[1.0,1.01,1.02]}}"#,
@@ -816,10 +1460,6 @@ mod tests {
         assert_eq!(e.code, ErrorCode::Parse);
         assert_eq!(e.id, None);
 
-        let e = Request::parse_line(r#"{"id":3,"kind":"frobnicate"}"#).unwrap_err();
-        assert_eq!(e.code, ErrorCode::BadRequest);
-        assert_eq!(e.id, Some(3), "id echoed even on bad requests");
-
         let e = Request::parse_line(r#"{"id":4,"kind":"analyze"}"#).unwrap_err();
         assert_eq!(e.code, ErrorCode::BadRequest);
         assert!(e.message.contains("arch"));
@@ -830,6 +1470,20 @@ mod tests {
         let e =
             Request::parse_line(r#"{"kind":"mc","params":{"arch":"a1","samples":0}}"#).unwrap_err();
         assert!(e.message.contains("samples"));
+    }
+
+    #[test]
+    fn unknown_kind_is_unsupported_and_lists_supported_kinds() {
+        let e = Request::parse_line(r#"{"id":3,"kind":"frobnicate"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Unsupported);
+        assert_eq!(e.id, Some(3), "id echoed even on unsupported kinds");
+        for kind in supported_kinds() {
+            assert!(
+                e.message.contains(kind),
+                "unsupported-kind message must list `{kind}`: {}",
+                e.message
+            );
+        }
     }
 
     #[test]
@@ -877,7 +1531,7 @@ mod tests {
         );
         assert_eq!(
             chunk.to_json().to_string(),
-            r#"{"id":4,"ok":true,"kind":"transient_stream","cached":true,"done":false,"seq":0,"result":{"samples":2}}"#
+            r#"{"id":4,"version":2,"ok":true,"kind":"transient_stream","cached":true,"done":false,"seq":0,"result":{"samples":2}}"#
         );
         assert!(chunk.has_more());
         let summary = Response::stream(Some(4), "transient_stream", true, 3, true, Json::Null);
@@ -897,7 +1551,7 @@ mod tests {
     }
 
     #[test]
-    fn responses_serialize_to_one_line() {
+    fn responses_serialize_to_one_line_with_the_protocol_version() {
         let ok = Response::ok(
             Some(1),
             "ping",
@@ -906,13 +1560,15 @@ mod tests {
         );
         assert_eq!(
             ok.to_json().to_string(),
-            r#"{"id":1,"ok":true,"kind":"ping","cached":false,"result":{"command":"ping"}}"#
+            r#"{"id":1,"version":2,"ok":true,"kind":"ping","cached":false,"result":{"command":"ping"}}"#
         );
         let err = Response::error(None, ErrorCode::QueueFull, "queue is full (depth 2)");
         assert_eq!(
             err.to_json().to_string(),
-            r#"{"id":null,"ok":false,"error":{"code":"queue_full","message":"queue is full (depth 2)"}}"#
+            r#"{"id":null,"version":2,"ok":false,"error":{"code":"queue_full","message":"queue is full (depth 2)"}}"#
         );
         assert!(!err.to_json().to_string().contains('\n'));
+        let shed = Response::error(Some(7), ErrorCode::Shed, "x");
+        assert!(shed.to_json().to_string().contains(r#""code":"shed""#));
     }
 }

@@ -1,17 +1,53 @@
-//! Line transports: stdio (tests, `vpd serve --stdio`) and TCP
-//! (`vpd serve`), plus the thin [`call`] client used by `vpd call`.
+//! Line transports: stdio (tests, `vpd serve --stdio`) and a
+//! **multiplexed** nonblocking TCP loop (`vpd serve`), plus the thin
+//! [`call`] client used by `vpd call`.
 //!
-//! Both transports share one shape: read a request line, submit it to
-//! the bounded [`WorkerPool`], and let the worker write the response
-//! line. Every accepted line gets **exactly one** response line —
-//! rejections included — so clients can count instead of guessing.
+//! Both transports share one shape: read a request line, admit it (or
+//! shed it), submit it to the bounded [`WorkerPool`], and let the
+//! worker write the response line. Every accepted line gets **exactly
+//! one** terminal response line — rejections included — so clients can
+//! count instead of guessing.
 //!
-//! Shutdown semantics (see DESIGN §12):
+//! # Multiplexing
+//!
+//! TCP connections are served by **one** event-loop thread over
+//! nonblocking sockets: an accept burst, then a read burst per
+//! connection, splitting complete lines out of per-connection buffers.
+//! Ten thousand idle clients therefore cost ten thousand small buffers
+//! — not ten thousand threads. Workers write responses through a
+//! connection's shared writer (a [`std::net::TcpStream`] clone wrapped
+//! in a bounded retry loop, since the fd is nonblocking); a writer that
+//! stays blocked past its budget marks the connection dead and drops
+//! further bytes, so a stalled client cannot wedge a worker.
+//!
+//! # Admission control
+//!
+//! Overload degrades predictably instead of queueing unboundedly:
+//!
+//! * a full bounded queue rejects with `queue_full` (as before), and
+//! * a request carrying `deadline_ms` that cannot meet it — estimated
+//!   queue wait (EMA of recent service times × queue depth / workers)
+//!   exceeding the budget — is **shed at admission** with the typed
+//!   `shed` code, before it wastes queue space it is doomed to time out
+//!   in. Requests without deadlines are never shed, and an idle queue
+//!   never sheds (so a zero-deadline probe still reaches the dequeue
+//!   check and fails deterministically there).
+//!
+//! # Batched block solves
+//!
+//! A worker that dequeues a `sharing_sweep` request pulls queued
+//! requests sharing the same `(placement, modules)` compiled plan out
+//! of the queue ([`WorkerScope::take_matching`]) and dispatches them as
+//! **one** multi-RHS block solve — bitwise-identical per request to
+//! sequential dispatch (see the engine docs). Batching is bounded by
+//! `max_batch` requests and [`MAX_BATCH_COLUMNS`] total columns.
+//!
+//! Shutdown semantics (see DESIGN §12/§15):
 //!
 //! * A `shutdown` request is acknowledged, then the pool **drains**:
-//!   in-flight requests complete and their responses are written;
-//!   queued requests are handed back and answered with
-//!   `{"code":"draining"}`; the listener closes.
+//!   in-flight requests (batches and streams included) complete and
+//!   their responses are written; queued requests are handed back and
+//!   answered with `{"code":"draining"}`; the listener closes.
 //! * End of input (stdio EOF / client disconnect) **finishes** instead:
 //!   everything already accepted runs to completion. On TCP, a single
 //!   client hanging up does not stop the server; only a `shutdown`
@@ -19,17 +55,32 @@
 //!   `unsafe`, so no signal handler is installed — drive shutdown
 //!   through the protocol.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::engine::Dispatcher;
-use crate::pool::{SubmitError, WorkerPool};
-use crate::proto::{ErrorCode, Request, Response, Work};
-use vpd_core::Architecture;
+use crate::pool::{SubmitError, WorkerPool, WorkerScope};
+use crate::proto::{ErrorCode, Request, Response, Work, PROTOCOL_VERSION};
+use vpd_core::{Architecture, VrPlacement};
 use vpd_report::Json;
+
+/// Ceiling on the total right-hand-side columns one batched block
+/// solve may accumulate across coalesced requests.
+pub const MAX_BATCH_COLUMNS: usize = 1024;
+
+/// A connection buffering more than this many bytes without a newline
+/// is answered with a parse error and closed.
+const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// How long a worker retries a nonblocking connection write before
+/// declaring the client dead.
+const WRITE_BUDGET: Duration = Duration::from_secs(5);
+
+/// Event-loop sleep when an iteration made no progress.
+const IDLE_POLL: Duration = Duration::from_micros(200);
 
 /// Service tuning knobs; the CLI flags map onto these 1:1.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +91,9 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Scenario-cache capacity in compiled entries (0 disables).
     pub cache_capacity: usize,
+    /// Most requests one batched block solve may coalesce (min 1;
+    /// 1 disables batching).
+    pub max_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +102,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_depth: 64,
             cache_capacity: 32,
+            max_batch: 16,
         }
     }
 }
@@ -60,16 +115,60 @@ struct Job<W: Write + Send + 'static> {
 }
 
 fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) {
+    // Serialize outside the lock and write the line in one call:
+    // formatted IO straight onto an unbuffered socket would issue one
+    // syscall per format fragment.
+    let mut line = response.to_json().to_string();
+    line.push('\n');
     let mut w = writer.lock().expect("response writer poisoned");
     // A torn-down connection makes writes fail; that request's client
     // is gone, which is not the server's problem.
-    let _ = writeln!(w, "{}", response.to_json());
+    let _ = w.write_all(line.as_bytes());
     let _ = w.flush();
 }
 
-fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
+/// Checks a dequeued job's deadline; answers and consumes it on
+/// expiry. Returns the job back when it is still within budget.
+fn check_deadline<W: Write + Send + 'static>(job: Job<W>) -> Option<Job<W>> {
+    let Some(budget_ms) = job.request.deadline_ms else {
+        return Some(job);
+    };
+    let waited = job.accepted_at.elapsed();
+    // `>=` so a zero deadline deterministically expires (useful for
+    // tests and as an explicit "reject unless immediate" probe).
+    if waited.as_millis() >= u128::from(budget_ms) {
+        vpd_obs::incr("serve.rejected.deadline");
+        write_line(
+            &job.writer,
+            &Response::error(
+                job.request.id,
+                ErrorCode::DeadlineExceeded,
+                format!(
+                    "request waited {} ms in queue, past its {budget_ms} ms deadline",
+                    waited.as_millis()
+                ),
+            ),
+        );
+        return None;
+    }
+    Some(job)
+}
+
+fn run_job<W: Write + Send + 'static>(
+    dispatcher: &Dispatcher,
+    scope: &WorkerScope<'_, Job<W>>,
+    job: Job<W>,
+    max_batch: usize,
+) {
     vpd_obs::incr("serve.requests");
     let _span = vpd_obs::span("serve.request_ns");
+    if let Work::SharingSweep {
+        placement, modules, ..
+    } = job.request.work
+    {
+        run_sweep_batch(dispatcher, scope, job, placement, modules, max_batch);
+        return;
+    }
     let Job {
         request,
         accepted_at,
@@ -81,6 +180,7 @@ fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
         // error record instead of a silent truncation.
         run_stream(
             dispatcher,
+            scope.index(),
             request.id,
             arch,
             chunk,
@@ -90,37 +190,92 @@ fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
         );
         return;
     }
-    if let Some(budget_ms) = request.deadline_ms {
-        let waited = accepted_at.elapsed();
-        // `>=` so a zero deadline deterministically expires (useful for
-        // tests and as an explicit "reject unless immediate" probe).
-        if waited.as_millis() >= u128::from(budget_ms) {
-            vpd_obs::incr("serve.rejected.deadline");
-            write_line(
-                &writer,
-                &Response::error(
-                    request.id,
-                    ErrorCode::DeadlineExceeded,
-                    format!(
-                        "request waited {} ms in queue, past its {budget_ms} ms deadline",
-                        waited.as_millis()
-                    ),
-                ),
-            );
-            return;
-        }
-    }
-    let response = match dispatcher.dispatch(&request.work) {
+    let Some(job) = check_deadline(Job {
+        request,
+        accepted_at,
+        writer,
+    }) else {
+        return;
+    };
+    let response = match dispatcher.dispatch_on(scope.index(), &job.request.work) {
         Ok((result, cached)) => {
             vpd_obs::incr("serve.ok");
-            Response::ok(request.id, request.work.kind(), cached, result)
+            Response::ok(job.request.id, job.request.work.kind(), cached, result)
         }
         Err((code, message)) => {
             vpd_obs::incr("serve.errors");
-            Response::error(request.id, code, message)
+            Response::error(job.request.id, code, message)
         }
     };
-    write_line(&writer, &response);
+    write_line(&job.writer, &response);
+}
+
+/// Dispatches a dequeued `sharing_sweep` together with every queued
+/// peer sharing its compiled plan: one cache check-out, one block
+/// solve, one response per request. Expired members are answered with
+/// `deadline_exceeded` instead of joining the solve.
+fn run_sweep_batch<W: Write + Send + 'static>(
+    dispatcher: &Dispatcher,
+    scope: &WorkerScope<'_, Job<W>>,
+    lead: Job<W>,
+    placement: VrPlacement,
+    modules: usize,
+    max_batch: usize,
+) {
+    let sweep_len = |work: &Work| match work {
+        Work::SharingSweep { setpoints, .. } => setpoints.len(),
+        _ => 0,
+    };
+    let mut columns = sweep_len(&lead.request.work);
+    let peers = scope.take_matching(max_batch.max(1) - 1, |j| match &j.request.work {
+        Work::SharingSweep {
+            placement: p,
+            modules: m,
+            setpoints,
+        } => {
+            let fits =
+                *p == placement && *m == modules && columns + setpoints.len() <= MAX_BATCH_COLUMNS;
+            if fits {
+                columns += setpoints.len();
+            }
+            fits
+        }
+        _ => false,
+    });
+    // Coalesced peers skipped the pool's dequeue path; account for them
+    // here so every request still counts exactly once.
+    for _ in &peers {
+        vpd_obs::incr("serve.requests");
+    }
+    let mut members = Vec::with_capacity(1 + peers.len());
+    members.push(lead);
+    members.extend(peers);
+    let live: Vec<Job<W>> = members.into_iter().filter_map(check_deadline).collect();
+    if live.is_empty() {
+        return;
+    }
+    let sweeps: Vec<Vec<f64>> = live
+        .iter()
+        .map(|j| match &j.request.work {
+            Work::SharingSweep { setpoints, .. } => setpoints.clone(),
+            _ => unreachable!("batch members are sharing_sweep requests"),
+        })
+        .collect();
+    let results =
+        dispatcher.dispatch_sharing_sweep_batch(scope.index(), placement, modules, &sweeps);
+    for (job, outcome) in live.iter().zip(results) {
+        let response = match outcome {
+            Ok((result, cached)) => {
+                vpd_obs::incr("serve.ok");
+                Response::ok(job.request.id, job.request.work.kind(), cached, result)
+            }
+            Err((code, message)) => {
+                vpd_obs::incr("serve.errors");
+                Response::error(job.request.id, code, message)
+            }
+        };
+        write_line(&job.writer, &response);
+    }
 }
 
 /// Drives one `transient_stream` request: chunk records with
@@ -129,8 +284,10 @@ fn run_job<W: Write + Send + 'static>(dispatcher: &Dispatcher, job: Job<W>) {
 /// failure. The deadline is checked before the compile/check-out and
 /// again between chunks; an expired stream still returns its compiled
 /// scenario to the cache (the run drops, the drop checks it back in).
+#[allow(clippy::too_many_arguments)]
 fn run_stream<W: Write + Send + 'static>(
     dispatcher: &Dispatcher,
+    worker: usize,
     id: Option<i64>,
     arch: Architecture,
     chunk: usize,
@@ -162,7 +319,7 @@ fn run_stream<W: Write + Send + 'static>(
     if deadline_expired(0) {
         return;
     }
-    let mut run = match dispatcher.begin_transient_stream(arch, chunk) {
+    let mut run = match dispatcher.begin_transient_stream_on(worker, arch, chunk) {
         Ok(run) => run,
         Err((code, message)) => {
             vpd_obs::incr("serve.errors");
@@ -208,15 +365,81 @@ pub enum Ended {
     Shutdown,
 }
 
+/// Deadline-aware load shedding: an exponential moving average of
+/// recent per-request service times estimates how long a request would
+/// wait behind the current queue; a deadline the estimate already
+/// blows is rejected at admission with the typed `shed` code.
+struct Admission {
+    workers: u64,
+    /// EMA of service time, nanoseconds; 0 until the first completion.
+    est_ns: AtomicU64,
+}
+
+impl Admission {
+    fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1) as u64,
+            est_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let obs = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let old = self.est_ns.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            obs
+        } else {
+            (3 * (old / 4)) + obs / 4
+        };
+        self.est_ns.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// Estimated queue wait for a request entering behind `queued`
+    /// jobs, in milliseconds. Zero until any request has completed.
+    fn estimated_wait_ms(&self, queued: usize) -> u64 {
+        let est = self.est_ns.load(Ordering::Relaxed);
+        (est / 1_000_000).saturating_mul(queued as u64) / self.workers
+    }
+
+    /// A reject message when the request should be shed, `None` to
+    /// admit. Never sheds deadline-less requests or an idle queue.
+    fn should_shed(&self, queued: usize, deadline_ms: Option<u64>) -> Option<String> {
+        let budget_ms = deadline_ms?;
+        if queued == 0 {
+            return None;
+        }
+        let wait_ms = self.estimated_wait_ms(queued);
+        if wait_ms > budget_ms {
+            Some(format!(
+                "shed: estimated queue wait {wait_ms} ms exceeds the {budget_ms} ms deadline \
+                 ({queued} queued); retry with backoff or a larger budget"
+            ))
+        } else {
+            None
+        }
+    }
+}
+
 /// Builds the worker pool around a shared dispatcher.
 fn build_pool<W: Write + Send + 'static>(
     dispatcher: &Arc<Dispatcher>,
+    admission: &Arc<Admission>,
     cfg: &ServeConfig,
 ) -> WorkerPool<Job<W>> {
     let dispatcher = Arc::clone(dispatcher);
-    WorkerPool::new(cfg.workers, cfg.queue_depth, move |job: Job<W>| {
-        run_job(&dispatcher, job)
-    })
+    let admission = Arc::clone(admission);
+    let max_batch = cfg.max_batch.max(1);
+    WorkerPool::new(
+        cfg.workers,
+        cfg.queue_depth,
+        move |scope: &WorkerScope<'_, Job<W>>, job: Job<W>| {
+            let started = Instant::now();
+            run_job(&dispatcher, scope, job, max_batch);
+            // Batches complete several requests in one handler pass;
+            // charging the whole pass keeps the estimate conservative.
+            admission.record(started.elapsed());
+        },
+    )
 }
 
 /// Handles one request line; returns `true` when the line was a
@@ -224,6 +447,7 @@ fn build_pool<W: Write + Send + 'static>(
 fn handle_line<W: Write + Send + 'static>(
     line: &str,
     pool: &WorkerPool<Job<W>>,
+    admission: &Admission,
     writer: &Arc<Mutex<W>>,
 ) -> bool {
     if line.trim().is_empty() {
@@ -240,6 +464,14 @@ fn handle_line<W: Write + Send + 'static>(
     if request.work == Work::Shutdown {
         return true;
     }
+    if let Some(message) = admission.should_shed(pool.queued(), request.deadline_ms) {
+        vpd_obs::incr("serve.shed.deadline");
+        write_line(
+            writer,
+            &Response::error(request.id, ErrorCode::Shed, message),
+        );
+        return false;
+    }
     let job = Job {
         request,
         accepted_at: Instant::now(),
@@ -249,10 +481,12 @@ fn handle_line<W: Write + Send + 'static>(
         let (job, code, message) = match err {
             SubmitError::QueueFull(job) => {
                 vpd_obs::incr("serve.rejected.queue_full");
+                vpd_obs::incr("serve.shed.queue_full");
                 (job, ErrorCode::QueueFull, "queue is full; retry later")
             }
             SubmitError::Draining(job) => {
                 vpd_obs::incr("serve.rejected.draining");
+                vpd_obs::incr("serve.shed.draining");
                 (job, ErrorCode::Draining, "server is draining")
             }
         };
@@ -279,6 +513,7 @@ fn drain_with_rejections<W: Write + Send + 'static>(
     );
     for job in pool.drain() {
         vpd_obs::incr("serve.rejected.draining");
+        vpd_obs::incr("serve.shed.draining");
         write_line(
             &job.writer,
             &Response::error(
@@ -304,13 +539,14 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
-    let dispatcher = Arc::new(Dispatcher::new(cfg.cache_capacity));
+    let dispatcher = Arc::new(Dispatcher::with_workers(cfg.cache_capacity, cfg.workers));
+    let admission = Arc::new(Admission::new(cfg.workers));
     let writer = Arc::new(Mutex::new(writer));
-    let pool = build_pool(&dispatcher, cfg);
+    let pool = build_pool(&dispatcher, &admission, cfg);
     let mut ended = Ended::Eof;
     for line in reader.lines() {
         let line = line?;
-        if handle_line(&line, &pool, &writer) {
+        if handle_line(&line, &pool, &admission, &writer) {
             let id = Request::parse_line(&line).ok().and_then(|r| r.id);
             drain_with_rejections(id, &pool, &writer);
             ended = Ended::Shutdown;
@@ -327,16 +563,83 @@ where
     Ok((writer, ended))
 }
 
+/// A worker-side writer over a nonblocking connection: retries
+/// `WouldBlock` in a bounded loop, and past the budget (or on any hard
+/// error) marks the connection dead and swallows further bytes so a
+/// stalled or vanished client cannot wedge a worker thread.
+struct ConnWriter {
+    stream: TcpStream,
+    dead: bool,
+}
+
+impl Write for ConnWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead || buf.is_empty() {
+            return Ok(buf.len());
+        }
+        let started = Instant::now();
+        loop {
+            match self.stream.write(buf) {
+                Ok(0) => {
+                    self.dead = true;
+                    return Ok(buf.len());
+                }
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if started.elapsed() > WRITE_BUDGET {
+                        self.dead = true;
+                        return Ok(buf.len());
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return Ok(buf.len());
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if !self.dead {
+            let _ = self.stream.flush();
+        }
+        Ok(())
+    }
+}
+
+/// One multiplexed connection's event-loop state.
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<Mutex<ConnWriter>>,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+impl Conn {
+    fn accept(stream: TcpStream) -> std::io::Result<Self> {
+        // One-line requests and responses are far smaller than a
+        // segment; Nagle + delayed ACK would add ~40 ms per turn.
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true)?;
+        let writer = ConnWriter {
+            stream: stream.try_clone()?,
+            dead: false,
+        };
+        Ok(Self {
+            stream,
+            writer: Arc::new(Mutex::new(writer)),
+            buf: Vec::new(),
+            closed: false,
+        })
+    }
+}
+
 /// A bound TCP service, not yet accepting.
 pub struct Server {
     listener: TcpListener,
     cfg: ServeConfig,
-}
-
-struct TcpShared {
-    pool: WorkerPool<Job<TcpStream>>,
-    shutting_down: AtomicBool,
-    conns: Mutex<Vec<TcpStream>>,
 }
 
 impl Server {
@@ -362,113 +665,114 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accepts and serves connections until a `shutdown` request
-    /// arrives, then drains and returns.
+    /// Accepts and serves connections on one multiplexed event-loop
+    /// thread until a `shutdown` request arrives, then drains and
+    /// returns.
     ///
     /// # Errors
     ///
     /// Propagates accept-loop failures.
     pub fn run(self) -> std::io::Result<()> {
-        let dispatcher = Arc::new(Dispatcher::new(self.cfg.cache_capacity));
-        let shared = Arc::new(TcpShared {
-            pool: build_pool(&dispatcher, &self.cfg),
-            shutting_down: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
-        });
-        let local = self.listener.local_addr()?;
-        let mut handles = Vec::new();
-        for stream in self.listener.incoming() {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = stream?;
-            // One-line requests and responses are far smaller than a
-            // segment; Nagle + delayed ACK would add ~40 ms per turn.
-            let _ = stream.set_nodelay(true);
-            vpd_obs::incr("serve.connections");
-            let shared = Arc::clone(&shared);
-            if let Ok(track) = stream.try_clone() {
-                shared
-                    .conns
-                    .lock()
-                    .expect("connection list poisoned")
-                    .push(track);
-            }
-            handles.push(std::thread::spawn(move || {
-                serve_connection(stream, &shared, local);
-            }));
-        }
-        for h in handles {
-            let _ = h.join();
-        }
-        Ok(())
-    }
-}
-
-fn serve_connection(stream: TcpStream, shared: &Arc<TcpShared>, local: std::net::SocketAddr) {
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match Request::parse_line(&line) {
-            Ok(req) => req,
-            Err(e) => {
-                vpd_obs::incr("serve.rejected.invalid");
-                write_line(&writer, &Response::error(e.id, e.code, e.message));
-                continue;
-            }
-        };
-        if request.work == Work::Shutdown {
-            if shared.shutting_down.swap(true, Ordering::SeqCst) {
-                // A concurrent shutdown is already draining; just ack.
-                write_line(
-                    &writer,
-                    &Response::error(request.id, ErrorCode::Draining, "server is draining"),
-                );
-                break;
-            }
-            drain_with_rejections(request.id, &shared.pool, &writer);
-            // Unblock every connection reader, then the accept loop.
-            for conn in shared
-                .conns
-                .lock()
-                .expect("connection list poisoned")
-                .iter()
-            {
-                let _ = conn.shutdown(std::net::Shutdown::Both);
-            }
-            let _ = TcpStream::connect(local);
-            break;
-        }
-        let job = Job {
-            request,
-            accepted_at: Instant::now(),
-            writer: Arc::clone(&writer),
-        };
-        if let Err(err) = shared.pool.submit(job) {
-            let (job, code, message) = match err {
-                SubmitError::QueueFull(job) => {
-                    vpd_obs::incr("serve.rejected.queue_full");
-                    (job, ErrorCode::QueueFull, "queue is full; retry later")
+        self.listener.set_nonblocking(true)?;
+        let dispatcher = Arc::new(Dispatcher::with_workers(
+            self.cfg.cache_capacity,
+            self.cfg.workers,
+        ));
+        let admission = Arc::new(Admission::new(self.cfg.workers));
+        let pool: WorkerPool<Job<ConnWriter>> = build_pool(&dispatcher, &admission, &self.cfg);
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            let mut progress = false;
+            // Accept burst.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        vpd_obs::incr("serve.connections");
+                        if let Ok(conn) = Conn::accept(stream) {
+                            conns.push(conn);
+                        }
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
                 }
-                SubmitError::Draining(job) => {
-                    vpd_obs::incr("serve.rejected.draining");
-                    (job, ErrorCode::Draining, "server is draining")
+            }
+            // Read burst per connection, splitting complete lines.
+            for conn in &mut conns {
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            // EOF: a trailing unterminated line still
+                            // counts (matches BufRead::lines).
+                            if !conn.buf.is_empty() {
+                                let line = String::from_utf8_lossy(&conn.buf).into_owned();
+                                conn.buf.clear();
+                                if handle_line(&line, &pool, &admission, &conn.writer) {
+                                    let id = Request::parse_line(&line).ok().and_then(|r| r.id);
+                                    drain_with_rejections(id, &pool, &conn.writer);
+                                    return Ok(());
+                                }
+                            }
+                            conn.closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            progress = true;
+                            conn.buf.extend_from_slice(&scratch[..n]);
+                            let mut start = 0usize;
+                            while let Some(pos) = conn.buf[start..].iter().position(|&b| b == b'\n')
+                            {
+                                let line = String::from_utf8_lossy(&conn.buf[start..start + pos])
+                                    .into_owned();
+                                start += pos + 1;
+                                if handle_line(&line, &pool, &admission, &conn.writer) {
+                                    let id = Request::parse_line(&line).ok().and_then(|r| r.id);
+                                    drain_with_rejections(id, &pool, &conn.writer);
+                                    return Ok(());
+                                }
+                            }
+                            conn.buf.drain(..start);
+                            if conn.buf.len() > MAX_LINE_BYTES {
+                                vpd_obs::incr("serve.rejected.invalid");
+                                write_line(
+                                    &conn.writer,
+                                    &Response::error(
+                                        None,
+                                        ErrorCode::Parse,
+                                        "request line exceeds the size limit",
+                                    ),
+                                );
+                                conn.closed = true;
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.closed = true;
+                            break;
+                        }
+                    }
                 }
-            };
-            write_line(&writer, &Response::error(job.request.id, code, message));
+            }
+            // A closed connection's pending responses keep flowing:
+            // workers hold the writer clone until their jobs finish.
+            conns.retain(|c| !c.closed);
+            if !progress {
+                std::thread::sleep(IDLE_POLL);
+            }
         }
     }
 }
 
 /// Sends request lines over one connection and reads one **terminal**
 /// response line per request — the `vpd call` client.
+///
+/// The first response's `version` field is checked against this
+/// client's [`PROTOCOL_VERSION`]: a missing or different version fails
+/// fast with `InvalidData` instead of misparsing a foreign protocol.
 ///
 /// When `shutdown` is true a `{"kind":"shutdown"}` request is appended
 /// after the payload lines. Responses arrive in completion order; match
@@ -481,7 +785,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<TcpShared>, local: std::net:
 /// # Errors
 ///
 /// Propagates connection and I/O failures. A clean server-side close
-/// before all terminal responses arrive yields `UnexpectedEof`.
+/// before all terminal responses arrive yields `UnexpectedEof`; a
+/// protocol-version mismatch yields `InvalidData`.
 pub fn call(addr: &str, lines: &[String], shutdown: bool) -> std::io::Result<Vec<String>> {
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
@@ -502,6 +807,7 @@ pub fn call(addr: &str, lines: &[String], shutdown: bool) -> std::io::Result<Vec
     writer.flush()?;
     let mut responses = Vec::with_capacity(expected);
     let mut terminal = 0usize;
+    let mut version_checked = false;
     let mut buf = String::new();
     while terminal < expected {
         buf.clear();
@@ -513,12 +819,38 @@ pub fn call(addr: &str, lines: &[String], shutdown: bool) -> std::io::Result<Vec
             ));
         }
         let text = buf.trim_end().to_owned();
+        let doc = Json::parse(&text).ok();
+        if !version_checked {
+            match doc
+                .as_ref()
+                .and_then(|j| j.get("version"))
+                .and_then(Json::as_i64)
+            {
+                Some(v) if v == PROTOCOL_VERSION => version_checked = true,
+                Some(v) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "server speaks protocol version {v}; this client speaks \
+                             {PROTOCOL_VERSION} — upgrade the older side"
+                        ),
+                    ))
+                }
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "server response carries no protocol version (pre-v{PROTOCOL_VERSION} \
+                             server); upgrade the server or use a matching client"
+                        ),
+                    ))
+                }
+            }
+        }
         // A chunk record (`"done":false`) belongs to a still-open
         // stream; anything else — plain results, errors, and stream
         // summaries (`"done":true`) — terminates its request.
-        let is_chunk = Json::parse(&text)
-            .ok()
-            .is_some_and(|j| matches!(j.get("done"), Some(Json::Bool(false))));
+        let is_chunk = doc.is_some_and(|j| matches!(j.get("done"), Some(Json::Bool(false))));
         if !is_chunk {
             terminal += 1;
         }
@@ -563,11 +895,13 @@ mod tests {
         // clients match responses by id, and so does this test.
         let ping = out.iter().find(|l| l.contains(r#""id":1"#)).unwrap();
         assert!(ping.contains(r#""ok":true"#) && ping.contains(r#""command":"ping""#));
+        assert!(ping.contains(r#""version":2"#), "{ping}");
         let sharing = out.iter().find(|l| l.contains(r#""id":2"#)).unwrap();
         assert!(sharing.contains(r#""command":"sharing""#), "{sharing}");
         assert!(out.iter().any(|l| l.contains(r#""code":"parse""#)));
         let stats = out.iter().find(|l| l.contains(r#""id":4"#)).unwrap();
         assert!(stats.contains(r#""command":"stats""#));
+        assert!(stats.contains(r#""batch""#), "{stats}");
     }
 
     #[test]
@@ -646,7 +980,8 @@ mod tests {
             workers: 1,
             ..ServeConfig::default()
         };
-        // A zero deadline has always expired by dequeue time.
+        // A zero deadline with an idle queue is never shed at
+        // admission; it reaches the dequeue check and expires there.
         let (out, _) = serve_script(&[r#"{"id":5,"kind":"ping","deadline_ms":0}"#], &cfg);
         assert_eq!(out.len(), 1);
         assert!(
@@ -654,5 +989,31 @@ mod tests {
             "{}",
             out[0]
         );
+    }
+
+    #[test]
+    fn admission_sheds_only_doomed_deadlines_behind_a_queue() {
+        let a = Admission::new(1);
+        // No completions yet: never shed.
+        assert!(a.should_shed(10, Some(1)).is_none());
+        // 20 ms EMA, 4 queued → ~80 ms estimated wait.
+        a.record(Duration::from_millis(20));
+        assert_eq!(a.estimated_wait_ms(4), 80);
+        assert!(
+            a.should_shed(4, Some(50)).is_some(),
+            "50 ms budget is doomed"
+        );
+        assert!(a.should_shed(4, Some(100)).is_none(), "100 ms budget fits");
+        // Deadline-less requests and idle queues are never shed.
+        assert!(a.should_shed(4, None).is_none());
+        assert!(a.should_shed(0, Some(1)).is_none());
+        // Two workers halve the wait.
+        let a2 = Admission::new(2);
+        a2.record(Duration::from_millis(20));
+        assert_eq!(a2.estimated_wait_ms(4), 40);
+        // The EMA tracks a shifting service time.
+        a.record(Duration::from_millis(4));
+        let est = a.estimated_wait_ms(1);
+        assert!(est < 20, "EMA moved toward the faster observation: {est}");
     }
 }

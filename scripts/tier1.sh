@@ -104,8 +104,38 @@ else
     fail=1
 fi
 
-step "serve bench smoke (cold/warm + concurrent, cold-oracle audited)"
+step "serve bench smoke (cold/warm, saturation, batching, shed validation)"
 cargo run --release -p vpd-bench --bin serve -- --smoke || fail=1
+
+step "BENCH_serve.json audit (saturation curve, >=5x baseline, p99 bound)"
+python3 - BENCH_serve.json <<'EOF' || fail=1
+import json, math, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+serve = doc["serve"]
+curve = serve["saturation"]
+assert len(curve) >= 3, f"saturation curve needs >=3 client counts, got {len(curve)}"
+for entry in curve:
+    for key in ("throughput_req_per_sec", "latency_p50_ms", "latency_p99_ms"):
+        assert math.isfinite(entry[key]) and entry[key] > 0, entry
+baseline = serve["baseline_throughput_req_per_sec"]
+peak = serve["throughput_req_per_sec"]
+speedup = peak / baseline
+assert speedup >= 5.0, f"peak {peak:.0f} req/s is only {speedup:.2f}x baseline {baseline}"
+assert serve["latency_p99_ms"] <= serve["baseline_p99_ms"], (
+    f"p99 {serve['latency_p99_ms']} regressed past baseline {serve['baseline_p99_ms']}"
+)
+assert serve["batch"]["speedup_vs_unbatched"] >= 1.0, serve["batch"]
+assert serve["batched_matches_sequential_bitwise"] is True, serve
+assert serve["cached_matches_cold_bitwise"] is True, serve
+assert serve["shed_responses_well_formed"] is True, serve
+print(
+    f"serve bench audit OK: peak {peak:.0f} req/s = {speedup:.1f}x baseline, "
+    f"p99 {serve['latency_p99_ms']:.2f} ms <= {serve['baseline_p99_ms']} ms, "
+    f"batched bitwise-identical to sequential"
+)
+EOF
 
 step "CLI smoke: vpd serve / vpd call round-trip over loopback"
 serve_log="target/tier1-serve.log"
@@ -149,6 +179,7 @@ by_id = {r["id"]: r for r in responses}
 assert sorted(by_id) == list(range(1, 9)), sorted(by_id)
 for r in responses:
     assert r["ok"], f"request {r['id']} failed: {r}"
+    assert r["version"] == 2, f"request {r['id']} missing protocol version: {r}"
 stats = by_id[8]["result"]
 cache = stats["cache"]
 assert cache["misses"] > 0, cache
@@ -204,6 +235,56 @@ assert summary["samples"] == 6001, summary
 assert summary["chunks"] == len(chunks), summary
 assert "report" in summary, summary
 print(f"transient_stream smoke OK: {len(chunks)} ordered chunks + summary, 6001 samples")
+EOF
+fi
+
+step "CLI smoke: serve saturation + load shedding over loopback"
+shed_log="target/tier1-shed.log"
+shed_out="target/tier1-shed.ndjson"
+rm -f "$shed_out"
+./target/release/vpd serve --addr 127.0.0.1:0 --workers 1 --queue-depth 2 \
+    2>"$shed_log" &
+shed_pid=$!
+shed_addr=""
+for _ in $(seq 1 100); do
+    shed_addr=$(sed -n 's/^vpd serve: listening on //p' "$shed_log")
+    [ -n "$shed_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$shed_addr" ]; then
+    echo "vpd serve did not start:"
+    cat "$shed_log"
+    kill "$shed_pid" 2>/dev/null
+    fail=1
+else
+    # Warm the admission estimate, then flood a depth-2 queue with
+    # doomed one-millisecond deadlines from many concurrent clients.
+    ./target/release/vpd call --addr "$shed_addr" \
+        --request '{"id":0,"kind":"sharing","params":{"modules":48}}' >/dev/null || fail=1
+    shed_args=()
+    for i in $(seq 1 16); do
+        shed_args+=(--request "{\"id\":$i,\"kind\":\"sharing\",\"params\":{\"modules\":48},\"deadline_ms\":1}")
+    done
+    ./target/release/vpd call --addr "$shed_addr" "${shed_args[@]}" \
+        >"$shed_out" || fail=1
+    ./target/release/vpd call --addr "$shed_addr" --shutdown >/dev/null || fail=1
+    wait "$shed_pid" || fail=1
+    python3 - "$shed_out" <<'EOF' || fail=1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    responses = [json.loads(line) for line in f if line.strip()]
+assert len(responses) == 16, f"overload dropped responses: got {len(responses)}"
+typed = {"queue_full", "shed", "deadline_exceeded"}
+rejects = 0
+for r in responses:
+    assert r["version"] == 2, r
+    if not r["ok"]:
+        code = r["error"]["code"]
+        assert code in typed, f"untyped overload reject: {r}"
+        rejects += 1
+assert rejects > 0, "a depth-2 queue flooded with 1 ms deadlines must reject some"
+print(f"shed smoke OK: 16/16 answered, {rejects} typed rejects, all well-formed NDJSON")
 EOF
 fi
 

@@ -25,7 +25,9 @@ use vertical_power_delivery::core::{
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
 use vertical_power_delivery::report::Json;
-use vertical_power_delivery::serve::proto::{parse_architecture, parse_topology};
+use vertical_power_delivery::serve::proto::{
+    parse_architecture, parse_topology, wire_default_count, wire_default_f64, wire_default_seed,
+};
 use vertical_power_delivery::serve::{self, ServeConfig};
 use vertical_power_delivery::thermal::DeviceTechnology;
 use vpd_units::Seconds;
@@ -91,14 +93,17 @@ commands:
   faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--n-minus-1 | --random-k <k>] [--count <n>] [--seed <s>]
   serve       [--addr <host:port>] [--workers <n>] [--queue-depth <n>]
-              [--cache-size <n>] [--stdio]
-              NDJSON analysis service with a compiled-plan scenario
-              cache (default addr 127.0.0.1:7171; --stdio serves one
+              [--cache-size <n>] [--max-batch <n>] [--stdio]
+              NDJSON analysis service: multiplexed connections, a
+              per-worker sharded compiled-plan cache, batched block
+              solves (--max-batch 1 disables), and deadline-aware load
+              shedding (default addr 127.0.0.1:7171; --stdio serves one
               session on stdin/stdout instead of TCP)
   call        [--addr <host:port>] --request '<json>' [--request ...]
               [--shutdown]
               send request lines to a running server, print one
-              response line each; --shutdown drains the server after
+              response line each; fails fast on a protocol-version
+              mismatch; --shutdown drains the server after
   help        print this message";
 
 /// A full CLI invocation: global flags plus the subcommand.
@@ -194,6 +199,7 @@ enum Command {
         workers: usize,
         queue_depth: usize,
         cache_size: usize,
+        max_batch: usize,
         stdio: bool,
     },
     Call {
@@ -263,8 +269,8 @@ impl Command {
             "analyze" => Ok(Self::Analyze {
                 arch: parse_arch(true)?,
                 topology: parse_topo()?,
-                power_w: parse_f64("--power", 1000.0)?,
-                density: parse_f64("--density", 2.0)?,
+                power_w: parse_f64("--power", wire_default_f64("analyze", "power_w"))?,
+                density: parse_f64("--density", wire_default_f64("analyze", "density"))?,
             }),
             "matrix" => Ok(Self::Matrix),
             "recommend" => Ok(Self::Recommend),
@@ -274,11 +280,14 @@ impl Command {
                     Some("below") => VrPlacement::BelowDie,
                     Some(other) => return Err(format!("unknown placement '{other}'")),
                 };
-                let modules = parse_f64("--modules", 48.0)? as usize;
+                let modules =
+                    parse_f64("--modules", wire_default_count("sharing", "modules") as f64)?
+                        as usize;
                 Ok(Self::Sharing { placement, modules })
             }
             "mc" => {
-                let samples = parse_f64("--samples", 200.0)? as usize;
+                let samples =
+                    parse_f64("--samples", wire_default_count("mc", "samples") as f64)? as usize;
                 if samples == 0 {
                     return Err("--samples must be at least 1".into());
                 }
@@ -286,7 +295,7 @@ impl Command {
                     arch: parse_arch(true)?,
                     topology: parse_topo()?,
                     samples,
-                    seed: parse_f64("--seed", 0x5eed as f64)? as u64,
+                    seed: parse_f64("--seed", wire_default_seed("mc", "seed") as f64)? as u64,
                     threads: parse_f64("--threads", 0.0)? as usize,
                 })
             }
@@ -295,15 +304,18 @@ impl Command {
                     Some("all") => None,
                     _ => Some(parse_arch(true)?),
                 };
-                let defaults = ImpedanceSweepSettings::default();
                 // Bounds and point counts are validated downstream by
                 // the checked sweep builder, so every bad value becomes
-                // a typed error instead of a panic.
+                // a typed error instead of a panic. Defaults come from
+                // the wire field-spec table (which itself reads
+                // `ImpedanceSweepSettings::default()`), so the CLI and
+                // the protocol cannot drift apart.
                 Ok(Self::Impedance {
                     arch,
-                    fmin_hz: parse_f64("--fmin", defaults.fmin.value())?,
-                    fmax_hz: parse_f64("--fmax", defaults.fmax.value())?,
-                    points: parse_f64("--points", defaults.points as f64)? as usize,
+                    fmin_hz: parse_f64("--fmin", wire_default_f64("impedance", "fmin_hz"))?,
+                    fmax_hz: parse_f64("--fmax", wire_default_f64("impedance", "fmax_hz"))?,
+                    points: parse_f64("--points", wire_default_count("impedance", "points") as f64)?
+                        as usize,
                     profile: rest.iter().any(|a| a.as_str() == "--profile"),
                 })
             }
@@ -356,8 +368,9 @@ impl Command {
                     arch: parse_arch(true)?,
                     topology: parse_topo()?,
                     random_k,
-                    count: parse_f64("--count", 32.0)? as usize,
-                    seed: parse_f64("--seed", 64023.0)? as u64,
+                    count: parse_f64("--count", wire_default_count("faults", "count") as f64)?
+                        as usize,
+                    seed: parse_f64("--seed", wire_default_seed("faults", "seed") as f64)? as u64,
                 })
             }
             "serve" => {
@@ -367,6 +380,7 @@ impl Command {
                     workers: parse_f64("--workers", defaults.workers as f64)? as usize,
                     queue_depth: parse_f64("--queue-depth", defaults.queue_depth as f64)? as usize,
                     cache_size: parse_f64("--cache-size", defaults.cache_capacity as f64)? as usize,
+                    max_batch: parse_f64("--max-batch", defaults.max_batch as f64)? as usize,
                     stdio: rest.iter().any(|a| a.as_str() == "--stdio"),
                 })
             }
@@ -929,12 +943,14 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
             workers,
             queue_depth,
             cache_size,
+            max_batch,
             stdio,
         } => {
             let cfg = ServeConfig {
                 workers,
                 queue_depth,
                 cache_capacity: cache_size,
+                max_batch,
             };
             if stdio {
                 // One session over stdin/stdout: requests in, responses
@@ -1288,12 +1304,14 @@ mod tests {
                 workers,
                 queue_depth,
                 cache_size,
+                max_batch,
                 stdio,
             } => {
                 assert_eq!(addr, DEFAULT_ADDR);
                 assert_eq!(workers, defaults.workers);
                 assert_eq!(queue_depth, defaults.queue_depth);
                 assert_eq!(cache_size, defaults.cache_capacity);
+                assert_eq!(max_batch, defaults.max_batch);
                 assert!(!stdio);
             }
             other => panic!("{other:?}"),
@@ -1308,6 +1326,8 @@ mod tests {
             "8",
             "--cache-size",
             "2",
+            "--max-batch",
+            "1",
             "--stdio",
         ])
         .unwrap()
@@ -1317,12 +1337,14 @@ mod tests {
                 workers,
                 queue_depth,
                 cache_size,
+                max_batch,
                 stdio,
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(workers, 4);
                 assert_eq!(queue_depth, 8);
                 assert_eq!(cache_size, 2);
+                assert_eq!(max_batch, 1, "--max-batch 1 disables batching");
                 assert!(stdio);
             }
             other => panic!("{other:?}"),

@@ -1,7 +1,9 @@
 //! End-to-end tests for the `vpd-serve` service: the stdio transport,
-//! the TCP transport with the `call` client, and the determinism
-//! contract — a served `result` document is bitwise-identical to the
-//! one-shot `vpd --format json <command>` invocation, cold or cached.
+//! the multiplexed TCP transport with the `call` client, overload
+//! behavior (typed rejects, never hangs or bare disconnects), batching
+//! equivalence, and the determinism contract — a served `result`
+//! document is bitwise-identical to the one-shot
+//! `vpd --format json <command>` invocation, cold or cached.
 
 use std::io::Cursor;
 use std::process::Command;
@@ -17,6 +19,7 @@ fn serve_script(lines: &[&str], cache_capacity: usize) -> (Vec<String>, Ended) {
         workers: 1,
         queue_depth: 64,
         cache_capacity,
+        max_batch: 16,
     };
     let input = lines.join("\n");
     let (out, ended) =
@@ -331,6 +334,233 @@ fn call_client_collects_stream_records_behind_one_expected_response() {
         .filter(|l| !l.contains(r#""done":false"#))
         .count();
     assert_eq!(terminal, 2, "{responses:?}");
+
+    let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn batched_sweeps_serve_the_same_bits_as_an_unbatched_server() {
+    // Two servers, one worker each: one may coalesce queued
+    // `sharing_sweep` requests into block solves, the other has
+    // batching disabled. Whatever subset actually batches (that part is
+    // timing-dependent), every response must be bitwise-identical
+    // across the two servers — batching is a latency optimization, not
+    // an observable behavior.
+    let bind = |max_batch: usize| {
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            cache_capacity: 16,
+            max_batch,
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    };
+    let lines: Vec<String> = (0..8)
+        .map(|i| {
+            let v = 1.0 + 0.005 * f64::from(i % 3);
+            format!(
+                r#"{{"id":{i},"kind":"sharing_sweep","params":{{"placement":"below","modules":12,"setpoints":[{v},0.99]}}}}"#
+            )
+        })
+        .collect();
+    let mut results: Vec<Vec<(i64, String)>> = Vec::new();
+    for max_batch in [16, 1] {
+        let (addr, handle) = bind(max_batch);
+        let responses =
+            vertical_power_delivery::serve::call(&addr, &lines, false).expect("call round trip");
+        assert_eq!(responses.len(), lines.len(), "one response per request");
+        let mut tagged: Vec<(i64, String)> = responses
+            .iter()
+            .map(|l| {
+                let doc = Json::parse(l).expect("valid response JSON");
+                assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{l}");
+                (
+                    doc.get("id").and_then(Json::as_i64).expect("response id"),
+                    doc.get("result").expect("result document").to_string(),
+                )
+            })
+            .collect();
+        tagged.sort_by_key(|(id, _)| *id);
+        results.push(tagged);
+        let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
+        handle.join().expect("server thread").expect("server run");
+    }
+    assert_eq!(
+        results[0], results[1],
+        "batched server produced different bits than the unbatched one"
+    );
+}
+
+#[test]
+fn overload_answers_every_request_with_a_typed_response() {
+    // A tiny queue behind one worker, flooded well past capacity: the
+    // contract is one well-formed NDJSON response per request — success
+    // or a typed reject (`queue_full`, `shed`, `deadline_exceeded`) —
+    // never a hang and never a bare disconnect. `call` itself enforces
+    // the count (it blocks until every request is answered).
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        cache_capacity: 16,
+        max_batch: 1,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Warm the admission controller's service-time estimate so
+    // deadline-aware shedding can engage.
+    let warm = vec![r#"{"id":100,"kind":"sharing","params":{"modules":12}}"#.to_owned()];
+    let _ = vertical_power_delivery::serve::call(&addr, &warm, false).expect("warmup");
+
+    let lines: Vec<String> = (0..24)
+        .map(|i| {
+            format!(r#"{{"id":{i},"kind":"sharing","params":{{"modules":12}},"deadline_ms":1}}"#)
+        })
+        .collect();
+    let responses = vertical_power_delivery::serve::call(&addr, &lines, false).expect("flood");
+    assert_eq!(responses.len(), lines.len(), "every request got an answer");
+    let mut rejected = 0;
+    for line in &responses {
+        let doc = Json::parse(line).expect("well-formed NDJSON under overload");
+        assert_eq!(doc.get("version").and_then(Json::as_i64), Some(2), "{line}");
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                let code = doc
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .map(|c| c.to_string())
+                    .unwrap_or_default();
+                assert!(
+                    ["\"queue_full\"", "\"shed\"", "\"deadline_exceeded\""]
+                        .contains(&code.as_str()),
+                    "unexpected reject code {code} in {line}"
+                );
+                rejected += 1;
+            }
+            None => panic!("response without ok flag: {line}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a depth-2 queue flooded with 24 one-millisecond deadlines must reject some"
+    );
+
+    let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn shutdown_answers_pipelined_sweeps_instead_of_dropping_them() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    // Client A pipelines several batchable sweeps; after A's first
+    // response arrives (so at least one job went in flight), client B
+    // requests shutdown. Every one of A's requests must still get
+    // exactly one terminal response — completed work answers `ok`,
+    // pulled-back queued work answers the typed `draining` reject.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 64,
+        cache_capacity: 16,
+        max_batch: 4,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let total = 6;
+    for i in 0..total {
+        writeln!(
+            writer,
+            r#"{{"id":{i},"kind":"sharing_sweep","params":{{"placement":"below","modules":12,"setpoints":[1.0,1.005]}}}}"#
+        )
+        .expect("send request");
+    }
+    writer.flush().expect("flush");
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first response");
+    assert!(first.contains(r#""id":0"#), "{first}");
+
+    let drain = vertical_power_delivery::serve::call(&addr, &[], true).expect("shutdown call");
+    assert!(drain[0].contains(r#""kind":"shutdown""#), "{}", drain[0]);
+
+    let mut seen = vec![first];
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read response");
+        if n == 0 {
+            break;
+        }
+        seen.push(line.clone());
+    }
+    assert_eq!(
+        seen.len(),
+        total,
+        "every pipelined request answered: {seen:?}"
+    );
+    for i in 0..total {
+        let needle = format!("\"id\":{i}");
+        let response = seen
+            .iter()
+            .find(|l| l.contains(&needle))
+            .unwrap_or_else(|| panic!("no response for id {i}: {seen:?}"));
+        assert!(
+            response.contains(r#""ok":true"#) || response.contains(r#""code":"draining""#),
+            "{response}"
+        );
+    }
+    handle.join().expect("server thread").expect("server run");
+}
+
+/// Current thread count of this test process, from `/proc/self/status`.
+fn process_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn idle_connections_cost_buffers_not_threads() {
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        cache_capacity: 4,
+        max_batch: 16,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Park 100 idle connections on the multiplexer.
+    let idle: Vec<std::net::TcpStream> = (0..100)
+        .map(|_| std::net::TcpStream::connect(&addr).expect("idle connect"))
+        .collect();
+    // The server stays responsive with all of them open.
+    let ping = vec![r#"{"id":1,"kind":"ping"}"#.to_owned()];
+    let responses = vertical_power_delivery::serve::call(&addr, &ping, false).expect("ping");
+    assert!(responses[0].contains(r#""ok":true"#), "{}", responses[0]);
+    // One event-loop thread plus two workers serve all 101 connections;
+    // a thread-per-connection design would sit above 100 here.
+    let threads = process_threads();
+    assert!(
+        threads < 20,
+        "expected a multiplexed server, found {threads} threads with 100 idle connections"
+    );
+    drop(idle);
 
     let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
     handle.join().expect("server thread").expect("server run");
