@@ -190,6 +190,7 @@ fn validate_shedding(smoke: bool) -> (usize, usize) {
         queue_depth: 2,
         cache_capacity: 8,
         max_batch: 1,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind shed server");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -252,6 +253,7 @@ fn main() {
         queue_depth: 256,
         cache_capacity: 64,
         max_batch: 16,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
     let addr = server.local_addr().expect("local addr").to_string();

@@ -11,7 +11,7 @@
 use crate::netlist::{ElementKind, SwitchState};
 use crate::{CircuitError, ElementId, Netlist, NodeId};
 use vpd_numeric::{Complex, ComplexLu, ComplexMatrix};
-use vpd_units::Hertz;
+use vpd_units::{Farads, Henries, Hertz, Ohms};
 
 /// One point of an AC sweep.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -335,6 +335,9 @@ pub struct AcPlan {
     element_count: usize,
     /// Stamps in element order.
     ops: Vec<PlanOp>,
+    /// Element index → op index (`None` for current sources, which
+    /// stamp nothing), so value restamps can find their stamp.
+    op_index: Vec<Option<usize>>,
     /// Element indices of the voltage sources, in element order.
     sources: Vec<usize>,
     /// Reusable MNA matrix (`dim × dim`).
@@ -360,8 +363,15 @@ impl AcPlan {
         };
         let mut sources = Vec::new();
         let mut ops = Vec::with_capacity(net.elements().len());
+        let mut op_index = Vec::with_capacity(net.elements().len());
         for (i, e) in net.elements().iter().enumerate() {
             let (a, b) = (idx(e.a), idx(e.b));
+            op_index.push(match e.kind {
+                ElementKind::CurrentSource { .. }
+                | ElementKind::StepCurrentSource { .. }
+                | ElementKind::RampCurrentSource { .. } => None,
+                _ => Some(ops.len()),
+            });
             match &e.kind {
                 ElementKind::Resistor { r } => ops.push(PlanOp::Admittance {
                     a,
@@ -417,6 +427,7 @@ impl AcPlan {
             node_count: net.node_count(),
             element_count: net.elements().len(),
             ops,
+            op_index,
             sources,
             matrix: ComplexMatrix::zeros(dim, dim),
             rhs: vec![Complex::ZERO; dim],
@@ -430,6 +441,112 @@ impl AcPlan {
     #[must_use]
     pub fn dim(&self) -> usize {
         self.nv + self.sources.len()
+    }
+
+    /// The compiled admittance stamp for `element`, for value restamps.
+    fn stamp_mut(
+        &mut self,
+        element: ElementId,
+        what: &'static str,
+        value: f64,
+    ) -> Result<&mut AdmittanceKind, CircuitError> {
+        if element.index() >= self.element_count {
+            return Err(CircuitError::UnknownElement {
+                index: element.index(),
+            });
+        }
+        let Some(slot) = self.op_index[element.index()] else {
+            return Err(CircuitError::InvalidValue {
+                element: what,
+                value,
+            });
+        };
+        match &mut self.ops[slot] {
+            PlanOp::Admittance { kind, .. } => Ok(kind),
+            PlanOp::Source { .. } => Err(CircuitError::InvalidValue {
+                element: what,
+                value,
+            }),
+        }
+    }
+
+    /// Restamps a compiled conductance stamp (a resistor, or a switch
+    /// frozen at `t = 0`) to resistance `r`, baking `1/r` exactly as
+    /// [`AcPlan::compile`] would, so a restamped plan is
+    /// bitwise-identical to one compiled from the edited netlist.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] for a foreign element id.
+    /// * [`CircuitError::InvalidValue`] when the element's stamp is not
+    ///   a conductance, or `r` is non-positive or non-finite.
+    pub fn set_resistance(&mut self, element: ElementId, r: Ohms) -> Result<(), CircuitError> {
+        if !(r.value() > 0.0 && r.value().is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: "ac set_resistance",
+                value: r.value(),
+            });
+        }
+        match self.stamp_mut(element, "set_resistance on non-conductance", r.value())? {
+            AdmittanceKind::Conductance(g) => {
+                *g = 1.0 / r.value();
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_resistance on non-conductance",
+                value: r.value(),
+            }),
+        }
+    }
+
+    /// Restamps a compiled capacitor stamp to capacitance `c`, exactly
+    /// as [`AcPlan::compile`] would bake it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcPlan::set_resistance`], for capacitor stamps.
+    pub fn set_capacitance(&mut self, element: ElementId, c: Farads) -> Result<(), CircuitError> {
+        if !(c.value() > 0.0 && c.value().is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: "ac set_capacitance",
+                value: c.value(),
+            });
+        }
+        match self.stamp_mut(element, "set_capacitance on non-capacitor", c.value())? {
+            AdmittanceKind::Capacitance(v) => {
+                *v = c.value();
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_capacitance on non-capacitor",
+                value: c.value(),
+            }),
+        }
+    }
+
+    /// Restamps a compiled inductor stamp to inductance `l`, exactly
+    /// as [`AcPlan::compile`] would bake it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcPlan::set_resistance`], for inductor stamps.
+    pub fn set_inductance(&mut self, element: ElementId, l: Henries) -> Result<(), CircuitError> {
+        if !(l.value() > 0.0 && l.value().is_finite()) {
+            return Err(CircuitError::InvalidValue {
+                element: "ac set_inductance",
+                value: l.value(),
+            });
+        }
+        match self.stamp_mut(element, "set_inductance on non-inductor", l.value())? {
+            AdmittanceKind::Inductance(v) => {
+                *v = l.value();
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_inductance on non-inductor",
+                value: l.value(),
+            }),
+        }
     }
 
     /// Driving-point impedance at `node` (vs. ground) at one frequency.
@@ -893,6 +1010,95 @@ mod tests {
             ana.transfer(ElementId(999), die, &[Hertz::new(1.0)]),
             Err(CircuitError::UnknownElement { .. })
         ));
+    }
+
+    #[test]
+    fn value_restamp_is_bitwise_identical_to_fresh_compile() {
+        // Build the same ladder twice: one plan restamped to the
+        // degraded values, one compiled from a netlist carrying them
+        // from the start. Every sweep point must agree bitwise.
+        let build = |r_series: Ohms, l_series: Henries, c_bulk: Farads| {
+            let mut net = Netlist::new();
+            let vr = net.node("vr");
+            let board = net.node("board");
+            let die = net.node("die");
+            let bulk = net.node("bulk");
+            let g = net.ground();
+            net.voltage_source(vr, g, Volts::new(1.0)).unwrap();
+            let r = net.resistor(vr, board, r_series).unwrap();
+            let l = net.inductor(board, die, l_series, Amps::ZERO).unwrap();
+            let c = net.capacitor(board, bulk, c_bulk, Volts::ZERO).unwrap();
+            net.resistor(bulk, g, Ohms::from_milliohms(0.2)).unwrap();
+            net.resistor(die, g, Ohms::new(1e4)).unwrap();
+            (net, die, r, l, c)
+        };
+        let (nominal, die, r, l, c) = build(
+            Ohms::from_milliohms(0.5),
+            Henries::from_nanohenries(15.0),
+            Farads::from_microfarads(200.0),
+        );
+        let (r2, l2, c2) = (
+            Ohms::from_milliohms(2.5),
+            Henries::from_nanohenries(45.0),
+            Farads::from_microfarads(50.0),
+        );
+        let (faulted, die2, ..) = build(r2, l2, c2);
+        assert_eq!(die, die2);
+        let mut restamped = AcPlan::compile(&nominal);
+        restamped.set_resistance(r, r2).unwrap();
+        restamped.set_inductance(l, l2).unwrap();
+        restamped.set_capacitance(c, c2).unwrap();
+        let mut scratch = AcPlan::compile(&faulted);
+        let freqs = log_sweep(Hertz::new(1e3), Hertz::new(1e9), 40);
+        assert_eq!(
+            restamped.impedance(die, &freqs).unwrap(),
+            scratch.impedance(die, &freqs).unwrap()
+        );
+    }
+
+    #[test]
+    fn value_restamp_rejects_bad_targets_and_values() {
+        let mut net = Netlist::new();
+        let n = net.node("n");
+        let g = net.ground();
+        let src = net.voltage_source(n, g, Volts::new(1.0)).unwrap();
+        let r = net.resistor(n, g, Ohms::new(1.0)).unwrap();
+        let c = net
+            .capacitor(n, g, Farads::from_microfarads(1.0), Volts::ZERO)
+            .unwrap();
+        let i = net.current_source(n, g, Amps::new(1.0)).unwrap();
+        let mut plan = AcPlan::compile(&net);
+        // Kind mismatches.
+        assert!(matches!(
+            plan.set_resistance(c, Ohms::new(1.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            plan.set_capacitance(r, Farads::new(1e-6)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            plan.set_inductance(r, Henries::new(1e-9)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        // Sources carry no admittance stamp at all.
+        assert!(matches!(
+            plan.set_resistance(src, Ohms::new(1.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            plan.set_resistance(i, Ohms::new(1.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        // Foreign ids and non-physical values.
+        assert!(matches!(
+            plan.set_resistance(ElementId(999), Ohms::new(1.0)),
+            Err(CircuitError::UnknownElement { .. })
+        ));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(plan.set_resistance(r, Ohms::new(bad)).is_err());
+            assert!(plan.set_capacitance(c, Farads::new(bad)).is_err());
+        }
     }
 
     #[test]

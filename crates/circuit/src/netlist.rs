@@ -45,16 +45,21 @@ pub enum SwitchState {
     Off,
 }
 
-/// A periodic gate-drive schedule for a switch.
+/// A gate-drive schedule for a switch: periodic PWM, with an optional
+/// one-shot **failure event** after which the switch stays off forever.
 ///
 /// The switch is on for the first `duty` fraction of each period, with an
-/// optional phase offset in `[0, 1)` of a period.
+/// optional phase offset in `[0, 1)` of a period. When `off_at` is set,
+/// the drive is forced [`SwitchState::Off`] for every `t ≥ off_at` —
+/// the "VR dies mid-run" stimulus of dynamic fault studies.
 #[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PwmSchedule {
     frequency: Hertz,
     duty: f64,
     phase: f64,
     complement: bool,
+    #[serde(default)]
+    off_at: Option<f64>,
 }
 
 impl PwmSchedule {
@@ -73,20 +78,61 @@ impl PwmSchedule {
             duty,
             phase: phase.rem_euclid(1.0),
             complement: false,
+            off_at: None,
         })
+    }
+
+    /// A drive that holds the switch on at every time — the natural base
+    /// for [`PwmSchedule::with_failure_at`] when modeling a regulator
+    /// that runs until it dies.
+    #[must_use]
+    pub fn always_on() -> Self {
+        Self {
+            frequency: Hertz::new(1.0),
+            duty: 1.0,
+            phase: 0.0,
+            complement: false,
+            off_at: None,
+        }
     }
 
     /// The complementary (inverted) schedule — for the synchronous switch
     /// of a buck half-bridge.
+    ///
+    /// Complementing inverts only the periodic drive; a failure event
+    /// still forces off (a dead regulator conducts through neither
+    /// half-bridge switch).
     #[must_use]
     pub fn complementary(mut self) -> Self {
         self.complement = !self.complement;
         self
     }
 
+    /// The same schedule with a one-shot failure at `at`: the drive is
+    /// forced off for every `t ≥ at`, regardless of the periodic
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a negative or
+    /// non-finite failure time.
+    pub fn with_failure_at(mut self, at: Seconds) -> Result<Self, CircuitError> {
+        if !(at.value().is_finite() && at.value() >= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: "switch failure time",
+                value: at.value(),
+            });
+        }
+        self.off_at = Some(at.value());
+        Ok(self)
+    }
+
     /// Switch state at time `t` (seconds).
     #[must_use]
     pub fn state_at(&self, t: f64) -> SwitchState {
+        if self.off_at.is_some_and(|dead| t >= dead) {
+            return SwitchState::Off;
+        }
         let cycle = (t * self.frequency.value() + self.phase).rem_euclid(1.0);
         let on = cycle < self.duty;
         match on ^ self.complement {
@@ -105,6 +151,12 @@ impl PwmSchedule {
     #[must_use]
     pub fn duty(&self) -> f64 {
         self.duty
+    }
+
+    /// The one-shot failure time, if this drive carries one.
+    #[must_use]
+    pub fn failure_at(&self) -> Option<Seconds> {
+        self.off_at.map(Seconds::new)
     }
 }
 
@@ -713,6 +765,37 @@ mod tests {
         let comp = sched.complementary();
         assert_eq!(comp.state_at(0.1), SwitchState::Off);
         assert_eq!(comp.state_at(0.3), SwitchState::On);
+    }
+
+    #[test]
+    fn pwm_failure_event_forces_off_from_its_time_on() {
+        let sched = PwmSchedule::always_on();
+        assert_eq!(sched.state_at(0.0), SwitchState::On);
+        assert_eq!(sched.state_at(1e9), SwitchState::On);
+        assert_eq!(sched.failure_at(), None);
+
+        let dying = sched.with_failure_at(Seconds::new(0.5)).unwrap();
+        assert_eq!(dying.state_at(0.0), SwitchState::On);
+        assert_eq!(dying.state_at(0.499), SwitchState::On);
+        assert_eq!(dying.state_at(0.5), SwitchState::Off, "inclusive at t");
+        assert_eq!(dying.state_at(7.0), SwitchState::Off, "off forever");
+        assert_eq!(dying.failure_at(), Some(Seconds::new(0.5)));
+
+        // Failure dominates the periodic pattern and its complement.
+        let pwm = PwmSchedule::new(Hertz::new(1.0), 0.25, 0.0)
+            .unwrap()
+            .with_failure_at(Seconds::new(1.0))
+            .unwrap();
+        assert_eq!(pwm.state_at(0.1), SwitchState::On);
+        assert_eq!(pwm.state_at(1.1), SwitchState::Off);
+        assert_eq!(pwm.complementary().state_at(1.3), SwitchState::Off);
+
+        assert!(PwmSchedule::always_on()
+            .with_failure_at(Seconds::new(-1.0))
+            .is_err());
+        assert!(PwmSchedule::always_on()
+            .with_failure_at(Seconds::new(f64::NAN))
+            .is_err());
     }
 
     #[test]

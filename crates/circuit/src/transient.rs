@@ -878,6 +878,59 @@ impl TransientPlan {
         }
     }
 
+    /// Replaces a switch's gate drive (schedule plus no-schedule
+    /// fallback state) in place.
+    ///
+    /// Unlike the source restamps this can change which conductance
+    /// configurations a run visits, but the per-configuration LU cache
+    /// absorbs that: already-cached configurations are reused and new
+    /// ones are factored once on first sight, so a restamped plan still
+    /// replays exactly what a fresh compile of the edited netlist would.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownElement`] — no such element.
+    /// * [`CircuitError::InvalidValue`] — the element is not a switch.
+    pub fn set_switch_drive(
+        &mut self,
+        element: ElementId,
+        schedule: Option<PwmSchedule>,
+        initial: SwitchState,
+    ) -> Result<(), CircuitError> {
+        let op = self.op_mut(element)?;
+        match &mut op.kind {
+            TranOpKind::Switch {
+                schedule: slot,
+                initial: state,
+                ..
+            } => {
+                *slot = schedule;
+                *state = initial;
+                Ok(())
+            }
+            _ => Err(CircuitError::InvalidValue {
+                element: "set_switch_drive on a non-switch element",
+                value: element.index() as f64,
+            }),
+        }
+    }
+
+    /// Schedules a one-shot failure on a switch: it conducts until `at`
+    /// and stays off from then on — the "VR dies mid-run" event of
+    /// dynamic fault studies. Equivalent to
+    /// [`TransientPlan::set_switch_drive`] with
+    /// [`PwmSchedule::always_on`] carrying a failure at `at`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientPlan::set_switch_drive`], plus
+    /// [`CircuitError::InvalidValue`] for a negative or non-finite
+    /// failure time.
+    pub fn fail_switch_at(&mut self, element: ElementId, at: Seconds) -> Result<(), CircuitError> {
+        let drive = PwmSchedule::always_on().with_failure_at(at)?;
+        self.set_switch_drive(element, Some(drive), SwitchState::On)
+    }
+
     fn op_mut(&mut self, element: ElementId) -> Result<&mut TranOp, CircuitError> {
         let index = element.index();
         self.ops
@@ -1555,6 +1608,82 @@ mod tests {
             .is_err());
         assert!(plan.set_source(ElementId(99), 1.0).is_err());
         assert!(plan.set_source(vs, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn fail_switch_at_matches_failure_baked_into_the_netlist() {
+        // Restamping a mid-run switch failure onto a compiled plan must
+        // replay the exact bits of compiling the dying netlist fresh.
+        let build = |drive: Option<PwmSchedule>| {
+            let mut net = Netlist::new();
+            let vin = net.node("vin");
+            let mid = net.node("mid");
+            let out = net.node("out");
+            net.voltage_source(vin, net.ground(), Volts::new(1.0))
+                .unwrap();
+            let sw = net
+                .switch(
+                    vin,
+                    mid,
+                    Ohms::from_milliohms(1.0),
+                    Ohms::new(1e9),
+                    drive,
+                    SwitchState::On,
+                )
+                .unwrap();
+            net.resistor(mid, out, Ohms::from_milliohms(5.0)).unwrap();
+            net.capacitor(
+                out,
+                net.ground(),
+                Farads::from_microfarads(1.0),
+                Volts::new(1.0),
+            )
+            .unwrap();
+            net.resistor(out, net.ground(), Ohms::new(1.0)).unwrap();
+            (net, sw, out)
+        };
+        let settings = TransientSettings::new(
+            Seconds::from_microseconds(8.0),
+            Seconds::from_nanoseconds(20.0),
+        )
+        .unwrap();
+        let at = Seconds::from_microseconds(3.0);
+        let (healthy, sw, out) = build(None);
+        let mut plan = TransientPlan::compile(&healthy, &settings).unwrap();
+        plan.run().unwrap();
+        assert_eq!(plan.cached_factorizations(), 1);
+        plan.fail_switch_at(sw, at).unwrap();
+        let restamped = plan.run().unwrap().clone();
+        // The flip visits one new configuration; the healthy one stays
+        // cached.
+        assert_eq!(plan.cached_factorizations(), 2);
+        let dying = PwmSchedule::always_on().with_failure_at(at).unwrap();
+        let (baked, ..) = build(Some(dying));
+        let scratch = transient(&baked, &settings).unwrap();
+        assert_results_bitwise(&restamped, &scratch);
+        // The die rail must actually sag once the switch opens.
+        let v = restamped.voltage(out);
+        assert!(v[0] > 0.9, "healthy rail holds up: {}", v[0]);
+        assert!(
+            *v.last().unwrap() < 0.1,
+            "dead rail must collapse: {}",
+            v.last().unwrap()
+        );
+        // Reverting the drive restores the healthy bits without a
+        // third factorization.
+        plan.set_switch_drive(sw, None, SwitchState::On).unwrap();
+        let healthy_again = plan.run().unwrap().clone();
+        assert_eq!(plan.cached_factorizations(), 2);
+        let healthy_oracle = transient(&healthy, &settings).unwrap();
+        assert_results_bitwise(&healthy_again, &healthy_oracle);
+        // Wrong-kind, foreign-id, and bad-time restamps are typed
+        // errors.
+        let r_id = ElementId(2);
+        assert!(plan.fail_switch_at(r_id, at).is_err());
+        assert!(plan.set_switch_drive(r_id, None, SwitchState::On).is_err());
+        assert!(plan.fail_switch_at(ElementId(99), at).is_err());
+        assert!(plan.fail_switch_at(sw, Seconds::new(-1.0)).is_err());
+        assert!(plan.fail_switch_at(sw, Seconds::new(f64::NAN)).is_err());
     }
 
     #[test]

@@ -39,6 +39,66 @@ impl Default for ElectroThermalSettings {
     }
 }
 
+/// How a fixed-point iteration ended. `Converged` is the only verdict
+/// under which the reported state is an actual fixed point; the other
+/// two return the last iterate together with how far it still moved,
+/// so callers can distinguish "almost there" from "meaningless".
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FixedPointTermination {
+    /// The iterate's change fell below tolerance.
+    Converged {
+        /// Final iterate change (kelvin for thermal loops).
+        residual_k: f64,
+    },
+    /// The iteration cap was reached with the residual still above
+    /// tolerance — the loop was cut off, not settled.
+    IterationCap {
+        /// Residual when the cap was reached.
+        residual_k: f64,
+    },
+    /// The iterate went non-finite — feedback ran away and the state
+    /// is not usable.
+    Diverged {
+        /// Last residual observed before the blow-up.
+        residual_k: f64,
+    },
+}
+
+impl FixedPointTermination {
+    /// True only for [`FixedPointTermination::Converged`].
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self, Self::Converged { .. })
+    }
+
+    /// The final residual, whatever the verdict.
+    #[must_use]
+    pub fn residual_k(&self) -> f64 {
+        match *self {
+            Self::Converged { residual_k }
+            | Self::IterationCap { residual_k }
+            | Self::Diverged { residual_k } => residual_k,
+        }
+    }
+}
+
+impl std::fmt::Display for FixedPointTermination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Converged { residual_k } => {
+                write!(f, "converged (residual {residual_k:.3e} K)")
+            }
+            Self::IterationCap { residual_k } => {
+                write!(f, "iteration cap hit (residual {residual_k:.3e} K)")
+            }
+            Self::Diverged { residual_k } => {
+                write!(f, "DIVERGED (last residual {residual_k:.3e} K)")
+            }
+        }
+    }
+}
+
 /// Result of the coupled analysis.
 #[derive(Clone, Debug)]
 pub struct ElectroThermalReport {
@@ -46,6 +106,9 @@ pub struct ElectroThermalReport {
     pub iterations: usize,
     /// Whether the fixed point converged within tolerance.
     pub converged: bool,
+    /// Typed verdict: how the fixed-point loop ended and the final
+    /// residual. `converged` mirrors `termination.converged()`.
+    pub termination: FixedPointTermination,
     /// Peak die temperature.
     pub peak_temperature: Celsius,
     /// Mean die temperature.
@@ -140,7 +203,8 @@ pub fn electro_thermal(
     let mut factors = vec![1.0; per_vr.len()];
     let mut last_peak = f64::NEG_INFINITY;
     let mut iterations = 0;
-    let mut converged = false;
+    let mut residual_k = f64::INFINITY;
+    let mut termination = None;
     let mut peak = Celsius::new(0.0);
     let mut mean = Celsius::new(0.0);
     let mut worst_module = Celsius::new(0.0);
@@ -180,12 +244,21 @@ pub fn electro_thermal(
         for (factor, &(x, y)) in factors.iter_mut().zip(&sites) {
             *factor = derating.loss_factor(map.at(x, y));
         }
-        if (peak.value() - last_peak).abs() < settings.tolerance_k {
-            converged = true;
+        if !peak.value().is_finite() {
+            termination = Some(FixedPointTermination::Diverged { residual_k });
+            break;
+        }
+        residual_k = (peak.value() - last_peak).abs();
+        if residual_k < settings.tolerance_k {
+            termination = Some(FixedPointTermination::Converged { residual_k });
             break;
         }
         last_peak = peak.value();
     }
+    // Falling off the loop means the cap cut the iteration short: the
+    // report carries the last iterate, flagged as such rather than
+    // silently presented as a fixed point.
+    let termination = termination.unwrap_or(FixedPointTermination::IterationCap { residual_k });
 
     let derated_total: Watts = nominal_losses
         .iter()
@@ -195,7 +268,8 @@ pub fn electro_thermal(
 
     Ok(ElectroThermalReport {
         iterations,
-        converged,
+        converged: termination.converged(),
+        termination,
         peak_temperature: peak,
         mean_temperature: mean,
         worst_module_temperature: worst_module,
@@ -262,6 +336,61 @@ mod tests {
         assert!(report.iterations >= 2);
         assert!(report.peak_temperature.value() > 25.0);
         assert!(report.thermal_penalty().value() > 0.0);
+    }
+
+    #[test]
+    fn iteration_cap_is_surfaced_as_a_typed_non_convergence() {
+        // An unreachable tolerance forces the loop to its cap: the
+        // report must say so explicitly instead of spinning forever or
+        // quietly claiming convergence.
+        let (spec, calib) = env();
+        let report = electro_thermal(
+            Architecture::InterposerEmbedded,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+            &ElectroThermalSettings {
+                max_iterations: 2,
+                tolerance_k: 0.0,
+                ..ElectroThermalSettings::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.iterations, 2, "loop stops at the cap");
+        assert!(!report.converged);
+        assert!(
+            matches!(
+                report.termination,
+                FixedPointTermination::IterationCap { .. }
+            ),
+            "got {:?}",
+            report.termination
+        );
+        let residual = report.termination.residual_k();
+        assert!(residual.is_finite() && residual >= 0.0);
+        assert!(!report.termination.converged());
+        assert!(report.termination.to_string().contains("iteration cap"));
+        // The state is still the last iterate — physically plausible.
+        assert!(report.peak_temperature.value() > 25.0);
+
+        // And the healthy path reports Converged with the same residual
+        // semantics.
+        let ok = electro_thermal(
+            Architecture::InterposerEmbedded,
+            VrTopologyKind::Dsch,
+            &spec,
+            &calib,
+            &AnalysisOptions::default(),
+            &ElectroThermalSettings::default(),
+        )
+        .unwrap();
+        assert!(ok.converged);
+        assert!(matches!(
+            ok.termination,
+            FixedPointTermination::Converged { .. }
+        ));
+        assert!(ok.termination.residual_k() < ElectroThermalSettings::default().tolerance_k);
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl FaultScenario {
 
     /// Regulator indices this scenario opens (used to separate the
     /// surviving-module statistics from the dead modules).
-    fn opened(&self, n_vrs: usize) -> Vec<bool> {
+    pub(crate) fn opened(&self, n_vrs: usize) -> Vec<bool> {
         let mut opened = vec![false; n_vrs];
         for fault in &self.faults {
             if let Fault::VrOpen { index } = *fault {
@@ -271,11 +271,21 @@ impl FaultSweepReport {
     /// Worst-case current margin against the module rating:
     /// `1 − worst_surviving / rating`. Negative means some scenario
     /// drives a module past its rating; `None` when the architecture
-    /// has no rated modules.
+    /// has no rated modules, when the sweep evaluated no scenarios
+    /// (there is no worst current to compare), or when the rating is
+    /// degenerate (zero, negative, or non-finite) — the ratio would be
+    /// ±inf/NaN rather than a margin.
     #[must_use]
     pub fn margin(&self) -> Option<f64> {
-        self.rating
-            .map(|r| 1.0 - self.worst_surviving_current.value() / r.value())
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        let r = self.rating?.value();
+        if !(r > 0.0 && r.is_finite()) {
+            return None;
+        }
+        let m = 1.0 - self.worst_surviving_current.value() / r;
+        m.is_finite().then_some(m)
     }
 }
 
@@ -495,7 +505,7 @@ impl FaultSweep {
     }
 }
 
-fn apply_fault(solver: &mut SharingSolver, fault: &Fault) -> Result<(), CoreError> {
+pub(crate) fn apply_fault(solver: &mut SharingSolver, fault: &Fault) -> Result<(), CoreError> {
     match *fault {
         Fault::VrOpen { index } => solver.set_vr_droop(index, OPEN_RESISTANCE),
         Fault::VrDerated { index, factor } => {
@@ -755,6 +765,40 @@ mod tests {
             sweep.run(&[bad_factor], 1),
             Err(CoreError::InvalidSpec { .. })
         ));
+    }
+
+    #[test]
+    fn margin_is_none_for_empty_sweeps_and_degenerate_ratings() {
+        let outcome = ScenarioOutcome {
+            name: "one".into(),
+            worst_drop: Volts::from_millivolts(50.0),
+            surviving_min: Amps::new(10.0),
+            surviving_max: Amps::new(20.0),
+            surviving_mean: Amps::new(15.0),
+            spread: 20.0 / 15.0,
+            overloaded_modules: 0,
+            used_fallback: false,
+            stagnated: false,
+            iterations: 3,
+        };
+        let summarize = |rating: Option<Amps>, outcomes: Vec<ScenarioOutcome>| {
+            FaultSweepReport::summarize(Architecture::InterposerEmbedded, rating, outcomes)
+        };
+        // No scenarios evaluated: worst_surviving_current is a fold over
+        // nothing, so the "margin" would be the meaningless 1 - 0/r.
+        assert!(summarize(Some(Amps::new(30.0)), vec![]).margin().is_none());
+        // Degenerate ratings would divide by ~0 or propagate non-finites.
+        for bad in [0.0, -5.0, 1e-320, f64::NAN, f64::INFINITY] {
+            assert!(
+                summarize(Some(Amps::new(bad)), vec![outcome.clone()])
+                    .margin()
+                    .is_none(),
+                "rating {bad} should have no margin"
+            );
+        }
+        // A healthy rating still reports the exact ratio.
+        let good = summarize(Some(Amps::new(40.0)), vec![outcome]);
+        assert_eq!(good.margin(), Some(1.0 - 20.0 / 40.0));
     }
 
     #[test]

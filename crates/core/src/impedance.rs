@@ -10,8 +10,27 @@
 //! "accurate system-level models" direction the paper's §I calls for.
 
 use crate::{Architecture, CoreError, SystemSpec};
-use vpd_circuit::{log_sweep, AcAnalysis, AcPoint, Netlist};
+use vpd_circuit::{log_sweep, AcAnalysis, AcPoint, ElementId, Netlist, NodeId};
 use vpd_units::{Amps, Farads, Henries, Hertz, Ohms, Volts};
+
+/// Element handles into the ladder built by
+/// [`PdnModel::netlist_tagged`] — the stamps a fault scenario edits
+/// value-only on a compiled plan. Only the fault-touched elements are
+/// tagged; the remaining passives never change under the fault
+/// taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PdnElements {
+    /// Regulator output resistance (parallel VR bank recombination).
+    pub vr_resistance: ElementId,
+    /// Regulator output inductance (parallel VR bank recombination).
+    pub vr_inductance: ElementId,
+    /// Bulk decap at the regulator output.
+    pub bulk_capacitance: ElementId,
+    /// Distribution resistance (sheet/region degradation).
+    pub distribution_resistance: ElementId,
+    /// Vertical resistance into the die (sheet/region degradation).
+    pub vertical_resistance: ElementId,
+}
 
 /// A three-stage PDN ladder: regulator → (board/interposer) → package →
 /// die, with a decoupling capacitor at each stage.
@@ -109,7 +128,22 @@ impl PdnModel {
     ///
     /// Propagates netlist validation errors (all model values must be
     /// positive).
-    pub fn netlist(&self) -> Result<(Netlist, vpd_circuit::NodeId), CoreError> {
+    pub fn netlist(&self) -> Result<(Netlist, NodeId), CoreError> {
+        let (net, die, _) = self.netlist_tagged()?;
+        Ok((net, die))
+    }
+
+    /// Builds the ladder netlist and additionally returns the
+    /// fault-touched element handles, so callers can restamp faulted
+    /// values into a compiled plan. The netlist is constructed exactly
+    /// as [`PdnModel::netlist`] (same node and element order), so plans
+    /// compiled from either are interchangeable bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors (all model values must be
+    /// positive).
+    pub fn netlist_tagged(&self) -> Result<(Netlist, NodeId, PdnElements), CoreError> {
         let mut net = Netlist::new();
         let vr = net.node("vr");
         let board = net.node("board");
@@ -119,20 +153,42 @@ impl PdnModel {
         // Regulator: AC-shorted ideal source behind its output RL.
         net.voltage_source(vr, g, Volts::new(1.0))
             .map_err(CoreError::Circuit)?;
+        let elements = self.stamp_ladder(&mut net, vr, board, pkg, die)?;
+        Ok((net, die, elements))
+    }
+
+    /// Stamps the passive ladder from the regulator output node `vr`
+    /// down to `die` into `net` (everything except the source), in the
+    /// canonical element order. Shared by the AC netlist above and the
+    /// VR-failure transient netlist, which puts a series switch between
+    /// the source and `vr`.
+    pub(crate) fn stamp_ladder(
+        &self,
+        net: &mut Netlist,
+        vr: NodeId,
+        board: NodeId,
+        pkg: NodeId,
+        die: NodeId,
+    ) -> Result<PdnElements, CoreError> {
+        let g = net.ground();
         let mid1 = net.node("vr_l");
-        net.resistor(vr, mid1, self.vr_resistance)
+        let vr_resistance = net
+            .resistor(vr, mid1, self.vr_resistance)
             .map_err(CoreError::Circuit)?;
-        net.inductor(mid1, board, self.vr_inductance, Amps::ZERO)
+        let vr_inductance = net
+            .inductor(mid1, board, self.vr_inductance, Amps::ZERO)
             .map_err(CoreError::Circuit)?;
         // Bulk decap at the first node.
         let bulk = net.node("bulk");
-        net.capacitor(board, bulk, self.bulk_capacitance, Volts::ZERO)
+        let bulk_capacitance = net
+            .capacitor(board, bulk, self.bulk_capacitance, Volts::ZERO)
             .map_err(CoreError::Circuit)?;
         net.resistor(bulk, g, self.bulk_esr)
             .map_err(CoreError::Circuit)?;
         // Distribution to package.
         let mid2 = net.node("dist_l");
-        net.resistor(board, mid2, self.distribution_resistance)
+        let distribution_resistance = net
+            .resistor(board, mid2, self.distribution_resistance)
             .map_err(CoreError::Circuit)?;
         net.inductor(mid2, pkg, self.distribution_inductance, Amps::ZERO)
             .map_err(CoreError::Circuit)?;
@@ -143,7 +199,8 @@ impl PdnModel {
             .map_err(CoreError::Circuit)?;
         // Vertical into the die.
         let mid3 = net.node("vert_l");
-        net.resistor(pkg, mid3, self.vertical_resistance)
+        let vertical_resistance = net
+            .resistor(pkg, mid3, self.vertical_resistance)
             .map_err(CoreError::Circuit)?;
         net.inductor(mid3, die, self.vertical_inductance, Amps::ZERO)
             .map_err(CoreError::Circuit)?;
@@ -152,7 +209,13 @@ impl PdnModel {
             .map_err(CoreError::Circuit)?;
         net.resistor(die_c, g, self.die_esr)
             .map_err(CoreError::Circuit)?;
-        Ok((net, die))
+        Ok(PdnElements {
+            vr_resistance,
+            vr_inductance,
+            bulk_capacitance,
+            distribution_resistance,
+            vertical_resistance,
+        })
     }
 
     /// Driving-point impedance at the die across a frequency sweep.

@@ -42,6 +42,7 @@ mod droopsweep;
 mod electro_thermal;
 mod error;
 mod explore;
+mod faultdyn;
 mod faults;
 mod gridshare;
 mod impedance;
@@ -69,11 +70,17 @@ pub use droopsweep::{
 };
 pub use electro_thermal::{
     electro_thermal, thermal_comparison, ElectroThermalReport, ElectroThermalSettings,
+    FixedPointTermination,
 };
 pub use error::CoreError;
 pub use explore::{
     best_bus_voltage, explore_matrix, reference_crossover_power, sweep_bus_voltage,
     sweep_current_density, sweep_pol_power, MatrixEntry,
+};
+pub use faultdyn::{
+    faulted_pdn_model, survival_envelope, CascadeLadder, CascadeOutcome, CascadeSettings,
+    FaultImpedanceOutcome, FaultImpedanceReport, FaultImpedanceSweep, FaultTransientOutcome,
+    FaultTransientReport, FaultTransientSweep, SurvivalEnvelope, VrFailureScenario,
 };
 pub use faults::{
     n_minus_1_comparison, Fault, FaultScenario, FaultSweep, FaultSweepReport, ScenarioOutcome,
@@ -82,7 +89,7 @@ pub use faults::{
 pub use gridshare::{
     solve_sharing, solve_sharing_at, SharingReport, SharingSolver, SharingSolverBuilder,
 };
-pub use impedance::{target_impedance, PdnModel};
+pub use impedance::{target_impedance, PdnElements, PdnModel};
 pub use loss::{LossBreakdown, LossKind, LossSegment};
 pub use mc::{run_tolerance, run_tolerance_with, McSettings, McSummary};
 pub use optimize::{optimize_placement, AnnealSettings, OptimizedPlacement, PlacementObjective};

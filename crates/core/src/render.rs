@@ -5,6 +5,7 @@
 
 use crate::droop::DroopReport;
 use crate::droopsweep::{DroopSweepComparison, DroopSweepPoint, DroopSweepReport};
+use crate::faultdyn::{FaultImpedanceReport, FaultTransientReport, SurvivalEnvelope};
 use crate::faults::FaultSweepReport;
 use crate::gridshare::SharingReport;
 use crate::loss::LossBreakdown;
@@ -321,16 +322,12 @@ impl Render for ImpedanceProfile {
             self.peak_frequency,
             self.target,
         );
+        let margin = self
+            .margin()
+            .map_or_else(|| "n/a".to_owned(), |m| format!("{:+.1}%", 100.0 * m));
         match self.first_violation {
-            None => out.push_str(&format!(
-                "meets target (margin {:+.1}%)\n",
-                100.0 * self.margin()
-            )),
-            Some(f) => out.push_str(&format!(
-                "VIOLATES target from {} (margin {:+.1}%)\n",
-                f,
-                100.0 * self.margin()
-            )),
+            None => out.push_str(&format!("meets target (margin {margin})\n")),
+            Some(f) => out.push_str(&format!("VIOLATES target from {f} (margin {margin})\n")),
         }
         if !self.antiresonances.is_empty() {
             out.push_str("  antiresonant peaks:\n");
@@ -364,7 +361,7 @@ impl Render for ImpedanceProfile {
             ("target_ohm", Json::from(self.target.value())),
             ("peak_ohm", Json::from(self.peak.value())),
             ("peak_frequency_hz", Json::from(self.peak_frequency.value())),
-            ("margin", Json::from(self.margin())),
+            ("margin", self.margin().map_or(Json::Null, Json::from)),
             ("meets_target", Json::from(self.meets_target())),
             (
                 "first_violation_hz",
@@ -402,12 +399,13 @@ impl Render for ImpedanceComparison {
         );
         for p in &self.profiles {
             out.push_str(&format!(
-                "  {:<6} {:>14.6e} {:>16} {:>12.6e} {:>8.1}% {}\n",
+                "  {:<6} {:>14.6e} {:>16} {:>12.6e} {:>8}% {}\n",
                 p.label,
                 p.peak.value(),
                 p.peak_frequency.to_string(),
                 p.target.value(),
-                100.0 * p.margin(),
+                p.margin()
+                    .map_or_else(|| "n/a".to_owned(), |m| format!("{:.1}", 100.0 * m)),
                 if p.meets_target() {
                     "meets"
                 } else {
@@ -427,7 +425,7 @@ impl Render for ImpedanceComparison {
                     ("peak_ohm", Json::from(p.peak.value())),
                     ("peak_frequency_hz", Json::from(p.peak_frequency.value())),
                     ("target_ohm", Json::from(p.target.value())),
-                    ("margin", Json::from(p.margin())),
+                    ("margin", p.margin().map_or(Json::Null, Json::from)),
                     ("meets_target", Json::from(p.meets_target())),
                     (
                         "first_violation_hz",
@@ -437,6 +435,216 @@ impl Render for ImpedanceComparison {
                 ])
             })),
         )])
+    }
+}
+
+impl Render for FaultImpedanceReport {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}: target {}, nominal peak {}, worst faulted peak {} ({}) → {} / {} scenarios over target\n",
+            self.architecture.name(),
+            self.target,
+            self.nominal_peak,
+            self.worst_peak,
+            self.worst_scenario,
+            self.violating_scenarios,
+            self.outcomes.len(),
+        );
+        out.push_str(&format!(
+            "  {:<14} {:>14} {:>16} {:>9} {}\n",
+            "scenario", "peak |Z| (Ω)", "at", "excess", "verdict"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<14} {:>14.6e} {:>16} {:>+8.1}% {}\n",
+                o.name,
+                o.peak.value(),
+                o.peak_frequency.to_string(),
+                100.0 * o.excess,
+                if o.over_target { "VIOLATES" } else { "meets" },
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("architecture", Json::from(self.architecture.name())),
+            ("target_ohm", Json::from(self.target.value())),
+            ("nominal_peak_ohm", Json::from(self.nominal_peak.value())),
+            ("worst_peak_ohm", Json::from(self.worst_peak.value())),
+            ("worst_scenario", Json::from(self.worst_scenario.as_str())),
+            ("worst_excess", Json::from(self.worst_excess())),
+            ("violating_scenarios", Json::from(self.violating_scenarios)),
+            (
+                "outcomes",
+                Json::array(self.outcomes.iter().map(|o| {
+                    Json::obj([
+                        ("name", Json::from(o.name.as_str())),
+                        ("peak_ohm", Json::from(o.peak.value())),
+                        ("peak_frequency_hz", Json::from(o.peak_frequency.value())),
+                        (
+                            "first_violation_hz",
+                            o.first_violation
+                                .map_or(Json::Null, |f| Json::from(f.value())),
+                        ),
+                        ("over_target", Json::from(o.over_target)),
+                        ("excess", Json::from(o.excess)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+impl Render for FaultTransientReport {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}: worst droop {} ({}), {} / {} scenarios collapsed the rail\n",
+            self.architecture.name(),
+            self.worst_droop,
+            self.worst_scenario,
+            self.collapsed_scenarios,
+            self.outcomes.len(),
+        );
+        out.push_str(&format!(
+            "  {:<14} {:>12} {:>10} {:>10} {:>10} {:>10} {}\n",
+            "scenario", "fail at", "v_before", "v_min", "droop", "v_end", "verdict"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<14} {:>12} {:>9.4}V {:>9.4}V {:>9.4}V {:>9.4}V {}\n",
+                o.name,
+                o.fail_at
+                    .map_or_else(|| "never".to_owned(), |f| f.to_string()),
+                o.v_before.value(),
+                o.v_min.value(),
+                o.droop.value(),
+                o.v_end.value(),
+                if o.collapsed { "COLLAPSED" } else { "held" },
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("architecture", Json::from(self.architecture.name())),
+            ("worst_droop_v", Json::from(self.worst_droop.value())),
+            ("worst_scenario", Json::from(self.worst_scenario.as_str())),
+            ("collapsed_scenarios", Json::from(self.collapsed_scenarios)),
+            (
+                "outcomes",
+                Json::array(self.outcomes.iter().map(|o| {
+                    Json::obj([
+                        ("name", Json::from(o.name.as_str())),
+                        (
+                            "fail_at_s",
+                            o.fail_at.map_or(Json::Null, |f| Json::from(f.value())),
+                        ),
+                        ("v_before_v", Json::from(o.v_before.value())),
+                        ("v_min_v", Json::from(o.v_min.value())),
+                        ("droop_v", Json::from(o.droop.value())),
+                        ("v_end_v", Json::from(o.v_end.value())),
+                        ("collapsed", Json::from(o.collapsed)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+impl Render for SurvivalEnvelope {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}: {} — {} converged / {} capped / {} diverged over {} scenarios\n",
+            self.architecture.name(),
+            if self.survives {
+                "SURVIVES its contingency set"
+            } else {
+                "does NOT survive its contingency set"
+            },
+            self.converged,
+            self.capped,
+            self.diverged,
+            self.outcomes.len(),
+        );
+        out.push_str(&format!(
+            "  worst drop {} ({}) against budget {}, peak {} ({})\n",
+            self.worst_drop,
+            self.worst_drop_scenario,
+            self.droop_budget,
+            self.peak_temperature,
+            self.peak_temperature_scenario,
+        ));
+        out.push_str(&format!(
+            "  {:<14} {:>5} {:>10} {:>9} {:>9} {:>8} {:>7} {}\n",
+            "scenario", "iters", "drop", "peak", "module", "derated", "rating", "verdict"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<14} {:>5} {:>9.4}V {:>8.1}°C {:>8.1}°C {:>8} {:>7} {}\n",
+                o.name,
+                o.iterations,
+                o.worst_drop.value(),
+                o.peak_temperature.value(),
+                o.worst_module_temperature.value(),
+                o.derated_modules,
+                if o.within_rating { "ok" } else { "OVER" },
+                o.termination,
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        Json::obj([
+            ("architecture", Json::from(self.architecture.name())),
+            ("survives", Json::from(self.survives)),
+            ("droop_budget_v", Json::from(self.droop_budget.value())),
+            ("scenarios", Json::from(self.outcomes.len())),
+            ("converged", Json::from(self.converged)),
+            ("capped", Json::from(self.capped)),
+            ("diverged", Json::from(self.diverged)),
+            ("worst_drop_v", Json::from(self.worst_drop.value())),
+            (
+                "worst_drop_scenario",
+                Json::from(self.worst_drop_scenario.as_str()),
+            ),
+            (
+                "peak_temperature_c",
+                Json::from(self.peak_temperature.value()),
+            ),
+            (
+                "peak_temperature_scenario",
+                Json::from(self.peak_temperature_scenario.as_str()),
+            ),
+            (
+                "overloaded_scenarios",
+                Json::from(self.overloaded_scenarios),
+            ),
+            (
+                "outcomes",
+                Json::array(self.outcomes.iter().map(|o| {
+                    Json::obj([
+                        ("name", Json::from(o.name.as_str())),
+                        ("termination", Json::from(o.termination.to_string())),
+                        ("converged", Json::from(o.termination.converged())),
+                        ("residual_k", Json::from(o.termination.residual_k())),
+                        ("iterations", Json::from(o.iterations)),
+                        ("worst_drop_v", Json::from(o.worst_drop.value())),
+                        ("peak_temperature_c", Json::from(o.peak_temperature.value())),
+                        (
+                            "worst_module_temperature_c",
+                            Json::from(o.worst_module_temperature.value()),
+                        ),
+                        ("derated_modules", Json::from(o.derated_modules)),
+                        ("overloaded_modules", Json::from(o.overloaded_modules)),
+                        ("within_rating", Json::from(o.within_rating)),
+                    ])
+                })),
+            ),
+        ])
     }
 }
 
@@ -536,6 +744,156 @@ mod tests {
         );
         let cmp_json = cmp.render(RenderFormat::Json);
         assert!(cmp_json.contains("\"architectures\":["), "{cmp_json}");
+    }
+
+    #[test]
+    fn fault_dynamic_reports_render_both_formats() {
+        use crate::faultdyn::{
+            CascadeOutcome, FaultImpedanceOutcome, FaultImpedanceReport, FaultTransientOutcome,
+            FaultTransientReport, SurvivalEnvelope,
+        };
+        use crate::{Architecture, FixedPointTermination, LoadStep};
+        use vpd_units::{Celsius, Hertz, Ohms, Seconds, Volts};
+
+        let imp = FaultImpedanceReport {
+            architecture: Architecture::InterposerEmbedded,
+            target: Ohms::new(200e-6),
+            nominal_peak: Ohms::new(150e-6),
+            outcomes: vec![
+                FaultImpedanceOutcome {
+                    name: "nominal".into(),
+                    peak: Ohms::new(150e-6),
+                    peak_frequency: Hertz::from_megahertz(1.0),
+                    first_violation: None,
+                    over_target: false,
+                    excess: -0.25,
+                },
+                FaultImpedanceOutcome {
+                    name: "n-1/000".into(),
+                    peak: Ohms::new(230e-6),
+                    peak_frequency: Hertz::from_megahertz(0.8),
+                    first_violation: Some(Hertz::from_kilohertz(600.0)),
+                    over_target: true,
+                    excess: 0.15,
+                },
+            ],
+            worst_peak: Ohms::new(230e-6),
+            worst_scenario: "n-1/000".into(),
+            violating_scenarios: 1,
+        };
+        let text = imp.render(RenderFormat::Text);
+        assert!(text.contains("1 / 2 scenarios over target"), "{text}");
+        assert!(
+            text.contains("VIOLATES") && text.contains("meets"),
+            "{text}"
+        );
+        let json = imp.render(RenderFormat::Json);
+        assert!(json.contains("\"violating_scenarios\":1"), "{json}");
+        assert!(json.contains("\"first_violation_hz\":null"), "{json}");
+        assert!(json.contains("\"worst_scenario\":\"n-1/000\""), "{json}");
+
+        let tr = FaultTransientReport {
+            architecture: Architecture::InterposerEmbedded,
+            step: LoadStep::paper_default(&SystemSpec::paper_default()),
+            outcomes: vec![
+                FaultTransientOutcome {
+                    name: "nominal".into(),
+                    fail_at: None,
+                    v_before: Volts::new(0.999),
+                    v_min: Volts::new(0.96),
+                    droop: Volts::new(0.039),
+                    v_end: Volts::new(0.998),
+                    collapsed: false,
+                },
+                FaultTransientOutcome {
+                    name: "fail@4.00us".into(),
+                    fail_at: Some(Seconds::from_microseconds(4.0)),
+                    v_before: Volts::new(0.999),
+                    v_min: Volts::new(0.1),
+                    droop: Volts::new(0.899),
+                    v_end: Volts::new(0.1),
+                    collapsed: true,
+                },
+            ],
+            worst_droop: Volts::new(0.899),
+            worst_scenario: "fail@4.00us".into(),
+            collapsed_scenarios: 1,
+        };
+        let text = tr.render(RenderFormat::Text);
+        assert!(text.contains("1 / 2 scenarios collapsed"), "{text}");
+        assert!(
+            text.contains("COLLAPSED") && text.contains("held"),
+            "{text}"
+        );
+        assert!(text.contains("never"), "{text}");
+        let json = tr.render(RenderFormat::Json);
+        assert!(json.contains("\"fail_at_s\":null"), "{json}");
+        assert!(json.contains("\"collapsed_scenarios\":1"), "{json}");
+
+        let env = SurvivalEnvelope {
+            architecture: Architecture::InterposerPeriphery,
+            droop_budget: Volts::new(0.05),
+            outcomes: vec![
+                CascadeOutcome {
+                    name: "n-1/000".into(),
+                    termination: FixedPointTermination::Converged { residual_k: 0.01 },
+                    iterations: 3,
+                    worst_drop: Volts::new(0.02),
+                    peak_temperature: Celsius::new(96.0),
+                    worst_module_temperature: Celsius::new(88.0),
+                    derated_modules: 5,
+                    overloaded_modules: 0,
+                    within_rating: true,
+                },
+                CascadeOutcome {
+                    name: "n-1/001".into(),
+                    termination: FixedPointTermination::IterationCap { residual_k: 2.0 },
+                    iterations: 16,
+                    worst_drop: Volts::new(0.06),
+                    peak_temperature: Celsius::new(140.0),
+                    worst_module_temperature: Celsius::new(131.0),
+                    derated_modules: 12,
+                    overloaded_modules: 2,
+                    within_rating: false,
+                },
+            ],
+            converged: 1,
+            capped: 1,
+            diverged: 0,
+            worst_drop: Volts::new(0.06),
+            worst_drop_scenario: "n-1/001".into(),
+            peak_temperature: Celsius::new(140.0),
+            peak_temperature_scenario: "n-1/001".into(),
+            overloaded_scenarios: 1,
+            survives: false,
+        };
+        let text = env.render(RenderFormat::Text);
+        assert!(text.contains("does NOT survive"), "{text}");
+        assert!(
+            text.contains("1 converged / 1 capped / 0 diverged"),
+            "{text}"
+        );
+        assert!(text.contains("iteration cap"), "{text}");
+        let json = env.render(RenderFormat::Json);
+        assert!(json.contains("\"survives\":false"), "{json}");
+        assert!(json.contains("\"converged\":1"), "{json}");
+        assert!(json.contains("\"overloaded_scenarios\":1"), "{json}");
+
+        let survives = SurvivalEnvelope {
+            outcomes: vec![env.outcomes[0].clone()],
+            converged: 1,
+            capped: 0,
+            worst_drop: Volts::new(0.02),
+            worst_drop_scenario: "n-1/000".into(),
+            peak_temperature: Celsius::new(96.0),
+            peak_temperature_scenario: "n-1/000".into(),
+            overloaded_scenarios: 0,
+            survives: true,
+            ..env
+        };
+        assert!(survives
+            .render_text()
+            .contains("SURVIVES its contingency set"));
     }
 
     #[test]

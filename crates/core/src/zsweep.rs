@@ -223,9 +223,18 @@ impl ImpedanceProfile {
     /// Target-impedance margin as a fraction of the target: positive
     /// means the peak sits below `Z_t` by that fraction, negative means
     /// it overshoots.
+    ///
+    /// Returns `None` when no margin is defined: an empty sweep (there
+    /// is no peak to judge) or a zero/near-zero or non-finite target
+    /// (the ratio would divide to `±inf`/`NaN` instead of meaning
+    /// anything).
     #[must_use]
-    pub fn margin(&self) -> f64 {
-        1.0 - self.peak.value() / self.target.value()
+    pub fn margin(&self) -> Option<f64> {
+        if self.points.is_empty() || !self.target.value().is_normal() || self.target.value() < 0.0 {
+            return None;
+        }
+        let ratio = self.peak.value() / self.target.value();
+        ratio.is_finite().then_some(1.0 - ratio)
     }
 }
 
@@ -314,7 +323,7 @@ mod tests {
         // structure; the peak must be one of the swept magnitudes.
         assert!(!a0.meets_target());
         assert!(a0.first_violation.is_some());
-        assert!(a0.margin() < 0.0);
+        assert!(a0.margin().unwrap() < 0.0);
         assert!(!a0.antiresonances.is_empty());
         let max = a0.points.iter().map(AcPoint::magnitude).fold(0.0, f64::max);
         assert_eq!(a0.peak.value(), max);
@@ -329,7 +338,31 @@ mod tests {
             .unwrap();
         assert!(a2.meets_target());
         assert_eq!(a2.first_violation, None);
-        assert!(a2.margin() > 0.0);
+        assert!(a2.margin().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn margin_is_none_for_empty_sweeps_and_degenerate_targets() {
+        // Empty point set: no peak exists, so no margin — not the
+        // misleading `1.0` the raw formula would produce.
+        let empty = ImpedanceProfile::from_points("empty".into(), Vec::new(), Ohms::new(0.01));
+        assert_eq!(empty.margin(), None);
+        assert!(empty.meets_target(), "no point can violate");
+
+        let point = |f: f64, re: f64| AcPoint {
+            frequency: Hertz::new(f),
+            response: vpd_numeric::Complex::from_real(re),
+        };
+        let points = vec![point(1e3, 0.5), point(1e4, 2.0), point(1e5, 1.0)];
+        // A zero target divides to ±inf; near-zero (subnormal) and
+        // non-finite targets are equally meaningless.
+        for bad in [0.0, f64::MIN_POSITIVE * 0.5, f64::NAN, f64::INFINITY] {
+            let p = ImpedanceProfile::from_points("bad".into(), points.clone(), Ohms::new(bad));
+            assert_eq!(p.margin(), None, "target {bad}");
+        }
+        // A healthy target still reports the exact ratio margin.
+        let good = ImpedanceProfile::from_points("good".into(), points, Ohms::new(4.0));
+        assert_eq!(good.margin(), Some(0.5));
     }
 
     #[test]

@@ -39,7 +39,8 @@ use std::sync::Mutex;
 
 use vpd_converters::VrTopologyKind;
 use vpd_core::{
-    AnalysisSession, DroopScenario, FaultSweep, ImpedanceSweep, SharingSolver, VrPlacement,
+    AnalysisSession, CascadeLadder, DroopScenario, FaultImpedanceSweep, FaultSweep,
+    FaultTransientSweep, ImpedanceSweep, SharingSolver, VrPlacement,
 };
 use vpd_report::Json;
 
@@ -152,6 +153,26 @@ impl ScenarioKey {
                 arch: arch.name(),
                 params: vec![topology_tag(*topology)],
             }),
+            // The compiled AC plan depends on the architecture alone:
+            // scenarios and the frequency grid are evaluation-time
+            // restamps against the same plan.
+            Work::FaultImpedance { arch, .. } => Some(Self {
+                kind: "fault_impedance",
+                arch: arch.name(),
+                params: Vec::new(),
+            }),
+            Work::FaultTransient { arch, .. } => Some(Self {
+                kind: "fault_transient",
+                arch: arch.name(),
+                params: Vec::new(),
+            }),
+            // The cascade ladder pre-rates modules against their
+            // topology limits, so the topology shapes compiled state.
+            Work::Survival { arch, topology } => Some(Self {
+                kind: "survival",
+                arch: arch.name(),
+                params: vec![topology_tag(*topology)],
+            }),
         }
     }
 }
@@ -175,6 +196,15 @@ pub enum CacheEntry {
     /// plan (and its LU cache) survives across `transient_stream`
     /// requests, so warm streams re-factor zero times.
     Transient(Box<DroopScenario>),
+    /// A compiled faulted-impedance sweep: the AC plan every fault
+    /// scenario restamps value-only.
+    FaultImpedance(Box<FaultImpedanceSweep>),
+    /// A compiled VR-failure transient sweep: the plan plus its
+    /// per-switch-configuration LU cache.
+    FaultTransient(Box<FaultTransientSweep>),
+    /// A compiled electro-thermal cascade ladder (grid solver, thermal
+    /// mesh, and derating model).
+    Cascade(Box<CascadeLadder>),
 }
 
 /// Point-in-time cache counters.
@@ -504,6 +534,37 @@ mod tests {
             ScenarioKey::from_work(&parse(r#"{"kind":"sharing","params":{"modules":24}}"#))
                 .unwrap();
         assert_ne!(s1, sharing);
+        // The dynamic-fault kinds: scenarios and frequency grids are
+        // evaluation-time, so fault_impedance keys on the architecture
+        // alone; survival keys on the topology (the ladder pre-rates
+        // modules against topology limits).
+        let z1 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"fault_impedance","params":{"arch":"a2","random_k":2,"count":9,"points":16}}"#,
+        ))
+        .unwrap();
+        let z2 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"fault_impedance","params":{"arch":"a2"}}"#,
+        ))
+        .unwrap();
+        assert_eq!(z1, z2, "scenarios and grids are restamp-only");
+        let t1 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"fault_transient","params":{"arch":"a2","count":8}}"#,
+        ))
+        .unwrap();
+        let t2 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"fault_transient","params":{"arch":"a2"}}"#,
+        ))
+        .unwrap();
+        assert_eq!(t1, t2, "the failure-time grid is restamp-only");
+        let v1 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"survival","params":{"arch":"a1","topology":"dsch"}}"#,
+        ))
+        .unwrap();
+        let v2 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"survival","params":{"arch":"a1","topology":"dpmih"}}"#,
+        ))
+        .unwrap();
+        assert_ne!(v1, v2);
         // faults keys on topology; mc does not.
         let f1 = ScenarioKey::from_work(&parse(
             r#"{"kind":"faults","params":{"arch":"a1","topology":"dsch"}}"#,

@@ -35,9 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use vpd_converters::VrTopologyKind;
 use vpd_core::{
     run_tolerance_with, simulate_droop, AnalysisOptions, AnalysisSession, Architecture,
-    Calibration, DcPlanMode, DroopScenario, FaultScenario, FaultSweep, ImpedanceSweep,
-    ImpedanceSweepSettings, LoadStep, McSettings, PdnModel, SharingReport, SharingSolver,
-    SystemSpec, VrPlacement,
+    Calibration, CascadeLadder, CascadeSettings, DcPlanMode, DroopScenario, FaultImpedanceSweep,
+    FaultScenario, FaultSweep, FaultTransientSweep, ImpedanceSweep, ImpedanceSweepSettings,
+    LoadStep, McSettings, PdnModel, SharingReport, SharingSolver, SystemSpec, VrFailureScenario,
+    VrPlacement,
 };
 use vpd_report::{Json, Render};
 use vpd_units::{CurrentDensity, Hertz, Seconds, Volts, Watts};
@@ -188,6 +189,21 @@ impl Dispatcher {
                 count,
                 seed,
             } => self.faults(worker, work, *arch, *topology, *random_k, *count, *seed),
+            Work::FaultImpedance {
+                arch,
+                random_k,
+                count,
+                seed,
+                fmin_hz,
+                fmax_hz,
+                points,
+            } => self.fault_impedance(
+                worker, work, *arch, *random_k, *count, *seed, *fmin_hz, *fmax_hz, *points,
+            ),
+            Work::FaultTransient { arch, count } => {
+                self.fault_transient(worker, work, *arch, *count)
+            }
+            Work::Survival { arch, topology } => self.survival(worker, work, *arch, *topology),
             // The server streams this kind chunk-by-chunk; dispatching
             // it directly drains the same run silently and returns the
             // summary document — bitwise what the stream's final record
@@ -607,7 +623,7 @@ impl Dispatcher {
                 ("peak_impedance_ohm", Json::from(rep.peak.value())),
                 ("peak_frequency_hz", Json::from(rep.peak_frequency.value())),
                 ("target_ohm", Json::from(rep.target.value())),
-                ("margin", Json::from(rep.margin())),
+                ("margin", rep.margin().map_or(Json::Null, Json::from)),
                 ("meets_target", Json::from(rep.meets_target())),
             ])
         };
@@ -656,7 +672,146 @@ impl Dispatcher {
         ]);
         Ok((result, cached))
     }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fault_impedance(
+        &self,
+        worker: usize,
+        work: &Work,
+        arch: Architecture,
+        random_k: Option<usize>,
+        count: usize,
+        seed: u64,
+        fmin_hz: f64,
+        fmax_hz: f64,
+        points: usize,
+    ) -> DispatchResult {
+        let key = ScenarioKey::from_work(work).expect("fault_impedance has a key");
+        let (sweep, cached) = match self.cache.take_for(worker, &key) {
+            Some(CacheEntry::FaultImpedance(s)) => (s, true),
+            _ => {
+                let spec = SystemSpec::paper_default();
+                let sweep =
+                    FaultImpedanceSweep::new(arch, &spec, &self.calib).map_err(engine_err)?;
+                (Box::new(sweep), false)
+            }
+        };
+        let grid = ImpedanceSweepSettings {
+            fmin: Hertz::new(fmin_hz),
+            fmax: Hertz::new(fmax_hz),
+            points,
+            threads: 0,
+        };
+        let freqs = match grid.frequencies() {
+            Ok(freqs) => freqs,
+            Err(e) => {
+                self.cache
+                    .put_for(worker, key, CacheEntry::FaultImpedance(sweep));
+                return Err(engine_err(e));
+            }
+        };
+        let scenarios = match random_k {
+            None => FaultScenario::n_minus_1(sweep.vr_count()),
+            Some(k) => FaultScenario::random_k(k, count, seed, sweep.vr_count(), sweep.grid_side()),
+        };
+        let label = match random_k {
+            None => format!("N-1 over {} modules", sweep.vr_count()),
+            Some(k) => format!("{count} random {k}-fault scenarios (seed {seed})"),
+        };
+        let outcome = sweep.run(&scenarios, &freqs, 0);
+        self.cache
+            .put_for(worker, key, CacheEntry::FaultImpedance(sweep));
+        let report = outcome.map_err(engine_err)?;
+        let result = Json::obj([
+            ("command", Json::from("fault_impedance")),
+            ("mode", Json::from(label.as_str())),
+            ("points", Json::from(points)),
+            ("report", report.render_json()),
+        ]);
+        Ok((result, cached))
+    }
+
+    fn fault_transient(
+        &self,
+        worker: usize,
+        work: &Work,
+        arch: Architecture,
+        count: usize,
+    ) -> DispatchResult {
+        let key = ScenarioKey::from_work(work).expect("fault_transient has a key");
+        let (sweep, cached) = match self.cache.take_for(worker, &key) {
+            Some(CacheEntry::FaultTransient(s)) => (s, true),
+            _ => {
+                let spec = SystemSpec::paper_default();
+                let sweep = FaultTransientSweep::new(
+                    arch,
+                    &PdnModel::for_architecture(arch),
+                    &LoadStep::paper_default(&spec),
+                    Seconds::from_microseconds(FAULT_TRANSIENT_SIM_US),
+                    Seconds::from_nanoseconds(FAULT_TRANSIENT_DT_NS),
+                )
+                .map_err(engine_err)?;
+                (Box::new(sweep), false)
+            }
+        };
+        let scenarios =
+            VrFailureScenario::grid(count, Seconds::from_microseconds(FAULT_TRANSIENT_WINDOW_US));
+        let outcome = sweep.run(&scenarios, 0);
+        self.cache
+            .put_for(worker, key, CacheEntry::FaultTransient(sweep));
+        let report = outcome.map_err(engine_err)?;
+        let result = Json::obj([
+            ("command", Json::from("fault_transient")),
+            ("scenarios", Json::from(scenarios.len())),
+            ("report", report.render_json()),
+        ]);
+        Ok((result, cached))
+    }
+
+    fn survival(
+        &self,
+        worker: usize,
+        work: &Work,
+        arch: Architecture,
+        topology: VrTopologyKind,
+    ) -> DispatchResult {
+        let key = ScenarioKey::from_work(work).expect("survival has a key");
+        let (ladder, cached) = match self.cache.take_for(worker, &key) {
+            Some(CacheEntry::Cascade(l)) => (l, true),
+            _ => {
+                let spec = SystemSpec::paper_default();
+                let ladder = CascadeLadder::new(
+                    arch,
+                    topology,
+                    &spec,
+                    &self.calib,
+                    &CascadeSettings::default(),
+                )
+                .map_err(engine_err)?;
+                (Box::new(ladder), false)
+            }
+        };
+        let scenarios = FaultScenario::n_minus_1(ladder.vr_count());
+        let outcome = ladder.run(&scenarios, 0);
+        self.cache.put_for(worker, key, CacheEntry::Cascade(ladder));
+        let envelope = outcome.map_err(engine_err)?;
+        let result = Json::obj([
+            ("command", Json::from("survival")),
+            ("topology", Json::from(topology.name())),
+            ("report", envelope.render_json()),
+        ]);
+        Ok((result, cached))
+    }
 }
+
+/// Simulation window of the serve `fault_transient` kind — also what
+/// `vpd faults --dynamic` simulates, so served and one-shot results
+/// match bit for bit.
+pub const FAULT_TRANSIENT_SIM_US: f64 = 20.0;
+/// Time step of the `fault_transient` kind, nanoseconds.
+pub const FAULT_TRANSIENT_DT_NS: f64 = 40.0;
+/// Width of the failure-time grid, microseconds.
+pub const FAULT_TRANSIENT_WINDOW_US: f64 = 16.0;
 
 /// Renders one `sharing_sweep` result document — the single place both
 /// the solo path and the batched path produce their bytes from, so the
@@ -796,6 +951,9 @@ mod tests {
             r#"{"kind":"impedance","params":{"arch":"a2","points":16}}"#,
             r#"{"kind":"faults","params":{"arch":"a1","random_k":2,"count":4}}"#,
             r#"{"kind":"transient_stream","params":{"arch":"a0","chunk":2048}}"#,
+            r#"{"kind":"fault_impedance","params":{"arch":"a2","random_k":2,"count":3,"points":24}}"#,
+            r#"{"kind":"fault_transient","params":{"arch":"a2","count":2}}"#,
+            r#"{"kind":"survival","params":{"arch":"a1"}}"#,
         ] {
             // Fresh dispatcher per kind: analyze and mc intentionally
             // share session entries, which would warm each other here.
@@ -1026,6 +1184,17 @@ mod tests {
             .begin_transient_stream(Architecture::Reference, 500)
             .unwrap();
         assert!(run.cached(), "mid-stream abort still checked it back in");
+    }
+
+    #[test]
+    fn survival_rejects_the_reference_architecture_with_a_typed_error() {
+        let d = Dispatcher::new(4);
+        let err = d
+            .dispatch(&work(r#"{"kind":"survival","params":{"arch":"a0"}}"#))
+            .unwrap_err();
+        assert_eq!(err.0, ErrorCode::Engine, "{err:?}");
+        assert!(err.1.contains("vertical architecture"), "{err:?}");
+        assert_eq!(d.cache_stats().entries, 0, "no broken entry was cached");
     }
 
     #[test]

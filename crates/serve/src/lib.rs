@@ -56,7 +56,10 @@ pub mod proto;
 pub mod server;
 
 pub use cache::{CacheEntry, CacheStats, ScenarioCache, ScenarioKey};
-pub use engine::{BatchStats, Dispatcher};
+pub use engine::{
+    BatchStats, Dispatcher, FAULT_TRANSIENT_DT_NS, FAULT_TRANSIENT_SIM_US,
+    FAULT_TRANSIENT_WINDOW_US,
+};
 pub use pool::{SubmitError, WorkerPool, WorkerScope};
 pub use proto::{
     kind_catalog, ErrorCode, Request, RequestError, Response, ResponseBody, Work, PROTOCOL_VERSION,

@@ -203,6 +203,41 @@ pub enum Work {
         /// RNG seed for random-k mode.
         seed: u64,
     },
+    /// Faulted impedance profiles: every fault scenario restamped onto
+    /// one compiled AC plan, one degraded |Z(f)| profile per scenario.
+    FaultImpedance {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// `None` = N-1 contingency; `Some(k)` = random k-fault draws.
+        random_k: Option<usize>,
+        /// Scenario count for random-k mode.
+        count: usize,
+        /// RNG seed for random-k mode.
+        seed: u64,
+        /// Sweep start, Hz.
+        fmin_hz: f64,
+        /// Sweep end, Hz.
+        fmax_hz: f64,
+        /// Number of swept points.
+        points: usize,
+    },
+    /// Mid-run VR-failure transients: the regulator bank dies at a grid
+    /// of failure times while the paper's load step plays out.
+    FaultTransient {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// Number of failure times in the grid (plus the healthy
+        /// baseline).
+        count: usize,
+    },
+    /// Electro-thermal cascade survival envelope over the architecture's
+    /// full N-1 contingency set.
+    Survival {
+        /// Delivery architecture.
+        arch: Architecture,
+        /// POL-stage topology.
+        topology: VrTopologyKind,
+    },
 }
 
 impl Work {
@@ -222,6 +257,9 @@ impl Work {
             Self::Mc { .. } => "mc",
             Self::Impedance { .. } => "impedance",
             Self::Faults { .. } => "faults",
+            Self::FaultImpedance { .. } => "fault_impedance",
+            Self::FaultTransient { .. } => "fault_transient",
+            Self::Survival { .. } => "survival",
         }
     }
 }
@@ -632,6 +670,75 @@ pub fn kind_specs() -> &'static [KindSpec] {
                         "RNG seed for random-k mode",
                     ),
                 ],
+            },
+            KindSpec {
+                kind: "fault_impedance",
+                doc: "faulted impedance profiles: one degraded |Z(f)| per fault scenario, \
+                      restamped onto one compiled AC plan",
+                fields: vec![
+                    arch(),
+                    field(
+                        "random_k",
+                        FieldType::OptionalCount,
+                        FieldDefault::Absent,
+                        "absent = N-1 contingency; k = random k-fault draws",
+                    ),
+                    field(
+                        "count",
+                        FieldType::Count {
+                            min: 1,
+                            max: 1_000_000,
+                        },
+                        FieldDefault::Count(32),
+                        "scenario count for random-k mode",
+                    ),
+                    field(
+                        "seed",
+                        FieldType::Seed,
+                        FieldDefault::Seed(64023),
+                        "RNG seed for random-k mode",
+                    ),
+                    field(
+                        "fmin_hz",
+                        FieldType::F64 { positive: true },
+                        FieldDefault::F64(z.fmin.value()),
+                        "sweep start in Hz",
+                    ),
+                    field(
+                        "fmax_hz",
+                        FieldType::F64 { positive: true },
+                        FieldDefault::F64(z.fmax.value()),
+                        "sweep end in Hz",
+                    ),
+                    field(
+                        "points",
+                        FieldType::Count {
+                            min: 2,
+                            max: 100_000,
+                        },
+                        FieldDefault::Count(z.points),
+                        "number of swept points",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "fault_transient",
+                doc: "mid-run VR-failure transients: the bank dies at a grid of failure \
+                      times while the paper's load step plays out",
+                fields: vec![
+                    arch(),
+                    field(
+                        "count",
+                        FieldType::Count { min: 1, max: 64 },
+                        FieldDefault::Count(4),
+                        "failure times in the grid (plus the healthy baseline)",
+                    ),
+                ],
+            },
+            KindSpec {
+                kind: "survival",
+                doc: "electro-thermal cascade survival envelope over the N-1 contingency set",
+                fields: vec![arch(), topology()],
             },
         ]
     })
@@ -1120,6 +1227,23 @@ fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
             count: v.count("count"),
             seed: v.seed("seed"),
         },
+        "fault_impedance" => Work::FaultImpedance {
+            arch: v.arch("arch"),
+            random_k: v.optional_count("random_k"),
+            count: v.count("count"),
+            seed: v.seed("seed"),
+            fmin_hz: v.f64("fmin_hz"),
+            fmax_hz: v.f64("fmax_hz"),
+            points: v.count("points"),
+        },
+        "fault_transient" => Work::FaultTransient {
+            arch: v.arch("arch"),
+            count: v.count("count"),
+        },
+        "survival" => Work::Survival {
+            arch: v.arch("arch"),
+            topology: v.topology("topology"),
+        },
         other => unreachable!("kind `{other}` is in the table but not constructed"),
     })
 }
@@ -1448,6 +1572,71 @@ mod tests {
             r#"{"kind":"sharing_sweep","params":{"setpoints":"1.0"}}"#,
             r#"{"kind":"sharing_sweep","params":{"setpoints":[1.0,"x"]}}"#,
             r#"{"kind":"sharing_sweep","params":{"setpoints":[1.0],"modules":0}}"#,
+        ] {
+            let e = Request::parse_line(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_the_dynamic_fault_kinds() {
+        let z = vpd_core::ImpedanceSweepSettings::default();
+        let req =
+            Request::parse_line(r#"{"kind":"fault_impedance","params":{"arch":"a2"}}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::FaultImpedance {
+                arch: Architecture::InterposerEmbedded,
+                random_k: None,
+                count: 32,
+                seed: 64023,
+                fmin_hz: z.fmin.value(),
+                fmax_hz: z.fmax.value(),
+                points: z.points,
+            }
+        );
+        assert_eq!(req.work.kind(), "fault_impedance");
+        let req = Request::parse_line(
+            r#"{"kind":"fault_impedance","params":{"arch":"a1","random_k":2,"count":8,"seed":5,"points":16}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req.work,
+            Work::FaultImpedance {
+                random_k: Some(2),
+                count: 8,
+                seed: 5,
+                points: 16,
+                ..
+            }
+        ));
+
+        let req =
+            Request::parse_line(r#"{"kind":"fault_transient","params":{"arch":"a2"}}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::FaultTransient {
+                arch: Architecture::InterposerEmbedded,
+                count: 4,
+            }
+        );
+        assert_eq!(req.work.kind(), "fault_transient");
+
+        let req = Request::parse_line(r#"{"kind":"survival","params":{"arch":"a1"}}"#).unwrap();
+        assert_eq!(
+            req.work,
+            Work::Survival {
+                arch: Architecture::InterposerPeriphery,
+                topology: VrTopologyKind::Dsch,
+            }
+        );
+        assert_eq!(req.work.kind(), "survival");
+
+        for bad in [
+            r#"{"kind":"fault_impedance"}"#,
+            r#"{"kind":"fault_impedance","params":{"arch":"a1","points":1}}"#,
+            r#"{"kind":"fault_transient","params":{"arch":"a1","count":0}}"#,
+            r#"{"kind":"survival","params":{"arch":"a1","topology":"nope"}}"#,
         ] {
             let e = Request::parse_line(bad).unwrap_err();
             assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");

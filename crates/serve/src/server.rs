@@ -94,6 +94,12 @@ pub struct ServeConfig {
     /// Most requests one batched block solve may coalesce (min 1;
     /// 1 disables batching).
     pub max_batch: usize,
+    /// How long the shed estimator's service-time EMA stays trusted
+    /// after the last completion. Past this window the estimate is
+    /// treated as cold: post-idle requests are admitted rather than
+    /// shed on stale history, and the next completion re-seeds the EMA
+    /// instead of blending into it.
+    pub shed_staleness: Duration,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +109,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_capacity: 32,
             max_batch: 16,
+            shed_staleness: Duration::from_secs(5),
         }
     }
 }
@@ -373,25 +380,54 @@ struct Admission {
     workers: u64,
     /// EMA of service time, nanoseconds; 0 until the first completion.
     est_ns: AtomicU64,
+    /// When the EMA was last fed, as nanoseconds since `epoch`; 0 until
+    /// the first completion.
+    last_done_ns: AtomicU64,
+    epoch: Instant,
+    staleness: Duration,
 }
 
 impl Admission {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, staleness: Duration) -> Self {
         Self {
             workers: workers.max(1) as u64,
             est_ns: AtomicU64::new(0),
+            last_done_ns: AtomicU64::new(0),
+            epoch: Instant::now(),
+            staleness,
         }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1)
+    }
+
+    /// Whether the estimate reflects traffic older than the staleness
+    /// window (or no traffic at all).
+    fn is_stale(&self) -> bool {
+        let last = self.last_done_ns.load(Ordering::Relaxed);
+        if last == 0 {
+            return true;
+        }
+        let idle = self.now_ns().saturating_sub(last);
+        u128::from(idle) > self.staleness.as_nanos()
     }
 
     fn record(&self, elapsed: Duration) {
         let obs = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        // The first completion after an idle gap re-seeds the EMA: the
+        // pre-idle service profile is history, not a prior.
+        let stale = self.is_stale();
         let old = self.est_ns.load(Ordering::Relaxed);
-        let next = if old == 0 {
+        let next = if stale || old == 0 {
             obs
         } else {
             (3 * (old / 4)) + obs / 4
         };
         self.est_ns.store(next.max(1), Ordering::Relaxed);
+        self.last_done_ns.store(self.now_ns(), Ordering::Relaxed);
     }
 
     /// Estimated queue wait for a request entering behind `queued`
@@ -402,10 +438,12 @@ impl Admission {
     }
 
     /// A reject message when the request should be shed, `None` to
-    /// admit. Never sheds deadline-less requests or an idle queue.
+    /// admit. Never sheds deadline-less requests, an idle queue, or on
+    /// a stale estimate — a post-idle burst must be measured before it
+    /// can be shed, exactly like a cold start.
     fn should_shed(&self, queued: usize, deadline_ms: Option<u64>) -> Option<String> {
         let budget_ms = deadline_ms?;
-        if queued == 0 {
+        if queued == 0 || self.is_stale() {
             return None;
         }
         let wait_ms = self.estimated_wait_ms(queued);
@@ -540,7 +578,7 @@ where
     W: Write + Send + 'static,
 {
     let dispatcher = Arc::new(Dispatcher::with_workers(cfg.cache_capacity, cfg.workers));
-    let admission = Arc::new(Admission::new(cfg.workers));
+    let admission = Arc::new(Admission::new(cfg.workers, cfg.shed_staleness));
     let writer = Arc::new(Mutex::new(writer));
     let pool = build_pool(&dispatcher, &admission, cfg);
     let mut ended = Ended::Eof;
@@ -678,7 +716,7 @@ impl Server {
             self.cfg.cache_capacity,
             self.cfg.workers,
         ));
-        let admission = Arc::new(Admission::new(self.cfg.workers));
+        let admission = Arc::new(Admission::new(self.cfg.workers, self.cfg.shed_staleness));
         let pool: WorkerPool<Job<ConnWriter>> = build_pool(&dispatcher, &admission, &self.cfg);
         let mut conns: Vec<Conn> = Vec::new();
         let mut scratch = [0u8; 64 * 1024];
@@ -993,7 +1031,8 @@ mod tests {
 
     #[test]
     fn admission_sheds_only_doomed_deadlines_behind_a_queue() {
-        let a = Admission::new(1);
+        let fresh = Duration::from_secs(60);
+        let a = Admission::new(1, fresh);
         // No completions yet: never shed.
         assert!(a.should_shed(10, Some(1)).is_none());
         // 20 ms EMA, 4 queued → ~80 ms estimated wait.
@@ -1008,12 +1047,35 @@ mod tests {
         assert!(a.should_shed(4, None).is_none());
         assert!(a.should_shed(0, Some(1)).is_none());
         // Two workers halve the wait.
-        let a2 = Admission::new(2);
+        let a2 = Admission::new(2, fresh);
         a2.record(Duration::from_millis(20));
         assert_eq!(a2.estimated_wait_ms(4), 40);
         // The EMA tracks a shifting service time.
         a.record(Duration::from_millis(4));
         let est = a.estimated_wait_ms(1);
         assert!(est < 20, "EMA moved toward the faster observation: {est}");
+    }
+
+    #[test]
+    fn stale_estimates_never_shed_and_the_next_completion_reseeds() {
+        let a = Admission::new(1, Duration::from_millis(30));
+        // A slow burst builds a large estimate; within the staleness
+        // window it sheds a doomed deadline as before.
+        a.record(Duration::from_millis(50));
+        assert!(a.should_shed(4, Some(10)).is_some());
+        // Idle past the window: the estimate is history, not a prior —
+        // the first post-idle request is admitted, not shed.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            a.should_shed(4, Some(10)).is_none(),
+            "a stale estimate must not shed post-idle requests"
+        );
+        // The first post-idle completion re-seeds the EMA instead of
+        // blending into the stale value: 50 ms ⋅ ¾ would leave ~38 ms,
+        // a re-seed leaves exactly the 2 ms observation.
+        a.record(Duration::from_millis(2));
+        assert_eq!(a.est_ns.load(Ordering::Relaxed), 2_000_000);
+        assert!(a.should_shed(4, Some(10)).is_none(), "8 ms wait fits 10 ms");
+        assert!(a.should_shed(4, Some(7)).is_some(), "7 ms budget is doomed");
     }
 }

@@ -26,6 +26,63 @@ fi
 step "fault-sweep smoke (8 scenarios, finiteness-checked)"
 cargo run --release -p vpd-bench --bin faults -- --samples 8 || fail=1
 
+step "dynamic-fault smoke (3 scenarios per engine, serial == parallel bitwise)"
+cargo run --release -p vpd-bench --bin faultdyn -- --samples 3 || fail=1
+
+step "BENCH_faultdyn.json audit (speedups >= 1.0, plan reuse >= 3x)"
+python3 - BENCH_faultdyn.json <<'EOF' || fail=1
+import json, math, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for section in ("impedance", "transient", "dc", "cascade"):
+    entry = doc[section]
+    for key in ("reuse_scenarios_per_sec", "rebuild_scenarios_per_sec", "speedup"):
+        assert math.isfinite(entry[key]) and entry[key] > 0, f"{section}.{key}: {entry}"
+    assert entry["speedup"] >= 1.0, f"{section} plan reuse regressed below 1.0: {entry}"
+    assert entry["parallel_matches_serial_bitwise"] is True, entry
+assert math.isfinite(doc["plan_reuse_speedup"]), doc
+assert doc["plan_reuse_speedup"] >= 3.0, (
+    f"headline plan reuse fell below 3x: {doc['plan_reuse_speedup']}"
+)
+assert doc["cascade"]["converged"] > 0, doc["cascade"]
+print(
+    f"faultdyn bench audit OK: plan reuse {doc['plan_reuse_speedup']:.2f}x, "
+    "every engine >= 1.0 and serial == parallel bitwise"
+)
+EOF
+
+step "CLI smoke: vpd faults --dynamic --format json"
+if cargo run --release --bin vpd -- --format json \
+    faults --arch a2 --dynamic >target/tier1-faultdyn.json; then
+    python3 - target/tier1-faultdyn.json <<'EOF' || fail=1
+import json, math, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["command"] == "faults" and doc["mode"] == "dynamic", doc
+z = doc["impedance"]
+assert z["outcomes"], "impedance report has no scenarios"
+for o in z["outcomes"]:
+    assert math.isfinite(o["peak_ohm"]) and o["peak_ohm"] > 0, o
+t = doc["transient"]
+assert any(o["fail_at_s"] is None for o in t["outcomes"]), "missing healthy baseline"
+assert all(math.isfinite(o["droop_v"]) for o in t["outcomes"]), t
+s = doc["survival"]
+assert isinstance(s["survives"], bool), s
+assert s["converged"] + s["capped"] + s["diverged"] == len(s["outcomes"]), s
+for o in s["outcomes"]:
+    assert math.isfinite(o["residual_k"]), o
+print(
+    f"faults --dynamic smoke OK: {len(z['outcomes'])} impedance, "
+    f"{len(t['outcomes'])} transient, {len(s['outcomes'])} cascade scenarios; "
+    f"survives={s['survives']}"
+)
+EOF
+else
+    fail=1
+fi
+
 step "sparse-cholesky smoke (block bitwise, BENCH_cholesky.json speedups >= 1.0)"
 cargo run --release -p vpd-bench --bin cholesky -- --smoke || fail=1
 

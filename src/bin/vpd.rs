@@ -18,9 +18,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use vertical_power_delivery::core::{
     compare_architectures, compare_droop_architectures, electro_thermal, explore_matrix, recommend,
-    run_tolerance, simulate_droop, solve_sharing, DroopSweep, DroopSweepSettings,
-    ElectroThermalSettings, FaultScenario, FaultSweep, ImpedanceSweep, ImpedanceSweepSettings,
-    LoadStep, McSettings, PdnModel,
+    run_tolerance, simulate_droop, solve_sharing, survival_envelope, CascadeSettings, DroopSweep,
+    DroopSweepSettings, ElectroThermalSettings, FaultImpedanceSweep, FaultScenario, FaultSweep,
+    FaultTransientSweep, ImpedanceSweep, ImpedanceSweepSettings, LoadStep, McSettings, PdnModel,
+    VrFailureScenario,
 };
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
@@ -28,7 +29,9 @@ use vertical_power_delivery::report::Json;
 use vertical_power_delivery::serve::proto::{
     parse_architecture, parse_topology, wire_default_count, wire_default_f64, wire_default_seed,
 };
-use vertical_power_delivery::serve::{self, ServeConfig};
+use vertical_power_delivery::serve::{
+    self, ServeConfig, FAULT_TRANSIENT_DT_NS, FAULT_TRANSIENT_SIM_US, FAULT_TRANSIENT_WINDOW_US,
+};
 use vertical_power_delivery::thermal::DeviceTechnology;
 use vpd_units::Seconds;
 
@@ -92,6 +95,12 @@ commands:
   thermal     --arch <a1|a2> [--tech <si|gan>]
   faults      --arch <a0|a1|a2|a3-12|a3-6> [--topology <dpmih|dsch|3lhd>]
               [--n-minus-1 | --random-k <k>] [--count <n>] [--seed <s>]
+              [--dynamic]
+              (--dynamic runs the fault power-integrity triad instead
+              of the static drop sweep: faulted impedance profiles,
+              mid-run VR-failure transients, and the electro-thermal
+              cascade survival envelope; requires a vertical
+              architecture for the cascade stage)
   serve       [--addr <host:port>] [--workers <n>] [--queue-depth <n>]
               [--cache-size <n>] [--max-batch <n>] [--stdio]
               NDJSON analysis service: multiplexed connections, a
@@ -193,6 +202,9 @@ enum Command {
         random_k: Option<usize>,
         count: usize,
         seed: u64,
+        /// Run the dynamic triad (faulted impedance, VR-failure
+        /// transients, cascade survival) instead of the static sweep.
+        dynamic: bool,
     },
     Serve {
         addr: String,
@@ -371,6 +383,7 @@ impl Command {
                     count: parse_f64("--count", wire_default_count("faults", "count") as f64)?
                         as usize,
                     seed: parse_f64("--seed", wire_default_seed("faults", "seed") as f64)? as u64,
+                    dynamic: rest.iter().any(|a| a.as_str() == "--dynamic"),
                 })
             }
             "serve" => {
@@ -741,7 +754,7 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                                             Json::from(rep.peak_frequency.value()),
                                         ),
                                         ("target_ohm", Json::from(rep.target.value())),
-                                        ("margin", Json::from(rep.margin())),
+                                        ("margin", rep.margin().map_or(Json::Null, Json::from)),
                                         ("meets_target", Json::from(rep.meets_target())),
                                     ],
                                 )
@@ -898,6 +911,89 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
             random_k,
             count,
             seed,
+            dynamic: true,
+        } => {
+            // The dynamic triad reuses the serve protocol's wire
+            // defaults and transient window constants, so the CLI and
+            // the service evaluate identical grids.
+            let spec = SystemSpec::paper_default();
+            let zsweep = FaultImpedanceSweep::new(arch, &spec, &calib)?;
+            let scenarios = match random_k {
+                None => FaultScenario::n_minus_1(zsweep.vr_count()),
+                Some(k) => {
+                    FaultScenario::random_k(k, count, seed, zsweep.vr_count(), zsweep.grid_side())
+                }
+            };
+            let mode_label = match random_k {
+                None => format!("N-1 over {} modules", zsweep.vr_count()),
+                Some(k) => format!("{count} random {k}-fault scenarios (seed {seed})"),
+            };
+            let freqs = ImpedanceSweepSettings {
+                fmin: Hertz::new(wire_default_f64("fault_impedance", "fmin_hz")),
+                fmax: Hertz::new(wire_default_f64("fault_impedance", "fmax_hz")),
+                points: wire_default_count("fault_impedance", "points"),
+                threads: 0,
+            }
+            .frequencies()?;
+            let impedance = zsweep.run(&scenarios, &freqs, 0)?;
+
+            let tsweep = FaultTransientSweep::new(
+                arch,
+                &PdnModel::for_architecture(arch),
+                &LoadStep::paper_default(&spec),
+                Seconds::from_microseconds(FAULT_TRANSIENT_SIM_US),
+                Seconds::from_nanoseconds(FAULT_TRANSIENT_DT_NS),
+            )?;
+            let fails = VrFailureScenario::grid(
+                wire_default_count("fault_transient", "count"),
+                Seconds::from_microseconds(FAULT_TRANSIENT_WINDOW_US),
+            );
+            let transient = tsweep.run(&fails, 0)?;
+
+            let envelope = survival_envelope(
+                arch,
+                topology,
+                &spec,
+                &calib,
+                &CascadeSettings::default(),
+                0,
+            )?;
+            emit(
+                format,
+                || {
+                    format!(
+                        "{} / {topology}: dynamic fault power-integrity ({mode_label})\n\
+                         -- faulted impedance --\n{}\
+                         -- VR-failure transients --\n{}\
+                         -- electro-thermal cascade --\n{}",
+                        arch.name(),
+                        impedance.render_text(),
+                        transient.render_text(),
+                        envelope.render_text(),
+                    )
+                },
+                || {
+                    command_json(
+                        label,
+                        [
+                            ("mode", Json::from("dynamic")),
+                            ("scenarios", Json::from(mode_label.as_str())),
+                            ("topology", Json::from(topology.name())),
+                            ("impedance", impedance.render_json()),
+                            ("transient", transient.render_json()),
+                            ("survival", envelope.render_json()),
+                        ],
+                    )
+                },
+            );
+        }
+        Command::Faults {
+            arch,
+            topology,
+            random_k,
+            count,
+            seed,
+            dynamic: false,
         } => {
             let sweep = FaultSweep::new(arch, topology, &SystemSpec::paper_default(), &calib)?;
             let scenarios = match random_k {
@@ -951,6 +1047,7 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                 queue_depth,
                 cache_capacity: cache_size,
                 max_batch,
+                ..ServeConfig::default()
             };
             if stdio {
                 // One session over stdin/stdout: requests in, responses
@@ -1245,6 +1342,40 @@ mod tests {
         assert!(parse(&["faults", "--arch", "a1", "--random-k", "three"]).is_err());
         assert!(parse(&["faults", "--arch", "a1", "--random-k", "0"]).is_err());
         assert!(parse(&["faults", "--arch", "a1", "--n-minus-1", "--random-k", "2"]).is_err());
+    }
+
+    #[test]
+    fn parses_faults_dynamic_flag() {
+        // The static sweep stays the default; --dynamic composes with
+        // the existing scenario-selection flags.
+        assert!(matches!(
+            parse(&["faults", "--arch", "a1"]).unwrap(),
+            Command::Faults { dynamic: false, .. }
+        ));
+        assert!(matches!(
+            parse(&["faults", "--arch", "a2", "--dynamic"]).unwrap(),
+            Command::Faults {
+                arch: Architecture::InterposerEmbedded,
+                dynamic: true,
+                random_k: None,
+                ..
+            }
+        ));
+        match parse(&["faults", "--arch", "a1", "--dynamic", "--random-k", "2"]).unwrap() {
+            Command::Faults {
+                dynamic, random_k, ..
+            } => {
+                assert!(dynamic);
+                assert_eq!(random_k, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse(&["faults", "--arch", "a1", "--dynamic"])
+                .unwrap()
+                .label(),
+            "faults"
+        );
     }
 
     #[test]

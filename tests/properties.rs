@@ -307,6 +307,45 @@ proptest! {
         );
     }
 
+    /// A faulted impedance profile computed by value-restamping the
+    /// compiled AC plan is bitwise-identical to rebuilding the faulted
+    /// PDN model from scratch and sweeping it fresh, for arbitrary
+    /// fault scenarios and frequency grids.
+    #[test]
+    fn prop_faulted_ac_restamp_matches_scratch(
+        arch_pick in 0_usize..3,
+        k in 1_usize..4,
+        seed in 0_u64..1000,
+        fmin_khz in 1.0_f64..100.0,
+        decades in 1.0_f64..5.0,
+        points in 2_usize..12,
+    ) {
+        use vertical_power_delivery::core::{FaultImpedanceSweep, FaultScenario};
+        let arch = [
+            Architecture::InterposerPeriphery,
+            Architecture::InterposerEmbedded,
+            Architecture::TwoStage { bus: Volts::new(12.0) },
+        ][arch_pick];
+        let sweep = FaultImpedanceSweep::new(
+            arch,
+            &SystemSpec::paper_default(),
+            &Calibration::paper_default(),
+        ).unwrap();
+        let scenario = FaultScenario::random_k(
+            k, 1, seed, sweep.vr_count(), sweep.grid_side(),
+        ).remove(0);
+        let fmin = fmin_khz * 1e3;
+        let span = points - 1;
+        let freqs: Vec<Hertz> = (0..points)
+            .map(|i| Hertz::new(fmin * 10f64.powf(decades * i as f64 / span as f64)))
+            .collect();
+        let restamped = sweep.profile(&scenario, &freqs).unwrap();
+        let scratch = sweep
+            .faulted_model(&scenario).unwrap()
+            .impedance_profile(&freqs).unwrap();
+        prop_assert_eq!(restamped.points, scratch, "{}", scenario.name);
+    }
+
     /// Higher conversion-at-PCB voltage always reduces horizontal loss
     /// for the vertical architectures (the paper's core argument).
     #[test]

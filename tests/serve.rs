@@ -20,6 +20,7 @@ fn serve_script(lines: &[&str], cache_capacity: usize) -> (Vec<String>, Ended) {
         queue_depth: 64,
         cache_capacity,
         max_batch: 16,
+        ..ServeConfig::default()
     };
     let input = lines.join("\n");
     let (out, ended) =
@@ -112,6 +113,43 @@ fn served_results_match_the_one_shot_cli_bitwise() {
             one_shot_cli(cli_args),
             "served result differs from one-shot CLI for {cli_args:?}"
         );
+    }
+}
+
+#[test]
+fn dynamic_fault_kinds_match_the_one_shot_cli_reports_bitwise() {
+    // `vpd faults --dynamic` and the three wire kinds share one wire
+    // default table and one set of transient-window constants, so the
+    // report documents must agree byte for byte: the CLI's
+    // `impedance`/`transient`/`survival` fields are the served kinds'
+    // `report` fields.
+    let (out, ended) = serve_script(
+        &[
+            r#"{"id":1,"kind":"fault_impedance","params":{"arch":"a2"}}"#,
+            r#"{"id":2,"kind":"fault_transient","params":{"arch":"a2"}}"#,
+            r#"{"id":3,"kind":"survival","params":{"arch":"a2"}}"#,
+        ],
+        16,
+    );
+    assert_eq!(ended, Ended::Eof);
+    let cli = Json::parse(&one_shot_cli(&["faults", "--arch", "a2", "--dynamic"]))
+        .expect("CLI emits valid JSON");
+    for (id, field) in [(1, "impedance"), (2, "transient"), (3, "survival")] {
+        let needle = format!("\"id\":{id}");
+        let line = out
+            .iter()
+            .find(|l| l.contains(&needle))
+            .unwrap_or_else(|| panic!("no response for id {id}: {out:?}"));
+        let served = Json::parse(&result_of(line))
+            .expect("result is valid JSON")
+            .get("report")
+            .expect("dynamic kinds carry a report")
+            .to_string();
+        let from_cli = cli
+            .get(field)
+            .unwrap_or_else(|| panic!("CLI document lacks {field}"))
+            .to_string();
+        assert_eq!(served, from_cli, "served {field} report differs from CLI");
     }
 }
 
@@ -353,6 +391,7 @@ fn batched_sweeps_serve_the_same_bits_as_an_unbatched_server() {
             queue_depth: 64,
             cache_capacity: 16,
             max_batch,
+            ..ServeConfig::default()
         };
         let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
         let addr = server.local_addr().expect("local addr").to_string();
@@ -407,6 +446,7 @@ fn overload_answers_every_request_with_a_typed_response() {
         queue_depth: 2,
         cache_capacity: 16,
         max_batch: 1,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -470,6 +510,7 @@ fn shutdown_answers_pipelined_sweeps_instead_of_dropping_them() {
         queue_depth: 64,
         cache_capacity: 16,
         max_batch: 4,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -540,6 +581,7 @@ fn idle_connections_cost_buffers_not_threads() {
         queue_depth: 64,
         cache_capacity: 4,
         max_batch: 16,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -561,6 +603,56 @@ fn idle_connections_cost_buffers_not_threads() {
         "expected a multiplexed server, found {threads} threads with 100 idle connections"
     );
     drop(idle);
+
+    let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn post_idle_requests_are_not_shed_on_a_stale_estimate() {
+    // Regression: the admission controller's service-time EMA used to
+    // survive idle periods indefinitely, so the first short-deadline
+    // request after a lull was shed against a stale estimate from a
+    // workload that no longer exists. With a short trust window, a
+    // post-idle probe must never see `shed` — the estimate is treated
+    // as unknown until a fresh completion re-seeds it.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 64,
+        cache_capacity: 16,
+        max_batch: 1,
+        shed_staleness: std::time::Duration::from_millis(50),
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Seed the EMA with a genuinely slow request.
+    let seed = vec![r#"{"id":100,"kind":"mc","params":{"arch":"a1","samples":200}}"#.to_owned()];
+    let seeded = vertical_power_delivery::serve::call(&addr, &seed, false).expect("seed call");
+    assert!(seeded[0].contains(r#""ok":true"#), "{}", seeded[0]);
+
+    // Idle past the trust window, then pipeline two slow leads (so the
+    // probe is admitted with work queued — the only state where
+    // shedding can fire) and a one-millisecond-deadline probe.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let lines = vec![
+        r#"{"id":1,"kind":"mc","params":{"arch":"a1","samples":200}}"#.to_owned(),
+        r#"{"id":2,"kind":"mc","params":{"arch":"a1","samples":200,"seed":5}}"#.to_owned(),
+        r#"{"id":3,"kind":"sharing","params":{"modules":12},"deadline_ms":1}"#.to_owned(),
+    ];
+    let responses = vertical_power_delivery::serve::call(&addr, &lines, false).expect("probe");
+    assert_eq!(responses.len(), lines.len(), "{responses:?}");
+    let probe = responses
+        .iter()
+        .find(|l| l.contains(r#""id":3"#))
+        .expect("probe answered");
+    // Expiring in the queue (`deadline_exceeded`) or completing are both
+    // legitimate; being shed against the pre-idle estimate is the bug.
+    assert!(
+        !probe.contains(r#""code":"shed""#),
+        "post-idle probe was shed on a stale estimate: {probe}"
+    );
 
     let _ = vertical_power_delivery::serve::call(&addr, &[], true).expect("drain");
     handle.join().expect("server thread").expect("server run");
