@@ -12,7 +12,7 @@
 //! Every number here is asserted by integration tests, so a calibration
 //! drift fails the build rather than silently changing the results.
 
-use crate::PowerMap;
+use crate::{CoreError, PowerMap};
 use vpd_units::Ohms;
 
 /// Free parameters of the PCB-to-POL loss model.
@@ -46,6 +46,38 @@ pub struct Calibration {
 }
 
 impl Calibration {
+    /// Validates every free parameter, returning the first violation as
+    /// a typed [`CoreError::InvalidSpec`] naming the field. Resistances
+    /// must be positive and finite (a negative sheet resistance would
+    /// previously flow silently into the mesh stamp and produce an
+    /// indefinite system), the mesh needs at least 2 nodes per side,
+    /// and the power map's shape parameters must lie in range.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let positive = |what: &'static str, r: Ohms| {
+            if r.value().is_finite() && r.value() > 0.0 {
+                Ok(())
+            } else {
+                Err(CoreError::InvalidSpec {
+                    what,
+                    value: r.value(),
+                })
+            }
+        };
+        positive("horizontal POL resistance", self.horizontal_pol_resistance)?;
+        positive("horizontal HV resistance", self.horizontal_hv_resistance)?;
+        positive("interposer bus resistance", self.interposer_bus_resistance)?;
+        positive("grid sheet resistance", self.grid_sheet_resistance)?;
+        positive("periphery VR droop", self.vr_droop_periphery)?;
+        positive("below-die VR droop", self.vr_droop_below_die)?;
+        if self.grid_nodes_per_side < 2 {
+            return Err(CoreError::InvalidSpec {
+                what: "grid nodes per side",
+                value: self.grid_nodes_per_side as f64,
+            });
+        }
+        self.power_map.validate()
+    }
+
     /// The documented paper calibration.
     #[must_use]
     pub fn paper_default() -> Self {

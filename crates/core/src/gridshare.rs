@@ -363,6 +363,11 @@ impl SharingSolver {
                 value: 0.0,
             });
         }
+        // Reject out-of-range calibrations (negative sheet resistance,
+        // bad power-map shapes) before stamping, with the field named —
+        // a negative conductance would otherwise silently produce an
+        // indefinite mesh that CG cannot solve.
+        calib.validate()?;
         let n = calib.grid_nodes_per_side.max(4);
         let mut grid = PowerGrid::new(n, n, calib.grid_sheet_resistance)?;
         let loads = calib.power_map.node_currents(n, n, spec.pol_current());

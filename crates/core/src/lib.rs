@@ -55,6 +55,7 @@ mod powermap;
 mod render;
 mod spec;
 pub mod survey;
+pub mod wire;
 mod zsweep;
 
 pub use arch::{

@@ -8,6 +8,8 @@
 
 use vpd_units::Amps;
 
+use crate::CoreError;
+
 /// A spatial current-draw profile over the die.
 #[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
 #[non_exhaustive]
@@ -49,6 +51,43 @@ impl PowerMap {
             cy: 0.5,
             sigma: 0.09,
             floor: 0.32,
+        }
+    }
+
+    /// Validates the map's shape parameters, naming the offending field
+    /// in a typed [`CoreError::InvalidSpec`]. Hotspot centers and
+    /// fractional shares must lie in `[0, 1]` and `sigma` must be
+    /// positive and finite — out-of-range values would previously feed
+    /// NaN or all-zero weights into the renormalization.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let unit = |what: &'static str, value: f64| {
+            if value.is_finite() && (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(CoreError::InvalidSpec { what, value })
+            }
+        };
+        match *self {
+            Self::Uniform => Ok(()),
+            Self::GaussianHotspot {
+                cx,
+                cy,
+                sigma,
+                floor,
+            } => {
+                unit("hotspot center x", cx)?;
+                unit("hotspot center y", cy)?;
+                unit("hotspot floor fraction", floor)?;
+                if sigma.is_finite() && sigma > 0.0 {
+                    Ok(())
+                } else {
+                    Err(CoreError::InvalidSpec {
+                        what: "hotspot sigma",
+                        value: sigma,
+                    })
+                }
+            }
+            Self::SplitHalves { left_share } => unit("left-half share", left_share),
         }
     }
 

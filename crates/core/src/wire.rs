@@ -1,0 +1,121 @@
+//! Canonical wire/CLI spellings of the architecture, topology, and
+//! placement enums, shared by the CLI, `vpd-serve`, and the
+//! `vpd-scenario` compiler so the three surfaces cannot drift.
+//!
+//! The spellings are part of the serve protocol (see
+//! `vpd_serve::proto`) and of the `.vpd` scenario grammar, so they are
+//! stable: adding a new variant means adding a new spelling here, never
+//! changing an existing one.
+
+use vpd_converters::VrTopologyKind;
+use vpd_units::Volts;
+
+use crate::arch::Architecture;
+use crate::placement::VrPlacement;
+
+/// Parses the CLI/wire spelling of an architecture
+/// (`a0|a1|a2|a3-12|a3-6`).
+#[must_use]
+pub fn parse_architecture(s: &str) -> Option<Architecture> {
+    match s {
+        "a0" => Some(Architecture::Reference),
+        "a1" => Some(Architecture::InterposerPeriphery),
+        "a2" => Some(Architecture::InterposerEmbedded),
+        "a3-12" => Some(Architecture::TwoStage {
+            bus: Volts::new(12.0),
+        }),
+        "a3-6" => Some(Architecture::TwoStage {
+            bus: Volts::new(6.0),
+        }),
+        _ => None,
+    }
+}
+
+/// The wire spelling of an architecture (inverse of
+/// [`parse_architecture`] for the five paper configurations; a
+/// `TwoStage` bus other than 12 V or 6 V has no wire spelling).
+#[must_use]
+pub fn architecture_wire_name(a: Architecture) -> Option<&'static str> {
+    match a {
+        Architecture::Reference => Some("a0"),
+        Architecture::InterposerPeriphery => Some("a1"),
+        Architecture::InterposerEmbedded => Some("a2"),
+        Architecture::TwoStage { bus } if bus.value() == 12.0 => Some("a3-12"),
+        Architecture::TwoStage { bus } if bus.value() == 6.0 => Some("a3-6"),
+        Architecture::TwoStage { .. } => None,
+    }
+}
+
+/// Parses the CLI/wire spelling of a topology (`dpmih|dsch|3lhd`).
+#[must_use]
+pub fn parse_topology(s: &str) -> Option<VrTopologyKind> {
+    match s {
+        "dpmih" => Some(VrTopologyKind::Dpmih),
+        "dsch" => Some(VrTopologyKind::Dsch),
+        "3lhd" => Some(VrTopologyKind::ThreeLevelHybridDickson),
+        _ => None,
+    }
+}
+
+/// Parses the CLI/wire spelling of a placement (`periphery|below`).
+#[must_use]
+pub fn parse_placement(s: &str) -> Option<VrPlacement> {
+    match s {
+        "periphery" => Some(VrPlacement::Periphery),
+        "below" => Some(VrPlacement::BelowDie),
+        _ => None,
+    }
+}
+
+/// The wire spelling of a topology (inverse of [`parse_topology`]).
+#[must_use]
+pub fn topology_wire_name(t: VrTopologyKind) -> &'static str {
+    match t {
+        VrTopologyKind::Dpmih => "dpmih",
+        VrTopologyKind::Dsch => "dsch",
+        VrTopologyKind::ThreeLevelHybridDickson => "3lhd",
+    }
+}
+
+/// The wire spelling of a placement (inverse of [`parse_placement`]).
+#[must_use]
+pub fn placement_wire_name(p: VrPlacement) -> &'static str {
+    match p {
+        VrPlacement::Periphery => "periphery",
+        VrPlacement::BelowDie => "below",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_spellings_round_trip() {
+        for name in ["a0", "a1", "a2", "a3-12", "a3-6"] {
+            let arch = parse_architecture(name).expect("known spelling");
+            assert_eq!(architecture_wire_name(arch), Some(name));
+        }
+        assert_eq!(parse_architecture("a4"), None);
+        assert_eq!(
+            architecture_wire_name(Architecture::TwoStage {
+                bus: Volts::new(9.0)
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn topology_and_placement_spellings_round_trip() {
+        for name in ["dpmih", "dsch", "3lhd"] {
+            let t = parse_topology(name).expect("known spelling");
+            assert_eq!(topology_wire_name(t), name);
+        }
+        for name in ["periphery", "below"] {
+            let p = parse_placement(name).expect("known spelling");
+            assert_eq!(placement_wire_name(p), name);
+        }
+        assert_eq!(parse_topology("buck"), None);
+        assert_eq!(parse_placement("edge"), None);
+    }
+}

@@ -26,6 +26,16 @@ pub enum PackageError {
         /// The rejected cap.
         value: f64,
     },
+    /// A geometric parameter (pitch, height, cross-section, platform
+    /// area, ...) was non-positive or non-finite.
+    InvalidGeometry {
+        /// Technology name the parameter belongs to.
+        tech: &'static str,
+        /// Which field was rejected.
+        field: &'static str,
+        /// The rejected value in SI base units.
+        value: f64,
+    },
 }
 
 impl fmt::Display for PackageError {
@@ -44,6 +54,12 @@ impl fmt::Display for PackageError {
             }
             Self::InvalidCap { value } => {
                 write!(f, "utilization cap must be in (0, 1], got {value}")
+            }
+            Self::InvalidGeometry { tech, field, value } => {
+                write!(
+                    f,
+                    "{tech}: {field} must be positive and finite, got {value}"
+                )
             }
         }
     }

@@ -3,6 +3,8 @@
 
 use vpd_units::{Amps, CurrentDensity, Meters, Ohms, Resistivity, SquareMeters};
 
+use crate::error::PackageError;
+
 /// Conductor material of a via, with its resistivity and
 /// electromigration (EM) current-density limit.
 ///
@@ -171,9 +173,65 @@ impl InterconnectTech {
     }
 
     /// Number of array sites available in `platform` at this pitch.
+    ///
+    /// A non-positive or non-finite `platform` silently yields 0 sites
+    /// here (the `as usize` clamp); validating callers such as the
+    /// scenario compiler should prefer [`Self::checked_sites_in`],
+    /// which surfaces the rejected field by name instead.
     #[must_use]
     pub fn sites_in(&self, platform: SquareMeters) -> usize {
         (platform.value() / (self.pitch.value() * self.pitch.value())) as usize
+    }
+
+    /// Like [`Self::sites_in`], but rejects a non-positive or
+    /// non-finite platform area (which the raw cast would silently
+    /// clamp to 0 sites) with a typed error naming the field.
+    pub fn checked_sites_in(&self, platform: SquareMeters) -> Result<usize, PackageError> {
+        if !(platform.value().is_finite() && platform.value() > 0.0) {
+            return Err(PackageError::InvalidGeometry {
+                tech: self.name,
+                field: "platform area",
+                value: platform.value(),
+            });
+        }
+        Ok(self.sites_in(platform))
+    }
+
+    /// Validates the technology's geometry, returning `self` on
+    /// success. Every field that feeds a division or an `as usize`
+    /// cast (pitch, height, cross-section, platform area, site cap) is
+    /// checked so user-supplied technology tables fail loudly, with
+    /// the offending field named, instead of yielding 0-site stacks or
+    /// infinite via resistances downstream.
+    pub fn validated(self) -> Result<Self, PackageError> {
+        let geometry = |field: &'static str, value: f64| PackageError::InvalidGeometry {
+            tech: self.name,
+            field,
+            value,
+        };
+        let positive = |field: &'static str, value: f64| {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(geometry(field, value))
+            }
+        };
+        positive("pitch", self.pitch.value())?;
+        positive("height", self.height.value())?;
+        positive("cross-section", self.cross_section.value())?;
+        positive("platform area", self.default_platform_area.value())?;
+        if let Some(d) = self.diameter {
+            positive("diameter", d.value())?;
+        }
+        if !(self.power_site_cap.is_finite()
+            && self.power_site_cap > 0.0
+            && self.power_site_cap <= 1.0)
+        {
+            return Err(PackageError::InvalidCap {
+                value: self.power_site_cap,
+            });
+        }
+        Ok(self)
     }
 
     /// Number of sites in the technology's default platform.

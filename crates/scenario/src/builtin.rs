@@ -1,0 +1,27 @@
+//! The five paper architectures as checked-in `.vpd` documents
+//! (`scenarios/*.vpd`), compiled through the same parse/validate path
+//! as user documents. The golden tests pin their compiled structs —
+//! and therefore every engine result — bitwise against the hardcoded
+//! constructors.
+
+/// Wire names of the builtin documents, paper order.
+pub const BUILTIN_NAMES: [&str; 5] = ["a0", "a1", "a2", "a3-12", "a3-6"];
+
+/// The checked-in document text for a builtin name.
+#[must_use]
+pub fn builtin_doc(name: &str) -> Option<&'static str> {
+    match name {
+        "a0" => Some(include_str!("../../../scenarios/a0.vpd")),
+        "a1" => Some(include_str!("../../../scenarios/a1.vpd")),
+        "a2" => Some(include_str!("../../../scenarios/a2.vpd")),
+        "a3-12" => Some(include_str!("../../../scenarios/a3-12.vpd")),
+        "a3-6" => Some(include_str!("../../../scenarios/a3-6.vpd")),
+        _ => None,
+    }
+}
+
+/// Every builtin as `(name, document text)`, paper order.
+#[must_use]
+pub fn builtin_docs() -> [(&'static str, &'static str); 5] {
+    BUILTIN_NAMES.map(|n| (n, builtin_doc(n).expect("builtin name")))
+}

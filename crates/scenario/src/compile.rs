@@ -1,0 +1,173 @@
+//! Compilation: a validated [`ScenarioDoc`] into the typed `vpd-core`
+//! analysis structs. Parse already ran the full validation pass, so
+//! compilation re-runs only typed constructors that cannot fail on a
+//! validated document; any residual failure is still surfaced as a
+//! [`ScenarioError`] rather than a panic.
+
+use vpd_converters::{EfficiencyCurve, VrTopologyKind};
+use vpd_core::{
+    AnalysisOptions, AnalysisSession, Architecture, Calibration, CoreError, SystemSpec, VrPlacement,
+};
+use vpd_package::InterconnectTech;
+use vpd_units::{CurrentDensity, Meters, Ohms, SquareMeters, Volts, Watts};
+
+use crate::doc::{ScenarioDoc, TechDoc};
+use crate::error::{ScenarioError, ScenarioErrorCode};
+
+/// The fault sweep a document asks `scenario run` (and serve) to
+/// execute alongside the analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// `None` = the N-1 contingency set; `Some(k)` = random k-fault
+    /// draws.
+    pub random_k: Option<usize>,
+    /// Scenario count (random-k mode).
+    pub count: usize,
+    /// RNG seed (random-k mode).
+    pub seed: u64,
+}
+
+/// A compiled scenario: the typed structs every engine in the
+/// workspace already consumes. For the five builtin documents these
+/// are bitwise-identical to the hardcoded constructors
+/// (`SystemSpec::paper_default()`, `Calibration::paper_default()`,
+/// `AnalysisOptions::default()`) — pinned by the golden tests.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scenario {
+    /// Display name from the document.
+    pub name: String,
+    /// Delivery architecture.
+    pub architecture: Architecture,
+    /// POL-stage topology.
+    pub topology: VrTopologyKind,
+    /// Regulator placement for the sharing-style engines.
+    pub placement: VrPlacement,
+    /// System electrical specification.
+    pub spec: SystemSpec,
+    /// Loss-model calibration (including the die power map).
+    pub calibration: Calibration,
+    /// Analysis options (overload policy, module count, solve mode).
+    pub options: AnalysisOptions,
+    /// Fitted user-supplied converter curve, when the document carries
+    /// a `[converter]` section.
+    pub converter: Option<EfficiencyCurve>,
+    /// User-adjusted interconnect technologies, in document order.
+    pub techs: Vec<InterconnectTech>,
+    /// Requested fault sweep, when the document carries `[faults]`.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Scenario {
+    /// Compiles the scenario's grid into a reusable analysis session —
+    /// the expensive artifact the serve cache holds per content hash.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] from the session constructor (e.g. a module count
+    /// below the architecture's capacity needs).
+    pub fn session(&self) -> Result<AnalysisSession, CoreError> {
+        AnalysisSession::new(
+            self.architecture,
+            &self.spec,
+            &self.calibration,
+            &self.options,
+        )
+    }
+}
+
+/// Materializes a `[tech.<base>]` section onto its Table I constant.
+/// Shared with the parse-time geometry backstop, so the validated and
+/// compiled technologies cannot diverge.
+pub(crate) fn compile_tech(doc: &TechDoc) -> InterconnectTech {
+    let mut t = doc.base.table_i();
+    if let Some(m) = doc.material {
+        t.material = m;
+    }
+    if let Some(d) = doc.diameter_um {
+        t.diameter = Some(Meters::from_micrometers(d));
+    }
+    if let Some(a) = doc.cross_section_um2 {
+        t.cross_section = SquareMeters::from_square_micrometers(a);
+    }
+    if let Some(h) = doc.height_um {
+        t.height = Meters::from_micrometers(h);
+    }
+    if let Some(p) = doc.pitch_um {
+        t.pitch = Meters::from_micrometers(p);
+    }
+    if let Some(a) = doc.platform_area_mm2 {
+        t.default_platform_area = SquareMeters::from_square_millimeters(a);
+    }
+    if let Some(c) = doc.power_site_cap {
+        t.power_site_cap = c;
+    }
+    t
+}
+
+impl ScenarioDoc {
+    /// Compiles the document into the typed analysis structs.
+    ///
+    /// # Errors
+    ///
+    /// Unreachable on a document produced by [`ScenarioDoc::parse`]
+    /// (parse validates a strict superset); kept as a typed error so
+    /// hand-constructed documents fail gracefully.
+    pub fn compile(&self) -> Result<Scenario, ScenarioError> {
+        let whole = |what: &str, e: &dyn std::fmt::Display| {
+            ScenarioError::new(1, 1, what, ScenarioErrorCode::OutOfRange, format!("{e}"))
+        };
+        let spec = SystemSpec::new(
+            Volts::new(self.spec.pcb_v),
+            Volts::new(self.spec.pol_v),
+            Watts::new(self.spec.power_w),
+            CurrentDensity::from_amps_per_square_millimeter(self.spec.density_a_mm2),
+        )
+        .map_err(|e| whole("spec", &e))?;
+        let calibration = Calibration {
+            horizontal_pol_resistance: Ohms::from_microohms(self.calibration.horizontal_pol_uohm),
+            horizontal_hv_resistance: Ohms::from_milliohms(self.calibration.horizontal_hv_mohm),
+            interposer_bus_resistance: Ohms::from_milliohms(self.calibration.interposer_bus_mohm),
+            grid_sheet_resistance: Ohms::from_milliohms(self.calibration.grid_sheet_mohm),
+            vr_droop_periphery: Ohms::from_milliohms(self.calibration.vr_droop_periphery_mohm),
+            vr_droop_below_die: Ohms::from_microohms(self.calibration.vr_droop_below_die_uohm),
+            grid_nodes_per_side: self.calibration.grid_nodes_per_side,
+            power_map: self.load,
+        };
+        calibration
+            .validate()
+            .map_err(|e| whole("calibration", &e))?;
+        let converter = match &self.converter {
+            None => None,
+            Some(c) => Some(EfficiencyCurve::fit(c.anchors()).map_err(|e| whole("converter", &e))?),
+        };
+        let techs = self
+            .techs
+            .iter()
+            .map(|t| {
+                compile_tech(t)
+                    .validated()
+                    .map_err(|e| whole(&format!("tech.{}", t.base.as_str()), &e))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Scenario {
+            name: self.name.clone(),
+            architecture: self.architecture,
+            topology: self.topology,
+            placement: self.placement,
+            spec,
+            calibration,
+            options: AnalysisOptions {
+                allow_overload: self.allow_overload,
+                module_count: self.modules,
+                solve_mode: self.solve_mode,
+            },
+            converter,
+            techs,
+            faults: self.faults.map(|f| FaultPlan {
+                random_k: f.random_k,
+                count: f.count,
+                seed: f.seed,
+            }),
+        })
+    }
+}

@@ -1,0 +1,131 @@
+//! Typed scenario diagnostics: every error carries the 1-based line and
+//! column it points at, the dotted field path (`section.key`), and a
+//! stable machine-readable code.
+
+use std::fmt;
+
+/// Stable machine-readable classes of scenario-document errors. The
+/// spellings ([`ScenarioErrorCode::as_str`]) are part of the tooling
+/// contract — tier-1 asserts them against the malformed-document
+/// corpus — so they never change, only grow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ScenarioErrorCode {
+    /// The line is not a section heading, a `key = value` entry, a
+    /// comment, or blank.
+    Syntax,
+    /// A `[section]` heading outside the grammar.
+    UnknownSection,
+    /// A key the section's schema does not list.
+    UnknownKey,
+    /// A key (or section) given twice.
+    DuplicateKey,
+    /// A value that does not parse as its schema type (wrong token
+    /// kind, unparseable number, or a fraction where an integer is
+    /// required).
+    BadValue,
+    /// An enumerated value outside its accepted spellings.
+    BadEnum,
+    /// A well-typed value outside its permitted range.
+    OutOfRange,
+    /// A required key or section is missing.
+    MissingKey,
+    /// Keys that are individually valid but mutually contradictory
+    /// (e.g. `bus_v` with a fixed-bus architecture, or converter
+    /// anchors no loss curve fits).
+    Inconsistent,
+}
+
+impl ScenarioErrorCode {
+    /// The stable wire/CLI spelling of the code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Syntax => "syntax",
+            Self::UnknownSection => "unknown-section",
+            Self::UnknownKey => "unknown-key",
+            Self::DuplicateKey => "duplicate-key",
+            Self::BadValue => "bad-value",
+            Self::BadEnum => "bad-enum",
+            Self::OutOfRange => "out-of-range",
+            Self::MissingKey => "missing-key",
+            Self::Inconsistent => "inconsistent",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One scenario-document diagnostic, pinned to a source location and a
+/// field path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScenarioError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (of the offending key, value, or heading).
+    pub column: usize,
+    /// Dotted field path (`"calibration.grid_sheet_mohm"`), or the bare
+    /// section name for section-level diagnostics.
+    pub field: String,
+    /// Stable machine-readable class.
+    pub code: ScenarioErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ScenarioError {
+    /// Builds a diagnostic at `(line, column)`.
+    #[must_use]
+    pub fn new(
+        line: usize,
+        column: usize,
+        field: impl Into<String>,
+        code: ScenarioErrorCode,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            line,
+            column,
+            field: field.into(),
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}] at {}:{}: {}: {}",
+            self.code, self.line, self.column, self.field, self.message
+        )
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let e = ScenarioError::new(
+            12,
+            7,
+            "calibration.grid_sheet_mohm",
+            ScenarioErrorCode::OutOfRange,
+            "must be positive and finite, got -0.3",
+        );
+        assert_eq!(
+            e.to_string(),
+            "error[out-of-range] at 12:7: calibration.grid_sheet_mohm: \
+             must be positive and finite, got -0.3"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The raw layer: lines → sections and `key = value` entries, every
+//! token carrying its 1-based source span. The typed layer
+//! (`crate::doc`) reads this through schema-aware accessors, so all
+//! type and range diagnostics point back at real source positions.
+
+use crate::error::{ScenarioError, ScenarioErrorCode};
+
+/// A 1-based source position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+impl Span {
+    pub(crate) fn err(
+        self,
+        field: impl Into<String>,
+        code: ScenarioErrorCode,
+        message: impl Into<String>,
+    ) -> ScenarioError {
+        ScenarioError::new(self.line, self.column, field, code, message)
+    }
+}
+
+/// One raw value token: a quoted string or a bare word (number,
+/// boolean). The schema decides how to interpret the token.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum RawValue {
+    Quoted(String),
+    Bare(String),
+}
+
+/// One `key = value` line.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct RawEntry {
+    pub key: String,
+    pub key_span: Span,
+    pub value: RawValue,
+    pub value_span: Span,
+}
+
+/// One `[name]` or `[name.sub]` section with its entries.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct RawSection {
+    pub name: String,
+    pub sub: Option<String>,
+    pub span: Span,
+    pub entries: Vec<RawEntry>,
+}
+
+/// The whole document: sections in source order.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct RawDoc {
+    pub sections: Vec<RawSection>,
+}
+
+/// Strips a trailing `#` comment (quote-aware) and surrounding
+/// whitespace.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Column (1-based) of the first byte of `token` inside `line`, given
+/// the token's byte offset.
+fn col_at(offset: usize) -> usize {
+    offset + 1
+}
+
+impl RawDoc {
+    /// Splits the text into spanned sections and entries. Grammar-level
+    /// failures (a line that is neither blank, comment, heading, nor
+    /// entry; an unterminated string) surface here; everything
+    /// schema-aware happens in the typed layer.
+    pub(crate) fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut sections: Vec<RawSection> = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let body = strip_comment(raw_line);
+            let trimmed = body.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let indent = body.len() - body.trim_start().len();
+            let span = Span {
+                line: line_no,
+                column: col_at(indent),
+            };
+            if let Some(rest) = trimmed.strip_prefix('[') {
+                let Some(inner) = rest.strip_suffix(']') else {
+                    return Err(span.err(
+                        "document",
+                        ScenarioErrorCode::Syntax,
+                        "section heading must close with `]`",
+                    ));
+                };
+                let inner = inner.trim();
+                let (name, sub) = match inner.split_once('.') {
+                    Some((n, s)) => (n.trim().to_string(), Some(s.trim().to_string())),
+                    None => (inner.to_string(), None),
+                };
+                if name.is_empty() || sub.as_deref() == Some("") {
+                    return Err(span.err(
+                        "document",
+                        ScenarioErrorCode::Syntax,
+                        "empty section name",
+                    ));
+                }
+                sections.push(RawSection {
+                    name,
+                    sub,
+                    span,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            let Some(eq) = body.find('=') else {
+                return Err(span.err(
+                    "document",
+                    ScenarioErrorCode::Syntax,
+                    "expected `[section]` or `key = value`",
+                ));
+            };
+            let key_part = &body[..eq];
+            let key = key_part.trim().to_string();
+            if key.is_empty() {
+                return Err(span.err(
+                    "document",
+                    ScenarioErrorCode::Syntax,
+                    "missing key before `=`",
+                ));
+            }
+            let key_span = Span {
+                line: line_no,
+                column: col_at(key_part.len() - key_part.trim_start().len()),
+            };
+            let value_part = &body[eq + 1..];
+            let value_text = value_part.trim();
+            let value_col = col_at(eq + 1 + (value_part.len() - value_part.trim_start().len()));
+            let value_span = Span {
+                line: line_no,
+                column: value_col,
+            };
+            if value_text.is_empty() {
+                return Err(value_span.err(
+                    "document",
+                    ScenarioErrorCode::Syntax,
+                    format!("missing value after `{key} =`"),
+                ));
+            }
+            let value = if let Some(rest) = value_text.strip_prefix('"') {
+                let Some(inner) = rest.strip_suffix('"') else {
+                    return Err(value_span.err(
+                        "document",
+                        ScenarioErrorCode::Syntax,
+                        "unterminated string",
+                    ));
+                };
+                if inner.contains('"') {
+                    return Err(value_span.err(
+                        "document",
+                        ScenarioErrorCode::Syntax,
+                        "strings cannot contain `\"`",
+                    ));
+                }
+                RawValue::Quoted(inner.to_string())
+            } else {
+                RawValue::Bare(value_text.to_string())
+            };
+            let Some(section) = sections.last_mut() else {
+                return Err(key_span.err(
+                    "document",
+                    ScenarioErrorCode::Syntax,
+                    "entry before any `[section]` heading",
+                ));
+            };
+            section.entries.push(RawEntry {
+                key,
+                key_span,
+                value,
+                value_span,
+            });
+        }
+        Ok(Self { sections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_entries_and_comments() {
+        let doc = RawDoc::parse(
+            "# leading comment\n[scenario]\nname = \"x\" # trailing\n\n[tech.c4]\npitch_um = 200\n",
+        )
+        .expect("parses");
+        assert_eq!(doc.sections.len(), 2);
+        assert_eq!(doc.sections[0].name, "scenario");
+        assert_eq!(doc.sections[0].entries[0].key, "name");
+        assert_eq!(
+            doc.sections[0].entries[0].value,
+            RawValue::Quoted("x".into())
+        );
+        assert_eq!(doc.sections[1].sub.as_deref(), Some("c4"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_spans() {
+        let e = RawDoc::parse("[scenario]\n  what even is this\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 3));
+        assert_eq!(e.code, ScenarioErrorCode::Syntax);
+        let e = RawDoc::parse("name = \"x\"\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

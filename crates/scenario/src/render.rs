@@ -1,0 +1,179 @@
+//! Canonical rendering: one fixed spelling per document. Numbers use
+//! Rust's shortest-roundtrip `{}` formatting, so `parse → render →
+//! parse` is bitwise stable, equal documents render byte-identically,
+//! and the content hash keys the serve scenario cache without
+//! tolerance games.
+
+use vpd_core::wire::{architecture_wire_name, placement_wire_name, topology_wire_name};
+use vpd_core::{Architecture, PowerMap};
+use vpd_package::ViaMaterial;
+
+use crate::doc::{solve_mode_name, ScenarioDoc};
+
+/// Writes `key = value` for an f64 in canonical (shortest-roundtrip)
+/// spelling.
+fn num(out: &mut String, key: &str, v: f64) {
+    out.push_str(key);
+    out.push_str(" = ");
+    out.push_str(&format!("{v}"));
+    out.push('\n');
+}
+
+fn int(out: &mut String, key: &str, v: u64) {
+    out.push_str(key);
+    out.push_str(" = ");
+    out.push_str(&format!("{v}"));
+    out.push('\n');
+}
+
+fn quoted(out: &mut String, key: &str, v: &str) {
+    out.push_str(key);
+    out.push_str(" = \"");
+    out.push_str(v);
+    out.push_str("\"\n");
+}
+
+fn flag(out: &mut String, key: &str, v: bool) {
+    out.push_str(key);
+    out.push_str(if v { " = true\n" } else { " = false\n" });
+}
+
+impl ScenarioDoc {
+    /// Renders the canonical text form. Parsing the result yields a
+    /// document equal to `self`, and equal documents render to
+    /// byte-identical text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(640);
+
+        out.push_str("[scenario]\n");
+        quoted(&mut out, "name", &self.name);
+        match architecture_wire_name(self.architecture) {
+            Some(tag) => quoted(&mut out, "architecture", tag),
+            None => {
+                quoted(&mut out, "architecture", "a3");
+                if let Architecture::TwoStage { bus } = self.architecture {
+                    num(&mut out, "bus_v", bus.value());
+                }
+            }
+        }
+        quoted(&mut out, "topology", topology_wire_name(self.topology));
+        quoted(&mut out, "placement", placement_wire_name(self.placement));
+        if let Some(m) = self.modules {
+            int(&mut out, "modules", m as u64);
+        }
+        flag(&mut out, "allow_overload", self.allow_overload);
+        quoted(&mut out, "solve_mode", solve_mode_name(self.solve_mode));
+
+        out.push_str("\n[spec]\n");
+        num(&mut out, "pcb_v", self.spec.pcb_v);
+        num(&mut out, "pol_v", self.spec.pol_v);
+        num(&mut out, "power_w", self.spec.power_w);
+        num(&mut out, "density_a_mm2", self.spec.density_a_mm2);
+
+        out.push_str("\n[calibration]\n");
+        let c = &self.calibration;
+        num(&mut out, "horizontal_pol_uohm", c.horizontal_pol_uohm);
+        num(&mut out, "horizontal_hv_mohm", c.horizontal_hv_mohm);
+        num(&mut out, "interposer_bus_mohm", c.interposer_bus_mohm);
+        num(&mut out, "grid_sheet_mohm", c.grid_sheet_mohm);
+        num(
+            &mut out,
+            "vr_droop_periphery_mohm",
+            c.vr_droop_periphery_mohm,
+        );
+        num(
+            &mut out,
+            "vr_droop_below_die_uohm",
+            c.vr_droop_below_die_uohm,
+        );
+        int(
+            &mut out,
+            "grid_nodes_per_side",
+            c.grid_nodes_per_side as u64,
+        );
+
+        out.push_str("\n[load]\n");
+        match self.load {
+            PowerMap::Uniform => quoted(&mut out, "map", "uniform"),
+            PowerMap::GaussianHotspot {
+                cx,
+                cy,
+                sigma,
+                floor,
+            } => {
+                quoted(&mut out, "map", "gaussian");
+                num(&mut out, "cx", cx);
+                num(&mut out, "cy", cy);
+                num(&mut out, "sigma", sigma);
+                num(&mut out, "floor", floor);
+            }
+            PowerMap::SplitHalves { left_share } => {
+                quoted(&mut out, "map", "split");
+                num(&mut out, "left_share", left_share);
+            }
+            // `PowerMap` is non-exhaustive; new variants must gain a
+            // document spelling before they can round-trip.
+            #[allow(unreachable_patterns)]
+            other => unreachable!("power map {other:?} has no document spelling"),
+        }
+
+        if let Some(conv) = &self.converter {
+            out.push_str("\n[converter]\n");
+            num(&mut out, "v_out", conv.v_out);
+            num(&mut out, "i_peak", conv.i_peak);
+            num(&mut out, "eta_peak", conv.eta_peak);
+            num(&mut out, "i_max", conv.i_max);
+            num(&mut out, "eta_max", conv.eta_max);
+        }
+
+        for t in &self.techs {
+            out.push_str("\n[tech.");
+            out.push_str(t.base.as_str());
+            out.push_str("]\n");
+            if let Some(m) = t.material {
+                quoted(
+                    &mut out,
+                    "material",
+                    match m {
+                        ViaMaterial::Solder => "solder",
+                        ViaMaterial::Copper => "copper",
+                    },
+                );
+            }
+            if let Some(v) = t.diameter_um {
+                num(&mut out, "diameter_um", v);
+            }
+            if let Some(v) = t.cross_section_um2 {
+                num(&mut out, "cross_section_um2", v);
+            }
+            if let Some(v) = t.height_um {
+                num(&mut out, "height_um", v);
+            }
+            if let Some(v) = t.pitch_um {
+                num(&mut out, "pitch_um", v);
+            }
+            if let Some(v) = t.platform_area_mm2 {
+                num(&mut out, "platform_area_mm2", v);
+            }
+            if let Some(v) = t.power_site_cap {
+                num(&mut out, "power_site_cap", v);
+            }
+        }
+
+        if let Some(f) = &self.faults {
+            out.push_str("\n[faults]\n");
+            match f.random_k {
+                None => quoted(&mut out, "mode", "n-1"),
+                Some(k) => {
+                    quoted(&mut out, "mode", "random-k");
+                    int(&mut out, "k", k as u64);
+                    int(&mut out, "count", f.count as u64);
+                    int(&mut out, "seed", f.seed);
+                }
+            }
+        }
+
+        out
+    }
+}

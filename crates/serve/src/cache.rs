@@ -173,6 +173,15 @@ impl ScenarioKey {
                 arch: arch.name(),
                 params: vec![topology_tag(*topology)],
             }),
+            // User scenarios key on the document's spelling-invariant
+            // content hash (FNV-1a over the canonical rendering): two
+            // spellings of the same scenario — including an inline copy
+            // of a builtin — share one compiled session.
+            Work::Scenario { doc } => Some(Self {
+                kind: "scenario",
+                arch: String::new(),
+                params: vec![doc.content_hash()],
+            }),
         }
     }
 }
@@ -205,6 +214,11 @@ pub enum CacheEntry {
     /// A compiled electro-thermal cascade ladder (grid solver, thermal
     /// mesh, and derating model).
     Cascade(Box<CascadeLadder>),
+    /// A user scenario's compiled die-grid session, keyed by the
+    /// document's content hash. Distinct from [`CacheEntry::Session`]:
+    /// that family is keyed by (architecture, power, density) wire
+    /// params, this one by the full document.
+    Scenario(Box<AnalysisSession>),
 }
 
 /// Point-in-time cache counters.
@@ -575,6 +589,20 @@ mod tests {
         ))
         .unwrap();
         assert_ne!(f1, f2);
+        // User scenarios key on the content hash: the checked-in a3-12
+        // builtin and a minimal inline spelling of the same scenario
+        // share one compiled session.
+        let g1 = ScenarioKey::from_work(&parse(r#"{"kind":"scenario","params":{"name":"a3-12"}}"#))
+            .unwrap();
+        let g2 = ScenarioKey::from_work(&parse(
+            r#"{"kind":"scenario","params":{"doc":"[scenario]\narchitecture = \"a3\"\nbus_v = 12\n"}}"#,
+        ))
+        .unwrap();
+        assert_eq!(g1.kind, "scenario");
+        assert_eq!(g1, g2, "equivalent spellings must share a cache key");
+        let g3 = ScenarioKey::from_work(&parse(r#"{"kind":"scenario","params":{"name":"a3-6"}}"#))
+            .unwrap();
+        assert_ne!(g1, g3);
     }
 
     #[test]

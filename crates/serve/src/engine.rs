@@ -41,7 +41,8 @@ use vpd_core::{
     VrPlacement,
 };
 use vpd_report::{Json, Render};
-use vpd_units::{CurrentDensity, Hertz, Seconds, Volts, Watts};
+use vpd_scenario::ScenarioDoc;
+use vpd_units::{Amps, CurrentDensity, Hertz, Seconds, Volts, Watts};
 
 use crate::cache::{CacheEntry, CacheStats, ScenarioCache, ScenarioKey};
 use crate::proto::{kind_catalog, ErrorCode, Work, PROTOCOL_VERSION};
@@ -204,6 +205,7 @@ impl Dispatcher {
                 self.fault_transient(worker, work, *arch, *count)
             }
             Work::Survival { arch, topology } => self.survival(worker, work, *arch, *topology),
+            Work::Scenario { doc } => self.scenario(worker, work, doc),
             // The server streams this kind chunk-by-chunk; dispatching
             // it directly drains the same run silently and returns the
             // summary document — bitwise what the stream's final record
@@ -768,6 +770,126 @@ impl Dispatcher {
         Ok((result, cached))
     }
 
+    /// Compiles and analyzes a user scenario document. The expensive
+    /// artifact — the compiled die-grid session — is cached under the
+    /// document's content hash, so a repeated (or respelled) scenario
+    /// skips grid compilation entirely; the document's own spec,
+    /// calibration, and options drive the engines, not the dispatcher's
+    /// paper defaults. A `[faults]` sweep, when the document asks for
+    /// one, runs after the session returns to the cache.
+    fn scenario(&self, worker: usize, work: &Work, doc: &ScenarioDoc) -> DispatchResult {
+        let scenario = doc
+            .compile()
+            .map_err(|e| (ErrorCode::BadRequest, format!("scenario document: {e}")))?;
+        let key = ScenarioKey::from_work(work).expect("scenario has a key");
+        let (mut session, cached) = match self.cache.take_for(worker, &key) {
+            Some(CacheEntry::Scenario(s)) => (s, true),
+            _ => {
+                let session = scenario.session().map_err(engine_err)?;
+                (Box::new(session), false)
+            }
+        };
+        let report = match session.analyze(scenario.topology, &scenario.calibration) {
+            Ok(report) => {
+                session.anchor();
+                report
+            }
+            Err(e) => {
+                self.cache
+                    .put_for(worker, key, CacheEntry::Scenario(session));
+                return Err(engine_err(e));
+            }
+        };
+        self.cache
+            .put_for(worker, key, CacheEntry::Scenario(session));
+
+        let hash = format!("{:016x}", doc.content_hash());
+        let mut pairs = vec![
+            ("command", Json::from("scenario")),
+            ("name", Json::from(scenario.name.as_str())),
+            ("hash", Json::from(hash.as_str())),
+            ("architecture", Json::from(scenario.architecture.name())),
+            ("topology", Json::from(scenario.topology.name())),
+            ("placement", Json::from(scenario.placement.to_string())),
+            ("overloaded", Json::from(report.overloaded)),
+            ("breakdown", report.breakdown.render_json()),
+        ];
+        if let (Some(c), Some(curve)) = (&doc.converter, &scenario.converter) {
+            let loss_peak = curve.loss(Amps::new(c.i_peak)).map_err(engine_err)?;
+            let loss_max = curve.loss(Amps::new(c.i_max)).map_err(engine_err)?;
+            pairs.push((
+                "converter",
+                Json::obj([
+                    ("v_out", Json::from(c.v_out)),
+                    ("i_peak_a", Json::from(c.i_peak)),
+                    ("eta_peak", Json::from(c.eta_peak)),
+                    ("i_max_a", Json::from(c.i_max)),
+                    ("eta_max", Json::from(c.eta_max)),
+                    ("loss_at_peak_w", Json::from(loss_peak.value())),
+                    ("loss_at_max_w", Json::from(loss_max.value())),
+                ]),
+            ));
+        }
+        if !scenario.techs.is_empty() {
+            let techs: Vec<Json> = doc
+                .techs
+                .iter()
+                .zip(&scenario.techs)
+                .map(|(td, t)| {
+                    Json::obj([
+                        ("base", Json::from(td.base.as_str())),
+                        ("name", Json::from(t.name)),
+                        ("sites", Json::from(t.default_sites())),
+                        (
+                            "via_resistance_uohm",
+                            Json::from(t.via_resistance().value() * 1e6),
+                        ),
+                        (
+                            "max_current_per_via_a",
+                            Json::from(t.max_current_per_via().value()),
+                        ),
+                    ])
+                })
+                .collect();
+            pairs.push(("techs", Json::Array(techs)));
+        }
+        if let Some(plan) = &scenario.faults {
+            let sweep = FaultSweep::new(
+                scenario.architecture,
+                scenario.topology,
+                &scenario.spec,
+                &scenario.calibration,
+            )
+            .map_err(engine_err)?;
+            let scenarios = match plan.random_k {
+                None => FaultScenario::n_minus_1(sweep.vr_count()),
+                Some(k) => FaultScenario::random_k(
+                    k,
+                    plan.count,
+                    plan.seed,
+                    sweep.vr_count(),
+                    sweep.grid_side(),
+                ),
+            };
+            let label = match plan.random_k {
+                None => format!("N-1 over {} modules", sweep.vr_count()),
+                Some(k) => format!(
+                    "{} random {k}-fault scenarios (seed {})",
+                    plan.count, plan.seed
+                ),
+            };
+            let fault_report = sweep.run(&scenarios, 0).map_err(engine_err)?;
+            pairs.push((
+                "faults",
+                Json::obj([
+                    ("mode", Json::from(label.as_str())),
+                    ("report", fault_report.render_json()),
+                ]),
+            ));
+        }
+        Ok((Json::obj(pairs), cached))
+    }
+
     fn survival(
         &self,
         worker: usize,
@@ -954,6 +1076,7 @@ mod tests {
             r#"{"kind":"fault_impedance","params":{"arch":"a2","random_k":2,"count":3,"points":24}}"#,
             r#"{"kind":"fault_transient","params":{"arch":"a2","count":2}}"#,
             r#"{"kind":"survival","params":{"arch":"a1"}}"#,
+            r#"{"kind":"scenario","params":{"name":"a1"}}"#,
         ] {
             // Fresh dispatcher per kind: analyze and mc intentionally
             // share session entries, which would warm each other here.
@@ -1195,6 +1318,84 @@ mod tests {
         assert_eq!(err.0, ErrorCode::Engine, "{err:?}");
         assert!(err.1.contains("vertical architecture"), "{err:?}");
         assert_eq!(d.cache_stats().entries, 0, "no broken entry was cached");
+    }
+
+    #[test]
+    fn scenario_builtin_matches_the_analyze_kind_bitwise() {
+        // The checked-in a2 document compiles to the paper defaults, so
+        // its served breakdown must carry the exact bits the hardcoded
+        // analyze path produces.
+        let d = Dispatcher::new(8);
+        let (scen, cached) = d
+            .dispatch(&work(r#"{"kind":"scenario","params":{"name":"a2"}}"#))
+            .unwrap();
+        assert!(!cached);
+        let (analyze, _) = d
+            .dispatch(&work(r#"{"kind":"analyze","params":{"arch":"a2"}}"#))
+            .unwrap();
+        assert_eq!(
+            scen.get("breakdown").unwrap().to_string(),
+            analyze.get("breakdown").unwrap().to_string(),
+            "document-compiled a2 diverged from the hardcoded constructors"
+        );
+        assert_eq!(scen.get("overloaded"), analyze.get("overloaded"));
+        assert_eq!(scen.get("name").and_then(Json::as_str), Some("a2"));
+        assert_eq!(
+            scen.get("hash").and_then(Json::as_str).map(str::len),
+            Some(16)
+        );
+    }
+
+    #[test]
+    fn scenario_spellings_share_one_cached_session() {
+        let d = Dispatcher::new(8);
+        let (_, cached) = d
+            .dispatch(&work(r#"{"kind":"scenario","params":{"name":"a3-12"}}"#))
+            .unwrap();
+        assert!(!cached);
+        // A minimal inline spelling of the same scenario hits the entry
+        // the builtin compiled, and carries the same bits.
+        let inline = work(
+            r#"{"kind":"scenario","params":{"doc":"[scenario]\narchitecture = \"a3\"\nbus_v = 12\n"}}"#,
+        );
+        let (inline_doc, cached) = d.dispatch(&inline).unwrap();
+        assert!(cached, "respelled scenario must hit the shared entry");
+        let (builtin_doc, _) = d
+            .dispatch(&work(r#"{"kind":"scenario","params":{"name":"a3-12"}}"#))
+            .unwrap();
+        assert_eq!(inline_doc.to_string(), builtin_doc.to_string());
+        assert_eq!(d.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn scenario_honors_custom_sections() {
+        // A customized document: non-default power, a converter, a tech
+        // override, and an N-1 fault sweep, served in one response.
+        let text = "[scenario]\narchitecture = \"a1\"\n\
+                    [spec]\npower_w = 600\n\
+                    [converter]\nv_out = 1\ni_peak = 30\neta_peak = 0.9\n\
+                    i_max = 100\neta_max = 0.86\n\
+                    [tech.tsv]\npitch_um = 50\n\
+                    [faults]\nmode = \"n-1\"\n";
+        let line = format!(
+            r#"{{"kind":"scenario","params":{{"doc":{}}}}}"#,
+            Json::from(text)
+        );
+        let d = Dispatcher::new(8);
+        let (doc, _) = d.dispatch(&work(&line)).unwrap();
+        let conv = doc.get("converter").expect("converter summary");
+        assert_eq!(conv.get("i_max_a").and_then(Json::as_f64), Some(100.0));
+        assert!(conv.get("loss_at_max_w").and_then(Json::as_f64).unwrap() > 0.0);
+        let Some(Json::Array(techs)) = doc.get("techs") else {
+            panic!("techs summary: {doc}");
+        };
+        assert_eq!(techs[0].get("base").and_then(Json::as_str), Some("tsv"));
+        let faults = doc.get("faults").expect("faults report");
+        assert!(faults
+            .get("mode")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("N-1"));
     }
 
     #[test]

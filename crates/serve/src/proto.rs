@@ -33,7 +33,7 @@ use std::sync::OnceLock;
 use vpd_converters::VrTopologyKind;
 use vpd_core::{Architecture, VrPlacement};
 use vpd_report::Json;
-use vpd_units::Volts;
+use vpd_scenario::{builtin_doc, ScenarioDoc, BUILTIN_NAMES};
 
 /// Version tag carried by every response. Version 1 is the original
 /// (unversioned) PR 5 protocol; version 2 added the `version` field
@@ -47,6 +47,9 @@ pub const MAX_SWEEP_SETPOINTS: usize = 256;
 /// Ceiling on one `transient_stream` chunk's samples, bounding a single
 /// record's size.
 pub const MAX_STREAM_CHUNK: usize = 4096;
+/// Ceiling on an inline `.vpd` scenario document's length in bytes,
+/// bounding what one request line can make the parser chew.
+pub const MAX_SCENARIO_DOC: usize = 64 * 1024;
 
 /// Machine-readable failure class carried by error responses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -238,6 +241,15 @@ pub enum Work {
         /// POL-stage topology.
         topology: VrTopologyKind,
     },
+    /// A declarative `.vpd` scenario document, compiled and analyzed.
+    /// The document is fully parsed and validated at admission, so a
+    /// malformed document is rejected with its line/column diagnostic
+    /// before it can occupy a queue slot. Compiled sessions are cached
+    /// under the document's spelling-invariant content hash.
+    Scenario {
+        /// The validated document (boxed: it dwarfs the other variants).
+        doc: Box<ScenarioDoc>,
+    },
 }
 
 impl Work {
@@ -260,6 +272,7 @@ impl Work {
             Self::FaultImpedance { .. } => "fault_impedance",
             Self::FaultTransient { .. } => "fault_transient",
             Self::Survival { .. } => "survival",
+            Self::Scenario { .. } => "scenario",
         }
     }
 }
@@ -276,63 +289,14 @@ pub struct Request {
     pub work: Work,
 }
 
-/// Parses the CLI/wire spelling of an architecture
-/// (`a0|a1|a2|a3-12|a3-6`).
-#[must_use]
-pub fn parse_architecture(s: &str) -> Option<Architecture> {
-    match s {
-        "a0" => Some(Architecture::Reference),
-        "a1" => Some(Architecture::InterposerPeriphery),
-        "a2" => Some(Architecture::InterposerEmbedded),
-        "a3-12" => Some(Architecture::TwoStage {
-            bus: Volts::new(12.0),
-        }),
-        "a3-6" => Some(Architecture::TwoStage {
-            bus: Volts::new(6.0),
-        }),
-        _ => None,
-    }
-}
-
-/// Parses the CLI/wire spelling of a topology (`dpmih|dsch|3lhd`).
-#[must_use]
-pub fn parse_topology(s: &str) -> Option<VrTopologyKind> {
-    match s {
-        "dpmih" => Some(VrTopologyKind::Dpmih),
-        "dsch" => Some(VrTopologyKind::Dsch),
-        "3lhd" => Some(VrTopologyKind::ThreeLevelHybridDickson),
-        _ => None,
-    }
-}
-
-/// Parses the CLI/wire spelling of a placement (`periphery|below`).
-#[must_use]
-pub fn parse_placement(s: &str) -> Option<VrPlacement> {
-    match s {
-        "periphery" => Some(VrPlacement::Periphery),
-        "below" => Some(VrPlacement::BelowDie),
-        _ => None,
-    }
-}
-
-/// The wire spelling of a topology (inverse of [`parse_topology`]).
-#[must_use]
-pub fn topology_wire_name(t: VrTopologyKind) -> &'static str {
-    match t {
-        VrTopologyKind::Dpmih => "dpmih",
-        VrTopologyKind::Dsch => "dsch",
-        VrTopologyKind::ThreeLevelHybridDickson => "3lhd",
-    }
-}
-
-/// The wire spelling of a placement (inverse of [`parse_placement`]).
-#[must_use]
-pub fn placement_wire_name(p: VrPlacement) -> &'static str {
-    match p {
-        VrPlacement::Periphery => "periphery",
-        VrPlacement::BelowDie => "below",
-    }
-}
+// The architecture/topology/placement wire spellings live in
+// `vpd_core::wire` (shared with the CLI and the scenario compiler);
+// re-exported here so existing `vpd_serve::proto::parse_architecture`
+// callers keep working and the wire format cannot drift.
+pub use vpd_core::wire::{
+    architecture_wire_name, parse_architecture, parse_placement, parse_topology,
+    placement_wire_name, topology_wire_name,
+};
 
 // ---------------------------------------------------------------------
 // The declarative field-spec table
@@ -370,6 +334,12 @@ pub enum FieldType {
     },
     /// An *optional* positive integer (absent ≠ zero; e.g. `random_k`).
     OptionalCount,
+    /// A non-empty string of at most `max_len` bytes (e.g. an inline
+    /// scenario document). Always optional on the wire.
+    Text {
+        /// Inclusive byte-length ceiling.
+        max_len: usize,
+    },
 }
 
 impl FieldType {
@@ -386,6 +356,7 @@ impl FieldType {
             Self::Placement => "placement",
             Self::F64List { .. } => "number[]",
             Self::OptionalCount => "count?",
+            Self::Text { .. } => "text",
         }
     }
 }
@@ -740,6 +711,27 @@ pub fn kind_specs() -> &'static [KindSpec] {
                 doc: "electro-thermal cascade survival envelope over the N-1 contingency set",
                 fields: vec![arch(), topology()],
             },
+            KindSpec {
+                kind: "scenario",
+                doc: "compile and analyze a declarative .vpd scenario document \
+                      (exactly one of inline `doc` or builtin `name`)",
+                fields: vec![
+                    field(
+                        "doc",
+                        FieldType::Text {
+                            max_len: MAX_SCENARIO_DOC,
+                        },
+                        FieldDefault::Absent,
+                        "inline .vpd scenario document text",
+                    ),
+                    field(
+                        "name",
+                        FieldType::Text { max_len: 64 },
+                        FieldDefault::Absent,
+                        "builtin scenario name (a0|a1|a2|a3-12|a3-6)",
+                    ),
+                ],
+            },
         ]
     })
 }
@@ -795,7 +787,7 @@ pub fn kind_catalog() -> Json {
                                 pairs.push(("min", Json::from(min)));
                                 pairs.push(("max", Json::from(max)));
                             }
-                            FieldType::F64List { max_len } => {
+                            FieldType::F64List { max_len } | FieldType::Text { max_len } => {
                                 pairs.push(("max_len", Json::from(max_len)));
                             }
                             _ => {}
@@ -880,6 +872,7 @@ enum FieldValue {
     Topology(VrTopologyKind),
     Placement(VrPlacement),
     List(Vec<f64>),
+    Text(String),
     /// An optional parameter the request did not carry.
     Absent,
 }
@@ -958,6 +951,14 @@ impl ParsedFields {
             FieldValue::Count(v) => Some(*v),
             FieldValue::Absent => None,
             other => panic!("field `{name}` is not an optional count: {other:?}"),
+        }
+    }
+
+    fn optional_text(&self, name: &str) -> Option<&str> {
+        match self.value(name) {
+            FieldValue::Text(v) => Some(v.as_str()),
+            FieldValue::Absent => None,
+            other => panic!("field `{name}` is not a text: {other:?}"),
         }
     }
 }
@@ -1108,6 +1109,16 @@ fn parse_field(f: &FieldSpec, p: &Params<'_>) -> Result<FieldValue, (ErrorCode, 
                 .ok_or_else(|| plain(format!("param `{key}` expects a positive integer")))?;
             Ok(FieldValue::Count(v))
         }
+        FieldType::Text { max_len } => {
+            let s = want_str()?;
+            if s.is_empty() {
+                return Err(plain(format!("param `{key}` must not be empty")));
+            }
+            if s.len() > max_len {
+                return Err(plain(format!("param `{key}` is capped at {max_len} bytes")));
+            }
+            Ok(FieldValue::Text(s.to_string()))
+        }
     }
 }
 
@@ -1244,6 +1255,38 @@ fn parse_work(kind: &str, p: &Params<'_>) -> Result<Work, (ErrorCode, String)> {
             arch: v.arch("arch"),
             topology: v.topology("topology"),
         },
+        "scenario" => {
+            // Full parse + validation at admission: a malformed document
+            // is rejected here, with its line/column diagnostic, before
+            // it can occupy a queue slot or reach a worker.
+            let text = match (v.optional_text("doc"), v.optional_text("name")) {
+                (Some(_), Some(_)) => {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        "params `doc` and `name` are mutually exclusive".into(),
+                    ));
+                }
+                (None, None) => {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        "param `doc` (inline document) or `name` (builtin) is required".into(),
+                    ));
+                }
+                (Some(d), None) => d,
+                (None, Some(n)) => builtin_doc(n).ok_or_else(|| {
+                    (
+                        ErrorCode::BadRequest,
+                        format!(
+                            "unknown builtin scenario '{n}' (builtins: {})",
+                            BUILTIN_NAMES.join(", ")
+                        ),
+                    )
+                })?,
+            };
+            let doc = ScenarioDoc::parse(text)
+                .map_err(|e| (ErrorCode::BadRequest, format!("scenario document: {e}")))?;
+            Work::Scenario { doc: Box::new(doc) }
+        }
         other => unreachable!("kind `{other}` is in the table but not constructed"),
     })
 }
@@ -1729,6 +1772,50 @@ mod tests {
         // Plain responses and errors never have more records.
         assert!(!Response::ok(Some(1), "ping", false, Json::Null).has_more());
         assert!(!Response::error(None, ErrorCode::Engine, "x").has_more());
+    }
+
+    #[test]
+    fn parses_scenario_requests() {
+        // Builtin by name.
+        let req = Request::parse_line(r#"{"kind":"scenario","params":{"name":"a3-6"}}"#).unwrap();
+        let Work::Scenario { doc } = &req.work else {
+            panic!("not a scenario: {req:?}");
+        };
+        assert_eq!(doc.name, "a3-6");
+        assert_eq!(req.work.kind(), "scenario");
+
+        // Inline document; equivalent spelling hits the same hash.
+        let inline =
+            r#"{"kind":"scenario","params":{"doc":"[scenario]\narchitecture = \"a2\"\n"}}"#;
+        let req = Request::parse_line(inline).unwrap();
+        let Work::Scenario { doc } = &req.work else {
+            panic!("not a scenario: {req:?}");
+        };
+        assert_eq!(doc.name, "a2");
+        let canonical = vpd_scenario::builtin_doc("a2").unwrap();
+        assert_eq!(
+            doc.content_hash(),
+            ScenarioDoc::parse(canonical).unwrap().content_hash(),
+            "inline defaulted a2 and the checked-in a2 document must share a cache key"
+        );
+
+        // Exactly one of doc|name; unknown builtins and malformed
+        // documents are rejected at admission with their diagnostics.
+        let e = Request::parse_line(r#"{"kind":"scenario"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::parse_line(
+            r#"{"kind":"scenario","params":{"name":"a0","doc":"[scenario]\n"}}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("mutually exclusive"), "{e:?}");
+        let e = Request::parse_line(r#"{"kind":"scenario","params":{"name":"a9"}}"#).unwrap_err();
+        assert!(e.message.contains("unknown builtin"), "{e:?}");
+        let e = Request::parse_line(
+            r#"{"kind":"scenario","params":{"doc":"[scenario]\narchitecture = \"a9\"\n"}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("error[bad-enum] at 2:16"), "{e:?}");
     }
 
     #[test]

@@ -345,6 +345,65 @@ print(f"shed smoke OK: 16/16 answered, {rejects} typed rejects, all well-formed 
 EOF
 fi
 
+step "CLI smoke: vpd scenario check over the checked-in corpus"
+for doc in scenarios/*.vpd; do
+    ./target/release/vpd scenario check --file "$doc" >/dev/null || {
+        echo "vpd scenario check rejected builtin $doc"
+        fail=1
+    }
+done
+for doc in scenarios/bad/*.vpd; do
+    code=$(basename "$doc" .vpd)
+    err=$(./target/release/vpd scenario check --file "$doc" 2>&1 >/dev/null) && {
+        echo "vpd scenario check accepted malformed $doc"
+        fail=1
+    }
+    case "$err" in
+        *"error[$code] at "*) ;;
+        *)
+            echo "$doc: expected stable code error[$code], got: $err"
+            fail=1
+            ;;
+    esac
+done
+echo "scenario corpus OK: $(ls scenarios/*.vpd | wc -l) accepted, $(ls scenarios/bad/*.vpd | wc -l) rejected with named codes"
+
+step "CLI smoke: vpd scenario run matches vpd analyze (document vs hardcoded)"
+./target/release/vpd scenario run --name a2 --format json >target/tier1-scenario.json || fail=1
+python3 - target/tier1-scenario.json <<'EOF' || fail=1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["command"] == "scenario", doc
+assert doc["name"] == "a2" and doc["architecture"] == "A2", doc
+assert len(doc["hash"]) == 16, doc
+eff = doc["breakdown"]["efficiency"]
+assert 0.8 < eff < 1.0, f"implausible A2 efficiency {eff}"
+print(f"scenario run OK: a2 hash {doc['hash']}, efficiency {eff:.4f}")
+EOF
+
+step "scenario bench smoke (parse/compile throughput, served cold vs cached bitwise)"
+cargo run --release -p vpd-bench --bin scenario -- --smoke || fail=1
+
+step "BENCH_scenario.json audit (cached >= 3x cold, bitwise + hash-sharing flags)"
+python3 - BENCH_scenario.json <<'EOF' || fail=1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    s = json.load(f)["scenario"]
+for key in ("parse_docs_per_sec", "compile_docs_per_sec", "render_docs_per_sec"):
+    assert s[key] > 0, f"{key} not positive: {s[key]}"
+speedup = s["cold_vs_cached_speedup"]
+assert speedup >= 3.0, f"served scenario cache speedup {speedup} < 3x"
+assert s["cached_matches_cold_bitwise"] is True, s
+assert s["respelled_doc_shares_cache"] is True, s
+print(
+    f"BENCH_scenario OK: {s['parse_docs_per_sec']:.0f} docs/s parse, "
+    f"cached {speedup:.2f}x cold, bitwise, respelling shares cache"
+)
+EOF
+
 step "cargo clippy --release -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings || fail=1
 

@@ -26,6 +26,7 @@ use vertical_power_delivery::core::{
 use vertical_power_delivery::obs;
 use vertical_power_delivery::prelude::*;
 use vertical_power_delivery::report::Json;
+use vertical_power_delivery::scenario::ScenarioDoc;
 use vertical_power_delivery::serve::proto::{
     parse_architecture, parse_topology, wire_default_count, wire_default_f64, wire_default_seed,
 };
@@ -113,6 +114,12 @@ commands:
               send request lines to a running server, print one
               response line each; fails fast on a protocol-version
               mismatch; --shutdown drains the server after
+  scenario    <check|render|run> (--file <path> | --name <a0|a1|a2|a3-12|a3-6>)
+              declarative .vpd scenario documents: `check` validates
+              (stable error[code] at line:col diagnostics), `render`
+              prints the canonical text (the content-hash input), `run`
+              compiles and analyzes — `--format json` output is
+              byte-identical to the served `scenario` request
   help        print this message";
 
 /// A full CLI invocation: global flags plus the subcommand.
@@ -219,7 +226,26 @@ enum Command {
         requests: Vec<String>,
         shutdown: bool,
     },
+    Scenario {
+        action: ScenarioAction,
+        /// Path to a `.vpd` document on disk.
+        file: Option<PathBuf>,
+        /// Builtin scenario name (`a0`…`a3-6`).
+        name: Option<String>,
+    },
     Help,
+}
+
+/// What `vpd scenario` should do with the document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScenarioAction {
+    /// Parse and validate only; report the stable diagnostic on failure.
+    Check,
+    /// Print the canonical rendering (the content-hash input).
+    Render,
+    /// Compile and analyze through the serve dispatcher, so `--format
+    /// json` output is byte-identical to the served `scenario` result.
+    Run,
 }
 
 impl Command {
@@ -238,6 +264,7 @@ impl Command {
             Self::Faults { .. } => "faults",
             Self::Serve { .. } => "serve",
             Self::Call { .. } => "call",
+            Self::Scenario { .. } => "scenario",
             Self::Help => "help",
         }
     }
@@ -421,6 +448,31 @@ impl Command {
                     requests,
                     shutdown,
                 })
+            }
+            "scenario" => {
+                let action = match rest.first().map(|s| s.as_str()) {
+                    Some("check") => ScenarioAction::Check,
+                    Some("render") => ScenarioAction::Render,
+                    Some("run") => ScenarioAction::Run,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown scenario action '{other}' (expected check|render|run)"
+                        ))
+                    }
+                    None => return Err("scenario needs an action (check|render|run)".into()),
+                };
+                let file = flag("--file").map(PathBuf::from);
+                let name = flag("--name").map(str::to_owned);
+                match (&file, &name) {
+                    (Some(_), Some(_)) => {
+                        return Err("--file and --name are mutually exclusive".into())
+                    }
+                    (None, None) => {
+                        return Err("scenario needs --file <path> or --name <builtin>".into())
+                    }
+                    _ => {}
+                }
+                Ok(Self::Scenario { action, file, name })
             }
             "help" | "--help" | "-h" => Ok(Self::Help),
             other => Err(format!("unknown command '{other}'")),
@@ -1068,8 +1120,142 @@ fn run(cmd: Command, format: RenderFormat) -> Result<(), Box<dyn std::error::Err
                 println!("{line}");
             }
         }
+        Command::Scenario { action, file, name } => {
+            // Resolve the document text, then parse through the same
+            // validator serve uses at admission — so `check` failures
+            // print the exact stable diagnostic the wire carries.
+            let (source, text): (String, String) = match (&file, &name) {
+                (Some(path), None) => (
+                    path.display().to_string(),
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+                ),
+                (None, Some(n)) => (
+                    format!("builtin {n}"),
+                    scenario_builtin(n)
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown builtin scenario '{n}' (builtins: {})",
+                                vertical_power_delivery::scenario::BUILTIN_NAMES.join(", ")
+                            )
+                        })?
+                        .to_owned(),
+                ),
+                _ => unreachable!("parse enforces exactly one of --file/--name"),
+            };
+            let doc = ScenarioDoc::parse(&text).map_err(|e| format!("{source}: {e}"))?;
+            let hash = format!("{:016x}", doc.content_hash());
+            match action {
+                ScenarioAction::Check => emit(
+                    format,
+                    || {
+                        format!(
+                            "ok: \"{}\" ({}, hash {hash})\n",
+                            doc.name,
+                            doc.architecture.name()
+                        )
+                    },
+                    || {
+                        command_json(
+                            label,
+                            [
+                                ("action", Json::from("check")),
+                                ("ok", Json::from(true)),
+                                ("name", Json::from(doc.name.as_str())),
+                                ("architecture", Json::from(doc.architecture.name())),
+                                ("hash", Json::from(hash.as_str())),
+                            ],
+                        )
+                    },
+                ),
+                ScenarioAction::Render => emit(
+                    format,
+                    || doc.render(),
+                    || {
+                        command_json(
+                            label,
+                            [
+                                ("action", Json::from("render")),
+                                ("name", Json::from(doc.name.as_str())),
+                                ("hash", Json::from(hash.as_str())),
+                                ("doc", Json::from(doc.render().as_str())),
+                            ],
+                        )
+                    },
+                ),
+                ScenarioAction::Run => {
+                    // Dispatch through the serve engine (cache disabled:
+                    // one shot), so the JSON document is byte-identical
+                    // to the served `scenario` result by construction.
+                    let dispatcher = serve::Dispatcher::new(0);
+                    let work = serve::Work::Scenario { doc: Box::new(doc) };
+                    let (result, _) = dispatcher
+                        .dispatch(&work)
+                        .map_err(|(code, message)| format!("{}: {message}", code.as_str()))?;
+                    emit(format, || render_scenario_text(&result), || result.clone());
+                }
+            }
+        }
     }
     Ok(())
+}
+
+/// Builtin `.vpd` lookup, aliased so the `Command::Scenario` arm reads
+/// cleanly.
+fn scenario_builtin(name: &str) -> Option<&'static str> {
+    vertical_power_delivery::scenario::builtin_doc(name)
+}
+
+/// Text rendering of a served `scenario` result document.
+fn render_scenario_text(result: &Json) -> String {
+    let s = |k: &str| result.get(k).and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!(
+        "scenario \"{}\" — {} / {}, placement {} (hash {})\noverloaded: {}\n",
+        s("name"),
+        s("architecture"),
+        s("topology"),
+        s("placement"),
+        s("hash"),
+        result
+            .get("overloaded")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    let section = |out: &mut String, title: &str, doc: &Json| {
+        out.push_str(title);
+        out.push('\n');
+        if let Json::Object(pairs) = doc {
+            for (k, v) in pairs {
+                out.push_str(&format!("  {k}: {v}\n"));
+            }
+        }
+    };
+    if let Some(b) = result.get("breakdown") {
+        section(&mut out, "breakdown:", b);
+    }
+    if let Some(c) = result.get("converter") {
+        section(&mut out, "converter:", c);
+    }
+    if let Some(Json::Array(techs)) = result.get("techs") {
+        out.push_str("techs:\n");
+        for t in techs {
+            out.push_str(&format!(
+                "  {}: {} sites, {} µΩ/via\n",
+                t.get("base").and_then(Json::as_str).unwrap_or("?"),
+                t.get("sites").and_then(Json::as_i64).unwrap_or(0),
+                t.get("via_resistance_uohm")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            ));
+        }
+    }
+    if let Some(f) = result.get("faults") {
+        out.push_str(&format!(
+            "faults: {}\n",
+            f.get("mode").and_then(Json::as_str).unwrap_or("?")
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1518,6 +1704,46 @@ mod tests {
         ));
         assert!(parse(&["call"]).is_err(), "needs a request or --shutdown");
         assert!(parse(&["call", "--request"]).is_err(), "dangling value");
+    }
+
+    #[test]
+    fn parses_scenario_commands() {
+        let cmd = parse(&["scenario", "check", "--name", "a2"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                action: ScenarioAction::Check,
+                file: None,
+                name: Some("a2".into()),
+            }
+        );
+        assert_eq!(cmd.label(), "scenario");
+        let cmd = parse(&["scenario", "run", "--file", "custom.vpd"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                action: ScenarioAction::Run,
+                file: Some(PathBuf::from("custom.vpd")),
+                name: None,
+            }
+        );
+        assert!(matches!(
+            parse(&["scenario", "render", "--name", "a0"]).unwrap(),
+            Command::Scenario {
+                action: ScenarioAction::Render,
+                ..
+            }
+        ));
+        assert!(parse(&["scenario"]).is_err(), "needs an action");
+        assert!(parse(&["scenario", "frob", "--name", "a0"]).is_err());
+        assert!(
+            parse(&["scenario", "check"]).is_err(),
+            "needs --file or --name"
+        );
+        assert!(
+            parse(&["scenario", "check", "--file", "x.vpd", "--name", "a0"]).is_err(),
+            "--file and --name are exclusive"
+        );
     }
 
     #[test]

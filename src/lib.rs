@@ -60,6 +60,7 @@ pub use vpd_numeric as numeric;
 pub use vpd_obs as obs;
 pub use vpd_package as package;
 pub use vpd_report as report;
+pub use vpd_scenario as scenario;
 pub use vpd_serve as serve;
 pub use vpd_thermal as thermal;
 pub use vpd_units as units;
